@@ -1,0 +1,163 @@
+//! Criterion benches of the analysis pipeline — one per table/figure
+//! family, timed over a smoke-scale world so a bench run finishes in
+//! minutes. The `reproduce` binary regenerates the actual numbers; these
+//! benches track the *cost* of each pipeline stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2s_bench::experiments::{dualstack, longterm, LongTermData};
+use s2s_bench::{Scale, Scenario};
+use s2s_core::bestpath::{best_path_analysis, suboptimal_prevalence};
+use s2s_core::changes::{as_path_pairs, detect_changes, path_stats};
+use s2s_core::congestion::{detect, DetectParams};
+use s2s_probe::{run_ping_campaign, CampaignConfig};
+use s2s_types::{Protocol, SimDuration, SimTime};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+const INTERVAL: SimDuration = SimDuration(180);
+
+/// Shared smoke-scale world + long-term data, built once per bench run.
+fn data() -> &'static (Scenario, LongTermData) {
+    static DATA: OnceLock<(Scenario, LongTermData)> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let scenario = Scenario::build(Scale::smoke());
+        let data = LongTermData::collect(&scenario);
+        (scenario, data)
+    })
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let (_, d) = data();
+    // Table 1 folding happens during collection; here we time the final
+    // aggregation over all timelines.
+    c.bench_function("pipeline/table1_aggregate", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for tl in d.by_proto(Protocol::V4) {
+                total += tl.counts.completed();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_fig2_fig3(c: &mut Criterion) {
+    let (_, d) = data();
+    c.bench_function("pipeline/fig2a_unique_paths", |b| {
+        b.iter(|| {
+            d.by_proto(Protocol::V4)
+                .iter()
+                .map(|t| t.unique_paths())
+                .sum::<usize>()
+        })
+    });
+    c.bench_function("pipeline/fig2b_path_pairs", |b| {
+        b.iter(|| {
+            d.direction_pairs(Protocol::V4)
+                .iter()
+                .map(|(f, r)| as_path_pairs(f, r))
+                .sum::<usize>()
+        })
+    });
+    c.bench_function("pipeline/fig3a_prevalence", |b| {
+        b.iter(|| {
+            d.by_proto(Protocol::V4)
+                .iter()
+                .filter_map(|t| {
+                    let s = path_stats(t, INTERVAL);
+                    s.popular.map(|p| s.prevalence[p])
+                })
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("pipeline/fig3b_change_detection", |b| {
+        b.iter(|| {
+            d.by_proto(Protocol::V4)
+                .iter()
+                .map(|t| detect_changes(t).changes)
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_fig4_fig6(c: &mut Criterion) {
+    let (_, d) = data();
+    c.bench_function("pipeline/fig4_bestpath_deltas", |b| {
+        b.iter(|| {
+            d.by_proto(Protocol::V4)
+                .iter()
+                .filter_map(|t| best_path_analysis(t, INTERVAL))
+                .map(|a| a.deltas.len())
+                .sum::<usize>()
+        })
+    });
+    c.bench_function("pipeline/fig6_suboptimal_prevalence", |b| {
+        b.iter(|| {
+            d.by_proto(Protocol::V4)
+                .iter()
+                .map(|t| suboptimal_prevalence(t, INTERVAL, 50.0))
+                .sum::<f64>()
+        })
+    });
+}
+
+fn bench_sec51(c: &mut Criterion) {
+    let (scenario, _) = data();
+    // One pair's week of pings + detection: the §5.1 unit of work.
+    let pairs = scenario.sample_pair_list(1, 0xBE);
+    let cfg = CampaignConfig {
+        threads: 1,
+        ..CampaignConfig::ping_week(SimTime::from_days(10))
+    };
+    c.bench_function("pipeline/sec51_one_pair_detect", |b| {
+        b.iter(|| {
+            let tls = run_ping_campaign(&scenario.net, &pairs[..1], &cfg);
+            tls.iter()
+                .filter_map(|t| detect(t, &DetectParams::default()))
+                .filter(|r| r.consistent)
+                .count()
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let (scenario, d) = data();
+    c.bench_function("pipeline/fig10a_dualstack_diffs", |b| {
+        b.iter(|| {
+            let mut diffs = s2s_core::dualstack::DualStackDiffs::default();
+            for (v4, v6) in d.protocol_pairs() {
+                diffs.extend(&s2s_core::dualstack::rtt_diffs(v4, v6));
+            }
+            diffs.all.len()
+        })
+    });
+    c.bench_function("pipeline/fig10b_inflation", |b| {
+        b.iter(|| {
+            d.by_proto(Protocol::V4)
+                .iter()
+                .filter_map(|tl| {
+                    s2s_core::inflation::inflation(
+                        tl,
+                        &scenario.topo.cluster_city(tl.src).point(),
+                        &scenario.topo.cluster_city(tl.dst).point(),
+                    )
+                })
+                .sum::<f64>()
+        })
+    });
+    // Exercise the printed variants once so their code paths stay benched
+    // end to end (their output goes to the bench log).
+    c.bench_function("pipeline/fig45_heatmap_build", |b| {
+        b.iter(|| longterm::fig45(d, Protocol::V4, false).map(|r| r.heatmap.count))
+    });
+    c.bench_function("pipeline/fig10a_summaries", |b| {
+        b.iter(|| dualstack::fig10a(d).n)
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig2_fig3, bench_fig4_fig6, bench_sec51, bench_fig10
+);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Regenerates every table and figure of the paper on the simulated world.
+//!
+//! ```text
+//! cargo run -p s2s-bench --release --bin reproduce              # everything
+//! cargo run -p s2s-bench --release --bin reproduce -- fig4 fig6 # a subset
+//! ```
+//!
+//! Experiment ids: table1, fig1, fig2a, fig2b, fig3a, fig3b, fig4, fig5,
+//! fig6, fig7, sec51, sec53, fig8, fig9, fig10a, fig10b.
+//! Scale comes from `S2S_*` environment variables (DESIGN.md §5).
+
+use s2s_bench::experiments::{
+    congestion, dualstack, example, extensions, longterm, ownercheck, shortterm,
+    LongTermData,
+};
+use s2s_bench::{Scale, Scenario};
+use s2s_types::{Protocol, SimTime};
+use std::time::Instant;
+
+const ALL: &[&str] = &[
+    "table1", "fig1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "fig5", "fig6",
+    "fig7", "sec51", "sec53", "fig8", "fig9", "fig10a", "fig10b",
+    // Extensions: the paper's §8 future-work items + the §2.2 colocated
+    // campaign (possible here because the simulator has ground truth).
+    "loss", "shared", "coloc", "abw",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for w in &wanted {
+        assert!(ALL.contains(w), "unknown experiment id '{w}' (known: {ALL:?})");
+    }
+    let scale = Scale::from_env();
+    println!(
+        "s2s reproduce — scale: {} clusters, {} days, {} long-term directed pairs, \
+         {} ping pairs, {} congested pairs, seed {}",
+        scale.clusters, scale.days, scale.pairs, scale.ping_pairs, scale.cong_pairs,
+        scale.seed
+    );
+    let t0 = Instant::now();
+    let scenario = Scenario::build(scale);
+    println!("world built in {:?}\n", t0.elapsed());
+
+    let needs_long = wanted.iter().any(|w| {
+        matches!(
+            *w,
+            "table1" | "fig2a" | "fig2b" | "fig3a" | "fig3b" | "fig4" | "fig5"
+                | "fig6" | "fig10a" | "fig10b"
+        )
+    });
+    let long = if needs_long {
+        let t = Instant::now();
+        let data = LongTermData::collect(&scenario);
+        println!(
+            "long-term campaign: {} timelines in {:?}\n",
+            data.timelines.len(),
+            t.elapsed()
+        );
+        Some(data)
+    } else {
+        None
+    };
+
+    // Short-term campaigns run mid-study so routing dynamics and congestion
+    // episodes are in full swing regardless of the configured horizon.
+    let mid = scenario.scale.days / 2;
+    let needs_cong = wanted.iter().any(|w| matches!(*w, "sec51" | "sec53" | "fig9"));
+    let cong = if needs_cong {
+        let t = Instant::now();
+        let (_, congested) = congestion::sec51(&scenario, SimTime::from_days(mid));
+        println!("(§5.1 campaign in {:?})\n", t.elapsed());
+        Some(congested)
+    } else {
+        None
+    };
+    let needs_census = wanted.iter().any(|w| matches!(*w, "sec53" | "fig9"));
+    let census = if needs_census {
+        let t = Instant::now();
+        let c = congestion::sec53(
+            &scenario,
+            cong.as_deref().unwrap_or(&[]),
+            SimTime::from_days(mid + 7),
+            21,
+        );
+        println!("(§5.3 campaign in {:?})\n", t.elapsed());
+        Some(c)
+    } else {
+        None
+    };
+
+    for w in &wanted {
+        let t = Instant::now();
+        match *w {
+            "table1" => {
+                let d = long.as_ref().unwrap();
+                longterm::table1(d, Protocol::V4);
+                longterm::table1(d, Protocol::V6);
+            }
+            "fig1" => {
+                example::fig1(&scenario, 6);
+            }
+            "fig2a" => {
+                let d = long.as_ref().unwrap();
+                longterm::fig2a(d, Protocol::V4);
+                longterm::fig2a(d, Protocol::V6);
+            }
+            "fig2b" => {
+                let d = long.as_ref().unwrap();
+                longterm::fig2b(d, Protocol::V4);
+                longterm::fig2b(d, Protocol::V6);
+            }
+            "fig3a" => {
+                let d = long.as_ref().unwrap();
+                longterm::fig3a(d, Protocol::V4);
+                longterm::fig3a(d, Protocol::V6);
+            }
+            "fig3b" => {
+                let d = long.as_ref().unwrap();
+                longterm::fig3b(d, Protocol::V4);
+                longterm::fig3b(d, Protocol::V6);
+            }
+            "fig4" => {
+                let d = long.as_ref().unwrap();
+                longterm::fig45(d, Protocol::V4, false);
+                longterm::fig45(d, Protocol::V6, false);
+                if let Some(p) = longterm::fig4_shortlived_premium(d, Protocol::V4) {
+                    println!(
+                        "  short-lived-path premium (mean Δ10, short − long lifetimes): \
+                         {p:+.1} ms (paper: positive — bad paths are short-lived)"
+                    );
+                }
+            }
+            "fig5" => {
+                let d = long.as_ref().unwrap();
+                longterm::fig45(d, Protocol::V4, true);
+                longterm::fig45(d, Protocol::V6, true);
+            }
+            "fig6" => {
+                let d = long.as_ref().unwrap();
+                longterm::fig6(d, Protocol::V4);
+                longterm::fig6(d, Protocol::V6);
+            }
+            "fig7" => {
+                shortterm::fig7(&scenario, 22, SimTime::from_days(mid));
+            }
+            "sec51" => {} // already printed while collecting
+            "sec53" => {} // already printed while collecting
+            "fig8" => {
+                ownercheck::fig8(&scenario);
+            }
+            "fig9" => {
+                congestion::fig9(&scenario, census.as_ref().unwrap());
+            }
+            "fig10a" => {
+                dualstack::fig10a(long.as_ref().unwrap());
+            }
+            "fig10b" => {
+                let d = long.as_ref().unwrap();
+                dualstack::fig10b(&scenario, d, Protocol::V4);
+                dualstack::fig10b(&scenario, d, Protocol::V6);
+            }
+            "loss" => {
+                extensions::loss(&scenario, SimTime::from_days(mid + 1));
+            }
+            "shared" => {
+                extensions::shared_infrastructure(&scenario, SimTime::from_days(mid));
+            }
+            "coloc" => {
+                extensions::coloc(&scenario, SimTime::from_days(mid + 2));
+            }
+            "abw" => {
+                extensions::abw(&scenario, SimTime::from_days(mid + 3));
+            }
+            _ => unreachable!(),
+        }
+        println!("[{w} done in {:?}]\n", t.elapsed());
+    }
+    println!("total: {:?}", t0.elapsed());
+}

@@ -1,0 +1,255 @@
+//! `s2s` — command-line front end for the simulator and analysis pipeline.
+//!
+//! ```text
+//! s2s topo                          # print the world's structure
+//! s2s trace <src> <dst> [--v6]      # one traceroute, scamper-style output
+//! s2s ping  <src> <dst> [--v6]      # one ping
+//! s2s campaign <out.s2s> [--pairs N] [--days N]
+//!                                   # run a 3-hourly campaign, archive it
+//! s2s analyze <in.s2s>              # routing-change analysis of an archive
+//! ```
+//!
+//! The `campaign`/`analyze` pair demonstrates the pipeline's data-source
+//! independence: `analyze` never touches the simulator — it would work on
+//! any archive in the same format.
+
+use s2s_bench::{Scale, Scenario};
+use s2s_core::bestpath::best_path_analysis;
+use s2s_core::changes::{detect_changes, path_stats};
+use s2s_core::timeline::TimelineBuilder;
+use s2s_probe::dataset::{read_traceroutes, write_traceroutes};
+use s2s_probe::{trace, TraceOptions};
+use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: s2s <command>\n\
+         \n\
+         commands:\n\
+           topo                                  print the simulated world\n\
+           trace <src> <dst> [--v6] [--classic]  run one traceroute\n\
+           ping  <src> <dst> [--v6]              run one ping\n\
+           campaign <out> [--pairs N] [--days N] run + archive a campaign\n\
+           analyze  <in>                         analyze an archive\n\
+         \n\
+         <src>/<dst> are cluster indices (see `s2s topo`).\n\
+         The world obeys S2S_SEED / S2S_CLUSTERS (small default here)."
+    );
+    ExitCode::FAILURE
+}
+
+/// A small world unless the caller asks for more via the env knobs.
+fn scenario() -> Scenario {
+    let mut scale = Scale::from_env();
+    if std::env::var("S2S_CLUSTERS").is_err() {
+        scale.clusters = 24;
+    }
+    Scenario::build(scale)
+}
+
+fn proto_of(args: &[String]) -> Protocol {
+    if args.iter().any(|a| a == "--v6") {
+        Protocol::V6
+    } else {
+        Protocol::V4
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<u32> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn cmd_topo() -> ExitCode {
+    let s = scenario();
+    let topo = &s.topo;
+    println!(
+        "world: {} ASes, {} routers, {} links, {} clusters (seed {})",
+        topo.ases.len(),
+        topo.routers.len(),
+        topo.links.len(),
+        topo.clusters.len(),
+        topo.params.seed
+    );
+    println!("clusters:");
+    for i in 0..topo.clusters.len() {
+        let c = ClusterId::from(i);
+        let city = topo.cluster_city(c);
+        println!(
+            "  {i:>3}  {:<18} {}  {}",
+            city.name,
+            city.country,
+            topo.asn(topo.clusters[i].host_as)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let (Some(a), Some(b)) = (args.first(), args.get(1)) else { return usage() };
+    let (Ok(a), Ok(b)) = (a.parse::<u32>(), b.parse::<u32>()) else { return usage() };
+    let s = scenario();
+    if a as usize >= s.topo.clusters.len() || b as usize >= s.topo.clusters.len() {
+        eprintln!("cluster index out of range (see `s2s topo`)");
+        return ExitCode::FAILURE;
+    }
+    let proto = proto_of(args);
+    let mode = if args.iter().any(|x| x == "--classic") {
+        s2s_probe::TracerouteMode::Classic
+    } else {
+        s2s_probe::TracerouteMode::Paris
+    };
+    let rec = trace(
+        &s.net,
+        ClusterId::new(a),
+        ClusterId::new(b),
+        proto,
+        SimTime::from_days(3),
+        TraceOptions { mode, ..TraceOptions::default() },
+    );
+    for (i, h) in rec.hops.iter().enumerate() {
+        match (h.addr, h.rtt_ms) {
+            (Some(addr), Some(rtt)) => println!("{:>3}  {addr:<24} {rtt:>9.3} ms", i + 1),
+            _ => println!("{:>3}  *", i + 1),
+        }
+    }
+    match (rec.reached, rec.e2e_rtt_ms, rec.dst_addr) {
+        (true, Some(rtt), Some(addr)) => {
+            println!("{:>3}  {addr:<24} {rtt:>9.3} ms  <- destination", rec.hops.len() + 1);
+        }
+        _ => println!("destination unreachable"),
+    }
+    let ann = s2s_core::annotate::annotate(&rec, &s.ip2asn);
+    println!("AS path: {}", ann.as_path);
+    ExitCode::SUCCESS
+}
+
+fn cmd_ping(args: &[String]) -> ExitCode {
+    let (Some(a), Some(b)) = (args.first(), args.get(1)) else { return usage() };
+    let (Ok(a), Ok(b)) = (a.parse::<u32>(), b.parse::<u32>()) else { return usage() };
+    let s = scenario();
+    let proto = proto_of(args);
+    for seq in 0..4u64 {
+        match s.net.ping(ClusterId::new(a), ClusterId::new(b), proto, SimTime::from_days(3), seq)
+        {
+            Some(rtt) => println!("seq {seq}: {rtt:.2} ms"),
+            None => println!("seq {seq}: timeout"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_campaign(args: &[String]) -> ExitCode {
+    let Some(out) = args.first() else { return usage() };
+    let n_pairs = flag_value(args, "--pairs").unwrap_or(20) as usize;
+    let days = flag_value(args, "--days").unwrap_or(10);
+    let s = scenario();
+    let pairs = s.sample_pair_list(n_pairs, 0xC11);
+    eprintln!(
+        "campaign: {} directed pairs, {days} days at 3-hour cadence, IPv4",
+        pairs.len()
+    );
+    let mut records = Vec::new();
+    for &(src, dst) in &pairs {
+        let mut t = SimTime::T0;
+        while t < SimTime::from_days(days) {
+            records.push(trace(&s.net, src, dst, Protocol::V4, t, TraceOptions::default()));
+            t += SimDuration::from_hours(3);
+        }
+    }
+    let mut f = match std::fs::File::create(out) {
+        Ok(f) => std::io::BufWriter::new(f),
+        Err(e) => {
+            eprintln!("cannot create {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_traceroutes(&mut f, &records) {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {} records to {out}", records.len());
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let Some(input) = args.first() else { return usage() };
+    let f = match std::fs::File::open(input) {
+        Ok(f) => BufReader::new(f),
+        Err(e) => {
+            eprintln!("cannot open {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match read_traceroutes(f) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The analysis still needs an IP→ASN view; the archive came from the
+    // same world, so rebuild the map from the seeded topology (a real
+    // deployment would load a BGP snapshot here).
+    let s = scenario();
+    let mut builders: std::collections::HashMap<_, TimelineBuilder> = Default::default();
+    for r in &records {
+        builders
+            .entry((r.src, r.dst, r.proto))
+            .or_insert_with(|| TimelineBuilder::new(r.src, r.dst, r.proto, &s.ip2asn))
+            .push(r.clone());
+    }
+    println!(
+        "{} records, {} timelines",
+        records.len(),
+        builders.len()
+    );
+    let mut keys: Vec<_> = builders.keys().copied().collect();
+    keys.sort();
+    let mut timelines: Vec<_> = builders.into_iter().collect();
+    timelines.sort_by_key(|(k, _)| *k);
+    for (k, b) in timelines {
+        let tl = b.finish();
+        let ch = detect_changes(&tl);
+        let stats = path_stats(&tl, SimDuration::from_hours(3));
+        let dominant = stats
+            .popular
+            .map(|p| stats.prevalence[p] * 100.0)
+            .unwrap_or(0.0);
+        print!(
+            "{} -> {} {}: {} samples, {} paths, {} changes, dominant {dominant:.0}%",
+            k.0,
+            k.1,
+            k.2,
+            tl.usable_samples(),
+            tl.unique_paths(),
+            ch.changes
+        );
+        if let Some(a) = best_path_analysis(&tl, SimDuration::from_hours(3)) {
+            let worst = a
+                .deltas
+                .iter()
+                .map(|d| d.delta_p10_ms)
+                .fold(0.0, f64::max);
+            print!(", worst detour +{worst:.1} ms");
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("topo") => cmd_topo(),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("ping") => cmd_ping(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        _ => usage(),
+    }
+}

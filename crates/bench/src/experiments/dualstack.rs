@@ -1,0 +1,105 @@
+//! §6 experiments: IPv4 vs IPv6 (Fig. 10a) and RTT inflation (Fig. 10b).
+
+use super::LongTermData;
+use crate::render::print_ecdf;
+use crate::scenario::Scenario;
+use s2s_core::dualstack::{rtt_diffs, summarize, DualStackDiffs, DualStackSummary};
+use s2s_core::inflation::inflation;
+use s2s_stats::quantiles;
+use s2s_types::Protocol;
+
+/// Fig. 10a headline numbers.
+#[derive(Clone, Debug)]
+pub struct Fig10aResult {
+    /// Summary over all simultaneous measurements.
+    pub all: Option<DualStackSummary>,
+    /// Summary over the same-AS-path subset.
+    pub same_path: Option<DualStackSummary>,
+    /// Number of (all, same-path) diff samples.
+    pub n: (usize, usize),
+}
+
+/// Fig. 10a: ECDF of RTTv4 − RTTv6.
+pub fn fig10a(data: &LongTermData) -> Fig10aResult {
+    let mut diffs = DualStackDiffs::default();
+    for (v4, v6) in data.protocol_pairs() {
+        diffs.extend(&rtt_diffs(v4, v6));
+    }
+    println!("FIG 10a — RTTv4 − RTTv6 between dual-stack servers");
+    print_ecdf("RTTv4 - RTTv6, all (ms)", &diffs.all, 11);
+    print_ecdf("RTTv4 - RTTv6, same AS path (ms)", &diffs.same_path, 11);
+    let all = summarize(&diffs.all, 10.0, 50.0);
+    let same = summarize(&diffs.same_path, 10.0, 50.0);
+    if let Some(s) = all {
+        println!(
+            "  all: within ±10 ms {:.1}% (paper ~50%); v6 saves ≥50 ms {:.1}% \
+             (paper 3.7%); v4 saves ≥50 ms {:.1}% (paper 8.5%)",
+            s.frac_similar * 100.0,
+            s.frac_v6_saves_big * 100.0,
+            s.frac_v4_saves_big * 100.0
+        );
+    }
+    if let Some(s) = same {
+        println!(
+            "  same AS path: within ±10 ms {:.1}% (paper ~70%)",
+            s.frac_similar * 100.0
+        );
+    }
+    Fig10aResult { all, same_path: same, n: (diffs.all.len(), diffs.same_path.len()) }
+}
+
+/// Fig. 10b headline numbers for one protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig10bResult {
+    /// Median inflation over all pairs.
+    pub median: f64,
+    /// 90th-percentile inflation.
+    pub p90: f64,
+    /// Median inflation over US↔US pairs.
+    pub us_median: Option<f64>,
+    /// Median inflation over transcontinental pairs.
+    pub transcontinental_median: Option<f64>,
+}
+
+/// Fig. 10b: RTT inflation over cRTT.
+pub fn fig10b(scenario: &Scenario, data: &LongTermData, proto: Protocol) -> Option<Fig10bResult> {
+    let topo = &scenario.topo;
+    let mut all = Vec::new();
+    let mut us = Vec::new();
+    let mut tc = Vec::new();
+    for tl in data.by_proto(proto) {
+        let ca = topo.cluster_city(tl.src);
+        let cb = topo.cluster_city(tl.dst);
+        let Some(inf) = inflation(tl, &ca.point(), &cb.point()) else { continue };
+        all.push(inf);
+        if s2s_geo::is_us_us(ca, cb) {
+            us.push(inf);
+        }
+        if s2s_geo::is_transcontinental(ca, cb) {
+            tc.push(inf);
+        }
+    }
+    if all.is_empty() {
+        return None;
+    }
+    let q = quantiles(&all, &[50.0, 90.0]).unwrap();
+    let med = |v: &[f64]| quantiles(v, &[50.0]).map(|q| q[0]);
+    let res = Fig10bResult {
+        median: q[0],
+        p90: q[1],
+        us_median: med(&us),
+        transcontinental_median: med(&tc),
+    };
+    println!("FIG 10b — RTT inflation over cRTT ({proto})");
+    print_ecdf("RTT / cRTT", &all, 11);
+    println!(
+        "  median {:.2} (paper: 3.01 v4 / 3.10 v6); 90th pct {:.2} (paper: 5.3 / 5.9)",
+        res.median, res.p90
+    );
+    println!(
+        "  US<->US median {:?} vs transcontinental median {:?} (paper: US higher)",
+        res.us_median.map(|m| (m * 100.0).round() / 100.0),
+        res.transcontinental_median.map(|m| (m * 100.0).round() / 100.0),
+    );
+    Some(res)
+}

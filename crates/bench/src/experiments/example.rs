@@ -1,0 +1,251 @@
+//! Fig. 1: the illustrative single-pair timeline (Hong Kong → Osaka).
+
+use crate::scenario::Scenario;
+use s2s_core::changes::detect_changes;
+use s2s_core::timeline::{TimelineBuilder, TraceTimeline};
+use s2s_probe::{trace, TraceOptions};
+use s2s_stats::quantiles;
+use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
+
+/// Fig. 1 headline numbers.
+#[derive(Clone, Debug)]
+pub struct Fig1Result {
+    /// Monthly baseline (10th-percentile) RTT per month, IPv4.
+    pub monthly_baseline_v4: Vec<f64>,
+    /// Monthly baseline RTT per month, IPv6.
+    pub monthly_baseline_v6: Vec<f64>,
+    /// AS-path changes over the window (v4, v6).
+    pub changes: (usize, usize),
+    /// Days whose RTT swing exceeded 15 ms (oscillation days), IPv4.
+    pub oscillation_days_v4: usize,
+}
+
+/// Finds a pair matching the paper's Hong Kong → Osaka example: an
+/// intra-Asia pair in different countries *that actually exhibits level
+/// shifts* — the paper cherry-picked its example, and so do we. Candidates
+/// are screened cheaply with the AS-path oracle at daily granularity; the
+/// pair with the most path changes in the window wins, with the exact
+/// cities preferred on ties.
+pub fn pick_example_pairs(scenario: &Scenario, n: usize) -> Vec<(ClusterId, ClusterId)> {
+    let topo = &scenario.topo;
+    let asia: Vec<ClusterId> = (0..topo.clusters.len())
+        .map(ClusterId::from)
+        .filter(|&c| topo.cluster_city(c).continent == s2s_geo::Continent::Asia)
+        .collect();
+    let mut scored: Vec<(ClusterId, ClusterId, usize)> = Vec::new();
+    for &a in &asia {
+        for &b in &asia {
+            if topo.cluster_city(a).country == topo.cluster_city(b).country {
+                continue;
+            }
+            // A level shift worth plotting persists for weeks: screen with
+            // the spread of *monthly median* noise-free RTTs over the
+            // window. Constant flapping between near-equal paths, or a
+            // single brief blip, scores ~0.
+            let mut monthly_medians = Vec::new();
+            for month in 0..6u32 {
+                let mut samples = Vec::new();
+                for d in 0..15u32 {
+                        // Propagation-only RTT: routing level shifts without the
+                    // congestion model's diurnal contribution.
+                    let t = SimTime::from_days(month * 30 + d * 2)
+                        + SimDuration::from_hours(4);
+                    // Use the same flow identifiers the Paris tracer will,
+                    // so the screen sees the ECMP choices the campaign sees.
+                    let fwd_flow = (u64::from(a.0) << 40) ^ (u64::from(b.0) << 16);
+                    let rev_flow = (u64::from(b.0) << 40) ^ (u64::from(a.0) << 16);
+                    let fwd = scenario.oracle.router_path(
+                        a, b, s2s_types::Protocol::V4, t, fwd_flow,
+                    );
+                    let rev = scenario.oracle.router_path(
+                        b, a, s2s_types::Protocol::V4, t, rev_flow,
+                    );
+                    if let (Some(f), Some(r)) = (fwd, rev) {
+                        samples.push(f.one_way_delay_ms + r.one_way_delay_ms);
+                    }
+                }
+                if let Some(q) = quantiles(&samples, &[50.0]) {
+                    monthly_medians.push(q[0]);
+                }
+            }
+            if monthly_medians.len() < 6 {
+                continue;
+            }
+            let spread = monthly_medians.iter().cloned().fold(0.0f64, f64::max)
+                - monthly_medians.iter().cloned().fold(f64::INFINITY, f64::min);
+            if spread < 8.0 {
+                continue;
+            }
+            let exact = topo.cluster_city(a).name == "Hong Kong"
+                && topo.cluster_city(b).name == "Osaka";
+            let score = (spread.min(120.0) as usize) * 2 + usize::from(exact);
+            scored.push((a, b, score));
+        }
+    }
+    scored.sort_by_key(|&(_, _, s)| std::cmp::Reverse(s));
+    scored.truncate(n);
+    let mut out: Vec<(ClusterId, ClusterId)> =
+        scored.into_iter().map(|(a, b, _)| (a, b)).collect();
+    // Pad with arbitrary intra-Asia cross-country pairs (tiny worlds).
+    'pad: for &a in &asia {
+        for &b in &asia {
+            if out.len() >= n.max(1) {
+                break 'pad;
+            }
+            if topo.cluster_city(a).country != topo.cluster_city(b).country
+                && !out.contains(&(a, b))
+            {
+                out.push((a, b));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the Fig. 1 example: six months of 3-hourly dual-protocol
+/// traceroutes for one pair, summarized as monthly baselines and
+/// oscillation days.
+pub fn fig1(scenario: &Scenario, months: u32) -> Option<Fig1Result> {
+    let days = months * 30;
+    // Shortlist candidates with the cheap propagation screen, then trace
+    // each for the full window and keep the one whose *measured* monthly
+    // medians move the most — the paper's figure is a cherry-picked pair,
+    // and the cherry must be picked on what the measurement actually shows.
+    let candidates = pick_example_pairs(scenario, 8);
+    let trace_pair = |src: ClusterId, dst: ClusterId| -> Vec<TraceTimeline> {
+        [Protocol::V4, Protocol::V6]
+            .into_iter()
+            .map(|proto| {
+                let mut b = TimelineBuilder::new(src, dst, proto, &scenario.ip2asn);
+                let mut t = SimTime::T0;
+                while t < SimTime::from_days(days) {
+                    b.push(trace(
+                        &scenario.net,
+                        src,
+                        dst,
+                        proto,
+                        t,
+                        TraceOptions::default(),
+                    ));
+                    t += SimDuration::from_hours(3);
+                }
+                b.finish()
+            })
+            .collect()
+    };
+    // Score a candidate by the *impact* of its sub-optimal paths: the
+    // paper's Fig. 1a pair spends weeks on a detour 100+ ms above the
+    // baseline. delta × prevalence rewards exactly that.
+    let impact = |tl: &TraceTimeline| -> f64 {
+        s2s_core::bestpath::best_path_analysis(tl, SimDuration::from_hours(3))
+            .map(|a| {
+                a.deltas
+                    .iter()
+                    .map(|d| d.delta_p10_ms * d.prevalence)
+                    .fold(0.0, f64::max)
+            })
+            .unwrap_or(0.0)
+    };
+    let mut best: Option<(ClusterId, ClusterId, Vec<TraceTimeline>, f64)> = None;
+    for (src, dst) in candidates {
+        let tls = trace_pair(src, dst);
+        let score = impact(&tls[0]);
+        println!(
+            "  candidate {} -> {}: detour impact {score:.1} ms·prevalence",
+            scenario.topo.cluster_city(src).name,
+            scenario.topo.cluster_city(dst).name
+        );
+        if best.as_ref().map(|(_, _, _, s)| score > *s).unwrap_or(true) {
+            best = Some((src, dst, tls, score));
+        }
+    }
+    let (src, dst, tls, _) = best?;
+    let topo = &scenario.topo;
+    println!(
+        "FIG 1 — example pair: {} ({}) -> {} ({})",
+        topo.cluster_city(src).name,
+        topo.cluster_city(src).country,
+        topo.cluster_city(dst).name,
+        topo.cluster_city(dst).country,
+    );
+    // Monthly p50 shows the dominant level; p90 reveals detour weeks that
+    // the median hides — the textual analogue of Fig. 1a's level shifts.
+    let monthly = |tl: &TraceTimeline, pct: f64| -> Vec<f64> {
+        (0..months)
+            .map(|m| {
+                let lo = SimTime::from_days(m * 30);
+                let hi = SimTime::from_days((m + 1) * 30);
+                let rtts: Vec<f64> = tl
+                    .samples
+                    .iter()
+                    .filter(|s| s.t >= lo && s.t < hi)
+                    .filter_map(|s| s.rtt_ms.map(f64::from))
+                    .collect();
+                quantiles(&rtts, &[pct]).map(|q| q[0]).unwrap_or(f64::NAN)
+            })
+            .collect()
+    };
+    let base_v4 = monthly(&tls[0], 50.0);
+    let p90_v4 = monthly(&tls[0], 90.0);
+    let base_v6 = monthly(&tls[1], 50.0);
+    println!("  month | v4 p50 (ms) | v4 p90 (ms) | v6 p50 (ms)");
+    for m in 0..base_v4.len() {
+        println!(
+            "  {:>5} | {:>11.1} | {:>11.1} | {:>11.1}",
+            m + 1,
+            base_v4[m],
+            p90_v4[m],
+            base_v6[m]
+        );
+    }
+    // Per-path baselines: the levels the timeline switches between.
+    let stats = s2s_core::changes::path_stats(&tls[0], SimDuration::from_hours(3));
+    for (i, rtts) in tls[0].rtts_by_path().iter().enumerate() {
+        if stats.prevalence[i] < 0.02 || rtts.is_empty() {
+            continue;
+        }
+        let q = quantiles(rtts, &[10.0]).unwrap();
+        println!(
+            "  v4 path {i}: baseline {:>6.1} ms, prevalence {:>4.1}%   {}",
+            q[0],
+            stats.prevalence[i] * 100.0,
+            tls[0].paths[i]
+        );
+    }
+    let ch4 = detect_changes(&tls[0]).changes;
+    let ch6 = detect_changes(&tls[1]).changes;
+    println!("  AS-path changes: v4 = {ch4}, v6 = {ch6}");
+
+    // Daily oscillation: days where the v4 RTT swing exceeds 15 ms. With
+    // only 8 samples per day, a single spike would dominate a max-min
+    // metric; using the second-highest sample makes the count robust to
+    // isolated spikes while still catching multi-hour busy periods.
+    let mut osc_days = 0;
+    for d in 0..days {
+        let lo = SimTime::from_days(d);
+        let hi = SimTime::from_days(d + 1);
+        let mut day: Vec<f64> = tls[0]
+            .samples
+            .iter()
+            .filter(|s| s.t >= lo && s.t < hi)
+            .filter_map(|s| s.rtt_ms.map(f64::from))
+            .collect();
+        day.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if day.len() >= 4 {
+            let second_highest = day[day.len() - 2];
+            if second_highest - day[0] > 15.0 {
+                osc_days += 1;
+            }
+        }
+    }
+    println!(
+        "  days with >15 ms daily swing (v4): {osc_days} of {days} \
+         (the paper's Fig. 1b window shows ~2 such weeks in 6 months)"
+    );
+    Some(Fig1Result {
+        monthly_baseline_v4: base_v4,
+        monthly_baseline_v6: base_v6,
+        changes: (ch4, ch6),
+        oscillation_days_v4: osc_days,
+    })
+}

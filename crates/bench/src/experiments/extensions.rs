@@ -1,0 +1,297 @@
+//! Extension experiments beyond the paper's figures — its §8 future-work
+//! items, answerable here because the simulator has ground truth:
+//!
+//! * `loss` — diurnal packet loss alongside diurnal RTT (§8: "packet
+//!   loss"),
+//! * `shared` — how much router-level infrastructure IPv4 and IPv6 share,
+//!   and how sharing relates to the RTT difference (§8: "to what extent
+//!   infrastructure is shared between IPv4 and IPv6"),
+//! * `coloc` — the §2.2 colocated-cluster campaign: full mesh between
+//!   clusters in the same facility.
+
+use crate::scenario::Scenario;
+use s2s_stats::quantiles;
+use s2s_core::congestion::{detect, DetectParams};
+use s2s_core::lossrate::{has_diurnal_loss, loss_stats};
+use s2s_probe::{colocated_pairs, run_ping_campaign, CampaignConfig};
+use s2s_stats::pearson;
+use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
+
+/// Loss-analysis headline numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct LossResult {
+    /// Mean loss fraction across pairs.
+    pub mean_loss: f64,
+    /// Fraction of pairs with diurnal loss.
+    pub diurnal_loss_fraction: f64,
+    /// Among RTT-congested pairs, the fraction that also shows diurnal
+    /// loss (congested queues drop packets).
+    pub congested_with_loss: f64,
+}
+
+/// §8 extension: packet loss and its relation to diurnal congestion.
+pub fn loss(scenario: &Scenario, start: SimTime) -> LossResult {
+    let all = scenario.sample_pair_list(scenario.scale.ping_pairs.min(1500), 0x1055);
+    let pairs: Vec<(ClusterId, ClusterId)> = all.chunks(2).map(|c| c[0]).collect();
+    let cfg = CampaignConfig::ping_week(start);
+    let timelines = run_ping_campaign(&scenario.net, &pairs, &cfg);
+    let mut losses = Vec::new();
+    let mut diurnal_loss = 0usize;
+    let mut congested = 0usize;
+    let mut congested_and_loss = 0usize;
+    for tl in timelines.iter().filter(|t| t.proto == Protocol::V4) {
+        let Some(ls) = loss_stats(tl) else { continue };
+        losses.push(ls.loss_fraction);
+        let dl = has_diurnal_loss(&ls, 0.01, 3.0);
+        diurnal_loss += dl as usize;
+        if let Some(r) = detect(tl, &DetectParams::default()) {
+            if r.consistent {
+                congested += 1;
+                congested_and_loss += dl as usize;
+            }
+        }
+    }
+    let n = losses.len().max(1);
+    let res = LossResult {
+        mean_loss: losses.iter().sum::<f64>() / n as f64,
+        diurnal_loss_fraction: diurnal_loss as f64 / n as f64,
+        congested_with_loss: congested_and_loss as f64 / congested.max(1) as f64,
+    };
+    println!("EXT loss — §8 future work: packet loss");
+    println!(
+        "  {} pairs; mean loss {:.2}%; diurnal loss on {:.2}% of pairs",
+        n,
+        res.mean_loss * 100.0,
+        res.diurnal_loss_fraction * 100.0
+    );
+    println!(
+        "  of {congested} RTT-congested pairs, {:.0}% also lose probes diurnally \
+         (congested queues drop packets)",
+        res.congested_with_loss * 100.0
+    );
+    res
+}
+
+/// Infrastructure-sharing headline numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedInfraResult {
+    /// Mean Jaccard overlap of v4 and v6 router-level paths.
+    pub mean_overlap: f64,
+    /// Fraction of pairs whose paths share ≥90% of routers.
+    pub mostly_shared: f64,
+    /// Pearson correlation between path overlap and −|RTTv4 − RTTv6|
+    /// (higher sharing should mean smaller RTT difference).
+    pub overlap_rttdiff_correlation: Option<f64>,
+}
+
+/// §8/§6 extension: how much infrastructure do IPv4 and IPv6 share?
+/// Ground truth the paper could not see: the simulator knows every router.
+pub fn shared_infrastructure(scenario: &Scenario, t: SimTime) -> SharedInfraResult {
+    let pairs = scenario.sample_pair_list(400, 0x5BA6);
+    let mut overlaps = Vec::new();
+    let mut diffs = Vec::new();
+    let mut mostly = 0usize;
+    for &(a, b) in pairs.iter() {
+        let flow = 1u64;
+        let Some(p4) = scenario.oracle.router_path(a, b, Protocol::V4, t, flow) else {
+            continue;
+        };
+        let Some(p6) = scenario.oracle.router_path(a, b, Protocol::V6, t, flow) else {
+            continue;
+        };
+        let set4: std::collections::HashSet<_> =
+            p4.hops.iter().map(|h| h.router).collect();
+        let set6: std::collections::HashSet<_> =
+            p6.hops.iter().map(|h| h.router).collect();
+        let inter = set4.intersection(&set6).count() as f64;
+        let union = set4.union(&set6).count() as f64;
+        let overlap = if union == 0.0 { 1.0 } else { inter / union };
+        overlaps.push(overlap);
+        mostly += (overlap >= 0.9) as usize;
+        let r4 = scenario.net.ideal_rtt(a, b, Protocol::V4, t);
+        let r6 = scenario.net.ideal_rtt(a, b, Protocol::V6, t);
+        if let (Some(r4), Some(r6)) = (r4, r6) {
+            diffs.push(-(r4 - r6).abs());
+        } else {
+            diffs.push(f64::NAN);
+        }
+    }
+    // Pairwise-complete correlation.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (&o, &d) in overlaps.iter().zip(&diffs) {
+        if !d.is_nan() {
+            xs.push(o);
+            ys.push(d);
+        }
+    }
+    let corr = pearson(&xs, &ys);
+    let n = overlaps.len().max(1);
+    let res = SharedInfraResult {
+        mean_overlap: overlaps.iter().sum::<f64>() / n as f64,
+        mostly_shared: mostly as f64 / n as f64,
+        overlap_rttdiff_correlation: corr,
+    };
+    println!("EXT shared — §8 future work: IPv4/IPv6 infrastructure sharing");
+    println!(
+        "  {} dual-stack pairs; mean router-level path overlap {:.0}%; \
+         ≥90% shared for {:.0}% of pairs",
+        n,
+        res.mean_overlap * 100.0,
+        res.mostly_shared * 100.0
+    );
+    println!(
+        "  correlation(overlap, −|RTTv4−RTTv6|) = {:?}  (positive: shared \
+         infrastructure ⇒ similar delays — the paper's §6 conjecture)",
+        res.overlap_rttdiff_correlation.map(|c| (c * 100.0).round() / 100.0)
+    );
+    res
+}
+
+/// Colocated-campaign headline numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct ColocResult {
+    /// Colocated (same-city) directed pairs found.
+    pub pairs: usize,
+    /// Their median RTT, ms.
+    pub median_rtt_ms: Option<f64>,
+    /// Fraction with consistent congestion.
+    pub congested_fraction: f64,
+}
+
+/// §2.2's colocated-cluster campaign: clusters in the same facility ping
+/// each other; intra-facility paths should be fast and almost never
+/// congested (they never leave the building).
+pub fn coloc(scenario: &Scenario, start: SimTime) -> ColocResult {
+    let pairs = colocated_pairs(&scenario.topo);
+    if pairs.is_empty() {
+        println!("EXT coloc — no colocated clusters at this scale");
+        return ColocResult { pairs: 0, median_rtt_ms: None, congested_fraction: 0.0 };
+    }
+    let cfg = CampaignConfig {
+        start,
+        end: start + SimDuration::from_days(7),
+        interval: SimDuration::from_minutes(30),
+        protocols: vec![Protocol::V4],
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    };
+    let tls = run_ping_campaign(&scenario.net, &pairs, &cfg);
+    let mut rtts = Vec::new();
+    let mut congested = 0usize;
+    let mut analyzed = 0usize;
+    for tl in &tls {
+        rtts.extend(tl.valid_rtts());
+        // The 30-minute colocated campaign has 336 samples per week.
+        let params = DetectParams { min_valid_samples: 300, ..Default::default() };
+        if let Some(r) = detect(tl, &params) {
+            analyzed += 1;
+            congested += r.consistent as usize;
+        }
+    }
+    let median = s2s_stats::quantiles(&rtts, &[50.0]).map(|q| q[0]);
+    let res = ColocResult {
+        pairs: pairs.len(),
+        median_rtt_ms: median,
+        congested_fraction: congested as f64 / analyzed.max(1) as f64,
+    };
+    println!("EXT coloc — §2.2 colocated-cluster campaign");
+    println!(
+        "  {} colocated directed pairs; median RTT {:?} ms; consistent \
+         congestion on {:.1}% (intra-facility paths rarely congest)",
+        res.pairs,
+        res.median_rtt_ms.map(|m| (m * 100.0).round() / 100.0),
+        res.congested_fraction * 100.0
+    );
+    res
+}
+
+/// Available-bandwidth headline numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct AbwResult {
+    /// Median packet-pair estimate across pairs and hours, Mbit/s.
+    pub median_mbps: Option<f64>,
+    /// Mean busy/quiet available-bandwidth ratio on RTT-congested pairs
+    /// (should be < 1: the busy hour eats headroom).
+    pub congested_busy_quiet: Option<f64>,
+    /// The same ratio on clean pairs (should sit near 1).
+    pub clean_busy_quiet: Option<f64>,
+}
+
+/// §8 extension: available bandwidth via packet-pair dispersion.
+pub fn abw(scenario: &Scenario, start: SimTime) -> AbwResult {
+    let all = scenario.sample_pair_list(600, 0xAB3);
+    let pairs: Vec<(ClusterId, ClusterId)> = all.chunks(2).map(|c| c[0]).collect();
+    // Flag congested pairs first (reusing the ping detector at this window).
+    let cfg = CampaignConfig::ping_week(start);
+    let tls = run_ping_campaign(&scenario.net, &pairs, &cfg);
+    let mut congested: std::collections::HashSet<(ClusterId, ClusterId)> =
+        Default::default();
+    for tl in tls.iter().filter(|t| t.proto == Protocol::V4) {
+        if let Some(r) = detect(tl, &DetectParams::default()) {
+            if r.consistent {
+                congested.insert((tl.src, tl.dst));
+            }
+        }
+    }
+    // Packet pairs at the pair's *local* quiet hour (05:00) and busy hour
+    // (20:00): solar time at the midpoint longitude decides when the
+    // diurnal load peaks.
+    let mut estimates = Vec::new();
+    let mut ratios_congested = Vec::new();
+    let mut ratios_clean = Vec::new();
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        let day = start + SimDuration::from_days(2 + (i % 3) as u32);
+        let lon = (scenario.topo.cluster_city(a).lon
+            + scenario.topo.cluster_city(b).lon)
+            / 2.0;
+        let utc_for = |local_hour: f64| {
+            let h = (local_hour - lon / 15.0).rem_euclid(24.0);
+            day + SimDuration::from_minutes((h * 60.0) as u32)
+        };
+        let quiet_t = utc_for(5.0);
+        let busy_t = utc_for(20.0);
+        let q = scenario.net.packet_pair(a, b, Protocol::V4, quiet_t, 1500, i as u64);
+        let bz = scenario.net.packet_pair(a, b, Protocol::V4, busy_t, 1500, i as u64);
+        if let (Some(q), Some(bz)) = (q, bz) {
+            estimates.push(q.estimated_mbps);
+            estimates.push(bz.estimated_mbps);
+            // Ratios are only meaningful when the whole path shares a time
+            // zone band: a transcontinental path's tight link may sit 12
+            // hours away from the pair midpoint's solar time.
+            if scenario.topo.cluster_city(a).continent
+                == scenario.topo.cluster_city(b).continent
+            {
+                let ratio = bz.estimated_mbps / q.estimated_mbps;
+                if congested.contains(&(a, b)) {
+                    ratios_congested.push(ratio);
+                } else {
+                    ratios_clean.push(ratio);
+                }
+            }
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    };
+    let res = AbwResult {
+        median_mbps: quantiles(&estimates, &[50.0]).map(|q| q[0]),
+        congested_busy_quiet: mean(&ratios_congested),
+        clean_busy_quiet: mean(&ratios_clean),
+    };
+    println!("EXT abw — §8 future work: available bandwidth (packet pairs)");
+    println!(
+        "  {} pairs; median tight-link estimate {:?} Mbit/s",
+        pairs.len(),
+        res.median_mbps.map(|m| m.round())
+    );
+    println!(
+        "  busy/quiet available-bandwidth ratio: congested pairs {:?} vs clean          pairs {:?} (congestion eats headroom exactly when RTTs bump)",
+        res.congested_busy_quiet.map(|r| (r * 100.0).round() / 100.0),
+        res.clean_busy_quiet.map(|r| (r * 100.0).round() / 100.0),
+    );
+    res
+}

@@ -1,0 +1,257 @@
+//! Long-term experiments: Table 1 and Figs. 2–6.
+
+use super::LongTermData;
+use crate::render::{print_ecdf, print_heatmap};
+use s2s_core::annotate::CompletenessCounts;
+use s2s_core::bestpath::{best_path_analysis, suboptimal_prevalence};
+use s2s_core::changes::{as_path_pairs, detect_changes, path_stats};
+use s2s_stats::{Ecdf, HeatMap};
+use s2s_types::{Protocol, SimDuration};
+
+const INTERVAL: SimDuration = SimDuration(180);
+
+/// Table 1 headline numbers per protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct Table1Result {
+    /// (complete, missing-AS, missing-IP) fractions.
+    pub fractions: (f64, f64, f64),
+    /// Fraction of completed traceroutes with AS-path loops.
+    pub loop_fraction: f64,
+    /// Completed traceroutes counted.
+    pub completed: u64,
+}
+
+/// Table 1: traceroute completeness mix.
+pub fn table1(data: &LongTermData, proto: Protocol) -> Table1Result {
+    let mut counts = CompletenessCounts::default();
+    for tl in data.by_proto(proto) {
+        let c = &tl.counts;
+        counts.complete += c.complete;
+        counts.missing_as_level += c.missing_as_level;
+        counts.missing_ip_level += c.missing_ip_level;
+        counts.incomplete += c.incomplete;
+        counts.loops += c.loops;
+    }
+    let fr = counts.fractions();
+    println!("TABLE 1 — {proto} (completed traceroutes: {})", counts.completed());
+    println!("  complete AS-level data   {:>6.2}%   (paper: 70.30% v4 / 64.03% v6)", fr.0 * 100.0);
+    println!("  missing AS-level data    {:>6.2}%   (paper:  1.58% v4 /  3.32% v6)", fr.1 * 100.0);
+    println!("  missing IP-level data    {:>6.2}%   (paper: 28.12% v4 / 32.65% v6)", fr.2 * 100.0);
+    println!(
+        "  AS-path loops (excluded) {:>6.2}%   (paper:  2.16% v4 /  5.50% v6)",
+        counts.loop_fraction() * 100.0
+    );
+    Table1Result {
+        fractions: fr,
+        loop_fraction: counts.loop_fraction(),
+        completed: counts.completed(),
+    }
+}
+
+/// Fig. 2a headline: (fraction single-path, paths at the 80th percentile).
+#[derive(Clone, Copy, Debug)]
+pub struct Fig2aResult {
+    /// Fraction of timelines with exactly one AS path.
+    pub single_path_fraction: f64,
+    /// Unique-path count at the 80th percentile of timelines.
+    pub p80_paths: f64,
+}
+
+/// Fig. 2a: ECDF of unique AS paths per trace timeline.
+pub fn fig2a(data: &LongTermData, proto: Protocol) -> Fig2aResult {
+    let counts: Vec<f64> = data
+        .by_proto(proto)
+        .iter()
+        .filter(|t| t.usable_samples() > 0)
+        .map(|t| t.unique_paths() as f64)
+        .collect();
+    let e = Ecdf::new(counts.clone());
+    let single = e.fraction_at_or_below(1.0);
+    let p80 = e.quantile(0.8).unwrap_or(0.0);
+    println!("FIG 2a — unique AS paths per trace timeline ({proto})");
+    print_ecdf("paths per timeline", &counts, 11);
+    println!(
+        "  single-path timelines: {:.1}%  (paper: 18% v4 / 16% v6); 80th pct: {p80} \
+         (paper: 5 v4 / 6 v6)",
+        single * 100.0
+    );
+    Fig2aResult { single_path_fraction: single, p80_paths: p80 }
+}
+
+/// Fig. 2b: ECDF of forward/reverse AS-path pairs per server pair.
+pub fn fig2b(data: &LongTermData, proto: Protocol) -> f64 {
+    let counts: Vec<f64> = data
+        .direction_pairs(proto)
+        .iter()
+        .map(|(f, r)| as_path_pairs(f, r) as f64)
+        .filter(|&c| c > 0.0)
+        .collect();
+    let e = Ecdf::new(counts.clone());
+    let p80 = e.quantile(0.8).unwrap_or(0.0);
+    println!("FIG 2b — AS-path pairs per server pair ({proto})");
+    print_ecdf("path pairs per server pair", &counts, 11);
+    println!("  80th percentile: {p80}  (paper: 8 v4 / 9 v6)");
+    p80
+}
+
+/// Fig. 3a: ECDF of the prevalence of each timeline's most popular path.
+/// Returns the fraction of timelines whose popular path has prevalence
+/// ≥ 0.5 (paper: ~80%).
+pub fn fig3a(data: &LongTermData, proto: Protocol) -> f64 {
+    let prevalences: Vec<f64> = data
+        .by_proto(proto)
+        .iter()
+        .filter_map(|t| {
+            let s = path_stats(t, INTERVAL);
+            s.popular.map(|p| s.prevalence[p])
+        })
+        .collect();
+    let e = Ecdf::new(prevalences.clone());
+    let dominant = e.fraction_at_or_above(0.5);
+    println!("FIG 3a — prevalence of the most popular AS path ({proto})");
+    print_ecdf("popular-path prevalence", &prevalences, 11);
+    println!(
+        "  timelines with a dominant (≥50% prevalence) path: {:.1}%  (paper: ~80%)",
+        dominant * 100.0
+    );
+    dominant
+}
+
+/// Fig. 3b headline numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig3bResult {
+    /// Fraction of timelines with zero changes.
+    pub no_change_fraction: f64,
+    /// Changes at the 90th percentile of timelines.
+    pub p90_changes: f64,
+}
+
+/// Fig. 3b: ECDF of routing changes per timeline.
+pub fn fig3b(data: &LongTermData, proto: Protocol) -> Fig3bResult {
+    let counts: Vec<f64> = data
+        .by_proto(proto)
+        .iter()
+        .filter(|t| t.usable_samples() > 0)
+        .map(|t| detect_changes(t).changes as f64)
+        .collect();
+    let e = Ecdf::new(counts.clone());
+    let none = e.fraction_at_or_below(0.0);
+    let p90 = e.quantile(0.9).unwrap_or(0.0);
+    println!("FIG 3b — routing changes per trace timeline ({proto})");
+    print_ecdf("changes per timeline", &counts, 11);
+    println!(
+        "  zero-change timelines: {:.1}% (paper: 18% v4 / 16% v6); \
+         90th pct: {p90} (paper: ≤30)",
+        none * 100.0
+    );
+    Fig3bResult { no_change_fraction: none, p90_changes: p90 }
+}
+
+/// Figs. 4/5 result: the heat map plus tail statistics.
+#[derive(Clone, Debug)]
+pub struct HeatmapResult {
+    /// The binned map.
+    pub heatmap: HeatMap,
+    /// Baseline (Fig. 4) or spike (Fig. 5) delta at the 90th percentile of
+    /// sub-optimal paths.
+    pub p90_delta_ms: f64,
+    /// Delta at the 80th percentile.
+    pub p80_delta_ms: f64,
+}
+
+/// Fig. 4 (use_p90 = false) / Fig. 5 (use_p90 = true): heat map of RTT
+/// increase vs AS-path lifetime.
+pub fn fig45(data: &LongTermData, proto: Protocol, use_p90: bool) -> Option<HeatmapResult> {
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for tl in data.by_proto(proto) {
+        if let Some(a) = best_path_analysis(tl, INTERVAL) {
+            for d in &a.deltas {
+                let delta = if use_p90 { d.delta_p90_ms } else { d.delta_p10_ms };
+                points.push((d.lifetime_hours, delta.max(0.0)));
+            }
+        }
+    }
+    let hm = HeatMap::from_points(&points)?;
+    let deltas: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let e = Ecdf::new(deltas);
+    let p90 = e.quantile(0.9).unwrap();
+    let p80 = e.quantile(0.8).unwrap();
+    let (fig, pct) = if use_p90 { ("FIG 5", "90th") } else { ("FIG 4", "10th") };
+    println!("{fig} — Δ{pct}-percentile RTT vs AS-path lifetime ({proto})");
+    print_heatmap(
+        &format!("{fig} {proto}"),
+        &hm,
+        "lifetime (hours)",
+        &format!("Δ{pct}-pct RTT (ms)"),
+    );
+    if use_p90 {
+        println!("  90th pct of Δ90 deltas: {p90:.1} ms  (paper: ≥70 ms for 10% of paths)");
+    } else {
+        println!(
+            "  90th pct of Δ10 deltas: {p90:.1} ms (paper: 48.3 v4 / 59 v6); \
+             80th pct: {p80:.1} ms (paper: ~25 ms)"
+        );
+    }
+    Some(HeatmapResult { heatmap: hm, p90_delta_ms: p90, p80_delta_ms: p80 })
+}
+
+/// Correlation direction of the Fig. 4 relationship: average delta among
+/// short-lived paths minus among long-lived paths (positive = short-lived
+/// paths are the expensive ones, the paper's key observation).
+pub fn fig4_shortlived_premium(data: &LongTermData, proto: Protocol) -> Option<f64> {
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for tl in data.by_proto(proto) {
+        if let Some(a) = best_path_analysis(tl, INTERVAL) {
+            for d in &a.deltas {
+                points.push((d.lifetime_hours, d.delta_p10_ms.max(0.0)));
+            }
+        }
+    }
+    if points.len() < 20 {
+        return None;
+    }
+    let mut lifetimes: Vec<f64> = points.iter().map(|p| p.0).collect();
+    lifetimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = lifetimes[lifetimes.len() / 2];
+    let short: Vec<f64> =
+        points.iter().filter(|p| p.0 <= median).map(|p| p.1).collect();
+    let long: Vec<f64> = points.iter().filter(|p| p.0 > median).map(|p| p.1).collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    Some(mean(&short) - mean(&long))
+}
+
+/// Fig. 6 result per (protocol, threshold).
+#[derive(Clone, Copy, Debug)]
+pub struct Fig6Result {
+    /// Threshold in ms.
+    pub threshold_ms: f64,
+    /// Fraction of timelines whose sub-optimal (≥ threshold) paths had a
+    /// summed prevalence ≥ 0.2 — the paper's "4% (7%) of routing changes
+    /// increase RTTs by ≥50 ms for ≥20% of the study period" view.
+    pub frac_prevalent_20pct: f64,
+}
+
+/// Fig. 6: ECDFs of the summed prevalence of sub-optimal paths.
+pub fn fig6(data: &LongTermData, proto: Protocol) -> Vec<Fig6Result> {
+    let mut out = Vec::new();
+    println!("FIG 6 — prevalence of sub-optimal AS paths ({proto})");
+    for threshold in [20.0, 50.0, 100.0] {
+        let prevalences: Vec<f64> = data
+            .by_proto(proto)
+            .iter()
+            .filter(|t| t.usable_samples() > 0)
+            .map(|t| suboptimal_prevalence(t, INTERVAL, threshold))
+            .collect();
+        let e = Ecdf::new(prevalences.clone());
+        let frac = e.fraction_at_or_above(0.2);
+        println!(
+            "  ≥{threshold:>5.0} ms: {:.2}% of timelines had such paths for ≥20% of \
+             the period",
+            frac * 100.0
+        );
+        out.push(Fig6Result { threshold_ms: threshold, frac_prevalent_20pct: frac });
+    }
+    println!("  (paper: ≥50 ms ≥20%-of-period for ~4% v4 / ~7% v6 of timelines;");
+    println!("   ≥100 ms for 1.1% v4 / 1.3% v6 at ≥20%/40% prevalence)");
+    out
+}

@@ -1,0 +1,138 @@
+//! One module per table/figure of the paper (see DESIGN.md §3 for the
+//! experiment index). Every function prints paper-style output and returns
+//! the headline numbers so tests and EXPERIMENTS.md can assert on them.
+
+pub mod congestion;
+pub mod dualstack;
+pub mod example;
+pub mod extensions;
+pub mod longterm;
+pub mod ownercheck;
+pub mod shortterm;
+
+use crate::scenario::Scenario;
+use s2s_core::timeline::TraceTimeline;
+use s2s_types::ClusterId;
+
+/// The long-term data set shared by Table 1 and Figs. 2–6 and 10.
+pub struct LongTermData {
+    /// Directed pairs, both directions adjacent.
+    pub pairs: Vec<(ClusterId, ClusterId)>,
+    /// One timeline per (pair, protocol), pair-major, protocol-minor
+    /// (V4 then V6).
+    pub timelines: Vec<TraceTimeline>,
+}
+
+impl LongTermData {
+    /// Runs the long-term campaign at the scenario's scale.
+    pub fn collect(scenario: &Scenario) -> LongTermData {
+        let pairs = scenario.sample_pair_list(scenario.scale.pairs / 2, 0x10e6);
+        let timelines = scenario.long_term_timelines(&pairs);
+        LongTermData { pairs, timelines }
+    }
+
+    /// Timelines of one protocol.
+    pub fn by_proto(&self, proto: s2s_types::Protocol) -> Vec<&TraceTimeline> {
+        self.timelines.iter().filter(|t| t.proto == proto).collect()
+    }
+
+    /// (forward, reverse) timeline pairs of one protocol: sample_pair_list
+    /// emits (a,b) followed by (b,a), and timelines are pair-major with two
+    /// protocols each, so pair i's forward-v4 sits at 4i and reverse-v4 at
+    /// 4i + 2 (v6 at +1 / +3).
+    pub fn direction_pairs(
+        &self,
+        proto: s2s_types::Protocol,
+    ) -> Vec<(&TraceTimeline, &TraceTimeline)> {
+        let off = match proto {
+            s2s_types::Protocol::V4 => 0,
+            s2s_types::Protocol::V6 => 1,
+        };
+        let mut out = Vec::new();
+        let mut i = 0;
+        while 4 * i + 3 < self.timelines.len() {
+            out.push((&self.timelines[4 * i + off], &self.timelines[4 * i + 2 + off]));
+            i += 1;
+        }
+        out
+    }
+
+    /// (v4, v6) timeline pairs per directed pair.
+    pub fn protocol_pairs(&self) -> Vec<(&TraceTimeline, &TraceTimeline)> {
+        self.timelines
+            .chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| (&c[0], &c[1]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scale, Scenario};
+    use s2s_types::Protocol;
+
+    fn micro() -> (Scenario, LongTermData) {
+        let scenario = Scenario::build(Scale {
+            seed: 3,
+            clusters: 12,
+            days: 12,
+            pairs: 16,
+            ping_pairs: 30,
+            cong_pairs: 8,
+        });
+        let data = LongTermData::collect(&scenario);
+        (scenario, data)
+    }
+
+    #[test]
+    fn experiment_layer_smoke() {
+        let (scenario, data) = micro();
+        // Table 1: fractions are a partition of the completed traces.
+        let t1 = longterm::table1(&data, Protocol::V4);
+        let (a, b, c) = t1.fractions;
+        assert!((a + b + c - 1.0).abs() < 1e-9);
+        assert!(t1.completed > 500);
+
+        // Fig. 2a/3a/3b on the same corpus.
+        let f2 = longterm::fig2a(&data, Protocol::V4);
+        assert!((0.0..=1.0).contains(&f2.single_path_fraction));
+        assert!(f2.p80_paths >= 1.0);
+        let dominant = longterm::fig3a(&data, Protocol::V4);
+        assert!((0.0..=1.0).contains(&dominant));
+        let f3 = longterm::fig3b(&data, Protocol::V4);
+        assert!(f3.no_change_fraction <= f2.single_path_fraction + 1e-9,
+            "single-path timelines cannot have changes");
+
+        // Fig. 6 prevalence fractions are monotone in the threshold.
+        let f6 = longterm::fig6(&data, Protocol::V4);
+        assert!(f6[0].frac_prevalent_20pct >= f6[1].frac_prevalent_20pct);
+        assert!(f6[1].frac_prevalent_20pct >= f6[2].frac_prevalent_20pct);
+
+        // Fig. 10a/10b run and produce consistent values.
+        let f10a = dualstack::fig10a(&data);
+        assert!(f10a.n.1 <= f10a.n.0, "same-path subset cannot exceed all");
+        if let Some(s) = f10a.all {
+            assert!(s.frac_similar + s.frac_v4_saves_big + s.frac_v6_saves_big <= 1.0 + 1e-9);
+        }
+        if let Some(f10b) = dualstack::fig10b(&scenario, &data, Protocol::V4) {
+            assert!(f10b.median >= 1.0, "inflation below light speed");
+            assert!(f10b.p90 >= f10b.median);
+        }
+    }
+
+    #[test]
+    fn direction_pairs_align_with_sampling() {
+        let (_, data) = micro();
+        for (f, r) in data.direction_pairs(Protocol::V4) {
+            assert_eq!(f.src, r.dst);
+            assert_eq!(f.dst, r.src);
+            assert_eq!(f.proto, Protocol::V4);
+        }
+        let v4 = data.by_proto(Protocol::V4).len();
+        let v6 = data.by_proto(Protocol::V6).len();
+        assert_eq!(v4, v6);
+        assert_eq!(v4 + v6, data.timelines.len());
+    }
+}

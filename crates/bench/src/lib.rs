@@ -1,0 +1,14 @@
+//! Shared scenario construction for the benchmark harness.
+//!
+//! The `reproduce` binary and the Criterion benches all run on the same
+//! simulated world: one seeded topology + dynamics + congestion model, and
+//! pair samples drawn deterministically from the cluster mesh. Scale knobs
+//! come from `S2S_*` environment variables (see DESIGN.md §5) so the same
+//! code serves quick smoke runs and full reproductions.
+
+pub mod experiments;
+pub mod render;
+pub mod scenario;
+
+pub use render::{print_ecdf, print_heatmap};
+pub use scenario::{Scale, Scenario};

@@ -1,0 +1,81 @@
+//! Text rendering of figures: ECDF curves and decile heat maps, printed in
+//! the same shape the paper plots them.
+
+use s2s_stats::{Ecdf, HeatMap};
+
+/// Prints an ECDF as `x  F(x)` rows at `points` quantiles, with a header.
+pub fn print_ecdf(title: &str, data: &[f64], points: usize) {
+    println!("  ECDF: {title}  (n = {})", data.len());
+    if data.is_empty() {
+        println!("    (no data)");
+        return;
+    }
+    let e = Ecdf::new(data.to_vec());
+    for (x, f) in e.curve(points) {
+        println!("    {x:>12.2}  {f:>6.3}");
+    }
+}
+
+/// Formats one ECDF line of headline fractions, e.g. for the shaded-region
+/// statements ("50% within ±10 ms").
+pub fn ecdf_fraction_between(data: &[f64], lo: f64, hi: f64) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let e = Ecdf::new(data.to_vec());
+    (e.fraction_at_or_below(hi) - e.fraction_at_or_below(lo)).max(0.0)
+}
+
+/// Prints a decile heat map in the paper's Fig. 4/5 layout: Y rows from
+/// the largest RTT-increase decile down, X columns by lifetime decile,
+/// cell = percent of all points.
+pub fn print_heatmap(title: &str, hm: &HeatMap, x_label: &str, y_label: &str) {
+    println!("  HEATMAP: {title}  ({} points)", hm.count);
+    println!("    Y: {y_label} (top = largest), X: {x_label} (right = longest)");
+    // Column header: lifetime bin upper edges.
+    let cols: Vec<String> =
+        hm.x_edges.windows(2).map(|w| format!("{:>7}", short(w[1]))).collect();
+    println!("    {:>22} {}", "", cols.join(" "));
+    for y in (0..hm.cells.len()).rev() {
+        let lo = hm.y_edges[y];
+        let hi = hm.y_edges[y + 1];
+        let row: Vec<String> =
+            hm.cells[y].iter().map(|c| format!("{c:>6.2}%")).collect();
+        println!("    [{:>8}, {:>8}) {}", short(lo), short(hi), row.join(" "));
+    }
+}
+
+/// Compact number formatting for heat-map edges (hours→days→months in
+/// minutes-space is the caller's concern; this just trims digits).
+fn short(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{:.0}", v)
+    } else if v >= 100.0 {
+        format!("{:.1}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_between_basics() {
+        let data = vec![-20.0, -5.0, 0.0, 5.0, 20.0];
+        let f = ecdf_fraction_between(&data, -10.0, 10.0);
+        assert!((f - 0.6).abs() < 1e-9, "f = {f}");
+        assert_eq!(ecdf_fraction_between(&[], -1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        print_ecdf("test", &[1.0, 2.0, 3.0], 5);
+        print_ecdf("empty", &[], 5);
+        let points: Vec<(f64, f64)> =
+            (0..100).map(|i| (i as f64, (i * 3 % 71) as f64)).collect();
+        let hm = HeatMap::from_points(&points).unwrap();
+        print_heatmap("test", &hm, "lifetime", "delta");
+    }
+}

@@ -1,0 +1,252 @@
+//! AS relationship inference from observed AS paths.
+//!
+//! The paper consumes CAIDA's relationship *inferences* (Luckie et al.,
+//! IMC 2013), not registry ground truth. This module implements the classic
+//! Gao-style core of such algorithms so the pipeline can run end-to-end
+//! from paths alone:
+//!
+//! 1. rank every AS by its observed degree (distinct neighbors across all
+//!    paths) — bigger networks sit higher in the hierarchy,
+//! 2. in each (valley-free) path, the highest-ranked AS is the *top*:
+//!    edges before it go uphill (customer → provider), edges after it go
+//!    downhill,
+//! 3. tally the per-edge votes over the whole corpus; edges voted in both
+//!    directions with no clear majority are peerings (traffic crosses the
+//!    top of the hierarchy sideways).
+//!
+//! Tests validate the inference against the simulator's ground truth — the
+//! "thoroughly validated approach" the paper asks for (§5.3).
+
+use crate::rels::AsRelStore;
+use s2s_types::rel::AsRel;
+use s2s_types::Asn;
+use std::collections::{HashMap, HashSet};
+
+/// Tunables of the inference.
+#[derive(Clone, Copy, Debug)]
+pub struct InferParams {
+    /// An edge is a peering when the minority direction still has at least
+    /// this fraction of the votes (no clear uphill winner).
+    pub peer_vote_fraction: f64,
+    /// Edges seen fewer times than this stay unclassified.
+    pub min_votes: usize,
+}
+
+impl Default for InferParams {
+    fn default() -> Self {
+        InferParams { peer_vote_fraction: 0.35, min_votes: 1 }
+    }
+}
+
+/// The outcome of an inference run.
+#[derive(Clone, Debug, Default)]
+pub struct InferredRels {
+    /// The inferred relationship store (queryable like the CAIDA-derived
+    /// one).
+    pub store: AsRelStore,
+    /// Edges observed but left unclassified (too few votes).
+    pub unclassified: Vec<(Asn, Asn)>,
+}
+
+/// Infers relationships from a corpus of AS paths (each a sequence of
+/// ASNs, source first).
+pub fn infer_relationships(paths: &[Vec<Asn>], params: &InferParams) -> InferredRels {
+    // Degree ranking.
+    let mut neighbors: HashMap<Asn, HashSet<Asn>> = HashMap::new();
+    for path in paths {
+        for w in path.windows(2) {
+            if w[0] != w[1] {
+                neighbors.entry(w[0]).or_default().insert(w[1]);
+                neighbors.entry(w[1]).or_default().insert(w[0]);
+            }
+        }
+    }
+    let degree = |a: Asn| neighbors.get(&a).map(HashSet::len).unwrap_or(0);
+
+    // Vote per ordered edge: (x, y) counted as "x is customer of y" when
+    // the edge goes uphill (before the top), and the reverse after it.
+    let mut up_votes: HashMap<(Asn, Asn), usize> = HashMap::new();
+    for path in paths {
+        if path.len() < 2 {
+            continue;
+        }
+        // The top: first position with maximum degree.
+        let top = (0..path.len())
+            .max_by_key(|&i| (degree(path[i]), std::cmp::Reverse(i)))
+            .unwrap_or(0);
+        for (i, w) in path.windows(2).enumerate() {
+            let (x, y) = (w[0], w[1]);
+            if x == y {
+                continue;
+            }
+            if i < top {
+                *up_votes.entry((x, y)).or_default() += 1; // x -> provider y
+            } else {
+                *up_votes.entry((y, x)).or_default() += 1; // y -> provider x
+            }
+        }
+    }
+
+    // Classification.
+    let mut edges: HashSet<(Asn, Asn)> = HashSet::new();
+    for &(x, y) in up_votes.keys() {
+        edges.insert((x.min(y), x.max(y)));
+    }
+    let mut out = InferredRels::default();
+    let mut sorted_edges: Vec<_> = edges.into_iter().collect();
+    sorted_edges.sort_unstable();
+    for (a, b) in sorted_edges {
+        let ab = up_votes.get(&(a, b)).copied().unwrap_or(0); // a customer of b
+        let ba = up_votes.get(&(b, a)).copied().unwrap_or(0);
+        let total = ab + ba;
+        if total < params.min_votes {
+            out.unclassified.push((a, b));
+            continue;
+        }
+        let minority = ab.min(ba) as f64 / total as f64;
+        if minority >= params.peer_vote_fraction {
+            out.store.add(a, b, AsRel::Peer);
+        } else if ab > ba {
+            // a is the customer: a regards b as Provider.
+            out.store.add(a, b, AsRel::Provider);
+        } else {
+            out.store.add(a, b, AsRel::Customer);
+        }
+    }
+    out
+}
+
+/// Scores an inference against ground truth: `(correct, total_compared)`.
+pub fn score_against(inferred: &AsRelStore, truth: &AsRelStore) -> (usize, usize) {
+    let mut correct = 0;
+    let mut total = 0;
+    for rec in inferred.records() {
+        if let Some(true_rel) = truth.rel(rec.from, rec.to) {
+            total += 1;
+            correct += (true_rel == rec.rel) as usize;
+        }
+    }
+    (correct, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asn(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    /// A toy hierarchy: 1 and 2 are big providers peering at the top;
+    /// 10/11 are customers of 1; 20/21 customers of 2.
+    fn toy_paths() -> Vec<Vec<Asn>> {
+        let p = |v: &[u32]| v.iter().map(|&x| asn(x)).collect::<Vec<_>>();
+        vec![
+            p(&[10, 1, 2, 20]),
+            p(&[11, 1, 2, 21]),
+            p(&[10, 1, 2, 21]),
+            p(&[20, 2, 1, 10]),
+            p(&[21, 2, 1, 11]),
+            p(&[10, 1, 11]),
+            p(&[20, 2, 21]),
+        ]
+    }
+
+    #[test]
+    fn infers_transit_and_peering() {
+        let inf = infer_relationships(&toy_paths(), &InferParams::default());
+        // Customers point up at their providers.
+        assert_eq!(inf.store.rel(asn(10), asn(1)), Some(AsRel::Provider));
+        assert_eq!(inf.store.rel(asn(1), asn(10)), Some(AsRel::Customer));
+        assert_eq!(inf.store.rel(asn(20), asn(2)), Some(AsRel::Provider));
+        // The top edge is crossed in both directions: peering.
+        assert_eq!(inf.store.rel(asn(1), asn(2)), Some(AsRel::Peer));
+    }
+
+    #[test]
+    fn empty_corpus_infers_nothing() {
+        let inf = infer_relationships(&[], &InferParams::default());
+        assert!(inf.store.is_empty());
+        assert!(inf.unclassified.is_empty());
+    }
+
+    #[test]
+    fn single_hop_paths_are_ignored() {
+        let inf = infer_relationships(&[vec![asn(5)]], &InferParams::default());
+        assert!(inf.store.is_empty());
+    }
+
+    #[test]
+    fn min_votes_leaves_rare_edges_unclassified() {
+        let paths = vec![vec![asn(1), asn(2)]];
+        let inf = infer_relationships(
+            &paths,
+            &InferParams { min_votes: 5, ..Default::default() },
+        );
+        assert!(inf.store.is_empty());
+        assert_eq!(inf.unclassified, vec![(asn(1), asn(2))]);
+    }
+
+    #[test]
+    fn validates_against_simulated_ground_truth() {
+        use s2s_topology::{build_topology, TopologyParams};
+        // Paths from the generator's ground-truth routing (valley-free by
+        // construction): walk every cluster pair's AS path via a trivial
+        // BFS over provider edges is overkill — reuse the adjacency to
+        // synthesize paths: customer -> provider -> (peer) -> customer.
+        let topo = build_topology(&TopologyParams::tiny(19));
+        let truth = crate::rels::AsRelStore::from_topology(&topo);
+        // Synthesize valley-free paths: for each stub s, go up to a
+        // provider p, across one peering (if any), and down to a customer.
+        let mut paths: Vec<Vec<Asn>> = Vec::new();
+        for (i, adj) in topo.as_adj.iter().enumerate() {
+            for &(p, rel) in adj {
+                if rel != s2s_types::rel::AsRel::Provider {
+                    continue;
+                }
+                // i -> p (uphill). Extend across p's peers and down to
+                // their customers.
+                for &(q, rel_pq) in &topo.as_adj[p] {
+                    match rel_pq {
+                        s2s_types::rel::AsRel::Peer => {
+                            for &(c, rel_qc) in &topo.as_adj[q] {
+                                if rel_qc == s2s_types::rel::AsRel::Customer && c != i {
+                                    paths.push(vec![
+                                        topo.asn(i),
+                                        topo.asn(p),
+                                        topo.asn(q),
+                                        topo.asn(c),
+                                    ]);
+                                }
+                            }
+                        }
+                        s2s_types::rel::AsRel::Customer => {
+                            if q != i {
+                                paths.push(vec![topo.asn(i), topo.asn(p), topo.asn(q)]);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert!(paths.len() > 100, "too few synthetic paths: {}", paths.len());
+        let inf = infer_relationships(&paths, &InferParams::default());
+        let (correct, total) = score_against(&inf.store, &truth);
+        assert!(total > 50, "too few comparable edges ({total})");
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.75, "inference accuracy {acc:.3} ({correct}/{total})");
+    }
+
+    #[test]
+    fn score_counts_only_comparable_edges() {
+        let mut inferred = AsRelStore::new();
+        inferred.add(asn(1), asn(2), AsRel::Peer);
+        inferred.add(asn(3), asn(4), AsRel::Customer);
+        let mut truth = AsRelStore::new();
+        truth.add(asn(1), asn(2), AsRel::Peer);
+        // (3,4) unknown to truth: ignored.
+        let (correct, total) = score_against(&inferred, &truth);
+        assert_eq!((correct, total), (2, 2)); // both directions of (1,2)
+    }
+}

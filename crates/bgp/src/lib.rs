@@ -1,0 +1,24 @@
+//! BGP data substrate.
+//!
+//! The paper's pipeline maps every traceroute hop IP to "the origin AS of
+//! the longest matching prefix observed in BGP" (§2.1) and consumes
+//! CAIDA-style AS relationship data for the router-ownership heuristics
+//! (§5.3). This crate provides both:
+//!
+//! * [`PrefixTrie`] / [`Ip2AsnMap`] — longest-prefix-match over the
+//!   announcements the simulated BGP table contains,
+//! * [`AsRelStore`] — the relationship database (derived from topology
+//!   ground truth, in the same shape CAIDA's `as-rel` files provide),
+//! * [`mod@infer`] — Gao-style relationship inference from observed AS
+//!   paths, validated against ground truth (the paper consumes CAIDA's
+//!   inferences, which work this way).
+
+pub mod infer;
+pub mod ip2asn;
+pub mod rels;
+pub mod trie;
+
+pub use infer::{infer_relationships, InferParams, InferredRels};
+pub use ip2asn::Ip2AsnMap;
+pub use rels::AsRelStore;
+pub use trie::PrefixTrie;

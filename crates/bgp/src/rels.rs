@@ -1,0 +1,137 @@
+//! AS relationship store.
+//!
+//! The same shape as CAIDA's `as-rel` inference files the paper consumes
+//! (§5.3): for each AS pair, whether the link is peer-to-peer or
+//! customer-to-provider. Built here from topology ground truth; a consumer
+//! of real data would populate it from a CAIDA snapshot instead.
+
+use s2s_types::rel::{AsRel, RelRecord};
+use s2s_types::Asn;
+use std::collections::HashMap;
+
+/// Directed relationship database: `rel(a, b)` is `a`'s relationship toward
+/// `b`.
+#[derive(Clone, Debug, Default)]
+pub struct AsRelStore {
+    rels: HashMap<(Asn, Asn), AsRel>,
+}
+
+impl AsRelStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the store from a topology's ground-truth adjacency.
+    pub fn from_topology(topo: &s2s_topology::Topology) -> Self {
+        let mut s = Self::new();
+        for (i, adj) in topo.as_adj.iter().enumerate() {
+            for &(j, rel) in adj {
+                s.add(topo.asn(i), topo.asn(j), rel);
+            }
+        }
+        s
+    }
+
+    /// Records that `a` regards `b` as `rel` (and the inverse direction).
+    pub fn add(&mut self, a: Asn, b: Asn, rel: AsRel) {
+        self.rels.insert((a, b), rel);
+        self.rels.insert((b, a), rel.inverse());
+    }
+
+    /// `a`'s relationship toward `b`, if known.
+    pub fn rel(&self, a: Asn, b: Asn) -> Option<AsRel> {
+        self.rels.get(&(a, b)).copied()
+    }
+
+    /// True when `b` is a customer of `a`.
+    pub fn is_customer(&self, a: Asn, b: Asn) -> bool {
+        self.rel(a, b) == Some(AsRel::Customer)
+    }
+
+    /// True when `a` and `b` are settlement-free peers.
+    pub fn is_peering(&self, a: Asn, b: Asn) -> bool {
+        self.rel(a, b) == Some(AsRel::Peer)
+    }
+
+    /// Number of directed records (twice the number of AS pairs).
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// True when no relationships are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Every record, in deterministic (sorted) order — the serialization
+    /// CAIDA-style dumps use.
+    pub fn records(&self) -> Vec<RelRecord> {
+        let mut v: Vec<RelRecord> = self
+            .rels
+            .iter()
+            .map(|(&(from, to), &rel)| RelRecord { from, to, rel })
+            .collect();
+        v.sort_by_key(|r| (r.from, r.to));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asn(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    #[test]
+    fn add_records_both_directions() {
+        let mut s = AsRelStore::new();
+        s.add(asn(1), asn(2), AsRel::Customer);
+        assert_eq!(s.rel(asn(1), asn(2)), Some(AsRel::Customer));
+        assert_eq!(s.rel(asn(2), asn(1)), Some(AsRel::Provider));
+        assert!(s.is_customer(asn(1), asn(2)));
+        assert!(!s.is_customer(asn(2), asn(1)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn peering_is_symmetric() {
+        let mut s = AsRelStore::new();
+        s.add(asn(10), asn(20), AsRel::Peer);
+        assert!(s.is_peering(asn(10), asn(20)));
+        assert!(s.is_peering(asn(20), asn(10)));
+    }
+
+    #[test]
+    fn unknown_pairs_are_none() {
+        let s = AsRelStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.rel(asn(1), asn(2)), None);
+        assert!(!s.is_peering(asn(1), asn(2)));
+    }
+
+    #[test]
+    fn records_are_sorted_and_complete() {
+        let mut s = AsRelStore::new();
+        s.add(asn(3), asn(1), AsRel::Provider);
+        s.add(asn(2), asn(1), AsRel::Peer);
+        let r = s.records();
+        assert_eq!(r.len(), 4);
+        assert!(r.windows(2).all(|w| (w[0].from, w[0].to) <= (w[1].from, w[1].to)));
+    }
+
+    #[test]
+    fn from_topology_matches_ground_truth() {
+        use s2s_topology::{build_topology, TopologyParams};
+        let t = build_topology(&TopologyParams::tiny(11));
+        let s = AsRelStore::from_topology(&t);
+        for (i, adj) in t.as_adj.iter().enumerate() {
+            for &(j, rel) in adj {
+                assert_eq!(s.rel(t.asn(i), t.asn(j)), Some(rel));
+            }
+        }
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! A binary trie for longest-prefix matching.
+//!
+//! Keys are prefixes left-aligned in a `u128` (see
+//! [`s2s_types::net::IpNet::key_bits`]); one trie instance serves one
+//! address family. Insertion is idempotent per prefix (later values
+//! overwrite), lookup returns the value of the longest matching prefix.
+
+/// A binary prefix trie mapping prefixes to values of type `T`.
+#[derive(Clone, Debug)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+}
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<u32>; 2],
+}
+
+impl<T> Node<T> {
+    fn empty() -> Self {
+        Node { value: None, children: [None, None] }
+    }
+}
+
+impl<T: Clone> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> PrefixTrie<T> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie { nodes: vec![Node::empty()] }
+    }
+
+    /// Inserts a prefix (`bits` left-aligned, `len` bits significant) with a
+    /// value. Replaces the value when the prefix was already present.
+    ///
+    /// # Panics
+    /// Panics if `len > 128`.
+    pub fn insert(&mut self, bits: u128, len: u8, value: T) {
+        assert!(len <= 128, "prefix length {len} > 128");
+        let mut node = 0usize;
+        for i in 0..len {
+            let bit = ((bits >> (127 - i)) & 1) as usize;
+            let next = match self.nodes[node].children[bit] {
+                Some(n) => n as usize,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(Node::empty());
+                    self.nodes[node].children[bit] = Some(n as u32);
+                    n
+                }
+            };
+            node = next;
+        }
+        self.nodes[node].value = Some(value);
+    }
+
+    /// Longest-prefix match: the value of the most specific prefix covering
+    /// `addr_bits` (left-aligned), or `None`.
+    pub fn longest_match(&self, addr_bits: u128) -> Option<&T> {
+        let mut node = 0usize;
+        let mut best = self.nodes[0].value.as_ref();
+        for i in 0..128u8 {
+            let bit = ((addr_bits >> (127 - i)) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(n) => {
+                    node = n as usize;
+                    if let Some(v) = self.nodes[node].value.as_ref() {
+                        best = Some(v);
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Exact-match lookup of one prefix.
+    pub fn get(&self, bits: u128, len: u8) -> Option<&T> {
+        let mut node = 0usize;
+        for i in 0..len {
+            let bit = ((bits >> (127 - i)) & 1) as usize;
+            node = self.nodes[node].children[bit]? as usize;
+        }
+        self.nodes[node].value.as_ref()
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| n.value.is_some()).count()
+    }
+
+    /// True when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key(octets: [u8; 4]) -> u128 {
+        (u32::from_be_bytes(octets) as u128) << 96
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(key([10, 0, 0, 0]), 8, "eight");
+        t.insert(key([10, 1, 0, 0]), 16, "sixteen");
+        assert_eq!(t.longest_match(key([10, 1, 2, 3])), Some(&"sixteen"));
+        assert_eq!(t.longest_match(key([10, 2, 2, 3])), Some(&"eight"));
+        assert_eq!(t.longest_match(key([11, 0, 0, 0])), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(0, 0, "default");
+        assert_eq!(t.longest_match(key([1, 2, 3, 4])), Some(&"default"));
+        assert_eq!(t.longest_match(u128::MAX), Some(&"default"));
+    }
+
+    #[test]
+    fn insert_overwrites() {
+        let mut t = PrefixTrie::new();
+        t.insert(key([10, 0, 0, 0]), 8, 1);
+        t.insert(key([10, 0, 0, 0]), 8, 2);
+        assert_eq!(t.longest_match(key([10, 9, 9, 9])), Some(&2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn exact_get() {
+        let mut t = PrefixTrie::new();
+        t.insert(key([192, 0, 2, 0]), 24, 7);
+        assert_eq!(t.get(key([192, 0, 2, 0]), 24), Some(&7));
+        assert_eq!(t.get(key([192, 0, 2, 0]), 23), None);
+        assert_eq!(t.get(key([192, 0, 2, 0]), 25), None);
+    }
+
+    #[test]
+    fn host_route_matches_only_itself() {
+        let mut t = PrefixTrie::new();
+        t.insert(key([192, 0, 2, 1]), 32 + 96, "host"); // full 128-bit key
+        assert_eq!(t.longest_match(key([192, 0, 2, 1])), Some(&"host"));
+        assert_eq!(t.longest_match(key([192, 0, 2, 2])), None);
+    }
+
+    #[test]
+    fn empty_trie() {
+        let t: PrefixTrie<u8> = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.longest_match(0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inserted_prefix_is_found(addr: u32, len in 0u8..=32) {
+            let bits = (addr as u128) << 96;
+            let masked = if len == 0 { 0 } else { bits >> (128 - len) << (128 - len) };
+            let mut t = PrefixTrie::new();
+            t.insert(masked, len, 42u8);
+            // Any address under the prefix matches.
+            prop_assert_eq!(t.longest_match(bits | masked), Some(&42u8));
+            prop_assert_eq!(t.get(masked, len), Some(&42u8));
+        }
+
+        #[test]
+        fn prop_match_respects_specificity(
+            addr: u32, len1 in 1u8..=31, extra in 1u8..=8,
+        ) {
+            let len2 = (len1 + extra).min(32);
+            let bits = (addr as u128) << 96;
+            let m1 = bits >> (128 - len1) << (128 - len1);
+            let m2 = bits >> (128 - len2) << (128 - len2);
+            let mut t = PrefixTrie::new();
+            t.insert(m1, len1, 1u8);
+            t.insert(m2, len2, 2u8);
+            // The address itself is covered by both; the longer wins.
+            prop_assert_eq!(t.longest_match(bits), Some(&2u8));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Best-path baselines and sub-optimal path costs (§4.2, Figs. 4–6).
+//!
+//! Per timeline, RTTs are aggregated by AS path. The 10th percentile of a
+//! path's RTTs is its *baseline* (spikes excluded), the 90th captures the
+//! spikes. The path with the lowest 10th percentile is the *best* path
+//! among those actually observed; every other path's increase over it
+//! quantifies the cost of the sub-optimal route. Fig. 4 correlates that
+//! increase with the path's lifetime; Fig. 5 repeats with 90th
+//! percentiles; Fig. 6 sums the prevalence of paths above fixed thresholds.
+
+use crate::changes::path_stats;
+use crate::timeline::TraceTimeline;
+use s2s_stats::{quantiles, stddev};
+use s2s_types::SimDuration;
+
+/// One sub-optimal path's statistics, relative to its timeline's best path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathDelta {
+    /// Index of the path within the timeline.
+    pub path: usize,
+    /// Lifetime in hours.
+    pub lifetime_hours: f64,
+    /// Prevalence (0–1).
+    pub prevalence: f64,
+    /// Increase of this path's 10th-percentile RTT over the best path's
+    /// (best chosen by lowest 10th percentile). ≥ 0 by construction.
+    pub delta_p10_ms: f64,
+    /// Increase of this path's 90th-percentile RTT over the lowest 90th
+    /// percentile among the timeline's paths.
+    pub delta_p90_ms: f64,
+    /// Increase of this path's RTT standard deviation over the lowest.
+    pub delta_std_ms: f64,
+}
+
+/// The per-timeline best-path analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BestPathAnalysis {
+    /// Path index with the lowest 10th-percentile RTT.
+    pub best_by_p10: usize,
+    /// Path index with the lowest 90th-percentile RTT.
+    pub best_by_p90: usize,
+    /// Statistics for every *other* (sub-optimal by p10) path.
+    pub deltas: Vec<PathDelta>,
+}
+
+/// Runs the analysis. Returns `None` when the timeline has fewer than two
+/// paths with RTT data (single-path timelines are excluded, §4.2).
+pub fn best_path_analysis(
+    tl: &TraceTimeline,
+    interval: SimDuration,
+) -> Option<BestPathAnalysis> {
+    let by_path = tl.rtts_by_path();
+    let stats = path_stats(tl, interval);
+    // Percentiles per path with data.
+    let mut per_path: Vec<Option<(f64, f64, f64)>> = Vec::with_capacity(by_path.len());
+    for rtts in &by_path {
+        if rtts.is_empty() {
+            per_path.push(None);
+        } else {
+            let q = quantiles(rtts, &[10.0, 90.0]).unwrap();
+            per_path.push(Some((q[0], q[1], stddev(rtts).unwrap())));
+        }
+    }
+    let with_data: Vec<usize> =
+        (0..per_path.len()).filter(|&i| per_path[i].is_some()).collect();
+    if with_data.len() < 2 {
+        return None;
+    }
+    let pick_min = |f: fn(&(f64, f64, f64)) -> f64| {
+        *with_data
+            .iter()
+            .min_by(|&&a, &&b| {
+                f(per_path[a].as_ref().unwrap())
+                    .partial_cmp(&f(per_path[b].as_ref().unwrap()))
+                    .unwrap()
+            })
+            .unwrap()
+    };
+    let best_by_p10 = pick_min(|s| s.0);
+    let best_by_p90 = pick_min(|s| s.1);
+    let best_by_std = pick_min(|s| s.2);
+    let (best_p10, _, _) = per_path[best_by_p10].unwrap();
+    let (_, best_p90, _) = per_path[best_by_p90].unwrap();
+    let (_, _, best_std) = per_path[best_by_std].unwrap();
+
+    let deltas = with_data
+        .iter()
+        .filter(|&&i| i != best_by_p10)
+        .map(|&i| {
+            let (p10, p90, sd) = per_path[i].unwrap();
+            PathDelta {
+                path: i,
+                lifetime_hours: stats.lifetimes[i].hours(),
+                prevalence: stats.prevalence[i],
+                delta_p10_ms: p10 - best_p10,
+                delta_p90_ms: p90 - best_p90,
+                delta_std_ms: sd - best_std,
+            }
+        })
+        .collect();
+    Some(BestPathAnalysis { best_by_p10, best_by_p90, deltas })
+}
+
+/// Fig. 6: the summed prevalence of this timeline's sub-optimal paths whose
+/// baseline (10th-percentile) increase is at least `threshold_ms`.
+/// Timelines with a single path contribute 0.
+pub fn suboptimal_prevalence(
+    tl: &TraceTimeline,
+    interval: SimDuration,
+    threshold_ms: f64,
+) -> f64 {
+    match best_path_analysis(tl, interval) {
+        Some(a) => a
+            .deltas
+            .iter()
+            .filter(|d| d.delta_p10_ms >= threshold_ms)
+            .map(|d| d.prevalence)
+            .sum(),
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Sample;
+    use s2s_types::{Asn, AsPath, ClusterId, Protocol, SimTime};
+
+    /// A timeline alternating between paths with given RTT levels.
+    fn tl(levels: &[(u32, f64, usize)]) -> TraceTimeline {
+        // levels: (path marker ASN, rtt level, sample count)
+        let mut paths = Vec::new();
+        let mut samples = Vec::new();
+        let mut t = 0u32;
+        for &(marker, rtt, n) in levels {
+            let path =
+                AsPath::from_asns([Asn::new(1), Asn::new(marker), Asn::new(9)]);
+            let id = paths.iter().position(|p| *p == path).unwrap_or_else(|| {
+                paths.push(path.clone());
+                paths.len() - 1
+            }) as u16;
+            for i in 0..n {
+                samples.push(Sample {
+                    t: SimTime::from_minutes(t),
+                    path: Some(id),
+                    rtt_ms: Some((rtt + (i % 3) as f64) as f32),
+                });
+                t += 180;
+            }
+        }
+        TraceTimeline {
+            src: ClusterId::new(0),
+            dst: ClusterId::new(1),
+            proto: Protocol::V4,
+            paths,
+            samples,
+            counts: Default::default(),
+        }
+    }
+
+    #[test]
+    fn best_path_is_the_low_rtt_one() {
+        let t = tl(&[(2, 50.0, 10), (3, 120.0, 4)]);
+        let a = best_path_analysis(&t, SimDuration::from_hours(3)).unwrap();
+        assert_eq!(a.best_by_p10, 0);
+        assert_eq!(a.deltas.len(), 1);
+        let d = &a.deltas[0];
+        assert!((d.delta_p10_ms - 70.0).abs() < 2.0, "delta = {}", d.delta_p10_ms);
+        assert!((d.lifetime_hours - 12.0).abs() < 1e-9);
+        assert!((d.prevalence - 4.0 / 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_path_timeline_is_excluded() {
+        let t = tl(&[(2, 50.0, 10)]);
+        assert!(best_path_analysis(&t, SimDuration::from_hours(3)).is_none());
+        assert_eq!(suboptimal_prevalence(&t, SimDuration::from_hours(3), 20.0), 0.0);
+    }
+
+    #[test]
+    fn deltas_are_nonnegative_for_p10() {
+        let t = tl(&[(2, 50.0, 5), (3, 60.0, 5), (4, 90.0, 5)]);
+        let a = best_path_analysis(&t, SimDuration::from_hours(3)).unwrap();
+        assert_eq!(a.deltas.len(), 2);
+        for d in &a.deltas {
+            assert!(d.delta_p10_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn p90_best_can_differ_from_p10_best() {
+        // Path A: low baseline but huge spikes; path B: higher baseline, flat.
+        let mut t = tl(&[(2, 50.0, 8)]);
+        let path_b = AsPath::from_asns([Asn::new(1), Asn::new(3), Asn::new(9)]);
+        t.paths.push(path_b);
+        let mut minute = 8 * 180;
+        for i in 0..8 {
+            // Path A's spikes: half the samples at 300ms.
+            t.samples.push(Sample {
+                t: SimTime::from_minutes(minute),
+                path: Some(0),
+                rtt_ms: Some(if i % 2 == 0 { 300.0 } else { 50.0 }),
+            });
+            minute += 180;
+        }
+        for _ in 0..8 {
+            t.samples.push(Sample {
+                t: SimTime::from_minutes(minute),
+                path: Some(1),
+                rtt_ms: Some(70.0),
+            });
+            minute += 180;
+        }
+        let a = best_path_analysis(&t, SimDuration::from_hours(3)).unwrap();
+        assert_eq!(a.best_by_p10, 0, "A has the lower baseline");
+        assert_eq!(a.best_by_p90, 1, "B has the lower spikes");
+    }
+
+    #[test]
+    fn suboptimal_prevalence_respects_threshold() {
+        let t = tl(&[(2, 50.0, 6), (3, 80.0, 2), (4, 160.0, 2)]);
+        let iv = SimDuration::from_hours(3);
+        // Both sub-optimal paths exceed 20ms.
+        assert!((suboptimal_prevalence(&t, iv, 20.0) - 0.4).abs() < 1e-9);
+        // Only the 160ms path exceeds 100ms (delta ~110).
+        assert!((suboptimal_prevalence(&t, iv, 100.0) - 0.2).abs() < 1e-9);
+        // Nothing exceeds 200ms.
+        assert_eq!(suboptimal_prevalence(&t, iv, 200.0), 0.0);
+    }
+
+    #[test]
+    fn pathless_rtts_are_ignored() {
+        let mut t = tl(&[(2, 50.0, 5), (3, 90.0, 5)]);
+        t.samples.push(Sample {
+            t: SimTime::from_minutes(99_999),
+            path: None,
+            rtt_ms: None,
+        });
+        assert!(best_path_analysis(&t, SimDuration::from_hours(3)).is_some());
+    }
+}

@@ -1,0 +1,209 @@
+//! Routing-change detection, lifetimes, and prevalence (§4.1–4.2).
+//!
+//! * a *routing change* is a non-zero edit distance between the AS paths of
+//!   two consecutive usable samples (Fig. 3b),
+//! * a path's *lifetime* is the total time it was observed (samples ×
+//!   sampling interval — the paper assumes each observation persists until
+//!   the next),
+//! * a path's *prevalence* is its lifetime as a fraction of the timeline's
+//!   usable time (Fig. 3a, after Paxson),
+//! * forward/reverse *AS-path pairs* (Fig. 2b) pair the paths seen in both
+//!   directions at the same instant.
+
+use crate::timeline::TraceTimeline;
+use s2s_stats::edit_distance;
+use s2s_types::SimDuration;
+use std::collections::HashSet;
+
+/// Per-timeline routing-change statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChangeStats {
+    /// Number of routing changes (consecutive-sample path differences).
+    pub changes: usize,
+    /// Edit distance of each change.
+    pub magnitudes: Vec<usize>,
+}
+
+/// Detects routing changes on a timeline. Pathless samples (incomplete or
+/// loop-filtered traceroutes) are skipped, exactly as the paper drops them.
+pub fn detect_changes(tl: &TraceTimeline) -> ChangeStats {
+    let mut changes = 0;
+    let mut magnitudes = Vec::new();
+    let mut prev: Option<u16> = None;
+    for s in &tl.samples {
+        let Some(p) = s.path else { continue };
+        if let Some(q) = prev {
+            if p != q {
+                let d = edit_distance(
+                    &tl.paths[q as usize].symbols(),
+                    &tl.paths[p as usize].symbols(),
+                );
+                // Distinct interned paths always differ, but guard anyway.
+                if d > 0 {
+                    changes += 1;
+                    magnitudes.push(d);
+                }
+            }
+        }
+        prev = Some(p);
+    }
+    ChangeStats { changes, magnitudes }
+}
+
+/// Per-path lifetime and prevalence statistics of one timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathStats {
+    /// Lifetime of each interned path.
+    pub lifetimes: Vec<SimDuration>,
+    /// Prevalence (0–1) of each interned path.
+    pub prevalence: Vec<f64>,
+    /// Index of the most prevalent ("popular") path, if any.
+    pub popular: Option<usize>,
+}
+
+/// Computes lifetimes and prevalence given the sampling interval.
+pub fn path_stats(tl: &TraceTimeline, interval: SimDuration) -> PathStats {
+    let counts = tl.path_sample_counts();
+    let total: usize = counts.iter().sum();
+    let lifetimes: Vec<SimDuration> = counts
+        .iter()
+        .map(|&c| SimDuration::from_minutes(c as u32 * interval.minutes()))
+        .collect();
+    let prevalence: Vec<f64> = counts
+        .iter()
+        .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+        .collect();
+    let popular = (0..counts.len()).max_by_key(|&i| counts[i]);
+    PathStats { lifetimes, prevalence, popular }
+}
+
+/// Counts the distinct forward/reverse AS-path pairs between two timelines
+/// of the same server pair (Fig. 2b). Samples pair by timestamp; instants
+/// where either direction is unusable are skipped.
+pub fn as_path_pairs(fwd: &TraceTimeline, rev: &TraceTimeline) -> usize {
+    let mut pairs: HashSet<(u16, u16)> = HashSet::new();
+    let mut ri = 0;
+    for s in &fwd.samples {
+        while ri < rev.samples.len() && rev.samples[ri].t < s.t {
+            ri += 1;
+        }
+        if ri >= rev.samples.len() {
+            break;
+        }
+        if rev.samples[ri].t == s.t {
+            if let (Some(f), Some(r)) = (s.path, rev.samples[ri].path) {
+                pairs.insert((f, r));
+            }
+        }
+    }
+    pairs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Sample;
+    use s2s_types::{Asn, AsPath, ClusterId, Protocol, SimTime};
+
+    fn tl(paths: Vec<AsPath>, seq: &[Option<u16>]) -> TraceTimeline {
+        TraceTimeline {
+            src: ClusterId::new(0),
+            dst: ClusterId::new(1),
+            proto: Protocol::V4,
+            paths,
+            samples: seq
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Sample {
+                    t: SimTime::from_minutes(i as u32 * 180),
+                    path: p,
+                    rtt_ms: p.map(|_| 50.0),
+                })
+                .collect(),
+            counts: Default::default(),
+        }
+    }
+
+    fn p(asns: &[u32]) -> AsPath {
+        AsPath::from_asns(asns.iter().map(|&a| Asn::new(a)))
+    }
+
+    #[test]
+    fn no_change_on_stable_path() {
+        let t = tl(vec![p(&[1, 2, 3])], &[Some(0), Some(0), Some(0)]);
+        let c = detect_changes(&t);
+        assert_eq!(c.changes, 0);
+        assert!(c.magnitudes.is_empty());
+    }
+
+    #[test]
+    fn change_counted_with_magnitude() {
+        // 1-2-3 -> 1-3 is one hop removal: edit distance 1.
+        let t = tl(vec![p(&[1, 2, 3]), p(&[1, 3])], &[Some(0), Some(1), Some(0)]);
+        let c = detect_changes(&t);
+        assert_eq!(c.changes, 2);
+        assert_eq!(c.magnitudes, vec![1, 1]);
+    }
+
+    #[test]
+    fn pathless_samples_are_skipped_not_changes() {
+        let t = tl(vec![p(&[1, 2])], &[Some(0), None, Some(0), None]);
+        assert_eq!(detect_changes(&t).changes, 0);
+    }
+
+    #[test]
+    fn flapping_counts_every_flip() {
+        let t = tl(
+            vec![p(&[1, 2]), p(&[1, 3, 2])],
+            &[Some(0), Some(1), Some(0), Some(1), Some(0)],
+        );
+        let c = detect_changes(&t);
+        assert_eq!(c.changes, 4);
+        assert!(c.magnitudes.iter().all(|&m| m == 1));
+    }
+
+    #[test]
+    fn lifetimes_and_prevalence() {
+        let t = tl(
+            vec![p(&[1, 2]), p(&[1, 3, 2])],
+            &[Some(0), Some(0), Some(0), Some(1)],
+        );
+        let s = path_stats(&t, SimDuration::from_hours(3));
+        assert_eq!(s.lifetimes[0], SimDuration::from_hours(9));
+        assert_eq!(s.lifetimes[1], SimDuration::from_hours(3));
+        assert_eq!(s.prevalence, vec![0.75, 0.25]);
+        assert_eq!(s.popular, Some(0));
+    }
+
+    #[test]
+    fn empty_timeline_stats() {
+        let t = tl(vec![], &[None, None]);
+        let s = path_stats(&t, SimDuration::from_hours(3));
+        assert!(s.lifetimes.is_empty());
+        assert_eq!(s.popular, None);
+        assert_eq!(detect_changes(&t).changes, 0);
+    }
+
+    #[test]
+    fn path_pairs_match_by_timestamp() {
+        let fwd = tl(vec![p(&[1, 2]), p(&[1, 3])], &[Some(0), Some(1), Some(0)]);
+        let rev = tl(vec![p(&[2, 1])], &[Some(0), Some(0), Some(0)]);
+        // Pairs: (0,0), (1,0), (0,0) -> 2 distinct.
+        assert_eq!(as_path_pairs(&fwd, &rev), 2);
+    }
+
+    #[test]
+    fn path_pairs_skip_unusable_instants() {
+        let fwd = tl(vec![p(&[1, 2])], &[Some(0), Some(0)]);
+        let rev = tl(vec![p(&[2, 1])], &[None, Some(0)]);
+        assert_eq!(as_path_pairs(&fwd, &rev), 1);
+    }
+
+    #[test]
+    fn path_pairs_with_disjoint_times() {
+        let fwd = tl(vec![p(&[1])], &[Some(0)]);
+        let mut rev = tl(vec![p(&[1])], &[Some(0)]);
+        rev.samples[0].t = SimTime::from_minutes(90); // offset: no match
+        assert_eq!(as_path_pairs(&fwd, &rev), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Consistent-congestion detection (§5.1).
+//!
+//! Two stacked filters over a ping timeline:
+//!
+//! 1. *variation*: the 95th−5th percentile spread of the pair's RTTs must
+//!    exceed 10 ms (the paper finds <9.5% of IPv4 and <4% of IPv6 pairs
+//!    pass this),
+//! 2. *diurnal signal*: the FFT power concentrated around f = 1/day must be
+//!    at least 0.3 of the total (dropping the passing set to ~2% / ~0.6%).
+//!
+//! Pairs with fewer than ~90% valid samples (600 of 672 in the paper) are
+//! excluded.
+
+use s2s_probe::PingTimeline;
+use s2s_stats::{diurnal_psd_ratio, Summary};
+use s2s_types::MINUTES_PER_DAY;
+
+/// Detection thresholds (paper defaults).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetectParams {
+    /// Minimum 95th−5th percentile spread, ms.
+    pub variation_threshold_ms: f64,
+    /// Minimum fraction of spectral power around f = 1/day.
+    pub psd_threshold: f64,
+    /// Minimum valid samples required (paper: 600 of 672).
+    pub min_valid_samples: usize,
+}
+
+impl Default for DetectParams {
+    fn default() -> Self {
+        DetectParams {
+            variation_threshold_ms: 10.0,
+            psd_threshold: 0.3,
+            min_valid_samples: 600,
+        }
+    }
+}
+
+/// Per-pair detection result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairCongestion {
+    /// The 95th−5th percentile spread, ms.
+    pub spread_ms: f64,
+    /// The diurnal PSD ratio (when computable).
+    pub psd_ratio: Option<f64>,
+    /// Spread exceeded the variation threshold.
+    pub high_variation: bool,
+    /// Both filters passed: this pair is *consistently congested*.
+    pub consistent: bool,
+}
+
+/// Runs detection on one ping timeline. `None` when the timeline has too
+/// few valid samples (the paper's ≥600-of-672 requirement, scaled by the
+/// caller through [`DetectParams::min_valid_samples`]).
+pub fn detect(tl: &PingTimeline, params: &DetectParams) -> Option<PairCongestion> {
+    if tl.valid_samples() < params.min_valid_samples {
+        return None;
+    }
+    let rtts = tl.valid_rtts();
+    let summary = Summary::of(&rtts)?;
+    let spread = summary.spread_95_5();
+    let high_variation = spread > params.variation_threshold_ms;
+    let samples_per_day = (MINUTES_PER_DAY / tl.interval.minutes()) as usize;
+    let filled = tl.filled_rtts()?;
+    let psd_ratio = diurnal_psd_ratio(&filled, samples_per_day);
+    let consistent =
+        high_variation && psd_ratio.map(|r| r >= params.psd_threshold).unwrap_or(false);
+    Some(PairCongestion { spread_ms: spread, psd_ratio, high_variation, consistent })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
+    use std::f64::consts::PI;
+
+    fn timeline(rtts: Vec<f32>) -> PingTimeline {
+        PingTimeline {
+            src: ClusterId::new(0),
+            dst: ClusterId::new(1),
+            proto: Protocol::V4,
+            start: SimTime::T0,
+            interval: SimDuration::from_minutes(15),
+            rtts,
+        }
+    }
+
+    fn diurnal_series(amp: f64, noise: f64) -> Vec<f32> {
+        (0..672)
+            .map(|i| {
+                let phase = 2.0 * PI * i as f64 / 96.0;
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                // Busy-hour bump shape (positive only), like real queueing.
+                (60.0 + amp * phase.sin().max(0.0) + noise * u) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn congested_pair_detected() {
+        let tl = timeline(diurnal_series(30.0, 2.0));
+        let r = detect(&tl, &DetectParams::default()).unwrap();
+        assert!(r.high_variation, "spread = {}", r.spread_ms);
+        assert!(r.consistent, "psd = {:?}", r.psd_ratio);
+        assert!(r.spread_ms > 20.0);
+    }
+
+    #[test]
+    fn flat_pair_not_detected() {
+        let tl = timeline(diurnal_series(0.0, 3.0));
+        let r = detect(&tl, &DetectParams::default()).unwrap();
+        assert!(!r.high_variation);
+        assert!(!r.consistent);
+    }
+
+    #[test]
+    fn noisy_but_non_diurnal_fails_second_filter() {
+        // Big spread from random spikes, no daily period.
+        let rtts: Vec<f32> = (0..672)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                (50.0 + if u < 0.2 { 40.0 * u * 5.0 } else { 0.0 }) as f32
+            })
+            .collect();
+        let r = detect(&timeline(rtts), &DetectParams::default()).unwrap();
+        assert!(r.high_variation, "spread = {}", r.spread_ms);
+        assert!(!r.consistent, "psd = {:?}", r.psd_ratio);
+    }
+
+    #[test]
+    fn sparse_timeline_excluded() {
+        let mut rtts = diurnal_series(30.0, 2.0);
+        for (i, r) in rtts.iter_mut().enumerate() {
+            if i % 5 != 0 {
+                *r = f32::NAN; // only ~134 valid samples
+            }
+        }
+        assert_eq!(detect(&timeline(rtts), &DetectParams::default()), None);
+    }
+
+    #[test]
+    fn lost_samples_tolerated_within_limit() {
+        let mut rtts = diurnal_series(30.0, 2.0);
+        for r in rtts.iter_mut().take(40) {
+            *r = f32::NAN; // 632 valid ≥ 600
+        }
+        let r = detect(&timeline(rtts), &DetectParams::default()).unwrap();
+        assert!(r.consistent);
+    }
+
+    #[test]
+    fn thresholds_are_respected() {
+        let tl = timeline(diurnal_series(12.0, 1.0));
+        let strict = DetectParams { variation_threshold_ms: 50.0, ..Default::default() };
+        let r = detect(&tl, &strict).unwrap();
+        assert!(!r.high_variation);
+        let lax = DetectParams {
+            variation_threshold_ms: 1.0,
+            psd_threshold: 0.05,
+            ..Default::default()
+        };
+        let r = detect(&tl, &lax).unwrap();
+        assert!(r.consistent);
+    }
+}

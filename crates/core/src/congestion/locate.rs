@@ -1,0 +1,447 @@
+//! Congestion localization (§5.2).
+//!
+//! "We define the path from the vantage point of a traceroute to a given
+//! hop as a *segment* … we find the first segment that contributed to the
+//! overall increase in RTT." The per-segment RTT time series is compared
+//! to the end-to-end series with the Pearson correlation coefficient; the
+//! first segment with ρ ≥ 0.5 marks the congested link — the link between
+//! that segment's last hop and the hop before it.
+//!
+//! Following the paper, localization only runs on pairs whose IP-level
+//! path is static across the campaign (routing changes would confound the
+//! correlation); the AS-symmetry precondition is the caller's
+//! responsibility since it needs both directions.
+
+use s2s_probe::TracerouteRecord;
+use s2s_stats::{diurnal_psd_ratio, pearson};
+use std::net::IpAddr;
+
+/// Localization thresholds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LocateParams {
+    /// Minimum Pearson ρ for a segment to be blamed (paper: 0.5).
+    pub rho_threshold: f64,
+    /// Minimum diurnal PSD ratio of the end-to-end series (paper: 0.3).
+    pub psd_threshold: f64,
+    /// Samples per day of the record series (48 for 30-minute campaigns).
+    pub samples_per_day: usize,
+    /// Minimum usable records.
+    pub min_records: usize,
+}
+
+impl Default for LocateParams {
+    fn default() -> Self {
+        LocateParams {
+            rho_threshold: 0.5,
+            psd_threshold: 0.3,
+            samples_per_day: 48,
+            min_records: 96,
+        }
+    }
+}
+
+/// The localization verdict for one directed pair.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LocateOutcome {
+    /// Too few complete records to analyze.
+    InsufficientData,
+    /// The IP-level path changed during the campaign; skipped (§5.2).
+    UnstablePath,
+    /// No diurnal signal on the end-to-end series anymore.
+    NotCongested,
+    /// A segment was blamed.
+    Located {
+        /// Index of the first correlated segment (0 = first hop).
+        segment: usize,
+        /// The hop address on the near side of the blamed link (`None`
+        /// when the blamed segment is the very first hop).
+        near: Option<IpAddr>,
+        /// The hop address on the far side (the correlated hop itself).
+        far: IpAddr,
+        /// The correlation of that segment with the end-to-end series.
+        rho: f64,
+        /// The end-to-end diurnal PSD ratio.
+        psd_ratio: f64,
+    },
+    /// Congestion confirmed but no segment crossed the ρ threshold (e.g.
+    /// it sits past the last responsive hop).
+    Unlocated,
+}
+
+/// Localizes congestion for one directed pair from its (time-ordered)
+/// traceroute records.
+pub fn locate(records: &[TracerouteRecord], params: &LocateParams) -> LocateOutcome {
+    let mut acc = SegmentAccumulator::default();
+    for r in records {
+        acc.push(r);
+    }
+    acc.locate(params)
+}
+
+/// A streaming form of [`locate`]: folds traceroutes in one at a time so a
+/// multi-week campaign never has to materialize its full record list.
+/// Memory is O(hops × samples) per pair (a few hundred KB), not
+/// O(records).
+#[derive(Clone, Debug, Default)]
+pub struct SegmentAccumulator {
+    /// The hop-address sequence of the first usable record.
+    reference: Option<Vec<Option<IpAddr>>>,
+    /// Set false as soon as a record's addresses disagree.
+    unstable: bool,
+    /// Per-hop RTT series (NaN where a hop didn't answer on one record).
+    hop_rtts: Vec<Vec<f64>>,
+    /// End-to-end RTT series.
+    e2e: Vec<f64>,
+}
+
+impl SegmentAccumulator {
+    /// Folds one traceroute in. Unreached records are skipped (they carry
+    /// no end-to-end RTT).
+    ///
+    /// Path stability is checked with unresponsive hops as wildcards: ICMP
+    /// rate limiting blanks different hops on different runs without the
+    /// route having changed, and the paper's static-path requirement is
+    /// about the *route*. A conflict between two responsive observations of
+    /// the same hop position marks the pair unstable.
+    pub fn push(&mut self, rec: &TracerouteRecord) {
+        let Some(e2e) = rec.e2e_rtt_ms.filter(|_| rec.reached) else { return };
+        if self.unstable {
+            return;
+        }
+        match &mut self.reference {
+            None => {
+                self.reference = Some(rec.hops.iter().map(|h| h.addr).collect());
+                self.hop_rtts = vec![Vec::new(); rec.hops.len()];
+            }
+            Some(r) => {
+                if r.len() != rec.hops.len() {
+                    self.unstable = true;
+                    return;
+                }
+                for (slot, h) in r.iter_mut().zip(&rec.hops) {
+                    match (*slot, h.addr) {
+                        (Some(a), Some(b)) if a != b => {
+                            self.unstable = true;
+                            return;
+                        }
+                        (None, Some(b)) => *slot = Some(b),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for (k, h) in rec.hops.iter().enumerate() {
+            self.hop_rtts[k].push(h.rtt_ms.unwrap_or(f64::NAN));
+        }
+        self.e2e.push(e2e);
+    }
+
+    /// The end-to-end RTT series accumulated so far (for overhead
+    /// estimation).
+    pub fn e2e_series(&self) -> &[f64] {
+        &self.e2e
+    }
+
+    /// The reference hop addresses (once any record was folded).
+    pub fn reference_path(&self) -> Option<&[Option<IpAddr>]> {
+        self.reference.as_deref()
+    }
+
+    /// Runs the localization on the accumulated series.
+    pub fn locate(&self, params: &LocateParams) -> LocateOutcome {
+        if self.unstable {
+            return LocateOutcome::UnstablePath;
+        }
+        if self.e2e.len() < params.min_records {
+            return LocateOutcome::InsufficientData;
+        }
+        let reference = self.reference.as_ref().expect("records were folded");
+        let Some(psd) = diurnal_psd_ratio(&self.e2e, params.samples_per_day) else {
+            return LocateOutcome::NotCongested;
+        };
+        if psd < params.psd_threshold {
+            return LocateOutcome::NotCongested;
+        }
+        // First visible segment whose series tracks the end-to-end series.
+        // Rate-limited samples are NaN; correlate over pairwise-complete
+        // observations, requiring ≥70% coverage so a sparse segment can't
+        // be blamed on a handful of points.
+        for (k, far) in reference.iter().enumerate() {
+            let Some(far) = *far else { continue };
+            let series = &self.hop_rtts[k];
+            let mut xs = Vec::with_capacity(series.len());
+            let mut ys = Vec::with_capacity(series.len());
+            for (&hop, &e) in series.iter().zip(&self.e2e) {
+                if !hop.is_nan() {
+                    xs.push(e);
+                    ys.push(hop);
+                }
+            }
+            if xs.len() * 10 < self.e2e.len() * 7 {
+                continue;
+            }
+            if let Some(rho) = pearson(&xs, &ys) {
+                if rho >= params.rho_threshold {
+                    let near = reference[..k].iter().rev().find_map(|a| *a);
+                    return LocateOutcome::Located {
+                        segment: k,
+                        near,
+                        far,
+                        rho,
+                        psd_ratio: psd,
+                    };
+                }
+            }
+        }
+        LocateOutcome::Unlocated
+    }
+}
+
+/// The TSLP-style alternative locator (Luckie et al., as cited in §5.1):
+/// instead of correlating cumulative segment RTTs against the end-to-end
+/// series, it applies the FFT to the *difference* between successive hops'
+/// RTT series — the near link of the first hop whose difference series
+/// carries a diurnal signal is congested. Diffing isolates each link's
+/// contribution, at the cost of doubling the noise.
+///
+/// Exposed alongside [`SegmentAccumulator::locate`] so the ablation bench
+/// can compare the two methods' agreement.
+impl SegmentAccumulator {
+    /// Runs TSLP-style localization on the accumulated series.
+    pub fn locate_tslp(&self, params: &LocateParams) -> LocateOutcome {
+        if self.unstable {
+            return LocateOutcome::UnstablePath;
+        }
+        if self.e2e.len() < params.min_records {
+            return LocateOutcome::InsufficientData;
+        }
+        let reference = self.reference.as_ref().expect("records were folded");
+        let Some(psd) = diurnal_psd_ratio(&self.e2e, params.samples_per_day) else {
+            return LocateOutcome::NotCongested;
+        };
+        if psd < params.psd_threshold {
+            return LocateOutcome::NotCongested;
+        }
+        // Difference series per hop: RTT(k) − RTT(prev responsive hop).
+        // The first hop itself diffs against zero (its own series).
+        let mut prev_series: Option<&Vec<f64>> = None;
+        let mut prev_addr: Option<IpAddr> = None;
+        for (k, far) in reference.iter().enumerate() {
+            let Some(far) = *far else { continue };
+            let series = &self.hop_rtts[k];
+            let mut diffs = Vec::with_capacity(series.len());
+            for (i, &v) in series.iter().enumerate() {
+                if v.is_nan() {
+                    continue;
+                }
+                let base = prev_series
+                    .map(|p| p[i])
+                    .filter(|b| !b.is_nan())
+                    .unwrap_or(0.0);
+                diffs.push(v - base);
+            }
+            if diffs.len() * 10 >= self.e2e.len() * 7 {
+                if let Some(link_psd) = diurnal_psd_ratio(&diffs, params.samples_per_day)
+                {
+                    if link_psd >= params.psd_threshold {
+                        return LocateOutcome::Located {
+                            segment: k,
+                            near: prev_addr,
+                            far,
+                            rho: link_psd, // the TSLP score in the rho slot
+                            psd_ratio: psd,
+                        };
+                    }
+                }
+            }
+            prev_series = Some(series);
+            prev_addr = Some(far);
+        }
+        LocateOutcome::Unlocated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_probe::HopObs;
+    use s2s_types::{ClusterId, Protocol, SimTime};
+    use std::f64::consts::PI;
+
+    /// Builds records over `n` 30-minute slots with 3 hops; congestion (a
+    /// diurnal bump) enters at `congested_hop` (None = no congestion).
+    fn records(n: usize, congested_hop: Option<usize>) -> Vec<TracerouteRecord> {
+        let base = [5.0, 20.0, 45.0];
+        let addrs = ["10.0.0.1", "10.0.1.1", "10.0.2.1"];
+        (0..n)
+            .map(|i| {
+                let t = SimTime::from_minutes(i as u32 * 30);
+                let phase = 2.0 * PI * i as f64 / 48.0;
+                let bump = 25.0 * phase.sin().max(0.0);
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let jitter = ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.6;
+                let hops: Vec<HopObs> = (0..3)
+                    .map(|k| {
+                        let mut rtt = base[k] + jitter;
+                        if let Some(c) = congested_hop {
+                            if k >= c {
+                                rtt += bump;
+                            }
+                        }
+                        HopObs {
+                            addr: Some(addrs[k].parse().unwrap()),
+                            rtt_ms: Some(rtt),
+                        }
+                    })
+                    .collect();
+                let e2e = 60.0
+                    + jitter
+                    + if congested_hop.is_some() { bump } else { 0.0 };
+                TracerouteRecord {
+                    src: ClusterId::new(0),
+                    dst: ClusterId::new(1),
+                    proto: Protocol::V4,
+                    t,
+                    hops,
+                    reached: true,
+                    e2e_rtt_ms: Some(e2e),
+                    src_addr: Some("10.9.0.1".parse().unwrap()),
+                    dst_addr: Some("10.0.3.9".parse().unwrap()),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blames_the_first_congested_segment() {
+        let recs = records(480, Some(1));
+        match locate(&recs, &LocateParams::default()) {
+            LocateOutcome::Located { segment, near, far, rho, psd_ratio } => {
+                assert_eq!(segment, 1);
+                assert_eq!(near, Some("10.0.0.1".parse().unwrap()));
+                assert_eq!(far, "10.0.1.1".parse::<IpAddr>().unwrap());
+                assert!(rho >= 0.5);
+                assert!(psd_ratio >= 0.3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_hop_congestion_has_no_near_side() {
+        let recs = records(480, Some(0));
+        match locate(&recs, &LocateParams::default()) {
+            LocateOutcome::Located { segment, near, .. } => {
+                assert_eq!(segment, 0);
+                assert_eq!(near, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quiet_pair_is_not_congested() {
+        let recs = records(480, None);
+        assert_eq!(locate(&recs, &LocateParams::default()), LocateOutcome::NotCongested);
+    }
+
+    #[test]
+    fn short_campaign_is_insufficient() {
+        let recs = records(10, Some(1));
+        assert_eq!(
+            locate(&recs, &LocateParams::default()),
+            LocateOutcome::InsufficientData
+        );
+    }
+
+    #[test]
+    fn path_change_aborts_localization() {
+        let mut recs = records(480, Some(1));
+        recs[100].hops[1].addr = Some("10.9.9.9".parse().unwrap());
+        assert_eq!(locate(&recs, &LocateParams::default()), LocateOutcome::UnstablePath);
+    }
+
+    #[test]
+    fn later_segments_also_correlate_but_first_wins() {
+        // Congestion at hop 1 also raises hop 2's series; the paper marks
+        // the *first* correlated segment.
+        let recs = records(480, Some(1));
+        if let LocateOutcome::Located { segment, .. } =
+            locate(&recs, &LocateParams::default())
+        {
+            assert_eq!(segment, 1, "must blame the first, not a later segment");
+        } else {
+            panic!("expected location");
+        }
+    }
+
+    #[test]
+    fn tslp_blames_the_same_link_as_pearson() {
+        let recs = records(480, Some(1));
+        let mut acc = SegmentAccumulator::default();
+        for r in &recs {
+            acc.push(r);
+        }
+        let pearson_loc = acc.locate(&LocateParams::default());
+        let tslp_loc = acc.locate_tslp(&LocateParams::default());
+        match (&pearson_loc, &tslp_loc) {
+            (
+                LocateOutcome::Located { segment: s1, far: f1, .. },
+                LocateOutcome::Located { segment: s2, far: f2, .. },
+            ) => {
+                assert_eq!(s1, s2, "methods disagree on the segment");
+                assert_eq!(f1, f2);
+            }
+            other => panic!("unexpected outcomes {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tslp_quiet_pair_not_congested() {
+        let recs = records(480, None);
+        let mut acc = SegmentAccumulator::default();
+        for r in &recs {
+            acc.push(r);
+        }
+        assert_eq!(
+            acc.locate_tslp(&LocateParams::default()),
+            LocateOutcome::NotCongested
+        );
+    }
+
+    #[test]
+    fn tslp_does_not_blame_downstream_hops() {
+        // Congestion at hop 1 raises hops 1 and 2 in the cumulative series,
+        // but the hop-2 *difference* series is flat: TSLP must stop at 1.
+        let recs = records(480, Some(1));
+        let mut acc = SegmentAccumulator::default();
+        for r in &recs {
+            acc.push(r);
+        }
+        if let LocateOutcome::Located { segment, .. } =
+            acc.locate_tslp(&LocateParams::default())
+        {
+            assert_eq!(segment, 1);
+        } else {
+            panic!("TSLP found nothing");
+        }
+    }
+
+    #[test]
+    fn unresponsive_hop_is_skipped_in_blame() {
+        let mut recs = records(480, Some(1));
+        for r in &mut recs {
+            r.hops[1].addr = None;
+            r.hops[1].rtt_ms = None;
+        }
+        match locate(&recs, &LocateParams::default()) {
+            LocateOutcome::Located { segment, near, far, .. } => {
+                // Blame falls on the next visible segment.
+                assert_eq!(segment, 2);
+                assert_eq!(near, Some("10.0.0.1".parse().unwrap()));
+                assert_eq!(far, "10.0.2.1".parse::<IpAddr>().unwrap());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

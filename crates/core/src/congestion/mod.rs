@@ -1,0 +1,15 @@
+//! Congestion analyses (§5).
+//!
+//! * [`mod@detect`] — is a server pair consistently congested? (95th−5th
+//!   percentile variation filter + FFT diurnal signal, §5.1),
+//! * [`mod@locate`] — which traceroute segment carries the congestion?
+//!   (per-segment Pearson correlation against the end-to-end series, §5.2),
+//! * [`overhead`] — how much latency does the congestion add? (Fig. 9).
+
+pub mod detect;
+pub mod locate;
+pub mod overhead;
+
+pub use detect::{detect, DetectParams, PairCongestion};
+pub use locate::{locate, LocateOutcome, LocateParams, SegmentAccumulator};
+pub use overhead::overhead_ms;

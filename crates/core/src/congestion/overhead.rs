@@ -1,0 +1,53 @@
+//! Congestion overhead estimation (§5.4, Fig. 9).
+//!
+//! The overhead a congestion episode adds is the swing of the end-to-end
+//! RTT over its daily cycle: the busy-hour level minus the quiet baseline.
+//! We estimate it as the 95th−5th percentile spread of the series, which
+//! tracks the diurnal amplitude while shrugging off isolated spikes.
+
+use s2s_stats::Summary;
+
+/// Estimates the congestion overhead of an end-to-end RTT series, in ms.
+/// `None` for empty series.
+pub fn overhead_ms(e2e_rtts: &[f64]) -> Option<f64> {
+    Summary::of(e2e_rtts).map(|s| s.spread_95_5())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn tracks_diurnal_amplitude() {
+        // 10 days of 30-minute samples, 25 ms busy-hour bump.
+        let series: Vec<f64> = (0..480)
+            .map(|i| {
+                let phase = 2.0 * PI * i as f64 / 48.0;
+                50.0 + 25.0 * phase.sin().max(0.0)
+            })
+            .collect();
+        let o = overhead_ms(&series).unwrap();
+        assert!((20.0..27.0).contains(&o), "overhead = {o}");
+    }
+
+    #[test]
+    fn flat_series_has_no_overhead() {
+        let series = vec![50.0; 100];
+        assert_eq!(overhead_ms(&series), Some(0.0));
+    }
+
+    #[test]
+    fn isolated_spikes_are_mostly_ignored() {
+        let mut series = vec![50.0; 100];
+        series[10] = 400.0;
+        series[60] = 350.0;
+        let o = overhead_ms(&series).unwrap();
+        assert!(o < 10.0, "overhead = {o} should ignore 2% outliers");
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(overhead_ms(&[]), None);
+    }
+}

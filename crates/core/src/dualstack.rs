@@ -1,0 +1,163 @@
+//! IPv4 vs IPv6 comparison (§6, Fig. 10a).
+//!
+//! For every instant where a dual-stack pair was measured over both
+//! protocols simultaneously, the paper computes `RTTv4 − RTTv6`. Negative
+//! values mean IPv4 was faster; positive mean switching to IPv6 would help.
+//! A second ECDF restricts to instants where the AS path was *the same*
+//! over both protocols — residual differences there come from the shared
+//! infrastructure, not routing.
+
+use crate::timeline::TraceTimeline;
+
+/// The paired RTT differences of one dual-stack server pair.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DualStackDiffs {
+    /// `RTTv4 − RTTv6` for every simultaneous measurement, ms.
+    pub all: Vec<f64>,
+    /// The subset where the v4 and v6 AS paths were identical.
+    pub same_path: Vec<f64>,
+}
+
+impl DualStackDiffs {
+    /// Appends another pair's diffs (for corpus-wide ECDFs).
+    pub fn extend(&mut self, other: &DualStackDiffs) {
+        self.all.extend_from_slice(&other.all);
+        self.same_path.extend_from_slice(&other.same_path);
+    }
+}
+
+/// Computes the diffs for one pair from its v4 and v6 timelines, matching
+/// samples by timestamp.
+pub fn rtt_diffs(v4: &TraceTimeline, v6: &TraceTimeline) -> DualStackDiffs {
+    let mut out = DualStackDiffs::default();
+    let mut j = 0;
+    for s4 in &v4.samples {
+        while j < v6.samples.len() && v6.samples[j].t < s4.t {
+            j += 1;
+        }
+        if j >= v6.samples.len() {
+            break;
+        }
+        let s6 = &v6.samples[j];
+        if s6.t != s4.t {
+            continue;
+        }
+        let (Some(r4), Some(r6)) = (s4.rtt_ms, s6.rtt_ms) else { continue };
+        let diff = f64::from(r4) - f64::from(r6);
+        out.all.push(diff);
+        if let (Some(p4), Some(p6)) = (s4.path, s6.path) {
+            if v4.paths[p4 as usize] == v6.paths[p6 as usize] {
+                out.same_path.push(diff);
+            }
+        }
+    }
+    out
+}
+
+/// Headline statistics over a corpus of diffs (the §6 numbers).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DualStackSummary {
+    /// Fraction of measurements within ±`similar_ms` (the shaded region of
+    /// Fig. 10a — ~50% in the paper at 10 ms).
+    pub frac_similar: f64,
+    /// Fraction where IPv6 is faster by at least `big_ms` (use IPv6!).
+    pub frac_v6_saves_big: f64,
+    /// Fraction where IPv4 is faster by at least `big_ms`.
+    pub frac_v4_saves_big: f64,
+}
+
+/// Computes the summary with the paper's thresholds (±10 ms similar,
+/// ≥50 ms big savings).
+pub fn summarize(diffs: &[f64], similar_ms: f64, big_ms: f64) -> Option<DualStackSummary> {
+    if diffs.is_empty() {
+        return None;
+    }
+    let n = diffs.len() as f64;
+    let similar = diffs.iter().filter(|d| d.abs() < similar_ms).count() as f64;
+    // diff = v4 - v6 > big: v6 is at least `big` faster.
+    let v6_big = diffs.iter().filter(|&&d| d >= big_ms).count() as f64;
+    let v4_big = diffs.iter().filter(|&&d| d <= -big_ms).count() as f64;
+    Some(DualStackSummary {
+        frac_similar: similar / n,
+        frac_v6_saves_big: v6_big / n,
+        frac_v4_saves_big: v4_big / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Sample;
+    use s2s_types::{Asn, AsPath, ClusterId, Protocol, SimTime};
+
+    fn tl(proto: Protocol, entries: &[(u32, Option<u16>, Option<f32>)]) -> TraceTimeline {
+        TraceTimeline {
+            src: ClusterId::new(0),
+            dst: ClusterId::new(1),
+            proto,
+            paths: vec![
+                AsPath::from_asns([Asn::new(1), Asn::new(2)]),
+                AsPath::from_asns([Asn::new(1), Asn::new(3), Asn::new(2)]),
+            ],
+            samples: entries
+                .iter()
+                .map(|&(m, p, r)| Sample { t: SimTime::from_minutes(m), path: p, rtt_ms: r })
+                .collect(),
+            counts: Default::default(),
+        }
+    }
+
+    #[test]
+    fn diffs_pair_by_timestamp() {
+        let v4 = tl(
+            Protocol::V4,
+            &[(0, Some(0), Some(50.0)), (180, Some(0), Some(52.0))],
+        );
+        let v6 = tl(
+            Protocol::V6,
+            &[(0, Some(0), Some(45.0)), (180, Some(1), Some(60.0))],
+        );
+        let d = rtt_diffs(&v4, &v6);
+        assert_eq!(d.all, vec![5.0, -8.0]);
+        // Only the first instant had identical AS paths.
+        assert_eq!(d.same_path, vec![5.0]);
+    }
+
+    #[test]
+    fn missing_samples_skip_instants() {
+        let v4 = tl(Protocol::V4, &[(0, Some(0), Some(50.0)), (180, None, None)]);
+        let v6 = tl(Protocol::V6, &[(0, None, None), (180, Some(0), Some(48.0))]);
+        let d = rtt_diffs(&v4, &v6);
+        assert!(d.all.is_empty());
+    }
+
+    #[test]
+    fn unaligned_timestamps_never_pair() {
+        let v4 = tl(Protocol::V4, &[(0, Some(0), Some(50.0))]);
+        let v6 = tl(Protocol::V6, &[(90, Some(0), Some(48.0))]);
+        assert!(rtt_diffs(&v4, &v6).all.is_empty());
+    }
+
+    #[test]
+    fn summary_thresholds() {
+        let diffs = vec![0.0, 5.0, -5.0, 60.0, 70.0, -55.0, 20.0, -20.0];
+        let s = summarize(&diffs, 10.0, 50.0).unwrap();
+        assert!((s.frac_similar - 3.0 / 8.0).abs() < 1e-9);
+        assert!((s.frac_v6_saves_big - 2.0 / 8.0).abs() < 1e-9);
+        assert!((s.frac_v4_saves_big - 1.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        assert_eq!(summarize(&[], 10.0, 50.0), None);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = DualStackDiffs { all: vec![1.0], same_path: vec![1.0] };
+        let b = DualStackDiffs { all: vec![2.0, 3.0], same_path: vec![] };
+        a.extend(&b);
+        assert_eq!(a.all, vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.same_path, vec![1.0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! RTT inflation over the speed of light (§6, Fig. 10b).
+//!
+//! For each endpoint pair the paper computes the *inflation*: the ratio of
+//! the pair's median observed RTT to `cRTT`, the round-trip time of light
+//! in free space over the great-circle distance. Medians land near 3.0
+//! (IPv4) / 3.1 (IPv6), with US↔US inflation higher than paths over
+//! transcontinental links (long submarine hauls fly closer to great
+//! circles than terrestrial meshes do).
+
+use crate::timeline::TraceTimeline;
+use s2s_geo::GeoPoint;
+use s2s_stats::quantiles;
+
+/// The inflation of one pair. `None` when the timeline has no RTTs or the
+/// endpoints are too close for a meaningful cRTT (sub-ms, e.g. colocated
+/// clusters — the paper's inflation plot is for distinct locations).
+pub fn inflation(tl: &TraceTimeline, src: &GeoPoint, dst: &GeoPoint) -> Option<f64> {
+    let crtt = s2s_geo::c_rtt_ms(src, dst);
+    if crtt < 0.5 {
+        return None;
+    }
+    let rtts: Vec<f64> = tl
+        .samples
+        .iter()
+        .filter_map(|s| s.rtt_ms.map(f64::from))
+        .collect();
+    if rtts.is_empty() {
+        return None;
+    }
+    let median = quantiles(&rtts, &[50.0]).unwrap()[0];
+    Some(median / crtt)
+}
+
+/// The median RTT of a timeline, ms.
+pub fn median_rtt(tl: &TraceTimeline) -> Option<f64> {
+    let rtts: Vec<f64> = tl
+        .samples
+        .iter()
+        .filter_map(|s| s.rtt_ms.map(f64::from))
+        .collect();
+    if rtts.is_empty() {
+        None
+    } else {
+        Some(quantiles(&rtts, &[50.0]).unwrap()[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Sample;
+    use s2s_types::{Asn, AsPath, ClusterId, Protocol, SimTime};
+
+    fn tl(rtts: &[f64]) -> TraceTimeline {
+        TraceTimeline {
+            src: ClusterId::new(0),
+            dst: ClusterId::new(1),
+            proto: Protocol::V4,
+            paths: vec![AsPath::from_asns([Asn::new(1)])],
+            samples: rtts
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| Sample {
+                    t: SimTime::from_minutes(i as u32 * 180),
+                    path: Some(0),
+                    rtt_ms: Some(r as f32),
+                })
+                .collect(),
+            counts: Default::default(),
+        }
+    }
+
+    #[test]
+    fn inflation_of_known_pair() {
+        // NY <-> LA: ~3940 km, cRTT ~26.3 ms. A 79 ms median → inflation ~3.
+        let ny = GeoPoint::new(40.7128, -74.0060);
+        let la = GeoPoint::new(34.0522, -118.2437);
+        let t = tl(&[78.0, 79.0, 80.0]);
+        let inf = inflation(&t, &ny, &la).unwrap();
+        assert!((2.8..3.2).contains(&inf), "inflation = {inf}");
+    }
+
+    #[test]
+    fn colocated_pairs_are_excluded() {
+        let p = GeoPoint::new(50.0, 8.0);
+        let t = tl(&[1.0, 1.2]);
+        assert_eq!(inflation(&t, &p, &p), None);
+    }
+
+    #[test]
+    fn empty_timeline_is_none() {
+        let ny = GeoPoint::new(40.7, -74.0);
+        let la = GeoPoint::new(34.1, -118.2);
+        let t = tl(&[]);
+        assert_eq!(inflation(&t, &ny, &la), None);
+        assert_eq!(median_rtt(&t), None);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_spike() {
+        let t = tl(&[50.0, 51.0, 52.0, 400.0, 49.0]);
+        let m = median_rtt(&t).unwrap();
+        assert!((49.0..53.0).contains(&m), "median = {m}");
+    }
+
+    #[test]
+    fn inflation_at_least_one_for_physical_rtts() {
+        // Any RTT at or above cRTT implies inflation >= 1.
+        let ny = GeoPoint::new(40.7128, -74.0060);
+        let lon = GeoPoint::new(51.5074, -0.1278);
+        let crtt = s2s_geo::c_rtt_ms(&ny, &lon);
+        let t = tl(&[crtt * 1.5, crtt * 1.6]);
+        assert!(inflation(&t, &ny, &lon).unwrap() >= 1.0);
+    }
+}

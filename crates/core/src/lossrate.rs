@@ -1,0 +1,172 @@
+//! Packet-loss analysis — the paper's §8 future-work item ("We encourage
+//! follow-up work focusing on other characteristics, viz., available
+//! bandwidth, packet loss").
+//!
+//! Congested queues drop probes as well as delaying them, so a pair whose
+//! RTT oscillates daily should also lose more probes in its busy hours.
+//! This module measures exactly that from ping timelines: per-hour-of-day
+//! loss fractions and the busy/quiet loss ratio, plus a diurnal-loss
+//! detector mirroring the RTT-based one.
+
+use s2s_probe::PingTimeline;
+use s2s_types::MINUTES_PER_DAY;
+
+/// Per-pair loss statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LossStats {
+    /// Overall fraction of lost samples.
+    pub loss_fraction: f64,
+    /// Loss fraction per hour-of-day (UTC), 24 bins.
+    pub hourly_loss: Vec<f64>,
+    /// Loss in the worst 4-hour window divided by loss in the best 4-hour
+    /// window (clamped: windows with zero loss use half a sample).
+    pub busy_quiet_ratio: f64,
+}
+
+/// Computes loss statistics for one ping timeline. `None` when the
+/// timeline has fewer than one day of samples.
+pub fn loss_stats(tl: &PingTimeline) -> Option<LossStats> {
+    let per_day = (MINUTES_PER_DAY / tl.interval.minutes()) as usize;
+    if tl.rtts.len() < per_day {
+        return None;
+    }
+    let mut lost = vec![0usize; 24];
+    let mut total = vec![0usize; 24];
+    let mut lost_all = 0usize;
+    for (i, r) in tl.rtts.iter().enumerate() {
+        let t = tl.start + s2s_types::SimDuration::from_minutes(
+            i as u32 * tl.interval.minutes(),
+        );
+        let hour = (t.minute_of_day() / 60) as usize;
+        total[hour] += 1;
+        if r.is_nan() {
+            lost[hour] += 1;
+            lost_all += 1;
+        }
+    }
+    let hourly_loss: Vec<f64> = lost
+        .iter()
+        .zip(&total)
+        .map(|(&l, &t)| if t == 0 { 0.0 } else { l as f64 / t as f64 })
+        .collect();
+    // Best/worst contiguous 4-hour windows (wrapping).
+    let window = |start: usize| -> (f64, f64) {
+        let mut l = 0.0;
+        let mut t = 0.0;
+        for off in 0..4 {
+            let h = (start + off) % 24;
+            l += lost[h] as f64;
+            t += total[h] as f64;
+        }
+        (l, t)
+    };
+    let mut worst: f64 = 0.0;
+    let mut best = f64::INFINITY;
+    for start in 0..24 {
+        let (l, t) = window(start);
+        if t == 0.0 {
+            continue;
+        }
+        let f = l / t;
+        worst = worst.max(f);
+        best = best.min(f);
+    }
+    let n_all = tl.rtts.len() as f64;
+    Some(LossStats {
+        loss_fraction: lost_all as f64 / n_all,
+        hourly_loss,
+        // Half-sample floor keeps the ratio finite on clean pairs.
+        busy_quiet_ratio: (worst + 0.5 / n_all) / (best + 0.5 / n_all),
+    })
+}
+
+/// Whether a pair shows *diurnal loss*: an elevated busy/quiet ratio on top
+/// of a non-trivial loss floor. Pairs with almost no loss at all never
+/// qualify, however lopsided their (tiny) windows look.
+pub fn has_diurnal_loss(stats: &LossStats, min_loss: f64, min_ratio: f64) -> bool {
+    stats.loss_fraction >= min_loss && stats.busy_quiet_ratio >= min_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
+
+    fn timeline(rtts: Vec<f32>) -> PingTimeline {
+        PingTimeline {
+            src: ClusterId::new(0),
+            dst: ClusterId::new(1),
+            proto: Protocol::V4,
+            start: SimTime::T0,
+            interval: SimDuration::from_minutes(15),
+            rtts,
+        }
+    }
+
+    /// A week of 15-minute samples losing probes only in hours 19–22.
+    fn busy_hour_loss_series() -> Vec<f32> {
+        (0..672)
+            .map(|i| {
+                let minute = (i * 15) % 1440;
+                let hour = minute / 60;
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                if (19..23).contains(&hour) && u < 0.3 {
+                    f32::NAN
+                } else {
+                    50.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn busy_hour_loss_is_detected() {
+        let tl = timeline(busy_hour_loss_series());
+        let s = loss_stats(&tl).unwrap();
+        assert!(s.loss_fraction > 0.02, "loss {}", s.loss_fraction);
+        assert!(s.busy_quiet_ratio > 5.0, "ratio {}", s.busy_quiet_ratio);
+        assert!(has_diurnal_loss(&s, 0.01, 3.0));
+        // The hourly profile peaks in the evening.
+        let evening: f64 = s.hourly_loss[19..23].iter().sum();
+        let morning: f64 = s.hourly_loss[5..9].iter().sum();
+        assert!(evening > morning);
+    }
+
+    #[test]
+    fn uniform_loss_has_flat_ratio() {
+        let rtts: Vec<f32> = (0..672)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                if u < 0.05 {
+                    f32::NAN
+                } else {
+                    50.0
+                }
+            })
+            .collect();
+        let s = loss_stats(&timeline(rtts)).unwrap();
+        assert!((0.02..0.09).contains(&s.loss_fraction));
+        assert!(s.busy_quiet_ratio < 20.0, "ratio {}", s.busy_quiet_ratio);
+    }
+
+    #[test]
+    fn clean_pair_never_diurnal() {
+        let s = loss_stats(&timeline(vec![50.0; 672])).unwrap();
+        assert_eq!(s.loss_fraction, 0.0);
+        assert!(!has_diurnal_loss(&s, 0.01, 2.0));
+    }
+
+    #[test]
+    fn short_timeline_is_none() {
+        assert!(loss_stats(&timeline(vec![50.0; 10])).is_none());
+    }
+
+    #[test]
+    fn hourly_bins_cover_the_day() {
+        let s = loss_stats(&timeline(busy_hour_loss_series())).unwrap();
+        assert_eq!(s.hourly_loss.len(), 24);
+        assert!(s.hourly_loss.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+}

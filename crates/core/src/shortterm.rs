@@ -1,0 +1,227 @@
+//! Short-term cadence robustness (§4.3, Fig. 7).
+//!
+//! The long-term data set samples every 3 hours; routing changes faster
+//! than that are invisible. The paper checks the impact by re-running the
+//! best-path delta analysis on 30-minute data twice: once with every
+//! traceroute ("All") and once keeping only samples at least 3 hours apart
+//! ("3hr"). Similar ECDFs mean the coarse cadence doesn't bias §4.2.
+
+use crate::bestpath::best_path_analysis;
+use crate::timeline::TraceTimeline;
+use s2s_types::{SimDuration, SimTime};
+
+/// Keeps only samples spaced at least `min_gap` apart (first sample kept).
+pub fn subsample(tl: &TraceTimeline, min_gap: SimDuration) -> TraceTimeline {
+    let mut out = tl.clone();
+    out.samples.clear();
+    let mut last: Option<SimTime> = None;
+    for s in &tl.samples {
+        let keep = match last {
+            None => true,
+            Some(prev) => (s.t - prev).minutes() >= min_gap.minutes(),
+        };
+        if keep {
+            out.samples.push(*s);
+            last = Some(s.t);
+        }
+    }
+    // Drop paths that no longer appear, remapping indices.
+    let mut used: Vec<bool> = vec![false; tl.paths.len()];
+    for s in &out.samples {
+        if let Some(p) = s.path {
+            used[p as usize] = true;
+        }
+    }
+    let mut remap: Vec<Option<u16>> = vec![None; tl.paths.len()];
+    let mut new_paths = Vec::new();
+    for (i, u) in used.iter().enumerate() {
+        if *u {
+            remap[i] = Some(new_paths.len() as u16);
+            new_paths.push(tl.paths[i].clone());
+        }
+    }
+    out.paths = new_paths;
+    for s in &mut out.samples {
+        s.path = s.path.and_then(|p| remap[p as usize]);
+    }
+    out
+}
+
+/// The Fig. 7 comparison for one set of timelines: best-path deltas
+/// computed on all samples and on the 3-hour subsample.
+#[derive(Clone, Debug, Default)]
+pub struct CadenceComparison {
+    /// Δ10th-percentile values using every sample.
+    pub p10_all: Vec<f64>,
+    /// Δ10th-percentile values using the subsample.
+    pub p10_sub: Vec<f64>,
+    /// Δ90th-percentile values using every sample.
+    pub p90_all: Vec<f64>,
+    /// Δ90th-percentile values using the subsample.
+    pub p90_sub: Vec<f64>,
+}
+
+impl CadenceComparison {
+    /// Folds one timeline into the comparison.
+    ///
+    /// `interval` is the native cadence; `gap` the subsampling spacing
+    /// (3 hours in the paper).
+    pub fn add(&mut self, tl: &TraceTimeline, interval: SimDuration, gap: SimDuration) {
+        if let Some(a) = best_path_analysis(tl, interval) {
+            for d in &a.deltas {
+                self.p10_all.push(d.delta_p10_ms);
+                self.p90_all.push(d.delta_p90_ms);
+            }
+        }
+        let sub = subsample(tl, gap);
+        if let Some(a) = best_path_analysis(&sub, gap) {
+            for d in &a.deltas {
+                self.p10_sub.push(d.delta_p10_ms);
+                self.p90_sub.push(d.delta_p90_ms);
+            }
+        }
+    }
+
+    /// Kolmogorov–Smirnov-style max ECDF gap between the All and 3hr Δ10th
+    /// distributions — small values back the paper's "very small
+    /// difference" claim.
+    pub fn p10_ecdf_gap(&self) -> Option<f64> {
+        ecdf_gap(&self.p10_all, &self.p10_sub)
+    }
+
+    /// Max ECDF gap between the All and 3hr Δ90th distributions.
+    pub fn p90_ecdf_gap(&self) -> Option<f64> {
+        ecdf_gap(&self.p90_all, &self.p90_sub)
+    }
+}
+
+fn ecdf_gap(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let ea = s2s_stats::Ecdf::new(a.to_vec());
+    let eb = s2s_stats::Ecdf::new(b.to_vec());
+    let mut gap: f64 = 0.0;
+    for &x in ea.sorted().iter().chain(eb.sorted()) {
+        gap = gap.max((ea.fraction_at_or_below(x) - eb.fraction_at_or_below(x)).abs());
+    }
+    Some(gap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Sample;
+    use s2s_types::{Asn, AsPath, ClusterId, Protocol};
+
+    fn tl_30min(seq: &[(u16, f64)]) -> TraceTimeline {
+        let paths: Vec<AsPath> = (0..3)
+            .map(|i| AsPath::from_asns([Asn::new(1), Asn::new(10 + i), Asn::new(9)]))
+            .collect();
+        TraceTimeline {
+            src: ClusterId::new(0),
+            dst: ClusterId::new(1),
+            proto: Protocol::V4,
+            paths,
+            samples: seq
+                .iter()
+                .enumerate()
+                .map(|(i, &(p, r))| Sample {
+                    t: SimTime::from_minutes(i as u32 * 30),
+                    path: Some(p),
+                    rtt_ms: Some(r as f32),
+                })
+                .collect(),
+            counts: Default::default(),
+        }
+    }
+
+    #[test]
+    fn subsample_keeps_three_hour_spacing() {
+        let t = tl_30min(&(0..24).map(|i| (0u16, 50.0 + i as f64)).collect::<Vec<_>>());
+        let sub = subsample(&t, SimDuration::from_hours(3));
+        assert_eq!(sub.samples.len(), 4); // minutes 0, 180, 360, 540
+        for w in sub.samples.windows(2) {
+            assert!((w[1].t - w[0].t).minutes() >= 180);
+        }
+    }
+
+    #[test]
+    fn subsample_remaps_paths() {
+        // Path 1 appears only at odd 30-minute slots; a 3h subsample keeps
+        // slots 0, 6, 12 (all path 0), so path 1 must vanish.
+        let seq: Vec<(u16, f64)> =
+            (0..18).map(|i| ((i % 2) as u16, 50.0)).collect();
+        let t = tl_30min(&seq);
+        let sub = subsample(&t, SimDuration::from_hours(3));
+        assert_eq!(sub.paths.len(), 1);
+        assert!(sub.samples.iter().all(|s| s.path == Some(0)));
+    }
+
+    #[test]
+    fn subsample_of_sparse_timeline_is_identity() {
+        let mut t = tl_30min(&[(0, 50.0), (1, 80.0)]);
+        // Space the two samples 6h apart.
+        t.samples[1].t = SimTime::from_hours(6);
+        let sub = subsample(&t, SimDuration::from_hours(3));
+        assert_eq!(sub.samples.len(), 2);
+        assert_eq!(sub.paths.len(), 2);
+    }
+
+    #[test]
+    fn comparison_sees_similar_distributions_for_slow_dynamics() {
+        // Paths change on multi-hour scales: All vs 3hr should agree.
+        let mut comp = CadenceComparison::default();
+        for k in 0..30 {
+            let seq: Vec<(u16, f64)> = (0..96)
+                .map(|i| {
+                    // Switch path every 24 slots (12 hours).
+                    let p = ((i / 24) % 2) as u16;
+                    (p, if p == 0 { 50.0 } else { 80.0 + k as f64 })
+                })
+                .collect();
+            comp.add(
+                &tl_30min(&seq),
+                SimDuration::from_minutes(30),
+                SimDuration::from_hours(3),
+            );
+        }
+        let gap = comp.p10_ecdf_gap().unwrap();
+        assert!(gap < 0.25, "gap = {gap}");
+    }
+
+    #[test]
+    fn fast_flapping_is_visible_in_the_gap_machinery() {
+        // Flapping every 30 minutes: the 3h subsample sees only one path,
+        // so the sub distribution loses entries; the machinery still works.
+        let mut comp = CadenceComparison::default();
+        let seq: Vec<(u16, f64)> = (0..96)
+            .map(|i| ((i % 2) as u16, if i % 2 == 0 { 50.0 } else { 90.0 }))
+            .collect();
+        comp.add(
+            &tl_30min(&seq),
+            SimDuration::from_minutes(30),
+            SimDuration::from_hours(3),
+        );
+        assert_eq!(comp.p10_all.len(), 1);
+        // Subsample kept slots 0,6,12,... — all path 0 → single-path, no delta.
+        assert!(comp.p10_sub.is_empty());
+        assert!(comp.p10_ecdf_gap().is_none());
+    }
+
+    #[test]
+    fn ecdf_gap_zero_for_identical() {
+        let mut comp = CadenceComparison::default();
+        comp.p10_all = vec![1.0, 2.0, 3.0];
+        comp.p10_sub = vec![1.0, 2.0, 3.0];
+        assert_eq!(comp.p10_ecdf_gap(), Some(0.0));
+    }
+
+    #[test]
+    fn ecdf_gap_large_for_disjoint() {
+        let mut comp = CadenceComparison::default();
+        comp.p90_all = vec![1.0, 2.0];
+        comp.p90_sub = vec![100.0, 200.0];
+        assert_eq!(comp.p90_ecdf_gap(), Some(1.0));
+    }
+}

@@ -1,0 +1,290 @@
+//! Embedded world-city database.
+//!
+//! The CDN in the paper deploys clusters in 2000+ locations across 70+
+//! countries; the long-term mesh uses ~600 of them with 39% in the US and
+//! AU/DE/IN/JP/CA as the next five countries. This table provides candidate
+//! locations with the same skew: many US metros, good coverage of the
+//! paper's top-six countries, and at least one city in 70+ countries.
+//!
+//! Coordinates are approximate city centers; only great-circle distances at
+//! hundreds-of-km precision matter to the models.
+
+use crate::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// Continents, for transcontinental path classification.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Continent {
+    /// North and Central America.
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Europe.
+    Europe,
+    /// Africa.
+    Africa,
+    /// Asia (incl. the Middle East).
+    Asia,
+    /// Australia, New Zealand, Pacific islands.
+    Oceania,
+}
+
+/// One candidate deployment location.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct City {
+    /// City name (unique within the table).
+    pub name: &'static str,
+    /// ISO 3166-1 alpha-2 country code.
+    pub country: &'static str,
+    /// Continent.
+    pub continent: Continent,
+    /// Latitude, degrees north.
+    pub lat: f64,
+    /// Longitude, degrees east.
+    pub lon: f64,
+}
+
+impl City {
+    /// The city's coordinates as a [`GeoPoint`].
+    pub fn point(&self) -> GeoPoint {
+        GeoPoint::new(self.lat, self.lon)
+    }
+}
+
+macro_rules! city {
+    ($name:literal, $cc:literal, $cont:ident, $lat:literal, $lon:literal) => {
+        City {
+            name: $name,
+            country: $cc,
+            continent: Continent::$cont,
+            lat: $lat,
+            lon: $lon,
+        }
+    };
+}
+
+/// All candidate deployment cities. US metros first (the generator draws the
+/// US share from the front of the table), then the paper's other top-five
+/// countries, then broad world coverage.
+pub const CITIES: &[City] = &[
+    // --- United States (39% of the paper's servers) ---
+    city!("New York", "US", NorthAmerica, 40.7128, -74.0060),
+    city!("Los Angeles", "US", NorthAmerica, 34.0522, -118.2437),
+    city!("Chicago", "US", NorthAmerica, 41.8781, -87.6298),
+    city!("Dallas", "US", NorthAmerica, 32.7767, -96.7970),
+    city!("Ashburn", "US", NorthAmerica, 39.0438, -77.4874),
+    city!("San Jose", "US", NorthAmerica, 37.3382, -121.8863),
+    city!("Seattle", "US", NorthAmerica, 47.6062, -122.3321),
+    city!("Miami", "US", NorthAmerica, 25.7617, -80.1918),
+    city!("Atlanta", "US", NorthAmerica, 33.7490, -84.3880),
+    city!("Denver", "US", NorthAmerica, 39.7392, -104.9903),
+    city!("Houston", "US", NorthAmerica, 29.7604, -95.3698),
+    city!("Phoenix", "US", NorthAmerica, 33.4484, -112.0740),
+    city!("Boston", "US", NorthAmerica, 42.3601, -71.0589),
+    city!("Philadelphia", "US", NorthAmerica, 39.9526, -75.1652),
+    city!("Minneapolis", "US", NorthAmerica, 44.9778, -93.2650),
+    city!("Kansas City", "US", NorthAmerica, 39.0997, -94.5786),
+    city!("Salt Lake City", "US", NorthAmerica, 40.7608, -111.8910),
+    city!("Portland", "US", NorthAmerica, 45.5152, -122.6784),
+    city!("Las Vegas", "US", NorthAmerica, 36.1699, -115.1398),
+    city!("St. Louis", "US", NorthAmerica, 38.6270, -90.1994),
+    city!("Detroit", "US", NorthAmerica, 42.3314, -83.0458),
+    city!("Charlotte", "US", NorthAmerica, 35.2271, -80.8431),
+    city!("Nashville", "US", NorthAmerica, 36.1627, -86.7816),
+    city!("Pittsburgh", "US", NorthAmerica, 40.4406, -79.9959),
+    city!("Columbus", "US", NorthAmerica, 39.9612, -82.9988),
+    city!("Indianapolis", "US", NorthAmerica, 39.7684, -86.1581),
+    city!("San Diego", "US", NorthAmerica, 32.7157, -117.1611),
+    city!("Tampa", "US", NorthAmerica, 27.9506, -82.4572),
+    city!("Sacramento", "US", NorthAmerica, 38.5816, -121.4944),
+    city!("Newark", "US", NorthAmerica, 40.7357, -74.1724),
+    city!("Austin", "US", NorthAmerica, 30.2672, -97.7431),
+    city!("Raleigh", "US", NorthAmerica, 35.7796, -78.6382),
+    city!("Cleveland", "US", NorthAmerica, 41.4993, -81.6944),
+    city!("Cincinnati", "US", NorthAmerica, 39.1031, -84.5120),
+    city!("Jacksonville", "US", NorthAmerica, 30.3322, -81.6557),
+    city!("Memphis", "US", NorthAmerica, 35.1495, -90.0490),
+    city!("Oklahoma City", "US", NorthAmerica, 35.4676, -97.5164),
+    city!("Albuquerque", "US", NorthAmerica, 35.0844, -106.6504),
+    city!("Milwaukee", "US", NorthAmerica, 43.0389, -87.9065),
+    city!("Honolulu", "US", NorthAmerica, 21.3069, -157.8583),
+    // --- Australia ---
+    city!("Sydney", "AU", Oceania, -33.8688, 151.2093),
+    city!("Melbourne", "AU", Oceania, -37.8136, 144.9631),
+    city!("Brisbane", "AU", Oceania, -27.4698, 153.0251),
+    city!("Perth", "AU", Oceania, -31.9505, 115.8605),
+    city!("Adelaide", "AU", Oceania, -34.9285, 138.6007),
+    // --- Germany ---
+    city!("Frankfurt", "DE", Europe, 50.1109, 8.6821),
+    city!("Berlin", "DE", Europe, 52.5200, 13.4050),
+    city!("Munich", "DE", Europe, 48.1351, 11.5820),
+    city!("Hamburg", "DE", Europe, 53.5511, 9.9937),
+    city!("Dusseldorf", "DE", Europe, 51.2277, 6.7735),
+    // --- India ---
+    city!("Mumbai", "IN", Asia, 19.0760, 72.8777),
+    city!("Delhi", "IN", Asia, 28.7041, 77.1025),
+    city!("Chennai", "IN", Asia, 13.0827, 80.2707),
+    city!("Bangalore", "IN", Asia, 12.9716, 77.5946),
+    city!("Hyderabad", "IN", Asia, 17.3850, 78.4867),
+    // --- Japan ---
+    city!("Tokyo", "JP", Asia, 35.6762, 139.6503),
+    city!("Osaka", "JP", Asia, 34.6937, 135.5023),
+    city!("Nagoya", "JP", Asia, 35.1815, 136.9066),
+    city!("Fukuoka", "JP", Asia, 33.5904, 130.4017),
+    // --- Canada ---
+    city!("Toronto", "CA", NorthAmerica, 43.6532, -79.3832),
+    city!("Montreal", "CA", NorthAmerica, 45.5017, -73.5673),
+    city!("Vancouver", "CA", NorthAmerica, 49.2827, -123.1207),
+    city!("Calgary", "CA", NorthAmerica, 51.0447, -114.0719),
+    // --- Rest of Europe ---
+    city!("London", "GB", Europe, 51.5074, -0.1278),
+    city!("Manchester", "GB", Europe, 53.4808, -2.2426),
+    city!("Paris", "FR", Europe, 48.8566, 2.3522),
+    city!("Marseille", "FR", Europe, 43.2965, 5.3698),
+    city!("Amsterdam", "NL", Europe, 52.3676, 4.9041),
+    city!("Brussels", "BE", Europe, 50.8503, 4.3517),
+    city!("Madrid", "ES", Europe, 40.4168, -3.7038),
+    city!("Barcelona", "ES", Europe, 41.3874, 2.1686),
+    city!("Milan", "IT", Europe, 45.4642, 9.1900),
+    city!("Rome", "IT", Europe, 41.9028, 12.4964),
+    city!("Zurich", "CH", Europe, 47.3769, 8.5417),
+    city!("Vienna", "AT", Europe, 48.2082, 16.3738),
+    city!("Stockholm", "SE", Europe, 59.3293, 18.0686),
+    city!("Copenhagen", "DK", Europe, 55.6761, 12.5683),
+    city!("Oslo", "NO", Europe, 59.9139, 10.7522),
+    city!("Helsinki", "FI", Europe, 60.1699, 24.9384),
+    city!("Warsaw", "PL", Europe, 52.2297, 21.0122),
+    city!("Prague", "CZ", Europe, 50.0755, 14.4378),
+    city!("Budapest", "HU", Europe, 47.4979, 19.0402),
+    city!("Bucharest", "RO", Europe, 44.4268, 26.1025),
+    city!("Sofia", "BG", Europe, 42.6977, 23.3219),
+    city!("Athens", "GR", Europe, 37.9838, 23.7275),
+    city!("Lisbon", "PT", Europe, 38.7223, -9.1393),
+    city!("Dublin", "IE", Europe, 53.3498, -6.2603),
+    city!("Kyiv", "UA", Europe, 50.4501, 30.5234),
+    city!("Moscow", "RU", Europe, 55.7558, 37.6173),
+    city!("Istanbul", "TR", Europe, 41.0082, 28.9784),
+    city!("Belgrade", "RS", Europe, 44.7866, 20.4489),
+    city!("Zagreb", "HR", Europe, 45.8150, 15.9819),
+    city!("Bratislava", "SK", Europe, 48.1486, 17.1077),
+    city!("Vilnius", "LT", Europe, 54.6872, 25.2797),
+    city!("Riga", "LV", Europe, 56.9496, 24.1052),
+    city!("Tallinn", "EE", Europe, 59.4370, 24.7536),
+    city!("Luxembourg", "LU", Europe, 49.6116, 6.1319),
+    city!("Reykjavik", "IS", Europe, 64.1466, -21.9426),
+    // --- Rest of Asia & Middle East ---
+    city!("Hong Kong", "HK", Asia, 22.3193, 114.1694),
+    city!("Singapore", "SG", Asia, 1.3521, 103.8198),
+    city!("Seoul", "KR", Asia, 37.5665, 126.9780),
+    city!("Taipei", "TW", Asia, 25.0330, 121.5654),
+    city!("Shanghai", "CN", Asia, 31.2304, 121.4737),
+    city!("Beijing", "CN", Asia, 39.9042, 116.4074),
+    city!("Kuala Lumpur", "MY", Asia, 3.1390, 101.6869),
+    city!("Bangkok", "TH", Asia, 13.7563, 100.5018),
+    city!("Jakarta", "ID", Asia, -6.2088, 106.8456),
+    city!("Manila", "PH", Asia, 14.5995, 120.9842),
+    city!("Hanoi", "VN", Asia, 21.0278, 105.8342),
+    city!("Dubai", "AE", Asia, 25.2048, 55.2708),
+    city!("Doha", "QA", Asia, 25.2854, 51.5310),
+    city!("Riyadh", "SA", Asia, 24.7136, 46.6753),
+    city!("Tel Aviv", "IL", Asia, 32.0853, 34.7818),
+    city!("Karachi", "PK", Asia, 24.8607, 67.0011),
+    city!("Dhaka", "BD", Asia, 23.8103, 90.4125),
+    city!("Colombo", "LK", Asia, 6.9271, 79.8612),
+    city!("Almaty", "KZ", Asia, 43.2220, 76.8512),
+    city!("Amman", "JO", Asia, 31.9454, 35.9284),
+    city!("Kuwait City", "KW", Asia, 29.3759, 47.9774),
+    city!("Manama", "BH", Asia, 26.2285, 50.5860),
+    // --- Oceania (non-AU) ---
+    city!("Auckland", "NZ", Oceania, -36.8509, 174.7645),
+    city!("Wellington", "NZ", Oceania, -41.2924, 174.7787),
+    city!("Suva", "FJ", Oceania, -18.1248, 178.4501),
+    // --- South America ---
+    city!("Sao Paulo", "BR", SouthAmerica, -23.5558, -46.6396),
+    city!("Rio de Janeiro", "BR", SouthAmerica, -22.9068, -43.1729),
+    city!("Buenos Aires", "AR", SouthAmerica, -34.6037, -58.3816),
+    city!("Santiago", "CL", SouthAmerica, -33.4489, -70.6693),
+    city!("Bogota", "CO", SouthAmerica, 4.7110, -74.0721),
+    city!("Lima", "PE", SouthAmerica, -12.0464, -77.0428),
+    city!("Quito", "EC", SouthAmerica, -0.1807, -78.4678),
+    city!("Montevideo", "UY", SouthAmerica, -34.9011, -56.1645),
+    city!("Caracas", "VE", SouthAmerica, 10.4806, -66.9036),
+    city!("Asuncion", "PY", SouthAmerica, -25.2637, -57.5759),
+    // --- Central America & Caribbean ---
+    city!("Mexico City", "MX", NorthAmerica, 19.4326, -99.1332),
+    city!("Guadalajara", "MX", NorthAmerica, 20.6597, -103.3496),
+    city!("Panama City", "PA", NorthAmerica, 8.9824, -79.5199),
+    city!("San Jose CR", "CR", NorthAmerica, 9.9281, -84.0907),
+    city!("Guatemala City", "GT", NorthAmerica, 14.6349, -90.5069),
+    city!("Santo Domingo", "DO", NorthAmerica, 18.4861, -69.9312),
+    city!("Kingston", "JM", NorthAmerica, 17.9712, -76.7936),
+    city!("San Juan", "PR", NorthAmerica, 18.4655, -66.1057),
+    // --- Africa ---
+    city!("Johannesburg", "ZA", Africa, -26.2041, 28.0473),
+    city!("Cape Town", "ZA", Africa, -33.9249, 18.4241),
+    city!("Cairo", "EG", Africa, 30.0444, 31.2357),
+    city!("Lagos", "NG", Africa, 6.5244, 3.3792),
+    city!("Nairobi", "KE", Africa, -1.2921, 36.8219),
+    city!("Casablanca", "MA", Africa, 33.5731, -7.5898),
+    city!("Tunis", "TN", Africa, 36.8065, 10.1815),
+    city!("Accra", "GH", Africa, 5.6037, -0.1870),
+    city!("Dakar", "SN", Africa, 14.7167, -17.4677),
+    city!("Dar es Salaam", "TZ", Africa, -6.7924, 39.2083),
+    city!("Kampala", "UG", Africa, 0.3476, 32.5825),
+    city!("Luanda", "AO", Africa, -8.8390, 13.2894),
+    city!("Algiers", "DZ", Africa, 36.7538, 3.0588),
+    city!("Addis Ababa", "ET", Africa, 9.0250, 38.7469),
+    city!("Port Louis", "MU", Africa, -20.1609, 57.5012),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = HashSet::new();
+        for c in CITIES {
+            assert!(seen.insert(c.name), "duplicate city name {}", c.name);
+        }
+    }
+
+    #[test]
+    fn coordinates_are_valid() {
+        for c in CITIES {
+            assert!((-90.0..=90.0).contains(&c.lat), "{}: lat {}", c.name, c.lat);
+            assert!((-180.0..=180.0).contains(&c.lon), "{}: lon {}", c.name, c.lon);
+            // point() panics on invalid coords; exercise it.
+            let _ = c.point();
+        }
+    }
+
+    #[test]
+    fn covers_seventy_countries() {
+        let countries: HashSet<_> = CITIES.iter().map(|c| c.country).collect();
+        assert!(countries.len() >= 70, "only {} countries", countries.len());
+    }
+
+    #[test]
+    fn top_countries_have_depth() {
+        let count = |cc: &str| CITIES.iter().filter(|c| c.country == cc).count();
+        assert!(count("US") >= 30, "US cities: {}", count("US"));
+        for cc in ["AU", "DE", "IN", "JP", "CA"] {
+            assert!(count(cc) >= 4, "{cc} cities: {}", count(cc));
+        }
+    }
+
+    #[test]
+    fn us_cities_lead_the_table() {
+        // The generator relies on the US block being first.
+        assert!(CITIES[..40].iter().all(|c| c.country == "US"));
+    }
+
+    #[test]
+    fn every_continent_is_represented() {
+        let conts: HashSet<_> =
+            CITIES.iter().map(|c| format!("{:?}", c.continent)).collect();
+        assert_eq!(conts.len(), 6);
+    }
+}

@@ -1,0 +1,191 @@
+//! Geography substrate.
+//!
+//! The paper has ground truth on server locations and uses it to compute
+//! `cRTT` — the round-trip time of light in free space over the great-circle
+//! distance between two endpoints — and the *inflation* ratio RTT/cRTT
+//! (Fig. 10b). This crate provides:
+//!
+//! * an embedded database of world cities spanning 70+ countries, weighted
+//!   toward the paper's deployment mix (39% US; then AU, DE, IN, JP, CA),
+//! * great-circle (haversine) distance,
+//! * `cRTT` and fiber-propagation delay, and
+//! * continent / transcontinental classification.
+
+pub mod cities;
+
+pub use cities::{City, Continent, CITIES};
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in vacuum, km per millisecond.
+pub const C_VACUUM_KM_PER_MS: f64 = 299.792458;
+
+/// Effective propagation speed in optical fiber (refractive index ~1.468),
+/// km per millisecond. Used by the delay model for link latencies.
+pub const C_FIBER_KM_PER_MS: f64 = C_VACUUM_KM_PER_MS / 1.468;
+
+/// Mean Earth radius in km.
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A point on the Earth's surface.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, validating the coordinate ranges.
+    ///
+    /// # Panics
+    /// Panics when latitude is outside [-90, 90] or longitude outside
+    /// [-180, 180].
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude {lat} out of range");
+        assert!((-180.0..=180.0).contains(&lon), "longitude {lon} out of range");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in km (haversine formula).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+/// Round-trip time of light in free space between two points, in ms —
+/// the paper's `cRTT` (Section 6).
+pub fn c_rtt_ms(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    2.0 * a.distance_km(b) / C_VACUUM_KM_PER_MS
+}
+
+/// One-way propagation delay through fiber over the great-circle distance,
+/// in ms. Real fiber paths are longer than great circles; the topology layer
+/// adds a path-stretch factor on top of this.
+pub fn fiber_delay_ms(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    a.distance_km(b) / C_FIBER_KM_PER_MS
+}
+
+/// Whether a path between two cities necessarily crosses between continents
+/// (used by Fig. 9 / Fig. 10b breakdowns).
+pub fn is_transcontinental(a: &City, b: &City) -> bool {
+    a.continent != b.continent
+}
+
+/// Whether both cities are in the United States (the paper's `US<->US`
+/// breakdowns in Fig. 9 and Fig. 10b).
+pub fn is_us_us(a: &City, b: &City) -> bool {
+    a.country == "US" && b.country == "US"
+}
+
+/// Looks up a city by exact name; intended for examples and tests.
+pub fn city_by_name(name: &str) -> Option<&'static City> {
+    CITIES.iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn city(name: &str) -> &'static City {
+        city_by_name(name).unwrap_or_else(|| panic!("city {name} missing"))
+    }
+
+    #[test]
+    fn known_distances_are_close() {
+        // New York <-> London is ~5570 km.
+        let d = city("New York").point().distance_km(&city("London").point());
+        assert!((5500.0..5650.0).contains(&d), "NY-London = {d} km");
+        // Hong Kong <-> Osaka is ~2480 km (the paper's Fig. 1 pair).
+        let d = city("Hong Kong").point().distance_km(&city("Osaka").point());
+        assert!((2380.0..2560.0).contains(&d), "HK-Osaka = {d} km");
+    }
+
+    #[test]
+    fn crtt_of_fig1_pair() {
+        // cRTT of HK-Osaka: ~2480 km * 2 / c ~ 16.5 ms. The paper's observed
+        // baselines (~50 ms) then imply inflation ~3, matching Fig. 10b.
+        let c = c_rtt_ms(&city("Hong Kong").point(), &city("Osaka").point());
+        assert!((15.0..18.0).contains(&c), "cRTT = {c}");
+    }
+
+    #[test]
+    fn fiber_is_slower_than_vacuum() {
+        let (a, b) = (city("Paris").point(), city("Tokyo").point());
+        assert!(fiber_delay_ms(&a, &b) > c_rtt_ms(&a, &b) / 2.0);
+    }
+
+    #[test]
+    fn zero_distance() {
+        let p = GeoPoint::new(48.8566, 2.3522);
+        assert_eq!(p.distance_km(&p), 0.0);
+        assert_eq!(c_rtt_ms(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = a.distance_km(&b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0, "antipodal = {d}, expected {half}");
+    }
+
+    #[test]
+    fn continental_classification() {
+        assert!(is_transcontinental(city("New York"), city("London")));
+        assert!(!is_transcontinental(city("New York"), city("Los Angeles")));
+        assert!(is_us_us(city("New York"), city("Seattle")));
+        assert!(!is_us_us(city("New York"), city("Toronto")));
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn invalid_latitude_panics() {
+        GeoPoint::new(91.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_is_symmetric(
+            lat1 in -90.0f64..90.0, lon1 in -180.0f64..180.0,
+            lat2 in -90.0f64..90.0, lon2 in -180.0f64..180.0,
+        ) {
+            let a = GeoPoint::new(lat1, lon1);
+            let b = GeoPoint::new(lat2, lon2);
+            let d1 = a.distance_km(&b);
+            let d2 = b.distance_km(&a);
+            prop_assert!((d1 - d2).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_distance_bounded_by_half_circumference(
+            lat1 in -90.0f64..90.0, lon1 in -180.0f64..180.0,
+            lat2 in -90.0f64..90.0, lon2 in -180.0f64..180.0,
+        ) {
+            let d = GeoPoint::new(lat1, lon1).distance_km(&GeoPoint::new(lat2, lon2));
+            prop_assert!(d >= 0.0);
+            prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(
+            lat1 in -80.0f64..80.0, lon1 in -170.0f64..170.0,
+            lat2 in -80.0f64..80.0, lon2 in -170.0f64..170.0,
+            lat3 in -80.0f64..80.0, lon3 in -170.0f64..170.0,
+        ) {
+            let a = GeoPoint::new(lat1, lon1);
+            let b = GeoPoint::new(lat2, lon2);
+            let c = GeoPoint::new(lat3, lon3);
+            prop_assert!(a.distance_km(&c) <= a.distance_km(&b) + b.distance_km(&c) + 1e-6);
+        }
+    }
+}

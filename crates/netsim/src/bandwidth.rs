@@ -1,0 +1,201 @@
+//! Packet-pair bandwidth probing — the substrate for the paper's §8
+//! "available bandwidth" future-work item.
+//!
+//! Two back-to-back packets leave the narrowest link with a dispersion of
+//! `packet_size / capacity`; cross traffic stretches the gap further, so
+//! the dispersion-derived rate approximates the *available* bandwidth of
+//! the tight link, not its raw capacity (the classic packet-pair model,
+//! simplified: no multi-hop re-compression).
+//!
+//! Link utilization follows the congestion model: an uncongested core link
+//! idles around a diurnal base load, while a congested link's busy hour
+//! pushes utilization toward saturation — exactly when its RTT bump peaks.
+
+use crate::noise;
+use crate::sim::Network;
+use s2s_types::{ClusterId, Protocol, SimTime};
+
+/// Result of one packet-pair measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PacketPairSample {
+    /// Measured dispersion of the pair at the receiver, ms.
+    pub dispersion_ms: f64,
+    /// The rate implied by the dispersion, Mbit/s — the available-bandwidth
+    /// estimate of the path's tight link.
+    pub estimated_mbps: f64,
+}
+
+/// The diurnal base load every link carries even without a congestion
+/// profile (traffic follows the sun; 35% ± 15%).
+fn base_utilization(t: SimTime, lon_deg: f64) -> f64 {
+    let h = t.local_hour_of_day(lon_deg);
+    let mut d = (h - 20.0f64).abs();
+    if d > 12.0 {
+        d = 24.0 - d;
+    }
+    0.35 + 0.15 * (-0.5 * (d / 4.0f64).powi(2)).exp()
+}
+
+impl Network {
+    /// Sends one packet pair of `size_bytes` packets and reports the
+    /// received dispersion and the implied available-bandwidth estimate.
+    /// `None` when no path exists or the probe is lost.
+    pub fn packet_pair(
+        &self,
+        src: ClusterId,
+        dst: ClusterId,
+        proto: Protocol,
+        t: SimTime,
+        size_bytes: u32,
+        seq: u64,
+    ) -> Option<PacketPairSample> {
+        let flow = noise::key(&[src.0 as u64, dst.0 as u64, proto as u64, 0xBA2D]);
+        let fwd = self.oracle().router_path(src, dst, proto, t, flow)?;
+        let k = noise::key(&[
+            0xBA2D,
+            src.0 as u64,
+            dst.0 as u64,
+            proto as u64,
+            u64::from(t.minutes()),
+            seq,
+        ]);
+        if noise::uniform(noise::mix(k ^ 0x105e)) < self.params().loss_prob * 2.0 {
+            return None; // either packet lost kills the pair
+        }
+        let topo = self.oracle().topology();
+        let bits = f64::from(size_bytes) * 8.0;
+        let mut worst_dispersion_ms: f64 = 0.0;
+        for hop in &fwd.hops {
+            let link = &topo.links[hop.ingress_link.index()];
+            let mid_lon = (topo.router_city(link.a).lon + topo.router_city(link.b).lon)
+                / 2.0;
+            let mut util = base_utilization(t, mid_lon);
+            // A congested link's queueing bump maps onto extra utilization:
+            // scale the profile's instantaneous delay against its amplitude.
+            if let Some(profile) = self.congestion().profile(hop.ingress_link) {
+                let bump = profile.delay_ms(t) / profile.amplitude_ms.max(1.0);
+                util = (util + 0.55 * bump).min(0.97);
+            }
+            let available = link.capacity_mbps * (1.0 - util);
+            // Dispersion out of this link in ms: bits / (Mbit/s * 1000).
+            let disp = bits / (available.max(1.0) * 1000.0);
+            worst_dispersion_ms = worst_dispersion_ms.max(disp);
+        }
+        // Receiver timestamping jitter.
+        let jitter = 0.002 * noise::normal(noise::mix(k ^ 0x7e11)).abs();
+        let dispersion_ms = worst_dispersion_ms + jitter;
+        Some(PacketPairSample {
+            dispersion_ms,
+            estimated_mbps: bits / (dispersion_ms * 1000.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congestion::{CongestionModel, LinkProfile};
+    use crate::sim::NetworkParams;
+    use s2s_routing::{Dynamics, RouteOracle};
+    use s2s_topology::{build_topology, TopologyParams};
+    use s2s_types::SimDuration;
+    use std::sync::Arc;
+
+    fn quiet(seed: u64) -> Network {
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(seed)));
+        let oracle = Arc::new(RouteOracle::new(
+            Arc::clone(&topo),
+            Arc::new(Dynamics::all_up(&topo, SimTime::from_days(40))),
+        ));
+        Network::new(
+            oracle,
+            CongestionModel::none(),
+            NetworkParams { loss_prob: 0.0, spike_prob: 0.0, ..NetworkParams::default() },
+        )
+    }
+
+    #[test]
+    fn estimate_is_below_tightest_capacity() {
+        let net = quiet(5);
+        let topo = net.oracle().topology().clone();
+        let (src, dst) = (ClusterId::new(0), ClusterId::new(4));
+        let t = SimTime::from_days(1);
+        let s = net.packet_pair(src, dst, Protocol::V4, t, 1500, 0).unwrap();
+        let path = net
+            .oracle()
+            .router_path(src, dst, Protocol::V4, t, 0xBA2D ^ 1)
+            .unwrap();
+        let min_cap = path
+            .hops
+            .iter()
+            .map(|h| topo.links[h.ingress_link.index()].capacity_mbps)
+            .fold(f64::INFINITY, f64::min);
+        assert!(s.estimated_mbps > 100.0, "estimate {}", s.estimated_mbps);
+        assert!(
+            s.estimated_mbps <= min_cap,
+            "estimate {} exceeds tightest capacity {min_cap}",
+            s.estimated_mbps
+        );
+    }
+
+    #[test]
+    fn busy_hour_shrinks_available_bandwidth() {
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(9)));
+        let oracle = Arc::new(RouteOracle::new(
+            Arc::clone(&topo),
+            Arc::new(Dynamics::all_up(&topo, SimTime::from_days(40))),
+        ));
+        let (src, dst) = (ClusterId::new(0), ClusterId::new(5));
+        let path = oracle
+            .router_path(src, dst, Protocol::V4, SimTime::T0, 1)
+            .unwrap();
+        let victim = &path.hops[2.min(path.hops.len() - 1)];
+        let profile = LinkProfile {
+            amplitude_ms: 30.0,
+            peak_local_hour: 20.0,
+            width_hours: 3.0,
+            start_min: 0,
+            end_min: SimTime::from_days(40).minutes(),
+            lon_deg: 0.0,
+            toward: victim.router.0,
+            v6_factor: 1.0,
+        };
+        let net = Network::new(
+            Arc::clone(&oracle),
+            CongestionModel::from_profiles(vec![(victim.ingress_link, profile)]),
+            NetworkParams { loss_prob: 0.0, spike_prob: 0.0, ..NetworkParams::default() },
+        );
+        let quiet_t = SimTime::from_days(10) + SimDuration::from_hours(5);
+        let busy_t = SimTime::from_days(10) + SimDuration::from_hours(20);
+        let q = net.packet_pair(src, dst, Protocol::V4, quiet_t, 1500, 0).unwrap();
+        let b = net.packet_pair(src, dst, Protocol::V4, busy_t, 1500, 0).unwrap();
+        assert!(
+            b.estimated_mbps < q.estimated_mbps * 0.8,
+            "busy {} not clearly below quiet {}",
+            b.estimated_mbps,
+            q.estimated_mbps
+        );
+    }
+
+    #[test]
+    fn bigger_packets_disperse_longer() {
+        let net = quiet(5);
+        let t = SimTime::from_days(2);
+        let small = net
+            .packet_pair(ClusterId::new(0), ClusterId::new(3), Protocol::V4, t, 200, 0)
+            .unwrap();
+        let large = net
+            .packet_pair(ClusterId::new(0), ClusterId::new(3), Protocol::V4, t, 1500, 0)
+            .unwrap();
+        assert!(large.dispersion_ms > small.dispersion_ms);
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = quiet(5);
+        let t = SimTime::from_days(2);
+        let a = net.packet_pair(ClusterId::new(1), ClusterId::new(6), Protocol::V4, t, 1500, 3);
+        let b = net.packet_pair(ClusterId::new(1), ClusterId::new(6), Protocol::V4, t, 1500, 3);
+        assert_eq!(a, b);
+    }
+}

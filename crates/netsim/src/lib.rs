@@ -1,0 +1,26 @@
+//! Wire-level simulation.
+//!
+//! Sits on top of the routing oracle and turns paths into *measurements*:
+//!
+//! * [`congestion`] — the diurnal queueing model: a seeded subset of links
+//!   (internal and interconnect) gains a busy-hour delay bump in the link's
+//!   local time, with amplitudes matching the paper's Fig. 9 (20–30 ms
+//!   typical, ~60 ms on transcontinental links, higher on some Asia paths),
+//! * [`noise`] — deterministic, hash-keyed measurement noise: sub-ms jitter
+//!   on every probe plus occasional heavy spikes (the 90th-percentile
+//!   texture of Fig. 1),
+//! * [`packet`] — `bytes`-backed ICMP echo / time-exceeded codecs used at
+//!   the probe boundary,
+//! * [`sim`] — the [`Network`] façade: TTL-limited probes and
+//!   end-to-end pings with asymmetric forward/reverse delay composition,
+//!   probe loss, unresponsive routers, and MPLS hop hiding.
+
+pub mod bandwidth;
+pub mod congestion;
+pub mod noise;
+pub mod packet;
+pub mod sim;
+
+pub use bandwidth::PacketPairSample;
+pub use congestion::{CongestionModel, CongestionParams, LinkProfile};
+pub use sim::{Network, NetworkParams, ProbeReply};

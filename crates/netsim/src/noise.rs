@@ -1,0 +1,130 @@
+//! Deterministic measurement noise.
+//!
+//! Every probe sees jitter; a few percent see heavy spikes (cross-traffic
+//! bursts, router CPU hiccups). To keep the whole simulation replayable,
+//! noise is not drawn from a stateful RNG but *keyed*: a hash of
+//! (who, when, which probe) maps to the same noise values forever.
+
+/// A 64-bit mix (splitmix64 finalizer) — the base of all keyed noise.
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Combines key parts into one hash.
+pub fn key(parts: &[u64]) -> u64 {
+    let mut h = 0x2545F4914F6CDD1Du64;
+    for &p in parts {
+        h = mix(h ^ p);
+    }
+    h
+}
+
+/// Uniform in `[0, 1)` from a key.
+pub fn uniform(k: u64) -> f64 {
+    (mix(k) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard normal from a key (Box–Muller on two derived uniforms).
+pub fn normal(k: u64) -> f64 {
+    let u1 = uniform(k).max(1e-12);
+    let u2 = uniform(mix(k ^ 0xABCD));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Exponential with the given mean, from a key.
+pub fn exponential(k: u64, mean: f64) -> f64 {
+    -mean * (1.0 - uniform(k)).ln()
+}
+
+/// Per-probe noise in milliseconds: log-normal jitter (median ~0.3 ms) plus
+/// a `spike_prob` chance of an exponential spike with `spike_mean_ms`.
+pub fn probe_noise_ms(k: u64, spike_prob: f64, spike_mean_ms: f64) -> f64 {
+    let jitter = 0.3 * (0.8 * normal(mix(k ^ 0x11))).exp();
+    let spike = if uniform(mix(k ^ 0x22)) < spike_prob {
+        exponential(mix(k ^ 0x33), spike_mean_ms)
+    } else {
+        0.0
+    };
+    jitter + spike
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_key_same_noise() {
+        let k = key(&[1, 2, 3]);
+        assert_eq!(uniform(k), uniform(k));
+        assert_eq!(normal(k), normal(k));
+        assert_eq!(probe_noise_ms(k, 0.02, 30.0), probe_noise_ms(k, 0.02, 30.0));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        assert_ne!(uniform(key(&[1])), uniform(key(&[2])));
+        assert_ne!(key(&[1, 2]), key(&[2, 1]), "key order matters");
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let n = 10_000;
+        let mean: f64 =
+            (0..n).map(|i| uniform(key(&[i]))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+        let in_first_decile =
+            (0..n).filter(|&i| uniform(key(&[i])) < 0.1).count() as f64 / n as f64;
+        assert!((in_first_decile - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn normal_has_right_moments() {
+        let n = 10_000;
+        let samples: Vec<f64> = (0..n).map(|i| normal(key(&[7, i]))).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let n = 10_000;
+        let mean: f64 =
+            (0..n).map(|i| exponential(key(&[9, i]), 30.0)).sum::<f64>() / n as f64;
+        assert!((mean - 30.0).abs() < 2.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn spikes_occur_at_configured_rate() {
+        let n = 20_000u64;
+        let spiky = (0..n)
+            .filter(|&i| probe_noise_ms(key(&[3, i]), 0.02, 30.0) > 5.0)
+            .count() as f64
+            / n as f64;
+        assert!((spiky - 0.02).abs() < 0.01, "spike rate = {spiky}");
+        // With zero probability there are (almost) no spikes.
+        let spiky0 = (0..n)
+            .filter(|&i| probe_noise_ms(key(&[3, i]), 0.0, 30.0) > 5.0)
+            .count();
+        assert!(spiky0 < n as usize / 500);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_uniform_in_range(k: u64) {
+            let u = uniform(k);
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+
+        #[test]
+        fn prop_noise_is_positive(k: u64) {
+            prop_assert!(probe_noise_ms(k, 0.05, 30.0) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! ICMP packet codecs.
+//!
+//! The probe tools exchange real byte-level ICMP messages with the network
+//! façade, so the measurement boundary looks like the one the paper's tools
+//! (ping, traceroute) sit on. Only the three message types the tools need
+//! are implemented: echo request, echo reply, and time exceeded. The wire
+//! format follows ICMPv4 (RFC 792) for both families — close enough for a
+//! simulator whose consumers never parse ICMPv6-specific fields.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// ICMP type byte for echo reply.
+pub const TYPE_ECHO_REPLY: u8 = 0;
+/// ICMP type byte for echo request.
+pub const TYPE_ECHO_REQUEST: u8 = 8;
+/// ICMP type byte for time exceeded.
+pub const TYPE_TIME_EXCEEDED: u8 = 11;
+
+/// A decoded ICMP message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IcmpMessage {
+    /// Echo request with identifier, sequence number, and payload.
+    EchoRequest {
+        /// Identifier (the probing process).
+        ident: u16,
+        /// Sequence number (the probe index).
+        seq: u16,
+        /// Opaque payload (timestamps, flow cookies).
+        payload: Bytes,
+    },
+    /// Echo reply mirroring the request.
+    EchoReply {
+        /// Identifier echoed back.
+        ident: u16,
+        /// Sequence echoed back.
+        seq: u16,
+        /// Payload echoed back.
+        payload: Bytes,
+    },
+    /// TTL expired in transit; carries the leading bytes of the original
+    /// datagram (here: the original ICMP header).
+    TimeExceeded {
+        /// Leading bytes of the expired packet.
+        original: Bytes,
+    },
+}
+
+/// Errors from [`decode`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer than 8 header bytes.
+    Truncated,
+    /// Checksum mismatch.
+    BadChecksum,
+    /// Unknown (unsupported) type byte.
+    UnknownType(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "ICMP message truncated"),
+            DecodeError::BadChecksum => write!(f, "ICMP checksum mismatch"),
+            DecodeError::UnknownType(t) => write!(f, "unsupported ICMP type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The Internet checksum (RFC 1071) over a byte slice.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Encodes a message to wire bytes (checksum filled in).
+pub fn encode(msg: &IcmpMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16);
+    match msg {
+        IcmpMessage::EchoRequest { ident, seq, payload }
+        | IcmpMessage::EchoReply { ident, seq, payload } => {
+            let ty = if matches!(msg, IcmpMessage::EchoRequest { .. }) {
+                TYPE_ECHO_REQUEST
+            } else {
+                TYPE_ECHO_REPLY
+            };
+            buf.put_u8(ty);
+            buf.put_u8(0); // code
+            buf.put_u16(0); // checksum placeholder
+            buf.put_u16(*ident);
+            buf.put_u16(*seq);
+            buf.put_slice(payload);
+        }
+        IcmpMessage::TimeExceeded { original } => {
+            buf.put_u8(TYPE_TIME_EXCEEDED);
+            buf.put_u8(0); // code 0: TTL exceeded in transit
+            buf.put_u16(0);
+            buf.put_u32(0); // unused
+            buf.put_slice(original);
+        }
+    }
+    let ck = internet_checksum(&buf);
+    buf[2..4].copy_from_slice(&ck.to_be_bytes());
+    buf.freeze()
+}
+
+/// Decodes wire bytes into a message, verifying the checksum.
+pub fn decode(mut data: Bytes) -> Result<IcmpMessage, DecodeError> {
+    if data.len() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    if internet_checksum(&data) != 0 {
+        return Err(DecodeError::BadChecksum);
+    }
+    let ty = data.get_u8();
+    let _code = data.get_u8();
+    let _cksum = data.get_u16();
+    match ty {
+        TYPE_ECHO_REQUEST | TYPE_ECHO_REPLY => {
+            let ident = data.get_u16();
+            let seq = data.get_u16();
+            let payload = data;
+            if ty == TYPE_ECHO_REQUEST {
+                Ok(IcmpMessage::EchoRequest { ident, seq, payload })
+            } else {
+                Ok(IcmpMessage::EchoReply { ident, seq, payload })
+            }
+        }
+        TYPE_TIME_EXCEEDED => {
+            let _unused = data.get_u32();
+            Ok(IcmpMessage::TimeExceeded { original: data })
+        }
+        other => Err(DecodeError::UnknownType(other)),
+    }
+}
+
+/// Builds the echo reply for a request (what the destination host does).
+pub fn reply_to(request: &IcmpMessage) -> Option<IcmpMessage> {
+    match request {
+        IcmpMessage::EchoRequest { ident, seq, payload } => Some(IcmpMessage::EchoReply {
+            ident: *ident,
+            seq: *seq,
+            payload: payload.clone(),
+        }),
+        _ => None,
+    }
+}
+
+/// Builds the time-exceeded message a router emits for an expired request
+/// (quoting the original header, RFC 792 style).
+pub fn time_exceeded_for(request_wire: &Bytes) -> IcmpMessage {
+    let quote_len = request_wire.len().min(8 + 8); // header + 8 bytes
+    IcmpMessage::TimeExceeded { original: request_wire.slice(..quote_len) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn echo_round_trip() {
+        let msg = IcmpMessage::EchoRequest {
+            ident: 0xBEEF,
+            seq: 42,
+            payload: Bytes::from_static(b"timestamp"),
+        };
+        let wire = encode(&msg);
+        assert_eq!(decode(wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn reply_mirrors_request() {
+        let req = IcmpMessage::EchoRequest {
+            ident: 7,
+            seq: 9,
+            payload: Bytes::from_static(b"xyz"),
+        };
+        let rep = reply_to(&req).unwrap();
+        match rep {
+            IcmpMessage::EchoReply { ident, seq, ref payload } => {
+                assert_eq!((ident, seq), (7, 9));
+                assert_eq!(&payload[..], b"xyz");
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert!(reply_to(&rep).is_none(), "replies don't get replies");
+    }
+
+    #[test]
+    fn time_exceeded_quotes_request() {
+        let req = IcmpMessage::EchoRequest {
+            ident: 1,
+            seq: 2,
+            payload: Bytes::from(vec![0xAA; 64]),
+        };
+        let wire = encode(&req);
+        let te = time_exceeded_for(&wire);
+        let te_wire = encode(&te);
+        match decode(te_wire).unwrap() {
+            IcmpMessage::TimeExceeded { original } => {
+                assert_eq!(original.len(), 16, "header + 8 quoted bytes");
+                assert_eq!(original[0], TYPE_ECHO_REQUEST);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_checksum_rejected() {
+        let wire = encode(&IcmpMessage::EchoRequest {
+            ident: 1,
+            seq: 1,
+            payload: Bytes::new(),
+        });
+        let mut bad = BytesMut::from(&wire[..]);
+        bad[6] ^= 0xFF;
+        assert_eq!(decode(bad.freeze()), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(decode(Bytes::from_static(b"\x08\x00")), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(3); // destination unreachable — unsupported here
+        buf.put_u8(0);
+        buf.put_u16(0);
+        buf.put_u32(0);
+        let ck = internet_checksum(&buf);
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(decode(buf.freeze()), Err(DecodeError::UnknownType(3)));
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // RFC 1071 example: bytes 00 01 f2 03 f4 f5 f6 f7 sum to ddf2
+        // before folding; complement is 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn odd_length_checksum() {
+        let data = [0x01, 0x02, 0x03];
+        // Pads with zero: words 0102, 0300.
+        let sum = 0x0102u32 + 0x0300;
+        assert_eq!(internet_checksum(&data), !(sum as u16));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_any_echo(
+            ident: u16, seq: u16,
+            payload in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            let msg = IcmpMessage::EchoRequest {
+                ident, seq, payload: Bytes::from(payload),
+            };
+            prop_assert_eq!(decode(encode(&msg)).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_encoded_always_validates(
+            ident: u16, seq: u16,
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let wire = encode(&IcmpMessage::EchoReply {
+                ident, seq, payload: Bytes::from(payload),
+            });
+            prop_assert_eq!(internet_checksum(&wire), 0);
+        }
+
+        #[test]
+        fn prop_single_bit_flip_detected(
+            seq: u16,
+            byte_idx in 0usize..8,
+            bit in 0u8..8,
+        ) {
+            let wire = encode(&IcmpMessage::EchoRequest {
+                ident: 99, seq, payload: Bytes::new(),
+            });
+            let mut bad = BytesMut::from(&wire[..]);
+            bad[byte_idx] ^= 1 << bit;
+            let out = decode(bad.freeze());
+            // A flip either corrupts the checksum or mutates the message.
+            match out {
+                Err(_) => {}
+                Ok(m) => prop_assert_ne!(
+                    m,
+                    IcmpMessage::EchoRequest { ident: 99, seq, payload: Bytes::new() }
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! Campaign scheduling and parallel execution.
+//!
+//! Campaigns sweep a pair list at a fixed cadence over a time window,
+//! exactly like the CDN's measurement schedule (§2): full-mesh traceroutes
+//! every 3 hours, pings every 15 minutes, focused traceroutes every 30
+//! minutes. Because a 16-month full-mesh campaign produces millions of
+//! records, execution is *streaming*: each worker folds its pairs' records
+//! into a caller-supplied accumulator instead of materializing everything.
+//!
+//! Work is partitioned by pair (each pair's whole timeline is folded by one
+//! worker, so accumulators never need locking); workers sweep time in the
+//! same epoch order, which keeps the routing oracle's configuration cache
+//! hot across threads.
+
+use crate::records::{PingRecord, TracerouteRecord};
+use crate::tracer::{trace, TraceOptions};
+use s2s_netsim::Network;
+use s2s_types::time::sample_times;
+use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
+
+/// When and how often to measure.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// First sample instant.
+    pub start: SimTime,
+    /// End of the window (exclusive).
+    pub end: SimTime,
+    /// Sampling cadence.
+    pub interval: SimDuration,
+    /// Protocols to probe (each pair is measured over all of them).
+    pub protocols: Vec<Protocol>,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// The paper's long-term schedule: every 3 hours, both protocols.
+    pub fn long_term(days: u32) -> Self {
+        CampaignConfig {
+            start: SimTime::T0,
+            end: SimTime::from_days(days),
+            interval: SimDuration::from_hours(3),
+            protocols: vec![Protocol::V4, Protocol::V6],
+            threads: default_threads(),
+        }
+    }
+
+    /// The paper's short-term ping schedule: every 15 minutes for a week.
+    pub fn ping_week(start: SimTime) -> Self {
+        CampaignConfig {
+            start,
+            end: start + SimDuration::from_days(7),
+            interval: SimDuration::from_minutes(15),
+            protocols: vec![Protocol::V4, Protocol::V6],
+            threads: default_threads(),
+        }
+    }
+
+    /// The paper's focused traceroute schedule: every 30 minutes.
+    pub fn focused_traceroute(start: SimTime, days: u32) -> Self {
+        CampaignConfig {
+            start,
+            end: start + SimDuration::from_days(days),
+            interval: SimDuration::from_minutes(30),
+            protocols: vec![Protocol::V4, Protocol::V6],
+            threads: default_threads(),
+        }
+    }
+
+    /// Number of sampling instants.
+    pub fn n_samples(&self) -> usize {
+        sample_times(self.start, self.end, self.interval).count()
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// All ordered (directed) cluster pairs — the full mesh of §2.1.
+pub fn full_mesh_pairs(n_clusters: usize) -> Vec<(ClusterId, ClusterId)> {
+    let mut v = Vec::with_capacity(n_clusters * n_clusters.saturating_sub(1));
+    for a in 0..n_clusters {
+        for b in 0..n_clusters {
+            if a != b {
+                v.push((ClusterId::from(a), ClusterId::from(b)));
+            }
+        }
+    }
+    v
+}
+
+/// Directed pairs of clusters sharing a city — the colocated full-mesh
+/// campaign of §2.2.
+pub fn colocated_pairs(topo: &s2s_topology::Topology) -> Vec<(ClusterId, ClusterId)> {
+    let mut v = Vec::new();
+    for a in 0..topo.clusters.len() {
+        for b in 0..topo.clusters.len() {
+            if a != b && topo.clusters[a].city == topo.clusters[b].city {
+                v.push((ClusterId::from(a), ClusterId::from(b)));
+            }
+        }
+    }
+    v
+}
+
+/// Runs a traceroute campaign, folding each (pair, protocol) timeline into
+/// an accumulator.
+///
+/// * `init(src, dst, proto)` creates the accumulator for one timeline,
+/// * `step(acc, record)` folds one traceroute into it.
+///
+/// Returns one accumulator per (pair × protocol), ordered pair-major then
+/// protocol in `cfg.protocols` order.
+pub fn run_traceroute_campaign<A, I, S>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    opts: TraceOptions,
+    init: I,
+    step: S,
+) -> Vec<A>
+where
+    A: Send,
+    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
+    S: Fn(&mut A, TracerouteRecord) + Sync,
+{
+    run_traceroute_campaign_with(net, pairs, cfg, |_, _| opts, init, step)
+}
+
+/// Like [`run_traceroute_campaign`], but with per-measurement tool options:
+/// `opts_of(t, proto)` picks the traceroute flavor for each run. This is how
+/// the paper's platform behaved — classic traceroute until November 2014,
+/// then Paris traceroute for IPv4 (§2.1).
+pub fn run_traceroute_campaign_with<A, O, I, S>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    opts_of: O,
+    init: I,
+    step: S,
+) -> Vec<A>
+where
+    A: Send,
+    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
+    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
+    S: Fn(&mut A, TracerouteRecord) + Sync,
+{
+    let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
+    let (times, opts_of, init, step) = (&times, &opts_of, &init, &step);
+    run_partitioned(pairs, cfg, move |chunk| {
+        let mut accs: Vec<A> = chunk
+            .iter()
+            .flat_map(|&(s, d)| cfg.protocols.iter().map(move |&p| init(s, d, p)))
+            .collect();
+        for &t in times.iter() {
+            for (pi, &(src, dst)) in chunk.iter().enumerate() {
+                for (qi, &proto) in cfg.protocols.iter().enumerate() {
+                    let rec = trace(net, src, dst, proto, t, opts_of(t, proto));
+                    step(&mut accs[pi * cfg.protocols.len() + qi], rec);
+                }
+            }
+        }
+        accs
+    })
+}
+
+/// One (pair, protocol) ping timeline: a slot per sampling instant, `NaN`
+/// for lost probes (kept dense so FFTs index by time directly).
+#[derive(Clone, Debug)]
+pub struct PingTimeline {
+    /// Source vantage point.
+    pub src: ClusterId,
+    /// Destination vantage point.
+    pub dst: ClusterId,
+    /// Protocol.
+    pub proto: Protocol,
+    /// First sample instant.
+    pub start: SimTime,
+    /// Sampling cadence.
+    pub interval: SimDuration,
+    /// RTTs in ms; `NaN` marks a lost or unreachable sample.
+    pub rtts: Vec<f32>,
+}
+
+impl PingTimeline {
+    /// Number of successful samples.
+    pub fn valid_samples(&self) -> usize {
+        self.rtts.iter().filter(|r| !r.is_nan()).count()
+    }
+
+    /// The valid RTTs as f64 (for the stats toolkit).
+    pub fn valid_rtts(&self) -> Vec<f64> {
+        self.rtts.iter().filter(|r| !r.is_nan()).map(|&r| f64::from(r)).collect()
+    }
+
+    /// RTTs with lost samples interpolated from the previous valid sample
+    /// (FFT input must be regular). Leading losses take the first valid
+    /// value. `None` when no sample is valid.
+    pub fn filled_rtts(&self) -> Option<Vec<f64>> {
+        let first = self.rtts.iter().find(|r| !r.is_nan())?;
+        let mut last = f64::from(*first);
+        Some(
+            self.rtts
+                .iter()
+                .map(|&r| {
+                    if r.is_nan() {
+                        last
+                    } else {
+                        last = f64::from(r);
+                        last
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Runs a ping campaign, returning a dense timeline per (pair, protocol).
+pub fn run_ping_campaign(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+) -> Vec<PingTimeline> {
+    let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
+    let times = &times;
+    run_partitioned(pairs, cfg, move |chunk| {
+        let mut out: Vec<PingTimeline> = chunk
+            .iter()
+            .flat_map(|&(s, d)| {
+                cfg.protocols.iter().map(move |&p| PingTimeline {
+                    src: s,
+                    dst: d,
+                    proto: p,
+                    start: cfg.start,
+                    interval: cfg.interval,
+                    rtts: Vec::with_capacity(times.len()),
+                })
+            })
+            .collect();
+        for (ti, &t) in times.iter().enumerate() {
+            for (pi, &(src, dst)) in chunk.iter().enumerate() {
+                for (qi, &proto) in cfg.protocols.iter().enumerate() {
+                    let rtt = net.ping(src, dst, proto, t, ti as u64);
+                    out[pi * cfg.protocols.len() + qi]
+                        .rtts
+                        .push(rtt.map(|r| r as f32).unwrap_or(f32::NAN));
+                }
+            }
+        }
+        out
+    })
+}
+
+/// Convenience: a single ping as a [`PingRecord`].
+pub fn ping_once(
+    net: &Network,
+    src: ClusterId,
+    dst: ClusterId,
+    proto: Protocol,
+    t: SimTime,
+) -> PingRecord {
+    PingRecord { src, dst, proto, t, rtt_ms: net.ping(src, dst, proto, t, 0) }
+}
+
+/// Partitions pairs across workers and concatenates per-chunk outputs in
+/// pair order.
+fn run_partitioned<A, F>(
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    work: F,
+) -> Vec<A>
+where
+    A: Send,
+    F: Fn(&[(ClusterId, ClusterId)]) -> Vec<A> + Sync,
+{
+    let threads = cfg.threads.max(1).min(pairs.len().max(1));
+    if threads <= 1 || pairs.len() < 4 {
+        return work(pairs);
+    }
+    let chunk_size = pairs.len().div_ceil(threads);
+    let chunks: Vec<&[(ClusterId, ClusterId)]> = pairs.chunks(chunk_size).collect();
+    let mut results: Vec<Option<Vec<A>>> = (0..chunks.len()).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in &chunks {
+            let work = &work;
+            handles.push(scope.spawn(move |_| work(chunk)));
+        }
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("campaign worker panicked"));
+        }
+    })
+    .expect("campaign scope failed");
+    results.into_iter().flat_map(|r| r.expect("worker result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_netsim::{CongestionModel, NetworkParams};
+    use s2s_routing::{Dynamics, RouteOracle};
+    use s2s_topology::{build_topology, TopologyParams};
+    use std::sync::Arc;
+
+    fn network(seed: u64) -> Network {
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(seed)));
+        let oracle = Arc::new(RouteOracle::new(
+            Arc::clone(&topo),
+            Arc::new(Dynamics::all_up(&topo, SimTime::from_days(10))),
+        ));
+        Network::new(
+            oracle,
+            CongestionModel::none(),
+            NetworkParams { loss_prob: 0.0, spike_prob: 0.0, ..NetworkParams::default() },
+        )
+    }
+
+    #[test]
+    fn full_mesh_has_n_times_n_minus_one() {
+        let pairs = full_mesh_pairs(5);
+        assert_eq!(pairs.len(), 20);
+        assert!(pairs.iter().all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn campaign_counts_match_schedule() {
+        let net = network(42);
+        let pairs = vec![
+            (ClusterId::new(0), ClusterId::new(1)),
+            (ClusterId::new(2), ClusterId::new(3)),
+        ];
+        let cfg = CampaignConfig {
+            start: SimTime::T0,
+            end: SimTime::from_days(1),
+            interval: SimDuration::from_hours(3),
+            protocols: vec![Protocol::V4, Protocol::V6],
+            threads: 2,
+        };
+        assert_eq!(cfg.n_samples(), 8);
+        let counts = run_traceroute_campaign(
+            &net,
+            &pairs,
+            &cfg,
+            TraceOptions::default(),
+            |_, _, _| 0usize,
+            |acc, _| *acc += 1,
+        );
+        // 2 pairs × 2 protocols accumulators, 8 records each.
+        assert_eq!(counts, vec![8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn accumulators_are_pair_major_proto_minor() {
+        let net = network(42);
+        let pairs =
+            vec![(ClusterId::new(0), ClusterId::new(1)), (ClusterId::new(1), ClusterId::new(2))];
+        let cfg = CampaignConfig {
+            start: SimTime::T0,
+            end: SimTime::from_hours(3),
+            interval: SimDuration::from_hours(3),
+            protocols: vec![Protocol::V4, Protocol::V6],
+            threads: 1,
+        };
+        let ids = run_traceroute_campaign(
+            &net,
+            &pairs,
+            &cfg,
+            TraceOptions::default(),
+            |s, d, p| (s, d, p),
+            |_, _| {},
+        );
+        assert_eq!(ids[0], (ClusterId::new(0), ClusterId::new(1), Protocol::V4));
+        assert_eq!(ids[1], (ClusterId::new(0), ClusterId::new(1), Protocol::V6));
+        assert_eq!(ids[2], (ClusterId::new(1), ClusterId::new(2), Protocol::V4));
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let net = network(42);
+        let pairs = full_mesh_pairs(6);
+        let mk_cfg = |threads| CampaignConfig {
+            start: SimTime::T0,
+            end: SimTime::from_hours(9),
+            interval: SimDuration::from_hours(3),
+            protocols: vec![Protocol::V4],
+            threads,
+        };
+        let collect = |cfg: &CampaignConfig| {
+            run_traceroute_campaign(
+                &net,
+                &pairs,
+                cfg,
+                TraceOptions::default(),
+                |_, _, _| Vec::new(),
+                |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
+            )
+        };
+        assert_eq!(collect(&mk_cfg(1)), collect(&mk_cfg(4)));
+    }
+
+    #[test]
+    fn ping_campaign_produces_dense_timelines() {
+        let net = network(42);
+        let pairs = vec![(ClusterId::new(0), ClusterId::new(2))];
+        let cfg = CampaignConfig {
+            start: SimTime::T0,
+            end: SimTime::from_hours(2),
+            interval: SimDuration::from_minutes(15),
+            protocols: vec![Protocol::V4],
+            threads: 1,
+        };
+        let tl = run_ping_campaign(&net, &pairs, &cfg);
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl[0].rtts.len(), 8);
+        assert_eq!(tl[0].valid_samples(), 8, "no loss configured");
+        assert!(tl[0].valid_rtts().iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn filled_rtts_interpolates_losses() {
+        let tl = PingTimeline {
+            src: ClusterId::new(0),
+            dst: ClusterId::new(1),
+            proto: Protocol::V4,
+            start: SimTime::T0,
+            interval: SimDuration::from_minutes(15),
+            rtts: vec![f32::NAN, 10.0, f32::NAN, 12.0, f32::NAN],
+        };
+        assert_eq!(tl.filled_rtts().unwrap(), vec![10.0, 10.0, 10.0, 12.0, 12.0]);
+        assert_eq!(tl.valid_samples(), 2);
+        let empty = PingTimeline { rtts: vec![f32::NAN], ..tl };
+        assert!(empty.filled_rtts().is_none());
+    }
+
+    #[test]
+    fn colocated_pairs_share_cities() {
+        let topo = build_topology(&TopologyParams::tiny(42));
+        let pairs = colocated_pairs(&topo);
+        for (a, b) in &pairs {
+            assert_eq!(topo.clusters[a.index()].city, topo.clusters[b.index()].city);
+        }
+    }
+
+    #[test]
+    fn ping_once_returns_record() {
+        let net = network(42);
+        let r = ping_once(&net, ClusterId::new(0), ClusterId::new(1), Protocol::V4, SimTime::T0);
+        assert!(r.rtt_ms.is_some());
+        assert_eq!(r.src, ClusterId::new(0));
+    }
+}

@@ -1,0 +1,363 @@
+//! Dataset export/import.
+//!
+//! Campaign outputs are plain data; this module round-trips them through a
+//! line-oriented text format so results can be archived, diffed, or plotted
+//! by external tooling without rerunning a multi-month campaign. The format
+//! is deliberately boring: one record per line, `|`-separated fields,
+//! `*` for missing values — the same spirit as scamper's text output.
+
+use crate::records::{HopObs, TracerouteRecord};
+use crate::PingTimeline;
+use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
+use std::fmt::Write as _;
+use std::net::IpAddr;
+use std::str::FromStr;
+
+/// Errors from parsing a dataset line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Which line failed (0-based).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn opt<T: ToString>(v: Option<T>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "*".into())
+}
+
+fn parse_opt<T: FromStr>(s: &str) -> Result<Option<T>, String> {
+    if s == "*" {
+        Ok(None)
+    } else {
+        s.parse().map(Some).map_err(|_| format!("bad field '{s}'"))
+    }
+}
+
+fn proto_tag(p: Protocol) -> &'static str {
+    match p {
+        Protocol::V4 => "4",
+        Protocol::V6 => "6",
+    }
+}
+
+fn parse_proto(s: &str) -> Result<Protocol, String> {
+    match s {
+        "4" => Ok(Protocol::V4),
+        "6" => Ok(Protocol::V6),
+        other => Err(format!("bad protocol '{other}'")),
+    }
+}
+
+/// Serializes one traceroute to a line:
+/// `T|src|dst|proto|minute|reached|e2e|src_addr|dst_addr|hop,rtt;hop,rtt;...`
+pub fn traceroute_to_line(r: &TracerouteRecord) -> String {
+    let mut hops = String::new();
+    for (i, h) in r.hops.iter().enumerate() {
+        if i > 0 {
+            hops.push(';');
+        }
+        let _ = write!(
+            hops,
+            "{},{}",
+            opt(h.addr),
+            opt(h.rtt_ms.map(|v| format!("{v:.3}")))
+        );
+    }
+    format!(
+        "T|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        r.src.0,
+        r.dst.0,
+        proto_tag(r.proto),
+        r.t.minutes(),
+        u8::from(r.reached),
+        opt(r.e2e_rtt_ms.map(|v| format!("{v:.3}"))),
+        opt(r.src_addr),
+        opt(r.dst_addr),
+        hops
+    )
+}
+
+/// Parses a traceroute line produced by [`traceroute_to_line`].
+pub fn traceroute_from_line(line: &str, lineno: usize) -> Result<TracerouteRecord, ParseError> {
+    let err = |m: String| ParseError { line: lineno, message: m };
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields.len() != 10 || fields[0] != "T" {
+        return Err(err(format!("expected 10 T-record fields, got {}", fields.len())));
+    }
+    let src = ClusterId::new(fields[1].parse().map_err(|_| err("bad src".into()))?);
+    let dst = ClusterId::new(fields[2].parse().map_err(|_| err("bad dst".into()))?);
+    let proto = parse_proto(fields[3]).map_err(|m| err(m))?;
+    let t = SimTime::from_minutes(fields[4].parse().map_err(|_| err("bad time".into()))?);
+    let reached = fields[5] == "1";
+    let e2e_rtt_ms = parse_opt::<f64>(fields[6]).map_err(|m| err(m))?;
+    let src_addr = parse_opt::<IpAddr>(fields[7]).map_err(|m| err(m))?;
+    let dst_addr = parse_opt::<IpAddr>(fields[8]).map_err(|m| err(m))?;
+    let mut hops = Vec::new();
+    if !fields[9].is_empty() {
+        for part in fields[9].split(';') {
+            let (a, r) = part
+                .split_once(',')
+                .ok_or_else(|| err(format!("bad hop '{part}'")))?;
+            hops.push(HopObs {
+                addr: parse_opt::<IpAddr>(a).map_err(|m| err(m))?,
+                rtt_ms: parse_opt::<f64>(r).map_err(|m| err(m))?,
+            });
+        }
+    }
+    Ok(TracerouteRecord { src, dst, proto, t, hops, reached, e2e_rtt_ms, src_addr, dst_addr })
+}
+
+/// Serializes a ping timeline to a line:
+/// `P|src|dst|proto|start_minute|interval_minutes|rtt;rtt;*;...`
+pub fn ping_timeline_to_line(tl: &PingTimeline) -> String {
+    let rtts: Vec<String> = tl
+        .rtts
+        .iter()
+        .map(|r| {
+            if r.is_nan() {
+                "*".into()
+            } else {
+                format!("{r:.3}")
+            }
+        })
+        .collect();
+    format!(
+        "P|{}|{}|{}|{}|{}|{}",
+        tl.src.0,
+        tl.dst.0,
+        proto_tag(tl.proto),
+        tl.start.minutes(),
+        tl.interval.minutes(),
+        rtts.join(";")
+    )
+}
+
+/// Parses a ping-timeline line produced by [`ping_timeline_to_line`].
+pub fn ping_timeline_from_line(line: &str, lineno: usize) -> Result<PingTimeline, ParseError> {
+    let err = |m: String| ParseError { line: lineno, message: m };
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields.len() != 7 || fields[0] != "P" {
+        return Err(err(format!("expected 7 P-record fields, got {}", fields.len())));
+    }
+    let rtts = if fields[6].is_empty() {
+        Vec::new()
+    } else {
+        fields[6]
+            .split(';')
+            .map(|s| {
+                if s == "*" {
+                    Ok(f32::NAN)
+                } else {
+                    s.parse::<f32>().map_err(|_| err(format!("bad rtt '{s}'")))
+                }
+            })
+            .collect::<Result<Vec<f32>, _>>()?
+    };
+    Ok(PingTimeline {
+        src: ClusterId::new(fields[1].parse().map_err(|_| err("bad src".into()))?),
+        dst: ClusterId::new(fields[2].parse().map_err(|_| err("bad dst".into()))?),
+        proto: parse_proto(fields[3]).map_err(|m| err(m))?,
+        start: SimTime::from_minutes(
+            fields[4].parse().map_err(|_| err("bad start".into()))?,
+        ),
+        interval: SimDuration::from_minutes(
+            fields[5].parse().map_err(|_| err("bad interval".into()))?,
+        ),
+        rtts,
+    })
+}
+
+/// Writes traceroute records to a writer, one line each.
+pub fn write_traceroutes<W: std::io::Write>(
+    w: &mut W,
+    records: &[TracerouteRecord],
+) -> std::io::Result<()> {
+    for r in records {
+        writeln!(w, "{}", traceroute_to_line(r))?;
+    }
+    Ok(())
+}
+
+/// Reads traceroute records from a reader (skipping blank lines and `#`
+/// comments).
+pub fn read_traceroutes<R: std::io::BufRead>(
+    r: R,
+) -> Result<Vec<TracerouteRecord>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| ParseError { line: i, message: e.to_string() })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(traceroute_from_line(line, i)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser must reject or accept arbitrary input without
+        /// panicking — it ingests archives from outside the process.
+        #[test]
+        fn prop_parser_never_panics(line in ".*") {
+            let _ = traceroute_from_line(&line, 0);
+            let _ = ping_timeline_from_line(&line, 0);
+        }
+
+        /// Pipe-structured garbage with the right field count must not
+        /// panic either (it exercises the per-field error paths).
+        #[test]
+        fn prop_structured_garbage_is_rejected_cleanly(
+            fields in proptest::collection::vec("[a-z0-9*.]{0,8}", 9),
+        ) {
+            let line = format!("T|{}", fields.join("|"));
+            let _ = traceroute_from_line(&line, 3);
+        }
+
+        /// Round trip holds for arbitrary RTT values (3-decimal precision).
+        #[test]
+        fn prop_rtt_precision(rtt in 0.0f64..1e5) {
+            let mut r = sample_record();
+            r.e2e_rtt_ms = Some(rtt);
+            let back = traceroute_from_line(&traceroute_to_line(&r), 0).unwrap();
+            prop_assert!((back.e2e_rtt_ms.unwrap() - rtt).abs() < 0.0005 + rtt * 1e-12);
+        }
+    }
+
+    fn sample_record() -> TracerouteRecord {
+        TracerouteRecord {
+            src: ClusterId::new(3),
+            dst: ClusterId::new(9),
+            proto: Protocol::V4,
+            t: SimTime::from_minutes(1234),
+            hops: vec![
+                HopObs { addr: Some("10.0.0.1".parse().unwrap()), rtt_ms: Some(1.25) },
+                HopObs { addr: None, rtt_ms: None },
+                HopObs { addr: Some("2600::1".parse().unwrap()), rtt_ms: Some(9.5) },
+            ],
+            reached: true,
+            e2e_rtt_ms: Some(55.125),
+            src_addr: Some("10.9.0.1".parse().unwrap()),
+            dst_addr: Some("10.2.0.9".parse().unwrap()),
+        }
+    }
+
+    #[test]
+    fn traceroute_round_trips() {
+        let r = sample_record();
+        let line = traceroute_to_line(&r);
+        let back = traceroute_from_line(&line, 0).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn unreached_record_round_trips() {
+        let mut r = sample_record();
+        r.reached = false;
+        r.e2e_rtt_ms = None;
+        r.dst_addr = None;
+        let back = traceroute_from_line(&traceroute_to_line(&r), 0).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_hops_round_trip() {
+        let mut r = sample_record();
+        r.hops.clear();
+        let back = traceroute_from_line(&traceroute_to_line(&r), 0).unwrap();
+        assert!(back.hops.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        assert_eq!(traceroute_from_line("garbage", 7).unwrap_err().line, 7);
+        assert!(traceroute_from_line("T|x|2|4|0|1|*|*|*|", 0).is_err());
+        assert!(traceroute_from_line("T|1|2|9|0|1|*|*|*|", 0)
+            .unwrap_err()
+            .message
+            .contains("protocol"));
+    }
+
+    #[test]
+    fn ping_timeline_round_trips() {
+        let tl = PingTimeline {
+            src: ClusterId::new(1),
+            dst: ClusterId::new(2),
+            proto: Protocol::V6,
+            start: SimTime::from_minutes(500),
+            interval: SimDuration::from_minutes(15),
+            rtts: vec![10.5, f32::NAN, 12.25],
+        };
+        let back = ping_timeline_from_line(&ping_timeline_to_line(&tl), 0).unwrap();
+        assert_eq!(back.src, tl.src);
+        assert_eq!(back.proto, tl.proto);
+        assert_eq!(back.rtts.len(), 3);
+        assert_eq!(back.rtts[0], 10.5);
+        assert!(back.rtts[1].is_nan());
+        assert_eq!(back.rtts[2], 12.25);
+    }
+
+    #[test]
+    fn file_round_trip_with_comments() {
+        let records = vec![sample_record(), sample_record()];
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"# a comment\n\n");
+        write_traceroutes(&mut buf, &records).unwrap();
+        let back = read_traceroutes(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn simulated_records_round_trip() {
+        use crate::tracer::{trace, TraceOptions};
+        use s2s_netsim::{CongestionModel, Network, NetworkParams};
+        use s2s_routing::{Dynamics, RouteOracle};
+        use s2s_topology::{build_topology, TopologyParams};
+        use std::sync::Arc;
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(77)));
+        let oracle = Arc::new(RouteOracle::new(
+            Arc::clone(&topo),
+            Arc::new(Dynamics::all_up(&topo, SimTime::from_days(2))),
+        ));
+        let net = Network::new(oracle, CongestionModel::none(), NetworkParams::default());
+        let recs: Vec<_> = (1..6)
+            .map(|d| {
+                trace(
+                    &net,
+                    ClusterId::new(0),
+                    ClusterId::new(d),
+                    Protocol::V4,
+                    SimTime::from_hours(6),
+                    TraceOptions::default(),
+                )
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_traceroutes(&mut buf, &recs).unwrap();
+        let back = read_traceroutes(std::io::Cursor::new(buf)).unwrap();
+        // RTT fields round to 3 decimals; compare structure and addresses.
+        assert_eq!(back.len(), recs.len());
+        for (b, r) in back.iter().zip(&recs) {
+            assert_eq!(b.src, r.src);
+            assert_eq!(b.reached, r.reached);
+            assert_eq!(
+                b.hops.iter().map(|h| h.addr).collect::<Vec<_>>(),
+                r.hops.iter().map(|h| h.addr).collect::<Vec<_>>()
+            );
+        }
+    }
+}

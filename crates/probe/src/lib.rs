@@ -1,0 +1,31 @@
+//! Measurement tooling over the simulated network.
+//!
+//! The paper's platform runs two tools from every measurement server —
+//! ping and traceroute (classic until November 2014, then Paris traceroute
+//! for IPv4) — on fixed schedules: full-mesh traceroutes every 3 hours for
+//! 16 months, pings every 15 minutes, and focused 30-minute traceroute
+//! campaigns toward congested pairs. This crate reproduces the tools and
+//! the campaign scheduler:
+//!
+//! * [`tracer`] — TTL-walking traceroute with classic (per-probe flow) and
+//!   Paris (fixed flow) modes, retries, and unresponsive-hop handling,
+//! * [`records`] — the measurement record types the analysis pipeline in
+//!   `s2s-core` consumes (serde-serializable, data-source agnostic),
+//! * [`campaign`] — the scheduler: full-mesh or pair-list sweeps at a fixed
+//!   cadence, parallelized with crossbeam, aggregating per-pair results via
+//!   a caller-supplied fold so multi-month campaigns stream instead of
+//!   materializing billions of records,
+//! * [`dataset`] — line-oriented export/import of records for archiving and
+//!   external plotting.
+
+pub mod campaign;
+pub mod dataset;
+pub mod records;
+pub mod tracer;
+
+pub use campaign::{
+    colocated_pairs, full_mesh_pairs, ping_once, run_ping_campaign,
+    run_traceroute_campaign, run_traceroute_campaign_with, CampaignConfig, PingTimeline,
+};
+pub use records::{HopObs, PingRecord, TracerouteRecord};
+pub use tracer::{trace, TraceOptions, TracerouteMode};

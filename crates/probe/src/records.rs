@@ -1,0 +1,119 @@
+//! Measurement records.
+//!
+//! These are the boundary types between measurement and analysis: the
+//! `s2s-core` pipeline consumes only these (never the simulator), so a
+//! downstream user can populate them from real scamper/MDA output instead.
+
+use s2s_types::{ClusterId, Protocol, SimTime};
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+
+/// One observed traceroute hop.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HopObs {
+    /// The answering address; `None` when no reply arrived after retries
+    /// (rendered `*` by the classic tool).
+    pub addr: Option<IpAddr>,
+    /// RTT to this hop, ms; `None` when unanswered.
+    pub rtt_ms: Option<f64>,
+}
+
+/// One traceroute.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TracerouteRecord {
+    /// Source vantage point.
+    pub src: ClusterId,
+    /// Destination vantage point.
+    pub dst: ClusterId,
+    /// Protocol probed.
+    pub proto: Protocol,
+    /// When the traceroute ran.
+    pub t: SimTime,
+    /// Hops in TTL order, excluding the final destination hop.
+    pub hops: Vec<HopObs>,
+    /// Whether the destination answered (the paper keeps only complete
+    /// traceroutes for most analyses — 75% of the 2.6B collected).
+    pub reached: bool,
+    /// End-to-end RTT from the destination's echo, ms.
+    pub e2e_rtt_ms: Option<f64>,
+    /// The vantage point's own address (the path's implicit first element;
+    /// annotation anchors the AS path at the source AS with it).
+    pub src_addr: Option<IpAddr>,
+    /// The destination address probed (identifies the family + server).
+    pub dst_addr: Option<IpAddr>,
+}
+
+impl TracerouteRecord {
+    /// The number of hops that never answered.
+    pub fn unresponsive_hops(&self) -> usize {
+        self.hops.iter().filter(|h| h.addr.is_none()).count()
+    }
+
+    /// True when every hop answered and the destination was reached.
+    pub fn fully_responsive(&self) -> bool {
+        self.reached && self.unresponsive_hops() == 0
+    }
+}
+
+/// One ping measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PingRecord {
+    /// Source vantage point.
+    pub src: ClusterId,
+    /// Destination vantage point.
+    pub dst: ClusterId,
+    /// Protocol probed.
+    pub proto: Protocol,
+    /// When the ping ran.
+    pub t: SimTime,
+    /// Measured RTT, ms; `None` when the probe or reply was lost.
+    pub rtt_ms: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(addr: Option<&str>, rtt: Option<f64>) -> HopObs {
+        HopObs { addr: addr.map(|a| a.parse().unwrap()), rtt_ms: rtt }
+    }
+
+    #[test]
+    fn unresponsive_counting() {
+        let r = TracerouteRecord {
+            src: ClusterId::new(0),
+            dst: ClusterId::new(1),
+            proto: Protocol::V4,
+            t: SimTime::T0,
+            hops: vec![
+                hop(Some("10.0.0.1"), Some(1.0)),
+                hop(None, None),
+                hop(Some("10.0.0.3"), Some(3.0)),
+            ],
+            reached: true,
+            e2e_rtt_ms: Some(10.0),
+            src_addr: None,
+            dst_addr: Some("10.1.0.1".parse().unwrap()),
+        };
+        assert_eq!(r.unresponsive_hops(), 1);
+        assert!(!r.fully_responsive());
+    }
+
+    #[test]
+    fn fully_responsive_requires_reached() {
+        let mut r = TracerouteRecord {
+            src: ClusterId::new(0),
+            dst: ClusterId::new(1),
+            proto: Protocol::V6,
+            t: SimTime::T0,
+            hops: vec![hop(Some("2600::1"), Some(1.0))],
+            reached: true,
+            e2e_rtt_ms: Some(5.0),
+            src_addr: None,
+            dst_addr: None,
+        };
+        assert!(r.fully_responsive());
+        r.reached = false;
+        assert!(!r.fully_responsive());
+    }
+}

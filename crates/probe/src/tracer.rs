@@ -1,0 +1,347 @@
+//! Traceroute over the simulated network.
+//!
+//! Classic traceroute varies the flow identifier per probe; routers doing
+//! per-flow load balancing then answer from *different* parallel paths at
+//! different TTLs, splicing inconsistent router sequences together — the
+//! artifact (including spurious AS-path loops) that Paris traceroute fixes
+//! by holding the flow fields constant (§2.1, Augustin et al.). Both modes
+//! are implemented; the ablation bench compares their false-loop rates.
+
+use crate::records::{HopObs, TracerouteRecord};
+use s2s_netsim::{Network, ProbeReply};
+use s2s_types::{ClusterId, Protocol, SimTime};
+
+/// Which traceroute flavor to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TracerouteMode {
+    /// Flow fields vary per probe (pre-November-2014 behavior).
+    Classic,
+    /// Flow fields held constant across all probes of one traceroute.
+    Paris,
+}
+
+/// Traceroute options.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceOptions {
+    /// Flavor.
+    pub mode: TracerouteMode,
+    /// Give up after this TTL.
+    pub max_ttl: u8,
+    /// Probes per TTL before recording `*`.
+    pub retries: u8,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions { mode: TracerouteMode::Paris, max_ttl: 32, retries: 3 }
+    }
+}
+
+/// The flow identifier a probe uses. Paris keeps the 5-tuple fixed per
+/// (src, dst, proto); classic lets it vary with TTL and retry (the TTL sits
+/// in fields routers hash on).
+fn probe_flow(
+    mode: TracerouteMode,
+    src: ClusterId,
+    dst: ClusterId,
+    proto: Protocol,
+    ttl: u8,
+    attempt: u8,
+) -> u64 {
+    let base = (u64::from(src.0) << 40) ^ (u64::from(dst.0) << 16) ^ (proto as u64);
+    match mode {
+        TracerouteMode::Paris => base,
+        TracerouteMode::Classic => {
+            base ^ (u64::from(ttl) << 8) ^ u64::from(attempt) << 32
+        }
+    }
+}
+
+/// Runs one traceroute.
+pub fn trace(
+    net: &Network,
+    src: ClusterId,
+    dst: ClusterId,
+    proto: Protocol,
+    t: SimTime,
+    opts: TraceOptions,
+) -> TracerouteRecord {
+    let mut hops: Vec<HopObs> = Vec::with_capacity(20);
+    let mut reached = false;
+    let mut e2e = None;
+    let mut dst_addr = None;
+    let src_cluster = &net.oracle().topology().clusters[src.index()];
+    let src_addr = Some(match proto {
+        Protocol::V4 => std::net::IpAddr::V4(src_cluster.v4),
+        Protocol::V6 => std::net::IpAddr::V6(src_cluster.v6),
+    });
+
+    'ttl_loop: for ttl in 1..=opts.max_ttl {
+        let mut observed: Option<HopObs> = None;
+        for attempt in 0..opts.retries.max(1) {
+            let flow = probe_flow(opts.mode, src, dst, proto, ttl, attempt);
+            match net.probe(src, dst, proto, t, ttl, flow, u64::from(attempt)) {
+                ProbeReply::TimeExceeded { from, rtt_ms } => {
+                    observed = Some(HopObs { addr: Some(from), rtt_ms: Some(rtt_ms) });
+                    break;
+                }
+                ProbeReply::EchoReply { from, rtt_ms } => {
+                    reached = true;
+                    e2e = Some(rtt_ms);
+                    dst_addr = Some(from);
+                    break 'ttl_loop;
+                }
+                ProbeReply::Lost => continue,
+                ProbeReply::Unreachable => break 'ttl_loop,
+            }
+        }
+        hops.push(observed.unwrap_or(HopObs { addr: None, rtt_ms: None }));
+    }
+
+    TracerouteRecord { src, dst, proto, t, hops, reached, e2e_rtt_ms: e2e, src_addr, dst_addr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_netsim::{CongestionModel, NetworkParams};
+    use s2s_routing::{Dynamics, RouteOracle};
+    use s2s_topology::{build_topology, TopologyParams};
+    use std::sync::Arc;
+
+    fn network(seed: u64, loss: f64) -> Network {
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(seed)));
+        let oracle = Arc::new(RouteOracle::new(
+            Arc::clone(&topo),
+            Arc::new(Dynamics::all_up(&topo, SimTime::from_days(30))),
+        ));
+        Network::new(
+            oracle,
+            CongestionModel::none(),
+            NetworkParams {
+                loss_prob: loss,
+                spike_prob: 0.0,
+                rate_limit_prob_v4: 0.0,
+                rate_limit_prob_v6: 0.0,
+                ..NetworkParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn paris_trace_reaches_and_matches_ground_truth() {
+        let net = network(42, 0.0);
+        let rec = trace(
+            &net,
+            ClusterId::new(0),
+            ClusterId::new(5),
+            Protocol::V4,
+            SimTime::T0,
+            TraceOptions::default(),
+        );
+        assert!(rec.reached);
+        assert!(rec.e2e_rtt_ms.unwrap() > 0.0);
+        // Ground truth: hops equal the oracle's visible path.
+        let topo = net.oracle().topology();
+        let flow = probe_flow(
+            TracerouteMode::Paris,
+            ClusterId::new(0),
+            ClusterId::new(5),
+            Protocol::V4,
+            1,
+            0,
+        );
+        let path = net
+            .oracle()
+            .router_path(ClusterId::new(0), ClusterId::new(5), Protocol::V4, SimTime::T0, flow)
+            .unwrap();
+        let visible: Vec<_> = path.hops.iter().filter(|h| !h.hidden).collect();
+        assert_eq!(rec.hops.len(), visible.len());
+        for (obs, truth) in rec.hops.iter().zip(&visible) {
+            let iface =
+                topo.links[truth.ingress_link.index()].iface_of(truth.router);
+            let expect = std::net::IpAddr::V4(topo.ifaces[iface.index()].v4);
+            assert_eq!(obs.addr, Some(expect));
+        }
+        assert_eq!(
+            rec.dst_addr,
+            Some(std::net::IpAddr::V4(topo.clusters[5].v4))
+        );
+    }
+
+    #[test]
+    fn hop_rtts_are_monotonic_without_noise() {
+        let net = network(42, 0.0);
+        let rec = trace(
+            &net,
+            ClusterId::new(1),
+            ClusterId::new(8),
+            Protocol::V4,
+            SimTime::T0,
+            TraceOptions::default(),
+        );
+        let rtts: Vec<f64> = rec.hops.iter().filter_map(|h| h.rtt_ms).collect();
+        for w in rtts.windows(2) {
+            assert!(w[1] + 1.5 >= w[0], "rtt regression: {w:?}");
+        }
+    }
+
+    #[test]
+    fn retries_recover_transient_loss() {
+        // 30% loss but 5 retries: most hops should still answer.
+        let net = network(42, 0.3);
+        let rec = trace(
+            &net,
+            ClusterId::new(0),
+            ClusterId::new(3),
+            Protocol::V4,
+            SimTime::T0,
+            TraceOptions { retries: 5, ..TraceOptions::default() },
+        );
+        let unresponsive = rec.unresponsive_hops();
+        assert!(
+            unresponsive <= rec.hops.len() / 2,
+            "{unresponsive}/{} hops lost despite retries",
+            rec.hops.len()
+        );
+    }
+
+    #[test]
+    fn unresponsive_router_yields_star_and_continues() {
+        let topo = Arc::new(build_topology(&TopologyParams {
+            unresponsive_router_prob: 0.35,
+            ..TopologyParams::tiny(99)
+        }));
+        let oracle = Arc::new(RouteOracle::new(
+            Arc::clone(&topo),
+            Arc::new(Dynamics::all_up(&topo, SimTime::from_days(5))),
+        ));
+        let net = Network::new(
+            oracle,
+            CongestionModel::none(),
+            NetworkParams { loss_prob: 0.0, spike_prob: 0.0, ..NetworkParams::default() },
+        );
+        let mut stars = 0;
+        let mut reached = 0;
+        for b in 1..topo.clusters.len() {
+            let rec = trace(
+                &net,
+                ClusterId::new(0),
+                ClusterId::from(b),
+                Protocol::V4,
+                SimTime::T0,
+                TraceOptions::default(),
+            );
+            stars += rec.unresponsive_hops();
+            reached += rec.reached as usize;
+        }
+        assert!(stars > 0, "no unresponsive hops despite 35% unresponsive routers");
+        assert_eq!(reached, topo.clusters.len() - 1, "stars must not stop the walk");
+    }
+
+    #[test]
+    fn classic_flow_varies_paris_does_not() {
+        let (s, d) = (ClusterId::new(1), ClusterId::new(2));
+        let p1 = probe_flow(TracerouteMode::Paris, s, d, Protocol::V4, 1, 0);
+        let p2 = probe_flow(TracerouteMode::Paris, s, d, Protocol::V4, 9, 2);
+        assert_eq!(p1, p2);
+        let c1 = probe_flow(TracerouteMode::Classic, s, d, Protocol::V4, 1, 0);
+        let c2 = probe_flow(TracerouteMode::Classic, s, d, Protocol::V4, 2, 0);
+        assert_ne!(c1, c2);
+        // Direction matters.
+        let rev = probe_flow(TracerouteMode::Paris, d, s, Protocol::V4, 1, 0);
+        assert_ne!(p1, rev);
+    }
+
+    #[test]
+    fn classic_can_splice_paths() {
+        // With ECMP present, classic traceroute hop sequences eventually
+        // differ from any single Paris path.
+        let net = network(7, 0.0);
+        let mut spliced = false;
+        let n = net.oracle().topology().clusters.len();
+        'outer: for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let classic = trace(
+                    &net,
+                    ClusterId::from(a),
+                    ClusterId::from(b),
+                    Protocol::V4,
+                    SimTime::T0,
+                    TraceOptions { mode: TracerouteMode::Classic, ..Default::default() },
+                );
+                let paris = trace(
+                    &net,
+                    ClusterId::from(a),
+                    ClusterId::from(b),
+                    Protocol::V4,
+                    SimTime::T0,
+                    TraceOptions::default(),
+                );
+                if classic.hops.iter().map(|h| h.addr).collect::<Vec<_>>()
+                    != paris.hops.iter().map(|h| h.addr).collect::<Vec<_>>()
+                {
+                    spliced = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(spliced, "classic never diverged from Paris despite ECMP");
+    }
+
+    #[test]
+    fn v6_trace_uses_v6_family() {
+        let net = network(42, 0.0);
+        let rec = trace(
+            &net,
+            ClusterId::new(0),
+            ClusterId::new(4),
+            Protocol::V6,
+            SimTime::T0,
+            TraceOptions::default(),
+        );
+        if rec.reached {
+            assert!(rec.dst_addr.unwrap().is_ipv6());
+            for h in &rec.hops {
+                if let Some(a) = h.addr {
+                    assert!(a.is_ipv6());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_ttl_caps_unreached_traces() {
+        let net = network(42, 0.0);
+        let rec = trace(
+            &net,
+            ClusterId::new(0),
+            ClusterId::new(5),
+            Protocol::V4,
+            SimTime::T0,
+            TraceOptions { max_ttl: 2, ..TraceOptions::default() },
+        );
+        assert!(!rec.reached);
+        assert_eq!(rec.hops.len(), 2);
+        assert!(rec.e2e_rtt_ms.is_none());
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let net = network(42, 0.01);
+        let run = || {
+            trace(
+                &net,
+                ClusterId::new(3),
+                ClusterId::new(9),
+                Protocol::V4,
+                SimTime::from_hours(5),
+                TraceOptions::default(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,405 @@
+//! Routing dynamics: seeded link-failure episodes.
+//!
+//! Real BGP paths change for many reasons — maintenance, failures, policy
+//! shifts, traffic engineering. The paper observes only their *effects*: AS
+//! paths that flip between a small set of alternatives, mostly briefly,
+//! sometimes for months (Fig. 1a's multi-month level shifts; Fig. 3b's
+//! heavy-tailed change counts; Fig. 4's short-lived expensive detours).
+//!
+//! We model all of it as interconnect-link down episodes:
+//!
+//! * most links are stable (no episodes over 16 months) — giving the ~18%
+//!   of timelines with zero AS-path changes,
+//! * failure-prone links draw a heavy-tailed (Pareto) episode rate — a few
+//!   links flap dozens of times, matching the long tail of Fig. 3b,
+//! * episode durations are log-normal with a wide sigma — minutes to
+//!   months, so a detour can persist long enough to dominate a timeline's
+//!   prevalence (Fig. 6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2s_types::{LinkId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the failure process.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsParams {
+    /// Seed (independent of the topology seed).
+    pub seed: u64,
+    /// End of the modeled horizon.
+    pub horizon: SimTime,
+    /// Fraction of interconnect links that never fail.
+    pub stable_fraction: f64,
+    /// Mean episodes per failure-prone link over the horizon (the Pareto
+    /// scale; the tail adds flappy links far above it).
+    pub mean_episodes: f64,
+    /// Pareto tail exponent for per-link episode counts (smaller = heavier).
+    pub pareto_alpha: f64,
+    /// Median episode duration in minutes (log-normal location).
+    pub median_duration_min: f64,
+    /// Log-normal sigma for durations (2.0+ spreads minutes..months).
+    pub duration_sigma: f64,
+    /// Fraction of AS-pair edges subject to *correlated* outages — BGP
+    /// session resets, maintenance, or disputes that take every parallel
+    /// link between two ASes down at once. These are what actually change
+    /// AS paths (a single parallel link failing usually doesn't).
+    pub edge_outage_fraction: f64,
+    /// Mean correlated outages per affected edge over the horizon
+    /// (Pareto-tailed like the per-link process).
+    pub edge_outage_mean: f64,
+}
+
+impl Default for DynamicsParams {
+    fn default() -> Self {
+        DynamicsParams {
+            seed: 0x5eed_d15e,
+            horizon: SimTime::from_days(485),
+            stable_fraction: 0.55,
+            mean_episodes: 1.5,
+            pareto_alpha: 2.2,
+            median_duration_min: 200.0,
+            duration_sigma: 2.1,
+            edge_outage_fraction: 0.55,
+            edge_outage_mean: 10.0,
+        }
+    }
+}
+
+impl DynamicsParams {
+    /// A horizon-scaled copy (tests use short horizons).
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+}
+
+/// Per-link down episodes, queryable by time.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dynamics {
+    /// `episodes[link] = [(down_start_min, up_again_min), ...]`, sorted,
+    /// non-overlapping. Empty for stable links and all internal links.
+    episodes: Vec<Vec<(u32, u32)>>,
+    horizon: SimTime,
+}
+
+impl Dynamics {
+    /// Generates the failure process for a topology. Only interconnect
+    /// links fail; the intra-AS backbone is treated as always up (interior
+    /// *congestion* is modeled separately in `s2s-netsim`).
+    pub fn generate(topo: &s2s_topology::Topology, params: &DynamicsParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let horizon_min = params.horizon.minutes();
+        let mut episodes = vec![Vec::new(); topo.links.len()];
+
+        for (li, link) in topo.links.iter().enumerate() {
+            if !link.kind.is_interconnect() {
+                continue;
+            }
+            if rng.random_bool(params.stable_fraction) {
+                continue;
+            }
+            // Heavy-tailed expected episode count: Pareto(alpha) scaled so
+            // the mean lands near `mean_episodes`.
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            let scale = params.mean_episodes * (params.pareto_alpha - 1.0)
+                / params.pareto_alpha;
+            let expected = (scale * u.powf(-1.0 / params.pareto_alpha)).min(40.0);
+            // Poisson-ish scheduling: exponential inter-arrivals with mean
+            // horizon / expected.
+            if expected <= 0.0 {
+                continue;
+            }
+            let mean_gap = horizon_min as f64 / expected;
+            let mut t = 0.0f64;
+            let eps = &mut episodes[li];
+            loop {
+                let gap = -mean_gap * (1.0 - rng.random::<f64>()).ln();
+                t += gap.max(1.0);
+                if t >= horizon_min as f64 {
+                    break;
+                }
+                // Log-normal duration.
+                let z = normal_sample(&mut rng);
+                let dur = params.median_duration_min
+                    * (params.duration_sigma * z).exp();
+                let start = t as u32;
+                let end = ((t + dur.max(5.0)) as u32).min(horizon_min);
+                if let Some(&(_, prev_end)) = eps.last() {
+                    if start <= prev_end {
+                        // Merge overlapping episodes.
+                        let merged_end = end.max(prev_end);
+                        eps.last_mut().unwrap().1 = merged_end;
+                        t = f64::from(merged_end);
+                        continue;
+                    }
+                }
+                eps.push((start, end));
+                t = f64::from(end);
+            }
+        }
+        // Correlated edge outages: one episode hits every parallel link of
+        // an AS pair. Durations are shorter (minutes to days) — session
+        // resets and maintenance windows rather than dark fiber.
+        let mut edge_keys: Vec<(usize, usize)> = topo.interconnects.keys().copied().collect();
+        edge_keys.sort_unstable();
+        for key in edge_keys {
+            if !rng.random_bool(params.edge_outage_fraction) {
+                continue;
+            }
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            let scale = params.edge_outage_mean * (params.pareto_alpha - 1.0)
+                / params.pareto_alpha;
+            let expected = (scale * u.powf(-1.0 / params.pareto_alpha)).min(80.0);
+            if expected <= 0.0 {
+                continue;
+            }
+            let mean_gap = horizon_min as f64 / expected;
+            let mut t = 0.0f64;
+            loop {
+                let gap = -mean_gap * (1.0 - rng.random::<f64>()).ln();
+                t += gap.max(1.0);
+                if t >= horizon_min as f64 {
+                    break;
+                }
+                let z = normal_sample(&mut rng);
+                // Median ~3 hours, sigma 2.0: most outages are minutes to a
+                // day, but ~1% run multi-week — the month-long level shifts
+                // of Fig. 1a (e.g. a peering dispute sending traffic via
+                // another continent until settled, §7).
+                let dur = 180.0 * (2.0 * z).exp();
+                let start = t as u32;
+                let end = ((t + dur.max(5.0)) as u32).min(horizon_min);
+                for &l in &topo.interconnects[&key] {
+                    episodes[l.index()].push((start, end));
+                }
+                t = f64::from(end);
+            }
+        }
+        // Merge overlapping intervals per link (the two processes can
+        // overlap each other).
+        for eps in &mut episodes {
+            if eps.len() < 2 {
+                continue;
+            }
+            eps.sort_unstable();
+            let mut merged: Vec<(u32, u32)> = Vec::with_capacity(eps.len());
+            for &(s, e) in eps.iter() {
+                match merged.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => merged.push((s, e)),
+                }
+            }
+            *eps = merged;
+        }
+        Dynamics { episodes, horizon: params.horizon }
+    }
+
+    /// A dynamics object with no failures at all (for tests and baselines).
+    pub fn all_up(topo: &s2s_topology::Topology, horizon: SimTime) -> Self {
+        Dynamics { episodes: vec![Vec::new(); topo.links.len()], horizon }
+    }
+
+    /// A dynamics object with explicit episodes (tests).
+    pub fn from_episodes(
+        n_links: usize,
+        eps: Vec<(LinkId, u32, u32)>,
+        horizon: SimTime,
+    ) -> Self {
+        let mut episodes = vec![Vec::new(); n_links];
+        for (l, s, e) in eps {
+            episodes[l.index()].push((s, e));
+        }
+        for v in &mut episodes {
+            v.sort_unstable();
+        }
+        Dynamics { episodes, horizon }
+    }
+
+    /// The modeled horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Whether a link is up at `t`.
+    pub fn link_up(&self, link: LinkId, t: SimTime) -> bool {
+        let eps = &self.episodes[link.index()];
+        if eps.is_empty() {
+            return true;
+        }
+        let m = t.minutes();
+        // Find the last episode starting at or before m.
+        match eps.partition_point(|&(s, _)| s <= m).checked_sub(1) {
+            Some(i) => m >= eps[i].1, // up again once the episode ended
+            None => true,
+        }
+    }
+
+    /// All links down at `t`.
+    pub fn down_links(&self, t: SimTime) -> Vec<LinkId> {
+        (0..self.episodes.len())
+            .map(LinkId::from)
+            .filter(|&l| !self.link_up(l, t))
+            .collect()
+    }
+
+    /// Total number of episodes across all links.
+    pub fn episode_count(&self) -> usize {
+        self.episodes.iter().map(Vec::len).sum()
+    }
+
+    /// Number of links with at least one episode.
+    pub fn failing_link_count(&self) -> usize {
+        self.episodes.iter().filter(|e| !e.is_empty()).count()
+    }
+
+    /// Episodes of one link.
+    pub fn episodes_of(&self, link: LinkId) -> &[(u32, u32)] {
+        &self.episodes[link.index()]
+    }
+}
+
+/// One standard-normal sample via Box–Muller.
+fn normal_sample(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_topology::{build_topology, TopologyParams};
+
+    fn topo() -> s2s_topology::Topology {
+        build_topology(&TopologyParams::tiny(21))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let t = topo();
+        let p = DynamicsParams::default();
+        let a = Dynamics::generate(&t, &p);
+        let b = Dynamics::generate(&t, &p);
+        assert_eq!(a.episode_count(), b.episode_count());
+        for l in 0..t.links.len() {
+            assert_eq!(a.episodes_of(LinkId::from(l)), b.episodes_of(LinkId::from(l)));
+        }
+    }
+
+    #[test]
+    fn internal_links_never_fail() {
+        let t = topo();
+        let d = Dynamics::generate(&t, &DynamicsParams::default());
+        for (li, l) in t.links.iter().enumerate() {
+            if l.kind == s2s_topology::LinkKind::Internal {
+                assert!(d.episodes_of(LinkId::from(li)).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn many_links_are_stable() {
+        let t = topo();
+        let d = Dynamics::generate(&t, &DynamicsParams::default());
+        let interconnects =
+            t.links.iter().filter(|l| l.kind.is_interconnect()).count();
+        let failing = d.failing_link_count();
+        assert!(failing > 0, "no failures generated at all");
+        assert!(
+            failing < interconnects,
+            "every interconnect fails ({failing}/{interconnects})"
+        );
+    }
+
+    #[test]
+    fn episode_rates_are_heavy_tailed() {
+        let t = build_topology(&TopologyParams::default());
+        let d = Dynamics::generate(&t, &DynamicsParams::default());
+        let counts: Vec<usize> = (0..t.links.len())
+            .map(|l| d.episodes_of(LinkId::from(l)).len())
+            .filter(|&c| c > 0)
+            .collect();
+        assert!(counts.len() > 20);
+        let max = *counts.iter().max().unwrap();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(
+            max as f64 > mean * 4.0,
+            "tail not heavy: max {max}, mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn link_up_respects_episodes() {
+        let d = Dynamics::from_episodes(
+            3,
+            vec![(LinkId::new(1), 100, 200), (LinkId::new(1), 300, 400)],
+            SimTime::from_days(1),
+        );
+        let l = LinkId::new(1);
+        assert!(d.link_up(l, SimTime::from_minutes(99)));
+        assert!(!d.link_up(l, SimTime::from_minutes(100)));
+        assert!(!d.link_up(l, SimTime::from_minutes(199)));
+        assert!(d.link_up(l, SimTime::from_minutes(200)));
+        assert!(d.link_up(l, SimTime::from_minutes(250)));
+        assert!(!d.link_up(l, SimTime::from_minutes(350)));
+        assert!(d.link_up(l, SimTime::from_minutes(400)));
+        // Other links unaffected.
+        assert!(d.link_up(LinkId::new(0), SimTime::from_minutes(150)));
+    }
+
+    #[test]
+    fn down_links_lists_exactly_the_down_ones() {
+        let d = Dynamics::from_episodes(
+            4,
+            vec![(LinkId::new(0), 10, 20), (LinkId::new(2), 15, 30)],
+            SimTime::from_days(1),
+        );
+        assert_eq!(
+            d.down_links(SimTime::from_minutes(17)),
+            vec![LinkId::new(0), LinkId::new(2)]
+        );
+        assert_eq!(d.down_links(SimTime::from_minutes(25)), vec![LinkId::new(2)]);
+        assert!(d.down_links(SimTime::from_minutes(5)).is_empty());
+    }
+
+    #[test]
+    fn episodes_sorted_and_disjoint() {
+        let t = build_topology(&TopologyParams::default());
+        let d = Dynamics::generate(&t, &DynamicsParams::default());
+        for l in 0..t.links.len() {
+            let eps = d.episodes_of(LinkId::from(l));
+            for w in eps.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+            }
+            for &(s, e) in eps {
+                assert!(s < e, "empty episode ({s},{e})");
+                assert!(e <= d.horizon().minutes());
+            }
+        }
+    }
+
+    #[test]
+    fn durations_span_orders_of_magnitude() {
+        let t = build_topology(&TopologyParams::default());
+        let d = Dynamics::generate(&t, &DynamicsParams::default());
+        let durs: Vec<u32> = (0..t.links.len())
+            .flat_map(|l| d.episodes_of(LinkId::from(l)).iter().map(|&(s, e)| e - s))
+            .collect();
+        assert!(durs.len() > 50);
+        let min = *durs.iter().min().unwrap();
+        let max = *durs.iter().max().unwrap();
+        assert!(min < 120, "shortest episode {min} min should be sub-2h");
+        assert!(
+            max > 7 * 24 * 60,
+            "longest episode {max} min should exceed a week"
+        );
+    }
+
+    #[test]
+    fn all_up_never_fails() {
+        let t = topo();
+        let d = Dynamics::all_up(&t, SimTime::from_days(10));
+        assert_eq!(d.episode_count(), 0);
+        assert!(d.down_links(SimTime::from_days(5)).is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Intra-AS shortest paths.
+//!
+//! Inside one AS, traffic between an ingress and an egress router follows
+//! the delay-shortest path over the AS's internal backbone links. Paths are
+//! computed with Dijkstra and cached per source router (the backbone is
+//! static; only interconnects have failure dynamics).
+
+use parking_lot::RwLock;
+use s2s_topology::{LinkKind, Topology};
+use s2s_types::{LinkId, RouterId};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Per-destination entry of a shortest-path tree: total delay from the
+/// source and the final link on the path.
+type SpTree = HashMap<RouterId, (f64, Option<LinkId>)>;
+
+/// Cached intra-AS shortest paths over internal links.
+pub struct IntraAsPaths {
+    topo: Arc<Topology>,
+    /// Shortest-path tree per source router, computed lazily.
+    trees: RwLock<HashMap<RouterId, Arc<SpTree>>>,
+}
+
+impl IntraAsPaths {
+    /// Creates the cache for a topology.
+    pub fn new(topo: Arc<Topology>) -> Self {
+        IntraAsPaths { topo, trees: RwLock::new(HashMap::new()) }
+    }
+
+    /// The hops from `from` to `to` inside one AS, as `(router, ingress
+    /// link)` pairs for every router *after* `from`. Empty when
+    /// `from == to`. `None` when the two routers are in different ASes or
+    /// disconnected.
+    pub fn path(&self, from: RouterId, to: RouterId) -> Option<Vec<(RouterId, LinkId)>> {
+        let topo = &self.topo;
+        if topo.routers[from.index()].as_idx != topo.routers[to.index()].as_idx {
+            return None;
+        }
+        if from == to {
+            return Some(Vec::new());
+        }
+        let tree = self.tree(from);
+        tree.get(&to)?;
+        // Walk backwards from `to` along arrival links.
+        let mut rev: Vec<(RouterId, LinkId)> = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let (_, link) = tree.get(&cur)?;
+            let link = (*link)?;
+            rev.push((cur, link));
+            cur = topo.links[link.index()].other_end(cur);
+        }
+        rev.reverse();
+        Some(rev)
+    }
+
+    /// Total one-way internal delay from `from` to `to`, in ms.
+    pub fn delay_ms(&self, from: RouterId, to: RouterId) -> Option<f64> {
+        if from == to {
+            return Some(0.0);
+        }
+        self.tree(from).get(&to).map(|&(d, _)| d)
+    }
+
+    fn tree(&self, src: RouterId) -> Arc<SpTree> {
+        if let Some(t) = self.trees.read().get(&src) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(self.dijkstra(src));
+        self.trees.write().insert(src, Arc::clone(&t));
+        t
+    }
+
+    fn dijkstra(&self, src: RouterId) -> SpTree {
+        let topo = &self.topo;
+        let as_idx = topo.routers[src.index()].as_idx;
+        let mut tree: SpTree = HashMap::new();
+        tree.insert(src, (0.0, None));
+        // Min-heap on delay; f64 wrapped in sortable bits.
+        #[derive(PartialEq)]
+        struct Item(f64, RouterId);
+        impl Eq for Item {}
+        impl Ord for Item {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                o.0.partial_cmp(&self.0).unwrap().then(o.1.cmp(&self.1))
+            }
+        }
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Item(0.0, src));
+        let mut done: HashMap<RouterId, bool> = HashMap::new();
+        while let Some(Item(d, r)) = heap.pop() {
+            if done.insert(r, true).is_some() {
+                continue;
+            }
+            for &l in &topo.router_links[r.index()] {
+                let link = &topo.links[l.index()];
+                if link.kind != LinkKind::Internal {
+                    continue;
+                }
+                let other = link.other_end(r);
+                if topo.routers[other.index()].as_idx != as_idx {
+                    continue;
+                }
+                let nd = d + link.delay_ms + 0.05; // small per-hop forwarding cost
+                let better = tree.get(&other).map(|&(od, _)| nd < od).unwrap_or(true);
+                if better {
+                    tree.insert(other, (nd, Some(l)));
+                    heap.push(Item(nd, other));
+                }
+            }
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_topology::{build_topology, TopologyParams};
+
+    fn setup() -> (Arc<Topology>, IntraAsPaths) {
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(31)));
+        let paths = IntraAsPaths::new(Arc::clone(&topo));
+        (topo, paths)
+    }
+
+    #[test]
+    fn same_router_is_empty_path() {
+        let (topo, paths) = setup();
+        let r = topo.pops[0].core_router;
+        assert_eq!(paths.path(r, r), Some(Vec::new()));
+        assert_eq!(paths.delay_ms(r, r), Some(0.0));
+    }
+
+    #[test]
+    fn cross_as_is_none() {
+        let (topo, paths) = setup();
+        // Find two routers in different ASes.
+        let r0 = topo.pops[0].core_router;
+        let other = topo
+            .routers
+            .iter()
+            .position(|r| r.as_idx != topo.routers[r0.index()].as_idx)
+            .unwrap();
+        assert_eq!(paths.path(r0, RouterId::from(other)), None);
+    }
+
+    #[test]
+    fn multi_pop_as_paths_connect_and_reconstruct() {
+        let (topo, paths) = setup();
+        let multi = topo
+            .ases
+            .iter()
+            .find(|a| a.pops.len() >= 3)
+            .expect("tiny topo has a multi-pop AS");
+        let r_from = topo.pops[multi.pops[0].index()].core_router;
+        let r_to = topo.pops[multi.pops[2].index()].core_router;
+        let p = paths.path(r_from, r_to).expect("backbone connected");
+        assert!(!p.is_empty());
+        // The walk is link-consistent: each hop's ingress link connects the
+        // previous router to this one.
+        let mut prev = r_from;
+        for &(r, l) in &p {
+            let link = &topo.links[l.index()];
+            assert_eq!(link.other_end(r), prev);
+            assert_eq!(link.kind, LinkKind::Internal);
+            prev = r;
+        }
+        assert_eq!(prev, r_to);
+    }
+
+    #[test]
+    fn delays_satisfy_triangle_via_hub() {
+        let (topo, paths) = setup();
+        let multi = topo.ases.iter().find(|a| a.pops.len() >= 3).unwrap();
+        let a = topo.pops[multi.pops[0].index()].core_router;
+        let b = topo.pops[multi.pops[1].index()].core_router;
+        let c = topo.pops[multi.pops[2].index()].core_router;
+        let ab = paths.delay_ms(a, b).unwrap();
+        let bc = paths.delay_ms(b, c).unwrap();
+        let ac = paths.delay_ms(a, c).unwrap();
+        assert!(ac <= ab + bc + 1e-9);
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn cluster_router_reaches_core() {
+        let (topo, paths) = setup();
+        let c = &topo.clusters[0];
+        let core = topo.pops[topo.routers[c.router.index()].pop.index()].core_router;
+        let p = paths.path(c.router, core).expect("access link exists");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].0, core);
+    }
+
+    #[test]
+    fn cache_is_consistent_across_calls() {
+        let (topo, paths) = setup();
+        let multi = topo.ases.iter().find(|a| a.pops.len() >= 2).unwrap();
+        let a = topo.pops[multi.pops[0].index()].core_router;
+        let b = topo.pops[multi.pops[1].index()].core_router;
+        let p1 = paths.path(a, b);
+        let p2 = paths.path(a, b);
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,29 @@
+//! Policy routing and routing dynamics.
+//!
+//! Three layers:
+//!
+//! * [`policy`] — Gao–Rexford valley-free route computation over the AS
+//!   graph: prefer customer routes over peer routes over provider routes,
+//!   then shortest AS path, then a deterministic per-destination tie-break
+//!   (salted per protocol, so IPv4 and IPv6 can prefer different equally
+//!   good routes — feeding the Fig. 10a comparison).
+//! * [`dynamics`] — a seeded event process that takes interconnect links
+//!   down and back up. Failure rates are heavy-tailed across links and
+//!   episode durations are log-normal, spanning minutes to months: the raw
+//!   material for both the frequent small routing changes and the rare
+//!   long-lived level shifts of Fig. 1/Fig. 4.
+//! * [`oracle`] — the query layer the simulator uses: AS paths and fully
+//!   expanded router-level paths for (cluster pair, protocol, time, flow),
+//!   with caching keyed on the AS-level availability configuration.
+//!
+//! The oracle answers *snapshots*, mirroring how the paper's pipeline sees
+//! routing: a traceroute every 3 hours, not a BGP message stream.
+
+pub mod dynamics;
+pub mod intra;
+pub mod oracle;
+pub mod policy;
+
+pub use dynamics::{Dynamics, DynamicsParams};
+pub use oracle::{Hop, RouteOracle, RouterPath};
+pub use policy::{compute_routes, EdgeAvailability, RouteEntry};

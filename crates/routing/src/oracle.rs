@@ -1,0 +1,710 @@
+//! The routing oracle: snapshot queries over policy routing + dynamics.
+//!
+//! `s2s-netsim` and `s2s-probe` ask one question: *what router-level path
+//! does a packet take between these two clusters, over this protocol, at
+//! this time, for this flow?* The oracle answers by:
+//!
+//! 1. deriving the AS-level availability configuration at `t` from the
+//!    failure dynamics (an AS edge is down when every interconnect link
+//!    carrying the protocol between the two ASes is down),
+//! 2. computing (and caching) the valley-free route table for the
+//!    destination AS under that configuration,
+//! 3. expanding the AS path to routers: per AS-edge crossing, an ECMP
+//!    choice among live parallel links keyed on the flow hash; inside each
+//!    AS, the delay-shortest backbone path.
+//!
+//! Caching exploits the measurement pattern: campaigns sweep all pairs at
+//! one timestamp, so consecutive queries share a configuration. A small
+//! FIFO of recent configurations (each holding lazily computed per-
+//! destination tables) gives near-perfect hit rates without unbounded
+//! memory.
+
+use crate::dynamics::Dynamics;
+use crate::intra::IntraAsPaths;
+use crate::policy::{compute_routes, reconstruct_path, RouteEntry};
+use parking_lot::RwLock;
+use s2s_topology::Topology;
+use s2s_types::{ClusterId, LinkId, Protocol, RouterId, SimTime};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// One hop of an expanded router-level path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hop {
+    /// The router the packet reaches.
+    pub router: RouterId,
+    /// The link it arrived on (its ingress interface identifies the hop in
+    /// traceroute output).
+    pub ingress_link: LinkId,
+    /// Hidden from traceroute: an interior hop of an MPLS network with TTL
+    /// propagation disabled.
+    pub hidden: bool,
+}
+
+/// A fully expanded path between two cluster servers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouterPath {
+    /// Every router hop from the source cluster's attachment router to the
+    /// destination cluster's attachment router, inclusive.
+    pub hops: Vec<Hop>,
+    /// The ground-truth AS-level path (AS indices, source first).
+    pub as_path_idx: Vec<usize>,
+    /// One-way propagation + forwarding delay in ms (no congestion/noise —
+    /// `s2s-netsim` layers those on top).
+    pub one_way_delay_ms: f64,
+}
+
+/// How many recent availability configurations to keep cached.
+const CONFIG_CACHE_CAP: usize = 24;
+
+type Table = Arc<Vec<Option<RouteEntry>>>;
+
+#[derive(Default)]
+struct ConfigCache {
+    /// (config hash, protocol) → destination AS → route table.
+    configs: HashMap<(u64, Protocol), HashMap<usize, Table>>,
+    order: VecDeque<(u64, Protocol)>,
+}
+
+/// Snapshot routing queries with caching.
+pub struct RouteOracle {
+    topo: Arc<Topology>,
+    dynamics: Arc<Dynamics>,
+    intra: IntraAsPaths,
+    /// Per protocol: AS edges with at least one protocol-capable link.
+    base_edges: [BTreeSet<(u32, u32)>; 2],
+    cache: RwLock<ConfigCache>,
+}
+
+fn edge_key(a: usize, b: usize) -> (u32, u32) {
+    ((a.min(b)) as u32, (a.max(b)) as u32)
+}
+
+fn proto_slot(p: Protocol) -> usize {
+    match p {
+        Protocol::V4 => 0,
+        Protocol::V6 => 1,
+    }
+}
+
+/// FNV-1a over a set of edges.
+fn hash_edges(edges: &BTreeSet<(u32, u32)>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &(a, b) in edges {
+        for v in [a, b] {
+            h ^= u64::from(v);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Splitmix64-style finalizer: the xor-shift-right passes propagate every
+/// input bit down to the low bits, so `hash % n_links` is sensitive to the
+/// whole flow identifier (classic traceroute varies only a few mid bits).
+fn flow_hash(flow: u64, a: usize, b: usize) -> u64 {
+    let mut x = flow ^ 0x51_7cc1_b727_220a_95 ^ ((a as u64) << 32) ^ (b as u64);
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl RouteOracle {
+    /// Creates an oracle over a topology and its failure dynamics.
+    pub fn new(topo: Arc<Topology>, dynamics: Arc<Dynamics>) -> Self {
+        let mut base_edges = [BTreeSet::new(), BTreeSet::new()];
+        for (&(a, b), links) in &topo.interconnects {
+            if !links.is_empty() {
+                base_edges[0].insert(edge_key(a, b));
+            }
+            if links.iter().any(|&l| topo.links[l.index()].v6_enabled) {
+                base_edges[1].insert(edge_key(a, b));
+            }
+        }
+        let intra = IntraAsPaths::new(Arc::clone(&topo));
+        RouteOracle {
+            topo,
+            dynamics,
+            intra,
+            base_edges,
+            cache: RwLock::new(ConfigCache::default()),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The underlying dynamics.
+    pub fn dynamics(&self) -> &Dynamics {
+        &self.dynamics
+    }
+
+    /// Live interconnect links between two ASes for a protocol at `t`.
+    pub fn live_links(
+        &self,
+        a: usize,
+        b: usize,
+        proto: Protocol,
+        t: SimTime,
+    ) -> Vec<LinkId> {
+        self.topo
+            .interconnects_between(a, b)
+            .iter()
+            .copied()
+            .filter(|&l| {
+                let link = &self.topo.links[l.index()];
+                (proto == Protocol::V4 || link.v6_enabled) && self.dynamics.link_up(l, t)
+            })
+            .collect()
+    }
+
+    /// The AS edges (normally present for `proto`) that are unavailable at
+    /// `t` because every carrying link is down.
+    fn down_edges(&self, proto: Protocol, t: SimTime) -> BTreeSet<(u32, u32)> {
+        let mut affected: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for l in self.dynamics.down_links(t) {
+            let link = &self.topo.links[l.index()];
+            if !link.kind.is_interconnect() {
+                continue;
+            }
+            let a = self.topo.routers[link.a.index()].as_idx;
+            let b = self.topo.routers[link.b.index()].as_idx;
+            let key = edge_key(a, b);
+            if !self.base_edges[proto_slot(proto)].contains(&key) {
+                continue;
+            }
+            if self.live_links(a, b, proto, t).is_empty() {
+                affected.insert(key);
+            }
+        }
+        affected
+    }
+
+    /// The route table toward `dst_as` under the configuration at `t`.
+    fn table(&self, dst_as: usize, proto: Protocol, t: SimTime) -> Table {
+        let down = self.down_edges(proto, t);
+        let key = (hash_edges(&down), proto);
+        if let Some(tbl) =
+            self.cache.read().configs.get(&key).and_then(|m| m.get(&dst_as))
+        {
+            return Arc::clone(tbl);
+        }
+        // Compute outside the lock.
+        let slot = proto_slot(proto);
+        let base = &self.base_edges[slot];
+        let avail = |a: usize, b: usize| {
+            let k = edge_key(a, b);
+            base.contains(&k) && !down.contains(&k)
+        };
+        let salt = 0xA5A5_0000 + slot as u64;
+        let tbl: Table = Arc::new(compute_routes(&self.topo.as_adj, dst_as, &avail, salt));
+        let mut cache = self.cache.write();
+        if !cache.configs.contains_key(&key) {
+            cache.order.push_back(key);
+            cache.configs.insert(key, HashMap::new());
+            while cache.order.len() > CONFIG_CACHE_CAP {
+                if let Some(old) = cache.order.pop_front() {
+                    cache.configs.remove(&old);
+                }
+            }
+        }
+        cache
+            .configs
+            .get_mut(&key)
+            .expect("just inserted")
+            .insert(dst_as, Arc::clone(&tbl));
+        tbl
+    }
+
+    /// The AS-index path from `src_as` to `dst_as` at `t`, or `None` when
+    /// unreachable (or, for IPv6, when either end is not dual-stack).
+    pub fn as_path_idx(
+        &self,
+        src_as: usize,
+        dst_as: usize,
+        proto: Protocol,
+        t: SimTime,
+    ) -> Option<Vec<usize>> {
+        if proto == Protocol::V6
+            && !(self.topo.ases[src_as].dual_stack && self.topo.ases[dst_as].dual_stack)
+        {
+            return None;
+        }
+        if src_as == dst_as {
+            return Some(vec![src_as]);
+        }
+        let tbl = self.table(dst_as, proto, t);
+        reconstruct_path(&tbl, src_as, dst_as)
+    }
+
+    /// Expands the full router-level path between two cluster servers.
+    ///
+    /// `flow` keys the ECMP hash: keep it constant per (src, dst, proto) to
+    /// model Paris traceroute / real TCP flows; vary it per probe to model
+    /// classic traceroute.
+    pub fn router_path(
+        &self,
+        src: ClusterId,
+        dst: ClusterId,
+        proto: Protocol,
+        t: SimTime,
+        flow: u64,
+    ) -> Option<RouterPath> {
+        let topo = &self.topo;
+        let cs = &topo.clusters[src.index()];
+        let cd = &topo.clusters[dst.index()];
+        let as_path = self.as_path_idx(cs.host_as, cd.host_as, proto, t)?;
+
+        let mut hops: Vec<(RouterId, LinkId)> = Vec::with_capacity(16);
+        // The source server's first hop: its attachment router, identified
+        // by the access link toward the PoP core.
+        let access_src = *topo.router_links[cs.router.index()].first()?;
+        hops.push((cs.router, access_src));
+        let mut cur = cs.router;
+
+        // Walk the AS path, crossing one interconnect per adjacent AS pair.
+        for win in as_path.windows(2) {
+            let (x, y) = (win[0], win[1]);
+            let mut live = self.live_links(x, y, proto, t);
+            if live.is_empty() {
+                return None; // inconsistent only if dynamics changed mid-walk
+            }
+            // Hot-potato egress: prefer the interconnects whose AS-x-side
+            // router is nearest to where the packet currently is; ECMP
+            // load-balances only among the two closest candidates.
+            if live.len() > 2 {
+                let here = topo.router_city(cur).point();
+                live.sort_by(|&la, &lb| {
+                    let ra = self.egress_router(la, x);
+                    let rb = self.egress_router(lb, x);
+                    let da = topo.router_city(ra).point().distance_km(&here);
+                    let db = topo.router_city(rb).point().distance_km(&here);
+                    da.partial_cmp(&db).unwrap().then(la.cmp(&lb))
+                });
+                live.truncate(2);
+            }
+            let pick = live[(flow_hash(flow, x, y) % live.len() as u64) as usize];
+            let link = &topo.links[pick.index()];
+            let (egress, ingress) = if topo.routers[link.a.index()].as_idx == x {
+                (link.a, link.b)
+            } else {
+                (link.b, link.a)
+            };
+            // Inside AS x: from wherever we are to the egress router.
+            for (r, l) in self.intra.path(cur, egress)? {
+                hops.push((r, l));
+            }
+            hops.push((ingress, pick));
+            cur = ingress;
+        }
+        // Inside the destination AS: to the destination cluster router.
+        for (r, l) in self.intra.path(cur, cd.router)? {
+            hops.push((r, l));
+        }
+
+        // Delay and MPLS-hiding pass.
+        let mut delay = 0.0;
+        let n = hops.len();
+        let mut out = Vec::with_capacity(n);
+        for (i, &(r, l)) in hops.iter().enumerate() {
+            delay += topo.links[l.index()].delay_ms + 0.05;
+            let as_r = topo.routers[r.index()].as_idx;
+            let hidden = topo.ases[as_r].mpls
+                && i > 0
+                && i + 1 < n
+                && topo.routers[hops[i - 1].0.index()].as_idx == as_r
+                && topo.routers[hops[i + 1].0.index()].as_idx == as_r;
+            out.push(Hop { router: r, ingress_link: l, hidden });
+        }
+
+        Some(RouterPath { hops: out, as_path_idx: as_path, one_way_delay_ms: delay })
+    }
+
+    /// Intra-AS path helper exposed for colocated-cluster campaigns.
+    pub fn intra_paths(&self) -> &IntraAsPaths {
+        &self.intra
+    }
+
+    /// The endpoint of `link` that sits inside AS `x`.
+    fn egress_router(&self, link: LinkId, x: usize) -> RouterId {
+        let l = &self.topo.links[link.index()];
+        if self.topo.routers[l.a.index()].as_idx == x {
+            l.a
+        } else {
+            l.b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::DynamicsParams;
+    use s2s_topology::{build_topology, TopologyParams};
+
+    fn setup() -> RouteOracle {
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(77)));
+        let dynamics =
+            Arc::new(Dynamics::all_up(&topo, SimTime::from_days(30)));
+        RouteOracle::new(topo, dynamics)
+    }
+
+    fn setup_dynamic(seed: u64) -> RouteOracle {
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(seed)));
+        let dynamics = Arc::new(Dynamics::generate(
+            &topo,
+            &DynamicsParams {
+                seed,
+                horizon: SimTime::from_days(60),
+                stable_fraction: 0.2,
+                mean_episodes: 8.0,
+                ..DynamicsParams::default()
+            },
+        ));
+        RouteOracle::new(topo, dynamics)
+    }
+
+    #[test]
+    fn all_cluster_pairs_have_v4_paths() {
+        let o = setup();
+        let t0 = SimTime::from_days(1);
+        let n = o.topology().clusters.len();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let p = o.router_path(
+                    ClusterId::from(a),
+                    ClusterId::from(b),
+                    Protocol::V4,
+                    t0,
+                    1,
+                );
+                assert!(p.is_some(), "no v4 path {a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_start_and_end_at_cluster_routers() {
+        let o = setup();
+        let t0 = SimTime::from_days(1);
+        let p = o
+            .router_path(ClusterId::new(0), ClusterId::new(5), Protocol::V4, t0, 1)
+            .unwrap();
+        let topo = o.topology();
+        assert_eq!(p.hops.first().unwrap().router, topo.clusters[0].router);
+        assert_eq!(p.hops.last().unwrap().router, topo.clusters[5].router);
+        assert!(p.one_way_delay_ms > 0.0);
+    }
+
+    #[test]
+    fn as_path_matches_hop_ases() {
+        let o = setup();
+        let topo = o.topology();
+        let t0 = SimTime::from_days(2);
+        let p = o
+            .router_path(ClusterId::new(1), ClusterId::new(9), Protocol::V4, t0, 3)
+            .unwrap();
+        // The sequence of hop ASes, deduplicated, must equal as_path_idx.
+        let mut seen = Vec::new();
+        for h in &p.hops {
+            let a = topo.routers[h.router.index()].as_idx;
+            if seen.last() != Some(&a) {
+                seen.push(a);
+            }
+        }
+        assert_eq!(seen, p.as_path_idx);
+    }
+
+    #[test]
+    fn hop_ingress_links_chain() {
+        let o = setup();
+        let topo = o.topology();
+        let t0 = SimTime::T0;
+        let p = o
+            .router_path(ClusterId::new(2), ClusterId::new(7), Protocol::V4, t0, 9)
+            .unwrap();
+        for w in p.hops.windows(2) {
+            let link = &topo.links[w[1].ingress_link.index()];
+            assert_eq!(link.other_end(w[1].router), w[0].router);
+        }
+    }
+
+    #[test]
+    fn v6_paths_exist_between_dual_stack_clusters() {
+        let o = setup();
+        let t0 = SimTime::from_days(1);
+        let mut found = 0;
+        let n = o.topology().clusters.len();
+        for a in 0..n.min(8) {
+            for b in 0..n.min(8) {
+                if a != b
+                    && o.router_path(
+                        ClusterId::from(a),
+                        ClusterId::from(b),
+                        Protocol::V6,
+                        t0,
+                        1,
+                    )
+                    .is_some()
+                {
+                    found += 1;
+                }
+            }
+        }
+        assert!(found > 20, "only {found} v6 paths");
+    }
+
+    #[test]
+    fn queries_are_deterministic() {
+        let o = setup();
+        let t0 = SimTime::from_days(3);
+        let a = o.router_path(ClusterId::new(0), ClusterId::new(3), Protocol::V4, t0, 7);
+        let b = o.router_path(ClusterId::new(0), ClusterId::new(3), Protocol::V4, t0, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ecmp_flow_changes_path_somewhere() {
+        let o = setup();
+        let t0 = SimTime::from_days(1);
+        let n = o.topology().clusters.len();
+        let mut diverged = false;
+        'outer: for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let p1 = o.router_path(
+                    ClusterId::from(a),
+                    ClusterId::from(b),
+                    Protocol::V4,
+                    t0,
+                    1,
+                );
+                let p2 = o.router_path(
+                    ClusterId::from(a),
+                    ClusterId::from(b),
+                    Protocol::V4,
+                    t0,
+                    999_999,
+                );
+                if p1 != p2 {
+                    diverged = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(diverged, "ECMP never picked a different parallel link");
+    }
+
+    #[test]
+    fn routing_changes_over_time_with_dynamics() {
+        let o = setup_dynamic(5);
+        let n = o.topology().clusters.len();
+        let mut changed = false;
+        'outer: for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let mut last: Option<Vec<usize>> = None;
+                for day in 0..60 {
+                    let t = SimTime::from_days(day);
+                    let p = o.as_path_idx(
+                        o.topology().clusters[a].host_as,
+                        o.topology().clusters[b].host_as,
+                        Protocol::V4,
+                        t,
+                    );
+                    if let Some(p) = p {
+                        if let Some(prev) = &last {
+                            if *prev != p {
+                                changed = true;
+                                break 'outer;
+                            }
+                        }
+                        last = Some(p);
+                    }
+                }
+            }
+        }
+        assert!(changed, "no AS path ever changed despite heavy dynamics");
+    }
+
+    #[test]
+    fn down_edge_reroutes_or_disconnects() {
+        // Take down every link of one specific AS edge and verify the path
+        // avoids it.
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(77)));
+        let t_check = SimTime::from_minutes(500);
+        // Pick the AS edge used by some base path.
+        let base_oracle = RouteOracle::new(
+            Arc::clone(&topo),
+            Arc::new(Dynamics::all_up(&topo, SimTime::from_days(3))),
+        );
+        let base = base_oracle
+            .as_path_idx(
+                topo.clusters[0].host_as,
+                topo.clusters[4].host_as,
+                Protocol::V4,
+                t_check,
+            )
+            .expect("base path");
+        if base.len() < 2 {
+            return; // same-AS pair; nothing to fail over
+        }
+        let (x, y) = (base[0], base[1]);
+        let links = topo.interconnects_between(x, y).to_vec();
+        let eps: Vec<(LinkId, u32, u32)> =
+            links.iter().map(|&l| (l, 0, 2 * 24 * 60)).collect();
+        let dynamics = Arc::new(Dynamics::from_episodes(
+            topo.links.len(),
+            eps,
+            SimTime::from_days(3),
+        ));
+        let o = RouteOracle::new(Arc::clone(&topo), dynamics);
+        match o.as_path_idx(
+            topo.clusters[0].host_as,
+            topo.clusters[4].host_as,
+            Protocol::V4,
+            t_check,
+        ) {
+            Some(p) => {
+                assert!(
+                    !(p.len() >= 2 && p[0] == x && p[1] == y),
+                    "path still uses the dead edge: {p:?}"
+                );
+            }
+            None => {} // disconnection is acceptable for stub-only edges
+        }
+        // After the episode ends, the base path returns.
+        let after = o
+            .as_path_idx(
+                topo.clusters[0].host_as,
+                topo.clusters[4].host_as,
+                Protocol::V4,
+                SimTime::from_days(2) + s2s_types::SimDuration::from_minutes(1),
+            )
+            .expect("restored");
+        assert_eq!(after, base);
+    }
+
+    #[test]
+    fn mpls_hides_only_interior_hops() {
+        let topo = Arc::new(build_topology(&TopologyParams {
+            mpls_as_prob: 1.0, // every transit AS hides interior hops
+            ..TopologyParams::tiny(13)
+        }));
+        let o = RouteOracle::new(
+            Arc::clone(&topo),
+            Arc::new(Dynamics::all_up(&topo, SimTime::from_days(2))),
+        );
+        let n = topo.clusters.len();
+        let mut saw_hidden = false;
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                if let Some(p) = o.router_path(
+                    ClusterId::from(a),
+                    ClusterId::from(b),
+                    Protocol::V4,
+                    SimTime::T0,
+                    1,
+                ) {
+                    for (i, h) in p.hops.iter().enumerate() {
+                        if h.hidden {
+                            saw_hidden = true;
+                            // Interior: neighbors are same-AS.
+                            let as_h = topo.routers[h.router.index()].as_idx;
+                            let prev =
+                                topo.routers[p.hops[i - 1].router.index()].as_idx;
+                            let next =
+                                topo.routers[p.hops[i + 1].router.index()].as_idx;
+                            assert_eq!(as_h, prev);
+                            assert_eq!(as_h, next);
+                        }
+                    }
+                    // First and last hops are never hidden.
+                    assert!(!p.hops.first().unwrap().hidden);
+                    assert!(!p.hops.last().unwrap().hidden);
+                }
+            }
+        }
+        assert!(saw_hidden, "full-MPLS topology produced no hidden hops");
+    }
+
+    #[test]
+    fn forward_and_reverse_can_differ() {
+        let o = setup();
+        let topo = o.topology();
+        let t0 = SimTime::from_days(1);
+        let mut asymmetric = false;
+        let n = topo.clusters.len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let f = o.as_path_idx(
+                    topo.clusters[a].host_as,
+                    topo.clusters[b].host_as,
+                    Protocol::V4,
+                    t0,
+                );
+                let r = o.as_path_idx(
+                    topo.clusters[b].host_as,
+                    topo.clusters[a].host_as,
+                    Protocol::V4,
+                    t0,
+                );
+                if let (Some(mut f), Some(r)) = (f, r) {
+                    f.reverse();
+                    if f != r {
+                        asymmetric = true;
+                    }
+                }
+            }
+        }
+        assert!(asymmetric, "every pair was perfectly symmetric");
+    }
+
+    #[test]
+    fn v4_and_v6_paths_can_differ() {
+        let o = setup();
+        let topo = o.topology();
+        let t0 = SimTime::from_days(1);
+        let mut differs = false;
+        let n = topo.clusters.len();
+        'outer: for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let p4 = o.as_path_idx(
+                    topo.clusters[a].host_as,
+                    topo.clusters[b].host_as,
+                    Protocol::V4,
+                    t0,
+                );
+                let p6 = o.as_path_idx(
+                    topo.clusters[a].host_as,
+                    topo.clusters[b].host_as,
+                    Protocol::V6,
+                    t0,
+                );
+                if let (Some(p4), Some(p6)) = (p4, p6) {
+                    if p4 != p6 {
+                        differs = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(differs, "v4 and v6 never diverged");
+    }
+}

@@ -1,0 +1,434 @@
+//! Gao–Rexford valley-free route computation.
+//!
+//! For one destination AS, computes every other AS's selected route under
+//! the standard policy model:
+//!
+//! 1. routes learned from customers are preferred over routes learned from
+//!    peers, which beat routes learned from providers;
+//! 2. among same-class routes, shorter AS paths win;
+//! 3. remaining ties break deterministically by a salted hash of
+//!    (destination, chooser, candidate next hop) — the stand-in for opaque
+//!    local-preference policy, salted per protocol so IPv4 and IPv6 can
+//!    diverge.
+//!
+//! Export rules are enforced by construction: customer routes propagate
+//!    everywhere; peer/provider routes propagate only to customers. The
+//! resulting per-AS next-hop tables are guaranteed valley-free.
+
+use s2s_types::rel::AsRel;
+
+/// One AS's selected route toward the destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Next-hop AS (index).
+    pub next: u32,
+    /// Preference class of the route: 0 = learned from customer, 1 = from
+    /// peer, 2 = from provider. The destination itself has rank 0.
+    pub rank: u8,
+    /// AS-path length (hops to the destination; 0 at the destination).
+    pub len: u8,
+}
+
+/// Predicate deciding whether the AS-level edge between two adjacent ASes is
+/// usable (at least one live interconnect link carrying the protocol).
+pub trait EdgeAvailability {
+    /// True when traffic can cross directly between ASes `a` and `b`.
+    fn edge_up(&self, a: usize, b: usize) -> bool;
+}
+
+/// Availability that never fails (the base configuration).
+pub struct AllUp;
+
+impl EdgeAvailability for AllUp {
+    fn edge_up(&self, _: usize, _: usize) -> bool {
+        true
+    }
+}
+
+impl<F: Fn(usize, usize) -> bool> EdgeAvailability for F {
+    fn edge_up(&self, a: usize, b: usize) -> bool {
+        self(a, b)
+    }
+}
+
+/// Deterministic tie-break score; lower wins. Mixes destination, chooser,
+/// candidate and a salt (protocol) so preferences look arbitrary-but-fixed,
+/// like real local-pref policy.
+fn tiebreak(dst: usize, chooser: usize, candidate: usize, salt: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ salt;
+    for v in [dst as u64, chooser as u64, candidate as u64] {
+        h ^= v.wrapping_add(0x9e3779b97f4a7c15);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Computes every AS's selected route toward destination `dst`.
+///
+/// * `adj[i]` lists `(neighbor, rel)` with `rel` = AS `i`'s relationship
+///   toward the neighbor.
+/// * `avail` filters AS edges (down links, v4-only links).
+/// * `salt` feeds the tie-break (use the protocol).
+///
+/// Returns a vector indexed by AS: `None` for unreachable ASes, and the
+/// destination itself holds `RouteEntry { next: dst, rank: 0, len: 0 }`.
+pub fn compute_routes(
+    adj: &[Vec<(usize, AsRel)>],
+    dst: usize,
+    avail: &impl EdgeAvailability,
+    salt: u64,
+) -> Vec<Option<RouteEntry>> {
+    let n = adj.len();
+    assert!(dst < n, "destination {dst} out of range");
+    let mut routes: Vec<Option<RouteEntry>> = vec![None; n];
+    routes[dst] = Some(RouteEntry { next: dst as u32, rank: 0, len: 0 });
+
+    // Phase 1 — customer routes: BFS from dst climbing provider edges.
+    // An AS x reached via its customer c selects next-hop c with rank 0.
+    let mut frontier = vec![dst];
+    let mut depth: u8 = 0;
+    while !frontier.is_empty() && depth < u8::MAX {
+        depth += 1;
+        let mut next_frontier = Vec::new();
+        // Collect candidates at this depth first so equal-length choices
+        // tie-break fairly rather than first-come-first-served.
+        let mut candidates: Vec<(usize, usize)> = Vec::new(); // (x, via customer c)
+        for &c in &frontier {
+            for &(x, rel_c_to_x) in &adj[c] {
+                // x learns from c when c exports upward: c regards x as its
+                // Provider, i.e. x regards c as Customer.
+                if rel_c_to_x == AsRel::Provider
+                    && routes[x].is_none()
+                    && avail.edge_up(c, x)
+                {
+                    candidates.push((x, c));
+                }
+            }
+        }
+        candidates.sort_by_key(|&(x, c)| (x, tiebreak(dst, x, c, salt)));
+        let mut last_x = usize::MAX;
+        for (x, c) in candidates {
+            if x != last_x {
+                routes[x] = Some(RouteEntry { next: c as u32, rank: 0, len: depth });
+                next_frontier.push(x);
+                last_x = x;
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    // Phase 2 — peer routes: one hop across a peering edge from any AS with
+    // a customer route (or the destination).
+    let mut peer_candidates: Vec<(usize, usize, u8)> = Vec::new(); // (x, via n, len)
+    for x in 0..n {
+        if routes[x].is_some() {
+            continue;
+        }
+        for &(p, rel_x_to_p) in &adj[x] {
+            if rel_x_to_p != AsRel::Peer || !avail.edge_up(x, p) {
+                continue;
+            }
+            if let Some(r) = routes[p] {
+                if r.rank == 0 {
+                    peer_candidates.push((x, p, r.len + 1));
+                }
+            }
+        }
+    }
+    peer_candidates.sort_by_key(|&(x, p, len)| (x, len, tiebreak(dst, x, p, salt)));
+    let mut last_x = usize::MAX;
+    for (x, p, len) in peer_candidates {
+        if x != last_x {
+            routes[x] = Some(RouteEntry { next: p as u32, rank: 1, len });
+            last_x = x;
+        }
+    }
+
+    // Phase 3 — provider routes: Dijkstra (unit weights → BFS by length)
+    // from every routed AS down provider→customer edges. Provider routes
+    // can chain through other provider routes.
+    use std::collections::BinaryHeap;
+    #[derive(PartialEq, Eq)]
+    struct Item {
+        len: u8,
+        tb: u64,
+        x: usize,
+        via: usize,
+    }
+    impl Ord for Item {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            // Min-heap on (len, tiebreak).
+            (o.len, o.tb).cmp(&(self.len, self.tb))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    let mut heap = BinaryHeap::new();
+    for x in 0..n {
+        if let Some(r) = routes[x] {
+            // x exports its selected route to its customers.
+            for &(c, rel_x_to_c) in &adj[x] {
+                if rel_x_to_c == AsRel::Customer
+                    && routes[c].is_none()
+                    && avail.edge_up(x, c)
+                {
+                    heap.push(Item {
+                        len: r.len + 1,
+                        tb: tiebreak(dst, c, x, salt),
+                        x: c,
+                        via: x,
+                    });
+                }
+            }
+        }
+    }
+    while let Some(Item { len, x, via, .. }) = heap.pop() {
+        if routes[x].is_some() {
+            continue;
+        }
+        routes[x] = Some(RouteEntry { next: via as u32, rank: 2, len });
+        for &(c, rel_x_to_c) in &adj[x] {
+            if rel_x_to_c == AsRel::Customer && routes[c].is_none() && avail.edge_up(x, c)
+            {
+                heap.push(Item {
+                    len: len + 1,
+                    tb: tiebreak(dst, c, x, salt),
+                    x: c,
+                    via: x,
+                });
+            }
+        }
+    }
+
+    routes
+}
+
+/// Reconstructs the AS-index path from `src` to `dst` by following selected
+/// next hops. `None` when `src` has no route.
+pub fn reconstruct_path(
+    routes: &[Option<RouteEntry>],
+    src: usize,
+    dst: usize,
+) -> Option<Vec<usize>> {
+    let mut path = vec![src];
+    let mut cur = src;
+    while cur != dst {
+        let r = routes[cur]?;
+        let next = r.next as usize;
+        debug_assert!(
+            !path.contains(&next),
+            "next-hop chain loops: {path:?} -> {next}"
+        );
+        path.push(next);
+        cur = next;
+        if path.len() > routes.len() {
+            return None; // defensive: corrupt table
+        }
+    }
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_types::rel::AsRel::*;
+
+    /// Builds adjacency from (a, b, a's rel toward b) triples.
+    fn graph(n: usize, edges: &[(usize, usize, AsRel)]) -> Vec<Vec<(usize, AsRel)>> {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b, rel) in edges {
+            adj[a].push((b, rel));
+            adj[b].push((a, rel.inverse()));
+        }
+        adj
+    }
+
+    /// A classic two-tier-1 diamond:
+    ///   0 -- 1 are tier-1 peers; 2 is customer of 0; 3 is customer of 1;
+    ///   4 is customer of both 2 and 3.
+    fn diamond() -> Vec<Vec<(usize, AsRel)>> {
+        graph(
+            5,
+            &[
+                (0, 1, Peer),
+                (2, 0, Provider), // 2's provider is 0
+                (3, 1, Provider),
+                (4, 2, Provider),
+                (4, 3, Provider),
+            ],
+        )
+    }
+
+    #[test]
+    fn customer_routes_preferred() {
+        let adj = diamond();
+        // Routes toward 4: AS 2 and AS 3 both have customer routes.
+        let r = compute_routes(&adj, 4, &AllUp, 0);
+        assert_eq!(r[2].unwrap().rank, 0);
+        assert_eq!(r[2].unwrap().len, 1);
+        assert_eq!(r[3].unwrap().rank, 0);
+        // Tier-1 0 reaches 4 via its customer 2 (customer route, len 2).
+        assert_eq!(r[0].unwrap().rank, 0);
+        assert_eq!(r[0].unwrap().next, 2);
+        assert_eq!(r[0].unwrap().len, 2);
+    }
+
+    #[test]
+    fn peer_routes_cross_the_top() {
+        let adj = diamond();
+        // Routes toward 2 (customer of 0 only): AS 1 must cross the peering.
+        let r = compute_routes(&adj, 2, &AllUp, 0);
+        assert_eq!(r[1].unwrap().rank, 1, "tier-1 1 uses the peer route");
+        assert_eq!(r[1].unwrap().next, 0);
+        // AS 3 has no customer/peer route to 2; it goes up to provider 1.
+        assert_eq!(r[3].unwrap().rank, 2);
+        let path = reconstruct_path(&r, 3, 2).unwrap();
+        assert_eq!(path, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn valley_free_invariant_holds() {
+        let adj = diamond();
+        for dst in 0..5 {
+            let r = compute_routes(&adj, dst, &AllUp, 0);
+            for src in 0..5 {
+                let path = reconstruct_path(&r, src, dst).expect("connected");
+                assert_valley_free(&adj, &path);
+            }
+        }
+    }
+
+    /// Once a path goes down (provider→customer) or sideways (peer), it may
+    /// never go up (customer→provider) or sideways again.
+    fn assert_valley_free(adj: &[Vec<(usize, AsRel)>], path: &[usize]) {
+        let mut descending = false;
+        for w in path.windows(2) {
+            let rel = adj[w[0]]
+                .iter()
+                .find(|(n, _)| *n == w[1])
+                .map(|(_, r)| *r)
+                .expect("adjacent");
+            match rel {
+                Provider => {
+                    assert!(!descending, "valley in path {path:?}");
+                }
+                Peer => {
+                    assert!(!descending, "peer after descent in {path:?}");
+                    descending = true;
+                }
+                Customer => descending = true,
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_when_edges_down() {
+        let adj = diamond();
+        // Take down both of 4's transit edges.
+        let avail =
+            |a: usize, b: usize| !matches!((a.min(b), a.max(b)), (2, 4) | (3, 4));
+        let r = compute_routes(&adj, 4, &avail, 0);
+        assert!(r[0].is_none());
+        assert!(r[2].is_none());
+        assert_eq!(r[4].unwrap().len, 0, "destination always routes to itself");
+    }
+
+    #[test]
+    fn failover_lengthens_path() {
+        let adj = diamond();
+        // 4 -> 2 -> 0: base route for 0 toward 4 has len 2 via customer 2.
+        let avail = |a: usize, b: usize| (a.min(b), a.max(b)) != (2, 4);
+        let r = compute_routes(&adj, 4, &avail, 0);
+        // Now 0 must go 0 -> 1 -> 3 -> 4? 0's options: customer 2 has no
+        // route; peer 1 has customer route (1->3->4, len 2). So 0 via peer.
+        assert_eq!(r[0].unwrap().rank, 1);
+        let p = reconstruct_path(&r, 0, 4).unwrap();
+        assert_eq!(p, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn salt_changes_tiebreaks_somewhere() {
+        // A graph with genuine ties: 4 has two providers, both reaching dst
+        // with equal rank/len.
+        let adj = diamond();
+        // Route from 4 toward 0: via 2 (customer route of 2? no - 2's route
+        // to 0 is provider route). 4's options: provider 2 (len 2) and
+        // provider 3 (len 3 via 1..0). Here lens differ; make symmetric dst.
+        // Instead check: over many destinations and salts, selected tables
+        // differ for at least one (graph ties exist between 2/3 for some).
+        let mut differs = false;
+        for dst in 0..5 {
+            let a = compute_routes(&adj, dst, &AllUp, 1);
+            let b = compute_routes(&adj, dst, &AllUp, 2);
+            if a != b {
+                differs = true;
+            }
+        }
+        // The diamond is small; ties may resolve identically. Build a graph
+        // with a guaranteed tie: dst 0 with two equal providers 1 and 2 both
+        // customers of 3... then 3 -> 0 has two equal-rank equal-len options.
+        let adj2 = graph(
+            4,
+            &[
+                (0, 1, Provider),
+                (0, 2, Provider),
+                (1, 3, Provider),
+                (2, 3, Provider),
+            ],
+        );
+        for salt in 0..64u64 {
+            let r = compute_routes(&adj2, 0, &AllUp, salt);
+            let n = r[3].unwrap().next;
+            if n == 2 {
+                differs = true;
+            }
+        }
+        assert!(differs, "tie-break never flipped across salts");
+    }
+
+    #[test]
+    fn reconstruct_none_when_unrouted() {
+        let adj = graph(3, &[(0, 1, Peer)]);
+        let r = compute_routes(&adj, 0, &AllUp, 0);
+        assert_eq!(reconstruct_path(&r, 2, 0), None);
+        // Peer 1 reaches 0 directly.
+        assert_eq!(reconstruct_path(&r, 1, 0), Some(vec![1, 0]));
+    }
+
+    #[test]
+    fn topology_scale_routes_everyone() {
+        use s2s_topology::{build_topology, TopologyParams};
+        let t = build_topology(&TopologyParams::tiny(3));
+        // Every non-fabric AS should reach every other.
+        let dst = 0; // a tier-1
+        let r = compute_routes(&t.as_adj, dst, &AllUp, 0);
+        for (i, a) in t.ases.iter().enumerate() {
+            if a.kind == s2s_topology::AsKind::IxpFabric {
+                continue;
+            }
+            assert!(r[i].is_some(), "{} has no route to tier-1", a.asn);
+            let p = reconstruct_path(&r, i, dst).unwrap();
+            assert!(p.len() <= 8, "suspiciously long path {p:?}");
+        }
+    }
+
+    #[test]
+    fn paths_are_loop_free_at_scale() {
+        use s2s_topology::{build_topology, TopologyParams};
+        let t = build_topology(&TopologyParams::tiny(8));
+        for dst in (0..t.ases.len()).step_by(7) {
+            let r = compute_routes(&t.as_adj, dst, &AllUp, 1);
+            for src in (0..t.ases.len()).step_by(5) {
+                if let Some(p) = reconstruct_path(&r, src, dst) {
+                    let mut sorted = p.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    assert_eq!(sorted.len(), p.len(), "loop in {p:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Half the paper's figures are ECDFs. [`Ecdf`] stores the sorted sample and
+//! answers both directions: `F(x)` (fraction ≤ x) and the quantile function
+//! `F⁻¹(q)`. It can also emit the step-plot series the `reproduce` binary
+//! prints.
+
+/// An empirical CDF over a sample of `f64` values.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample.
+    ///
+    /// # Panics
+    /// Panics if the sample contains NaN.
+    pub fn new(mut data: Vec<f64>) -> Self {
+        assert!(data.iter().all(|x| !x.is_nan()), "NaN in ECDF sample");
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted: data }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: the fraction of samples ≤ `x`. Zero for an empty sample.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The fraction of samples ≥ `x` (for "at least X ms" style statements).
+    pub fn fraction_at_or_above(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v < x);
+        (self.sorted.len() - idx) as f64 / self.sorted.len() as f64
+    }
+
+    /// `F⁻¹(q)` for `q` in `[0, 1]`: the smallest sample `x` with
+    /// `F(x) ≥ q`. `None` on empty input.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        if q == 0.0 {
+            return Some(self.sorted[0]);
+        }
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Some(self.sorted[idx])
+    }
+
+    /// The sorted underlying sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Samples the ECDF at `n` evenly spaced quantiles (inclusive of 0 and
+    /// 1), yielding `(x, F(x))` points suitable for a step plot.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two curve points");
+        if self.sorted.is_empty() {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1) as f64;
+                let x = self.quantile(q).unwrap();
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Ecdf::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fractions_of_small_sample() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(e.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(e.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(e.fraction_at_or_below(10.0), 1.0);
+        assert_eq!(e.fraction_at_or_above(2.0), 0.75);
+        assert_eq!(e.fraction_at_or_above(2.5), 0.25);
+        assert_eq!(e.fraction_at_or_above(100.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_inverse() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.quantile(0.2), Some(10.0));
+        assert_eq!(e.quantile(0.21), Some(20.0));
+        assert_eq!(e.quantile(1.0), Some(50.0));
+        assert_eq!(e.quantile(0.5), Some(30.0));
+    }
+
+    #[test]
+    fn empty_sample() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert!(e.curve(5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let e: Ecdf = (0..100).map(|i| (i * 7 % 50) as f64).collect();
+        let c = e.curve(11);
+        assert_eq!(c.len(), 11);
+        for w in c.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(c.last().unwrap().1, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fraction_monotone(
+            data in proptest::collection::vec(-1e6f64..1e6, 0..100),
+            x1 in -1e6f64..1e6, x2 in -1e6f64..1e6,
+        ) {
+            let e = Ecdf::new(data);
+            let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+            prop_assert!(e.fraction_at_or_below(lo) <= e.fraction_at_or_below(hi));
+        }
+
+        #[test]
+        fn prop_below_above_complement(
+            data in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            x in -1e3f64..1e3,
+        ) {
+            let e = Ecdf::new(data);
+            // fraction(<= x) + fraction(> x) = 1, and fraction_at_or_above
+            // counts ties on the other side, so the sum is >= 1.
+            let below = e.fraction_at_or_below(x);
+            let above = e.fraction_at_or_above(x);
+            prop_assert!(below + above >= 1.0 - 1e-12);
+        }
+
+        #[test]
+        fn prop_quantile_roundtrip(
+            data in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q in 0.0f64..=1.0,
+        ) {
+            let e = Ecdf::new(data);
+            let x = e.quantile(q).unwrap();
+            prop_assert!(e.fraction_at_or_below(x) >= q - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Levenshtein edit distance over symbol sequences.
+//!
+//! The paper (§4.1) treats AS paths as delimited strings and uses the edit
+//! distance between two paths as the measure of routing change: zero means
+//! the same AS-level route, non-zero means a change. The distance is over
+//! whole AS hops, not characters.
+
+/// Levenshtein distance between two symbol sequences (insert/delete/
+/// substitute, unit costs). Runs in O(|a|·|b|) time and O(min) space.
+pub fn edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    // Ensure the column dimension is the shorter side for less memory.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr = vec![0usize; short.len() + 1];
+    for (i, lv) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, sv) in short.iter().enumerate() {
+            let sub_cost = if lv == sv { 0 } else { 1 };
+            curr[j + 1] = (prev[j] + sub_cost) // substitute / match
+                .min(prev[j + 1] + 1) // delete from long
+                .min(curr[j] + 1); // insert into long
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_sequences_are_zero() {
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(edit_distance::<u32>(&[], &[]), 0);
+    }
+
+    #[test]
+    fn paper_example() {
+        // p1: a -> b -> c -> d, p2: a -> b -> d. One removal (ASNc).
+        let p1 = ["a", "b", "c", "d"];
+        let p2 = ["a", "b", "d"];
+        assert_eq!(edit_distance(&p1, &p2), 1);
+    }
+
+    #[test]
+    fn insert_delete_substitute() {
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 3]), 1); // delete
+        assert_eq!(edit_distance(&[1, 3], &[1, 2, 3]), 1); // insert
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 9, 3]), 1); // substitute
+        assert_eq!(edit_distance(&[1, 2], &[3, 4]), 2);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        assert_eq!(edit_distance(&[], &[1, 2, 3]), 3);
+        assert_eq!(edit_distance(&[1, 2, 3], &[]), 3);
+    }
+
+    #[test]
+    fn classic_string_cases() {
+        let a: Vec<char> = "kitten".chars().collect();
+        let b: Vec<char> = "sitting".chars().collect();
+        assert_eq!(edit_distance(&a, &b), 3);
+        let a: Vec<char> = "flaw".chars().collect();
+        let b: Vec<char> = "lawn".chars().collect();
+        assert_eq!(edit_distance(&a, &b), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetric(
+            a in proptest::collection::vec(0u8..5, 0..20),
+            b in proptest::collection::vec(0u8..5, 0..20),
+        ) {
+            prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        }
+
+        #[test]
+        fn prop_identity(a in proptest::collection::vec(0u8..5, 0..30)) {
+            prop_assert_eq!(edit_distance(&a, &a), 0);
+        }
+
+        #[test]
+        fn prop_bounded_by_longer_length(
+            a in proptest::collection::vec(0u8..5, 0..20),
+            b in proptest::collection::vec(0u8..5, 0..20),
+        ) {
+            let d = edit_distance(&a, &b);
+            prop_assert!(d <= a.len().max(b.len()));
+            prop_assert!(d >= a.len().abs_diff(b.len()));
+        }
+
+        #[test]
+        fn prop_triangle_inequality(
+            a in proptest::collection::vec(0u8..4, 0..12),
+            b in proptest::collection::vec(0u8..4, 0..12),
+            c in proptest::collection::vec(0u8..4, 0..12),
+        ) {
+            let ab = edit_distance(&a, &b);
+            let bc = edit_distance(&b, &c);
+            let ac = edit_distance(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn prop_single_edit_is_distance_one(
+            mut a in proptest::collection::vec(0u8..5, 1..20),
+            idx in 0usize..20,
+        ) {
+            let orig = a.clone();
+            let i = idx % a.len();
+            a[i] = a[i].wrapping_add(1) % 5;
+            let d = edit_distance(&orig, &a);
+            prop_assert!(d <= 1);
+        }
+    }
+}

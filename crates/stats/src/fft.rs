@@ -1,0 +1,273 @@
+//! Radix-2 FFT and the diurnal power-spectral-density ratio.
+//!
+//! The paper detects "consistent congestion" (§5.1) by applying an FFT at
+//! frequency f = 1/day to the RTT time series of a server pair and testing
+//! whether the power concentrated around the 24-hour period is at least 0.3
+//! of the total (non-DC) power. [`diurnal_psd_ratio`] implements exactly
+//! that test; [`fft_power`] is the general power spectrum it builds on.
+
+use std::f64::consts::PI;
+
+/// A complex number, minimal: just what the FFT needs.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// A purely real value.
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+/// Panics unless `buf.len()` is a power of two.
+pub fn fft_in_place(buf: &mut [Complex]) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let wlen = Complex { re: ang.cos(), im: ang.sin() };
+        for chunk in buf.chunks_mut(len) {
+            let mut w = Complex::real(1.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half].mul(w);
+                chunk[k] = u.add(v);
+                chunk[k + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Power spectrum of a real signal: pads to the next power of two with the
+/// signal mean (so padding adds no spurious high-frequency energy), removes
+/// the mean (DC), and returns `|X[k]|^2` for `k = 0 .. n/2` along with the
+/// padded length.
+///
+/// Returns `None` for signals shorter than 4 samples.
+pub fn fft_power(signal: &[f64]) -> Option<(Vec<f64>, usize)> {
+    if signal.len() < 4 {
+        return None;
+    }
+    let mean = signal.iter().sum::<f64>() / signal.len() as f64;
+    let n = signal.len().next_power_of_two();
+    let mut buf: Vec<Complex> = signal
+        .iter()
+        .map(|&x| Complex::real(x - mean))
+        .chain(std::iter::repeat(Complex::real(0.0)))
+        .take(n)
+        .collect();
+    fft_in_place(&mut buf);
+    let power: Vec<f64> = buf[..=n / 2].iter().map(|c| c.norm_sq()).collect();
+    Some((power, n))
+}
+
+/// The paper's §5.1 congestion signal: the fraction of total (non-DC)
+/// spectral power concentrated around the 1/day frequency.
+///
+/// * `signal` — the RTT time series, regularly sampled,
+/// * `samples_per_day` — sampling rate (96 for 15-minute pings).
+///
+/// The spectral peak of a windowed daily oscillation leaks into neighboring
+/// bins, so power within ±1 bin of the daily frequency counts toward the
+/// diurnal component (consistent with the automated processing in Luckie et
+/// al., which this simplifies).
+///
+/// Returns `None` for signals shorter than two days or with no variance.
+pub fn diurnal_psd_ratio(signal: &[f64], samples_per_day: usize) -> Option<f64> {
+    assert!(samples_per_day > 0, "samples_per_day must be positive");
+    if signal.len() < 2 * samples_per_day {
+        return None;
+    }
+    let (power, n) = fft_power(signal)?;
+    // Signal occupies the first `signal.len()` of `n` padded samples; the
+    // bin spacing in cycles/sample is 1/n, and one day is samples_per_day
+    // samples, so the daily frequency lands at bin n / samples_per_day.
+    let day_bin = (n as f64 / samples_per_day as f64).round() as usize;
+    if day_bin == 0 || day_bin >= power.len() {
+        return None;
+    }
+    let total: f64 = power[1..].iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let lo = day_bin.saturating_sub(1).max(1);
+    let hi = (day_bin + 1).min(power.len() - 1);
+    let diurnal: f64 = power[lo..=hi].iter().sum();
+    Some(diurnal / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sine_series(n: usize, samples_per_day: usize, amp: f64, noise: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let phase = 2.0 * PI * i as f64 / samples_per_day as f64;
+                // Deterministic pseudo-noise from a hash of the index.
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                50.0 + amp * phase.sin() + noise * u
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::real(0.0); 8];
+        buf[0] = Complex::real(1.0);
+        fft_in_place(&mut buf);
+        for c in &buf {
+            assert!((c.norm_sq() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_pure_tone_peaks_at_bin() {
+        let n = 64;
+        let k = 5;
+        let mut buf: Vec<Complex> = (0..n)
+            .map(|i| Complex::real((2.0 * PI * k as f64 * i as f64 / n as f64).cos()))
+            .collect();
+        fft_in_place(&mut buf);
+        let powers: Vec<f64> = buf.iter().map(|c| c.norm_sq()).collect();
+        let max_bin = powers
+            .iter()
+            .enumerate()
+            .take(n / 2)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_bin, k);
+    }
+
+    #[test]
+    fn fft_parseval() {
+        // Energy in time domain equals energy in frequency domain / n.
+        let n = 32;
+        let signal: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
+        fft_in_place(&mut buf);
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = buf.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        fft_in_place(&mut vec![Complex::real(0.0); 6]);
+    }
+
+    #[test]
+    fn diurnal_signal_detected() {
+        // A clean 7-day series of 15-minute samples with a daily sinusoid,
+        // like the §5.1 ping data.
+        let s = sine_series(672, 96, 15.0, 1.0);
+        let ratio = diurnal_psd_ratio(&s, 96).unwrap();
+        assert!(ratio > 0.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn flat_noise_not_detected() {
+        let s = sine_series(672, 96, 0.0, 5.0);
+        let ratio = diurnal_psd_ratio(&s, 96).unwrap();
+        assert!(ratio < 0.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn constant_signal_yields_none() {
+        let s = vec![42.0; 672];
+        assert_eq!(diurnal_psd_ratio(&s, 96), None);
+    }
+
+    #[test]
+    fn short_signal_yields_none() {
+        assert_eq!(diurnal_psd_ratio(&[1.0, 2.0, 3.0], 96), None);
+        // One day of data isn't enough to establish a daily period.
+        let s = sine_series(96, 96, 15.0, 0.1);
+        assert_eq!(diurnal_psd_ratio(&s, 96), None);
+    }
+
+    #[test]
+    fn weekly_period_not_flagged_as_diurnal() {
+        // Oscillation with a 7-day period should not trip the 1-day detector.
+        let s: Vec<f64> = (0..672)
+            .map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 672.0).sin())
+            .collect();
+        let ratio = diurnal_psd_ratio(&s, 96).unwrap();
+        assert!(ratio < 0.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn fft_power_requires_min_len() {
+        assert!(fft_power(&[1.0, 2.0]).is_none());
+        assert!(fft_power(&[1.0, 2.0, 3.0, 4.0]).is_some());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_psd_ratio_in_unit_interval(
+            amp in 0.0f64..30.0,
+            noise in 0.1f64..20.0,
+        ) {
+            let s = sine_series(672, 96, amp, noise);
+            if let Some(r) = diurnal_psd_ratio(&s, 96) {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&r));
+            }
+        }
+
+        #[test]
+        fn prop_stronger_diurnal_scores_higher(noise in 0.5f64..5.0) {
+            let weak = diurnal_psd_ratio(&sine_series(672, 96, 2.0, noise), 96).unwrap();
+            let strong = diurnal_psd_ratio(&sine_series(672, 96, 25.0, noise), 96).unwrap();
+            prop_assert!(strong > weak);
+        }
+    }
+}

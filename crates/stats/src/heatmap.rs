@@ -1,0 +1,215 @@
+//! Decile-edge 2-D heat maps.
+//!
+//! Figures 4 and 5 of the paper are heat maps whose axes are *deciles of the
+//! data itself*: the X axis bins AS-path lifetimes by the deciles of the
+//! lifetime distribution, the Y axis bins RTT differences by their deciles,
+//! and each cell holds the percentage of all points falling in it. This
+//! module reproduces that construction, including the paper's quirk that
+//! duplicate decile edges (e.g. the minimum 3-hour lifetime spanning the
+//! first two deciles) collapse into a single wider bin.
+
+/// Computes decile edges of a sample: the 0th, 10th, ..., 100th percentiles
+/// with *consecutive duplicates removed*, yielding the half-open bin edges
+/// the paper's axes use.
+///
+/// Returns `None` on empty input.
+pub fn decile_edges(data: &[f64]) -> Option<Vec<f64>> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in decile input"));
+    let mut edges = Vec::with_capacity(11);
+    for i in 0..=10 {
+        let p = crate::percentile::percentile_sorted(&sorted, i as f64 * 10.0).unwrap();
+        if edges.last() != Some(&p) {
+            edges.push(p);
+        }
+    }
+    // A single distinct value yields one edge; callers need at least a
+    // degenerate [v, v] interval to bin into.
+    if edges.len() == 1 {
+        edges.push(edges[0]);
+    }
+    Some(edges)
+}
+
+/// Finds the bin index for `x` among half-open intervals `[e0,e1), [e1,e2),
+/// ..., [e(n-2), e(n-1)]` — the last interval is closed so the maximum is
+/// binnable.
+fn bin_index(edges: &[f64], x: f64) -> Option<usize> {
+    if edges.len() < 2 || x < edges[0] || x > *edges.last().unwrap() {
+        return None;
+    }
+    let last = edges.len() - 2;
+    for i in 0..=last {
+        if x < edges[i + 1] || i == last {
+            return Some(i);
+        }
+    }
+    unreachable!("x is within the outer edges")
+}
+
+/// A 2-D heat map over decile-derived bins. Cell values are percentages of
+/// all points (summing to ~100).
+#[derive(Clone, Debug)]
+pub struct HeatMap {
+    /// X-axis bin edges (lifetimes, in the paper).
+    pub x_edges: Vec<f64>,
+    /// Y-axis bin edges (RTT differences, in the paper).
+    pub y_edges: Vec<f64>,
+    /// `cells[y][x]` = percentage of points in that cell; row 0 is the
+    /// lowest Y bin.
+    pub cells: Vec<Vec<f64>>,
+    /// Total number of points binned.
+    pub count: usize,
+}
+
+impl HeatMap {
+    /// Builds the heat map from `(x, y)` points, deriving decile edges from
+    /// the points themselves (exactly how Figs. 4/5 are constructed).
+    ///
+    /// Returns `None` when there are no points.
+    pub fn from_points(points: &[(f64, f64)]) -> Option<HeatMap> {
+        if points.is_empty() {
+            return None;
+        }
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let x_edges = decile_edges(&xs)?;
+        let y_edges = decile_edges(&ys)?;
+        let nx = x_edges.len() - 1;
+        let ny = y_edges.len() - 1;
+        let mut counts = vec![vec![0usize; nx]; ny];
+        let mut total = 0usize;
+        for &(x, y) in points {
+            if let (Some(ix), Some(iy)) = (bin_index(&x_edges, x), bin_index(&y_edges, y)) {
+                counts[iy][ix] += 1;
+                total += 1;
+            }
+        }
+        let cells = counts
+            .into_iter()
+            .map(|row| {
+                row.into_iter().map(|c| 100.0 * c as f64 / total as f64).collect()
+            })
+            .collect();
+        Some(HeatMap { x_edges, y_edges, cells, count: total })
+    }
+
+    /// Sum of one Y row — "the percentage of AS paths with increase in
+    /// baseline RTTs corresponding to the Y-axis value of that row".
+    pub fn row_sum(&self, y_bin: usize) -> f64 {
+        self.cells[y_bin].iter().sum()
+    }
+
+    /// Sum of one X column.
+    pub fn col_sum(&self, x_bin: usize) -> f64 {
+        self.cells.iter().map(|row| row[x_bin]).sum()
+    }
+
+    /// The percentage of points whose Y value falls in the top `k` Y bins
+    /// (used for "10% of AS paths suffer at least …" statements).
+    pub fn top_rows_sum(&self, k: usize) -> f64 {
+        let n = self.cells.len();
+        (n.saturating_sub(k)..n).map(|i| self.row_sum(i)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decile_edges_of_uniform_ramp() {
+        let data: Vec<f64> = (0..=100).map(f64::from).collect();
+        let e = decile_edges(&data).unwrap();
+        assert_eq!(e.len(), 11);
+        assert_eq!(e[0], 0.0);
+        assert_eq!(e[10], 100.0);
+        assert_eq!(e[5], 50.0);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        // 30% of the data shares the minimum, so the 0th..20th percentiles
+        // coincide (like the 3-hour minimum lifetime in Fig. 4).
+        let mut data = vec![3.0; 30];
+        data.extend((1..=70).map(|i| 3.0 + i as f64));
+        let e = decile_edges(&data).unwrap();
+        assert_eq!(e[0], 3.0);
+        assert!(e.windows(2).all(|w| w[0] < w[1]), "edges strictly increasing: {e:?}");
+        assert!(e.len() < 11);
+    }
+
+    #[test]
+    fn degenerate_single_value() {
+        let e = decile_edges(&[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(e, vec![5.0, 5.0]);
+        assert_eq!(decile_edges(&[]), None);
+    }
+
+    #[test]
+    fn bin_index_half_open() {
+        let edges = [0.0, 10.0, 20.0];
+        assert_eq!(bin_index(&edges, 0.0), Some(0));
+        assert_eq!(bin_index(&edges, 9.999), Some(0));
+        assert_eq!(bin_index(&edges, 10.0), Some(1));
+        assert_eq!(bin_index(&edges, 20.0), Some(1), "max is included");
+        assert_eq!(bin_index(&edges, 20.001), None);
+        assert_eq!(bin_index(&edges, -0.1), None);
+    }
+
+    #[test]
+    fn heatmap_percentages_sum_to_100() {
+        let points: Vec<(f64, f64)> = (0..1000)
+            .map(|i| ((i % 97) as f64, ((i * 7) % 89) as f64))
+            .collect();
+        let hm = HeatMap::from_points(&points).unwrap();
+        let total: f64 = (0..hm.cells.len()).map(|y| hm.row_sum(y)).sum();
+        assert!((total - 100.0).abs() < 1e-9, "total = {total}");
+        assert_eq!(hm.count, 1000);
+        // Column sums also total 100.
+        let ctotal: f64 = (0..hm.cells[0].len()).map(|x| hm.col_sum(x)).sum();
+        assert!((ctotal - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heatmap_rows_hold_about_ten_percent_each() {
+        // With all-distinct values each decile row holds ~10% of points.
+        let points: Vec<(f64, f64)> =
+            (0..1000).map(|i| (i as f64, (i as f64 * 1.7) % 1000.0)).collect();
+        let hm = HeatMap::from_points(&points).unwrap();
+        for y in 0..hm.cells.len() {
+            let s = hm.row_sum(y);
+            assert!((5.0..15.1).contains(&s), "row {y} sum = {s}");
+        }
+        assert!((hm.top_rows_sum(1) - 10.0).abs() < 5.1);
+    }
+
+    #[test]
+    fn empty_heatmap_is_none() {
+        assert!(HeatMap::from_points(&[]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_edges_are_nondecreasing(
+            data in proptest::collection::vec(0.0f64..1e4, 1..200),
+        ) {
+            let e = decile_edges(&data).unwrap();
+            prop_assert!(e.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(e.len() >= 2);
+        }
+
+        #[test]
+        fn prop_every_point_is_binned(
+            points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..300),
+        ) {
+            let hm = HeatMap::from_points(&points).unwrap();
+            // Edges derive from the data, so every point must land in a bin.
+            prop_assert_eq!(hm.count, points.len());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Fixed-width histograms.
+//!
+//! A small utility used by report output (e.g. the Fig. 9 overhead
+//! distribution before KDE smoothing) and by tests that want to assert on
+//! distribution shapes.
+
+/// A histogram over `[lo, hi)` with equal-width bins; values outside the
+/// range are counted separately.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    /// Panics when `hi <= lo` or `nbins == 0`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo, "invalid histogram range [{lo}, {hi})");
+        assert!(nbins > 0, "histogram needs at least one bin");
+        Histogram { lo, hi, bins: vec![0; nbins], below: 0, above: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Adds many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below the range.
+    pub fn below(&self) -> u64 {
+        self.below
+    }
+
+    /// Count of observations at or above the upper bound.
+    pub fn above(&self) -> u64 {
+        self.above
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.below + self.above
+    }
+
+    /// The center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// The fraction of in-range observations in bins whose centers lie in
+    /// `[lo, hi]`.
+    pub fn fraction_between(&self, lo: f64, hi: f64) -> f64 {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return 0.0;
+        }
+        let mut n = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let center = self.bin_center(i);
+            if center >= lo && center <= hi {
+                n += c;
+            }
+        }
+        n as f64 / in_range as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bins_observations() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([0.0, 0.5, 1.5, 9.99]);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[1], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([-1.0, 10.0, 11.0, 5.0]);
+        assert_eq!(h.below(), 1);
+        assert_eq!(h.above(), 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 100.0, 10);
+        assert_eq!(h.bin_center(0), 5.0);
+        assert_eq!(h.bin_center(9), 95.0);
+    }
+
+    #[test]
+    fn fraction_between_window() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        h.extend((0..100).map(f64::from));
+        let f = h.fraction_between(20.0, 29.9);
+        assert!((f - 0.10).abs() < 0.011, "fraction = {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn invalid_range_panics() {
+        Histogram::new(5.0, 5.0, 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_counts_everything(
+            xs in proptest::collection::vec(-50.0f64..150.0, 0..200),
+        ) {
+            let mut h = Histogram::new(0.0, 100.0, 20);
+            h.extend(xs.iter().copied());
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+
+        #[test]
+        fn prop_in_range_values_hit_a_bin(x in 0.0f64..100.0) {
+            let mut h = Histogram::new(0.0, 100.0, 7);
+            h.add(x);
+            prop_assert_eq!(h.bins().iter().sum::<u64>(), 1);
+            prop_assert_eq!(h.below() + h.above(), 0);
+        }
+    }
+}

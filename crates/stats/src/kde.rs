@@ -1,0 +1,176 @@
+//! Gaussian kernel density estimation.
+//!
+//! Fig. 9 of the paper plots the *density* of congestion overheads for
+//! internal vs. interconnection links. [`GaussianKde`] reproduces that:
+//! a standard Gaussian-kernel KDE with Silverman's rule-of-thumb bandwidth.
+
+use std::f64::consts::PI;
+
+/// A Gaussian-kernel density estimator over a 1-D sample.
+#[derive(Clone, Debug)]
+pub struct GaussianKde {
+    data: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl GaussianKde {
+    /// Builds a KDE with Silverman's rule-of-thumb bandwidth:
+    /// `0.9 * min(σ, IQR/1.34) * n^(-1/5)`.
+    ///
+    /// Returns `None` for samples smaller than 2 or with zero spread.
+    pub fn new(data: Vec<f64>) -> Option<Self> {
+        if data.len() < 2 {
+            return None;
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let sigma =
+            (data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt();
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KDE sample"));
+        let iqr = crate::percentile::percentile_sorted(&sorted, 75.0).unwrap()
+            - crate::percentile::percentile_sorted(&sorted, 25.0).unwrap();
+        let spread = if iqr > 0.0 { sigma.min(iqr / 1.34) } else { sigma };
+        if spread <= 0.0 {
+            return None;
+        }
+        let bandwidth = 0.9 * spread * n.powf(-0.2);
+        Some(GaussianKde { data, bandwidth })
+    }
+
+    /// Builds a KDE with an explicit bandwidth.
+    ///
+    /// # Panics
+    /// Panics if `bandwidth` is not strictly positive or data is empty.
+    pub fn with_bandwidth(data: Vec<f64>, bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        assert!(!data.is_empty(), "KDE needs data");
+        GaussianKde { data, bandwidth }
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / (self.data.len() as f64 * h * (2.0 * PI).sqrt());
+        self.data
+            .iter()
+            .map(|&xi| {
+                let u = (x - xi) / h;
+                (-0.5 * u * u).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Evaluates the density on `n` evenly spaced points over `[lo, hi]`.
+    pub fn grid(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2 && hi > lo, "invalid grid");
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.density(x))
+            })
+            .collect()
+    }
+
+    /// The x position of the highest density on a grid — the distribution's
+    /// mode, used to report "typical overhead is 20–30 ms".
+    pub fn mode(&self, lo: f64, hi: f64, n: usize) -> f64 {
+        self.grid(lo, hi, n)
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(x, _)| x)
+            .unwrap()
+    }
+
+    /// Approximate probability mass in `[lo, hi]` by trapezoidal integration
+    /// on a 512-point grid (used for "values 20–30 ms contribute X% of the
+    /// density" statements).
+    pub fn mass_between(&self, lo: f64, hi: f64) -> f64 {
+        assert!(hi > lo);
+        let pts = self.grid(lo, hi, 512);
+        let dx = (hi - lo) / 511.0;
+        let mut mass = 0.0;
+        for w in pts.windows(2) {
+            mass += 0.5 * (w[0].1 + w[1].1) * dx;
+        }
+        mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn density_peaks_at_cluster() {
+        let data = vec![24.0, 25.0, 26.0, 25.5, 24.5, 25.2, 90.0];
+        let kde = GaussianKde::new(data).unwrap();
+        assert!(kde.density(25.0) > kde.density(60.0));
+        assert!(kde.density(25.0) > kde.density(90.0), "one outlier < six clustered");
+        let mode = kde.mode(0.0, 100.0, 500);
+        assert!((24.0..27.0).contains(&mode), "mode = {mode}");
+    }
+
+    #[test]
+    fn degenerate_samples_rejected() {
+        assert!(GaussianKde::new(vec![1.0]).is_none());
+        assert!(GaussianKde::new(vec![5.0, 5.0, 5.0]).is_none());
+        assert!(GaussianKde::new(vec![]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn explicit_zero_bandwidth_panics() {
+        GaussianKde::with_bandwidth(vec![1.0], 0.0);
+    }
+
+    #[test]
+    fn total_mass_is_about_one() {
+        let data: Vec<f64> = (0..50).map(|i| 20.0 + (i % 10) as f64).collect();
+        let kde = GaussianKde::new(data).unwrap();
+        let mass = kde.mass_between(-50.0, 120.0);
+        assert!((mass - 1.0).abs() < 0.02, "mass = {mass}");
+    }
+
+    #[test]
+    fn bimodal_mass_splits() {
+        let mut data: Vec<f64> = (0..30).map(|i| 20.0 + (i % 5) as f64 * 0.5).collect();
+        data.extend((0..30).map(|i| 60.0 + (i % 5) as f64 * 0.5));
+        let kde = GaussianKde::new(data).unwrap();
+        // Split at the midpoint between the modes: each side holds ~half the
+        // mass (Silverman's bandwidth over-smooths bimodal data, so allow
+        // generous tolerance).
+        let low = kde.mass_between(-40.0, 41.0);
+        let high = kde.mass_between(41.0, 120.0);
+        assert!((low - 0.5).abs() < 0.06, "low mass = {low}");
+        assert!((high - 0.5).abs() < 0.06, "high mass = {high}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_density_nonnegative(
+            data in proptest::collection::vec(0.0f64..100.0, 2..100),
+            x in -50.0f64..150.0,
+        ) {
+            if let Some(kde) = GaussianKde::new(data) {
+                prop_assert!(kde.density(x) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_bandwidth_positive(
+            data in proptest::collection::vec(0.0f64..100.0, 2..100),
+        ) {
+            if let Some(kde) = GaussianKde::new(data) {
+                prop_assert!(kde.bandwidth() > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Statistics toolkit for the s2s analysis pipeline.
+//!
+//! Self-contained (no external dependencies) implementations of every
+//! statistical primitive the paper's methodology needs:
+//!
+//! * [`ecdf`] — empirical CDFs (Figs. 2, 3, 6, 7, 10a, 10b),
+//! * [`percentile`] — order statistics and summary stats (§4.2 baselines),
+//! * [`fft`] — radix-2 FFT and the diurnal power-spectral-density ratio used
+//!   to detect consistent congestion (§5.1, after Luckie et al.),
+//! * [`mod@pearson`] — Pearson correlation for congestion localization (§5.2),
+//! * [`kde`] — Gaussian kernel density estimation (Fig. 9),
+//! * [`editdist`] — Levenshtein distance over AS-path symbols (§4.1),
+//! * [`heatmap`] — decile-edge 2-D binning (Figs. 4 and 5),
+//! * [`histogram`] — simple fixed-width histograms.
+
+pub mod ecdf;
+pub mod editdist;
+pub mod fft;
+pub mod heatmap;
+pub mod histogram;
+pub mod kde;
+pub mod pearson;
+pub mod percentile;
+
+pub use ecdf::Ecdf;
+pub use editdist::edit_distance;
+pub use fft::{diurnal_psd_ratio, fft_power, Complex};
+pub use heatmap::{decile_edges, HeatMap};
+pub use histogram::Histogram;
+pub use kde::GaussianKde;
+pub use pearson::pearson;
+pub use percentile::{mean, percentile_sorted, quantiles, stddev, Summary};

@@ -1,0 +1,102 @@
+//! Pearson correlation.
+//!
+//! Used by the congestion-localization step (§5.2): the time series of RTTs
+//! to each traceroute segment is correlated against the end-to-end series,
+//! and the first segment with ρ ≥ 0.5 is marked as the congested link.
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// Returns `None` when the series are shorter than 2 samples, have different
+/// lengths, or either has zero variance (correlation undefined).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let da = a - mx;
+        let db = b - my;
+        cov += da * db;
+        vx += da * da;
+        vy += db * db;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_orthogonal_series() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[2.0]), None);
+        assert_eq!(pearson(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[], &[]), None);
+    }
+
+    #[test]
+    fn shifted_and_scaled_series_still_correlate() {
+        // ρ is invariant to affine transforms with positive scale.
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = x.iter().map(|v| 7.0 + 3.5 * v).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rho_in_unit_interval(
+            x in proptest::collection::vec(-1e3f64..1e3, 2..100),
+            seed in 0u64..1000,
+        ) {
+            // Build y from x plus deterministic noise so lengths match.
+            let y: Vec<f64> = x.iter().enumerate().map(|(i, v)| {
+                let h = (i as u64 ^ seed).wrapping_mul(0x9E3779B97F4A7C15);
+                v * 0.5 + (h >> 40) as f64 / 1e5
+            }).collect();
+            if let Some(r) = pearson(&x, &y) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+
+        #[test]
+        fn prop_symmetric(
+            x in proptest::collection::vec(-1e3f64..1e3, 2..50),
+            y in proptest::collection::vec(-1e3f64..1e3, 2..50),
+        ) {
+            let n = x.len().min(y.len());
+            let (a, b) = (&x[..n], &y[..n]);
+            prop_assert_eq!(pearson(a, b), pearson(b, a));
+        }
+    }
+}

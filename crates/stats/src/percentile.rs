@@ -1,0 +1,218 @@
+//! Order statistics and basic summaries.
+//!
+//! The paper's best-path analysis (§4.2) keys on the 10th and 90th
+//! percentiles of per-AS-path RTT distributions; the congestion filter
+//! (§5.1) uses the 95th−5th percentile spread. All percentile math funnels
+//! through [`percentile_sorted`] so there is exactly one interpolation rule
+//! in the workspace (linear interpolation between closest ranks, the same
+//! rule NumPy's default uses).
+
+/// Linear-interpolated percentile of pre-sorted data. `p` is in `[0, 100]`.
+///
+/// Returns `None` on empty input.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 100]` or the data contains NaN ordering
+/// violations (data must be sorted ascending).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input to percentile_sorted must be sorted"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return Some(sorted[0]);
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Convenience: several percentiles of unsorted data in one sort.
+/// Returns `None` on empty input.
+pub fn quantiles(data: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantiles input"));
+    Some(ps.iter().map(|&p| percentile_sorted(&sorted, p).unwrap()).collect())
+}
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    Some(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Population standard deviation; `None` on empty input.
+pub fn stddev(data: &[f64]) -> Option<f64> {
+    let m = mean(data)?;
+    let var = data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64;
+    Some(var.sqrt())
+}
+
+/// A one-pass summary of a sample: count, min/max, mean, stddev, and the
+/// percentiles the paper's analyses key on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 10th percentile (the paper's "baseline RTT").
+    pub p10: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile (the paper's "with spikes" statistic).
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Builds a summary; `None` on empty input.
+    pub fn of(data: &[f64]) -> Option<Summary> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Summary input"));
+        let pct = |p| percentile_sorted(&sorted, p).unwrap();
+        Some(Summary {
+            count: sorted.len(),
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            mean: mean(data).unwrap(),
+            stddev: stddev(data).unwrap(),
+            p5: pct(5.0),
+            p10: pct(10.0),
+            p50: pct(50.0),
+            p90: pct(90.0),
+            p95: pct(95.0),
+        })
+    }
+
+    /// The 95th−5th percentile spread — the paper's §5.1 variation metric.
+    pub fn spread_95_5(&self) -> f64 {
+        self.p95 - self.p5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn percentile_of_known_data() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_sorted(&v, 0.0), Some(1.0));
+        assert_eq!(percentile_sorted(&v, 100.0), Some(5.0));
+        assert_eq!(percentile_sorted(&v, 50.0), Some(3.0));
+        assert_eq!(percentile_sorted(&v, 25.0), Some(2.0));
+        // Interpolation between ranks.
+        assert_eq!(percentile_sorted(&v, 10.0), Some(1.4));
+        assert_eq!(percentile_sorted(&v, 90.0), Some(4.6));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile_sorted(&[], 50.0), None);
+        assert_eq!(percentile_sorted(&[7.0], 10.0), Some(7.0));
+        assert_eq!(percentile_sorted(&[7.0], 90.0), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_validates_p() {
+        percentile_sorted(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn quantiles_sorts_input() {
+        let q = quantiles(&[3.0, 1.0, 2.0], &[0.0, 50.0, 100.0]).unwrap();
+        assert_eq!(q, vec![1.0, 2.0, 3.0]);
+        assert_eq!(quantiles(&[], &[50.0]), None);
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(stddev(&[]), None);
+    }
+
+    #[test]
+    fn summary_of_uniform_ramp() {
+        let data: Vec<f64> = (0..=100).map(f64::from).collect();
+        let s = Summary::of(&data).unwrap();
+        assert_eq!(s.count, 101);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p10, 10.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.spread_95_5(), 90.0);
+        assert_eq!(s.mean, 50.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert_eq!(Summary::of(&[]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_percentile_monotone_in_p(
+            mut data in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            p1 in 0.0f64..100.0, p2 in 0.0f64..100.0,
+        ) {
+            data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let a = percentile_sorted(&data, lo).unwrap();
+            let b = percentile_sorted(&data, hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+        }
+
+        #[test]
+        fn prop_percentile_within_range(
+            mut data in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            p in 0.0f64..100.0,
+        ) {
+            data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let v = percentile_sorted(&data, p).unwrap();
+            prop_assert!(v >= data[0] - 1e-9);
+            prop_assert!(v <= data[data.len() - 1] + 1e-9);
+        }
+
+        #[test]
+        fn prop_summary_orders_percentiles(
+            data in proptest::collection::vec(0.0f64..1e5, 1..300),
+        ) {
+            let s = Summary::of(&data).unwrap();
+            prop_assert!(s.min <= s.p5 && s.p5 <= s.p10);
+            prop_assert!(s.p10 <= s.p50 && s.p50 <= s.p90);
+            prop_assert!(s.p90 <= s.p95 && s.p95 <= s.max);
+            prop_assert!(s.stddev >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,1074 @@
+//! The topology generator.
+//!
+//! Deterministic construction order (every step draws from one seeded RNG):
+//!
+//! 1. ASes: a tier-1 backbone clique, continent-scoped tier-2 transits,
+//!    stubs, and one fabric AS per IXP.
+//! 2. PoPs and core routers, placed in real cities.
+//! 3. Business relationships and interconnect links (transit, private
+//!    peering, IXP public fabric), possibly several parallel links between
+//!    one AS pair in different cities — the raw material for routing
+//!    changes and ECMP artifacts.
+//! 4. Intra-AS backbone links (hub-and-spoke plus nearest-neighbor chords).
+//! 5. Addressing: per-AS IPv4 /16 and IPv6 /32, link subnets numbered from
+//!    the provider's (or one peer's, or the IXP fabric's) space, a small
+//!    share from unannounced pools.
+//! 6. CDN cluster deployment with the paper's country mix (39% US, then
+//!    AU/DE/IN/JP/CA).
+//! 7. BGP announcements.
+
+use crate::model::*;
+use crate::params::TopologyParams;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use s2s_geo::{Continent, CITIES};
+use s2s_types::rel::AsRel;
+use s2s_types::{Asn, IfaceId, Ipv4Net, Ipv6Net, LinkId, PopId, RouterId};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Generates a topology from parameters. Same params → identical topology.
+pub fn build_topology(params: &TopologyParams) -> Topology {
+    Builder::new(params.clone()).build()
+}
+
+struct Builder {
+    params: TopologyParams,
+    rng: StdRng,
+    ases: Vec<AsNode>,
+    as_adj: Vec<Vec<(usize, AsRel)>>,
+    pops: Vec<Pop>,
+    routers: Vec<Router>,
+    links: Vec<Link>,
+    ifaces: Vec<Iface>,
+    ixps: Vec<Ixp>,
+    clusters: Vec<Cluster>,
+    router_links: Vec<Vec<LinkId>>,
+    interconnects: HashMap<(usize, usize), Vec<LinkId>>,
+    /// Per-AS counter of allocated infrastructure /30s (v4) & /126s (v6).
+    infra_counter: Vec<u32>,
+    /// Counter into the unannounced v4 pool.
+    unannounced_counter: u32,
+    /// Per-AS counter of server addresses.
+    server_counter: Vec<u32>,
+}
+
+/// Cities grouped by continent, indices into `CITIES`.
+fn cities_by_continent() -> HashMap<Continent, Vec<usize>> {
+    let mut m: HashMap<Continent, Vec<usize>> = HashMap::new();
+    for (i, c) in CITIES.iter().enumerate() {
+        m.entry(c.continent).or_default().push(i);
+    }
+    m
+}
+
+fn city_distance_km(a: usize, b: usize) -> f64 {
+    CITIES[a].point().distance_km(&CITIES[b].point())
+}
+
+/// One-way link delay between two cities: fiber propagation with a path
+/// stretch of 1.25 (real fiber is never a great circle), plus a floor for
+/// equipment latency.
+fn link_delay_ms(city_a: usize, city_b: usize) -> f64 {
+    let d = city_distance_km(city_a, city_b);
+    (d * 1.25 / s2s_geo::C_FIBER_KM_PER_MS).max(0.1)
+}
+
+impl Builder {
+    fn new(params: TopologyParams) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed);
+        Builder {
+            params,
+            rng,
+            ases: Vec::new(),
+            as_adj: Vec::new(),
+            pops: Vec::new(),
+            routers: Vec::new(),
+            links: Vec::new(),
+            ifaces: Vec::new(),
+            ixps: Vec::new(),
+            clusters: Vec::new(),
+            router_links: Vec::new(),
+            interconnects: HashMap::new(),
+            infra_counter: Vec::new(),
+            unannounced_counter: 0,
+            server_counter: Vec::new(),
+        }
+    }
+
+    fn build(mut self) -> Topology {
+        self.gen_ases();
+        self.gen_pops();
+        self.gen_relationships();
+        self.gen_ixps();
+        self.gen_internal_links();
+        self.gen_clusters();
+        let announcements = self.gen_announcements();
+        let asn_to_idx =
+            self.ases.iter().enumerate().map(|(i, a)| (a.asn, i)).collect();
+        Topology {
+            params: self.params,
+            ases: self.ases,
+            as_adj: self.as_adj,
+            pops: self.pops,
+            routers: self.routers,
+            links: self.links,
+            ifaces: self.ifaces,
+            ixps: self.ixps,
+            clusters: self.clusters,
+            announcements,
+            router_links: self.router_links,
+            interconnects: self.interconnects,
+            asn_to_idx,
+        }
+    }
+
+    // ---- step 1: ASes -------------------------------------------------
+
+    fn gen_ases(&mut self) {
+        let p = self.params.clone();
+        let conts = cities_by_continent();
+        let cont_list: Vec<Continent> = [
+            Continent::NorthAmerica,
+            Continent::Europe,
+            Continent::Asia,
+            Continent::Oceania,
+            Continent::SouthAmerica,
+            Continent::Africa,
+        ]
+        .into_iter()
+        .filter(|c| conts.contains_key(c))
+        .collect();
+        // Tier-1: global, always dual-stack.
+        for i in 0..p.n_tier1 {
+            let mpls = self.rng.random_bool(p.mpls_as_prob);
+            self.push_as(AsNode {
+                asn: Asn::new(1000 + i as u32 * 13),
+                tier: Tier::Tier1,
+                kind: AsKind::Transit,
+                continent: None,
+                pops: Vec::new(),
+                v4_prefix: Ipv4Net::new(Ipv4Addr::UNSPECIFIED, 0), // set later
+                v6_prefix: Ipv6Net::new(Ipv6Addr::UNSPECIFIED, 0),
+                dual_stack: true,
+                mpls,
+            });
+        }
+        // Tier-2: continent-scoped, weighted toward the big continents.
+        let weights = [4usize, 4, 3, 1, 1, 1]; // NA, EU, AS, OC, SA, AF
+        for i in 0..p.n_tier2 {
+            let cont = {
+                let total: usize = weights.iter().take(cont_list.len()).sum();
+                let mut pick = self.rng.random_range(0..total);
+                let mut chosen = cont_list[0];
+                for (j, &w) in weights.iter().take(cont_list.len()).enumerate() {
+                    if pick < w {
+                        chosen = cont_list[j];
+                        break;
+                    }
+                    pick -= w;
+                }
+                chosen
+            };
+            let dual = self.rng.random_bool(p.v6_as_fraction);
+            let mpls = self.rng.random_bool(p.mpls_as_prob);
+            self.push_as(AsNode {
+                asn: Asn::new(10_000 + i as u32 * 7),
+                tier: Tier::Tier2,
+                kind: AsKind::Transit,
+                continent: Some(cont),
+                pops: Vec::new(),
+                v4_prefix: Ipv4Net::new(Ipv4Addr::UNSPECIFIED, 0),
+                v6_prefix: Ipv6Net::new(Ipv6Addr::UNSPECIFIED, 0),
+                dual_stack: dual,
+                mpls,
+            });
+        }
+        // Stubs.
+        for i in 0..p.n_stub {
+            let cont = {
+                let total: usize = weights.iter().take(cont_list.len()).sum();
+                let mut pick = self.rng.random_range(0..total);
+                let mut chosen = cont_list[0];
+                for (j, &w) in weights.iter().take(cont_list.len()).enumerate() {
+                    if pick < w {
+                        chosen = cont_list[j];
+                        break;
+                    }
+                    pick -= w;
+                }
+                chosen
+            };
+            let dual = self.rng.random_bool(p.v6_as_fraction);
+            let kind =
+                if self.rng.random_bool(0.5) { AsKind::Eyeball } else { AsKind::Content };
+            self.push_as(AsNode {
+                asn: Asn::new(30_000 + i as u32 * 3),
+                tier: Tier::Stub,
+                kind,
+                continent: Some(cont),
+                pops: Vec::new(),
+                v4_prefix: Ipv4Net::new(Ipv4Addr::UNSPECIFIED, 0),
+                v6_prefix: Ipv6Net::new(Ipv6Addr::UNSPECIFIED, 0),
+                dual_stack: dual,
+                mpls: false,
+            });
+        }
+        // Assign address space now that the AS count is final (IXP fabric
+        // ASes are appended in gen_ixps and allocate there).
+        for i in 0..self.ases.len() {
+            let (v4, v6) = alloc_as_prefixes(i);
+            self.ases[i].v4_prefix = v4;
+            self.ases[i].v6_prefix = v6;
+        }
+    }
+
+    fn push_as(&mut self, node: AsNode) {
+        self.ases.push(node);
+        self.as_adj.push(Vec::new());
+        self.infra_counter.push(0);
+        self.server_counter.push(0);
+    }
+
+    // ---- step 2: PoPs --------------------------------------------------
+
+    fn gen_pops(&mut self) {
+        let conts = cities_by_continent();
+        for i in 0..self.ases.len() {
+            let n_pops;
+            let candidate_cities: Vec<usize>;
+            match self.ases[i].tier {
+                Tier::Tier1 => {
+                    n_pops = self.rng.random_range(10..=14);
+                    candidate_cities = (0..CITIES.len()).collect();
+                }
+                Tier::Tier2 => {
+                    n_pops = self.rng.random_range(3..=6);
+                    candidate_cities =
+                        conts[&self.ases[i].continent.unwrap()].clone();
+                }
+                Tier::Stub => {
+                    n_pops = self.rng.random_range(1..=2);
+                    candidate_cities =
+                        conts[&self.ases[i].continent.unwrap()].clone();
+                }
+            }
+            let mut cities = candidate_cities;
+            cities.shuffle(&mut self.rng);
+            cities.truncate(n_pops.min(cities.len()));
+            for city in cities {
+                self.add_pop(i, city);
+            }
+        }
+    }
+
+    fn add_pop(&mut self, as_idx: usize, city: usize) -> PopId {
+        let pop_id = PopId::from(self.pops.len());
+        let router_id = self.add_router(as_idx, pop_id);
+        self.pops.push(Pop { as_idx, city, core_router: router_id });
+        self.ases[as_idx].pops.push(pop_id);
+        pop_id
+    }
+
+    fn add_router(&mut self, as_idx: usize, pop: PopId) -> RouterId {
+        let id = RouterId::from(self.routers.len());
+        let p = &self.params;
+        let responsive_v4 = !self.rng.random_bool(p.unresponsive_router_prob);
+        let responsive_v6 = !self.rng.random_bool(p.unresponsive_router_prob_v6);
+        self.routers.push(Router { as_idx, pop, responsive_v4, responsive_v6 });
+        self.router_links.push(Vec::new());
+        id
+    }
+
+    // ---- step 3: relationships & interconnects -------------------------
+
+    fn gen_relationships(&mut self) {
+        let n1 = self.params.n_tier1;
+        let n2 = self.params.n_tier2;
+        // Tier-1 clique: settlement-free peering, 2-3 parallel links in
+        // different cities.
+        for a in 0..n1 {
+            for b in (a + 1)..n1 {
+                self.add_relationship(a, b, AsRel::Peer);
+                let n_links = self.rng.random_range(2..=3);
+                for _ in 0..n_links {
+                    self.add_interconnect(a, b, LinkKind::PrivatePeering);
+                }
+            }
+        }
+        // Tier-2: 2-3 tier-1 providers; 1-2 transit links each.
+        for t2 in n1..(n1 + n2) {
+            let mut providers: Vec<usize> = (0..n1).collect();
+            providers.shuffle(&mut self.rng);
+            providers.truncate(self.rng.random_range(2..=3.min(n1)));
+            for &prov in &providers {
+                self.add_relationship(t2, prov, AsRel::Provider);
+                let n_links = self.rng.random_range(1..=2);
+                for _ in 0..n_links {
+                    self.add_interconnect(t2, prov, LinkKind::Transit);
+                }
+            }
+        }
+        // Tier-2 <-> tier-2 peering within a continent.
+        for a in n1..(n1 + n2) {
+            for b in (a + 1)..(n1 + n2) {
+                if self.ases[a].continent == self.ases[b].continent
+                    && self.rng.random_bool(0.55)
+                {
+                    self.add_relationship(a, b, AsRel::Peer);
+                    self.add_interconnect(a, b, LinkKind::PrivatePeering);
+                }
+            }
+        }
+        // Stubs: 1-3 providers, preferring same-continent tier-2s; a small
+        // chance of a direct tier-1 provider.
+        let stubs: Vec<usize> = ((n1 + n2)..self.ases.len()).collect();
+        for s in stubs {
+            let cont = self.ases[s].continent;
+            let mut candidates: Vec<usize> = (n1..(n1 + n2))
+                .filter(|&t| self.ases[t].continent == cont)
+                .collect();
+            if candidates.is_empty() {
+                candidates = (n1..(n1 + n2)).collect();
+            }
+            candidates.shuffle(&mut self.rng);
+            let n_prov = self.rng.random_range(2..=3).min(candidates.len()).max(1);
+            for &prov in candidates.iter().take(n_prov) {
+                self.add_relationship(s, prov, AsRel::Provider);
+                self.add_interconnect(s, prov, LinkKind::Transit);
+            }
+            if self.rng.random_bool(0.15) {
+                let prov = self.rng.random_range(0..n1);
+                self.add_relationship(s, prov, AsRel::Provider);
+                self.add_interconnect(s, prov, LinkKind::Transit);
+            }
+        }
+    }
+
+    fn add_relationship(&mut self, a: usize, b: usize, rel_a_to_b: AsRel) {
+        if self.as_adj[a].iter().any(|(n, _)| *n == b) {
+            return;
+        }
+        self.as_adj[a].push((b, rel_a_to_b));
+        self.as_adj[b].push((a, rel_a_to_b.inverse()));
+    }
+
+    /// Creates a dedicated border router in a PoP, linked to the PoP's core
+    /// router. Every interconnect terminates on one: real AS crossings show
+    /// several hops per AS (border + core), so a single rate-limited hop
+    /// can't blank an AS out of the inferred path.
+    fn add_border_router(&mut self, pop: PopId) -> RouterId {
+        let as_idx = self.pops[pop.index()].as_idx;
+        let border = self.add_router(as_idx, pop);
+        let core = self.pops[pop.index()].core_router;
+        self.add_link(border, core, LinkKind::Internal, Some(as_idx));
+        border
+    }
+
+    /// Creates an interconnect link between two ASes, choosing the pair of
+    /// PoPs (one per AS) with an anchor city: a shared city when one exists,
+    /// otherwise the geographically closest PoP pair.
+    fn add_interconnect(&mut self, a: usize, b: usize, kind: LinkKind) -> LinkId {
+        let (pop_a, pop_b) = self.pick_interconnect_pops(a, b);
+        let ra = self.add_border_router(pop_a);
+        let rb = self.add_border_router(pop_b);
+        // Subnet ownership: provider numbers transit links; one random peer
+        // numbers private peerings; IXP links are numbered in gen_ixps.
+        let (ra, rb, subnet_owner) = match kind {
+            // Convention: link.a = customer, link.b = provider.
+            LinkKind::Transit => (ra, rb, Some(b)),
+            LinkKind::PrivatePeering | LinkKind::Internal => {
+                let owner = if self.rng.random_bool(0.5) { a } else { b };
+                (ra, rb, Some(owner))
+            }
+            LinkKind::IxpPeering(_) => (ra, rb, None),
+        };
+        self.add_link(ra, rb, kind, subnet_owner)
+    }
+
+    fn pick_interconnect_pops(&mut self, a: usize, b: usize) -> (PopId, PopId) {
+        let pops_a = self.ases[a].pops.clone();
+        let pops_b = self.ases[b].pops.clone();
+        // Shared cities first, skipping city pairs already used by an
+        // existing link between these ASes when possible (parallel links
+        // should be in *different* cities).
+        let used: Vec<(usize, usize)> = self
+            .interconnects_key(a, b)
+            .iter()
+            .map(|&l| {
+                let link = &self.links[l.index()];
+                (
+                    self.pops[self.routers[link.a.index()].pop.index()].city,
+                    self.pops[self.routers[link.b.index()].pop.index()].city,
+                )
+            })
+            .collect();
+        let mut shared: Vec<(PopId, PopId)> = Vec::new();
+        for &pa in &pops_a {
+            for &pb in &pops_b {
+                if self.pops[pa.index()].city == self.pops[pb.index()].city {
+                    shared.push((pa, pb));
+                }
+            }
+        }
+        shared.shuffle(&mut self.rng);
+        if let Some(&(pa, pb)) = shared.iter().find(|(pa, pb)| {
+            !used.contains(&(self.pops[pa.index()].city, self.pops[pb.index()].city))
+        }) {
+            return (pa, pb);
+        }
+        if let Some(&pair) = shared.first() {
+            return pair;
+        }
+        // No shared city: closest PoP pair.
+        let mut best = (pops_a[0], pops_b[0]);
+        let mut best_d = f64::INFINITY;
+        for &pa in &pops_a {
+            for &pb in &pops_b {
+                let d = city_distance_km(
+                    self.pops[pa.index()].city,
+                    self.pops[pb.index()].city,
+                );
+                if d < best_d {
+                    best_d = d;
+                    best = (pa, pb);
+                }
+            }
+        }
+        best
+    }
+
+    fn interconnects_key(&self, a: usize, b: usize) -> Vec<LinkId> {
+        self.interconnects
+            .get(&(a.min(b), a.max(b)))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Creates a link plus its two interfaces and addressing.
+    fn add_link(
+        &mut self,
+        ra: RouterId,
+        rb: RouterId,
+        kind: LinkKind,
+        subnet_owner: Option<usize>,
+    ) -> LinkId {
+        let link_id = LinkId::from(self.links.len());
+        let as_a = self.routers[ra.index()].as_idx;
+        let as_b = self.routers[rb.index()].as_idx;
+        let city_a = self.pops[self.routers[ra.index()].pop.index()].city;
+        let city_b = self.pops[self.routers[rb.index()].pop.index()].city;
+        let delay_ms = link_delay_ms(city_a, city_b);
+        let p = &self.params;
+
+        // Capacity by link class: core backbones are fattest, access and
+        // public fabric ports thinner — the §8 available-bandwidth substrate.
+        let capacity_mbps = match kind {
+            LinkKind::Internal => [40_000.0, 100_000.0][self.rng.random_range(0..2)],
+            LinkKind::Transit => [10_000.0, 40_000.0, 100_000.0][self.rng.random_range(0..3)],
+            LinkKind::PrivatePeering => [10_000.0, 40_000.0][self.rng.random_range(0..2)],
+            LinkKind::IxpPeering(_) => [10_000.0, 100_000.0][self.rng.random_range(0..2)],
+        };
+        let announced_v4 = !self.rng.random_bool(p.unannounced_link_prob);
+        let announced_v6 = !self.rng.random_bool(p.unannounced_link_prob_v6);
+        let both_dual = self.ases[as_a].dual_stack && self.ases[as_b].dual_stack;
+        let v6_enabled = both_dual
+            && (kind == LinkKind::Internal || self.rng.random_bool(p.v6_link_fraction));
+
+        // Allocate the subnet from the owner's infrastructure space, or from
+        // the unannounced pool.
+        let owner_for_addr = subnet_owner.unwrap_or(as_a);
+        let (v4a, v4b, v6a, v6b, subnet_owner_final) = if announced_v4 {
+            let (a4, b4) = self.alloc_infra_v4(owner_for_addr);
+            let (a6, b6) = self.alloc_infra_v6(owner_for_addr);
+            (a4, b4, a6, b6, subnet_owner)
+        } else {
+            let (a4, b4, a6, b6) = self.alloc_unannounced();
+            (a4, b4, a6, b6, None)
+        };
+
+        let iface_a = IfaceId::from(self.ifaces.len());
+        self.ifaces.push(Iface { router: ra, link: link_id, v4: v4a, v6: v6a });
+        let iface_b = IfaceId::from(self.ifaces.len());
+        self.ifaces.push(Iface { router: rb, link: link_id, v4: v4b, v6: v6b });
+
+        self.links.push(Link {
+            a: ra,
+            b: rb,
+            kind,
+            iface_a,
+            iface_b,
+            subnet_owner: subnet_owner_final,
+            announced_v4,
+            announced_v6: announced_v6 && announced_v4,
+            v6_enabled,
+            delay_ms,
+            capacity_mbps,
+        });
+        self.router_links[ra.index()].push(link_id);
+        self.router_links[rb.index()].push(link_id);
+        if kind.is_interconnect() {
+            let key = (as_a.min(as_b), as_a.max(as_b));
+            self.interconnects.entry(key).or_default().push(link_id);
+        }
+        link_id
+    }
+
+    /// Two host addresses in a fresh /30 from the AS's infrastructure half
+    /// (the upper /17 of its /16).
+    fn alloc_infra_v4(&mut self, as_idx: usize) -> (Ipv4Addr, Ipv4Addr) {
+        let n = self.infra_counter[as_idx];
+        self.infra_counter[as_idx] = n + 1;
+        let infra = self.ases[as_idx].v4_prefix.subnet(17, 1); // x.x.128.0/17
+        let subnet = infra.subnet(30, n % (1 << 13));
+        (subnet.host(1), subnet.host(2))
+    }
+
+    /// Two host addresses in a fresh /126 from the AS's infrastructure /40.
+    fn alloc_infra_v6(&mut self, as_idx: usize) -> (Ipv6Addr, Ipv6Addr) {
+        let n = u128::from(self.infra_counter[as_idx]); // already bumped by v4 alloc
+        let infra = self.ases[as_idx].v6_prefix.subnet(40, 1);
+        let subnet = infra.subnet(126, n % (1 << 20));
+        (subnet.host(1), subnet.host(2))
+    }
+
+    /// Addresses from pool space that is never announced in BGP
+    /// (100.64.0.0/10 for v4, fd00::/8 for v6).
+    fn alloc_unannounced(&mut self) -> (Ipv4Addr, Ipv4Addr, Ipv6Addr, Ipv6Addr) {
+        let n = self.unannounced_counter;
+        self.unannounced_counter = n + 1;
+        let v4pool = Ipv4Net::new(Ipv4Addr::new(100, 64, 0, 0), 10);
+        let s4 = v4pool.subnet(30, n % (1 << 20));
+        let v6pool = Ipv6Net::new("fd00::".parse().unwrap(), 8);
+        let s6 = v6pool.subnet(126, u128::from(n));
+        (s4.host(1), s4.host(2), s6.host(1), s6.host(2))
+    }
+
+    // ---- step 3b: IXPs --------------------------------------------------
+
+    fn gen_ixps(&mut self) {
+        // IXPs go to the cities with the most PoPs.
+        let mut pop_count: HashMap<usize, usize> = HashMap::new();
+        for p in &self.pops {
+            *pop_count.entry(p.city).or_default() += 1;
+        }
+        let mut cities: Vec<(usize, usize)> = pop_count.into_iter().collect();
+        cities.sort_by_key(|&(city, n)| (std::cmp::Reverse(n), city));
+        cities.truncate(self.params.n_ixps);
+
+        for (ixp_i, &(city, _)) in cities.iter().enumerate() {
+            // The fabric AS announcing the exchange prefix.
+            let fabric_as = self.ases.len();
+            let (v4, v6) = alloc_as_prefixes(fabric_as);
+            self.push_as(AsNode {
+                asn: Asn::new(60_000 + ixp_i as u32),
+                tier: Tier::Stub,
+                kind: AsKind::IxpFabric,
+                continent: Some(CITIES[city].continent),
+                pops: Vec::new(),
+                v4_prefix: v4,
+                v6_prefix: v6,
+                dual_stack: true,
+                mpls: false,
+            });
+            let members: Vec<usize> = self
+                .pops
+                .iter()
+                .filter(|p| p.city == city)
+                .map(|p| p.as_idx)
+                .collect();
+            let ixp_id = s2s_types::IxpId::from(self.ixps.len());
+            self.ixps.push(Ixp { city, fabric_as, members: members.clone() });
+
+            // Peering over the fabric: member pairs without an existing
+            // relationship may peer publicly; pairs that already peer
+            // privately are left alone.
+            for (i, &a) in members.iter().enumerate() {
+                for &b in members.iter().skip(i + 1) {
+                    if a == b || self.as_adj[a].iter().any(|(n, _)| *n == b) {
+                        continue;
+                    }
+                    // Don't peer two tier-1s here (clique already done), and
+                    // keep stub-stub public peering plausible but sparse.
+                    if !self.rng.random_bool(self.params.ixp_public_peering_prob) {
+                        continue;
+                    }
+                    self.add_relationship(a, b, AsRel::Peer);
+                    let pop_a = self.pop_of_in_city(a, city);
+                    let pop_b = self.pop_of_in_city(b, city);
+                    let ra = self.add_border_router(pop_a);
+                    let rb = self.add_border_router(pop_b);
+                    let link =
+                        self.add_link(ra, rb, LinkKind::IxpPeering(ixp_id), Some(fabric_as));
+                    // Re-number the link from the fabric AS's space (add_link
+                    // used it already through subnet_owner, so nothing to do;
+                    // the assert documents the invariant).
+                    debug_assert_eq!(
+                        self.links[link.index()].subnet_owner.is_some(),
+                        self.links[link.index()].announced_v4
+                    );
+                }
+            }
+        }
+    }
+
+    fn pop_of_in_city(&self, as_idx: usize, city: usize) -> PopId {
+        *self.ases[as_idx]
+            .pops
+            .iter()
+            .find(|&&p| self.pops[p.index()].city == city)
+            .expect("member AS must have a PoP in the IXP city")
+    }
+
+    // ---- step 4: internal links -----------------------------------------
+
+    fn gen_internal_links(&mut self) {
+        for i in 0..self.ases.len() {
+            let pops = self.ases[i].pops.clone();
+            if pops.len() < 2 {
+                continue;
+            }
+            // Hub-and-spoke from the first PoP guarantees connectivity...
+            let hub = pops[0];
+            for &p in &pops[1..] {
+                let ra = self.pops[hub.index()].core_router;
+                let rb = self.pops[p.index()].core_router;
+                self.add_link(ra, rb, LinkKind::Internal, Some(i));
+            }
+            // ...and every PoP additionally links to its two geographically
+            // nearest siblings — real backbones are meshy enough that the
+            // shortest internal path rarely detours far off the great
+            // circle (keeps Fig. 10b inflation in the paper's ~3x range).
+            for (pi, &p) in pops.iter().enumerate() {
+                let city_p = self.pops[p.index()].city;
+                let mut others: Vec<PopId> = pops
+                    .iter()
+                    .enumerate()
+                    .filter(|&(qi, _)| qi != pi)
+                    .map(|(_, &q)| q)
+                    .collect();
+                others.sort_by(|&qa, &qb| {
+                    let da = city_distance_km(city_p, self.pops[qa.index()].city);
+                    let db = city_distance_km(city_p, self.pops[qb.index()].city);
+                    da.partial_cmp(&db).unwrap()
+                });
+                for &q in others.iter().take(2) {
+                    let ra = self.pops[p.index()].core_router;
+                    let rb = self.pops[q.index()].core_router;
+                    let exists = self.router_links[ra.index()].iter().any(|&l| {
+                        let link = &self.links[l.index()];
+                        link.kind == LinkKind::Internal
+                            && (link.a == rb || link.b == rb)
+                    });
+                    if !exists {
+                        self.add_link(ra, rb, LinkKind::Internal, Some(i));
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- step 5: clusters -------------------------------------------------
+
+    fn gen_clusters(&mut self) {
+        // Country mix per the paper: 39% US; AU/DE/IN/JP/CA together 19%;
+        // the rest spread worldwide.
+        let n = self.params.n_clusters;
+        let n_us = (n as f64 * 0.39).round() as usize;
+        let n_top5 = (n as f64 * 0.19).round() as usize;
+        let top5 = ["AU", "DE", "IN", "JP", "CA"];
+
+        // Candidate PoPs: prefer stub/eyeball/content host ASes, exclude
+        // IXP fabric ASes, require dual-stack (the mesh is dual-stack).
+        let candidates: Vec<PopId> = (0..self.pops.len())
+            .map(PopId::from)
+            .filter(|p| {
+                let a = &self.ases[self.pops[p.index()].as_idx];
+                a.kind != AsKind::IxpFabric && a.dual_stack
+            })
+            .collect();
+        let by_country = |cc: &str, cands: &[PopId], pops: &[Pop]| -> Vec<PopId> {
+            cands
+                .iter()
+                .copied()
+                .filter(|p| CITIES[pops[p.index()].city].country == cc)
+                .collect()
+        };
+
+        let mut picks: Vec<PopId> = Vec::with_capacity(n);
+        let mut us = by_country("US", &candidates, &self.pops);
+        us.shuffle(&mut self.rng);
+        for i in 0..n_us {
+            picks.push(us[i % us.len().max(1)]);
+        }
+        let mut t5: Vec<PopId> = Vec::new();
+        for cc in top5 {
+            t5.extend(by_country(cc, &candidates, &self.pops));
+        }
+        t5.shuffle(&mut self.rng);
+        for i in 0..n_top5 {
+            if t5.is_empty() {
+                break;
+            }
+            picks.push(t5[i % t5.len()]);
+        }
+        let mut rest: Vec<PopId> = candidates
+            .iter()
+            .copied()
+            .filter(|p| {
+                let cc = CITIES[self.pops[p.index()].city].country;
+                cc != "US" && !top5.contains(&cc)
+            })
+            .collect();
+        rest.shuffle(&mut self.rng);
+        let mut i = 0;
+        while picks.len() < n && !rest.is_empty() {
+            picks.push(rest[i % rest.len()]);
+            i += 1;
+        }
+
+        for pop in picks {
+            let as_idx = self.pops[pop.index()].as_idx;
+            let city = self.pops[pop.index()].city;
+            // Dedicated cluster attachment router, linked to the PoP core.
+            let router = self.add_router(as_idx, pop);
+            // Cluster routers always respond (they are CDN-managed).
+            let r = self.routers.last_mut().unwrap();
+            r.responsive_v4 = true;
+            r.responsive_v6 = true;
+            let core = self.pops[pop.index()].core_router;
+            self.add_link(router, core, LinkKind::Internal, Some(as_idx));
+            // Server addresses from the host AS's server half.
+            let sc = self.server_counter[as_idx];
+            self.server_counter[as_idx] = sc + 1;
+            let v4 = self.ases[as_idx].v4_prefix.subnet(17, 0).host(sc + 10);
+            let v6 = self.ases[as_idx].v6_prefix.subnet(40, 0).host(u128::from(sc) + 10);
+            self.clusters.push(Cluster { city, host_as: as_idx, router, v4, v6 });
+        }
+    }
+
+    // ---- step 6: announcements ---------------------------------------------
+
+    fn gen_announcements(&mut self) -> Vec<(s2s_types::IpNet, Asn)> {
+        let mut out = Vec::with_capacity(self.ases.len() * 2);
+        for a in &self.ases {
+            out.push((s2s_types::IpNet::V4(a.v4_prefix), a.asn));
+            if a.dual_stack {
+                out.push((s2s_types::IpNet::V6(a.v6_prefix), a.asn));
+            }
+        }
+        out
+    }
+}
+
+/// Address allocations: AS `i` gets v4 `(1 + i/256).(i%256).0.0/16` and
+/// v6 `2600:i::/32`.
+fn alloc_as_prefixes(i: usize) -> (Ipv4Net, Ipv6Net) {
+    assert!(i < 60_000, "AS index {i} exhausts the synthetic v4 pool");
+    let base = ((1 + i / 256) as u32) << 24 | ((i % 256) as u32) << 16;
+    let v4 = Ipv4Net::new(Ipv4Addr::from(base), 16);
+    let v6base: u128 = 0x2600u128 << 112 | (i as u128) << 96;
+    let v6 = Ipv6Net::new(Ipv6Addr::from(v6base), 32);
+    (v4, v6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_types::Protocol;
+    use std::collections::HashSet;
+
+    fn tiny() -> Topology {
+        build_topology(&TopologyParams::tiny(42))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.ases.len(), b.ases.len());
+        assert_eq!(a.links.len(), b.links.len());
+        assert_eq!(a.clusters.len(), b.clusters.len());
+        for (la, lb) in a.links.iter().zip(&b.links) {
+            assert_eq!(la.a, lb.a);
+            assert_eq!(la.b, lb.b);
+            assert_eq!(la.kind, lb.kind);
+        }
+        for (fa, fb) in a.ifaces.iter().zip(&b.ifaces) {
+            assert_eq!(fa.v4, fb.v4);
+            assert_eq!(fa.v6, fb.v6);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build_topology(&TopologyParams::tiny(1));
+        let b = build_topology(&TopologyParams::tiny(2));
+        // Same sizes by construction parameters, but different wiring.
+        let wiring_a: Vec<(RouterId, RouterId)> =
+            a.links.iter().map(|l| (l.a, l.b)).collect();
+        let wiring_b: Vec<(RouterId, RouterId)> =
+            b.links.iter().map(|l| (l.a, l.b)).collect();
+        assert_ne!(wiring_a, wiring_b);
+    }
+
+    #[test]
+    fn as_counts_match_params() {
+        let t = tiny();
+        let p = TopologyParams::tiny(42);
+        // IXP fabric ASes come on top of the configured counts.
+        assert_eq!(t.ases.len(), p.n_ases() + t.ixps.len());
+        assert!(t.ixps.len() <= p.n_ixps);
+        assert_eq!(t.clusters.len(), p.n_clusters);
+    }
+
+    #[test]
+    fn every_as_has_pops_except_fabric() {
+        let t = tiny();
+        for a in &t.ases {
+            if a.kind == AsKind::IxpFabric {
+                assert!(a.pops.is_empty());
+            } else {
+                assert!(!a.pops.is_empty(), "{} has no PoPs", a.asn);
+            }
+        }
+    }
+
+    #[test]
+    fn relationships_are_symmetric_and_valley_consistent() {
+        let t = tiny();
+        for (i, adj) in t.as_adj.iter().enumerate() {
+            for &(j, rel) in adj {
+                let back = t.rel(j, i).expect("symmetric adjacency");
+                assert_eq!(back, rel.inverse(), "rel({i},{j}) inconsistent");
+            }
+        }
+    }
+
+    #[test]
+    fn tier1s_form_a_peering_clique() {
+        let t = tiny();
+        let n1 = t.params.n_tier1;
+        for a in 0..n1 {
+            for b in (a + 1)..n1 {
+                assert_eq!(t.rel(a, b), Some(AsRel::Peer), "tier1 {a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_tier1s_have_a_provider_path_up() {
+        let t = tiny();
+        for (i, a) in t.ases.iter().enumerate() {
+            if a.tier == Tier::Tier1 || a.kind == AsKind::IxpFabric {
+                continue;
+            }
+            let has_provider =
+                t.as_adj[i].iter().any(|&(_, rel)| rel == AsRel::Provider);
+            assert!(has_provider, "{} ({:?}) has no provider", a.asn, a.tier);
+        }
+    }
+
+    #[test]
+    fn transit_links_are_numbered_by_provider() {
+        let t = tiny();
+        let mut checked = 0;
+        for l in &t.links {
+            if l.kind == LinkKind::Transit && l.announced_v4 {
+                let provider_as = t.routers[l.b.index()].as_idx;
+                assert_eq!(l.subnet_owner, Some(provider_as));
+                // The customer-side rel toward provider is Provider.
+                let customer_as = t.routers[l.a.index()].as_idx;
+                assert_eq!(t.rel(customer_as, provider_as), Some(AsRel::Provider));
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "only {checked} transit links checked");
+    }
+
+    #[test]
+    fn iface_addresses_are_unique() {
+        let t = tiny();
+        let mut v4 = HashSet::new();
+        let mut v6 = HashSet::new();
+        for f in &t.ifaces {
+            assert!(v4.insert(f.v4), "duplicate v4 {}", f.v4);
+            assert!(v6.insert(f.v6), "duplicate v6 {}", f.v6);
+        }
+        for c in &t.clusters {
+            assert!(v4.insert(c.v4), "cluster v4 collides: {}", c.v4);
+            assert!(v6.insert(c.v6), "cluster v6 collides: {}", c.v6);
+        }
+    }
+
+    #[test]
+    fn announced_link_subnets_map_to_owner() {
+        let t = tiny();
+        for l in &t.links {
+            if let Some(owner) = l.subnet_owner {
+                if l.announced_v4 {
+                    let fa = &t.ifaces[l.iface_a.index()];
+                    assert!(
+                        t.ases[owner].v4_prefix.contains(fa.v4),
+                        "iface {} not in owner {} prefix",
+                        fa.v4,
+                        t.ases[owner].asn
+                    );
+                }
+            } else if !l.announced_v4 {
+                let fa = &t.ifaces[l.iface_a.index()];
+                // Unannounced pool: 100.64/10.
+                assert_eq!(fa.v4.octets()[0], 100);
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_are_dual_stack_and_us_heavy() {
+        let t = tiny();
+        let us = t
+            .clusters
+            .iter()
+            .filter(|c| CITIES[c.city].country == "US")
+            .count();
+        let frac = us as f64 / t.clusters.len() as f64;
+        assert!((0.25..0.55).contains(&frac), "US fraction = {frac}");
+        for c in &t.clusters {
+            assert!(t.ases[c.host_as].dual_stack);
+        }
+    }
+
+    #[test]
+    fn cluster_routers_are_connected_and_responsive() {
+        let t = tiny();
+        for c in &t.clusters {
+            let r = &t.routers[c.router.index()];
+            assert!(r.responsive_v4 && r.responsive_v6);
+            assert!(!t.router_links[c.router.index()].is_empty());
+        }
+    }
+
+    #[test]
+    fn internal_links_connect_same_as() {
+        let t = tiny();
+        for l in &t.links {
+            let as_a = t.routers[l.a.index()].as_idx;
+            let as_b = t.routers[l.b.index()].as_idx;
+            if l.kind == LinkKind::Internal {
+                assert_eq!(as_a, as_b);
+            } else {
+                assert_ne!(as_a, as_b);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_pop_ases_have_connected_backbones() {
+        let t = tiny();
+        for (i, a) in t.ases.iter().enumerate() {
+            if a.pops.len() < 2 {
+                continue;
+            }
+            // BFS over internal links from the first PoP's core router.
+            let mut seen = HashSet::new();
+            let start = t.pops[a.pops[0].index()].core_router;
+            let mut stack = vec![start];
+            while let Some(r) = stack.pop() {
+                if !seen.insert(r) {
+                    continue;
+                }
+                for &l in &t.router_links[r.index()] {
+                    let link = &t.links[l.index()];
+                    if link.kind == LinkKind::Internal {
+                        stack.push(link.other_end(r));
+                    }
+                }
+            }
+            for &p in &a.pops {
+                assert!(
+                    seen.contains(&t.pops[p.index()].core_router),
+                    "AS {i} backbone disconnected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn link_delays_reflect_geography() {
+        let t = tiny();
+        for l in &t.links {
+            assert!(l.delay_ms >= 0.1);
+            let ca = t.router_city(l.a);
+            let cb = t.router_city(l.b);
+            if ca.name == cb.name {
+                assert!(l.delay_ms <= 0.2, "same-city link delay {}", l.delay_ms);
+            }
+        }
+        // At least one transcontinental link should be slow.
+        let max = t.links.iter().map(|l| l.delay_ms).fold(0.0, f64::max);
+        assert!(max > 20.0, "max link delay only {max} ms");
+    }
+
+    #[test]
+    fn census_has_all_kinds() {
+        // IXP public peering is probabilistic; raise the odds so the tiny
+        // graph reliably exhibits every link kind.
+        let t = build_topology(&TopologyParams {
+            ixp_public_peering_prob: 0.7,
+            ..TopologyParams::tiny(42)
+        });
+        let (internal, transit, private, ixp) = t.link_census();
+        assert!(internal > 0);
+        assert!(transit > 0);
+        assert!(private > 0);
+        assert!(ixp > 0, "no IXP links generated");
+    }
+
+    #[test]
+    fn some_links_are_v4_only_and_some_unannounced() {
+        let t = build_topology(&TopologyParams {
+            // Crank probabilities so the tiny graph exhibits them.
+            unannounced_link_prob: 0.05,
+            unannounced_link_prob_v6: 0.05,
+            v6_link_fraction: 0.8,
+            ..TopologyParams::tiny(7)
+        });
+        assert!(t.links.iter().any(|l| !l.v6_enabled && l.kind.is_interconnect()));
+        assert!(t.links.iter().any(|l| !l.announced_v4));
+    }
+
+    #[test]
+    fn addr_index_round_trips() {
+        let t = tiny();
+        let idx = t.addr_index();
+        for (i, f) in t.ifaces.iter().enumerate() {
+            assert_eq!(idx[&std::net::IpAddr::V4(f.v4)].index(), i);
+            assert_eq!(idx[&std::net::IpAddr::V6(f.v6)].index(), i);
+        }
+    }
+
+    #[test]
+    fn protocols_const_sane() {
+        // Guard against accidental reorder: analysis code assumes V4 first.
+        assert_eq!(Protocol::BOTH[0], Protocol::V4);
+    }
+
+    #[test]
+    fn mpls_ases_exist_at_default_probability() {
+        let t = build_topology(&TopologyParams {
+            mpls_as_prob: 0.5,
+            ..TopologyParams::tiny(9)
+        });
+        assert!(t.ases.iter().any(|a| a.mpls));
+    }
+
+    #[test]
+    fn ixps_have_fabric_as_and_members() {
+        let t = tiny();
+        for ixp in &t.ixps {
+            assert_eq!(t.ases[ixp.fabric_as].kind, AsKind::IxpFabric);
+            assert!(ixp.members.len() >= 2 || ixp.members.len() == t.ixps.len().min(1));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Seeded Internet-core topology generator.
+//!
+//! The paper measures the real Internet core from a CDN's vantage points.
+//! This crate builds the simulated equivalent: a tiered AS-level graph with
+//! Gao-style business relationships, router-level PoPs placed in real-world
+//! cities, inter-AS interconnects (transit, private peering, and IXP public
+//! fabric), dual-stack addressing with BGP announcements, and the CDN
+//! cluster deployment that serves as the measurement platform.
+//!
+//! The generator is fully deterministic: the same [`TopologyParams`]
+//! (including seed) always produces an identical [`Topology`].
+//!
+//! What downstream crates consume:
+//!
+//! * `s2s-bgp` builds its longest-prefix-match trie from
+//!   [`Topology::announcements`],
+//! * `s2s-routing` computes valley-free paths over [`Topology::as_adj`] and
+//!   expands them to router paths over the PoP/link structure,
+//! * `s2s-netsim` derives per-link propagation delays from PoP coordinates
+//!   and picks congested links by their [`LinkKind`],
+//! * `s2s-core` validates its router-ownership inferences against the
+//!   ground-truth operator of every interface.
+
+pub mod build;
+pub mod model;
+pub mod params;
+
+pub use build::build_topology;
+pub use model::{
+    AsKind, AsNode, Cluster, Iface, Ixp, Link, LinkKind, Pop, Router, Tier, Topology,
+};
+pub use params::TopologyParams;

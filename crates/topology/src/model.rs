@@ -1,0 +1,334 @@
+//! The generated topology data model.
+//!
+//! Arena-style: ASes, PoPs, routers, links, interfaces, IXPs, and clusters
+//! live in flat vectors indexed by the id types from `s2s-types`. The
+//! generator in [`crate::build`] fills these in; everything here is plain
+//! data plus lookup helpers.
+
+use crate::params::TopologyParams;
+use s2s_geo::{City, Continent, CITIES};
+use s2s_types::{
+    Asn, ClusterId, IfaceId, IpNet, Ipv4Net, Ipv6Net, IxpId, LinkId, PopId, RouterId,
+};
+use s2s_types::rel::AsRel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Hierarchy tier of an AS.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Tier {
+    /// Global, transit-free backbone (full peering clique among tier-1s).
+    Tier1,
+    /// Regional transit provider, scoped to one continent.
+    Tier2,
+    /// Stub: eyeball, content, or hosting network.
+    Stub,
+}
+
+/// Business category of an AS (cosmetic except for IXP management ASes,
+/// whose ASNs appear in inferred AS paths when crossing public fabric).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AsKind {
+    /// Sells transit.
+    Transit,
+    /// Access/eyeball network.
+    Eyeball,
+    /// Content/hosting network.
+    Content,
+    /// The management AS of an IXP (announces the fabric prefix).
+    IxpFabric,
+}
+
+/// One autonomous system.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AsNode {
+    /// Public AS number.
+    pub asn: Asn,
+    /// Hierarchy tier.
+    pub tier: Tier,
+    /// Business category.
+    pub kind: AsKind,
+    /// Home continent; `None` for global (tier-1) networks.
+    pub continent: Option<Continent>,
+    /// PoPs operated by this AS.
+    pub pops: Vec<PopId>,
+    /// The AS's IPv4 allocation (a /16); servers in the lower half,
+    /// infrastructure in the upper half.
+    pub v4_prefix: Ipv4Net,
+    /// The AS's IPv6 allocation (a /32).
+    pub v6_prefix: Ipv6Net,
+    /// Whether the AS deploys IPv6 at all.
+    pub dual_stack: bool,
+    /// Whether the AS runs MPLS with TTL propagation disabled (interior
+    /// hops invisible to traceroute).
+    pub mpls: bool,
+}
+
+/// A point of presence: one (AS, city) with a core router.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Pop {
+    /// Owning AS (index into [`Topology::ases`]).
+    pub as_idx: usize,
+    /// City (index into [`s2s_geo::CITIES`]).
+    pub city: usize,
+    /// The PoP's core router.
+    pub core_router: RouterId,
+}
+
+/// A router.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Router {
+    /// Operating AS (ground truth for ownership inference validation).
+    pub as_idx: usize,
+    /// Home PoP.
+    pub pop: PopId,
+    /// Replies to TTL-exceeded over IPv4.
+    pub responsive_v4: bool,
+    /// Replies to TTL-exceeded over IPv6.
+    pub responsive_v6: bool,
+}
+
+/// What kind of link this is — the classification the paper's §5.3
+/// congestion census reports on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Intra-AS backbone link between two PoPs of the same AS.
+    Internal,
+    /// Transit (c2p) interconnect; by convention endpoint `a` is the
+    /// customer-side router and `b` the provider-side router.
+    Transit,
+    /// Settlement-free private interconnect (cross-connect).
+    PrivatePeering,
+    /// Settlement-free peering over an IXP's public switching fabric.
+    IxpPeering(IxpId),
+}
+
+impl LinkKind {
+    /// True for any inter-AS link.
+    pub fn is_interconnect(self) -> bool {
+        !matches!(self, LinkKind::Internal)
+    }
+}
+
+/// A point-to-point link (or an IXP fabric crossing modeled as one).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint (customer side for [`LinkKind::Transit`]).
+    pub a: RouterId,
+    /// Other endpoint (provider side for [`LinkKind::Transit`]).
+    pub b: RouterId,
+    /// Link classification.
+    pub kind: LinkKind,
+    /// `a`'s interface on this link.
+    pub iface_a: IfaceId,
+    /// `b`'s interface on this link.
+    pub iface_b: IfaceId,
+    /// Which AS's address space numbers the link subnet (for transit links
+    /// the provider; for IXP links the fabric AS) — ground truth behind the
+    /// paper's Fig. 8 ownership heuristics. `None` when the subnet comes
+    /// from unannounced space.
+    pub subnet_owner: Option<usize>,
+    /// Whether the link's IPv4 subnet is announced in BGP.
+    pub announced_v4: bool,
+    /// Whether the link's IPv6 subnet is announced in BGP.
+    pub announced_v6: bool,
+    /// Whether IPv6 runs over this link.
+    pub v6_enabled: bool,
+    /// One-way propagation delay in milliseconds.
+    pub delay_ms: f64,
+    /// Link capacity in Mbit/s (backbones 40–100G, interconnects 10–100G).
+    pub capacity_mbps: f64,
+}
+
+impl Link {
+    /// The router at the far end from `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is not an endpoint of this link.
+    pub fn other_end(&self, r: RouterId) -> RouterId {
+        if r == self.a {
+            self.b
+        } else if r == self.b {
+            self.a
+        } else {
+            panic!("router {r} is not on this link");
+        }
+    }
+
+    /// The interface belonging to router `r` on this link.
+    ///
+    /// # Panics
+    /// Panics if `r` is not an endpoint of this link.
+    pub fn iface_of(&self, r: RouterId) -> IfaceId {
+        if r == self.a {
+            self.iface_a
+        } else if r == self.b {
+            self.iface_b
+        } else {
+            panic!("router {r} is not on this link");
+        }
+    }
+}
+
+/// One addressable router interface.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Iface {
+    /// Owning router.
+    pub router: RouterId,
+    /// The link this interface sits on.
+    pub link: LinkId,
+    /// IPv4 address.
+    pub v4: Ipv4Addr,
+    /// IPv6 address.
+    pub v6: Ipv6Addr,
+}
+
+/// An Internet exchange point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ixp {
+    /// City hosting the exchange.
+    pub city: usize,
+    /// The management AS announcing the fabric prefix.
+    pub fabric_as: usize,
+    /// Member ASes (indices) with a presence at the exchange.
+    pub members: Vec<usize>,
+}
+
+/// One CDN server cluster — a measurement vantage point.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Cluster {
+    /// City of the hosting facility.
+    pub city: usize,
+    /// The AS hosting the cluster.
+    pub host_as: usize,
+    /// The dedicated attachment router inside the host AS's PoP.
+    pub router: RouterId,
+    /// The measurement server's IPv4 address.
+    pub v4: Ipv4Addr,
+    /// The measurement server's IPv6 address.
+    pub v6: Ipv6Addr,
+}
+
+/// The full generated topology.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    /// Parameters the topology was generated from.
+    pub params: TopologyParams,
+    /// All ASes.
+    pub ases: Vec<AsNode>,
+    /// AS-level adjacency: `as_adj[i]` lists `(neighbor_idx, rel)` where
+    /// `rel` is AS `i`'s relationship *toward* the neighbor.
+    pub as_adj: Vec<Vec<(usize, AsRel)>>,
+    /// All PoPs.
+    pub pops: Vec<Pop>,
+    /// All routers.
+    pub routers: Vec<Router>,
+    /// All links.
+    pub links: Vec<Link>,
+    /// All interfaces.
+    pub ifaces: Vec<Iface>,
+    /// All IXPs.
+    pub ixps: Vec<Ixp>,
+    /// All CDN clusters.
+    pub clusters: Vec<Cluster>,
+    /// BGP announcements: `(prefix, origin ASN)`.
+    pub announcements: Vec<(IpNet, Asn)>,
+    /// Per-router incident links.
+    pub router_links: Vec<Vec<LinkId>>,
+    /// Interconnect links between each unordered AS pair
+    /// (key = `(min_idx, max_idx)`).
+    pub interconnects: HashMap<(usize, usize), Vec<LinkId>>,
+    /// ASN → AS index.
+    pub asn_to_idx: HashMap<Asn, usize>,
+}
+
+impl Topology {
+    /// The AS index for an ASN, if it exists.
+    pub fn as_idx(&self, asn: Asn) -> Option<usize> {
+        self.asn_to_idx.get(&asn).copied()
+    }
+
+    /// The ASN of an AS index.
+    pub fn asn(&self, idx: usize) -> Asn {
+        self.ases[idx].asn
+    }
+
+    /// The city of a router.
+    pub fn router_city(&self, r: RouterId) -> &'static City {
+        &CITIES[self.pops[self.routers[r.index()].pop.index()].city]
+    }
+
+    /// The city of a cluster.
+    pub fn cluster_city(&self, c: ClusterId) -> &'static City {
+        &CITIES[self.clusters[c.index()].city]
+    }
+
+    /// The relationship of AS `a` toward AS `b`, if adjacent.
+    pub fn rel(&self, a: usize, b: usize) -> Option<AsRel> {
+        self.as_adj[a].iter().find(|(n, _)| *n == b).map(|(_, r)| *r)
+    }
+
+    /// The interconnect links between two ASes (either order).
+    pub fn interconnects_between(&self, a: usize, b: usize) -> &[LinkId] {
+        let key = (a.min(b), a.max(b));
+        self.interconnects.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The ground-truth operator AS of an interface (the AS operating its
+    /// router) — what the paper's ownership heuristics try to recover.
+    pub fn iface_operator(&self, i: IfaceId) -> usize {
+        self.routers[self.ifaces[i.index()].router.index()].as_idx
+    }
+
+    /// Looks up which interface owns an address. Linear scan; for bulk use,
+    /// build an index with [`Topology::addr_index`].
+    pub fn iface_by_addr(&self, addr: IpAddr) -> Option<IfaceId> {
+        self.ifaces.iter().position(|f| match addr {
+            IpAddr::V4(a) => f.v4 == a,
+            IpAddr::V6(a) => f.v6 == a,
+        })
+        .map(IfaceId::from)
+    }
+
+    /// Builds a map from every interface address (both families) to its
+    /// interface id.
+    pub fn addr_index(&self) -> HashMap<IpAddr, IfaceId> {
+        let mut m = HashMap::with_capacity(self.ifaces.len() * 2);
+        for (i, f) in self.ifaces.iter().enumerate() {
+            m.insert(IpAddr::V4(f.v4), IfaceId::from(i));
+            m.insert(IpAddr::V6(f.v6), IfaceId::from(i));
+        }
+        m
+    }
+
+    /// The internal (intra-AS) links of one AS.
+    pub fn internal_links_of(&self, as_idx: usize) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                l.kind == LinkKind::Internal
+                    && self.routers[l.a.index()].as_idx == as_idx
+            })
+            .map(|(i, _)| LinkId::from(i))
+            .collect()
+    }
+
+    /// Total count of links by kind, for reporting.
+    pub fn link_census(&self) -> (usize, usize, usize, usize) {
+        let mut internal = 0;
+        let mut transit = 0;
+        let mut private = 0;
+        let mut ixp = 0;
+        for l in &self.links {
+            match l.kind {
+                LinkKind::Internal => internal += 1,
+                LinkKind::Transit => transit += 1,
+                LinkKind::PrivatePeering => private += 1,
+                LinkKind::IxpPeering(_) => ixp += 1,
+            }
+        }
+        (internal, transit, private, ixp)
+    }
+}

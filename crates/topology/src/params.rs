@@ -1,0 +1,129 @@
+//! Generator parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters controlling topology generation. All sizes are approximate
+/// targets; the generator derives exact counts deterministically from them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopologyParams {
+    /// Seed for all random choices.
+    pub seed: u64,
+    /// Number of tier-1 (global transit-free) ASes. They form a full peering
+    /// clique and have PoPs on every continent.
+    pub n_tier1: usize,
+    /// Number of tier-2 (regional transit) ASes, each scoped to one
+    /// continent with 2-3 tier-1/tier-2 providers and regional peers.
+    pub n_tier2: usize,
+    /// Number of stub ASes (eyeball/content/hosting networks) with 1-3 PoPs.
+    pub n_stub: usize,
+    /// Number of Internet exchange points, placed in the largest cities.
+    pub n_ixps: usize,
+    /// Number of CDN server clusters to deploy (the measurement mesh).
+    pub n_clusters: usize,
+    /// Fraction of ASes that are dual-stack (the CDN's host ASes always
+    /// are — the paper measures between dual-stack servers).
+    pub v6_as_fraction: f64,
+    /// Probability that an interconnect between two dual-stack ASes carries
+    /// IPv6 (v4-only links make v6 paths diverge from v4, feeding Fig. 10a).
+    pub v6_link_fraction: f64,
+    /// Probability that a router never answers TTL-exceeded (unresponsive
+    /// hops; drives the "missing IP-level data" row of Table 1).
+    pub unresponsive_router_prob: f64,
+    /// Additional unresponsiveness for IPv6 (the paper sees more missing
+    /// hops on v6: 32.65% vs 28.12%).
+    pub unresponsive_router_prob_v6: f64,
+    /// Probability that an interconnect link's subnet is NOT announced in
+    /// BGP (drives the "missing AS-level data" row of Table 1).
+    pub unannounced_link_prob: f64,
+    /// Same for IPv6 (paper: 3.32% vs 1.58% of traceroutes affected).
+    pub unannounced_link_prob_v6: f64,
+    /// Probability that a transit AS runs MPLS with TTL-propagation disabled
+    /// (its internal hops are invisible to traceroute).
+    pub mpls_as_prob: f64,
+    /// Probability that a pair of ASes colocated at an IXP peers over the
+    /// public fabric rather than a private cross-connect.
+    pub ixp_public_peering_prob: f64,
+}
+
+impl Default for TopologyParams {
+    fn default() -> Self {
+        TopologyParams {
+            seed: 20151201,
+            n_tier1: 8,
+            n_tier2: 44,
+            n_stub: 110,
+            n_ixps: 12,
+            n_clusters: 120,
+            v6_as_fraction: 0.85,
+            v6_link_fraction: 0.93,
+            // Persistently dark routers are rare; most missing hops come
+            // from the ICMP rate-limiting model in s2s-netsim.
+            unresponsive_router_prob: 0.004,
+            unresponsive_router_prob_v6: 0.005,
+            unannounced_link_prob: 0.0035,
+            unannounced_link_prob_v6: 0.008,
+            mpls_as_prob: 0.12,
+            ixp_public_peering_prob: 0.3,
+        }
+    }
+}
+
+impl TopologyParams {
+    /// A small topology for unit tests: fast to generate, still has every
+    /// structural feature (tiers, IXPs, v4-only links, MPLS, clusters).
+    pub fn tiny(seed: u64) -> Self {
+        TopologyParams {
+            seed,
+            n_tier1: 4,
+            n_tier2: 12,
+            n_stub: 24,
+            n_ixps: 4,
+            n_clusters: 16,
+            ..TopologyParams::default()
+        }
+    }
+
+    /// The default experiment scale, overridable through `S2S_*` environment
+    /// variables (see DESIGN.md §5).
+    pub fn from_env() -> Self {
+        let mut p = TopologyParams::default();
+        if let Some(seed) = env_u64("S2S_SEED") {
+            p.seed = seed;
+        }
+        if let Some(n) = env_u64("S2S_CLUSTERS") {
+            p.n_clusters = n as usize;
+        }
+        p
+    }
+
+    /// Total AS count.
+    pub fn n_ases(&self) -> usize {
+        self.n_tier1 + self.n_tier2 + self.n_stub
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = TopologyParams::default();
+        assert!(p.n_tier1 >= 2);
+        assert!(p.n_ases() > p.n_clusters / 2);
+        assert!((0.0..=1.0).contains(&p.v6_as_fraction));
+        assert!(p.unresponsive_router_prob_v6 >= p.unresponsive_router_prob);
+        assert!(p.unannounced_link_prob_v6 >= p.unannounced_link_prob);
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let t = TopologyParams::tiny(1);
+        assert!(t.n_ases() < TopologyParams::default().n_ases());
+        assert_eq!(t.seed, 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared vocabulary for the `s2s` workspace.
+//!
+//! This crate defines the small, dependency-free types every other crate in
+//! the workspace speaks: autonomous-system numbers, network prefixes, the
+//! simulation clock, round-trip-time values, AS-level paths, and AS
+//! business relationships.
+//!
+//! Everything here is plain data: `Copy` where possible, `serde`-serializable,
+//! and free of any simulation or analysis logic.
+
+pub mod ids;
+pub mod net;
+pub mod path;
+pub mod rel;
+pub mod rtt;
+pub mod time;
+
+pub use ids::{Asn, ClusterId, IfaceId, IxpId, LinkId, PopId, RouterId, ServerId};
+pub use net::{IpNet, Ipv4Net, Ipv6Net, Protocol};
+pub use path::AsPath;
+pub use rel::AsRel;
+pub use rtt::RttMs;
+pub use time::{SimDuration, SimTime, EPOCH_MINUTES, MINUTES_PER_DAY};

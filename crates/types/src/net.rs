@@ -1,0 +1,407 @@
+//! Network prefixes and the IPv4/IPv6 protocol discriminator.
+//!
+//! The prefix types are minimal: enough to allocate synthetic address space
+//! in the topology generator and to answer longest-prefix-match queries in
+//! the BGP substrate. They are not general-purpose CIDR libraries.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Which IP protocol a path, probe, or record refers to.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Protocol {
+    /// IPv4.
+    V4,
+    /// IPv6.
+    V6,
+}
+
+impl Protocol {
+    /// Both protocols, in the order the paper reports them.
+    pub const BOTH: [Protocol; 2] = [Protocol::V4, Protocol::V6];
+
+    /// Short label used in report output ("IPv4" / "IPv6").
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::V4 => "IPv4",
+            Protocol::V6 => "IPv6",
+        }
+    }
+
+    /// The other protocol.
+    pub fn other(self) -> Protocol {
+        match self {
+            Protocol::V4 => Protocol::V6,
+            Protocol::V6 => Protocol::V4,
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An IPv4 prefix in CIDR form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Net {
+    addr: Ipv4Addr,
+    len: u8,
+}
+
+impl Ipv4Net {
+    /// Creates a prefix, masking the address down to its network bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "IPv4 prefix length {len} > 32");
+        let bits = u32::from(addr) & mask_v4(len);
+        Self { addr: Ipv4Addr::from(bits), len }
+    }
+
+    /// The (masked) network address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the degenerate `/0` prefix.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & mask_v4(self.len)) == u32::from(self.addr)
+    }
+
+    /// The `i`-th host address inside the prefix (no broadcast handling —
+    /// this is synthetic space).
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in the host bits.
+    pub fn host(&self, i: u32) -> Ipv4Addr {
+        let host_bits = 32 - self.len;
+        assert!(
+            host_bits == 32 || u64::from(i) < (1u64 << host_bits),
+            "host index {i} out of range for /{}",
+            self.len
+        );
+        Ipv4Addr::from(u32::from(self.addr) | i)
+    }
+
+    /// Splits the prefix into consecutive subnets of length `new_len`,
+    /// returning the `i`-th one.
+    ///
+    /// # Panics
+    /// Panics if `new_len < self.len` or `i` exceeds the subnet count.
+    pub fn subnet(&self, new_len: u8, i: u32) -> Ipv4Net {
+        assert!(new_len >= self.len && new_len <= 32);
+        let span = new_len - self.len;
+        assert!(span == 32 || u64::from(i) < (1u64 << span), "subnet index out of range");
+        let shifted = if new_len == 32 { 0 } else { u64::from(i) << (32 - new_len) };
+        Ipv4Net::new(Ipv4Addr::from(u32::from(self.addr) | shifted as u32), new_len)
+    }
+}
+
+impl fmt::Debug for Ipv4Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl fmt::Display for Ipv4Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+/// An IPv6 prefix in CIDR form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv6Net {
+    addr: Ipv6Addr,
+    len: u8,
+}
+
+impl Ipv6Net {
+    /// Creates a prefix, masking the address down to its network bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 128`.
+    pub fn new(addr: Ipv6Addr, len: u8) -> Self {
+        assert!(len <= 128, "IPv6 prefix length {len} > 128");
+        let bits = u128::from(addr) & mask_v6(len);
+        Self { addr: Ipv6Addr::from(bits), len }
+    }
+
+    /// The (masked) network address.
+    pub fn addr(&self) -> Ipv6Addr {
+        self.addr
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the degenerate `/0` prefix.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    pub fn contains(&self, ip: Ipv6Addr) -> bool {
+        (u128::from(ip) & mask_v6(self.len)) == u128::from(self.addr)
+    }
+
+    /// The `i`-th host address inside the prefix.
+    pub fn host(&self, i: u128) -> Ipv6Addr {
+        let host_bits = 128 - self.len;
+        assert!(
+            host_bits >= 128 || i < (1u128 << host_bits),
+            "host index out of range for /{}",
+            self.len
+        );
+        Ipv6Addr::from(u128::from(self.addr) | i)
+    }
+
+    /// Splits the prefix into consecutive subnets of length `new_len`,
+    /// returning the `i`-th one.
+    pub fn subnet(&self, new_len: u8, i: u128) -> Ipv6Net {
+        assert!(new_len >= self.len && new_len <= 128);
+        let span = new_len - self.len;
+        assert!(span >= 128 || i < (1u128 << span), "subnet index out of range");
+        let shifted = if new_len == 128 { 0 } else { i << (128 - new_len) };
+        Ipv6Net::new(Ipv6Addr::from(u128::from(self.addr) | shifted), new_len)
+    }
+}
+
+impl fmt::Debug for Ipv6Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl fmt::Display for Ipv6Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+/// Either kind of prefix.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum IpNet {
+    /// An IPv4 prefix.
+    V4(Ipv4Net),
+    /// An IPv6 prefix.
+    V6(Ipv6Net),
+}
+
+impl IpNet {
+    /// The protocol of this prefix.
+    pub fn protocol(&self) -> Protocol {
+        match self {
+            IpNet::V4(_) => Protocol::V4,
+            IpNet::V6(_) => Protocol::V6,
+        }
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        match self {
+            IpNet::V4(n) => n.len(),
+            IpNet::V6(n) => n.len(),
+        }
+    }
+
+    /// True for the degenerate `/0` prefix of either family.
+    pub fn is_default(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `ip` falls in this prefix (always false across families).
+    pub fn contains(&self, ip: IpAddr) -> bool {
+        match (self, ip) {
+            (IpNet::V4(n), IpAddr::V4(a)) => n.contains(a),
+            (IpNet::V6(n), IpAddr::V6(a)) => n.contains(a),
+            _ => false,
+        }
+    }
+
+    /// The prefix bits left-aligned in a u128, plus the length — the canonical
+    /// key form used by the longest-prefix-match trie.
+    pub fn key_bits(&self) -> (u128, u8) {
+        match self {
+            IpNet::V4(n) => ((u32::from(n.addr()) as u128) << 96, n.len()),
+            IpNet::V6(n) => (u128::from(n.addr()), n.len()),
+        }
+    }
+}
+
+impl fmt::Display for IpNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpNet::V4(n) => n.fmt(f),
+            IpNet::V6(n) => n.fmt(f),
+        }
+    }
+}
+
+impl From<Ipv4Net> for IpNet {
+    fn from(n: Ipv4Net) -> Self {
+        IpNet::V4(n)
+    }
+}
+
+impl From<Ipv6Net> for IpNet {
+    fn from(n: Ipv6Net) -> Self {
+        IpNet::V6(n)
+    }
+}
+
+/// Left-aligns an address in a u128 for trie keys: IPv4 occupies the top 32
+/// bits, IPv6 the full width. Addresses of different families never share a
+/// trie (the caller keeps one per protocol), so overlap is harmless.
+pub fn addr_key_bits(ip: IpAddr) -> u128 {
+    match ip {
+        IpAddr::V4(a) => (u32::from(a) as u128) << 96,
+        IpAddr::V6(a) => u128::from(a),
+    }
+}
+
+fn mask_v4(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+fn mask_v6(len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        u128::MAX << (128 - len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn v4_masks_host_bits() {
+        let n = Ipv4Net::new(Ipv4Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(n.addr(), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(format!("{n}"), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn v4_contains_boundaries() {
+        let n = Ipv4Net::new(Ipv4Addr::new(192, 0, 2, 0), 24);
+        assert!(n.contains(Ipv4Addr::new(192, 0, 2, 0)));
+        assert!(n.contains(Ipv4Addr::new(192, 0, 2, 255)));
+        assert!(!n.contains(Ipv4Addr::new(192, 0, 3, 0)));
+        assert!(!n.contains(Ipv4Addr::new(192, 0, 1, 255)));
+    }
+
+    #[test]
+    fn v4_host_and_subnet() {
+        let n = Ipv4Net::new(Ipv4Addr::new(10, 0, 0, 0), 16);
+        assert_eq!(n.host(257), Ipv4Addr::new(10, 0, 1, 1));
+        let s = n.subnet(24, 5);
+        assert_eq!(s.addr(), Ipv4Addr::new(10, 0, 5, 0));
+        assert_eq!(s.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn v4_host_out_of_range_panics() {
+        Ipv4Net::new(Ipv4Addr::new(10, 0, 0, 0), 30).host(4);
+    }
+
+    #[test]
+    fn v6_masks_and_contains() {
+        let n = Ipv6Net::new("2001:db8:1::1".parse().unwrap(), 48);
+        assert_eq!(n.addr(), "2001:db8:1::".parse::<Ipv6Addr>().unwrap());
+        assert!(n.contains("2001:db8:1:ffff::1".parse().unwrap()));
+        assert!(!n.contains("2001:db8:2::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn v6_subnet_indexing() {
+        let n = Ipv6Net::new("2001:db8::".parse().unwrap(), 32);
+        let s = n.subnet(48, 3);
+        assert_eq!(s.addr(), "2001:db8:3::".parse::<Ipv6Addr>().unwrap());
+    }
+
+    #[test]
+    fn default_prefixes_contain_everything() {
+        let v4 = Ipv4Net::new(Ipv4Addr::UNSPECIFIED, 0);
+        assert!(v4.is_default());
+        assert!(v4.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        let v6 = Ipv6Net::new(Ipv6Addr::UNSPECIFIED, 0);
+        assert!(v6.contains("ffff::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn ipnet_cross_family_contains_is_false() {
+        let n: IpNet = Ipv4Net::new(Ipv4Addr::new(10, 0, 0, 0), 8).into();
+        assert!(!n.contains("::a00:1".parse::<Ipv6Addr>().unwrap().into()));
+    }
+
+    #[test]
+    fn key_bits_align_v4_high() {
+        let n: IpNet = Ipv4Net::new(Ipv4Addr::new(128, 0, 0, 0), 1).into();
+        let (bits, len) = n.key_bits();
+        assert_eq!(len, 1);
+        assert_eq!(bits >> 127, 1);
+        assert_eq!(addr_key_bits(IpAddr::V4(Ipv4Addr::new(128, 0, 0, 0))) >> 127, 1);
+    }
+
+    #[test]
+    fn protocol_labels_and_other() {
+        assert_eq!(Protocol::V4.label(), "IPv4");
+        assert_eq!(Protocol::V6.other(), Protocol::V4);
+        assert_eq!(Protocol::BOTH, [Protocol::V4, Protocol::V6]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_v4_network_addr_is_inside(ip: u32, len in 0u8..=32) {
+            let n = Ipv4Net::new(Ipv4Addr::from(ip), len);
+            prop_assert!(n.contains(n.addr()));
+            // Re-masking is idempotent.
+            prop_assert_eq!(Ipv4Net::new(n.addr(), len), n);
+        }
+
+        #[test]
+        fn prop_v4_contains_respects_mask(ip: u32, other: u32, len in 0u8..=32) {
+            let n = Ipv4Net::new(Ipv4Addr::from(ip), len);
+            let inside = n.contains(Ipv4Addr::from(other));
+            let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+            prop_assert_eq!(inside, (other & mask) == (ip & mask));
+        }
+
+        #[test]
+        fn prop_v6_network_addr_is_inside(ip: u128, len in 0u8..=128) {
+            let n = Ipv6Net::new(Ipv6Addr::from(ip), len);
+            prop_assert!(n.contains(n.addr()));
+        }
+
+        #[test]
+        fn prop_v4_host_round_trips(base in 0u32..0xffff, i in 0u32..65_536) {
+            let n = Ipv4Net::new(Ipv4Addr::from(base << 16), 16);
+            let h = n.host(i);
+            prop_assert!(n.contains(h));
+        }
+    }
+}

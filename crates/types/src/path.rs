@@ -1,0 +1,257 @@
+//! AS-level paths.
+//!
+//! An [`AsPath`] is the sequence of distinct AS hops a traceroute (or a
+//! routing computation) traverses, source AS first. Hops may be unknown when
+//! a traceroute hop was unresponsive or its address had no IP-to-ASN mapping;
+//! those are preserved as `None` so the analysis layer can decide how to
+//! impute them (paper §4.1).
+
+use crate::ids::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sequence of AS-level hops; `None` marks a hop whose AS is unknown.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct AsPath {
+    hops: Vec<Option<Asn>>,
+}
+
+impl AsPath {
+    /// An empty path.
+    pub fn empty() -> Self {
+        AsPath { hops: Vec::new() }
+    }
+
+    /// Builds a path from fully-known hops, collapsing consecutive
+    /// duplicates (multiple router hops inside one AS count as one AS hop).
+    pub fn from_asns<I: IntoIterator<Item = Asn>>(asns: I) -> Self {
+        let mut p = AsPath::empty();
+        for a in asns {
+            p.push(Some(a));
+        }
+        p
+    }
+
+    /// Builds a path from possibly-unknown hops, collapsing consecutive
+    /// duplicate *known* hops. Consecutive unknown hops are also collapsed:
+    /// a run of unresponsive routers is one unknown AS-level hop.
+    pub fn from_hops<I: IntoIterator<Item = Option<Asn>>>(hops: I) -> Self {
+        let mut p = AsPath::empty();
+        for h in hops {
+            p.push(h);
+        }
+        p
+    }
+
+    /// Appends one hop, collapsing a consecutive duplicate.
+    pub fn push(&mut self, hop: Option<Asn>) {
+        if self.hops.last() != Some(&hop) {
+            self.hops.push(hop);
+        }
+    }
+
+    /// The hops, source-side first.
+    pub fn hops(&self) -> &[Option<Asn>] {
+        &self.hops
+    }
+
+    /// Number of AS-level hops (after duplicate collapsing).
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True when the path has no hops.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// True when every hop is known.
+    pub fn is_complete(&self) -> bool {
+        self.hops.iter().all(Option::is_some)
+    }
+
+    /// Number of unknown hops.
+    pub fn unknown_hops(&self) -> usize {
+        self.hops.iter().filter(|h| h.is_none()).count()
+    }
+
+    /// True when a *known* ASN appears at two non-adjacent positions — the
+    /// AS-path loops the paper filters out (§2.1: 2.16% of IPv4, 5.5% of
+    /// IPv6 classic traceroutes).
+    pub fn has_loop(&self) -> bool {
+        let known: Vec<Asn> = self.hops.iter().flatten().copied().collect();
+        for (i, a) in known.iter().enumerate() {
+            if known[i + 1..].contains(a) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Imputes unknown hops bracketed by the same AS on both sides (paper
+    /// §4.1: "we impute the missing hop where either side of the missing hop
+    /// is the same ASN"). Returns the number of hops imputed.
+    ///
+    /// After imputation the flanking duplicates are re-collapsed.
+    pub fn impute_bracketed(&mut self) -> usize {
+        let mut imputed = 0;
+        for i in 1..self.hops.len().saturating_sub(1) {
+            if self.hops[i].is_none() {
+                if let (Some(a), Some(b)) = (self.hops[i - 1], self.hops[i + 1]) {
+                    if a == b {
+                        self.hops[i] = Some(a);
+                        imputed += 1;
+                    }
+                }
+            }
+        }
+        if imputed > 0 {
+            let old = std::mem::take(&mut self.hops);
+            *self = AsPath::from_hops(old);
+        }
+        imputed
+    }
+
+    /// The string key used for edit-distance comparison: each hop is one
+    /// symbol; unknown hops all map to the same placeholder symbol.
+    pub fn symbols(&self) -> Vec<u64> {
+        self.hops
+            .iter()
+            .map(|h| match h {
+                Some(a) => u64::from(a.value()) + 1,
+                None => 0,
+            })
+            .collect()
+    }
+
+    /// First hop (the source-side AS), if known.
+    pub fn first(&self) -> Option<Asn> {
+        self.hops.first().copied().flatten()
+    }
+
+    /// Last hop (the destination-side AS), if known.
+    pub fn last(&self) -> Option<Asn> {
+        self.hops.last().copied().flatten()
+    }
+}
+
+impl fmt::Debug for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .hops
+            .iter()
+            .map(|h| match h {
+                Some(a) => a.to_string(),
+                None => "?".to_string(),
+            })
+            .collect();
+        write!(f, "[{}]", parts.join(" -> "))
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Asn> for AsPath {
+    fn from_iter<I: IntoIterator<Item = Asn>>(iter: I) -> Self {
+        AsPath::from_asns(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn asn(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    #[test]
+    fn collapses_consecutive_duplicates() {
+        let p = AsPath::from_asns([asn(1), asn(1), asn(2), asn(2), asn(2), asn(3)]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(format!("{p}"), "[AS1 -> AS2 -> AS3]");
+    }
+
+    #[test]
+    fn collapses_unknown_runs() {
+        let p = AsPath::from_hops([Some(asn(1)), None, None, Some(asn(2))]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.unknown_hops(), 1);
+        assert!(!p.is_complete());
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(!AsPath::from_asns([asn(1), asn(2), asn(3)]).has_loop());
+        // 1 -> 2 -> 1 is a loop after collapsing (non-adjacent repeat).
+        assert!(AsPath::from_asns([asn(1), asn(2), asn(1)]).has_loop());
+        // Unknown hops never count as loops.
+        assert!(!AsPath::from_hops([Some(asn(1)), None, Some(asn(2)), None]).has_loop());
+    }
+
+    #[test]
+    fn imputation_fills_bracketed_unknowns() {
+        // 1 -> ? -> 1 -> 2: the unknown is bracketed by AS1 on both sides.
+        let mut p = AsPath::from_hops([Some(asn(1)), None, Some(asn(1)), Some(asn(2))]);
+        assert_eq!(p.len(), 4);
+        let n = p.impute_bracketed();
+        assert_eq!(n, 1);
+        // After imputation 1 -> 1 -> 1 -> 2 collapses to 1 -> 2.
+        assert_eq!(p, AsPath::from_asns([asn(1), asn(2)]));
+    }
+
+    #[test]
+    fn imputation_leaves_genuine_gaps() {
+        let mut p = AsPath::from_hops([Some(asn(1)), None, Some(asn(2))]);
+        assert_eq!(p.impute_bracketed(), 0);
+        assert_eq!(p.unknown_hops(), 1);
+    }
+
+    #[test]
+    fn symbols_distinguish_unknown() {
+        let p = AsPath::from_hops([Some(asn(1)), None, Some(asn(2))]);
+        assert_eq!(p.symbols(), vec![2, 0, 3]);
+    }
+
+    #[test]
+    fn first_and_last() {
+        let p = AsPath::from_hops([Some(asn(9)), Some(asn(8)), None]);
+        assert_eq!(p.first(), Some(asn(9)));
+        assert_eq!(p.last(), None);
+        assert_eq!(AsPath::empty().first(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_no_adjacent_duplicates(hops in proptest::collection::vec(0u32..5, 0..40)) {
+            let p = AsPath::from_hops(
+                hops.into_iter().map(|h| (h > 0).then(|| asn(h)))
+            );
+            for w in p.hops().windows(2) {
+                prop_assert_ne!(&w[0], &w[1]);
+            }
+        }
+
+        #[test]
+        fn prop_imputation_never_grows_path(hops in proptest::collection::vec(0u32..4, 0..30)) {
+            let mut p = AsPath::from_hops(
+                hops.into_iter().map(|h| (h > 0).then(|| asn(h)))
+            );
+            let before = p.len();
+            p.impute_bracketed();
+            prop_assert!(p.len() <= before);
+        }
+
+        #[test]
+        fn prop_complete_paths_have_no_unknowns(asns in proptest::collection::vec(1u32..100, 1..20)) {
+            let p = AsPath::from_asns(asns.into_iter().map(asn));
+            prop_assert!(p.is_complete());
+            prop_assert_eq!(p.unknown_hops(), 0);
+        }
+    }
+}

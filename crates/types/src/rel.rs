@@ -1,0 +1,162 @@
+//! AS business relationships.
+//!
+//! The classic Gao model: a link between two ASes is either a
+//! customer-to-provider relationship (the customer pays) or a settlement-free
+//! peering. Relationship data drives both the policy-routing engine (valley-
+//! free route selection) and the paper's router-ownership heuristics (§5.3).
+
+use crate::ids::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The relationship of one AS *toward* a neighbor, from the first AS's view.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AsRel {
+    /// The neighbor is my customer (I provide transit to them).
+    Customer,
+    /// The neighbor is a settlement-free peer.
+    Peer,
+    /// The neighbor is my provider (they provide transit to me).
+    Provider,
+}
+
+impl AsRel {
+    /// The same relationship from the neighbor's point of view.
+    pub fn inverse(self) -> AsRel {
+        match self {
+            AsRel::Customer => AsRel::Provider,
+            AsRel::Peer => AsRel::Peer,
+            AsRel::Provider => AsRel::Customer,
+        }
+    }
+
+    /// Gao–Rexford export rule: may I export to this neighbor a route that I
+    /// learned from a neighbor with relationship `learned_from`?
+    ///
+    /// Routes learned from customers are exported to everyone; routes learned
+    /// from peers or providers are exported only to customers.
+    pub fn may_export(learned_from: AsRel, to: AsRel) -> bool {
+        match learned_from {
+            AsRel::Customer => true,
+            AsRel::Peer | AsRel::Provider => to == AsRel::Customer,
+        }
+    }
+
+    /// Route-selection preference rank, lower is better: customer routes
+    /// beat peer routes beat provider routes.
+    pub fn preference_rank(self) -> u8 {
+        match self {
+            AsRel::Customer => 0,
+            AsRel::Peer => 1,
+            AsRel::Provider => 2,
+        }
+    }
+}
+
+impl fmt::Display for AsRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AsRel::Customer => "customer",
+            AsRel::Peer => "peer",
+            AsRel::Provider => "provider",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The type of an interconnection link, as the paper classifies congested
+/// links (§5.3): provider-to-provider (p2p, i.e. peering) or
+/// customer-to-provider (c2p, i.e. transit).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum InterconnectKind {
+    /// Settlement-free peering between the two ASes (p2p).
+    PeerToPeer,
+    /// Transit: one side is the customer of the other (c2p).
+    CustomerToProvider,
+}
+
+impl InterconnectKind {
+    /// Derives the interconnect kind from one endpoint's relationship toward
+    /// the other.
+    pub fn from_rel(rel: AsRel) -> InterconnectKind {
+        match rel {
+            AsRel::Peer => InterconnectKind::PeerToPeer,
+            AsRel::Customer | AsRel::Provider => InterconnectKind::CustomerToProvider,
+        }
+    }
+
+    /// Short label used in report output.
+    pub fn label(self) -> &'static str {
+        match self {
+            InterconnectKind::PeerToPeer => "p2p",
+            InterconnectKind::CustomerToProvider => "c2p",
+        }
+    }
+}
+
+/// A directed relationship record: `from` regards `to` as `rel`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct RelRecord {
+    /// The AS whose viewpoint this record takes.
+    pub from: Asn,
+    /// The neighbor.
+    pub to: Asn,
+    /// `from`'s relationship toward `to`.
+    pub rel: AsRel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_is_involution() {
+        for r in [AsRel::Customer, AsRel::Peer, AsRel::Provider] {
+            assert_eq!(r.inverse().inverse(), r);
+        }
+        assert_eq!(AsRel::Customer.inverse(), AsRel::Provider);
+        assert_eq!(AsRel::Peer.inverse(), AsRel::Peer);
+    }
+
+    #[test]
+    fn export_rules_are_valley_free() {
+        use AsRel::*;
+        // Customer routes go everywhere.
+        for to in [Customer, Peer, Provider] {
+            assert!(AsRel::may_export(Customer, to));
+        }
+        // Peer/provider routes go only to customers.
+        for from in [Peer, Provider] {
+            assert!(AsRel::may_export(from, Customer));
+            assert!(!AsRel::may_export(from, Peer));
+            assert!(!AsRel::may_export(from, Provider));
+        }
+    }
+
+    #[test]
+    fn preference_prefers_customers() {
+        assert!(AsRel::Customer.preference_rank() < AsRel::Peer.preference_rank());
+        assert!(AsRel::Peer.preference_rank() < AsRel::Provider.preference_rank());
+    }
+
+    #[test]
+    fn interconnect_kind_mapping() {
+        assert_eq!(InterconnectKind::from_rel(AsRel::Peer), InterconnectKind::PeerToPeer);
+        assert_eq!(
+            InterconnectKind::from_rel(AsRel::Customer),
+            InterconnectKind::CustomerToProvider
+        );
+        assert_eq!(
+            InterconnectKind::from_rel(AsRel::Provider),
+            InterconnectKind::CustomerToProvider
+        );
+        assert_eq!(InterconnectKind::PeerToPeer.label(), "p2p");
+        assert_eq!(InterconnectKind::CustomerToProvider.label(), "c2p");
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(AsRel::Customer.to_string(), "customer");
+        assert_eq!(AsRel::Provider.to_string(), "provider");
+    }
+}

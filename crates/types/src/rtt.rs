@@ -1,0 +1,171 @@
+//! Round-trip-time values.
+//!
+//! RTTs are finite, non-negative milliseconds. The newtype keeps NaNs out of
+//! the analysis pipeline by construction and provides a total order so RTT
+//! collections can be sorted and percentiled without `partial_cmp` unwraps.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A round-trip time in milliseconds. Always finite and non-negative.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct RttMs(f64);
+
+impl RttMs {
+    /// Zero milliseconds.
+    pub const ZERO: RttMs = RttMs(0.0);
+
+    /// Wraps a millisecond value.
+    ///
+    /// # Panics
+    /// Panics if `ms` is NaN, infinite, or negative.
+    pub fn new(ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "invalid RTT: {ms}");
+        RttMs(ms)
+    }
+
+    /// Wraps a millisecond value, returning `None` when invalid instead of
+    /// panicking. Use at ingestion boundaries.
+    pub fn try_new(ms: f64) -> Option<Self> {
+        (ms.is_finite() && ms >= 0.0).then_some(RttMs(ms))
+    }
+
+    /// The value in milliseconds.
+    pub fn ms(self) -> f64 {
+        self.0
+    }
+
+    /// Signed difference in milliseconds (`self - other`).
+    pub fn diff_ms(self, other: RttMs) -> f64 {
+        self.0 - other.0
+    }
+
+    /// The smaller of two RTTs.
+    pub fn min(self, other: RttMs) -> RttMs {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two RTTs.
+    pub fn max(self, other: RttMs) -> RttMs {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for RttMs {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for RttMs {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are finite by construction, so this never sees NaN.
+        self.0.partial_cmp(&other.0).expect("RttMs is always finite")
+    }
+}
+
+impl PartialOrd for RttMs {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for RttMs {
+    type Output = RttMs;
+    fn add(self, rhs: RttMs) -> RttMs {
+        RttMs(self.0 + rhs.0)
+    }
+}
+
+impl Sub for RttMs {
+    type Output = RttMs;
+    /// Saturating subtraction: RTTs never go negative.
+    fn sub(self, rhs: RttMs) -> RttMs {
+        RttMs((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl fmt::Debug for RttMs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}ms", self.0)
+    }
+}
+
+impl fmt::Display for RttMs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(RttMs::new(12.5).ms(), 12.5);
+        assert!(RttMs::try_new(f64::NAN).is_none());
+        assert!(RttMs::try_new(-1.0).is_none());
+        assert!(RttMs::try_new(f64::INFINITY).is_none());
+        assert_eq!(RttMs::try_new(0.0), Some(RttMs::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RTT")]
+    fn nan_panics() {
+        RttMs::new(f64::NAN);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = RttMs::new(10.0);
+        let b = RttMs::new(20.0);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let mut v = vec![b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b]);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let a = RttMs::new(10.0);
+        let b = RttMs::new(25.0);
+        assert_eq!((a + b).ms(), 35.0);
+        assert_eq!((b - a).ms(), 15.0);
+        assert_eq!((a - b).ms(), 0.0, "subtraction saturates at zero");
+        assert_eq!(b.diff_ms(a), 15.0);
+        assert_eq!(a.diff_ms(b), -15.0, "diff_ms is signed");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{:?}", RttMs::new(1.234)), "1.23ms");
+        assert_eq!(format!("{}", RttMs::new(1.235)), "1.24");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_order_is_total(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+            let (x, y) = (RttMs::new(a), RttMs::new(b));
+            let c = x.cmp(&y);
+            prop_assert_eq!(c.reverse(), y.cmp(&x));
+            prop_assert_eq!(x.min(y).ms(), a.min(b));
+            prop_assert_eq!(x.max(y).ms(), a.max(b));
+        }
+
+        #[test]
+        fn prop_sub_never_negative(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+            prop_assert!((RttMs::new(a) - RttMs::new(b)).ms() >= 0.0);
+        }
+    }
+}

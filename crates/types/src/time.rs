@@ -1,0 +1,263 @@
+//! The simulation clock.
+//!
+//! One continuous timeline measured in whole minutes since the campaign
+//! start `T0`. The paper's long-term data set samples every 3 hours
+//! ([`EPOCH_MINUTES`]); short-term campaigns sample every 15 or 30 minutes.
+//! All cadences share this clock so routing dynamics and congestion profiles
+//! are consistent across data sets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Minutes in one long-term measurement epoch (3 hours).
+pub const EPOCH_MINUTES: u32 = 180;
+
+/// Minutes per day.
+pub const MINUTES_PER_DAY: u32 = 24 * 60;
+
+/// An instant on the simulation timeline: whole minutes since `T0`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(pub u32);
+
+/// A span between two [`SimTime`]s, in whole minutes.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default, Debug,
+)]
+pub struct SimDuration(pub u32);
+
+impl SimTime {
+    /// The campaign start.
+    pub const T0: SimTime = SimTime(0);
+
+    /// An instant `m` minutes after `T0`.
+    pub const fn from_minutes(m: u32) -> Self {
+        SimTime(m)
+    }
+
+    /// An instant `h` hours after `T0`.
+    pub const fn from_hours(h: u32) -> Self {
+        SimTime(h * 60)
+    }
+
+    /// An instant `d` days after `T0`.
+    pub const fn from_days(d: u32) -> Self {
+        SimTime(d * MINUTES_PER_DAY)
+    }
+
+    /// Minutes since `T0`.
+    pub const fn minutes(self) -> u32 {
+        self.0
+    }
+
+    /// Whole days since `T0`.
+    pub const fn day(self) -> u32 {
+        self.0 / MINUTES_PER_DAY
+    }
+
+    /// Minute-of-day in UTC, `0..1440`.
+    pub const fn minute_of_day(self) -> u32 {
+        self.0 % MINUTES_PER_DAY
+    }
+
+    /// Hour-of-day in UTC as a fraction, `0.0..24.0`.
+    pub fn hour_of_day(self) -> f64 {
+        f64::from(self.minute_of_day()) / 60.0
+    }
+
+    /// Local hour-of-day at a given longitude (degrees east), `0.0..24.0`.
+    ///
+    /// Solar time approximation: 15 degrees of longitude per hour. Good
+    /// enough to place the "busy hour" of a link in its local evening.
+    pub fn local_hour_of_day(self, lon_deg: f64) -> f64 {
+        let local = self.hour_of_day() + lon_deg / 15.0;
+        local.rem_euclid(24.0)
+    }
+
+    /// Index of the enclosing 3-hour long-term epoch.
+    pub const fn epoch(self) -> u32 {
+        self.0 / EPOCH_MINUTES
+    }
+
+    /// The start of the `e`-th 3-hour long-term epoch.
+    pub const fn epoch_start(e: u32) -> SimTime {
+        SimTime(e * EPOCH_MINUTES)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A span of `m` minutes.
+    pub const fn from_minutes(m: u32) -> Self {
+        SimDuration(m)
+    }
+
+    /// A span of `h` hours.
+    pub const fn from_hours(h: u32) -> Self {
+        SimDuration(h * 60)
+    }
+
+    /// A span of `d` days.
+    pub const fn from_days(d: u32) -> Self {
+        SimDuration(d * MINUTES_PER_DAY)
+    }
+
+    /// The span in minutes.
+    pub const fn minutes(self) -> u32 {
+        self.0
+    }
+
+    /// The span in fractional hours.
+    pub fn hours(self) -> f64 {
+        f64::from(self.0) / 60.0
+    }
+
+    /// The span in fractional days.
+    pub fn days(self) -> f64 {
+        f64::from(self.0) / f64::from(MINUTES_PER_DAY)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T0+{}d{:02}:{:02}", self.day(), self.minute_of_day() / 60, self.minute_of_day() % 60)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Iterator over sampling instants: `start`, `start+step`, ... while `< end`.
+pub fn sample_times(
+    start: SimTime,
+    end: SimTime,
+    step: SimDuration,
+) -> impl Iterator<Item = SimTime> {
+    assert!(step.0 > 0, "sampling step must be positive");
+    (0..)
+        .map(move |i| SimTime(start.0 + i * step.0))
+        .take_while(move |t| t.0 < end.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_math() {
+        assert_eq!(SimTime::from_hours(0).epoch(), 0);
+        assert_eq!(SimTime::from_hours(3).epoch(), 1);
+        assert_eq!(SimTime::from_minutes(179).epoch(), 0);
+        assert_eq!(SimTime::epoch_start(2), SimTime::from_hours(6));
+    }
+
+    #[test]
+    fn day_and_minute_of_day() {
+        let t = SimTime::from_days(2) + SimDuration::from_hours(5);
+        assert_eq!(t.day(), 2);
+        assert_eq!(t.minute_of_day(), 300);
+        assert!((t.hour_of_day() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_hour_wraps() {
+        let t = SimTime::from_hours(23); // 23:00 UTC
+        // Tokyo (+139.7E) is ~9.3h ahead: 23 + 9.31 = 32.31 -> 8.31.
+        let local = t.local_hour_of_day(139.7);
+        assert!((local - 8.313).abs() < 0.01, "local={local}");
+        // Western longitude goes backwards.
+        let la = t.local_hour_of_day(-118.2);
+        assert!((la - 15.12).abs() < 0.01, "la={la}");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_days(1);
+        let b = a + SimDuration::from_hours(2);
+        assert_eq!(b - a, SimDuration::from_hours(2));
+        assert_eq!((b - a).hours(), 2.0);
+        assert_eq!(SimDuration::from_days(1).days(), 1.0);
+    }
+
+    #[test]
+    fn sampling_iterator_excludes_end() {
+        let v: Vec<_> =
+            sample_times(SimTime::T0, SimTime::from_hours(9), SimDuration::from_hours(3))
+                .collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[2], SimTime::from_hours(6));
+    }
+
+    #[test]
+    fn debug_format_is_readable() {
+        let t = SimTime::from_days(3) + SimDuration::from_minutes(65);
+        assert_eq!(format!("{t:?}"), "T0+3d01:05");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_epoch_is_consistent(m in 0u32..10_000_000) {
+            let t = SimTime::from_minutes(m);
+            let e = t.epoch();
+            prop_assert!(SimTime::epoch_start(e) <= t);
+            prop_assert!(t < SimTime::epoch_start(e + 1));
+        }
+
+        #[test]
+        fn prop_local_hour_in_range(m in 0u32..10_000_000, lon in -180.0f64..180.0) {
+            let h = SimTime::from_minutes(m).local_hour_of_day(lon);
+            prop_assert!((0.0..24.0).contains(&h));
+        }
+
+        #[test]
+        fn prop_sampling_is_sorted_and_spaced(
+            start in 0u32..1000, span in 1u32..5000, step in 1u32..500
+        ) {
+            let v: Vec<_> = sample_times(
+                SimTime::from_minutes(start),
+                SimTime::from_minutes(start + span),
+                SimDuration::from_minutes(step),
+            ).collect();
+            prop_assert!(!v.is_empty());
+            for w in v.windows(2) {
+                prop_assert_eq!(w[1].0 - w[0].0, step);
+            }
+            prop_assert!(v.last().unwrap().0 < start + span);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Core atlas — a tour of the simulated Internet core: tiers, geography,
+//! interconnect census, IXPs, BGP table, and routing sanity checks. Useful
+//! as a reference for what the substrate actually builds.
+//!
+//! ```text
+//! cargo run -p s2s-examples --release --bin core_atlas
+//! ```
+
+use s2s_bgp::Ip2AsnMap;
+use s2s_routing::{Dynamics, RouteOracle};
+use s2s_topology::{build_topology, AsKind, Tier, TopologyParams};
+use s2s_types::{ClusterId, Protocol, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn main() {
+    let params = TopologyParams::default();
+    let topo = Arc::new(build_topology(&params));
+
+    // AS-level view.
+    let count = |t: Tier| topo.ases.iter().filter(|a| a.tier == t).count();
+    let fabric = topo.ases.iter().filter(|a| a.kind == AsKind::IxpFabric).count();
+    println!("ASes: {} total", topo.ases.len());
+    println!("  tier-1 backbones : {}", count(Tier::Tier1));
+    println!("  tier-2 regionals : {}", count(Tier::Tier2));
+    println!("  stubs            : {}", count(Tier::Stub) - fabric);
+    println!("  IXP fabric ASes  : {fabric}");
+    let dual = topo.ases.iter().filter(|a| a.dual_stack).count();
+    let mpls = topo.ases.iter().filter(|a| a.mpls).count();
+    println!("  dual-stack: {dual}; MPLS (hidden interiors): {mpls}");
+
+    // Link census.
+    let (internal, transit, private, ixp) = topo.link_census();
+    println!("\nlinks: {} total", topo.links.len());
+    println!("  internal backbone : {internal}");
+    println!("  transit (c2p)     : {transit}");
+    println!("  private peering   : {private}");
+    println!("  IXP public fabric : {ixp}");
+    let v4_only = topo
+        .links
+        .iter()
+        .filter(|l| l.kind.is_interconnect() && !l.v6_enabled)
+        .count();
+    let unannounced = topo.links.iter().filter(|l| !l.announced_v4).count();
+    println!("  v4-only interconnects: {v4_only}; unannounced subnets: {unannounced}");
+
+    // Geography of the CDN deployment.
+    let mut by_country: HashMap<&str, usize> = HashMap::new();
+    for c in 0..topo.clusters.len() {
+        *by_country
+            .entry(topo.cluster_city(ClusterId::from(c)).country)
+            .or_default() += 1;
+    }
+    let mut countries: Vec<_> = by_country.into_iter().collect();
+    countries.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("\nCDN deployment: {} clusters in {} countries", topo.clusters.len(), countries.len());
+    for (cc, n) in countries.iter().take(8) {
+        println!("  {cc}: {n}");
+    }
+
+    // BGP table.
+    let ip2asn = Ip2AsnMap::from_announcements(&topo.announcements);
+    println!("\nBGP: {} announcements", ip2asn.announcement_count());
+
+    // Routing sanity: every cluster pair reachable over IPv4, and AS path
+    // lengths look like the Internet's (3-6 ASes).
+    let oracle = RouteOracle::new(
+        Arc::clone(&topo),
+        Arc::new(Dynamics::all_up(&topo, SimTime::from_days(1))),
+    );
+    let mut lens: HashMap<usize, usize> = HashMap::new();
+    let n = topo.clusters.len().min(40);
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            if let Some(p) = oracle.as_path_idx(
+                topo.clusters[a].host_as,
+                topo.clusters[b].host_as,
+                Protocol::V4,
+                SimTime::T0,
+            ) {
+                *lens.entry(p.len()).or_default() += 1;
+            }
+        }
+    }
+    println!("\nAS-path length distribution over {n}x{n} cluster mesh:");
+    let mut ls: Vec<_> = lens.into_iter().collect();
+    ls.sort();
+    let total: usize = ls.iter().map(|&(_, c)| c).sum();
+    for (len, c) in ls {
+        println!("  {len} ASes: {:>5.1}%", 100.0 * c as f64 / total as f64);
+    }
+}

@@ -1,0 +1,73 @@
+//! Dual-stack advisor — the §6 opportunity: for each server pair, measure
+//! both protocols for a week and recommend which to use, flagging the pairs
+//! where switching saves ≥50 ms (the paper finds 3.7% of pairs gain that
+//! from IPv6 and 8.5% from IPv4).
+//!
+//! ```text
+//! cargo run -p s2s-examples --release --bin dualstack_advisor
+//! ```
+
+use s2s_netsim::{CongestionModel, CongestionParams, Network, NetworkParams};
+use s2s_probe::{run_ping_campaign, CampaignConfig};
+use s2s_routing::{Dynamics, DynamicsParams, RouteOracle};
+use s2s_stats::quantiles;
+use s2s_topology::{build_topology, TopologyParams};
+use s2s_types::{ClusterId, SimTime};
+use std::sync::Arc;
+
+fn main() {
+    let topo = Arc::new(build_topology(&TopologyParams { seed: 11, n_clusters: 24, ..TopologyParams::default() }));
+    let horizon = SimTime::from_days(20);
+    let dynamics = Arc::new(Dynamics::generate(
+        &topo,
+        &DynamicsParams { horizon, ..DynamicsParams::default() },
+    ));
+    let oracle = Arc::new(RouteOracle::new(Arc::clone(&topo), dynamics));
+    let congestion = CongestionModel::generate(
+        &topo,
+        &CongestionParams { horizon, ..CongestionParams::default() },
+    );
+    let net = Network::new(oracle, congestion, NetworkParams::default());
+
+    // A week of 15-minute pings over both protocols, all pairs from one hub.
+    let pairs: Vec<(ClusterId, ClusterId)> = (1..topo.clusters.len())
+        .map(|d| (ClusterId::new(0), ClusterId::from(d)))
+        .collect();
+    let cfg = CampaignConfig::ping_week(SimTime::from_days(3));
+    let timelines = run_ping_campaign(&net, &pairs, &cfg);
+
+    println!("pair                          median v4    median v6    advice");
+    let mut big_saves = 0;
+    for chunk in timelines.chunks(2) {
+        let [v4, v6] = chunk else { continue };
+        let median = |tl: &s2s_probe::PingTimeline| {
+            let r = tl.valid_rtts();
+            quantiles(&r, &[50.0]).map(|q| q[0])
+        };
+        let (Some(m4), Some(m6)) = (median(v4), median(v6)) else { continue };
+        let city = topo.cluster_city(v4.dst);
+        let diff = m4 - m6;
+        let advice = if diff >= 50.0 {
+            big_saves += 1;
+            "switch to IPv6 (saves ≥50 ms!)"
+        } else if diff <= -50.0 {
+            big_saves += 1;
+            "switch to IPv4 (saves ≥50 ms!)"
+        } else if diff > 10.0 {
+            "prefer IPv6"
+        } else if diff < -10.0 {
+            "prefer IPv4"
+        } else {
+            "either (within 10 ms)"
+        };
+        println!(
+            "-> {:<24} {m4:>9.1} ms {m6:>9.1} ms    {advice}",
+            format!("{} ({})", city.name, city.country),
+        );
+    }
+    println!(
+        "\n{big_saves} of {} pairs can save ≥50 ms by picking the right protocol \
+         (paper: ~12% combined)",
+        pairs.len()
+    );
+}

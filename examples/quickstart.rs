@@ -1,0 +1,86 @@
+//! Quickstart: build a small simulated Internet core, run a traceroute and
+//! a ping between two CDN clusters, and inspect the AS-level path.
+//!
+//! ```text
+//! cargo run -p s2s-examples --bin quickstart
+//! ```
+
+use s2s_bgp::Ip2AsnMap;
+use s2s_core::annotate::annotate;
+use s2s_netsim::{CongestionModel, CongestionParams, Network, NetworkParams};
+use s2s_probe::{ping_once, trace, TraceOptions};
+use s2s_routing::{Dynamics, DynamicsParams, RouteOracle};
+use s2s_topology::{build_topology, TopologyParams};
+use s2s_types::{ClusterId, Protocol, SimTime};
+use std::sync::Arc;
+
+fn main() {
+    // 1. A seeded world: topology, routing dynamics, congestion, noise.
+    let topo = Arc::new(build_topology(&TopologyParams { seed: 2015, n_clusters: 24, ..TopologyParams::default() }));
+    let horizon = SimTime::from_days(30);
+    let dynamics = Arc::new(Dynamics::generate(
+        &topo,
+        &DynamicsParams { horizon, ..DynamicsParams::default() },
+    ));
+    let oracle = Arc::new(RouteOracle::new(Arc::clone(&topo), dynamics));
+    let congestion = CongestionModel::generate(
+        &topo,
+        &CongestionParams { horizon, ..CongestionParams::default() },
+    );
+    let net = Network::new(oracle, congestion, NetworkParams::default());
+    println!(
+        "world: {} ASes, {} routers, {} links, {} CDN clusters",
+        topo.ases.len(),
+        topo.routers.len(),
+        topo.links.len(),
+        topo.clusters.len()
+    );
+
+    // 2. Pick a representative pair: scan a few candidates and keep the one
+    //    whose RTT sits closest to the speed-of-light bound (median
+    //    inflation in the paper is ~3x; tail pairs ride detours).
+    let src = ClusterId::new(0);
+    let t0 = SimTime::from_days(3);
+    let dst = (1..topo.clusters.len().min(12))
+        .map(ClusterId::from)
+        .min_by_key(|&d| {
+            let crtt = s2s_geo::c_rtt_ms(
+                &topo.cluster_city(src).point(),
+                &topo.cluster_city(d).point(),
+            );
+            match net.ideal_rtt(src, d, Protocol::V4, t0) {
+                Some(rtt) if crtt > 1.0 => (rtt / crtt * 100.0) as u64,
+                _ => u64::MAX,
+            }
+        })
+        .expect("at least two clusters");
+    println!(
+        "measuring {} ({}) -> {} ({})",
+        topo.cluster_city(src).name,
+        topo.cluster_city(src).country,
+        topo.cluster_city(dst).name,
+        topo.cluster_city(dst).country
+    );
+
+    // 3. One ping and one Paris traceroute over IPv4.
+    let t = t0;
+    let pr = ping_once(&net, src, dst, Protocol::V4, t);
+    println!("ping: {:?} ms", pr.rtt_ms.map(|r| (r * 100.0).round() / 100.0));
+    let rec = trace(&net, src, dst, Protocol::V4, t, TraceOptions::default());
+    println!("traceroute ({} hops, reached = {}):", rec.hops.len(), rec.reached);
+    for (i, h) in rec.hops.iter().enumerate() {
+        match (h.addr, h.rtt_ms) {
+            (Some(a), Some(r)) => println!("  {:>2}  {a:<18} {r:>8.2} ms", i + 1),
+            _ => println!("  {:>2}  *", i + 1),
+        }
+    }
+
+    // 4. Map the hops to an AS-level path, the way the paper's pipeline does.
+    let ip2asn = Ip2AsnMap::from_announcements(&topo.announcements);
+    let ann = annotate(&rec, &ip2asn);
+    println!("AS path: {}", ann.as_path);
+    println!(
+        "completeness: {:?}; loop = {}; imputed hops = {}",
+        ann.completeness, ann.has_loop, ann.imputed
+    );
+}

@@ -1,0 +1,2 @@
+//! Shared nothing: each example is a standalone binary; this library target
+//! exists only so the package has a stable build unit for `cargo test`.

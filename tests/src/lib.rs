@@ -1,0 +1,61 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use s2s_bgp::{AsRelStore, Ip2AsnMap};
+use s2s_netsim::{CongestionModel, CongestionParams, Network, NetworkParams};
+use s2s_routing::{Dynamics, DynamicsParams, RouteOracle};
+use s2s_topology::{build_topology, Topology, TopologyParams};
+use s2s_types::SimTime;
+use std::sync::Arc;
+
+/// A small but fully featured world: dynamics, congestion, noise, loss.
+pub struct World {
+    /// The topology.
+    pub topo: Arc<Topology>,
+    /// The routing oracle.
+    pub oracle: Arc<RouteOracle>,
+    /// The measurement plane.
+    pub net: Network,
+    /// IP→ASN mapping from the announcements.
+    pub ip2asn: Ip2AsnMap,
+    /// Ground-truth relationships.
+    pub rels: AsRelStore,
+    /// The modeled horizon.
+    pub horizon: SimTime,
+}
+
+impl World {
+    /// Builds a world with every subsystem enabled.
+    pub fn full(seed: u64, days: u32) -> World {
+        let horizon = SimTime::from_days(days);
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(seed)));
+        let dynamics = Arc::new(Dynamics::generate(
+            &topo,
+            &DynamicsParams { seed: seed ^ 0xD, horizon, ..DynamicsParams::default() },
+        ));
+        let oracle = Arc::new(RouteOracle::new(Arc::clone(&topo), dynamics));
+        let congestion = CongestionModel::generate(
+            &topo,
+            &CongestionParams { seed: seed ^ 0xC, horizon, ..CongestionParams::default() },
+        );
+        let net = Network::new(Arc::clone(&oracle), congestion, NetworkParams::default());
+        let ip2asn = Ip2AsnMap::from_topology(&topo);
+        let rels = AsRelStore::from_topology(&topo);
+        World { topo, oracle, net, ip2asn, rels, horizon }
+    }
+
+    /// Builds a quiet world: no failures, no congestion, no loss, no spikes.
+    pub fn quiet(seed: u64, days: u32) -> World {
+        let horizon = SimTime::from_days(days);
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(seed)));
+        let dynamics = Arc::new(Dynamics::all_up(&topo, horizon));
+        let oracle = Arc::new(RouteOracle::new(Arc::clone(&topo), dynamics));
+        let net = Network::new(
+            Arc::clone(&oracle),
+            CongestionModel::none(),
+            NetworkParams { loss_prob: 0.0, spike_prob: 0.0, ..NetworkParams::default() },
+        );
+        let ip2asn = Ip2AsnMap::from_topology(&topo);
+        let rels = AsRelStore::from_topology(&topo);
+        World { topo, oracle, net, ip2asn, rels, horizon }
+    }
+}

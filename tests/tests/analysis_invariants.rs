@@ -1,0 +1,92 @@
+//! Cross-crate analysis invariants, property-tested over random worlds:
+//! whatever the seed rolls, the paper's statistics must stay internally
+//! consistent.
+
+use proptest::prelude::*;
+use s2s_core::bestpath::{best_path_analysis, suboptimal_prevalence};
+use s2s_core::changes::{detect_changes, path_stats};
+use s2s_core::timeline::TimelineBuilder;
+use s2s_integration::World;
+use s2s_probe::{trace, TraceOptions};
+use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
+
+fn build_timeline(
+    w: &World,
+    src: usize,
+    dst: usize,
+    days: u32,
+) -> s2s_core::timeline::TraceTimeline {
+    let mut b = TimelineBuilder::new(
+        ClusterId::from(src),
+        ClusterId::from(dst),
+        Protocol::V4,
+        &w.ip2asn,
+    );
+    let mut t = SimTime::T0;
+    while t < SimTime::from_days(days) {
+        b.push(trace(
+            &w.net,
+            ClusterId::from(src),
+            ClusterId::from(dst),
+            Protocol::V4,
+            t,
+            TraceOptions::default(),
+        ));
+        t += SimDuration::from_hours(3);
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn prop_change_and_path_accounting_agree(seed in 0u64..300, dst in 1usize..8) {
+        let w = World::full(seed, 12);
+        let tl = build_timeline(&w, 0, dst, 12);
+        let changes = detect_changes(&tl).changes;
+        let paths = tl.unique_paths();
+        // k distinct paths require at least k-1 transitions.
+        if paths > 1 {
+            prop_assert!(changes >= paths - 1, "{paths} paths but {changes} changes");
+        } else {
+            prop_assert_eq!(changes, 0);
+        }
+        // Lifetimes sum to the usable time; prevalence to 1.
+        let stats = path_stats(&tl, SimDuration::from_hours(3));
+        let total_minutes: u32 = stats.lifetimes.iter().map(|d| d.minutes()).sum();
+        prop_assert_eq!(
+            total_minutes,
+            tl.usable_samples() as u32 * 180
+        );
+        if tl.usable_samples() > 0 {
+            let total_prev: f64 = stats.prevalence.iter().sum();
+            prop_assert!((total_prev - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prop_suboptimal_prevalence_is_monotone_in_threshold(
+        seed in 0u64..300, dst in 1usize..8,
+    ) {
+        let w = World::full(seed, 12);
+        let tl = build_timeline(&w, 0, dst, 12);
+        let iv = SimDuration::from_hours(3);
+        let p20 = suboptimal_prevalence(&tl, iv, 20.0);
+        let p50 = suboptimal_prevalence(&tl, iv, 50.0);
+        let p100 = suboptimal_prevalence(&tl, iv, 100.0);
+        prop_assert!(p20 >= p50 && p50 >= p100);
+        prop_assert!((0.0..=1.0).contains(&p20));
+    }
+
+    #[test]
+    fn prop_best_path_is_never_its_own_delta(seed in 0u64..300, dst in 1usize..8) {
+        let w = World::full(seed, 12);
+        let tl = build_timeline(&w, 0, dst, 12);
+        if let Some(a) = best_path_analysis(&tl, SimDuration::from_hours(3)) {
+            prop_assert!(a.deltas.iter().all(|d| d.path != a.best_by_p10));
+            // The best path is among the timeline's paths.
+            prop_assert!(a.best_by_p10 < tl.unique_paths());
+        }
+    }
+}

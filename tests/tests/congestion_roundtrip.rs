@@ -1,0 +1,203 @@
+//! Ground-truth round trip for the §5 pipeline: congestion planted on a
+//! known link must be detected, localized to that link, and classified
+//! correctly.
+
+use s2s_core::congestion::{
+    detect, DetectParams, LocateOutcome, LocateParams, SegmentAccumulator,
+};
+use s2s_core::ownership::{classify_link, infer_ownership, CongestedLinkClass};
+use s2s_integration::World;
+use s2s_netsim::{CongestionModel, LinkProfile, Network, NetworkParams};
+use s2s_probe::{run_ping_campaign, trace, CampaignConfig, TraceOptions};
+use s2s_topology::LinkKind;
+use s2s_types::{ClusterId, LinkId, Protocol, RouterId, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Plants a profile on the k-th hop link of (0 → dst) and returns the
+/// instrumented network plus the victim link.
+fn plant(
+    w: &World,
+    dst: ClusterId,
+    hop_idx: usize,
+    amplitude: f64,
+) -> (Network, LinkId, RouterId) {
+    let path = w
+        .oracle
+        .router_path(ClusterId::new(0), dst, Protocol::V4, SimTime::T0, 1)
+        .expect("path");
+    let k = hop_idx.min(path.hops.len() - 1);
+    let victim = path.hops[k].ingress_link;
+    let toward = path.hops[k].router;
+    let profile = LinkProfile {
+        amplitude_ms: amplitude,
+        peak_local_hour: 20.0,
+        width_hours: 3.0,
+        start_min: 0,
+        end_min: w.horizon.minutes(),
+        lon_deg: 0.0,
+        toward: toward.0,
+        v6_factor: 1.0,
+    };
+    let net = Network::new(
+        Arc::clone(&w.oracle),
+        CongestionModel::from_profiles(vec![(victim, profile)]),
+        NetworkParams { loss_prob: 0.0, spike_prob: 0.0, ..NetworkParams::default() },
+    );
+    (net, victim, toward)
+}
+
+#[test]
+fn planted_congestion_is_detected_by_pings() {
+    let w = World::quiet(5, 40);
+    let dst = ClusterId::new(6);
+    let (net, _, _) = plant(&w, dst, 2, 30.0);
+    let cfg = CampaignConfig::ping_week(SimTime::from_days(2));
+    let tls = run_ping_campaign(&net, &[(ClusterId::new(0), dst)], &cfg);
+    let v4 = tls.iter().find(|t| t.proto == Protocol::V4).unwrap();
+    let r = detect(v4, &DetectParams::default()).expect("enough samples");
+    assert!(r.high_variation, "spread {}", r.spread_ms);
+    assert!(r.consistent, "psd {:?}", r.psd_ratio);
+    // Spread tracks the planted amplitude (one direction only).
+    assert!(
+        (15.0..45.0).contains(&r.spread_ms),
+        "spread {} vs planted 30",
+        r.spread_ms
+    );
+}
+
+#[test]
+fn clean_pairs_stay_clean() {
+    let w = World::quiet(5, 40);
+    let cfg = CampaignConfig::ping_week(SimTime::from_days(2));
+    let pairs: Vec<_> =
+        (1usize..6).map(|d| (ClusterId::new(0), ClusterId::from(d))).collect();
+    let tls = run_ping_campaign(&w.net, &pairs, &cfg);
+    for tl in tls {
+        if let Some(r) = detect(&tl, &DetectParams::default()) {
+            assert!(!r.consistent, "clean pair flagged: spread {}", r.spread_ms);
+        }
+    }
+}
+
+#[test]
+fn localization_blames_the_planted_link() {
+    let w = World::quiet(5, 40);
+    let dst = ClusterId::new(6);
+    let (net, victim, toward) = plant(&w, dst, 3, 30.0);
+    let mut acc = SegmentAccumulator::default();
+    let mut t = SimTime::from_days(1);
+    while t < SimTime::from_days(22) {
+        acc.push(&trace(&net, ClusterId::new(0), dst, Protocol::V4, t, TraceOptions::default()));
+        t += SimDuration::from_minutes(30);
+    }
+    match acc.locate(&LocateParams::default()) {
+        LocateOutcome::Located { far, rho, .. } => {
+            assert!(rho >= 0.5);
+            // The blamed far-side address must be the victim link's
+            // interface on the toward router.
+            let iface = w.topo.links[victim.index()].iface_of(toward);
+            let expect = std::net::IpAddr::V4(w.topo.ifaces[iface.index()].v4);
+            assert_eq!(far, expect, "blamed {far}, victim iface {expect}");
+        }
+        other => panic!("expected location, got {other:?}"),
+    }
+}
+
+#[test]
+fn located_link_classifies_by_ground_truth_kind() {
+    let w = World::quiet(5, 40);
+    // Try several destinations / hops until we hit an interconnect victim.
+    let mut tried_interconnect = false;
+    for dst_i in 2..w.topo.clusters.len().min(12) {
+        let dst = ClusterId::from(dst_i);
+        for hop in 1..6 {
+            let Some(path) = w
+                .oracle
+                .router_path(ClusterId::new(0), dst, Protocol::V4, SimTime::T0, 1)
+            else {
+                continue;
+            };
+            if hop >= path.hops.len() {
+                continue;
+            }
+            let kind = w.topo.links[path.hops[hop].ingress_link.index()].kind;
+            if kind == LinkKind::Internal && tried_interconnect {
+                continue;
+            }
+            let (net, _, _) = plant(&w, dst, hop, 30.0);
+            let mut acc = SegmentAccumulator::default();
+            let mut t = SimTime::from_days(1);
+            while t < SimTime::from_days(15) {
+                acc.push(&trace(
+                    &net,
+                    ClusterId::new(0),
+                    dst,
+                    Protocol::V4,
+                    t,
+                    TraceOptions::default(),
+                ));
+                t += SimDuration::from_minutes(30);
+            }
+            let LocateOutcome::Located { near, far, .. } =
+                acc.locate(&LocateParams::default())
+            else {
+                continue;
+            };
+            let corpus = vec![acc.reference_path().unwrap().to_vec()];
+            let inf = infer_ownership(&corpus, &w.ip2asn, &w.rels);
+            let class = classify_link(near, far, &inf, &w.rels);
+            match kind {
+                LinkKind::Internal => {
+                    // Internal links must never classify as interconnect.
+                    assert!(
+                        matches!(
+                            class,
+                            CongestedLinkClass::Internal | CongestedLinkClass::Unknown
+                        ),
+                        "internal link classified {class:?}"
+                    );
+                }
+                _ => {
+                    tried_interconnect = true;
+                    assert!(
+                        !matches!(class, CongestedLinkClass::Internal),
+                        "interconnect ({kind:?}) classified Internal"
+                    );
+                }
+            }
+        }
+    }
+    assert!(tried_interconnect, "never exercised an interconnect victim");
+}
+
+#[test]
+fn detection_survives_realistic_noise() {
+    // Full world (loss, spikes, rate limiting) with a planted strong signal.
+    let w = World::quiet(8, 40);
+    let dst = ClusterId::new(4);
+    let path = w
+        .oracle
+        .router_path(ClusterId::new(0), dst, Protocol::V4, SimTime::T0, 1)
+        .unwrap();
+    let k = 2.min(path.hops.len() - 1);
+    let profile = LinkProfile {
+        amplitude_ms: 35.0,
+        peak_local_hour: 20.0,
+        width_hours: 3.5,
+        start_min: 0,
+        end_min: w.horizon.minutes(),
+        lon_deg: 0.0,
+        toward: path.hops[k].router.0,
+        v6_factor: 1.0,
+    };
+    let net = Network::new(
+        Arc::clone(&w.oracle),
+        CongestionModel::from_profiles(vec![(path.hops[k].ingress_link, profile)]),
+        NetworkParams::default(), // real loss + spikes + rate limiting
+    );
+    let cfg = CampaignConfig::ping_week(SimTime::from_days(2));
+    let tls = run_ping_campaign(&net, &[(ClusterId::new(0), dst)], &cfg);
+    let v4 = tls.iter().find(|t| t.proto == Protocol::V4).unwrap();
+    let r = detect(v4, &DetectParams::default()).expect("enough samples despite loss");
+    assert!(r.consistent, "noise drowned the signal: {r:?}");
+}

@@ -1,0 +1,93 @@
+//! Reproducibility: identical seeds must give bit-identical campaigns and
+//! analyses across the whole stack — the property every experiment and
+//! bench relies on.
+
+use s2s_core::timeline::TimelineBuilder;
+use s2s_integration::World;
+use s2s_probe::{run_ping_campaign, run_traceroute_campaign, CampaignConfig, TraceOptions};
+use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
+
+fn campaign_fingerprint(w: &World, threads: usize) -> Vec<(usize, usize, u64)> {
+    let pairs: Vec<_> =
+        (1usize..7).map(|d| (ClusterId::new(0), ClusterId::from(d))).collect();
+    let cfg = CampaignConfig {
+        start: SimTime::T0,
+        end: SimTime::from_days(6),
+        interval: SimDuration::from_hours(3),
+        protocols: vec![Protocol::V4, Protocol::V6],
+        threads,
+    };
+    run_traceroute_campaign(
+        &w.net,
+        &pairs,
+        &cfg,
+        TraceOptions::default(),
+        |s, d, p| TimelineBuilder::new(s, d, p, &w.ip2asn),
+        |b, rec| b.push(rec),
+    )
+    .into_iter()
+    .map(|b| {
+        let tl = b.finish();
+        // Fingerprint: path count, usable samples, and a sum over RTT bits.
+        let rtt_hash = tl
+            .samples
+            .iter()
+            .filter_map(|s| s.rtt_ms)
+            .fold(0u64, |acc, r| acc.wrapping_mul(31).wrapping_add(r.to_bits() as u64));
+        (tl.unique_paths(), tl.usable_samples(), rtt_hash)
+    })
+    .collect()
+}
+
+#[test]
+fn same_seed_same_world_same_measurements() {
+    let a = campaign_fingerprint(&World::full(77, 10), 2);
+    let b = campaign_fingerprint(&World::full(77, 10), 2);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let w = World::full(78, 10);
+    let serial = campaign_fingerprint(&w, 1);
+    let parallel = campaign_fingerprint(&w, 8);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let a = campaign_fingerprint(&World::full(79, 10), 2);
+    let b = campaign_fingerprint(&World::full(80, 10), 2);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn ping_campaigns_are_deterministic() {
+    let w = World::full(81, 10);
+    let cfg = CampaignConfig::ping_week(SimTime::from_days(1));
+    let pairs = vec![(ClusterId::new(0), ClusterId::new(3))];
+    let run = || {
+        run_ping_campaign(&w.net, &pairs, &cfg)
+            .into_iter()
+            .map(|t| t.rtts.iter().map(|r| r.to_bits()).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn two_worlds_same_seed_share_everything() {
+    let a = World::full(99, 5);
+    let b = World::full(99, 5);
+    assert_eq!(a.topo.links.len(), b.topo.links.len());
+    assert_eq!(a.topo.clusters.len(), b.topo.clusters.len());
+    for (ca, cb) in a.topo.clusters.iter().zip(&b.topo.clusters) {
+        assert_eq!(ca.v4, cb.v4);
+        assert_eq!(ca.v6, cb.v6);
+    }
+    // Congestion ground truth identical.
+    assert_eq!(
+        a.net.congestion().congested_links(),
+        b.net.congestion().congested_links()
+    );
+}

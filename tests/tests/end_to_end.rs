@@ -1,0 +1,182 @@
+//! End-to-end pipeline tests: simulator → probes → annotation → analyses.
+
+use s2s_core::annotate::annotate;
+use s2s_core::bestpath::best_path_analysis;
+use s2s_core::changes::{detect_changes, path_stats};
+use s2s_core::timeline::TimelineBuilder;
+use s2s_integration::World;
+use s2s_probe::{run_traceroute_campaign, trace, CampaignConfig, TraceOptions};
+use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
+
+#[test]
+fn traceroute_as_path_matches_oracle_ground_truth() {
+    let w = World::quiet(3, 10);
+    let mut checked = 0;
+    for b in 1..w.topo.clusters.len() {
+        let rec = trace(
+            &w.net,
+            ClusterId::new(0),
+            ClusterId::from(b),
+            Protocol::V4,
+            SimTime::from_days(1),
+            TraceOptions::default(),
+        );
+        if !rec.reached {
+            continue;
+        }
+        let ann = annotate(&rec, &w.ip2asn);
+        if !ann.as_path.is_complete() {
+            continue; // unannounced link subnet on the path
+        }
+        // Ground truth from the oracle.
+        let truth_idx = w
+            .oracle
+            .as_path_idx(
+                w.topo.clusters[0].host_as,
+                w.topo.clusters[b].host_as,
+                Protocol::V4,
+                SimTime::from_days(1),
+            )
+            .unwrap();
+        let truth: Vec<_> = truth_idx.iter().map(|&i| w.topo.asn(i)).collect();
+        let inferred: Vec<_> =
+            ann.as_path.hops().iter().map(|h| h.unwrap()).collect();
+        // The inferred path may insert neighbor ASes at interconnect
+        // crossings (provider-numbered subnets) — every ground-truth AS
+        // must appear, in order.
+        let mut ti = 0;
+        for asn in &inferred {
+            if ti < truth.len() && *asn == truth[ti] {
+                ti += 1;
+            }
+        }
+        assert_eq!(
+            ti,
+            truth.len(),
+            "truth {truth:?} not a subsequence of inferred {inferred:?}"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "only {checked} paths checked");
+}
+
+#[test]
+fn full_campaign_to_analysis_pipeline() {
+    let w = World::full(9, 30);
+    let pairs: Vec<(ClusterId, ClusterId)> = (1usize..6)
+        .map(|d| (ClusterId::new(0), ClusterId::from(d)))
+        .collect();
+    let cfg = CampaignConfig {
+        start: SimTime::T0,
+        end: SimTime::from_days(30),
+        interval: SimDuration::from_hours(3),
+        protocols: vec![Protocol::V4, Protocol::V6],
+        threads: 4,
+    };
+    let timelines: Vec<_> = run_traceroute_campaign(
+        &w.net,
+        &pairs,
+        &cfg,
+        TraceOptions::default(),
+        |s, d, p| TimelineBuilder::new(s, d, p, &w.ip2asn),
+        |b, rec| b.push(rec),
+    )
+    .into_iter()
+    .map(TimelineBuilder::finish)
+    .collect();
+
+    assert_eq!(timelines.len(), pairs.len() * 2);
+    for tl in &timelines {
+        // 30 days of 3-hour sampling = 240 offered samples.
+        assert_eq!(tl.samples.len(), 240);
+        if tl.usable_samples() == 0 {
+            continue; // v6-dark pair
+        }
+        // Most samples should be usable (reached + loop-free). IPv6 can
+        // sit behind a long edge outage for part of the month, so its bar
+        // is lower.
+        let min_usable = if tl.proto == Protocol::V4 { 200 } else { 100 };
+        assert!(
+            tl.usable_samples() > min_usable,
+            "{}->{} {}: only {} usable",
+            tl.src,
+            tl.dst,
+            tl.proto,
+            tl.usable_samples()
+        );
+        // Analyses run without panicking and produce consistent values.
+        let ch = detect_changes(tl);
+        assert!(ch.changes < 240);
+        let st = path_stats(tl, SimDuration::from_hours(3));
+        let total: f64 = st.prevalence.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "prevalence sums to {total}");
+        if let Some(a) = best_path_analysis(tl, SimDuration::from_hours(3)) {
+            for d in &a.deltas {
+                assert!(d.delta_p10_ms >= 0.0);
+                assert!(d.prevalence > 0.0 && d.prevalence < 1.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn table1_shape_holds_at_small_scale() {
+    let w = World::full(11, 10);
+    let mut counts = s2s_core::annotate::CompletenessCounts::default();
+    for a in 0..w.topo.clusters.len().min(10) {
+        for b in 0..w.topo.clusters.len().min(10) {
+            if a == b {
+                continue;
+            }
+            for day in [2u32, 5, 8] {
+                let rec = trace(
+                    &w.net,
+                    ClusterId::from(a),
+                    ClusterId::from(b),
+                    Protocol::V4,
+                    SimTime::from_days(day),
+                    TraceOptions::default(),
+                );
+                let ann = annotate(&rec, &w.ip2asn);
+                counts.add(&rec, &ann);
+            }
+        }
+    }
+    let (complete, _missing_as, missing_ip) = counts.fractions();
+    // The paper's Table 1 shape: most traceroutes complete, a meaningful
+    // minority with unresponsive hops.
+    assert!(complete > 0.5, "complete fraction {complete}");
+    assert!(missing_ip > 0.05, "missing-IP fraction {missing_ip}");
+    assert!(missing_ip < 0.6, "missing-IP fraction {missing_ip}");
+}
+
+#[test]
+fn dualstack_rtts_track_ideal() {
+    let w = World::quiet(21, 5);
+    for b in 1..w.topo.clusters.len().min(8) {
+        for proto in [Protocol::V4, Protocol::V6] {
+            let t = SimTime::from_days(2);
+            let Some(ideal) =
+                w.net.ideal_rtt(ClusterId::new(0), ClusterId::from(b), proto, t)
+            else {
+                continue;
+            };
+            let rec = trace(
+                &w.net,
+                ClusterId::new(0),
+                ClusterId::from(b),
+                proto,
+                t,
+                TraceOptions::default(),
+            );
+            if let Some(rtt) = rec.e2e_rtt_ms {
+                // Noise-free world: the measured RTT is the ideal plus the
+                // tiny jitter floor.
+                assert!(
+                    (rtt - ideal).abs() < 5.0,
+                    "proto {proto}: measured {rtt} vs ideal {ideal}"
+                );
+            }
+        }
+    }
+}

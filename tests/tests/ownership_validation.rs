@@ -1,0 +1,120 @@
+//! Validation of the Fig. 8 ownership heuristics against simulator ground
+//! truth — the check the paper itself could not run.
+
+use s2s_core::ownership::infer_ownership;
+use s2s_integration::World;
+use s2s_probe::{trace, TraceOptions};
+use s2s_types::{ClusterId, Protocol, SimTime};
+use std::net::IpAddr;
+
+fn sweep_paths(w: &World, protos: &[Protocol]) -> Vec<Vec<Option<IpAddr>>> {
+    let mut paths = Vec::new();
+    let n = w.topo.clusters.len();
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            for &proto in protos {
+                let rec = trace(
+                    &w.net,
+                    ClusterId::from(a),
+                    ClusterId::from(b),
+                    proto,
+                    SimTime::from_days(1),
+                    TraceOptions::default(),
+                );
+                if rec.reached {
+                    paths.push(rec.hops.iter().map(|h| h.addr).collect());
+                }
+            }
+        }
+    }
+    paths
+}
+
+#[test]
+fn inference_is_accurate_against_ground_truth() {
+    let w = World::quiet(13, 5);
+    let paths = sweep_paths(&w, &[Protocol::V4]);
+    let inf = infer_ownership(&paths, &w.ip2asn, &w.rels);
+    let addr_index = w.topo.addr_index();
+    let mut correct = 0;
+    let mut wrong = 0;
+    for (&addr, &owner) in &inf.owners {
+        let Some(&iface) = addr_index.get(&addr) else { continue };
+        let truth = w.topo.asn(w.topo.iface_operator(iface));
+        if owner == truth {
+            correct += 1;
+        } else {
+            wrong += 1;
+        }
+    }
+    let total = correct + wrong;
+    assert!(total > 50, "too few elected owners ({total})");
+    let acc = correct as f64 / total as f64;
+    assert!(acc > 0.93, "accuracy {acc:.3} ({correct}/{total})");
+}
+
+#[test]
+fn inference_beats_raw_prefix_mapping() {
+    let w = World::quiet(14, 5);
+    let paths = sweep_paths(&w, &[Protocol::V4]);
+    let inf = infer_ownership(&paths, &w.ip2asn, &w.rels);
+    let addr_index = w.topo.addr_index();
+
+    let mut seen: std::collections::HashSet<IpAddr> = Default::default();
+    for p in &paths {
+        seen.extend(p.iter().flatten());
+    }
+    let mut heur_correct = 0;
+    let mut heur_total = 0;
+    let mut raw_correct = 0;
+    let mut raw_total = 0;
+    for &addr in &seen {
+        let Some(&iface) = addr_index.get(&addr) else { continue };
+        let truth = w.topo.asn(w.topo.iface_operator(iface));
+        if let Some(o) = inf.owner(addr) {
+            heur_total += 1;
+            heur_correct += (o == truth) as usize;
+        }
+        if let Some(asn) = w.ip2asn.lookup(addr) {
+            raw_total += 1;
+            raw_correct += (asn == truth) as usize;
+        }
+    }
+    let heur_acc = heur_correct as f64 / heur_total.max(1) as f64;
+    let raw_acc = raw_correct as f64 / raw_total.max(1) as f64;
+    assert!(
+        heur_acc > raw_acc,
+        "heuristics {heur_acc:.3} did not beat raw mapping {raw_acc:.3}"
+    );
+}
+
+#[test]
+fn v6_paths_also_support_inference() {
+    let w = World::quiet(15, 5);
+    let paths = sweep_paths(&w, &[Protocol::V6]);
+    assert!(!paths.is_empty());
+    let inf = infer_ownership(&paths, &w.ip2asn, &w.rels);
+    assert!(
+        inf.owners.keys().any(|a| a.is_ipv6()),
+        "no v6 owners inferred"
+    );
+}
+
+#[test]
+fn coverage_is_partial_but_substantial() {
+    // The paper: "our method annotates the likely owner of most, but not
+    // all interfaces."
+    let w = World::quiet(16, 5);
+    let paths = sweep_paths(&w, &[Protocol::V4]);
+    let inf = infer_ownership(&paths, &w.ip2asn, &w.rels);
+    let mut seen: std::collections::HashSet<IpAddr> = Default::default();
+    for p in &paths {
+        seen.extend(p.iter().flatten());
+    }
+    let coverage = inf.owners.len() as f64 / seen.len() as f64;
+    assert!(coverage > 0.5, "coverage {coverage:.3} too low");
+    assert!(coverage < 1.0, "implausibly perfect coverage");
+}

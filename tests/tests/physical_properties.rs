@@ -1,0 +1,137 @@
+//! Physical and structural invariants of the whole stack, property-tested
+//! across seeds.
+
+use proptest::prelude::*;
+use s2s_integration::World;
+use s2s_probe::{trace, TraceOptions};
+use s2s_types::rel::AsRel;
+use s2s_types::{ClusterId, Protocol, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// RTTs never beat the speed of light, for any seed.
+    #[test]
+    fn prop_rtt_at_least_crtt(seed in 0u64..500) {
+        let w = World::quiet(seed, 5);
+        let t = SimTime::from_days(1);
+        for b in 1..w.topo.clusters.len().min(6) {
+            let src = ClusterId::new(0);
+            let dst = ClusterId::from(b);
+            if let Some(rtt) = w.net.ideal_rtt(src, dst, Protocol::V4, t) {
+                let crtt = s2s_geo::c_rtt_ms(
+                    &w.topo.cluster_city(src).point(),
+                    &w.topo.cluster_city(dst).point(),
+                );
+                prop_assert!(rtt >= crtt * 0.999, "rtt {rtt} < cRTT {crtt}");
+            }
+        }
+    }
+
+    /// Every AS path the oracle emits is valley-free, across seeds,
+    /// protocols, and random failure states.
+    #[test]
+    fn prop_paths_stay_valley_free(seed in 0u64..500, day in 0u32..30) {
+        let w = World::full(seed, 30);
+        let t = SimTime::from_days(day);
+        for b in 1..w.topo.clusters.len().min(6) {
+            for proto in [Protocol::V4, Protocol::V6] {
+                let Some(path) = w.oracle.as_path_idx(
+                    w.topo.clusters[0].host_as,
+                    w.topo.clusters[b].host_as,
+                    proto,
+                    t,
+                ) else { continue };
+                // Valley-free: once descending (customer/peer edge taken),
+                // never ascend or peer again.
+                let mut descending = false;
+                for win in path.windows(2) {
+                    let rel = w.topo.rel(win[0], win[1]).expect("adjacent");
+                    match rel {
+                        AsRel::Provider => prop_assert!(!descending, "valley in {path:?}"),
+                        AsRel::Peer => {
+                            prop_assert!(!descending, "peer after descent in {path:?}");
+                            descending = true;
+                        }
+                        AsRel::Customer => descending = true,
+                    }
+                }
+                // And loop-free.
+                let mut sorted = path.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), path.len(), "AS loop");
+            }
+        }
+    }
+
+    /// Traceroute hop RTTs grow monotonically (modulo the jitter floor)
+    /// in a quiet world.
+    #[test]
+    fn prop_hop_rtts_monotone(seed in 0u64..200) {
+        let w = World::quiet(seed, 5);
+        let rec = trace(
+            &w.net,
+            ClusterId::new(0),
+            ClusterId::new(2),
+            Protocol::V4,
+            SimTime::from_days(1),
+            TraceOptions::default(),
+        );
+        let rtts: Vec<f64> = rec.hops.iter().filter_map(|h| h.rtt_ms).collect();
+        for pair in rtts.windows(2) {
+            prop_assert!(pair[1] + 2.0 >= pair[0], "regression {pair:?}");
+        }
+    }
+
+    /// Forward and reverse traceroutes exist together: reachability is
+    /// symmetric even when paths are not.
+    #[test]
+    fn prop_reachability_is_symmetric(seed in 0u64..200, day in 0u32..20) {
+        let w = World::full(seed, 20);
+        let t = SimTime::from_days(day);
+        for b in 1..w.topo.clusters.len().min(5) {
+            let fwd = w.oracle.as_path_idx(
+                w.topo.clusters[0].host_as,
+                w.topo.clusters[b].host_as,
+                Protocol::V4,
+                t,
+            );
+            let rev = w.oracle.as_path_idx(
+                w.topo.clusters[b].host_as,
+                w.topo.clusters[0].host_as,
+                Protocol::V4,
+                t,
+            );
+            prop_assert_eq!(fwd.is_some(), rev.is_some());
+        }
+    }
+
+    /// The v6 address family is a strict subset: wherever v6 routes, v4
+    /// routes too (every dual-stack link carries v4).
+    #[test]
+    fn prop_v6_implies_v4(seed in 0u64..200) {
+        let w = World::full(seed, 10);
+        let t = SimTime::from_days(2);
+        for a in 0..w.topo.clusters.len().min(5) {
+            for b in 0..w.topo.clusters.len().min(5) {
+                if a == b { continue }
+                let v6 = w.oracle.as_path_idx(
+                    w.topo.clusters[a].host_as,
+                    w.topo.clusters[b].host_as,
+                    Protocol::V6,
+                    t,
+                );
+                if v6.is_some() {
+                    let v4 = w.oracle.as_path_idx(
+                        w.topo.clusters[a].host_as,
+                        w.topo.clusters[b].host_as,
+                        Protocol::V4,
+                        t,
+                    );
+                    prop_assert!(v4.is_some(), "v6 routes but v4 does not");
+                }
+            }
+        }
+    }
+}
