@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo CI: exactly what .github/workflows/ci.yml runs.
+#
+#   ./ci.sh            # build + test + lint
+#
+# The lint gate is strict (`-D warnings`); the trailing unwrap audit on the
+# measurement-plane crates is advisory (tests may unwrap freely, so it must
+# not fail the build — it exists so new `unwrap()`s in library code show up
+# in the log).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> unwrap audit (advisory) on s2s-probe / s2s-core"
+cargo clippy -p s2s-probe -p s2s-core -- -W clippy::unwrap_used 2>&1 |
+    grep -A3 "unwrap_used\|used \`unwrap()\`" || true
+
+echo "CI OK"

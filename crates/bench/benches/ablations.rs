@@ -198,7 +198,8 @@ fn ablate_percentile(c: &mut Criterion) {
                     // All three criteria come from one pass; consumers pick.
                     (a.best_by_p10, a.best_by_p90, a.deltas.len())
                 })
-                .count()
+                .collect::<Vec<_>>()
+                .len()
         })
     });
     let disagree = data

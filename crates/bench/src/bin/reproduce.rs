@@ -6,12 +6,15 @@
 //! ```
 //!
 //! Experiment ids: table1, fig1, fig2a, fig2b, fig3a, fig3b, fig4, fig5,
-//! fig6, fig7, sec51, sec53, fig8, fig9, fig10a, fig10b.
-//! Scale comes from `S2S_*` environment variables (DESIGN.md §5).
+//! fig6, fig7, sec51, sec53, fig8, fig9, fig10a, fig10b, plus the
+//! extensions (loss, shared, coloc, abw) and the fault sweep (faults).
+//! Scale comes from `S2S_*` environment variables; the measurement plane
+//! can be degraded via `S2S_FAULT_*` knobs (DESIGN.md §5 and the fault
+//! model section).
 
 use s2s_bench::experiments::{
-    congestion, dualstack, example, extensions, longterm, ownercheck, shortterm,
-    LongTermData,
+    congestion, dualstack, example, extensions, faultsweep, longterm, ownercheck,
+    shortterm, LongTermData,
 };
 use s2s_bench::{Scale, Scenario};
 use s2s_types::{Protocol, SimTime};
@@ -23,6 +26,8 @@ const ALL: &[&str] = &[
     // Extensions: the paper's §8 future-work items + the §2.2 colocated
     // campaign (possible here because the simulator has ground truth).
     "loss", "shared", "coloc", "abw",
+    // Robustness: figure stability under an injected faulty plane.
+    "faults",
 ];
 
 fn main() {
@@ -57,9 +62,10 @@ fn main() {
         let t = Instant::now();
         let data = LongTermData::collect(&scenario);
         println!(
-            "long-term campaign: {} timelines in {:?}\n",
+            "long-term campaign: {} timelines in {:?} (probes delivered: {})\n",
             data.timelines.len(),
-            t.elapsed()
+            t.elapsed(),
+            data.report.coverage()
         );
         Some(data)
     } else {
@@ -175,6 +181,9 @@ fn main() {
             }
             "abw" => {
                 extensions::abw(&scenario, SimTime::from_days(mid + 3));
+            }
+            "faults" => {
+                faultsweep::fault_sweep(&scenario);
             }
             _ => unreachable!(),
         }

@@ -17,7 +17,7 @@ use s2s_bench::{Scale, Scenario};
 use s2s_core::bestpath::best_path_analysis;
 use s2s_core::changes::{detect_changes, path_stats};
 use s2s_core::timeline::TimelineBuilder;
-use s2s_probe::dataset::{read_traceroutes, write_traceroutes};
+use s2s_probe::dataset::{read_traceroutes_lossy, write_traceroutes};
 use s2s_probe::{trace, TraceOptions};
 use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
 use std::io::BufReader;
@@ -185,13 +185,25 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let records = match read_traceroutes(f) {
+    // Archives can be damaged (partial writes, fault-injected corruption):
+    // skip what doesn't parse, report exactly how much, analyze the rest.
+    let (records, import) = match read_traceroutes_lossy(f) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("parse error: {e}");
+            eprintln!("read failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if import.skipped > 0 {
+        eprintln!(
+            "warning: skipped {} unparseable line(s); record coverage {}",
+            import.skipped,
+            import.coverage()
+        );
+        for e in &import.first_errors {
+            eprintln!("  {e}");
+        }
+    }
     // The analysis still needs an IP→ASN view; the archive came from the
     // same world, so rebuild the map from the seeded topology (a real
     // deployment would load a BGP snapshot here).

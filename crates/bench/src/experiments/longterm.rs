@@ -4,9 +4,26 @@ use super::LongTermData;
 use crate::render::{print_ecdf, print_heatmap};
 use s2s_core::annotate::CompletenessCounts;
 use s2s_core::bestpath::{best_path_analysis, suboptimal_prevalence};
-use s2s_core::changes::{as_path_pairs, detect_changes, path_stats};
+use s2s_core::changes::{as_path_pairs, detect_changes_checked, path_stats};
+use s2s_core::timeline::TraceTimeline;
 use s2s_stats::{Ecdf, HeatMap};
-use s2s_types::{Protocol, SimDuration};
+use s2s_types::{Coverage, Protocol, SimDuration};
+
+/// The default coverage floor for per-timeline analyses: below half the
+/// offered schedule, a timeline's change/lifetime statistics are more gap
+/// artifact than signal and the analysis refuses (see
+/// [`s2s_core::changes::detect_changes_checked`]).
+pub const MIN_TIMELINE_COVERAGE: f64 = 0.5;
+
+fn aggregate_coverage<'a>(tls: impl IntoIterator<Item = &'a &'a TraceTimeline>) -> Coverage {
+    let mut usable = 0;
+    let mut offered = 0;
+    for t in tls {
+        usable += t.usable_samples();
+        offered += t.samples.len();
+    }
+    Coverage::new(usable, offered)
+}
 
 const INTERVAL: SimDuration = SimDuration(180);
 
@@ -59,8 +76,8 @@ pub struct Fig2aResult {
 
 /// Fig. 2a: ECDF of unique AS paths per trace timeline.
 pub fn fig2a(data: &LongTermData, proto: Protocol) -> Fig2aResult {
-    let counts: Vec<f64> = data
-        .by_proto(proto)
+    let tls = data.by_proto(proto);
+    let counts: Vec<f64> = tls
         .iter()
         .filter(|t| t.usable_samples() > 0)
         .map(|t| t.unique_paths() as f64)
@@ -69,6 +86,7 @@ pub fn fig2a(data: &LongTermData, proto: Protocol) -> Fig2aResult {
     let single = e.fraction_at_or_below(1.0);
     let p80 = e.quantile(0.8).unwrap_or(0.0);
     println!("FIG 2a — unique AS paths per trace timeline ({proto})");
+    println!("  sample coverage: {}", aggregate_coverage(&tls));
     print_ecdf("paths per timeline", &counts, 11);
     println!(
         "  single-path timelines: {:.1}%  (paper: 18% v4 / 16% v6); 80th pct: {p80} \
@@ -126,18 +144,32 @@ pub struct Fig3bResult {
     pub p90_changes: f64,
 }
 
-/// Fig. 3b: ECDF of routing changes per timeline.
+/// Fig. 3b: ECDF of routing changes per timeline. Timelines below the
+/// coverage floor are refused by the checked analysis and reported, not
+/// silently mixed in.
 pub fn fig3b(data: &LongTermData, proto: Protocol) -> Fig3bResult {
-    let counts: Vec<f64> = data
-        .by_proto(proto)
+    let tls = data.by_proto(proto);
+    let mut refused = 0usize;
+    let counts: Vec<f64> = tls
         .iter()
         .filter(|t| t.usable_samples() > 0)
-        .map(|t| detect_changes(t).changes as f64)
+        .filter_map(|t| match detect_changes_checked(t, MIN_TIMELINE_COVERAGE) {
+            Ok((stats, _)) => Some(stats.changes as f64),
+            Err(_) => {
+                refused += 1;
+                None
+            }
+        })
         .collect();
     let e = Ecdf::new(counts.clone());
     let none = e.fraction_at_or_below(0.0);
     let p90 = e.quantile(0.9).unwrap_or(0.0);
     println!("FIG 3b — routing changes per trace timeline ({proto})");
+    println!(
+        "  sample coverage: {}; timelines below the {:.0}% floor: {refused}",
+        aggregate_coverage(&tls),
+        100.0 * MIN_TIMELINE_COVERAGE
+    );
     print_ecdf("changes per timeline", &counts, 11);
     println!(
         "  zero-change timelines: {:.1}% (paper: 18% v4 / 16% v6); \

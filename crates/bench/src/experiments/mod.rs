@@ -6,13 +6,15 @@ pub mod congestion;
 pub mod dualstack;
 pub mod example;
 pub mod extensions;
+pub mod faultsweep;
 pub mod longterm;
 pub mod ownercheck;
 pub mod shortterm;
 
 use crate::scenario::Scenario;
 use s2s_core::timeline::TraceTimeline;
-use s2s_types::ClusterId;
+use s2s_probe::{CampaignReport, FaultProfile, RetryPolicy};
+use s2s_types::{ClusterId, Coverage};
 
 /// The long-term data set shared by Table 1 and Figs. 2–6 and 10.
 pub struct LongTermData {
@@ -21,14 +23,32 @@ pub struct LongTermData {
     /// One timeline per (pair, protocol), pair-major, protocol-minor
     /// (V4 then V6).
     pub timelines: Vec<TraceTimeline>,
+    /// What the measurement plane did while collecting (all-delivered under
+    /// the default quiet fault profile).
+    pub report: CampaignReport,
 }
 
 impl LongTermData {
-    /// Runs the long-term campaign at the scenario's scale.
+    /// Runs the long-term campaign at the scenario's scale, behind the
+    /// fault profile configured via `S2S_FAULT_*` (quiet by default, which
+    /// yields the bit-identical dataset of the plain runner).
     pub fn collect(scenario: &Scenario) -> LongTermData {
+        LongTermData::collect_with(scenario, &FaultProfile::from_env())
+    }
+
+    /// [`LongTermData::collect`] with an explicit fault profile.
+    pub fn collect_with(scenario: &Scenario, profile: &FaultProfile) -> LongTermData {
         let pairs = scenario.sample_pair_list(scenario.scale.pairs / 2, 0x10e6);
-        let timelines = scenario.long_term_timelines(&pairs);
-        LongTermData { pairs, timelines }
+        let (timelines, report) =
+            scenario.long_term_timelines_faulty(&pairs, profile, &RetryPolicy::default());
+        LongTermData { pairs, timelines, report }
+    }
+
+    /// Aggregate sample coverage over every timeline in the data set.
+    pub fn coverage(&self) -> Coverage {
+        let usable = self.timelines.iter().map(|t| t.usable_samples()).sum();
+        let offered = self.timelines.iter().map(|t| t.samples.len()).sum();
+        Coverage::new(usable, offered)
     }
 
     /// Timelines of one protocol.

@@ -31,7 +31,7 @@ pub struct Fig8Result {
 
 /// Runs the sweep and validation.
 pub fn fig8(scenario: &Scenario) -> Fig8Result {
-    let pairs = scenario.sample_pair_list(scenario.scale.pairs.max(100), 0xF16_8);
+    let pairs = scenario.sample_pair_list(scenario.scale.pairs.max(100), 0xF168);
     let mut paths: Vec<Vec<Option<IpAddr>>> = Vec::new();
     for &(s, d) in &pairs {
         for proto in [Protocol::V4, Protocol::V6] {

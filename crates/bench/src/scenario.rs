@@ -3,7 +3,10 @@
 use s2s_bgp::{AsRelStore, Ip2AsnMap};
 use s2s_core::timeline::{TimelineBuilder, TraceTimeline};
 use s2s_netsim::{CongestionModel, CongestionParams, Network, NetworkParams};
-use s2s_probe::{run_traceroute_campaign_with, CampaignConfig, TraceOptions, TracerouteMode};
+use s2s_probe::{
+    run_traceroute_campaign_faulty, run_traceroute_campaign_with, CampaignConfig,
+    CampaignReport, FaultProfile, RetryPolicy, TraceOptions, TracerouteMode,
+};
 use s2s_routing::{Dynamics, DynamicsParams, RouteOracle};
 use s2s_topology::{build_topology, Topology, TopologyParams};
 use s2s_types::{ClusterId, SimTime};
@@ -149,25 +152,60 @@ impl Scenario {
     ) -> Vec<TraceTimeline> {
         let cfg = CampaignConfig::long_term(self.scale.days);
         let map = &self.ip2asn;
-        let paris_from = SimTime::from_days(self.scale.days.saturating_mul(10) / 16);
+        let opts_of = self.long_term_opts_of();
         run_traceroute_campaign_with(
             &self.net,
             pairs,
             &cfg,
-            |t, proto| {
-                let mode = if proto == s2s_types::Protocol::V4 && t >= paris_from {
-                    TracerouteMode::Paris
-                } else {
-                    TracerouteMode::Classic
-                };
-                TraceOptions { mode, ..TraceOptions::default() }
-            },
+            opts_of,
             |s, d, p| TimelineBuilder::new(s, d, p, map),
             |b, rec| b.push(rec),
         )
         .into_iter()
         .map(TimelineBuilder::finish)
         .collect()
+    }
+
+    /// [`Scenario::long_term_timelines`] behind a fault-injected
+    /// measurement plane: lost slots fold as pathless samples (so every
+    /// timeline still has one sample per scheduled instant), and the
+    /// [`CampaignReport`] says what the plane cost. Under a quiet profile
+    /// the timelines are identical to the plain runner's.
+    pub fn long_term_timelines_faulty(
+        &self,
+        pairs: &[(ClusterId, ClusterId)],
+        profile: &FaultProfile,
+        retry: &RetryPolicy,
+    ) -> (Vec<TraceTimeline>, CampaignReport) {
+        let cfg = CampaignConfig::long_term(self.scale.days);
+        let map = &self.ip2asn;
+        let opts_of = self.long_term_opts_of();
+        let (builders, report) = run_traceroute_campaign_faulty(
+            &self.net,
+            pairs,
+            &cfg,
+            opts_of,
+            profile,
+            retry,
+            |s, d, p| TimelineBuilder::new(s, d, p, map),
+            |b, rec| b.push(rec),
+        );
+        (builders.into_iter().map(TimelineBuilder::finish).collect(), report)
+    }
+
+    /// The paper's tooling history (§2.1) as a per-measurement option
+    /// picker: classic traceroute for the first ten months, then Paris
+    /// traceroute for IPv4 (IPv6 stayed on the classic tool).
+    fn long_term_opts_of(&self) -> impl Fn(SimTime, s2s_types::Protocol) -> TraceOptions {
+        let paris_from = SimTime::from_days(self.scale.days.saturating_mul(10) / 16);
+        move |t, proto| {
+            let mode = if proto == s2s_types::Protocol::V4 && t >= paris_from {
+                TracerouteMode::Paris
+            } else {
+                TracerouteMode::Classic
+            };
+            TraceOptions { mode, ..TraceOptions::default() }
+        }
     }
 }
 

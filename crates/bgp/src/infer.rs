@@ -220,11 +220,10 @@ mod tests {
                                 }
                             }
                         }
-                        s2s_types::rel::AsRel::Customer => {
-                            if q != i {
+                        s2s_types::rel::AsRel::Customer
+                            if q != i => {
                                 paths.push(vec![topo.asn(i), topo.asn(p), topo.asn(q)]);
                             }
-                        }
                         _ => {}
                     }
                 }

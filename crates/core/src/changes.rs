@@ -12,7 +12,7 @@
 
 use crate::timeline::TraceTimeline;
 use s2s_stats::edit_distance;
-use s2s_types::SimDuration;
+use s2s_types::{AnalysisError, Coverage, SimDuration};
 use std::collections::HashSet;
 
 /// Per-timeline routing-change statistics.
@@ -50,6 +50,25 @@ pub fn detect_changes(tl: &TraceTimeline) -> ChangeStats {
     ChangeStats { changes, magnitudes }
 }
 
+/// Coverage-checked [`detect_changes`]: accepts a gap-bearing timeline —
+/// one measured under a faulty plane, where lost slots appear as pathless
+/// samples — annotates the result with how much of the offered schedule
+/// was usable, and refuses with a typed error (never a panic) when the
+/// usable fraction is below `min_coverage`.
+///
+/// The floor matters here because change detection compares *consecutive
+/// usable* samples: every gap widens the comparison window, so a sparse
+/// timeline undercounts short-lived changes. Refusing is the honest
+/// answer below the caller's floor.
+pub fn detect_changes_checked(
+    tl: &TraceTimeline,
+    min_coverage: f64,
+) -> Result<(ChangeStats, Coverage), AnalysisError> {
+    let coverage = tl.coverage();
+    coverage.require(min_coverage)?;
+    Ok((detect_changes(tl), coverage))
+}
+
 /// Per-path lifetime and prevalence statistics of one timeline.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PathStats {
@@ -75,6 +94,20 @@ pub fn path_stats(tl: &TraceTimeline, interval: SimDuration) -> PathStats {
         .collect();
     let popular = (0..counts.len()).max_by_key(|&i| counts[i]);
     PathStats { lifetimes, prevalence, popular }
+}
+
+/// Coverage-checked [`path_stats`]: like [`detect_changes_checked`], for
+/// lifetime/prevalence analysis. Lifetimes are computed from usable
+/// samples only, so under gaps they are lower bounds; the returned
+/// [`Coverage`] quantifies how loose.
+pub fn path_stats_checked(
+    tl: &TraceTimeline,
+    interval: SimDuration,
+    min_coverage: f64,
+) -> Result<(PathStats, Coverage), AnalysisError> {
+    let coverage = tl.coverage();
+    coverage.require(min_coverage)?;
+    Ok((path_stats(tl, interval), coverage))
 }
 
 /// Counts the distinct forward/reverse AS-path pairs between two timelines
@@ -182,6 +215,35 @@ mod tests {
         assert!(s.lifetimes.is_empty());
         assert_eq!(s.popular, None);
         assert_eq!(detect_changes(&t).changes, 0);
+    }
+
+    #[test]
+    fn checked_variants_annotate_coverage() {
+        // 3 usable of 5 offered: a degraded timeline, 60% coverage.
+        let t = tl(vec![p(&[1, 2]), p(&[1, 3])], &[Some(0), None, Some(1), None, Some(0)]);
+        let (stats, cov) = detect_changes_checked(&t, 0.5).unwrap();
+        assert_eq!(stats, detect_changes(&t), "gaps must not change the verdict");
+        assert_eq!((cov.usable, cov.offered), (3, 5));
+        let (ps, cov) = path_stats_checked(&t, SimDuration::from_hours(3), 0.5).unwrap();
+        assert_eq!(ps, path_stats(&t, SimDuration::from_hours(3)));
+        assert!((cov.fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checked_variants_refuse_below_floor_without_panicking() {
+        let t = tl(vec![p(&[1, 2])], &[Some(0), None, None, None]);
+        let err = detect_changes_checked(&t, 0.5).unwrap_err();
+        match err {
+            s2s_types::AnalysisError::InsufficientCoverage { coverage, min_fraction } => {
+                assert_eq!((coverage.usable, coverage.offered), (1, 4));
+                assert_eq!(min_fraction, 0.5);
+            }
+            other => panic!("wrong refusal: {other}"),
+        }
+        assert!(path_stats_checked(&t, SimDuration::from_hours(3), 0.9).is_err());
+        // A zero floor always accepts — even a fully lost timeline.
+        let dead = tl(vec![], &[None, None]);
+        assert!(detect_changes_checked(&dead, 0.0).is_ok());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use s2s_probe::PingTimeline;
 use s2s_stats::{diurnal_psd_ratio, Summary};
-use s2s_types::MINUTES_PER_DAY;
+use s2s_types::{AnalysisError, Coverage, MINUTES_PER_DAY};
 
 /// Detection thresholds (paper defaults).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -66,6 +66,35 @@ pub fn detect(tl: &PingTimeline, params: &DetectParams) -> Option<PairCongestion
     let consistent =
         high_variation && psd_ratio.map(|r| r >= params.psd_threshold).unwrap_or(false);
     Some(PairCongestion { spread_ms: spread, psd_ratio, high_variation, consistent })
+}
+
+/// How much of a ping timeline's offered schedule produced a valid RTT.
+pub fn ping_coverage(tl: &PingTimeline) -> Coverage {
+    Coverage::new(tl.valid_samples(), tl.rtts.len())
+}
+
+/// Coverage-checked [`detect`]: accepts a gap-bearing ping timeline (lost
+/// slots are `NaN`), annotates the verdict with its coverage, and refuses
+/// with a typed error below `min_coverage` instead of silently returning
+/// `None`.
+///
+/// The fractional floor replaces the absolute
+/// [`DetectParams::min_valid_samples`] gate (the paper's 600-of-672 is
+/// ~89%), so campaigns of any length can state the same requirement.
+pub fn detect_checked(
+    tl: &PingTimeline,
+    params: &DetectParams,
+    min_coverage: f64,
+) -> Result<(PairCongestion, Coverage), AnalysisError> {
+    let coverage = ping_coverage(tl);
+    coverage.require(min_coverage)?;
+    let relaxed = DetectParams { min_valid_samples: 0, ..*params };
+    match detect(tl, &relaxed) {
+        Some(verdict) => Ok((verdict, coverage)),
+        // The floor passed but the series is degenerate (e.g. empty, or
+        // too sparse to interpolate): refuse, don't invent a verdict.
+        None => Err(AnalysisError::NoUsableData),
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +177,38 @@ mod tests {
         }
         let r = detect(&timeline(rtts), &DetectParams::default()).unwrap();
         assert!(r.consistent);
+    }
+
+    #[test]
+    fn checked_detect_annotates_coverage_and_refuses_below_floor() {
+        // 632 of 672 valid: ~94% coverage, verdict must match `detect`.
+        let mut rtts = diurnal_series(30.0, 2.0);
+        for r in rtts.iter_mut().take(40) {
+            *r = f32::NAN;
+        }
+        let tl = timeline(rtts);
+        let (verdict, cov) = detect_checked(&tl, &DetectParams::default(), 0.89).unwrap();
+        assert!(verdict.consistent);
+        assert_eq!((cov.usable, cov.offered), (632, 672));
+        assert_eq!(Some(verdict), detect(&tl, &DetectParams::default()));
+
+        // ~20% coverage: refused with the typed error, not None, not a panic.
+        let mut sparse = diurnal_series(30.0, 2.0);
+        for (i, r) in sparse.iter_mut().enumerate() {
+            if i % 5 != 0 {
+                *r = f32::NAN;
+            }
+        }
+        let err = detect_checked(&timeline(sparse), &DetectParams::default(), 0.89).unwrap_err();
+        assert!(matches!(err, AnalysisError::InsufficientCoverage { .. }), "{err}");
+    }
+
+    #[test]
+    fn checked_detect_refuses_degenerate_series() {
+        // Empty schedule: fully covered by definition, but nothing to
+        // analyze — typed refusal, not a panic.
+        let err = detect_checked(&timeline(vec![]), &DetectParams::default(), 0.9).unwrap_err();
+        assert_eq!(err, AnalysisError::NoUsableData);
     }
 
     #[test]

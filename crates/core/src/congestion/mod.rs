@@ -10,6 +10,6 @@ pub mod detect;
 pub mod locate;
 pub mod overhead;
 
-pub use detect::{detect, DetectParams, PairCongestion};
+pub use detect::{detect, detect_checked, ping_coverage, DetectParams, PairCongestion};
 pub use locate::{locate, LocateOutcome, LocateParams, SegmentAccumulator};
 pub use overhead::overhead_ms;

@@ -45,5 +45,7 @@ pub mod timeline;
 
 pub use annotate::{Annotated, Completeness};
 pub use bestpath::{BestPathAnalysis, PathDelta};
-pub use changes::{ChangeStats, PathStats};
+pub use changes::{
+    detect_changes_checked, path_stats_checked, ChangeStats, PathStats,
+};
 pub use timeline::{TimelineBuilder, TraceTimeline};

@@ -30,7 +30,7 @@ pub fn loss_stats(tl: &PingTimeline) -> Option<LossStats> {
     if tl.rtts.len() < per_day {
         return None;
     }
-    let mut lost = vec![0usize; 24];
+    let mut lost = [0usize; 24];
     let mut total = vec![0usize; 24];
     let mut lost_all = 0usize;
     for (i, r) in tl.rtts.iter().enumerate() {

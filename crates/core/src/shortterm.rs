@@ -211,17 +211,21 @@ mod tests {
 
     #[test]
     fn ecdf_gap_zero_for_identical() {
-        let mut comp = CadenceComparison::default();
-        comp.p10_all = vec![1.0, 2.0, 3.0];
-        comp.p10_sub = vec![1.0, 2.0, 3.0];
+        let comp = CadenceComparison {
+            p10_all: vec![1.0, 2.0, 3.0],
+            p10_sub: vec![1.0, 2.0, 3.0],
+            ..Default::default()
+        };
         assert_eq!(comp.p10_ecdf_gap(), Some(0.0));
     }
 
     #[test]
     fn ecdf_gap_large_for_disjoint() {
-        let mut comp = CadenceComparison::default();
-        comp.p90_all = vec![1.0, 2.0];
-        comp.p90_sub = vec![100.0, 200.0];
+        let comp = CadenceComparison {
+            p90_all: vec![1.0, 2.0],
+            p90_sub: vec![100.0, 200.0],
+            ..Default::default()
+        };
         assert_eq!(comp.p90_ecdf_gap(), Some(1.0));
     }
 }

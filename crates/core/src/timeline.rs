@@ -14,7 +14,7 @@
 use crate::annotate::{annotate, Annotated, CompletenessCounts};
 use s2s_bgp::Ip2AsnMap;
 use s2s_probe::TracerouteRecord;
-use s2s_types::{AsPath, ClusterId, Protocol, SimTime};
+use s2s_types::{AsPath, ClusterId, Coverage, Protocol, SimTime};
 
 /// One sample of a timeline.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -54,6 +54,15 @@ impl TraceTimeline {
     /// The distinct AS paths count — Fig. 2a's X value.
     pub fn unique_paths(&self) -> usize {
         self.paths.len()
+    }
+
+    /// How much of the offered schedule produced a usable sample. A
+    /// degraded measurement plane (crashed agents, lost probes) still folds
+    /// one sample per scheduled instant — it's just pathless — so the
+    /// sample count is the offered schedule and the usable count is what
+    /// survived.
+    pub fn coverage(&self) -> Coverage {
+        Coverage::new(self.usable_samples(), self.samples.len())
     }
 
     /// Per-path sample counts (lifetime in samples).

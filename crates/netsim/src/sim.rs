@@ -132,6 +132,7 @@ impl Network {
     ///
     /// `flow` selects the ECMP path; `probe_salt` distinguishes retries of
     /// the same probe (loss is per-transmission, not per-hop).
+    #[allow(clippy::too_many_arguments)] // one knob per probe-header field
     pub fn probe(
         &self,
         src: ClusterId,
@@ -282,6 +283,7 @@ impl Network {
         (delay, cong)
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors probe()'s header fields
     fn e2e_rtt_inner(
         &self,
         fwd: &RouterPath,

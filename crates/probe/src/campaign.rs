@@ -12,11 +12,14 @@
 //! same epoch order, which keeps the routing oracle's configuration cache
 //! hot across threads.
 
+use crate::dataset::{traceroute_from_line, traceroute_to_line};
+use crate::faults::{FaultInjector, FaultProfile, ProbeFault};
 use crate::records::{PingRecord, TracerouteRecord};
 use crate::tracer::{trace, TraceOptions};
 use s2s_netsim::Network;
 use s2s_types::time::sample_times;
-use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
+use s2s_types::{ClusterId, Coverage, Protocol, SimDuration, SimTime};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// When and how often to measure.
 #[derive(Clone, Debug)]
@@ -73,7 +76,14 @@ impl CampaignConfig {
     }
 }
 
-fn default_threads() -> usize {
+/// Worker-thread default: the `S2S_THREADS` environment knob when set
+/// (clamped to ≥ 1), otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Some(n) =
+        std::env::var("S2S_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
@@ -263,6 +273,623 @@ pub fn ping_once(
     PingRecord { src, dst, proto, t, rtt_ms: net.ping(src, dst, proto, t, 0) }
 }
 
+/// Retry and timeout policy for the hardened campaign runners.
+///
+/// The backoff and deadline fields are *accounting* quantities: the
+/// simulator's clock is the campaign schedule, so a retry re-probes the
+/// same nominal instant, but the time an operator would have lost to
+/// backoffs and wedged probes is tallied in the [`CampaignReport`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per probe slot (first try + retries), ≥ 1.
+    pub max_attempts: u32,
+    /// Deadline after which a stuck probe is abandoned, ms.
+    pub probe_deadline_ms: f64,
+    /// First retry backoff, ms; doubles per subsequent retry.
+    pub backoff_base_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, probe_deadline_ms: 5_000.0, backoff_base_ms: 100.0 }
+    }
+}
+
+/// What a fault-aware campaign did, slot by slot. A *slot* is one
+/// (pair, protocol, instant) in the schedule.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CampaignReport {
+    /// Slots the schedule offered to this process run.
+    pub offered: usize,
+    /// Probe attempts launched, including retries.
+    pub attempted: usize,
+    /// Slots that delivered a clean record.
+    pub delivered: usize,
+    /// Slots that delivered a truncated record (tail hops and destination
+    /// echo lost in flight).
+    pub truncated: usize,
+    /// Retry attempts performed after a failed attempt.
+    pub retried: usize,
+    /// Slots abandoned after exhausting every attempt.
+    pub gave_up: usize,
+    /// Attempts lost to dropped results.
+    pub dropped_probes: usize,
+    /// Attempts lost to probes wedging past their deadline.
+    pub stuck_probes: usize,
+    /// Slots skipped because the source agent was crashed.
+    pub agent_down_slots: usize,
+    /// Pairs replayed from a checkpoint instead of being re-measured.
+    pub resumed_pairs: usize,
+    /// Operator time spent in retry backoffs, ms.
+    pub backoff_ms: f64,
+    /// Operator time lost waiting out stuck-probe deadlines, ms.
+    pub deadline_ms_lost: f64,
+    /// Workers that panicked (their pairs are in `poisoned_pairs`).
+    pub worker_panics: usize,
+    /// Pairs whose worker panicked; their accumulators are empty.
+    pub poisoned_pairs: Vec<(ClusterId, ClusterId)>,
+}
+
+impl CampaignReport {
+    /// Folds another report in (order-independent except for the poisoned
+    /// pair list, which concatenates).
+    pub fn merge(&mut self, other: &CampaignReport) {
+        self.offered += other.offered;
+        self.attempted += other.attempted;
+        self.delivered += other.delivered;
+        self.truncated += other.truncated;
+        self.retried += other.retried;
+        self.gave_up += other.gave_up;
+        self.dropped_probes += other.dropped_probes;
+        self.stuck_probes += other.stuck_probes;
+        self.agent_down_slots += other.agent_down_slots;
+        self.resumed_pairs += other.resumed_pairs;
+        self.backoff_ms += other.backoff_ms;
+        self.deadline_ms_lost += other.deadline_ms_lost;
+        self.worker_panics += other.worker_panics;
+        self.poisoned_pairs.extend(other.poisoned_pairs.iter().copied());
+    }
+
+    /// Coverage of the slots this run measured itself: clean deliveries
+    /// over offered slots (truncated and abandoned slots are gaps).
+    pub fn coverage(&self) -> Coverage {
+        Coverage::new(self.delivered, self.offered)
+    }
+}
+
+/// How one slot resolved under fault injection.
+enum SlotOutcome {
+    /// A record to fold (clean or truncated).
+    Record(TracerouteRecord),
+    /// Nothing came back; the caller folds a synthetic lost record so the
+    /// timeline stays dense (a gap, not a hole, in the schedule).
+    Lost,
+}
+
+/// A record standing in for a slot that produced nothing: the schedule
+/// offered the measurement, the plane lost it.
+fn lost_record(
+    src: ClusterId,
+    dst: ClusterId,
+    proto: Protocol,
+    t: SimTime,
+) -> TracerouteRecord {
+    TracerouteRecord {
+        src,
+        dst,
+        proto,
+        t,
+        hops: Vec::new(),
+        reached: false,
+        e2e_rtt_ms: None,
+        src_addr: None,
+        dst_addr: None,
+    }
+}
+
+/// Resolves one traceroute slot under the fault plane: crash check, then
+/// up to `retry.max_attempts` probes with exponential backoff accounting.
+#[allow(clippy::too_many_arguments)]
+fn traceroute_slot(
+    net: &Network,
+    injector: &FaultInjector,
+    retry: &RetryPolicy,
+    src: ClusterId,
+    dst: ClusterId,
+    proto: Protocol,
+    t: SimTime,
+    epoch: u64,
+    opts: TraceOptions,
+    report: &mut CampaignReport,
+) -> SlotOutcome {
+    report.offered += 1;
+    if injector.agent_down(src, epoch) {
+        // A crashed agent launches nothing this epoch; retrying from the
+        // same dead box is pointless.
+        report.agent_down_slots += 1;
+        return SlotOutcome::Lost;
+    }
+    let attempts = retry.max_attempts.max(1);
+    for attempt in 0..attempts {
+        report.attempted += 1;
+        match injector.probe_fault(src, dst, proto, t, attempt) {
+            ProbeFault::None => {
+                report.delivered += 1;
+                return SlotOutcome::Record(trace(net, src, dst, proto, t, opts));
+            }
+            ProbeFault::Truncated => {
+                // The probe completed but its result lost the tail in
+                // flight: deliver what survived. No retry — the agent got
+                // *a* result and moves on.
+                let mut rec = trace(net, src, dst, proto, t, opts);
+                let keep = injector.truncated_hop_count(src, dst, t, rec.hops.len());
+                rec.hops.truncate(keep);
+                rec.reached = false;
+                rec.e2e_rtt_ms = None;
+                rec.dst_addr = None;
+                report.truncated += 1;
+                return SlotOutcome::Record(rec);
+            }
+            ProbeFault::Dropped => report.dropped_probes += 1,
+            ProbeFault::Stuck => {
+                report.stuck_probes += 1;
+                report.deadline_ms_lost += retry.probe_deadline_ms;
+            }
+        }
+        if attempt + 1 < attempts {
+            report.retried += 1;
+            report.backoff_ms += retry.backoff_base_ms * f64::from(1u32 << attempt.min(20));
+        }
+    }
+    report.gave_up += 1;
+    SlotOutcome::Lost
+}
+
+/// The fault-aware, panic-isolated traceroute campaign.
+///
+/// Semantics match [`run_traceroute_campaign_with`], with the measurement
+/// plane behind a [`FaultProfile`]: crashed agents skip their epochs,
+/// dropped and stuck probes retry under `retry`, truncated results are
+/// delivered as incomplete records, and slots that produce nothing fold a
+/// synthetic lost record so every timeline stays dense (one sample per
+/// scheduled instant). Workers are panic-isolated: a panicking worker
+/// poisons only its own pairs (reported, with empty accumulators) instead
+/// of taking the campaign down.
+///
+/// Every fault decision is content-keyed on the profile seed, so the
+/// outcome is independent of thread count and execution order — and under
+/// the all-zero default profile the accumulators are identical to the
+/// plain runner's.
+#[allow(clippy::too_many_arguments)]
+pub fn run_traceroute_campaign_faulty<A, O, I, S>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    opts_of: O,
+    profile: &FaultProfile,
+    retry: &RetryPolicy,
+    init: I,
+    step: S,
+) -> (Vec<A>, CampaignReport)
+where
+    A: Send,
+    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
+    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
+    S: Fn(&mut A, TracerouteRecord) + Sync,
+{
+    let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
+    let injector = FaultInjector::new(*profile);
+    let (times, opts_of, init, step) = (&times, &opts_of, &init, &step);
+    run_partitioned_isolated(
+        pairs,
+        cfg,
+        move |chunk| {
+            let mut report = CampaignReport::default();
+            let mut accs: Vec<A> = chunk
+                .iter()
+                .flat_map(|&(s, d)| cfg.protocols.iter().map(move |&p| init(s, d, p)))
+                .collect();
+            for (ti, &t) in times.iter().enumerate() {
+                for (pi, &(src, dst)) in chunk.iter().enumerate() {
+                    for (qi, &proto) in cfg.protocols.iter().enumerate() {
+                        let outcome = traceroute_slot(
+                            net,
+                            &injector,
+                            retry,
+                            src,
+                            dst,
+                            proto,
+                            t,
+                            ti as u64,
+                            opts_of(t, proto),
+                            &mut report,
+                        );
+                        let rec = match outcome {
+                            SlotOutcome::Record(rec) => rec,
+                            SlotOutcome::Lost => lost_record(src, dst, proto, t),
+                        };
+                        step(&mut accs[pi * cfg.protocols.len() + qi], rec);
+                    }
+                }
+            }
+            (accs, report)
+        },
+        move |chunk| {
+            chunk
+                .iter()
+                .flat_map(|&(s, d)| cfg.protocols.iter().map(move |&p| init(s, d, p)))
+                .collect()
+        },
+    )
+}
+
+/// The fault-aware ping campaign: like [`run_ping_campaign`], with lost
+/// slots (crashes, drops, stuck probes) recorded as `NaN` so the dense
+/// timeline shape — one slot per scheduled instant — is preserved.
+pub fn run_ping_campaign_faulty(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    profile: &FaultProfile,
+    retry: &RetryPolicy,
+) -> (Vec<PingTimeline>, CampaignReport) {
+    let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
+    let injector = FaultInjector::new(*profile);
+    let times = &times;
+    run_partitioned_isolated(
+        pairs,
+        cfg,
+        move |chunk| {
+            let mut report = CampaignReport::default();
+            let mut out: Vec<PingTimeline> = empty_ping_timelines(chunk, cfg, times.len());
+            for (ti, &t) in times.iter().enumerate() {
+                for (pi, &(src, dst)) in chunk.iter().enumerate() {
+                    for (qi, &proto) in cfg.protocols.iter().enumerate() {
+                        report.offered += 1;
+                        let rtt = if injector.agent_down(src, ti as u64) {
+                            report.agent_down_slots += 1;
+                            None
+                        } else {
+                            ping_slot(
+                                net, &injector, retry, src, dst, proto, t, ti, &mut report,
+                            )
+                        };
+                        out[pi * cfg.protocols.len() + qi]
+                            .rtts
+                            .push(rtt.map(|r| r as f32).unwrap_or(f32::NAN));
+                    }
+                }
+            }
+            (out, report)
+        },
+        move |chunk| empty_ping_timelines(chunk, cfg, 0),
+    )
+}
+
+fn empty_ping_timelines(
+    chunk: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    capacity: usize,
+) -> Vec<PingTimeline> {
+    chunk
+        .iter()
+        .flat_map(|&(s, d)| {
+            cfg.protocols.iter().map(move |&p| PingTimeline {
+                src: s,
+                dst: d,
+                proto: p,
+                start: cfg.start,
+                interval: cfg.interval,
+                rtts: Vec::with_capacity(capacity),
+            })
+        })
+        .collect()
+}
+
+/// One ping slot under the fault plane (the agent is known to be up).
+#[allow(clippy::too_many_arguments)]
+fn ping_slot(
+    net: &Network,
+    injector: &FaultInjector,
+    retry: &RetryPolicy,
+    src: ClusterId,
+    dst: ClusterId,
+    proto: Protocol,
+    t: SimTime,
+    seq: usize,
+    report: &mut CampaignReport,
+) -> Option<f64> {
+    let attempts = retry.max_attempts.max(1);
+    for attempt in 0..attempts {
+        report.attempted += 1;
+        match injector.probe_fault(src, dst, proto, t, attempt) {
+            // Pings have no tail to truncate; a truncated reply is a
+            // delivered reply.
+            ProbeFault::None | ProbeFault::Truncated => {
+                report.delivered += 1;
+                return net.ping(src, dst, proto, t, seq as u64);
+            }
+            ProbeFault::Dropped => report.dropped_probes += 1,
+            ProbeFault::Stuck => {
+                report.stuck_probes += 1;
+                report.deadline_ms_lost += retry.probe_deadline_ms;
+            }
+        }
+        if attempt + 1 < attempts {
+            report.retried += 1;
+            report.backoff_ms += retry.backoff_base_ms * f64::from(1u32 << attempt.min(20));
+        }
+    }
+    report.gave_up += 1;
+    None
+}
+
+/// Like [`run_partitioned`], but workers return a report alongside their
+/// accumulators and are panic-isolated: a panicking worker contributes
+/// empty accumulators (built by `mk_empty`) and marks its pairs poisoned
+/// instead of aborting the campaign.
+fn run_partitioned_isolated<A, F, E>(
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    work: F,
+    mk_empty: E,
+) -> (Vec<A>, CampaignReport)
+where
+    A: Send,
+    F: Fn(&[(ClusterId, ClusterId)]) -> (Vec<A>, CampaignReport) + Sync,
+    E: Fn(&[(ClusterId, ClusterId)]) -> Vec<A> + Sync,
+{
+    let threads = cfg.threads.max(1).min(pairs.len().max(1));
+    let chunk_size = pairs.len().div_ceil(threads).max(1);
+    let chunk_results: Vec<(Vec<A>, CampaignReport)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let (work, mk_empty) = (&work, &mk_empty);
+                scope.spawn(move || match catch_unwind(AssertUnwindSafe(|| work(chunk))) {
+                    Ok(result) => result,
+                    Err(_) => {
+                        let report = CampaignReport {
+                            worker_panics: 1,
+                            poisoned_pairs: chunk.to_vec(),
+                            ..CampaignReport::default()
+                        };
+                        (mk_empty(chunk), report)
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("isolated campaign worker cannot panic"))
+            .collect()
+    });
+    let mut report = CampaignReport::default();
+    let mut accs = Vec::new();
+    for (chunk_accs, chunk_report) in chunk_results {
+        report.merge(&chunk_report);
+        accs.extend(chunk_accs);
+    }
+    (accs, report)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume
+// ---------------------------------------------------------------------------
+
+/// The resumable traceroute campaign: measures pairs in index order,
+/// appending each completed pair's records to `checkpoint` as a framed
+/// block, and on start replays whatever complete blocks the file already
+/// holds instead of re-measuring those pairs.
+///
+/// **Bit-identical dataset guarantee.** Kill this process at any instant
+/// and rerun with the same arguments: the finished checkpoint file is
+/// byte-identical to the one an uninterrupted run writes, and the returned
+/// accumulators are equal. Three properties make that true: fault
+/// decisions are content-keyed (never order- or wallclock-dependent);
+/// blocks are written in pair order and a partial trailing block is
+/// discarded on resume; and *every* record — fresh or replayed — is folded
+/// through the archive line format, so a replayed pair folds exactly the
+/// bytes a fresh pair would have archived.
+///
+/// The checkpoint format rides the dataset line format: per pair,
+/// `B|<pair_index>|<n_records>`, the records as `T|…` lines, then
+/// `E|<pair_index>`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_traceroute_campaign_resumable<A, O, I, S>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    opts_of: O,
+    profile: &FaultProfile,
+    retry: &RetryPolicy,
+    checkpoint: &std::path::Path,
+    init: I,
+    step: S,
+) -> std::io::Result<(Vec<A>, CampaignReport)>
+where
+    A: Send,
+    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
+    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
+    S: Fn(&mut A, TracerouteRecord) + Sync,
+{
+    let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
+    let records_per_pair = times.len() * cfg.protocols.len();
+    let injector = FaultInjector::new(*profile);
+    let mut report = CampaignReport::default();
+
+    // Load the complete leading blocks; truncate anything after them (a
+    // partial block from a mid-write kill).
+    let (replayable, keep_bytes) = load_checkpoint_prefix(checkpoint, records_per_pair)?;
+    let done_pairs = replayable.len().min(pairs.len());
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .read(true)
+        // Not truncated on open: the complete leading blocks are kept and
+        // set_len below discards only the partial tail.
+        .truncate(false)
+        .open(checkpoint)?;
+    file.set_len(keep_bytes)?;
+    let mut out = std::io::BufWriter::new(file);
+    use std::io::{Seek, SeekFrom, Write};
+    out.seek(SeekFrom::End(0))?;
+
+    let mut accs: Vec<A> = Vec::with_capacity(pairs.len() * cfg.protocols.len());
+
+    // Replay finished pairs through the same fold a fresh run uses.
+    for (pi, lines) in replayable.iter().take(done_pairs).enumerate() {
+        let (src, dst) = pairs[pi];
+        let mut pair_accs: Vec<A> =
+            cfg.protocols.iter().map(|&p| init(src, dst, p)).collect();
+        for (li, line) in lines.iter().enumerate() {
+            let rec = traceroute_from_line(line, li).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("checkpoint block {pi}: {e}"),
+                )
+            })?;
+            let qi = cfg
+                .protocols
+                .iter()
+                .position(|&p| p == rec.proto)
+                .unwrap_or(0);
+            step(&mut pair_accs[qi], rec);
+        }
+        accs.extend(pair_accs);
+        report.resumed_pairs += 1;
+    }
+
+    // Measure the rest in batches of `threads` pairs; blocks append in
+    // pair order after each batch so a kill loses at most one batch.
+    let threads = cfg.threads.max(1);
+    let remaining = &pairs[done_pairs..];
+    let (times_ref, opts_ref, init_ref, step_ref) = (&times, &opts_of, &init, &step);
+    for (bi, batch) in remaining.chunks(threads).enumerate() {
+        let batch_base = done_pairs + bi * threads;
+        let batch_results: Vec<(Vec<A>, Vec<String>, CampaignReport)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|&(src, dst)| {
+                        let injector = &injector;
+                        scope.spawn(move || {
+                            let mut rep = CampaignReport::default();
+                            let mut pair_accs: Vec<A> = cfg
+                                .protocols
+                                .iter()
+                                .map(|&p| init_ref(src, dst, p))
+                                .collect();
+                            let mut lines = Vec::with_capacity(records_per_pair);
+                            for (ti, &t) in times_ref.iter().enumerate() {
+                                for (qi, &proto) in cfg.protocols.iter().enumerate() {
+                                    let outcome = traceroute_slot(
+                                        net,
+                                        injector,
+                                        retry,
+                                        src,
+                                        dst,
+                                        proto,
+                                        t,
+                                        ti as u64,
+                                        opts_ref(t, proto),
+                                        &mut rep,
+                                    );
+                                    let rec = match outcome {
+                                        SlotOutcome::Record(rec) => rec,
+                                        SlotOutcome::Lost => lost_record(src, dst, proto, t),
+                                    };
+                                    let line = traceroute_to_line(&rec);
+                                    // Fold the archived form, not the live
+                                    // one: replay and fresh paths must fold
+                                    // identical bytes.
+                                    let archived = traceroute_from_line(&line, 0)
+                                        .expect("own format must round-trip");
+                                    step_ref(&mut pair_accs[qi], archived);
+                                    lines.push(line);
+                                }
+                            }
+                            (pair_accs, lines, rep)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("resumable campaign worker panicked"))
+                    .collect()
+            });
+        for (off, (pair_accs, lines, rep)) in batch_results.into_iter().enumerate() {
+            let pair_index = batch_base + off;
+            report.merge(&rep);
+            writeln!(out, "B|{}|{}", pair_index, lines.len())?;
+            for line in &lines {
+                writeln!(out, "{line}")?;
+            }
+            writeln!(out, "E|{pair_index}")?;
+            accs.extend(pair_accs);
+        }
+        out.flush()?;
+    }
+    Ok((accs, report))
+}
+
+/// Reads the complete leading blocks of a checkpoint file. Returns the
+/// record lines of each complete pair block (in pair order) and the byte
+/// length of the accepted prefix; everything after — a torn block from a
+/// mid-write kill, or trailing garbage — is for the caller to truncate.
+fn load_checkpoint_prefix(
+    path: &std::path::Path,
+    records_per_pair: usize,
+) -> std::io::Result<(Vec<Vec<String>>, u64)> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((Vec::new(), 0));
+        }
+        Err(e) => return Err(e),
+    };
+    let mut blocks: Vec<Vec<String>> = Vec::new();
+    let mut accepted: u64 = 0;
+    let mut lines = text.split_inclusive('\n');
+    'blocks: while let Some(header) = lines.next() {
+        let h = header.trim_end();
+        let mut parts = h.split('|');
+        let (Some("B"), Some(idx), Some(n), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            break;
+        };
+        // Blocks are written in pair order; anything out of sequence is a
+        // torn or foreign tail.
+        if idx.parse::<usize>() != Ok(blocks.len()) {
+            break;
+        }
+        let Ok(n) = n.parse::<usize>() else { break };
+        if n != records_per_pair {
+            break; // written under a different schedule — don't trust it
+        }
+        let mut block_bytes = header.len() as u64;
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            let Some(line) = lines.next() else { break 'blocks };
+            block_bytes += line.len() as u64;
+            records.push(line.trim_end().to_string());
+        }
+        let Some(footer) = lines.next() else { break };
+        block_bytes += footer.len() as u64;
+        if footer.trim_end() != format!("E|{}", blocks.len()) {
+            break;
+        }
+        // Only a block whose footer landed on disk intact counts.
+        if !footer.ends_with('\n') {
+            break;
+        }
+        accepted += block_bytes;
+        blocks.push(records);
+    }
+    Ok((blocks, accepted))
+}
+
 /// Partitions pairs across workers and concatenates per-chunk outputs in
 /// pair order.
 fn run_partitioned<A, F>(
@@ -279,20 +906,16 @@ where
         return work(pairs);
     }
     let chunk_size = pairs.len().div_ceil(threads);
-    let chunks: Vec<&[(ClusterId, ClusterId)]> = pairs.chunks(chunk_size).collect();
-    let mut results: Vec<Option<Vec<A>>> = (0..chunks.len()).map(|_| None).collect();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in &chunks {
-            let work = &work;
-            handles.push(scope.spawn(move |_| work(chunk)));
-        }
-        for (slot, h) in results.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("campaign worker panicked"));
-        }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let work = &work;
+                scope.spawn(move || work(chunk))
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("campaign worker panicked")).collect()
     })
-    .expect("campaign scope failed");
-    results.into_iter().flat_map(|r| r.expect("worker result")).collect()
 }
 
 #[cfg(test)]
@@ -448,5 +1071,236 @@ mod tests {
         let r = ping_once(&net, ClusterId::new(0), ClusterId::new(1), Protocol::V4, SimTime::T0);
         assert!(r.rtt_ms.is_some());
         assert_eq!(r.src, ClusterId::new(0));
+    }
+
+    // -- hardened / fault-aware runners ------------------------------------
+
+    fn small_cfg(threads: usize) -> CampaignConfig {
+        CampaignConfig {
+            start: SimTime::T0,
+            end: SimTime::from_hours(12),
+            interval: SimDuration::from_hours(3),
+            protocols: vec![Protocol::V4, Protocol::V6],
+            threads,
+        }
+    }
+
+    fn lossy_profile() -> FaultProfile {
+        FaultProfile {
+            crash_rate: 0.02,
+            drop_rate: 0.15,
+            stuck_rate: 0.05,
+            truncate_rate: 0.05,
+            ..FaultProfile::default()
+        }
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/tmp"));
+        std::fs::create_dir_all(dir).expect("create target/tmp");
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn zero_faults_match_plain_traceroute_runner() {
+        let net = network(42);
+        let pairs = full_mesh_pairs(5);
+        let cfg = small_cfg(3);
+        let quiet = FaultProfile::default();
+        assert!(quiet.is_quiet());
+        let plain = run_traceroute_campaign(
+            &net,
+            &pairs,
+            &cfg,
+            TraceOptions::default(),
+            |_, _, _| Vec::new(),
+            |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
+        );
+        let (faulty, report) = run_traceroute_campaign_faulty(
+            &net,
+            &pairs,
+            &cfg,
+            |_, _| TraceOptions::default(),
+            &quiet,
+            &RetryPolicy::default(),
+            |_, _, _| Vec::new(),
+            |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
+        );
+        assert_eq!(plain, faulty, "quiet profile must not change the dataset");
+        assert_eq!(report.delivered, report.offered);
+        assert_eq!(report.attempted, report.offered, "no retries under a quiet profile");
+        assert_eq!(report.gave_up, 0);
+        assert_eq!(report.worker_panics, 0);
+        assert!((report.coverage().fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_faults_match_plain_ping_runner() {
+        let net = network(42);
+        let pairs = full_mesh_pairs(4);
+        let cfg = CampaignConfig {
+            interval: SimDuration::from_minutes(30),
+            ..small_cfg(2)
+        };
+        let plain = run_ping_campaign(&net, &pairs, &cfg);
+        let (faulty, report) =
+            run_ping_campaign_faulty(&net, &pairs, &cfg, &FaultProfile::default(), &RetryPolicy::default());
+        assert_eq!(plain.len(), faulty.len());
+        for (a, b) in plain.iter().zip(&faulty) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.proto, b.proto);
+            let bits =
+                |v: &[f32]| v.iter().map(|r| r.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.rtts), bits(&b.rtts));
+        }
+        assert_eq!(report.delivered, report.offered);
+    }
+
+    #[test]
+    fn fault_accounting_is_internally_consistent() {
+        let net = network(42);
+        let pairs = full_mesh_pairs(6);
+        let cfg = small_cfg(3);
+        let retry = RetryPolicy::default();
+        let (accs, report) = run_traceroute_campaign_faulty(
+            &net,
+            &pairs,
+            &cfg,
+            |_, _| TraceOptions::default(),
+            &lossy_profile(),
+            &retry,
+            |_, _, _| 0usize,
+            |acc: &mut usize, _| *acc += 1,
+        );
+        // Every slot folds exactly one record (real or synthetic): dense.
+        let slots_per_acc = 4; // 12h at 3h intervals, end-exclusive -> t = 0,3,6,9
+        assert!(accs.iter().all(|&n| n == slots_per_acc), "timelines must stay dense");
+        // Every offered slot resolves exactly one way.
+        assert_eq!(
+            report.offered,
+            report.delivered + report.truncated + report.gave_up + report.agent_down_slots
+        );
+        // Every attempt resolves exactly one way.
+        assert_eq!(
+            report.attempted,
+            report.delivered + report.truncated + report.dropped_probes + report.stuck_probes
+        );
+        assert!(report.dropped_probes > 0, "15% drop rate over {} slots", report.offered);
+        assert!(report.coverage().fraction() < 1.0);
+        assert!(report.stuck_probes as f64 * retry.probe_deadline_ms <= report.deadline_ms_lost + 1e-9);
+    }
+
+    #[test]
+    fn faulty_runner_is_thread_count_invariant() {
+        let net = network(42);
+        let pairs = full_mesh_pairs(6);
+        let run = |threads| {
+            run_traceroute_campaign_faulty(
+                &net,
+                &pairs,
+                &small_cfg(threads),
+                |_, _| TraceOptions::default(),
+                &lossy_profile(),
+                &RetryPolicy::default(),
+                |_, _, _| Vec::new(),
+                |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
+            )
+        };
+        let (a1, r1) = run(1);
+        let (a4, r4) = run(4);
+        assert_eq!(a1, a4, "fault decisions are content-keyed, not order-keyed");
+        assert_eq!(r1, r4);
+    }
+
+    #[test]
+    fn worker_panic_poisons_only_its_pairs() {
+        let net = network(42);
+        let pairs = full_mesh_pairs(3); // 6 ordered pairs
+        let bad = pairs[2];
+        let cfg = CampaignConfig { protocols: vec![Protocol::V4], threads: pairs.len(), ..small_cfg(1) };
+        let (accs, report) = run_traceroute_campaign_faulty(
+            &net,
+            &pairs,
+            &cfg,
+            |_, _| TraceOptions::default(),
+            &FaultProfile::default(),
+            &RetryPolicy::default(),
+            |_, _, _| 0usize,
+            |acc: &mut usize, rec| {
+                assert!(
+                    ((rec.src, rec.dst) != bad),
+                    "injected worker failure for pair {:?}",
+                    bad
+                );
+                *acc += 1;
+            },
+        );
+        assert_eq!(report.worker_panics, 1);
+        assert_eq!(report.poisoned_pairs, vec![bad]);
+        for (i, &n) in accs.iter().enumerate() {
+            if pairs[i] == bad {
+                assert_eq!(n, 0, "poisoned pair contributes an empty accumulator");
+            } else {
+                assert_eq!(n, 4, "healthy pairs are untouched by the panic");
+            }
+        }
+    }
+
+    #[test]
+    fn killed_and_resumed_checkpoint_is_bit_identical() {
+        let net = network(42);
+        let pairs = full_mesh_pairs(5); // 20 ordered pairs
+        let cfg = small_cfg(3);
+        let profile = lossy_profile();
+        let retry = RetryPolicy::default();
+        let run = |path: &std::path::Path| {
+            run_traceroute_campaign_resumable(
+                &net,
+                &pairs,
+                &cfg,
+                |_, _| TraceOptions::default(),
+                &profile,
+                &retry,
+                path,
+                |_, _, _| Vec::new(),
+                |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
+            )
+            .expect("resumable campaign")
+        };
+
+        let full_path = tmp_path("ckpt_uninterrupted.txt");
+        let (full_accs, full_report) = run(&full_path);
+        let full_bytes = std::fs::read(&full_path).unwrap();
+        assert_eq!(full_report.resumed_pairs, 0);
+
+        // Kill the campaign at several points, including mid-line, and
+        // resume: the finished file must match the uninterrupted one.
+        for cut in [0usize, 1, full_bytes.len() / 3, full_bytes.len() / 2, full_bytes.len() - 7] {
+            let path = tmp_path(&format!("ckpt_killed_at_{cut}.txt"));
+            std::fs::write(&path, &full_bytes[..cut]).unwrap();
+            let (accs, report) = run(&path);
+            let resumed_bytes = std::fs::read(&path).unwrap();
+            assert_eq!(
+                resumed_bytes, full_bytes,
+                "kill at byte {cut}: resumed checkpoint must be bit-identical"
+            );
+            assert_eq!(accs, full_accs, "kill at byte {cut}: accumulators must match");
+            assert_eq!(
+                report.resumed_pairs + (report.offered / (4 * cfg.protocols.len())),
+                pairs.len(),
+                "kill at byte {cut}: every pair is either replayed or re-measured"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+
+        // Resuming a finished checkpoint re-measures nothing.
+        let (accs, report) = run(&full_path);
+        assert_eq!(accs, full_accs);
+        assert_eq!(report.resumed_pairs, pairs.len());
+        assert_eq!(report.offered, 0);
+        assert_eq!(std::fs::read(&full_path).unwrap(), full_bytes);
+        let _ = std::fs::remove_file(&full_path);
     }
 }

@@ -95,12 +95,12 @@ pub fn traceroute_from_line(line: &str, lineno: usize) -> Result<TracerouteRecor
     }
     let src = ClusterId::new(fields[1].parse().map_err(|_| err("bad src".into()))?);
     let dst = ClusterId::new(fields[2].parse().map_err(|_| err("bad dst".into()))?);
-    let proto = parse_proto(fields[3]).map_err(|m| err(m))?;
+    let proto = parse_proto(fields[3]).map_err(&err)?;
     let t = SimTime::from_minutes(fields[4].parse().map_err(|_| err("bad time".into()))?);
     let reached = fields[5] == "1";
-    let e2e_rtt_ms = parse_opt::<f64>(fields[6]).map_err(|m| err(m))?;
-    let src_addr = parse_opt::<IpAddr>(fields[7]).map_err(|m| err(m))?;
-    let dst_addr = parse_opt::<IpAddr>(fields[8]).map_err(|m| err(m))?;
+    let e2e_rtt_ms = parse_opt::<f64>(fields[6]).map_err(&err)?;
+    let src_addr = parse_opt::<IpAddr>(fields[7]).map_err(&err)?;
+    let dst_addr = parse_opt::<IpAddr>(fields[8]).map_err(&err)?;
     let mut hops = Vec::new();
     if !fields[9].is_empty() {
         for part in fields[9].split(';') {
@@ -108,8 +108,8 @@ pub fn traceroute_from_line(line: &str, lineno: usize) -> Result<TracerouteRecor
                 .split_once(',')
                 .ok_or_else(|| err(format!("bad hop '{part}'")))?;
             hops.push(HopObs {
-                addr: parse_opt::<IpAddr>(a).map_err(|m| err(m))?,
-                rtt_ms: parse_opt::<f64>(r).map_err(|m| err(m))?,
+                addr: parse_opt::<IpAddr>(a).map_err(&err)?,
+                rtt_ms: parse_opt::<f64>(r).map_err(&err)?,
             });
         }
     }
@@ -165,7 +165,7 @@ pub fn ping_timeline_from_line(line: &str, lineno: usize) -> Result<PingTimeline
     Ok(PingTimeline {
         src: ClusterId::new(fields[1].parse().map_err(|_| err("bad src".into()))?),
         dst: ClusterId::new(fields[2].parse().map_err(|_| err("bad dst".into()))?),
-        proto: parse_proto(fields[3]).map_err(|m| err(m))?,
+        proto: parse_proto(fields[3]).map_err(&err)?,
         start: SimTime::from_minutes(
             fields[4].parse().map_err(|_| err("bad start".into()))?,
         ),
@@ -204,6 +204,139 @@ pub fn read_traceroutes<R: std::io::BufRead>(
     Ok(out)
 }
 
+/// What a lossy import did: how much survived, how much was skipped, and
+/// the first few reasons why.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Records parsed successfully.
+    pub imported: usize,
+    /// Lines skipped as unparseable (corrupt, truncated, foreign).
+    pub skipped: usize,
+    /// The first [`ImportReport::MAX_SAMPLED_ERRORS`] parse errors, for
+    /// diagnosis; further errors only bump `skipped`.
+    pub first_errors: Vec<ParseError>,
+}
+
+impl ImportReport {
+    /// How many parse errors a report keeps verbatim.
+    pub const MAX_SAMPLED_ERRORS: usize = 8;
+
+    fn skip(&mut self, e: ParseError) {
+        self.skipped += 1;
+        if self.first_errors.len() < Self::MAX_SAMPLED_ERRORS {
+            self.first_errors.push(e);
+        }
+    }
+
+    /// Coverage of the archive: imported lines over candidate lines.
+    pub fn coverage(&self) -> s2s_types::Coverage {
+        s2s_types::Coverage::new(self.imported, self.imported + self.skipped)
+    }
+}
+
+/// Reads traceroute records from a possibly damaged archive. Unparseable
+/// lines — bit rot, torn writes, foreign text — degrade to counted skips
+/// instead of aborting the import; blank lines and `#` comments are
+/// ignored as in [`read_traceroutes`] and count as neither imported nor
+/// skipped.
+pub fn read_traceroutes_lossy<R: std::io::BufRead>(
+    r: R,
+) -> std::io::Result<(Vec<TracerouteRecord>, ImportReport)> {
+    let mut out = Vec::new();
+    let mut report = ImportReport::default();
+    for (i, line) in r.lines().enumerate() {
+        let Some(line) = lossy_line(line, i, &mut report)? else { continue };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match traceroute_from_line(line, i) {
+            Ok(rec) => {
+                report.imported += 1;
+                out.push(rec);
+            }
+            Err(e) => report.skip(e),
+        }
+    }
+    Ok((out, report))
+}
+
+/// Resolves one line read for a lossy import: invalid UTF-8 is bit rot in
+/// the archive and degrades to a counted skip, while any other I/O error
+/// means the *stream* is unreadable — losing the rest of the archive is
+/// not a per-line skip — and propagates.
+fn lossy_line(
+    line: std::io::Result<String>,
+    lineno: usize,
+    report: &mut ImportReport,
+) -> std::io::Result<Option<String>> {
+    match line {
+        Ok(l) => Ok(Some(l)),
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            report.skip(ParseError { line: lineno, message: "invalid UTF-8".into() });
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Writes ping timelines to a writer, one line each.
+pub fn write_ping_timelines<W: std::io::Write>(
+    w: &mut W,
+    timelines: &[PingTimeline],
+) -> std::io::Result<()> {
+    for tl in timelines {
+        writeln!(w, "{}", ping_timeline_to_line(tl))?;
+    }
+    Ok(())
+}
+
+/// The ping counterpart of [`read_traceroutes_lossy`].
+pub fn read_ping_timelines_lossy<R: std::io::BufRead>(
+    r: R,
+) -> std::io::Result<(Vec<PingTimeline>, ImportReport)> {
+    let mut out = Vec::new();
+    let mut report = ImportReport::default();
+    for (i, line) in r.lines().enumerate() {
+        let Some(line) = lossy_line(line, i, &mut report)? else { continue };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match ping_timeline_from_line(line, i) {
+            Ok(tl) => {
+                report.imported += 1;
+                out.push(tl);
+            }
+            Err(e) => report.skip(e),
+        }
+    }
+    Ok((out, report))
+}
+
+/// Like [`write_traceroutes`], but each line passes through the fault
+/// injector's archive-corruption stage on the way out. Returns how many
+/// lines were corrupted. Under a zero `corrupt_rate` the output is
+/// byte-identical to [`write_traceroutes`].
+pub fn write_traceroutes_faulty<W: std::io::Write>(
+    w: &mut W,
+    records: &[TracerouteRecord],
+    injector: &crate::faults::FaultInjector,
+) -> std::io::Result<usize> {
+    let mut corrupted = 0;
+    for r in records {
+        let line = traceroute_to_line(r);
+        match injector.corrupt_line(&line) {
+            Some(mangled) => {
+                corrupted += 1;
+                writeln!(w, "{mangled}")?;
+            }
+            None => writeln!(w, "{line}")?,
+        }
+    }
+    Ok(corrupted)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +368,39 @@ mod tests {
             r.e2e_rtt_ms = Some(rtt);
             let back = traceroute_from_line(&traceroute_to_line(&r), 0).unwrap();
             prop_assert!((back.e2e_rtt_ms.unwrap() - rtt).abs() < 0.0005 + rtt * 1e-12);
+        }
+
+        /// Export an archive, flip arbitrary bytes in it, import it back:
+        /// the lossy reader must never panic, and every candidate line must
+        /// be accounted for as either imported or skipped.
+        #[test]
+        fn prop_flipped_bytes_degrade_to_counted_skips(
+            flips in proptest::collection::vec((0usize..4096, 0u8..255), 0..24),
+        ) {
+            let records = vec![sample_record(); 6];
+            let mut buf = Vec::new();
+            write_traceroutes(&mut buf, &records).unwrap();
+            for &(pos, byte) in &flips {
+                let pos = pos % buf.len();
+                buf[pos] = byte;
+            }
+            let (out, report) = read_traceroutes_lossy(std::io::Cursor::new(&buf))
+                .expect("in-memory reads cannot fail");
+            prop_assert_eq!(out.len(), report.imported);
+            // Flips can merge lines (eat a '\n'), split them (mint one),
+            // or comment a line out ('#'), so the candidate count is
+            // whatever the mutated bytes say — but every candidate must
+            // resolve exactly one way.
+            let candidates = buf
+                .split(|&b| b == b'\n')
+                .filter(|l| {
+                    let t = String::from_utf8_lossy(l);
+                    let t = t.trim();
+                    !t.is_empty() && !t.starts_with('#')
+                })
+                .count();
+            prop_assert_eq!(report.imported + report.skipped, candidates);
+            prop_assert!(report.first_errors.len() <= ImportReport::MAX_SAMPLED_ERRORS);
         }
     }
 
@@ -309,6 +475,100 @@ mod tests {
         assert_eq!(back.rtts[0], 10.5);
         assert!(back.rtts[1].is_nan());
         assert_eq!(back.rtts[2], 12.25);
+    }
+
+    #[test]
+    fn lossy_import_counts_skips_exactly() {
+        let good = traceroute_to_line(&sample_record());
+        let text = format!(
+            "# header\n{good}\ngarbage line\n\n{good}\nT|x|y|4|0|1|*|*|*|\n{good}\n"
+        );
+        let (out, report) =
+            read_traceroutes_lossy(std::io::Cursor::new(text.into_bytes())).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(report.imported, 3);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.first_errors.len(), 2);
+        assert_eq!(report.first_errors[0].line, 2, "0-based line of 'garbage line'");
+        assert_eq!(report.coverage().to_string(), "3/5 (60.0%)");
+    }
+
+    #[test]
+    fn lossy_import_skips_invalid_utf8_lines() {
+        let good = traceroute_to_line(&sample_record());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(good.as_bytes());
+        buf.extend_from_slice(b"\nT|3|9|4|\xFF\xFE|1|*|*|*|\n");
+        buf.extend_from_slice(good.as_bytes());
+        buf.push(b'\n');
+        let (out, report) = read_traceroutes_lossy(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(report.skipped, 1);
+        assert!(report.first_errors[0].message.contains("UTF-8"));
+    }
+
+    #[test]
+    fn ping_lossy_import_mirrors_traceroute_behavior() {
+        let tl = PingTimeline {
+            src: ClusterId::new(1),
+            dst: ClusterId::new(2),
+            proto: Protocol::V4,
+            start: SimTime::T0,
+            interval: SimDuration::from_minutes(15),
+            rtts: vec![10.0, f32::NAN],
+        };
+        let mut buf = Vec::new();
+        write_ping_timelines(&mut buf, &[tl]).unwrap();
+        buf.extend_from_slice(b"P|not|a|timeline\n");
+        let (out, report) = read_ping_timelines_lossy(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(report.imported, 1);
+        assert_eq!(report.skipped, 1);
+    }
+
+    #[test]
+    fn faulty_export_is_identity_when_quiet() {
+        use crate::faults::{FaultInjector, FaultProfile};
+        let records = vec![sample_record(); 4];
+        let mut plain = Vec::new();
+        write_traceroutes(&mut plain, &records).unwrap();
+        let mut faulty = Vec::new();
+        let n = write_traceroutes_faulty(
+            &mut faulty,
+            &records,
+            &FaultInjector::new(FaultProfile::default()),
+        )
+        .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(plain, faulty, "zero corrupt_rate must be byte-identical");
+    }
+
+    #[test]
+    fn corrupted_archive_degrades_to_counted_skips() {
+        use crate::faults::{FaultInjector, FaultProfile};
+        let records: Vec<_> = (0..40)
+            .map(|i| {
+                let mut r = sample_record();
+                r.t = SimTime::from_minutes(i);
+                r
+            })
+            .collect();
+        let injector = FaultInjector::new(FaultProfile {
+            corrupt_rate: 0.5,
+            ..FaultProfile::default()
+        });
+        let mut buf = Vec::new();
+        let corrupted = write_traceroutes_faulty(&mut buf, &records, &injector).unwrap();
+        assert!(corrupted > 5, "half the archive should be mangled, got {corrupted}");
+        let (out, report) = read_traceroutes_lossy(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(report.imported + report.skipped, records.len());
+        assert_eq!(out.len(), report.imported);
+        // A mangled line can still parse (a flipped digit is a different
+        // valid record), so skipped ≤ corrupted — but corruption is the
+        // only damage source here.
+        assert!(report.skipped <= corrupted);
+        assert!(report.skipped > 0, "some corruptions must break parsing");
+        assert!(report.coverage().fraction() < 1.0);
     }
 
     #[test]

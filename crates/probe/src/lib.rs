@@ -12,20 +12,29 @@
 //! * [`records`] — the measurement record types the analysis pipeline in
 //!   `s2s-core` consumes (serde-serializable, data-source agnostic),
 //! * [`campaign`] — the scheduler: full-mesh or pair-list sweeps at a fixed
-//!   cadence, parallelized with crossbeam, aggregating per-pair results via
-//!   a caller-supplied fold so multi-month campaigns stream instead of
-//!   materializing billions of records,
+//!   cadence, parallelized with scoped threads (panic-isolated per worker),
+//!   aggregating per-pair results via a caller-supplied fold so multi-month
+//!   campaigns stream instead of materializing billions of records; the
+//!   fault-aware runners add per-probe timeouts, bounded retry, failure
+//!   accounting ([`CampaignReport`]), and checkpoint/resume,
+//! * [`faults`] — seeded, content-keyed fault injection (agent crashes,
+//!   dropped/stuck/truncated probes, archive corruption) with an all-zero
+//!   default profile,
 //! * [`dataset`] — line-oriented export/import of records for archiving and
-//!   external plotting.
+//!   external plotting, with strict and lossy (skip-counting) import paths.
 
 pub mod campaign;
 pub mod dataset;
+pub mod faults;
 pub mod records;
 pub mod tracer;
 
 pub use campaign::{
     colocated_pairs, full_mesh_pairs, ping_once, run_ping_campaign,
-    run_traceroute_campaign, run_traceroute_campaign_with, CampaignConfig, PingTimeline,
+    run_ping_campaign_faulty, run_traceroute_campaign, run_traceroute_campaign_faulty,
+    run_traceroute_campaign_resumable, run_traceroute_campaign_with, CampaignConfig,
+    CampaignReport, PingTimeline, RetryPolicy,
 };
+pub use faults::{FaultInjector, FaultProfile, ProbeFault};
 pub use records::{HopObs, PingRecord, TracerouteRecord};
 pub use tracer::{trace, TraceOptions, TracerouteMode};

@@ -103,7 +103,7 @@ fn hash_edges(edges: &BTreeSet<(u32, u32)>) -> u64 {
 /// input bit down to the low bits, so `hash % n_links` is sensitive to the
 /// whole flow identifier (classic traceroute varies only a few mid bits).
 fn flow_hash(flow: u64, a: usize, b: usize) -> u64 {
-    let mut x = flow ^ 0x51_7cc1_b727_220a_95 ^ ((a as u64) << 32) ^ (b as u64);
+    let mut x = flow ^ 0x517c_c1b7_2722_0a95 ^ ((a as u64) << 32) ^ (b as u64);
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
@@ -569,19 +569,17 @@ mod tests {
             SimTime::from_days(3),
         ));
         let o = RouteOracle::new(Arc::clone(&topo), dynamics);
-        match o.as_path_idx(
+        // None (disconnection) is acceptable for stub-only edges.
+        if let Some(p) = o.as_path_idx(
             topo.clusters[0].host_as,
             topo.clusters[4].host_as,
             Protocol::V4,
             t_check,
         ) {
-            Some(p) => {
-                assert!(
-                    !(p.len() >= 2 && p[0] == x && p[1] == y),
-                    "path still uses the dead edge: {p:?}"
-                );
-            }
-            None => {} // disconnection is acceptable for stub-only edges
+            assert!(
+                !(p.len() >= 2 && p[0] == x && p[1] == y),
+                "path still uses the dead edge: {p:?}"
+            );
         }
         // After the episode ends, the base path returns.
         let after = o

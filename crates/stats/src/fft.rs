@@ -202,7 +202,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn fft_rejects_non_power_of_two() {
-        fft_in_place(&mut vec![Complex::real(0.0); 6]);
+        fft_in_place(&mut [Complex::real(0.0); 6]);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 pub mod ids;
 pub mod net;
 pub mod path;
+pub mod quality;
 pub mod rel;
 pub mod rtt;
 pub mod time;
@@ -18,6 +19,7 @@ pub mod time;
 pub use ids::{Asn, ClusterId, IfaceId, IxpId, LinkId, PopId, RouterId, ServerId};
 pub use net::{IpNet, Ipv4Net, Ipv6Net, Protocol};
 pub use path::AsPath;
+pub use quality::{AnalysisError, Coverage};
 pub use rel::AsRel;
 pub use rtt::RttMs;
 pub use time::{SimDuration, SimTime, EPOCH_MINUTES, MINUTES_PER_DAY};

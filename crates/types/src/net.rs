@@ -68,6 +68,7 @@ impl Ipv4Net {
     }
 
     /// The prefix length.
+    #[allow(clippy::len_without_is_empty)] // a prefix length, not a container
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -147,6 +148,7 @@ impl Ipv6Net {
     }
 
     /// The prefix length.
+    #[allow(clippy::len_without_is_empty)] // a prefix length, not a container
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -214,6 +216,7 @@ impl IpNet {
     }
 
     /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a prefix length, not a container
     pub fn len(&self) -> u8 {
         match self {
             IpNet::V4(n) => n.len(),

@@ -1,0 +1,117 @@
+//! Data-quality vocabulary for degraded measurement planes.
+//!
+//! A real measurement platform loses data: agents crash, probes time out,
+//! archives truncate. Analyses must not pretend a gap-bearing timeline is a
+//! complete one — they annotate results with how much of the offered
+//! schedule actually produced usable data ([`Coverage`]) and refuse, with a
+//! typed error rather than a panic, when coverage falls below the caller's
+//! floor ([`AnalysisError`]).
+
+use std::fmt;
+
+/// How much of an offered measurement schedule produced usable data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Coverage {
+    /// Usable samples (probe completed and survived filtering).
+    pub usable: usize,
+    /// Samples the schedule offered (usable + gaps).
+    pub offered: usize,
+}
+
+impl Coverage {
+    /// Builds a coverage annotation.
+    pub fn new(usable: usize, offered: usize) -> Coverage {
+        debug_assert!(usable <= offered, "usable {usable} exceeds offered {offered}");
+        Coverage { usable, offered }
+    }
+
+    /// The usable fraction in [0, 1]. An empty schedule counts as fully
+    /// covered: there was nothing to miss.
+    pub fn fraction(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.usable as f64 / self.offered as f64
+        }
+    }
+
+    /// Whether the usable fraction reaches `min_fraction`.
+    pub fn meets(&self, min_fraction: f64) -> bool {
+        self.fraction() >= min_fraction
+    }
+
+    /// Refuses with [`AnalysisError::InsufficientCoverage`] when below
+    /// `min_fraction`.
+    pub fn require(&self, min_fraction: f64) -> Result<(), AnalysisError> {
+        if self.meets(min_fraction) {
+            Ok(())
+        } else {
+            Err(AnalysisError::InsufficientCoverage { coverage: *self, min_fraction })
+        }
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.1}%)", self.usable, self.offered, 100.0 * self.fraction())
+    }
+}
+
+/// Why an analysis declined to produce a result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AnalysisError {
+    /// The timeline's usable fraction is below the caller's floor.
+    InsufficientCoverage {
+        /// What the timeline actually covered.
+        coverage: Coverage,
+        /// The floor the caller demanded.
+        min_fraction: f64,
+    },
+    /// The timeline met the coverage floor but holds no usable data at all
+    /// (e.g. an empty schedule, which counts as fully covered).
+    NoUsableData,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::InsufficientCoverage { coverage, min_fraction } => write!(
+                f,
+                "insufficient coverage: {coverage} below the {:.1}% floor",
+                100.0 * min_fraction
+            ),
+            AnalysisError::NoUsableData => write!(f, "no usable data in timeline"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_and_floor() {
+        let c = Coverage::new(90, 100);
+        assert!((c.fraction() - 0.9).abs() < 1e-12);
+        assert!(c.meets(0.9));
+        assert!(!c.meets(0.95));
+        assert!(c.require(0.5).is_ok());
+        let err = c.require(0.95).unwrap_err();
+        assert!(matches!(err, AnalysisError::InsufficientCoverage { .. }));
+        assert!(err.to_string().contains("95.0%"));
+    }
+
+    #[test]
+    fn empty_schedule_is_fully_covered() {
+        let c = Coverage::new(0, 0);
+        assert_eq!(c.fraction(), 1.0);
+        assert!(c.require(1.0).is_ok());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Coverage::new(3, 4).to_string(), "3/4 (75.0%)");
+    }
+}

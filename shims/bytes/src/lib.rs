@@ -1,0 +1,254 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! `Bytes` here is a plain `Vec<u8>` plus a cursor — no refcounted shared
+//! buffers, no vtables. The packet codec in `s2s-netsim` only needs
+//! big-endian get/put, `slice`, `freeze`, and slice indexing, all of which
+//! behave identically to the real crate for that usage.
+
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+
+/// Immutable byte buffer with a read cursor.
+#[derive(Clone, Default, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wraps a static slice (copied — this shim has no zero-copy path).
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes { data: s.to_vec(), pos: 0 }
+    }
+
+    /// Remaining (unread) bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-buffer of the remaining bytes.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(&x) => x + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&x) => x + 1,
+            Bound::Excluded(&x) => x,
+            Bound::Unbounded => self.len(),
+        };
+        Bytes { data: self.as_slice()[lo..hi].to_vec(), pos: 0 }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes { data: s.to_vec(), pos: 0 }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(n: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(n) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        BytesMut { data: s.to_vec() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+/// Read-side accessors (big-endian), consuming from the front.
+pub trait Buf {
+    /// Unread byte count.
+    fn remaining(&self) -> usize;
+
+    /// Pops one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Pops a big-endian u16.
+    fn get_u16(&mut self) -> u16;
+
+    /// Pops a big-endian u32.
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+    fn get_u16(&mut self) -> u16 {
+        let s = self.take(2);
+        u16::from_be_bytes([s[0], s[1]])
+    }
+    fn get_u32(&mut self) -> u32 {
+        let s = self.take(4);
+        u32::from_be_bytes([s[0], s[1], s[2], s[3]])
+    }
+}
+
+/// Write-side accessors (big-endian), appending at the back.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16);
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_cursor() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u8(0xAB);
+        m.put_u16(0x1234);
+        m.put_u32(0xDEADBEEF);
+        m.put_slice(b"xy");
+        let mut b = m.freeze();
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.get_u8(), 0xAB);
+        assert_eq!(b.get_u16(), 0x1234);
+        assert_eq!(b.get_u32(), 0xDEADBEEF);
+        assert_eq!(&b[..], b"xy");
+        assert_eq!(b.remaining(), 2);
+    }
+
+    #[test]
+    fn slice_and_eq_ignore_consumed_prefix() {
+        let mut a = Bytes::from(vec![1, 2, 3, 4]);
+        a.get_u8();
+        assert_eq!(a, Bytes::from(vec![2, 3, 4]));
+        assert_eq!(a.slice(..2), Bytes::from(vec![2, 3]));
+    }
+
+    #[test]
+    fn bytesmut_is_indexable() {
+        let mut m = BytesMut::from(&b"abcd"[..]);
+        m[1] ^= 0xFF;
+        m[2..4].copy_from_slice(b"ZZ");
+        assert_eq!(&m[..], &[b'a', b'b' ^ 0xFF, b'Z', b'Z']);
+    }
+}

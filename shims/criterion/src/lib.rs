@@ -1,0 +1,143 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the `criterion_group!`/`criterion_main!`/`bench_function`
+//! surface the workspace's benches use, backed by a plain wall-clock loop:
+//! a short warm-up, then `sample_size` timed samples, printing the median
+//! per-iteration time. No statistics machinery, no HTML reports — enough to
+//! keep `cargo bench` informative and the bench sources compiling
+//! unchanged against the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (criterion's is a re-export too).
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (ignored by this shim's timing loop).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// The bench harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each bench takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named bench.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One warm-up pass, then the timed samples.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mut per_iter: Vec<Duration> = b.samples;
+        per_iter.sort_unstable();
+        let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or_default();
+        println!("bench {id:<48} median {median:>12.3?} ({} samples)", per_iter.len());
+        self
+    }
+}
+
+/// Times the closure the bench hands it.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t = Instant::now();
+        black_box(f());
+        self.samples.push(t.elapsed());
+    }
+
+    /// Times `routine` on a fresh `setup()` input, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t = Instant::now();
+        black_box(routine(input));
+        self.samples.push(t.elapsed());
+    }
+}
+
+/// Declares a bench group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..100).sum::<u64>()
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_input() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,84 @@
+//! Collection strategies: `vec` with a size range.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size interval for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.lo + rng.below(self.size.hi - self.size.lo + 1);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_from_usize() {
+        let mut rng = TestRng::for_case("collection::tests", 0);
+        let v = vec(0u32..10, 5).generate(&mut rng);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn half_open_range_excludes_end() {
+        for case in 0..100 {
+            let mut rng = TestRng::for_case("collection::tests", case);
+            let v = vec(0u8..=1, 0..4).generate(&mut rng);
+            assert!(v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_reaches_both_ends() {
+        let mut seen = std::collections::HashSet::new();
+        for case in 0..200 {
+            let mut rng = TestRng::for_case("collection::tests::ends", case);
+            seen.insert(vec(0u8..=1, 1..=3).generate(&mut rng).len());
+        }
+        assert!(seen.contains(&1) && seen.contains(&3), "lengths seen: {seen:?}");
+    }
+}

@@ -1,0 +1,436 @@
+//! Offline shim for `proptest`.
+//!
+//! A deterministic property-test runner covering the strategy surface this
+//! workspace uses: numeric ranges, `collection::vec`, tuples, `any::<T>()`,
+//! and a small regex-subset string strategy. No shrinking — on failure the
+//! panic message names the property and the failing case index, and the
+//! case sequence is a pure function of the test's module path, so failures
+//! reproduce exactly across runs and machines.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Compatibility module mirroring `proptest::test_runner`.
+pub mod test_runner {
+    pub use crate::ProptestConfig;
+}
+
+/// Why a generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed.
+    Fail(String),
+    /// A `prop_assume!` filtered the case out.
+    Reject,
+}
+
+/// The deterministic generator handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for one (property, case) pair.
+    pub fn for_case(property: &str, case: u32) -> TestRng {
+        // FNV-1a over the property name, mixed with the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in property.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9E3779B97F4A7C15)) }
+    }
+
+    /// Next 64 raw bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in [0, n) (n > 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Types with a default "any value" strategy (used by `any::<T>()` and by
+/// `name: Type` arguments in `proptest!`).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Full-width bits, with the edges over-represented the way
+                // fuzzing wants: 1-in-16 cases pick an extreme value.
+                match rng.below(16) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    _ => {
+                        let hi = (rng.next_u64() as u128) << 64;
+                        (hi | rng.next_u64() as u128) as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII, the occasional control/unicode escapee.
+        match rng.below(12) {
+            0 => char::from_u32(rng.below(0xD7FF) as u32).unwrap_or('\u{FFFD}'),
+            1 => '\n',
+            _ => (0x20 + rng.below(0x5F) as u8) as char,
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Everything a `use proptest::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = (rng.next_u64() as u128) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = (rng.next_u64() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // Hit the inclusive endpoints now and then; they are the
+                // interesting values of a closed interval.
+                match rng.below(64) {
+                    0 => *self.start(),
+                    1 => *self.end(),
+                    _ => *self.start() + (rng.unit_f64() as $t) * (*self.end() - *self.start()),
+                }
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests. Supports the argument forms the workspace uses:
+/// `pat in strategy` and `name: Type` (= `any::<Type>()`), plus an optional
+/// leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    $crate::__proptest_case!(@bind __rng, ($($args)*) -> $body []);
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "property {} failed on case {}: {}",
+                            stringify!($name), __case, __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    (@bind $rng:ident, () -> $body:block [$($lets:tt)*]) => {{
+        $($lets)*
+        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+            $body
+            ::std::result::Result::Ok(())
+        })()
+    }};
+    (@bind $rng:ident, ($pat:pat in $strat:expr, $($rest:tt)*) -> $body:block [$($lets:tt)*]) => {
+        $crate::__proptest_case!(@bind $rng, ($($rest)*) -> $body
+            [$($lets)* let $pat = $crate::Strategy::generate(&($strat), &mut $rng);])
+    };
+    (@bind $rng:ident, ($pat:pat in $strat:expr) -> $body:block [$($lets:tt)*]) => {
+        $crate::__proptest_case!(@bind $rng, () -> $body
+            [$($lets)* let $pat = $crate::Strategy::generate(&($strat), &mut $rng);])
+    };
+    (@bind $rng:ident, ($id:ident : $ty:ty, $($rest:tt)*) -> $body:block [$($lets:tt)*]) => {
+        $crate::__proptest_case!(@bind $rng, ($($rest)*) -> $body
+            [$($lets)* let $id = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);])
+    };
+    (@bind $rng:ident, ($id:ident : $ty:ty) -> $body:block [$($lets:tt)*]) => {
+        $crate::__proptest_case!(@bind $rng, () -> $body
+            [$($lets)* let $id = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);])
+    };
+}
+
+/// `assert!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{}\n  both: {:?}",
+            format!($($fmt)+), l
+        );
+    }};
+}
+
+/// Filters out cases that do not meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_property_and_case() {
+        let mut a = crate::TestRng::for_case("x::y", 3);
+        let mut b = crate::TestRng::for_case("x::y", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("x::y", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..17, b in 0.0f64..1.0, c in 0u8..=4) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert!(c <= 4);
+        }
+
+        #[test]
+        fn type_ascription_generates(x: u16, flag: bool) {
+            // Mere generation is the point; the bindings must exist.
+            let _ = (x, flag);
+            prop_assert!(u32::from(x) <= u32::from(u16::MAX));
+        }
+
+        #[test]
+        fn vectors_respect_size_ranges(
+            v in crate::collection::vec(0u32..5, 0..40),
+            exact in crate::collection::vec(any::<u8>(), 9),
+            mut w in crate::collection::vec(0i32..3, 1..=4),
+        ) {
+            prop_assert!(v.len() < 40);
+            prop_assert_eq!(exact.len(), 9);
+            prop_assert!((1..=4).contains(&w.len()));
+            w.push(0);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuples_generate_pairwise(p in (0.0f64..100.0, 0.0f64..100.0)) {
+            prop_assert!(p.0 < 100.0 && p.1 < 100.0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// Doc comments and explicit configs parse.
+        #[test]
+        fn config_is_honored(_x in 0u32..10) {
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn string_strategies_match_their_regex() {
+        for case in 0..200 {
+            let mut rng = crate::TestRng::for_case("strings", case);
+            let s = Strategy::generate(&"[a-z0-9*.]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '*'
+                || c == '.'));
+            let any = Strategy::generate(&".*", &mut rng);
+            let _ = any.len(); // anything goes; it just must generate
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failures_panic_with_case_number() {
+        // No #[test] attribute here: the item is local to this fn, and an
+        // inner #[test] would be unnameable to the harness anyway.
+        proptest! {
+            fn inner(x in 10u32..20) {
+                prop_assert!(x < 10, "x = {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,299 @@
+//! The [`Strategy`] trait and the non-collection strategies: `any`, `Just`,
+//! tuples, and string generation from a small regex subset.
+
+use crate::{Arbitrary, TestRng};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// The strategy behind [`crate::any`].
+pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------------
+
+/// One atom of the pattern: what character to draw.
+enum CharSet {
+    Literal(char),
+    /// `.` — any character (mostly printable ASCII, with escapees).
+    Dot,
+    /// `[...]` ranges/members, possibly negated.
+    Class { ranges: Vec<(char, char)>, negated: bool },
+}
+
+/// How many times to repeat the preceding atom.
+enum Rep {
+    One,
+    Star,
+    Plus,
+    Opt,
+    Between(usize, usize),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> CharSet {
+    let mut ranges = Vec::new();
+    let negated = chars.peek() == Some(&'^') && {
+        chars.next();
+        true
+    };
+    let mut pending: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => break,
+            '-' if pending.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = pending.take().expect("checked above");
+                let hi = chars.next().expect("checked above");
+                ranges.push((lo, hi));
+            }
+            '\\' => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                let e = chars.next().unwrap_or('\\');
+                pending = Some(unescape(e));
+            }
+            _ => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(c);
+            }
+        }
+    }
+    if let Some(p) = pending {
+        ranges.push((p, p));
+    }
+    if ranges.is_empty() {
+        ranges.push(('a', 'a'));
+    }
+    CharSet::Class { ranges, negated }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parses the supported subset: literals, `\x` escapes, `.`, `[...]`
+/// classes, and the postfix repetitions `*`, `+`, `?`, `{n}`, `{m,n}`.
+fn parse_pattern(pattern: &str) -> Vec<(CharSet, Rep)> {
+    let mut out: Vec<(CharSet, Rep)> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '.' => CharSet::Dot,
+            '[' => parse_class(&mut chars),
+            '\\' => {
+                let e = chars.next().unwrap_or('\\');
+                match e {
+                    'd' => CharSet::Class { ranges: vec![('0', '9')], negated: false },
+                    'w' => CharSet::Class {
+                        ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                        negated: false,
+                    },
+                    's' => CharSet::Class { ranges: vec![(' ', ' '), ('\t', '\t')], negated: false },
+                    other => CharSet::Literal(unescape(other)),
+                }
+            }
+            other => CharSet::Literal(other),
+        };
+        let rep = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                Rep::Star
+            }
+            Some('+') => {
+                chars.next();
+                Rep::Plus
+            }
+            Some('?') => {
+                chars.next();
+                Rep::Opt
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or_else(|_| lo.trim().parse().unwrap_or(0)),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                };
+                Rep::Between(lo, hi.max(lo))
+            }
+            _ => Rep::One,
+        };
+        out.push((set, rep));
+    }
+    out
+}
+
+fn draw_char(set: &CharSet, rng: &mut TestRng) -> char {
+    match set {
+        CharSet::Literal(c) => *c,
+        CharSet::Dot => match rng.below(16) {
+            0 => '\n',
+            1 => char::from_u32(rng.below(0xD7FF) as u32).unwrap_or('\u{FFFD}'),
+            _ => (0x20 + rng.below(0x5F) as u8) as char,
+        },
+        CharSet::Class { ranges, negated } => {
+            if *negated {
+                // Rejection-sample printable ASCII outside the class.
+                for _ in 0..100 {
+                    let c = (0x20 + rng.below(0x5F) as u8) as char;
+                    if !ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c)) {
+                        return c;
+                    }
+                }
+                return '\u{FFFD}';
+            }
+            // Weight by range width so [a-z0] is not half zeros.
+            let total: usize =
+                ranges.iter().map(|&(lo, hi)| (hi as usize).saturating_sub(lo as usize) + 1).sum();
+            let mut pick = rng.below(total.max(1));
+            for &(lo, hi) in ranges {
+                let width = (hi as usize).saturating_sub(lo as usize) + 1;
+                if pick < width {
+                    return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                }
+                pick -= width;
+            }
+            ranges[0].0
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (set, rep) in &atoms {
+            let count = match rep {
+                Rep::One => 1,
+                Rep::Opt => rng.below(2),
+                Rep::Star => rng.below(13),
+                Rep::Plus => 1 + rng.below(12),
+                Rep::Between(lo, hi) => lo + rng.below(hi - lo + 1),
+            };
+            for _ in 0..count {
+                out.push(draw_char(set, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, case: u32) -> String {
+        let mut rng = TestRng::for_case("strategy::tests", case);
+        Strategy::generate(&pattern, &mut rng)
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        assert_eq!(gen("abc", 0), "abc");
+        assert_eq!(gen(r"a\.b", 1), "a.b");
+    }
+
+    #[test]
+    fn counted_repetition_bounds_length() {
+        for case in 0..100 {
+            let s = gen("[0-9]{2,5}", case);
+            assert!((2..=5).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        for case in 0..50 {
+            assert_eq!(gen("x{4}", case).len(), 4);
+        }
+    }
+
+    #[test]
+    fn class_honors_members_and_ranges() {
+        for case in 0..200 {
+            let s = gen("[a-c_*]+", case);
+            assert!(!s.is_empty());
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '_' | '*')), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn negated_class_excludes_members() {
+        for case in 0..100 {
+            let s = gen("[^|]{3}", case);
+            assert!(!s.contains('|'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_star_varies() {
+        let distinct: std::collections::HashSet<String> = (0..50).map(|c| gen(".*", c)).collect();
+        assert!(distinct.len() > 10, "dot-star should vary: {} distinct", distinct.len());
+    }
+}

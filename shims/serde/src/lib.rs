@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its vocabulary types
+//! so downstream users *could* serialize them, but nothing in-tree actually
+//! does (there is no `serde_json` and no serializer call anywhere). With no
+//! network access to fetch the real crate, this shim supplies the two trait
+//! names and re-exports no-op derive macros, keeping every `#[derive(...)]`
+//! line compiling unchanged. Swapping the real serde back in is a one-line
+//! change in the workspace manifest.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
