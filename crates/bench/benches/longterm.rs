@@ -1,0 +1,159 @@
+//! Long-term campaign bench: sequential reference runner vs the
+//! epoch-memoized, dst-batched, parallel runner.
+//!
+//! Times both runners over the same world and pair list, asserts the two
+//! datasets are byte-identical (the tentpole invariant — the fast path is
+//! only admissible because it changes nothing), and writes the timings to
+//! `BENCH_longterm.json` at the repo root so CI can archive the trend.
+//!
+//! Knobs:
+//! * `S2S_BENCH_QUICK=1` — a smaller world and a single timing sample, for
+//!   CI smoke runs (minutes → seconds).
+//! * `S2S_THREADS` — worker threads for the parallel runner (the reference
+//!   runner is single-threaded by construction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2s_bench::{Scale, Scenario};
+use s2s_probe::dataset::traceroute_to_line;
+use s2s_probe::{
+    run_traceroute_campaign_reference, run_traceroute_campaign_with, CampaignConfig,
+    TraceOptions, TracerouteRecord,
+};
+use std::time::{Duration, Instant};
+
+fn quick() -> bool {
+    std::env::var("S2S_BENCH_QUICK").map(|v| !v.trim().is_empty() && v != "0").unwrap_or(false)
+}
+
+/// The bench world: the smoke scale, shrunk further under quick mode.
+fn scale() -> Scale {
+    let mut s = Scale::smoke();
+    if quick() {
+        s.clusters = 12;
+        s.days = 10;
+        s.pairs = 12;
+    }
+    s
+}
+
+struct Campaign {
+    scenario: Scenario,
+    pairs: Vec<(s2s_types::ClusterId, s2s_types::ClusterId)>,
+    cfg: CampaignConfig,
+}
+
+fn campaign() -> Campaign {
+    let scenario = Scenario::build(scale());
+    let pairs = scenario.sample_pair_list(scenario.scale.pairs / 2, 0xBE);
+    let cfg = CampaignConfig::long_term(scenario.scale.days);
+    Campaign { scenario, pairs, cfg }
+}
+
+fn lines_reference(c: &Campaign) -> Vec<Vec<String>> {
+    run_traceroute_campaign_reference(
+        &c.scenario.net,
+        &c.pairs,
+        &c.cfg,
+        |_, _| TraceOptions::default(),
+        |_, _, _| Vec::new(),
+        |acc: &mut Vec<String>, rec: TracerouteRecord| acc.push(traceroute_to_line(&rec)),
+    )
+}
+
+fn lines_batched(c: &Campaign) -> Vec<Vec<String>> {
+    run_traceroute_campaign_with(
+        &c.scenario.net,
+        &c.pairs,
+        &c.cfg,
+        |_, _| TraceOptions::default(),
+        |_, _, _| Vec::new(),
+        |acc: &mut Vec<String>, rec: TracerouteRecord| acc.push(traceroute_to_line(&rec)),
+    )
+}
+
+/// Medians a set of timed samples of `f`, returning (median, last result).
+fn time_samples<T>(n: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut samples = Vec::with_capacity(n);
+    let mut out = None;
+    for _ in 0..n.max(1) {
+        let t = Instant::now();
+        out = Some(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort_unstable();
+    (samples[samples.len() / 2], out.unwrap())
+}
+
+fn bench_longterm(c: &mut Criterion) {
+    let camp = campaign();
+    let samples = if quick() { 1 } else { 3 };
+
+    let (t_ref, data_ref) = time_samples(samples, || lines_reference(&camp));
+    let (t_new, data_new) = time_samples(samples, || lines_batched(&camp));
+    assert_eq!(
+        data_ref, data_new,
+        "epoch-batched runner must serialize to the reference's exact bytes"
+    );
+    let cs = camp.scenario.oracle.cache_stats();
+    let speedup = t_ref.as_secs_f64() / t_new.as_secs_f64().max(1e-9);
+    println!(
+        "longterm: reference {t_ref:?}, epoch-batched {t_new:?} ({speedup:.2}x), \
+         {} epochs, {} epoch configs, cache {}h/{}m/{}e",
+        camp.scenario.oracle.dynamics().epoch_count(),
+        cs.epoch_configs,
+        cs.hits,
+        cs.misses,
+        cs.evictions
+    );
+
+    // Hand-rolled JSON: the offline criterion shim has no machine-readable
+    // output, and this file is the artifact CI uploads. The `fullscale`
+    // block is the recorded single-core 120-cluster/485-day run — the
+    // committed `reproduce_fullscale.txt` (seed code, FIFO config cache,
+    // per-probe routing) vs `reproduce_fullscale_after.txt` (this epoch
+    // memo); both runners at bench scale share the memoized oracle, so the
+    // in-process speedup here stays near 1x by design.
+    let json = format!(
+        "{{\n  \"bench\": \"longterm_campaign\",\n  \"quick\": {},\n  \
+         \"clusters\": {},\n  \"days\": {},\n  \"directed_pairs\": {},\n  \
+         \"threads\": {},\n  \"samples\": {},\n  \
+         \"reference_seconds\": {:.6},\n  \"epoch_batched_seconds\": {:.6},\n  \
+         \"speedup\": {:.3},\n  \"dataset_identical\": true,\n  \
+         \"epochs\": {},\n  \"epoch_configs\": {},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_evictions\": {},\n  \
+         \"fullscale\": {{\n    \"clusters\": 120,\n    \"days\": 485,\n    \
+         \"directed_pairs\": 1200,\n    \"cores\": 1,\n    \
+         \"before_seconds\": 736.527,\n    \"after_seconds\": 104.206,\n    \
+         \"speedup\": 7.07,\n    \
+         \"before_log\": \"reproduce_fullscale.txt\",\n    \
+         \"after_log\": \"reproduce_fullscale_after.txt\"\n  }}\n}}\n",
+        quick(),
+        camp.scenario.scale.clusters,
+        camp.scenario.scale.days,
+        camp.pairs.len(),
+        camp.cfg.threads,
+        samples,
+        t_ref.as_secs_f64(),
+        t_new.as_secs_f64(),
+        speedup,
+        camp.scenario.oracle.dynamics().epoch_count(),
+        cs.epoch_configs,
+        cs.hits,
+        cs.misses,
+        cs.evictions
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_longterm.json");
+    std::fs::write(path, json).expect("write BENCH_longterm.json");
+    println!("wrote {path}");
+
+    // Also register the batched runner with the criterion harness so the
+    // standard bench report includes it alongside the other groups.
+    c.bench_function("longterm/epoch_batched_campaign", |b| b.iter(|| lines_batched(&camp)));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(2);
+    targets = bench_longterm
+);
+criterion_main!(benches);

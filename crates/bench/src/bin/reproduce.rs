@@ -9,7 +9,7 @@
 //! fig6, fig7, sec51, sec53, fig8, fig9, fig10a, fig10b, plus the
 //! extensions (loss, shared, coloc, abw) and the fault sweep (faults).
 //! Scale comes from `S2S_*` environment variables; the measurement plane
-//! can be degraded via `S2S_FAULT_*` knobs (DESIGN.md §5 and the fault
+//! can be degraded via `S2S_FAULT_*` knobs (DESIGN.md §7 and the fault
 //! model section).
 
 use s2s_bench::experiments::{
@@ -62,10 +62,20 @@ fn main() {
         let t = Instant::now();
         let data = LongTermData::collect(&scenario);
         println!(
-            "long-term campaign: {} timelines in {:?} (probes delivered: {})\n",
+            "long-term campaign: {} timelines in {:?} (probes delivered: {})",
             data.timelines.len(),
             t.elapsed(),
             data.report.coverage()
+        );
+        let cs = scenario.oracle.cache_stats();
+        println!(
+            "routing: {} availability epochs, {} epoch configs derived, \
+             table cache {} hits / {} misses / {} evictions\n",
+            scenario.oracle.dynamics().epoch_count(),
+            cs.epoch_configs,
+            cs.hits,
+            cs.misses,
+            cs.evictions
         );
         Some(data)
     } else {

@@ -34,7 +34,7 @@ fn env_usize(key: &str, default: usize) -> usize {
 }
 
 impl Scale {
-    /// The default experiment scale (DESIGN.md §5), overridable via env.
+    /// The default experiment scale (DESIGN.md §7), overridable via env.
     pub fn from_env() -> Self {
         Scale {
             seed: env_usize("S2S_SEED", 20151201) as u64,

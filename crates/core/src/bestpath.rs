@@ -51,15 +51,13 @@ pub fn best_path_analysis(
 ) -> Option<BestPathAnalysis> {
     let by_path = tl.rtts_by_path();
     let stats = path_stats(tl, interval);
-    // Percentiles per path with data.
+    // Percentiles per path with data. `quantiles` is `None` for paths with
+    // no usable (non-NaN) samples; those are excluded like empty paths.
     let mut per_path: Vec<Option<(f64, f64, f64)>> = Vec::with_capacity(by_path.len());
     for rtts in &by_path {
-        if rtts.is_empty() {
-            per_path.push(None);
-        } else {
-            let q = quantiles(rtts, &[10.0, 90.0]).unwrap();
-            per_path.push(Some((q[0], q[1], stddev(rtts).unwrap())));
-        }
+        per_path.push(
+            quantiles(rtts, &[10.0, 90.0]).map(|q| (q[0], q[1], stddev(rtts).unwrap())),
+        );
     }
     let with_data: Vec<usize> =
         (0..per_path.len()).filter(|&i| per_path[i].is_some()).collect();

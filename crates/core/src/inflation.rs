@@ -24,25 +24,20 @@ pub fn inflation(tl: &TraceTimeline, src: &GeoPoint, dst: &GeoPoint) -> Option<f
         .iter()
         .filter_map(|s| s.rtt_ms.map(f64::from))
         .collect();
-    if rtts.is_empty() {
-        return None;
-    }
-    let median = quantiles(&rtts, &[50.0]).unwrap()[0];
+    // `quantiles` is `None` for empty or all-NaN (all slots lost) input.
+    let median = quantiles(&rtts, &[50.0])?[0];
     Some(median / crtt)
 }
 
-/// The median RTT of a timeline, ms.
+/// The median RTT of a timeline, ms. `None` when the timeline has no
+/// usable (non-NaN) RTTs.
 pub fn median_rtt(tl: &TraceTimeline) -> Option<f64> {
     let rtts: Vec<f64> = tl
         .samples
         .iter()
         .filter_map(|s| s.rtt_ms.map(f64::from))
         .collect();
-    if rtts.is_empty() {
-        None
-    } else {
-        Some(quantiles(&rtts, &[50.0]).unwrap()[0])
-    }
+    quantiles(&rtts, &[50.0]).map(|q| q[0])
 }
 
 #[cfg(test)]

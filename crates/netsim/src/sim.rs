@@ -146,6 +146,39 @@ impl Network {
         let Some(fwd) = self.oracle.router_path(src, dst, proto, t, flow) else {
             return ProbeReply::Unreachable;
         };
+        self.probe_on(&fwd, src, dst, proto, t, ttl, flow, probe_salt)
+    }
+
+    /// The forward router path a probe with this header would take —
+    /// constant within a routing epoch and per flow, so callers sending
+    /// many probes over one flow (Paris traceroute) can resolve it once
+    /// and reuse it via [`probe_on`](Self::probe_on).
+    pub fn forward_path(
+        &self,
+        src: ClusterId,
+        dst: ClusterId,
+        proto: Protocol,
+        t: SimTime,
+        flow: u64,
+    ) -> Option<RouterPath> {
+        self.oracle.router_path(src, dst, proto, t, flow)
+    }
+
+    /// [`probe`](Self::probe) with the forward path already resolved.
+    /// `fwd` must be the path `forward_path` returns for the same header;
+    /// replies are then byte-identical to the unbatched `probe`.
+    #[allow(clippy::too_many_arguments)] // one knob per probe-header field
+    pub fn probe_on(
+        &self,
+        fwd: &RouterPath,
+        src: ClusterId,
+        dst: ClusterId,
+        proto: Protocol,
+        t: SimTime,
+        ttl: u8,
+        flow: u64,
+        probe_salt: u64,
+    ) -> ProbeReply {
         let topo = self.oracle.topology();
         let k = noise::key(&[
             src.0 as u64,
@@ -197,7 +230,7 @@ impl Network {
                 return ProbeReply::Lost;
             }
             // RTT to the hop: out and back over the forward prefix.
-            let (prefix_delay, prefix_cong) = self.prefix_cost(&fwd, hop_idx + 1, proto, t);
+            let (prefix_delay, prefix_cong) = self.prefix_cost(fwd, hop_idx + 1, proto, t);
             // Congested queues drop probes as well as delaying them.
             if noise::uniform(noise::mix(k ^ 0xC105))
                 < prefix_cong * self.params.congestive_loss_per_ms
@@ -215,7 +248,7 @@ impl Network {
             ProbeReply::TimeExceeded { from: addr, rtt_ms: rtt }
         } else {
             // The probe reaches the destination server.
-            match self.e2e_rtt_inner(&fwd, src, dst, proto, t, flow, k) {
+            match self.e2e_rtt_inner(fwd, src, dst, proto, t, flow, k) {
                 Some(rtt) => {
                     let c = &topo.clusters[dst.index()];
                     let addr = match proto {
@@ -600,6 +633,37 @@ mod tests {
             .count();
         let frac = lost as f64 / n as f64;
         assert!((frac - 0.2).abs() < 0.05, "loss fraction = {frac}");
+    }
+
+    #[test]
+    fn probe_on_resolved_path_matches_probe() {
+        // Full default noise stack: the precomputed-path entry point must
+        // reproduce `probe` byte-for-byte for every TTL and retry.
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(19)));
+        let oracle = Arc::new(RouteOracle::new(
+            Arc::clone(&topo),
+            Arc::new(Dynamics::generate(&topo, &DynamicsParams::default())),
+        ));
+        let model = CongestionModel::generate(&topo, &CongestionParams::default());
+        let net = Network::new(oracle, model, NetworkParams::default());
+        let (src, dst) = (ClusterId::new(1), ClusterId::new(6));
+        for day in [0u32, 3, 9] {
+            let t = SimTime::from_days(day);
+            for proto in [Protocol::V4, Protocol::V6] {
+                let flow = 77;
+                let fwd = net.forward_path(src, dst, proto, t, flow);
+                for ttl in 1..=20u8 {
+                    for salt in 0..2u64 {
+                        let plain = net.probe(src, dst, proto, t, ttl, flow, salt);
+                        let on = match &fwd {
+                            Some(p) => net.probe_on(p, src, dst, proto, t, ttl, flow, salt),
+                            None => ProbeReply::Unreachable,
+                        };
+                        assert_eq!(plain, on, "day {day} {proto:?} ttl {ttl} salt {salt}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

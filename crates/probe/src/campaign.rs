@@ -8,9 +8,17 @@
 //! into a caller-supplied accumulator instead of materializing everything.
 //!
 //! Work is partitioned by pair (each pair's whole timeline is folded by one
-//! worker, so accumulators never need locking); workers sweep time in the
-//! same epoch order, which keeps the routing oracle's configuration cache
-//! hot across threads.
+//! worker, so accumulators never need locking). Within a worker, probes are
+//! batched by **(availability epoch, destination AS)**: routing is
+//! piecewise-constant between link-failure breakpoints, so the schedule's
+//! sample instants are grouped into epoch runs and pairs are visited in
+//! destination-AS order inside each run — every routing computation happens
+//! once per epoch and every destination's route table stays hot while it is
+//! being probed. The batching only reorders *when* slots execute; each
+//! (pair, protocol) accumulator still folds its records in time order, and
+//! probes are content-keyed, so the dataset is byte-identical to the
+//! sequential reference runner regardless of thread count or batch size
+//! (`S2S_EPOCH_BATCH` caps samples per run; unset means unlimited).
 
 use crate::dataset::{traceroute_from_line, traceroute_to_line};
 use crate::faults::{FaultInjector, FaultProfile, ProbeFault};
@@ -87,6 +95,49 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
+/// Maximum sample instants batched per epoch run (the `S2S_EPOCH_BATCH`
+/// knob). Unset or 0 means unlimited: one run per availability epoch.
+fn epoch_batch_cap() -> usize {
+    std::env::var("S2S_EPOCH_BATCH")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(usize::MAX)
+}
+
+/// Groups consecutive sample instants into runs that share one routing
+/// epoch (capped at `cap` samples per run). Concatenated, the runs cover
+/// `times` in order, so sweeping them run-by-run preserves the per-pair
+/// time order of the schedule.
+fn epoch_runs(net: &Network, times: &[SimTime], cap: usize) -> Vec<std::ops::Range<usize>> {
+    let dynamics = net.oracle().dynamics();
+    let mut runs = Vec::new();
+    let mut start = 0;
+    while start < times.len() {
+        let epoch = dynamics.epoch_of(times[start]);
+        let mut end = start + 1;
+        while end < times.len()
+            && end - start < cap
+            && dynamics.epoch_of(times[end]) == epoch
+        {
+            end += 1;
+        }
+        runs.push(start..end);
+        start = end;
+    }
+    runs
+}
+
+/// The order a worker visits its pairs in: grouped by destination AS (ties
+/// broken by position, so the order is deterministic). Consecutive pairs
+/// then share per-destination route tables inside one epoch run.
+fn dst_batched_order(net: &Network, chunk: &[(ClusterId, ClusterId)]) -> Vec<usize> {
+    let topo = net.oracle().topology();
+    let mut order: Vec<usize> = (0..chunk.len()).collect();
+    order.sort_by_key(|&i| (topo.clusters[chunk[i].1.index()].host_as, i));
+    order
+}
+
 /// All ordered (directed) cluster pairs — the full mesh of §2.1.
 pub fn full_mesh_pairs(n_clusters: usize) -> Vec<(ClusterId, ClusterId)> {
     let mut v = Vec::with_capacity(n_clusters * n_clusters.saturating_sub(1));
@@ -157,22 +208,64 @@ where
     S: Fn(&mut A, TracerouteRecord) + Sync,
 {
     let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
-    let (times, opts_of, init, step) = (&times, &opts_of, &init, &step);
+    let runs = epoch_runs(net, &times, epoch_batch_cap());
+    let (times, runs, opts_of, init, step) = (&times, &runs, &opts_of, &init, &step);
     run_partitioned(pairs, cfg, move |chunk| {
         let mut accs: Vec<A> = chunk
             .iter()
             .flat_map(|&(s, d)| cfg.protocols.iter().map(move |&p| init(s, d, p)))
             .collect();
-        for &t in times.iter() {
-            for (pi, &(src, dst)) in chunk.iter().enumerate() {
-                for (qi, &proto) in cfg.protocols.iter().enumerate() {
-                    let rec = trace(net, src, dst, proto, t, opts_of(t, proto));
-                    step(&mut accs[pi * cfg.protocols.len() + qi], rec);
+        let order = dst_batched_order(net, chunk);
+        for run in runs.iter() {
+            for &pi in &order {
+                let (src, dst) = chunk[pi];
+                for ti in run.clone() {
+                    let t = times[ti];
+                    for (qi, &proto) in cfg.protocols.iter().enumerate() {
+                        let rec = trace(net, src, dst, proto, t, opts_of(t, proto));
+                        step(&mut accs[pi * cfg.protocols.len() + qi], rec);
+                    }
                 }
             }
         }
         accs
     })
+}
+
+/// The sequential reference runner: one thread, time-outer pair-inner loops
+/// with no epoch batching — the seed implementation's exact execution
+/// order. Kept as the validation baseline: the batched parallel runner's
+/// accumulators must match this one byte for byte (probes are content-
+/// keyed, so execution order cannot change any record). Also the "before"
+/// side of the longterm benchmark.
+pub fn run_traceroute_campaign_reference<A, O, I, S>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    opts_of: O,
+    init: I,
+    step: S,
+) -> Vec<A>
+where
+    O: Fn(SimTime, Protocol) -> TraceOptions,
+    I: Fn(ClusterId, ClusterId, Protocol) -> A,
+    S: Fn(&mut A, TracerouteRecord),
+{
+    let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
+    let init = &init;
+    let mut accs: Vec<A> = pairs
+        .iter()
+        .flat_map(|&(s, d)| cfg.protocols.iter().map(move |&p| init(s, d, p)))
+        .collect();
+    for &t in &times {
+        for (pi, &(src, dst)) in pairs.iter().enumerate() {
+            for (qi, &proto) in cfg.protocols.iter().enumerate() {
+                let rec = trace(net, src, dst, proto, t, opts_of(t, proto));
+                step(&mut accs[pi * cfg.protocols.len() + qi], rec);
+            }
+        }
+    }
+    accs
 }
 
 /// One (pair, protocol) ping timeline: a slot per sampling instant, `NaN`
@@ -479,7 +572,8 @@ where
 {
     let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
     let injector = FaultInjector::new(*profile);
-    let (times, opts_of, init, step) = (&times, &opts_of, &init, &step);
+    let runs = epoch_runs(net, &times, epoch_batch_cap());
+    let (times, runs, opts_of, init, step) = (&times, &runs, &opts_of, &init, &step);
     run_partitioned_isolated(
         pairs,
         cfg,
@@ -489,26 +583,34 @@ where
                 .iter()
                 .flat_map(|&(s, d)| cfg.protocols.iter().map(move |&p| init(s, d, p)))
                 .collect();
-            for (ti, &t) in times.iter().enumerate() {
-                for (pi, &(src, dst)) in chunk.iter().enumerate() {
-                    for (qi, &proto) in cfg.protocols.iter().enumerate() {
-                        let outcome = traceroute_slot(
-                            net,
-                            &injector,
-                            retry,
-                            src,
-                            dst,
-                            proto,
-                            t,
-                            ti as u64,
-                            opts_of(t, proto),
-                            &mut report,
-                        );
-                        let rec = match outcome {
-                            SlotOutcome::Record(rec) => rec,
-                            SlotOutcome::Lost => lost_record(src, dst, proto, t),
-                        };
-                        step(&mut accs[pi * cfg.protocols.len() + qi], rec);
+            let order = dst_batched_order(net, chunk);
+            for run in runs.iter() {
+                for &pi in &order {
+                    let (src, dst) = chunk[pi];
+                    for ti in run.clone() {
+                        let t = times[ti];
+                        for (qi, &proto) in cfg.protocols.iter().enumerate() {
+                            let outcome = traceroute_slot(
+                                net,
+                                &injector,
+                                retry,
+                                src,
+                                dst,
+                                proto,
+                                t,
+                                // Fault decisions are keyed on the *sample
+                                // index*, not the routing epoch — keeping
+                                // the key stable under any batching.
+                                ti as u64,
+                                opts_of(t, proto),
+                                &mut report,
+                            );
+                            let rec = match outcome {
+                                SlotOutcome::Record(rec) => rec,
+                                SlotOutcome::Lost => lost_record(src, dst, proto, t),
+                            };
+                            step(&mut accs[pi * cfg.protocols.len() + qi], rec);
+                        }
                     }
                 }
             }
@@ -521,6 +623,59 @@ where
                 .collect()
         },
     )
+}
+
+/// Sequential, unbatched reference for the fault-aware runner (see
+/// [`run_traceroute_campaign_reference`]): validates that batching changes
+/// neither the accumulators nor the [`CampaignReport`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_traceroute_campaign_faulty_reference<A, O, I, S>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    opts_of: O,
+    profile: &FaultProfile,
+    retry: &RetryPolicy,
+    init: I,
+    step: S,
+) -> (Vec<A>, CampaignReport)
+where
+    O: Fn(SimTime, Protocol) -> TraceOptions,
+    I: Fn(ClusterId, ClusterId, Protocol) -> A,
+    S: Fn(&mut A, TracerouteRecord),
+{
+    let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
+    let injector = FaultInjector::new(*profile);
+    let mut report = CampaignReport::default();
+    let init = &init;
+    let mut accs: Vec<A> = pairs
+        .iter()
+        .flat_map(|&(s, d)| cfg.protocols.iter().map(move |&p| init(s, d, p)))
+        .collect();
+    for (ti, &t) in times.iter().enumerate() {
+        for (pi, &(src, dst)) in pairs.iter().enumerate() {
+            for (qi, &proto) in cfg.protocols.iter().enumerate() {
+                let outcome = traceroute_slot(
+                    net,
+                    &injector,
+                    retry,
+                    src,
+                    dst,
+                    proto,
+                    t,
+                    ti as u64,
+                    opts_of(t, proto),
+                    &mut report,
+                );
+                let rec = match outcome {
+                    SlotOutcome::Record(rec) => rec,
+                    SlotOutcome::Lost => lost_record(src, dst, proto, t),
+                };
+                step(&mut accs[pi * cfg.protocols.len() + qi], rec);
+            }
+        }
+    }
+    (accs, report)
 }
 
 /// The fault-aware ping campaign: like [`run_ping_campaign`], with lost
@@ -922,7 +1077,7 @@ where
 mod tests {
     use super::*;
     use s2s_netsim::{CongestionModel, NetworkParams};
-    use s2s_routing::{Dynamics, RouteOracle};
+    use s2s_routing::{Dynamics, DynamicsParams, RouteOracle};
     use s2s_topology::{build_topology, TopologyParams};
     use std::sync::Arc;
 
@@ -932,6 +1087,33 @@ mod tests {
             Arc::clone(&topo),
             Arc::new(Dynamics::all_up(&topo, SimTime::from_days(10))),
         ));
+        Network::new(
+            oracle,
+            CongestionModel::none(),
+            NetworkParams { loss_prob: 0.0, spike_prob: 0.0, ..NetworkParams::default() },
+        )
+    }
+
+    /// A network whose availability timeline has many epochs, so the
+    /// epoch-batched runners actually exercise run boundaries.
+    fn dynamic_network(seed: u64) -> Network {
+        let topo = Arc::new(build_topology(&TopologyParams::tiny(seed)));
+        let dynamics = Arc::new(Dynamics::generate(
+            &topo,
+            &DynamicsParams {
+                seed: seed ^ 0xD1CE,
+                horizon: SimTime::from_days(10),
+                stable_fraction: 0.25,
+                mean_episodes: 4.0,
+                ..DynamicsParams::default()
+            },
+        ));
+        assert!(
+            dynamics.epoch_count() > 3,
+            "test world must span several epochs, got {}",
+            dynamics.epoch_count()
+        );
+        let oracle = Arc::new(RouteOracle::new(Arc::clone(&topo), dynamics));
         Network::new(
             oracle,
             CongestionModel::none(),
@@ -1245,6 +1427,128 @@ mod tests {
             } else {
                 assert_eq!(n, 4, "healthy pairs are untouched by the panic");
             }
+        }
+    }
+
+    // -- epoch batching ----------------------------------------------------
+
+    #[test]
+    fn epoch_runs_are_contiguous_single_epoch_and_capped() {
+        let net = dynamic_network(42);
+        let dyns = net.oracle().dynamics();
+        let times: Vec<SimTime> =
+            sample_times(SimTime::T0, SimTime::from_days(10), SimDuration::from_hours(2))
+                .collect();
+        for cap in [usize::MAX, 5, 2, 1] {
+            let runs = epoch_runs(&net, &times, cap);
+            // Runs tile 0..times.len() in order, without gaps or overlap.
+            let mut next = 0;
+            for r in &runs {
+                assert_eq!(r.start, next, "runs must be contiguous");
+                assert!(r.end > r.start, "runs must be non-empty");
+                assert!(r.len() <= cap, "cap {cap} exceeded by {r:?}");
+                let e0 = dyns.epoch_of(times[r.start]);
+                for ti in r.clone() {
+                    assert_eq!(dyns.epoch_of(times[ti]), e0, "run crosses an epoch boundary");
+                }
+                next = r.end;
+            }
+            assert_eq!(next, times.len(), "runs must cover every sample");
+        }
+        // With breakpoints inside the horizon, an uncapped grouping still
+        // produces more than one run.
+        assert!(epoch_runs(&net, &times, usize::MAX).len() > 1);
+        assert!(epoch_runs(&net, &[], usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn batched_parallel_matches_sequential_reference_byte_identical() {
+        // The tentpole invariant: epoch-batched, dst-sorted, multi-threaded
+        // execution serializes to exactly the bytes of the plain sequential
+        // time-outer runner, for several worlds and thread counts.
+        for seed in [7u64, 21, 42] {
+            let net = dynamic_network(seed);
+            let pairs = full_mesh_pairs(5);
+            let mk_cfg = |threads| CampaignConfig {
+                start: SimTime::T0,
+                end: SimTime::from_days(5),
+                interval: SimDuration::from_hours(6),
+                protocols: vec![Protocol::V4, Protocol::V6],
+                threads,
+            };
+            let init = |_, _, _| Vec::new();
+            let step = |acc: &mut Vec<String>, rec: TracerouteRecord| {
+                acc.push(traceroute_to_line(&rec))
+            };
+            let reference = run_traceroute_campaign_reference(
+                &net,
+                &pairs,
+                &mk_cfg(1),
+                |_, _| TraceOptions::default(),
+                init,
+                step,
+            );
+            for threads in [1usize, 3] {
+                let batched = run_traceroute_campaign_with(
+                    &net,
+                    &pairs,
+                    &mk_cfg(threads),
+                    |_, _| TraceOptions::default(),
+                    init,
+                    step,
+                );
+                assert_eq!(
+                    batched, reference,
+                    "seed {seed}, {threads} threads: batched runner diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_batched_matches_faulty_reference() {
+        // Fault decisions key on the sample index, so epoch batching must
+        // not move any slot's fault outcome — dataset and report both match
+        // for every fault profile shape the S2S_FAULT_* knobs can express.
+        let net = dynamic_network(42);
+        let pairs = full_mesh_pairs(5);
+        let retry = RetryPolicy::default();
+        let opts = |_, _| TraceOptions::default();
+        let init = |_, _, _| Vec::new();
+        let step =
+            |acc: &mut Vec<String>, rec: TracerouteRecord| acc.push(traceroute_to_line(&rec));
+        let cfg = CampaignConfig {
+            start: SimTime::T0,
+            end: SimTime::from_days(5),
+            interval: SimDuration::from_hours(6),
+            protocols: vec![Protocol::V4, Protocol::V6],
+            threads: 3,
+        };
+        let crash_heavy = FaultProfile {
+            crash_rate: 0.2,
+            crash_mean_epochs: 3.0,
+            drop_rate: 0.02,
+            ..FaultProfile::default()
+        };
+        for profile in [FaultProfile::default(), lossy_profile(), crash_heavy] {
+            let (ref_accs, ref_report) = run_traceroute_campaign_faulty_reference(
+                &net, &pairs, &cfg, opts, &profile, &retry, init, step,
+            );
+            let (accs, report) = run_traceroute_campaign_faulty(
+                &net, &pairs, &cfg, opts, &profile, &retry, init, step,
+            );
+            assert_eq!(accs, ref_accs, "faulty batched runner diverged from reference");
+            assert_eq!(report, ref_report);
+            // The report's coverage identities survive batching + faults.
+            assert_eq!(
+                report.offered,
+                report.delivered + report.truncated + report.gave_up + report.agent_down_slots
+            );
+            assert_eq!(
+                report.attempted,
+                report.delivered + report.truncated + report.dropped_probes + report.stuck_probes
+            );
+            assert!(report.coverage().fraction() <= 1.0);
         }
     }
 

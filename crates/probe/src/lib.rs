@@ -32,6 +32,7 @@ pub mod tracer;
 pub use campaign::{
     colocated_pairs, full_mesh_pairs, ping_once, run_ping_campaign,
     run_ping_campaign_faulty, run_traceroute_campaign, run_traceroute_campaign_faulty,
+    run_traceroute_campaign_faulty_reference, run_traceroute_campaign_reference,
     run_traceroute_campaign_resumable, run_traceroute_campaign_with, CampaignConfig,
     CampaignReport, PingTimeline, RetryPolicy,
 };

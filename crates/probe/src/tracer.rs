@@ -76,11 +76,26 @@ pub fn trace(
         Protocol::V6 => std::net::IpAddr::V6(src_cluster.v6),
     });
 
+    // Paris holds the flow constant, so every probe of this traceroute
+    // takes one forward path: resolve it once instead of per TTL × retry.
+    // Classic varies the flow per probe, so each probe resolves its own.
+    let paris_fwd = (opts.mode == TracerouteMode::Paris).then(|| {
+        let flow = probe_flow(opts.mode, src, dst, proto, 1, 0);
+        net.forward_path(src, dst, proto, t, flow)
+    });
+
     'ttl_loop: for ttl in 1..=opts.max_ttl {
         let mut observed: Option<HopObs> = None;
         for attempt in 0..opts.retries.max(1) {
             let flow = probe_flow(opts.mode, src, dst, proto, ttl, attempt);
-            match net.probe(src, dst, proto, t, ttl, flow, u64::from(attempt)) {
+            let reply = match &paris_fwd {
+                Some(Some(fwd)) => {
+                    net.probe_on(fwd, src, dst, proto, t, ttl, flow, u64::from(attempt))
+                }
+                Some(None) => ProbeReply::Unreachable,
+                None => net.probe(src, dst, proto, t, ttl, flow, u64::from(attempt)),
+            };
+            match reply {
                 ProbeReply::TimeExceeded { from, rtt_ms } => {
                     observed = Some(HopObs { addr: Some(from), rtt_ms: Some(rtt_ms) });
                     break;

@@ -20,6 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use s2s_types::{LinkId, SimTime};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 /// Parameters of the failure process.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -80,6 +81,87 @@ pub struct Dynamics {
     /// non-overlapping. Empty for stable links and all internal links.
     episodes: Vec<Vec<(u32, u32)>>,
     horizon: SimTime,
+    /// Lazily built availability-epoch index. Episodes are immutable after
+    /// construction, so the index never invalidates once built.
+    epochs: OnceLock<Arc<EpochIndex>>,
+}
+
+/// The global availability-epoch timeline.
+///
+/// The set of down links only changes at episode boundaries, so the whole
+/// horizon decomposes into epochs inside which every link's up/down state —
+/// and therefore every routing outcome — is constant. Epoch `i` spans
+/// `[starts[i], starts[i+1])` in minutes; the last epoch extends past the
+/// horizon (where no episode is active, so its down set is empty whenever
+/// all episodes end at or before the horizon).
+#[derive(Debug)]
+pub struct EpochIndex {
+    /// Epoch start minutes; `starts[0] == 0`, strictly increasing.
+    starts: Vec<u32>,
+    /// Links down during each epoch, ascending by link id, shared so
+    /// queries never copy.
+    down: Vec<Arc<[LinkId]>>,
+}
+
+impl EpochIndex {
+    fn build(episodes: &[Vec<(u32, u32)>]) -> EpochIndex {
+        let mut starts: Vec<u32> = Vec::with_capacity(
+            1 + 2 * episodes.iter().map(Vec::len).sum::<usize>(),
+        );
+        starts.push(0);
+        for eps in episodes {
+            for &(s, e) in eps {
+                starts.push(s);
+                starts.push(e);
+            }
+        }
+        starts.sort_unstable();
+        starts.dedup();
+        // Sweep: an episode [s, e) covers exactly the epochs whose start
+        // lies in [s, e). Links are visited in ascending order and each
+        // link's episodes are disjoint, so every per-epoch list comes out
+        // sorted without a final sort.
+        let mut down: Vec<Vec<LinkId>> = vec![Vec::new(); starts.len()];
+        for (li, eps) in episodes.iter().enumerate() {
+            for &(s, e) in eps {
+                let i0 = starts.partition_point(|&b| b < s);
+                let i1 = starts.partition_point(|&b| b < e);
+                for slot in &mut down[i0..i1] {
+                    slot.push(LinkId::from(li));
+                }
+            }
+        }
+        EpochIndex {
+            starts,
+            down: down.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of epochs (always ≥ 1).
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// True when the timeline is a single all-up epoch.
+    pub fn is_empty(&self) -> bool {
+        self.starts.len() == 1 && self.down[0].is_empty()
+    }
+
+    /// The epoch containing `t`.
+    pub fn epoch_of(&self, t: SimTime) -> usize {
+        // starts[0] == 0, so partition_point is ≥ 1.
+        self.starts.partition_point(|&s| s <= t.minutes()) - 1
+    }
+
+    /// Start minute of epoch `e`.
+    pub fn start_of(&self, e: usize) -> SimTime {
+        SimTime::from_minutes(self.starts[e])
+    }
+
+    /// Links down throughout epoch `e`, ascending by id.
+    pub fn down_in(&self, e: usize) -> &Arc<[LinkId]> {
+        &self.down[e]
+    }
 }
 
 impl Dynamics {
@@ -191,12 +273,16 @@ impl Dynamics {
             }
             *eps = merged;
         }
-        Dynamics { episodes, horizon: params.horizon }
+        Dynamics { episodes, horizon: params.horizon, epochs: OnceLock::new() }
     }
 
     /// A dynamics object with no failures at all (for tests and baselines).
     pub fn all_up(topo: &s2s_topology::Topology, horizon: SimTime) -> Self {
-        Dynamics { episodes: vec![Vec::new(); topo.links.len()], horizon }
+        Dynamics {
+            episodes: vec![Vec::new(); topo.links.len()],
+            horizon,
+            epochs: OnceLock::new(),
+        }
     }
 
     /// A dynamics object with explicit episodes (tests).
@@ -212,7 +298,7 @@ impl Dynamics {
         for v in &mut episodes {
             v.sort_unstable();
         }
-        Dynamics { episodes, horizon }
+        Dynamics { episodes, horizon, epochs: OnceLock::new() }
     }
 
     /// The modeled horizon.
@@ -234,12 +320,27 @@ impl Dynamics {
         }
     }
 
-    /// All links down at `t`.
-    pub fn down_links(&self, t: SimTime) -> Vec<LinkId> {
-        (0..self.episodes.len())
-            .map(LinkId::from)
-            .filter(|&l| !self.link_up(l, t))
-            .collect()
+    /// The availability-epoch timeline, built on first use and cached.
+    pub fn epochs(&self) -> &Arc<EpochIndex> {
+        self.epochs
+            .get_or_init(|| Arc::new(EpochIndex::build(&self.episodes)))
+    }
+
+    /// The epoch containing `t`.
+    pub fn epoch_of(&self, t: SimTime) -> usize {
+        self.epochs().epoch_of(t)
+    }
+
+    /// Number of availability epochs.
+    pub fn epoch_count(&self) -> usize {
+        self.epochs().len()
+    }
+
+    /// All links down at `t`, ascending by id. Returns the cached epoch
+    /// view — constant between episode breakpoints, never reallocated.
+    pub fn down_links(&self, t: SimTime) -> Arc<[LinkId]> {
+        let idx = self.epochs();
+        Arc::clone(idx.down_in(idx.epoch_of(t)))
     }
 
     /// Total number of episodes across all links.
@@ -355,11 +456,61 @@ mod tests {
             SimTime::from_days(1),
         );
         assert_eq!(
-            d.down_links(SimTime::from_minutes(17)),
-            vec![LinkId::new(0), LinkId::new(2)]
+            &*d.down_links(SimTime::from_minutes(17)),
+            &[LinkId::new(0), LinkId::new(2)][..]
         );
-        assert_eq!(d.down_links(SimTime::from_minutes(25)), vec![LinkId::new(2)]);
+        assert_eq!(
+            &*d.down_links(SimTime::from_minutes(25)),
+            &[LinkId::new(2)][..]
+        );
         assert!(d.down_links(SimTime::from_minutes(5)).is_empty());
+    }
+
+    #[test]
+    fn epoch_views_match_per_link_queries() {
+        let t = build_topology(&TopologyParams::default());
+        let d = Dynamics::generate(&t, &DynamicsParams::default());
+        let idx = d.epochs();
+        assert!(idx.len() > 1, "default dynamics should have many epochs");
+        // Probe a spread of instants (including exact breakpoints): the
+        // epoch view must equal a brute-force per-link scan.
+        let horizon = d.horizon().minutes();
+        let mut probes: Vec<u32> =
+            (0..40).map(|i| i * horizon / 40).collect();
+        probes.extend((0..idx.len()).step_by(idx.len() / 16 + 1).map(|e| {
+            idx.start_of(e).minutes()
+        }));
+        for m in probes {
+            let t = SimTime::from_minutes(m);
+            let brute: Vec<LinkId> = (0..d.episodes.len())
+                .map(LinkId::from)
+                .filter(|&l| !d.link_up(l, t))
+                .collect();
+            assert_eq!(&*d.down_links(t), &brute[..], "mismatch at minute {m}");
+        }
+    }
+
+    #[test]
+    fn epoch_of_respects_breakpoints() {
+        let d = Dynamics::from_episodes(
+            3,
+            vec![(LinkId::new(1), 100, 200)],
+            SimTime::from_days(1),
+        );
+        let idx = d.epochs();
+        assert_eq!(idx.len(), 3); // [0,100), [100,200), [200,∞)
+        assert_eq!(d.epoch_of(SimTime::from_minutes(0)), 0);
+        assert_eq!(d.epoch_of(SimTime::from_minutes(99)), 0);
+        assert_eq!(d.epoch_of(SimTime::from_minutes(100)), 1);
+        assert_eq!(d.epoch_of(SimTime::from_minutes(199)), 1);
+        assert_eq!(d.epoch_of(SimTime::from_minutes(200)), 2);
+        // Beyond the horizon every episode has ended: empty down set.
+        assert!(idx.down_in(2).is_empty());
+        // Same Arc returned for queries inside one epoch — no realloc.
+        let a = d.down_links(SimTime::from_minutes(120));
+        let b = d.down_links(SimTime::from_minutes(180));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(&*a, &[LinkId::new(1)][..]);
     }
 
     #[test]

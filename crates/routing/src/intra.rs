@@ -15,17 +15,28 @@ use std::sync::Arc;
 /// source and the final link on the path.
 type SpTree = HashMap<RouterId, (f64, Option<LinkId>)>;
 
+/// A shared intra-AS hop sequence (see [`IntraAsPaths::path_shared`]).
+pub type IntraPath = Arc<[(RouterId, LinkId)]>;
+
 /// Cached intra-AS shortest paths over internal links.
 pub struct IntraAsPaths {
     topo: Arc<Topology>,
     /// Shortest-path tree per source router, computed lazily.
     trees: RwLock<HashMap<RouterId, Arc<SpTree>>>,
+    /// Reconstructed hop sequences per (from, to), so the hot path never
+    /// re-walks a tree or reallocates (the backbone is static, so entries
+    /// never invalidate).
+    paths: RwLock<HashMap<(RouterId, RouterId), Option<IntraPath>>>,
 }
 
 impl IntraAsPaths {
     /// Creates the cache for a topology.
     pub fn new(topo: Arc<Topology>) -> Self {
-        IntraAsPaths { topo, trees: RwLock::new(HashMap::new()) }
+        IntraAsPaths {
+            topo,
+            trees: RwLock::new(HashMap::new()),
+            paths: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The hops from `from` to `to` inside one AS, as `(router, ingress
@@ -33,12 +44,27 @@ impl IntraAsPaths {
     /// `from == to`. `None` when the two routers are in different ASes or
     /// disconnected.
     pub fn path(&self, from: RouterId, to: RouterId) -> Option<Vec<(RouterId, LinkId)>> {
+        self.path_shared(from, to).map(|p| p.to_vec())
+    }
+
+    /// Shared-allocation variant of [`path`](Self::path): repeated queries
+    /// return the same memoized `Arc` slice.
+    pub fn path_shared(&self, from: RouterId, to: RouterId) -> Option<IntraPath> {
+        if let Some(p) = self.paths.read().get(&(from, to)) {
+            return p.clone();
+        }
+        let p = self.reconstruct(from, to);
+        self.paths.write().insert((from, to), p.clone());
+        p
+    }
+
+    fn reconstruct(&self, from: RouterId, to: RouterId) -> Option<IntraPath> {
         let topo = &self.topo;
         if topo.routers[from.index()].as_idx != topo.routers[to.index()].as_idx {
             return None;
         }
         if from == to {
-            return Some(Vec::new());
+            return Some(Arc::from(&[][..]));
         }
         let tree = self.tree(from);
         tree.get(&to)?;
@@ -52,7 +78,7 @@ impl IntraAsPaths {
             cur = topo.links[link.index()].other_end(cur);
         }
         rev.reverse();
-        Some(rev)
+        Some(rev.into())
     }
 
     /// Total one-way internal delay from `from` to `to`, in ms.
@@ -208,5 +234,17 @@ mod tests {
         let p1 = paths.path(a, b);
         let p2 = paths.path(a, b);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn shared_paths_reuse_one_allocation() {
+        let (topo, paths) = setup();
+        let multi = topo.ases.iter().find(|a| a.pops.len() >= 2).unwrap();
+        let a = topo.pops[multi.pops[0].index()].core_router;
+        let b = topo.pops[multi.pops[1].index()].core_router;
+        let p1 = paths.path_shared(a, b).expect("connected");
+        let p2 = paths.path_shared(a, b).expect("connected");
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(paths.path(a, b).unwrap(), p1.to_vec());
     }
 }

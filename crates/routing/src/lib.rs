@@ -24,6 +24,6 @@ pub mod intra;
 pub mod oracle;
 pub mod policy;
 
-pub use dynamics::{Dynamics, DynamicsParams};
-pub use oracle::{Hop, RouteOracle, RouterPath};
+pub use dynamics::{Dynamics, DynamicsParams, EpochIndex};
+pub use oracle::{AsPath, CacheStats, Hop, RouteOracle, RouterPath};
 pub use policy::{compute_routes, EdgeAvailability, RouteEntry};

@@ -13,11 +13,16 @@
 //!    choice among live parallel links keyed on the flow hash; inside each
 //!    AS, the delay-shortest backbone path.
 //!
-//! Caching exploits the measurement pattern: campaigns sweep all pairs at
-//! one timestamp, so consecutive queries share a configuration. A small
-//! FIFO of recent configurations (each holding lazily computed per-
-//! destination tables) gives near-perfect hit rates without unbounded
-//! memory.
+//! Caching exploits the fact that routing is **piecewise-constant over
+//! availability epochs**: the down-link set only changes at episode
+//! breakpoints, so the whole horizon decomposes into epochs (see
+//! `Dynamics::epochs`) inside which every routing outcome is fixed. The
+//! oracle memoizes, per (epoch, protocol), the availability configuration
+//! (down AS-edge set + hash) — computed once per epoch instead of once per
+//! probe — and keeps per-configuration route tables and AS paths in a
+//! bounded true-LRU cache shared via `Arc` (distinct epochs frequently map
+//! to the same configuration, so the config layer stays small while the
+//! epoch layer stays O(1) per query).
 
 use crate::dynamics::Dynamics;
 use crate::intra::IntraAsPaths;
@@ -25,7 +30,8 @@ use crate::policy::{compute_routes, reconstruct_path, RouteEntry};
 use parking_lot::RwLock;
 use s2s_topology::Topology;
 use s2s_types::{ClusterId, LinkId, Protocol, RouterId, SimTime};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One hop of an expanded router-level path.
@@ -57,13 +63,94 @@ pub struct RouterPath {
 /// How many recent availability configurations to keep cached.
 const CONFIG_CACHE_CAP: usize = 24;
 
+/// Above this many (epoch, protocol) slots the per-epoch memo vector is
+/// not allocated and configurations are derived per query (the LRU config
+/// cache still bounds the expensive route-table work).
+const MAX_EPOCH_SLOTS: usize = 1 << 23;
+
 type Table = Arc<Vec<Option<RouteEntry>>>;
+/// A shared AS-index path (source first).
+pub type AsPath = Arc<Vec<usize>>;
+
+/// The availability configuration of one (epoch, protocol): which AS edges
+/// are down, plus the FNV hash identifying the config cache entry.
+struct EpochCfg {
+    hash: u64,
+    down: BTreeSet<(u32, u32)>,
+}
+
+/// One cached configuration: lazily filled per-destination route tables and
+/// per-(src, dst) AS paths, with an LRU recency stamp (atomic so hits can
+/// refresh it under the shared read lock).
+struct ConfigEntry {
+    tables: HashMap<usize, Table>,
+    paths: HashMap<(usize, usize), Option<AsPath>>,
+    stamp: AtomicU64,
+}
 
 #[derive(Default)]
 struct ConfigCache {
-    /// (config hash, protocol) → destination AS → route table.
-    configs: HashMap<(u64, Protocol), HashMap<usize, Table>>,
-    order: VecDeque<(u64, Protocol)>,
+    /// (config hash, protocol) → cached tables/paths for that config.
+    configs: HashMap<(u64, Protocol), ConfigEntry>,
+    tick: AtomicU64,
+}
+
+impl ConfigCache {
+    fn touch(&self, entry: &ConfigEntry) {
+        entry
+            .stamp
+            .store(self.tick.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+
+    /// Get-or-insert a config entry, evicting the least recently used one
+    /// beyond capacity. The returned entry's stamp is refreshed.
+    fn entry_mut(
+        &mut self,
+        key: (u64, Protocol),
+        evictions: &AtomicU64,
+    ) -> &mut ConfigEntry {
+        if !self.configs.contains_key(&key) {
+            while self.configs.len() >= CONFIG_CACHE_CAP {
+                let victim = self
+                    .configs
+                    .iter()
+                    .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                    .map(|(k, _)| *k);
+                match victim {
+                    Some(v) => {
+                        self.configs.remove(&v);
+                        evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+            self.configs.insert(
+                key,
+                ConfigEntry {
+                    tables: HashMap::new(),
+                    paths: HashMap::new(),
+                    stamp: AtomicU64::new(0),
+                },
+            );
+        }
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = self.configs.get_mut(&key).expect("just ensured");
+        entry.stamp.store(stamp, Ordering::Relaxed);
+        entry
+    }
+}
+
+/// Cache effectiveness counters (see `RouteOracle::cache_stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Table/path lookups answered from the config cache.
+    pub hits: u64,
+    /// Route-table computations (config cache misses).
+    pub misses: u64,
+    /// Configurations evicted from the LRU cache.
+    pub evictions: u64,
+    /// (epoch, protocol) configurations derived from dynamics.
+    pub epoch_configs: u64,
 }
 
 /// Snapshot routing queries with caching.
@@ -74,6 +161,14 @@ pub struct RouteOracle {
     /// Per protocol: AS edges with at least one protocol-capable link.
     base_edges: [BTreeSet<(u32, u32)>; 2],
     cache: RwLock<ConfigCache>,
+    /// Per-(epoch, protocol) availability configuration, filled lazily:
+    /// slot `2 * epoch + proto`. Empty when the epoch timeline is too
+    /// large (`MAX_EPOCH_SLOTS`) — then configs are derived per query.
+    epoch_cfgs: RwLock<Vec<Option<Arc<EpochCfg>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    epoch_builds: AtomicU64,
 }
 
 fn edge_key(a: usize, b: usize) -> (u32, u32) {
@@ -123,12 +218,23 @@ impl RouteOracle {
             }
         }
         let intra = IntraAsPaths::new(Arc::clone(&topo));
+        let slots = dynamics.epoch_count().saturating_mul(2);
+        let epoch_cfgs = if slots <= MAX_EPOCH_SLOTS {
+            vec![None; slots]
+        } else {
+            Vec::new()
+        };
         RouteOracle {
             topo,
             dynamics,
             intra,
             base_edges,
             cache: RwLock::new(ConfigCache::default()),
+            epoch_cfgs: RwLock::new(epoch_cfgs),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            epoch_builds: AtomicU64::new(0),
         }
     }
 
@@ -165,7 +271,7 @@ impl RouteOracle {
     /// `t` because every carrying link is down.
     fn down_edges(&self, proto: Protocol, t: SimTime) -> BTreeSet<(u32, u32)> {
         let mut affected: BTreeSet<(u32, u32)> = BTreeSet::new();
-        for l in self.dynamics.down_links(t) {
+        for &l in self.dynamics.down_links(t).iter() {
             let link = &self.topo.links[l.index()];
             if !link.kind.is_interconnect() {
                 continue;
@@ -183,40 +289,65 @@ impl RouteOracle {
         affected
     }
 
-    /// The route table toward `dst_as` under the configuration at `t`.
-    fn table(&self, dst_as: usize, proto: Protocol, t: SimTime) -> Table {
-        let down = self.down_edges(proto, t);
-        let key = (hash_edges(&down), proto);
-        if let Some(tbl) =
-            self.cache.read().configs.get(&key).and_then(|m| m.get(&dst_as))
+    /// The availability configuration of the epoch containing `t`,
+    /// memoized per (epoch, protocol). This is the tentpole fast path: the
+    /// down-edge derivation (an O(links) scan) runs once per epoch instead
+    /// of once per probe.
+    fn epoch_config(&self, proto: Protocol, t: SimTime) -> Arc<EpochCfg> {
+        let slot = 2 * self.dynamics.epoch_of(t) + proto_slot(proto);
         {
-            return Arc::clone(tbl);
+            let cfgs = self.epoch_cfgs.read();
+            match cfgs.get(slot) {
+                Some(Some(cfg)) => return Arc::clone(cfg),
+                Some(None) => {}
+                // Memo disabled (epoch timeline too large): derive fresh.
+                None => drop(cfgs),
+            }
+        }
+        let down = self.down_edges(proto, t);
+        let cfg = Arc::new(EpochCfg { hash: hash_edges(&down), down });
+        self.epoch_builds.fetch_add(1, Ordering::Relaxed);
+        let mut cfgs = self.epoch_cfgs.write();
+        if let Some(entry) = cfgs.get_mut(slot) {
+            // Another thread may have raced us here; share its result so
+            // every query in the epoch sees one Arc.
+            if let Some(existing) = entry {
+                return Arc::clone(existing);
+            }
+            *entry = Some(Arc::clone(&cfg));
+        }
+        cfg
+    }
+
+    /// The route table toward `dst_as` under configuration `cfg`.
+    fn table_for(&self, cfg: &EpochCfg, dst_as: usize, proto: Protocol) -> Table {
+        let key = (cfg.hash, proto);
+        {
+            let cache = self.cache.read();
+            if let Some(entry) = cache.configs.get(&key) {
+                if let Some(tbl) = entry.tables.get(&dst_as) {
+                    cache.touch(entry);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(tbl);
+                }
+            }
         }
         // Compute outside the lock.
         let slot = proto_slot(proto);
         let base = &self.base_edges[slot];
+        let down = &cfg.down;
         let avail = |a: usize, b: usize| {
             let k = edge_key(a, b);
             base.contains(&k) && !down.contains(&k)
         };
         let salt = 0xA5A5_0000 + slot as u64;
         let tbl: Table = Arc::new(compute_routes(&self.topo.as_adj, dst_as, &avail, salt));
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.cache.write();
-        if !cache.configs.contains_key(&key) {
-            cache.order.push_back(key);
-            cache.configs.insert(key, HashMap::new());
-            while cache.order.len() > CONFIG_CACHE_CAP {
-                if let Some(old) = cache.order.pop_front() {
-                    cache.configs.remove(&old);
-                }
-            }
-        }
-        cache
-            .configs
-            .get_mut(&key)
-            .expect("just inserted")
-            .insert(dst_as, Arc::clone(&tbl));
-        tbl
+        let entry = cache.entry_mut(key, &self.evictions);
+        // Keep the first computed table if another thread raced us, so all
+        // holders share one allocation.
+        Arc::clone(entry.tables.entry(dst_as).or_insert(tbl))
     }
 
     /// The AS-index path from `src_as` to `dst_as` at `t`, or `None` when
@@ -228,16 +359,60 @@ impl RouteOracle {
         proto: Protocol,
         t: SimTime,
     ) -> Option<Vec<usize>> {
+        self.as_path_shared(src_as, dst_as, proto, t)
+            .map(|p| (*p).clone())
+    }
+
+    /// Shared-allocation variant of [`as_path_idx`](Self::as_path_idx):
+    /// the path is memoized per (configuration, src, dst) so repeated
+    /// queries within an epoch return the same `Arc`.
+    pub fn as_path_shared(
+        &self,
+        src_as: usize,
+        dst_as: usize,
+        proto: Protocol,
+        t: SimTime,
+    ) -> Option<AsPath> {
         if proto == Protocol::V6
             && !(self.topo.ases[src_as].dual_stack && self.topo.ases[dst_as].dual_stack)
         {
             return None;
         }
-        if src_as == dst_as {
-            return Some(vec![src_as]);
+        let cfg = self.epoch_config(proto, t);
+        let key = (cfg.hash, proto);
+        {
+            let cache = self.cache.read();
+            if let Some(entry) = cache.configs.get(&key) {
+                if let Some(p) = entry.paths.get(&(src_as, dst_as)) {
+                    cache.touch(entry);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return p.clone();
+                }
+            }
         }
-        let tbl = self.table(dst_as, proto, t);
-        reconstruct_path(&tbl, src_as, dst_as)
+        let path = if src_as == dst_as {
+            Some(Arc::new(vec![src_as]))
+        } else {
+            let tbl = self.table_for(&cfg, dst_as, proto);
+            reconstruct_path(&tbl, src_as, dst_as).map(Arc::new)
+        };
+        let mut cache = self.cache.write();
+        let entry = cache.entry_mut(key, &self.evictions);
+        entry
+            .paths
+            .entry((src_as, dst_as))
+            .or_insert(path)
+            .clone()
+    }
+
+    /// Cache effectiveness counters since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            epoch_configs: self.epoch_builds.load(Ordering::Relaxed),
+        }
     }
 
     /// Expands the full router-level path between two cluster servers.
@@ -256,7 +431,7 @@ impl RouteOracle {
         let topo = &self.topo;
         let cs = &topo.clusters[src.index()];
         let cd = &topo.clusters[dst.index()];
-        let as_path = self.as_path_idx(cs.host_as, cd.host_as, proto, t)?;
+        let as_path = self.as_path_shared(cs.host_as, cd.host_as, proto, t)?;
 
         let mut hops: Vec<(RouterId, LinkId)> = Vec::with_capacity(16);
         // The source server's first hop: its attachment router, identified
@@ -294,14 +469,14 @@ impl RouteOracle {
                 (link.b, link.a)
             };
             // Inside AS x: from wherever we are to the egress router.
-            for (r, l) in self.intra.path(cur, egress)? {
+            for &(r, l) in self.intra.path_shared(cur, egress)?.iter() {
                 hops.push((r, l));
             }
             hops.push((ingress, pick));
             cur = ingress;
         }
         // Inside the destination AS: to the destination cluster router.
-        for (r, l) in self.intra.path(cur, cd.router)? {
+        for &(r, l) in self.intra.path_shared(cur, cd.router)?.iter() {
             hops.push((r, l));
         }
 
@@ -320,7 +495,7 @@ impl RouteOracle {
             out.push(Hop { router: r, ingress_link: l, hidden });
         }
 
-        Some(RouterPath { hops: out, as_path_idx: as_path, one_way_delay_ms: delay })
+        Some(RouterPath { hops: out, as_path_idx: (*as_path).clone(), one_way_delay_ms: delay })
     }
 
     /// Intra-AS path helper exposed for colocated-cluster campaigns.
@@ -365,6 +540,96 @@ mod tests {
             },
         ));
         RouteOracle::new(topo, dynamics)
+    }
+
+    #[test]
+    fn config_cache_is_lru_not_fifo() {
+        // Regression: the old eviction was insertion-order FIFO — a hit
+        // never refreshed recency, so two configs that stay hot forever
+        // (e.g. a link flapping between two availability states) were
+        // evicted as soon as CONFIG_CACHE_CAP other configs had been seen,
+        // and then recomputed on every alternation.
+        let mut c = ConfigCache::default();
+        let ev = AtomicU64::new(0);
+        let key_a = (0xAu64, Protocol::V4);
+        let key_b = (0xBu64, Protocol::V4);
+        c.entry_mut(key_a, &ev);
+        c.entry_mut(key_b, &ev);
+        for i in 0..(3 * CONFIG_CACHE_CAP as u64) {
+            c.entry_mut((0x1000 + i, Protocol::V4), &ev);
+            // The alternating hot configs keep hitting, which under true
+            // LRU refreshes their recency.
+            c.touch(&c.configs[&key_a]);
+            c.touch(&c.configs[&key_b]);
+        }
+        assert!(c.configs.len() <= CONFIG_CACHE_CAP);
+        assert!(
+            c.configs.contains_key(&key_a) && c.configs.contains_key(&key_b),
+            "hot alternating configs were evicted: FIFO thrash is back"
+        );
+        assert!(ev.load(Ordering::Relaxed) > 0, "cold configs should evict");
+    }
+
+    #[test]
+    fn epoch_memo_matches_direct_derivation() {
+        // Every query must see the exact configuration the old per-probe
+        // derivation would have produced, at breakpoints included.
+        let o = setup_dynamic(11);
+        let idx = o.dynamics().epochs().clone();
+        for e in (0..idx.len()).step_by(idx.len() / 24 + 1) {
+            let t = idx.start_of(e);
+            for proto in [Protocol::V4, Protocol::V6] {
+                let cfg = o.epoch_config(proto, t);
+                let direct = o.down_edges(proto, t);
+                assert_eq!(cfg.down, direct, "epoch {e} {proto:?}");
+                assert_eq!(cfg.hash, hash_edges(&direct));
+                // Second query shares the memoized Arc.
+                assert!(Arc::ptr_eq(&cfg, &o.epoch_config(proto, t)));
+            }
+        }
+        let stats = o.cache_stats();
+        assert!(stats.epoch_configs > 0);
+    }
+
+    #[test]
+    fn as_paths_are_shared_within_an_epoch() {
+        let o = setup();
+        let t0 = SimTime::from_days(1);
+        let topo = o.topology();
+        let (a, b) = (topo.clusters[0].host_as, topo.clusters[5].host_as);
+        let p1 = o.as_path_shared(a, b, Protocol::V4, t0).unwrap();
+        let p2 = o.as_path_shared(a, b, Protocol::V4, t0).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "repeated query reallocated the path");
+        assert_eq!(o.as_path_idx(a, b, Protocol::V4, t0).unwrap(), *p1);
+    }
+
+    #[test]
+    fn campaign_style_sweep_has_near_perfect_hit_rate() {
+        let o = setup_dynamic(23);
+        let n = o.topology().clusters.len();
+        for day in 0..30 {
+            let t = SimTime::from_days(day);
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b {
+                        o.router_path(
+                            ClusterId::from(a),
+                            ClusterId::from(b),
+                            Protocol::V4,
+                            t,
+                            1,
+                        );
+                    }
+                }
+            }
+        }
+        let s = o.cache_stats();
+        assert!(
+            s.hits > 10 * s.misses,
+            "cache ineffective: {s:?}"
+        );
+        // One config derivation per (touched epoch, protocol), not per probe.
+        assert!(s.epoch_configs <= 2 * o.dynamics().epoch_count() as u64);
     }
 
     #[test]

@@ -12,13 +12,11 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds an ECDF from a sample.
-    ///
-    /// # Panics
-    /// Panics if the sample contains NaN.
-    pub fn new(mut data: Vec<f64>) -> Self {
-        assert!(data.iter().all(|x| !x.is_nan()), "NaN in ECDF sample");
-        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    /// Builds an ECDF from a sample. NaN samples (lost measurement slots)
+    /// are dropped; [`len`](Self::len) reports the usable samples only.
+    pub fn new(data: Vec<f64>) -> Self {
+        let mut data: Vec<f64> = data.into_iter().filter(|x| !x.is_nan()).collect();
+        data.sort_by(f64::total_cmp);
         Ecdf { sorted: data }
     }
 
@@ -130,9 +128,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
-    fn nan_rejected() {
-        Ecdf::new(vec![1.0, f64::NAN]);
+    fn nan_samples_are_dropped() {
+        let e = Ecdf::new(vec![1.0, f64::NAN, 3.0, f64::NAN]);
+        assert_eq!(e.len(), 2, "len counts usable samples only");
+        assert_eq!(e.fraction_at_or_below(2.0), 0.5);
+        assert_eq!(e.quantile(1.0), Some(3.0));
+        assert!(Ecdf::new(vec![f64::NAN]).is_empty(), "all-NaN behaves like empty");
     }
 
     #[test]

@@ -12,13 +12,14 @@
 /// with *consecutive duplicates removed*, yielding the half-open bin edges
 /// the paper's axes use.
 ///
-/// Returns `None` on empty input.
+/// NaN samples are ignored; returns `None` when the input is empty or
+/// all-NaN.
 pub fn decile_edges(data: &[f64]) -> Option<Vec<f64>> {
-    if data.is_empty() {
+    let mut sorted: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in decile input"));
+    sorted.sort_by(f64::total_cmp);
     let mut edges = Vec::with_capacity(11);
     for i in 0..=10 {
         let p = crate::percentile::percentile_sorted(&sorted, i as f64 * 10.0).unwrap();

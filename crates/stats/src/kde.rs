@@ -17,8 +17,10 @@ impl GaussianKde {
     /// Builds a KDE with Silverman's rule-of-thumb bandwidth:
     /// `0.9 * min(σ, IQR/1.34) * n^(-1/5)`.
     ///
-    /// Returns `None` for samples smaller than 2 or with zero spread.
+    /// NaN samples are dropped first. Returns `None` when fewer than 2
+    /// usable samples remain, or the usable sample has zero spread.
     pub fn new(data: Vec<f64>) -> Option<Self> {
+        let data: Vec<f64> = data.into_iter().filter(|x| !x.is_nan()).collect();
         if data.len() < 2 {
             return None;
         }
@@ -27,7 +29,7 @@ impl GaussianKde {
         let sigma =
             (data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt();
         let mut sorted = data.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KDE sample"));
+        sorted.sort_by(f64::total_cmp);
         let iqr = crate::percentile::percentile_sorted(&sorted, 75.0).unwrap()
             - crate::percentile::percentile_sorted(&sorted, 25.0).unwrap();
         let spread = if iqr > 0.0 { sigma.min(iqr / 1.34) } else { sigma };

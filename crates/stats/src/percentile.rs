@@ -6,6 +6,12 @@
 //! through [`percentile_sorted`] so there is exactly one interpolation rule
 //! in the workspace (linear interpolation between closest ranks, the same
 //! rule NumPy's default uses).
+//!
+//! The fault-injected measurement plane encodes lost slots as NaN, so NaN
+//! samples can reach any of these entry points. They are handled with
+//! *filter-and-count* semantics: NaN samples are dropped before computing,
+//! results describe the remaining samples only, and all-NaN input behaves
+//! like empty input (`None`). No entry point panics on NaN.
 
 /// Linear-interpolated percentile of pre-sorted data. `p` is in `[0, 100]`.
 ///
@@ -35,29 +41,43 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
 }
 
 /// Convenience: several percentiles of unsorted data in one sort.
-/// Returns `None` on empty input.
+///
+/// NaN samples are ignored; returns `None` when the input is empty or
+/// all-NaN.
 pub fn quantiles(data: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
-    if data.is_empty() {
+    let mut sorted: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantiles input"));
+    sorted.sort_by(f64::total_cmp);
     Some(ps.iter().map(|&p| percentile_sorted(&sorted, p).unwrap()).collect())
 }
 
-/// Arithmetic mean; `None` on empty input.
+/// Arithmetic mean of the non-NaN samples; `None` when the input is empty
+/// or all-NaN.
 pub fn mean(data: &[f64]) -> Option<f64> {
-    if data.is_empty() {
-        return None;
+    let (mut sum, mut n) = (0.0, 0usize);
+    for &x in data {
+        if !x.is_nan() {
+            sum += x;
+            n += 1;
+        }
     }
-    Some(data.iter().sum::<f64>() / data.len() as f64)
+    (n > 0).then(|| sum / n as f64)
 }
 
-/// Population standard deviation; `None` on empty input.
+/// Population standard deviation of the non-NaN samples; `None` when the
+/// input is empty or all-NaN.
 pub fn stddev(data: &[f64]) -> Option<f64> {
     let m = mean(data)?;
-    let var = data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64;
-    Some(var.sqrt())
+    let (mut var, mut n) = (0.0, 0usize);
+    for &x in data {
+        if !x.is_nan() {
+            var += (x - m) * (x - m);
+            n += 1;
+        }
+    }
+    Some((var / n as f64).sqrt())
 }
 
 /// A one-pass summary of a sample: count, min/max, mean, stddev, and the
@@ -87,20 +107,21 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Builds a summary; `None` on empty input.
+    /// Builds a summary of the non-NaN samples, with `count` reporting how
+    /// many survived the filter; `None` when the input is empty or all-NaN.
     pub fn of(data: &[f64]) -> Option<Summary> {
-        if data.is_empty() {
+        let mut sorted: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Summary input"));
+        sorted.sort_by(f64::total_cmp);
         let pct = |p| percentile_sorted(&sorted, p).unwrap();
         Some(Summary {
             count: sorted.len(),
             min: sorted[0],
             max: *sorted.last().unwrap(),
-            mean: mean(data).unwrap(),
-            stddev: stddev(data).unwrap(),
+            mean: mean(&sorted).unwrap(),
+            stddev: stddev(&sorted).unwrap(),
             p5: pct(5.0),
             p10: pct(10.0),
             p50: pct(50.0),
@@ -180,6 +201,35 @@ mod tests {
         assert_eq!(Summary::of(&[]), None);
     }
 
+    #[test]
+    fn nan_samples_are_filtered_not_fatal() {
+        // Lost slots from the fault-injected plane arrive as NaN; every
+        // entry point must drop them instead of panicking (regression: the
+        // sort comparator used to `expect("NaN in quantiles input")`).
+        let nan = f64::NAN;
+        let dirty = [3.0, nan, 1.0, nan, 2.0];
+        assert_eq!(quantiles(&dirty, &[0.0, 50.0, 100.0]), Some(vec![1.0, 2.0, 3.0]));
+        assert_eq!(mean(&dirty), Some(2.0));
+        assert_eq!(stddev(&dirty), stddev(&[1.0, 2.0, 3.0]));
+        let s = Summary::of(&dirty).unwrap();
+        assert_eq!(s.count, 3, "count reports surviving samples only");
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.p50, 2.0);
+        assert!(s.spread_95_5().is_finite());
+        // Clean input is untouched by the filter.
+        assert_eq!(Summary::of(&[1.0, 2.0, 3.0]), Some(s));
+    }
+
+    #[test]
+    fn all_nan_behaves_like_empty() {
+        let all = [f64::NAN, f64::NAN];
+        assert_eq!(quantiles(&all, &[50.0]), None);
+        assert_eq!(mean(&all), None);
+        assert_eq!(stddev(&all), None);
+        assert_eq!(Summary::of(&all), None);
+    }
+
     proptest! {
         #[test]
         fn prop_percentile_monotone_in_p(
@@ -213,6 +263,26 @@ mod tests {
             prop_assert!(s.p10 <= s.p50 && s.p50 <= s.p90);
             prop_assert!(s.p90 <= s.p95 && s.p95 <= s.max);
             prop_assert!(s.stddev >= 0.0);
+        }
+
+        #[test]
+        fn prop_nan_injection_equals_filtering(
+            data in proptest::collection::vec(0.0f64..1e5, 1..100),
+            positions in proptest::collection::vec(0usize..100, 0..30),
+        ) {
+            // Splicing NaNs anywhere in the sample must be exactly
+            // equivalent to never having measured those slots.
+            let mut dirty = data.clone();
+            for &p in &positions {
+                dirty.insert(p.min(dirty.len()), f64::NAN);
+            }
+            prop_assert_eq!(Summary::of(&dirty), Summary::of(&data));
+            prop_assert_eq!(mean(&dirty), mean(&data));
+            prop_assert_eq!(stddev(&dirty), stddev(&data));
+            prop_assert_eq!(
+                quantiles(&dirty, &[5.0, 50.0, 95.0]),
+                quantiles(&data, &[5.0, 50.0, 95.0])
+            );
         }
     }
 }

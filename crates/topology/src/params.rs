@@ -84,7 +84,7 @@ impl TopologyParams {
     }
 
     /// The default experiment scale, overridable through `S2S_*` environment
-    /// variables (see DESIGN.md §5).
+    /// variables (see DESIGN.md §7).
     pub fn from_env() -> Self {
         let mut p = TopologyParams::default();
         if let Some(seed) = env_u64("S2S_SEED") {
