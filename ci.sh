@@ -19,13 +19,16 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
 echo "==> unwrap audit (advisory) on s2s-probe / s2s-core"
 cargo clippy -p s2s-probe -p s2s-core -- -W clippy::unwrap_used 2>&1 |
     grep -A3 "unwrap_used\|used \`unwrap()\`" || true
 
-echo "==> small-scale reproduce smoke run"
+echo "==> small-scale reproduce smoke run (writes metrics.json)"
 S2S_CLUSTERS=16 S2S_DAYS=20 S2S_PAIRS=24 S2S_PING_PAIRS=20 S2S_CONG_PAIRS=8 \
-    cargo run -q --release -p s2s-bench --bin reproduce -- table1
+    cargo run -q --release -p s2s-bench --bin reproduce -- table1 --metrics-json metrics.json
 
 echo "==> long-term campaign bench (quick mode; writes BENCH_longterm.json)"
 S2S_BENCH_QUICK=1 cargo bench -q -p s2s-bench --bench longterm

@@ -10,10 +10,7 @@ use s2s_core::bestpath::best_path_analysis;
 use s2s_core::congestion::{detect, DetectParams};
 use s2s_core::shortterm::subsample;
 use s2s_core::timeline::TimelineBuilder;
-use s2s_probe::{
-    run_ping_campaign, run_traceroute_campaign, trace, CampaignConfig, TraceOptions,
-    TracerouteMode,
-};
+use s2s_probe::{trace, Campaign, CampaignConfig, TraceOptions, TracerouteMode};
 use s2s_types::{Protocol, SimDuration, SimTime};
 use std::sync::OnceLock;
 
@@ -86,7 +83,9 @@ fn ablate_fft_threshold(c: &mut Criterion) {
     let pairs = s.sample_pair_list(60, 0xFF7);
     let fwd: Vec<_> = pairs.chunks(2).map(|w| w[0]).collect();
     let cfg = CampaignConfig::ping_week(SimTime::from_days(10));
-    let tls = run_ping_campaign(&s.net, &fwd, &cfg);
+    let (tls, _) = Campaign::new(cfg)
+        .run_ping(&s.net, &fwd)
+        .expect("in-memory campaign cannot fail");
     for threshold in [0.1, 0.3, 0.5] {
         let params = DetectParams { psd_threshold: threshold, ..Default::default() };
         let hits = tls
@@ -122,17 +121,19 @@ fn ablate_cadence(c: &mut Criterion) {
         threads: 4,
     };
     let map = &s.ip2asn;
-    let tls: Vec<_> = run_traceroute_campaign(
-        &s.net,
-        &pairs,
-        &cfg,
-        TraceOptions::default(),
-        |a, b, p| TimelineBuilder::new(a, b, p, map),
-        |b, rec| b.push(rec),
-    )
-    .into_iter()
-    .map(TimelineBuilder::finish)
-    .collect();
+    let tls: Vec<_> = Campaign::new(cfg)
+        .run_traceroute(
+            &s.net,
+            &pairs,
+            TraceOptions::default(),
+            |a, b, p| TimelineBuilder::new(a, b, p, map),
+            |b, rec| b.push(rec),
+        )
+        .expect("in-memory campaign cannot fail")
+        .0
+        .into_iter()
+        .map(TimelineBuilder::finish)
+        .collect();
     c.bench_function("ablate/cadence/all_30min", |b| {
         b.iter(|| {
             tls.iter()

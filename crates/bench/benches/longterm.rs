@@ -5,6 +5,9 @@
 //! datasets are byte-identical (the tentpole invariant — the fast path is
 //! only admissible because it changes nothing), and writes the timings to
 //! `BENCH_longterm.json` at the repo root so CI can archive the trend.
+//! A third timed pass reruns the fast path with a metrics registry
+//! installed, so the JSON also records the observability overhead (the
+//! instrumented run must stay byte-identical and within a few percent).
 //!
 //! Knobs:
 //! * `S2S_BENCH_QUICK=1` — a smaller world and a single timing sample, for
@@ -15,14 +18,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use s2s_bench::{Scale, Scenario};
 use s2s_probe::dataset::traceroute_to_line;
-use s2s_probe::{
-    run_traceroute_campaign_reference, run_traceroute_campaign_with, CampaignConfig,
-    TraceOptions, TracerouteRecord,
-};
+use s2s_probe::{Campaign, CampaignConfig, TraceOptions, TracerouteRecord};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn quick() -> bool {
-    std::env::var("S2S_BENCH_QUICK").map(|v| !v.trim().is_empty() && v != "0").unwrap_or(false)
+    s2s_types::env::var_flag("S2S_BENCH_QUICK")
 }
 
 /// The bench world: the smoke scale, shrunk further under quick mode.
@@ -36,39 +37,44 @@ fn scale() -> Scale {
     s
 }
 
-struct Campaign {
+struct BenchWorld {
     scenario: Scenario,
     pairs: Vec<(s2s_types::ClusterId, s2s_types::ClusterId)>,
     cfg: CampaignConfig,
 }
 
-fn campaign() -> Campaign {
+fn world() -> BenchWorld {
     let scenario = Scenario::build(scale());
     let pairs = scenario.sample_pair_list(scenario.scale.pairs / 2, 0xBE);
     let cfg = CampaignConfig::long_term(scenario.scale.days);
-    Campaign { scenario, pairs, cfg }
+    BenchWorld { scenario, pairs, cfg }
 }
 
-fn lines_reference(c: &Campaign) -> Vec<Vec<String>> {
-    run_traceroute_campaign_reference(
-        &c.scenario.net,
-        &c.pairs,
-        &c.cfg,
-        |_, _| TraceOptions::default(),
-        |_, _, _| Vec::new(),
-        |acc: &mut Vec<String>, rec: TracerouteRecord| acc.push(traceroute_to_line(&rec)),
-    )
+fn lines_reference(w: &BenchWorld) -> Vec<Vec<String>> {
+    Campaign::new(w.cfg.clone())
+        .reference()
+        .run_traceroute_with(
+            &w.scenario.net,
+            &w.pairs,
+            |_, _| TraceOptions::default(),
+            |_, _, _| Vec::new(),
+            |acc: &mut Vec<String>, rec: TracerouteRecord| acc.push(traceroute_to_line(&rec)),
+        )
+        .expect("in-memory campaign cannot fail")
+        .0
 }
 
-fn lines_batched(c: &Campaign) -> Vec<Vec<String>> {
-    run_traceroute_campaign_with(
-        &c.scenario.net,
-        &c.pairs,
-        &c.cfg,
-        |_, _| TraceOptions::default(),
-        |_, _, _| Vec::new(),
-        |acc: &mut Vec<String>, rec: TracerouteRecord| acc.push(traceroute_to_line(&rec)),
-    )
+fn lines_batched(w: &BenchWorld) -> Vec<Vec<String>> {
+    Campaign::new(w.cfg.clone())
+        .run_traceroute_with(
+            &w.scenario.net,
+            &w.pairs,
+            |_, _| TraceOptions::default(),
+            |_, _, _| Vec::new(),
+            |acc: &mut Vec<String>, rec: TracerouteRecord| acc.push(traceroute_to_line(&rec)),
+        )
+        .expect("in-memory campaign cannot fail")
+        .0
 }
 
 /// Medians a set of timed samples of `f`, returning (median, last result).
@@ -85,21 +91,38 @@ fn time_samples<T>(n: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
 }
 
 fn bench_longterm(c: &mut Criterion) {
-    let camp = campaign();
+    let w = world();
     let samples = if quick() { 1 } else { 3 };
 
-    let (t_ref, data_ref) = time_samples(samples, || lines_reference(&camp));
-    let (t_new, data_new) = time_samples(samples, || lines_batched(&camp));
+    let (t_ref, data_ref) = time_samples(samples, || lines_reference(&w));
+    let (t_new, data_new) = time_samples(samples, || lines_batched(&w));
     assert_eq!(
         data_ref, data_new,
         "epoch-batched runner must serialize to the reference's exact bytes"
     );
-    let cs = camp.scenario.oracle.cache_stats();
+
+    // Observability overhead: the same fast path with a live global
+    // registry. Must change nothing about the dataset; the JSON records the
+    // slowdown so a regression past the <3% budget shows up in the trend.
+    let registry = Arc::new(s2s_obs::Registry::new());
+    w.scenario.net.observe(&registry);
+    s2s_obs::install(Arc::clone(&registry));
+    let (t_obs, data_obs) = time_samples(samples, || lines_batched(&w));
+    s2s_obs::uninstall();
+    assert_eq!(
+        data_ref, data_obs,
+        "metrics-enabled runner must serialize to the reference's exact bytes"
+    );
+    let obs_overhead = t_obs.as_secs_f64() / t_new.as_secs_f64().max(1e-9) - 1.0;
+
+    let cs = w.scenario.oracle.cache_stats();
     let speedup = t_ref.as_secs_f64() / t_new.as_secs_f64().max(1e-9);
     println!(
         "longterm: reference {t_ref:?}, epoch-batched {t_new:?} ({speedup:.2}x), \
+         observed {t_obs:?} ({:+.1}% overhead), \
          {} epochs, {} epoch configs, cache {}h/{}m/{}e",
-        camp.scenario.oracle.dynamics().epoch_count(),
+        100.0 * obs_overhead,
+        w.scenario.oracle.dynamics().epoch_count(),
         cs.epoch_configs,
         cs.hits,
         cs.misses,
@@ -119,6 +142,8 @@ fn bench_longterm(c: &mut Criterion) {
          \"threads\": {},\n  \"samples\": {},\n  \
          \"reference_seconds\": {:.6},\n  \"epoch_batched_seconds\": {:.6},\n  \
          \"speedup\": {:.3},\n  \"dataset_identical\": true,\n  \
+         \"observed_seconds\": {:.6},\n  \"observability_overhead\": {:.4},\n  \
+         \"observed_dataset_identical\": true,\n  \
          \"epochs\": {},\n  \"epoch_configs\": {},\n  \
          \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_evictions\": {},\n  \
          \"fullscale\": {{\n    \"clusters\": 120,\n    \"days\": 485,\n    \
@@ -128,15 +153,17 @@ fn bench_longterm(c: &mut Criterion) {
          \"before_log\": \"reproduce_fullscale.txt\",\n    \
          \"after_log\": \"reproduce_fullscale_after.txt\"\n  }}\n}}\n",
         quick(),
-        camp.scenario.scale.clusters,
-        camp.scenario.scale.days,
-        camp.pairs.len(),
-        camp.cfg.threads,
+        w.scenario.scale.clusters,
+        w.scenario.scale.days,
+        w.pairs.len(),
+        w.cfg.threads,
         samples,
         t_ref.as_secs_f64(),
         t_new.as_secs_f64(),
         speedup,
-        camp.scenario.oracle.dynamics().epoch_count(),
+        t_obs.as_secs_f64(),
+        obs_overhead,
+        w.scenario.oracle.dynamics().epoch_count(),
         cs.epoch_configs,
         cs.hits,
         cs.misses,
@@ -148,7 +175,7 @@ fn bench_longterm(c: &mut Criterion) {
 
     // Also register the batched runner with the criterion harness so the
     // standard bench report includes it alongside the other groups.
-    c.bench_function("longterm/epoch_batched_campaign", |b| b.iter(|| lines_batched(&camp)));
+    c.bench_function("longterm/epoch_batched_campaign", |b| b.iter(|| lines_batched(&w)));
 }
 
 criterion_group!(

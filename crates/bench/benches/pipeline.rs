@@ -9,7 +9,7 @@ use s2s_bench::{Scale, Scenario};
 use s2s_core::bestpath::{best_path_analysis, suboptimal_prevalence};
 use s2s_core::changes::{as_path_pairs, detect_changes, path_stats};
 use s2s_core::congestion::{detect, DetectParams};
-use s2s_probe::{run_ping_campaign, CampaignConfig};
+use s2s_probe::{Campaign, CampaignConfig};
 use s2s_types::{Protocol, SimDuration, SimTime};
 use std::hint::black_box;
 use std::sync::OnceLock;
@@ -111,7 +111,9 @@ fn bench_sec51(c: &mut Criterion) {
     };
     c.bench_function("pipeline/sec51_one_pair_detect", |b| {
         b.iter(|| {
-            let tls = run_ping_campaign(&scenario.net, &pairs[..1], &cfg);
+            let (tls, _) = Campaign::new(cfg.clone())
+                .run_ping(&scenario.net, &pairs[..1])
+                .expect("in-memory campaign cannot fail");
             tls.iter()
                 .filter_map(|t| detect(t, &DetectParams::default()))
                 .filter(|r| r.consistent)

@@ -9,15 +9,24 @@
 //! fig6, fig7, sec51, sec53, fig8, fig9, fig10a, fig10b, plus the
 //! extensions (loss, shared, coloc, abw) and the fault sweep (faults).
 //! Scale comes from `S2S_*` environment variables; the measurement plane
-//! can be degraded via `S2S_FAULT_*` knobs (DESIGN.md §7 and the fault
-//! model section).
+//! can be degraded via `S2S_FAULT_*` knobs (DESIGN.md §8 scale knobs,
+//! §9 fault model).
+//!
+//! Flags:
+//! * `--print-config` — dump every `S2S_*` knob (resolved value, default,
+//!   whether the operator set it) and exit.
+//! * `--metrics-json <path>` — after the run, write the observability
+//!   registry's snapshot (schema-stable JSON) to `<path>`. A metrics
+//!   summary table prints at the end of every run either way.
 
 use s2s_bench::experiments::{
     congestion, dualstack, example, extensions, faultsweep, longterm, ownercheck,
     shortterm, LongTermData,
 };
 use s2s_bench::{Scale, Scenario};
+use s2s_probe::env::ResolvedKnob;
 use s2s_types::{Protocol, SimTime};
+use std::sync::Arc;
 use std::time::Instant;
 
 const ALL: &[&str] = &[
@@ -30,13 +39,70 @@ const ALL: &[&str] = &[
     "faults",
 ];
 
+/// The experiment-scale knobs, resolved the same way `Scale::from_env`
+/// resolves them — they live here (not `s2s_probe::env`) because their
+/// defaults are experiment policy, not measurement-plane policy.
+fn scale_knobs(scale: &Scale) -> Vec<ResolvedKnob> {
+    let set = |name: &str| s2s_types::env::var_raw(name).is_some();
+    let knob = |name: &'static str, value: String, default: &str, doc: &'static str| {
+        ResolvedKnob { name, value, default: default.to_string(), set: set(name), doc }
+    };
+    vec![
+        knob("S2S_SEED", scale.seed.to_string(), "20151201", "master world seed"),
+        knob("S2S_CLUSTERS", scale.clusters.to_string(), "120", "CDN clusters deployed"),
+        knob("S2S_DAYS", scale.days.to_string(), "485", "days of long-term campaign"),
+        knob("S2S_PAIRS", scale.pairs.to_string(), "600", "long-term directed pair samples"),
+        knob(
+            "S2S_PING_PAIRS",
+            scale.ping_pairs.to_string(),
+            "4000",
+            "pairs in the short-term ping campaign",
+        ),
+        knob(
+            "S2S_CONG_PAIRS",
+            scale.cong_pairs.to_string(),
+            "400",
+            "congested-pair subset traced every 30 minutes",
+        ),
+        knob(
+            "S2S_BENCH_QUICK",
+            s2s_types::env::var_flag("S2S_BENCH_QUICK").to_string(),
+            "false",
+            "shrink Criterion bench worlds for CI smoke runs",
+        ),
+    ]
+}
+
+fn print_config() {
+    println!("s2s reproduce — resolved S2S_* knobs (* = set by the operator)\n");
+    println!("measurement plane:");
+    print!("{}", s2s_probe::env::format_knob_table(&s2s_probe::env::resolved_knobs()));
+    println!("\nexperiment scale:");
+    print!("{}", s2s_probe::env::format_knob_table(&scale_knobs(&Scale::from_env())));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let wanted: Vec<&str> = if args.is_empty() {
-        ALL.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
+    let mut metrics_json: Option<String> = None;
+    let mut ids: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--print-config" => {
+                print_config();
+                return;
+            }
+            "--metrics-json" => match it.next() {
+                Some(p) => metrics_json = Some(p.clone()),
+                None => {
+                    eprintln!("--metrics-json needs a path argument");
+                    std::process::exit(2);
+                }
+            },
+            other => ids.push(other),
+        }
+    }
+    let wanted: Vec<&str> = if ids.is_empty() { ALL.to_vec() } else { ids };
     for w in &wanted {
         assert!(ALL.contains(w), "unknown experiment id '{w}' (known: {ALL:?})");
     }
@@ -50,6 +116,14 @@ fn main() {
     let t0 = Instant::now();
     let scenario = Scenario::build(scale);
     println!("world built in {:?}\n", t0.elapsed());
+
+    // Observability: one registry for the whole run. Sharing it with the
+    // network/oracle counter cells and installing it globally costs a few
+    // relaxed atomics per probe and never changes a measured byte (the
+    // equivalence tests pin that).
+    let registry = Arc::new(s2s_obs::Registry::new());
+    scenario.net.observe(&registry);
+    s2s_obs::install(Arc::clone(&registry));
 
     let needs_long = wanted.iter().any(|w| {
         matches!(
@@ -200,4 +274,18 @@ fn main() {
         println!("[{w} done in {:?}]\n", t.elapsed());
     }
     println!("total: {:?}", t0.elapsed());
+
+    let snapshot = registry.snapshot();
+    s2s_obs::uninstall();
+    println!("\nOBSERVABILITY — end-of-run metrics");
+    print!("{}", snapshot.summary_table());
+    if let Some(path) = metrics_json {
+        match std::fs::write(&path, snapshot.to_json()) {
+            Ok(()) => println!("metrics written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -43,7 +43,7 @@ fn usage() -> ExitCode {
 /// A small world unless the caller asks for more via the env knobs.
 fn scenario() -> Scenario {
     let mut scale = Scale::from_env();
-    if std::env::var("S2S_CLUSTERS").is_err() {
+    if s2s_types::env::var_raw("S2S_CLUSTERS").is_none() {
         scale.clusters = 24;
     }
     Scenario::build(scale)

@@ -9,10 +9,7 @@ use s2s_core::congestion::{
 };
 use s2s_core::ownership::{classify_link, infer_ownership, CongestedLinkClass};
 use s2s_netsim::Network;
-use s2s_probe::{
-    run_ping_campaign, run_ping_campaign_faulty, run_traceroute_campaign, CampaignConfig,
-    FaultProfile, RetryPolicy, TraceOptions,
-};
+use s2s_probe::{Campaign, CampaignConfig, FaultProfile, TraceOptions};
 use s2s_stats::GaussianKde;
 use s2s_topology::LinkKind;
 use s2s_types::{ClusterId, Protocol, SimTime};
@@ -40,13 +37,10 @@ pub fn sec51(
     let pairs: Vec<(ClusterId, ClusterId)> =
         all.chunks(2).map(|c| c[0]).collect();
     let cfg = CampaignConfig::ping_week(start);
-    let (timelines, report) = run_ping_campaign_faulty(
-        &scenario.net,
-        &pairs,
-        &cfg,
-        &FaultProfile::from_env(),
-        &RetryPolicy::default(),
-    );
+    let (timelines, report) = Campaign::new(cfg)
+        .faults(FaultProfile::from_env())
+        .run_ping(&scenario.net, &pairs)
+        .expect("in-memory campaign cannot fail");
     let params = DetectParams::default();
     // The paper's ≥600-of-672 gate, as the fraction it is (~89.3%), so a
     // degraded plane is held to the same standard per offered slot.
@@ -156,14 +150,15 @@ pub fn sec53(
     }
     let cfg = CampaignConfig::focused_traceroute(start, days);
     let map = &scenario.ip2asn;
-    let accs = run_traceroute_campaign(
-        &scenario.net,
-        &directed,
-        &cfg,
-        TraceOptions::default(),
-        |_, _, _| SegmentAccumulator::default(),
-        |acc, rec| acc.push(&rec),
-    );
+    let (accs, _) = Campaign::new(cfg)
+        .run_traceroute(
+            &scenario.net,
+            &directed,
+            TraceOptions::default(),
+            |_, _, _| SegmentAccumulator::default(),
+            |acc, rec| acc.push(&rec),
+        )
+        .expect("in-memory campaign cannot fail");
     // Index accumulators: directed[i] × protocols (V4 at 2i, V6 at 2i+1).
     let acc_of = |i: usize, p: Protocol| -> &SegmentAccumulator {
         &accs[2 * i + (p == Protocol::V6) as usize]
@@ -385,7 +380,9 @@ pub fn fig9(scenario: &Scenario, census: &Sec53Result) -> Fig9Result {
 /// Smoke helper for benches: one detection pass over a synthetic pair.
 pub fn detect_one(net: &Network, src: ClusterId, dst: ClusterId, start: SimTime) -> bool {
     let cfg = CampaignConfig::ping_week(start);
-    let tls = run_ping_campaign(net, &[(src, dst)], &cfg);
+    let (tls, _) = Campaign::new(cfg)
+        .run_ping(net, &[(src, dst)])
+        .expect("in-memory campaign cannot fail");
     tls.iter()
         .filter_map(|t| detect(t, &DetectParams::default()))
         .any(|r| r.consistent)

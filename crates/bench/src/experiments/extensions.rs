@@ -13,7 +13,7 @@ use crate::scenario::Scenario;
 use s2s_stats::quantiles;
 use s2s_core::congestion::{detect, DetectParams};
 use s2s_core::lossrate::{has_diurnal_loss, loss_stats};
-use s2s_probe::{colocated_pairs, run_ping_campaign, CampaignConfig};
+use s2s_probe::{colocated_pairs, Campaign, CampaignConfig};
 use s2s_stats::pearson;
 use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
 
@@ -34,7 +34,9 @@ pub fn loss(scenario: &Scenario, start: SimTime) -> LossResult {
     let all = scenario.sample_pair_list(scenario.scale.ping_pairs.min(1500), 0x1055);
     let pairs: Vec<(ClusterId, ClusterId)> = all.chunks(2).map(|c| c[0]).collect();
     let cfg = CampaignConfig::ping_week(start);
-    let timelines = run_ping_campaign(&scenario.net, &pairs, &cfg);
+    let (timelines, _) = Campaign::new(cfg)
+        .run_ping(&scenario.net, &pairs)
+        .expect("in-memory campaign cannot fail");
     let mut losses = Vec::new();
     let mut diurnal_loss = 0usize;
     let mut congested = 0usize;
@@ -173,9 +175,11 @@ pub fn coloc(scenario: &Scenario, start: SimTime) -> ColocResult {
         end: start + SimDuration::from_days(7),
         interval: SimDuration::from_minutes(30),
         protocols: vec![Protocol::V4],
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        threads: s2s_probe::env::threads(),
     };
-    let tls = run_ping_campaign(&scenario.net, &pairs, &cfg);
+    let (tls, _) = Campaign::new(cfg)
+        .run_ping(&scenario.net, &pairs)
+        .expect("in-memory campaign cannot fail");
     let mut rtts = Vec::new();
     let mut congested = 0usize;
     let mut analyzed = 0usize;
@@ -223,7 +227,9 @@ pub fn abw(scenario: &Scenario, start: SimTime) -> AbwResult {
     let pairs: Vec<(ClusterId, ClusterId)> = all.chunks(2).map(|c| c[0]).collect();
     // Flag congested pairs first (reusing the ping detector at this window).
     let cfg = CampaignConfig::ping_week(start);
-    let tls = run_ping_campaign(&scenario.net, &pairs, &cfg);
+    let (tls, _) = Campaign::new(cfg)
+        .run_ping(&scenario.net, &pairs)
+        .expect("in-memory campaign cannot fail");
     let mut congested: std::collections::HashSet<(ClusterId, ClusterId)> =
         Default::default();
     for tl in tls.iter().filter(|t| t.proto == Protocol::V4) {

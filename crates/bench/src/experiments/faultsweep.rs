@@ -12,9 +12,7 @@
 use crate::scenario::Scenario;
 use s2s_core::changes::detect_changes_checked;
 use s2s_core::timeline::{TimelineBuilder, TraceTimeline};
-use s2s_probe::{
-    run_traceroute_campaign_faulty, CampaignConfig, FaultProfile, RetryPolicy, TraceOptions,
-};
+use s2s_probe::{Campaign, CampaignConfig, FaultProfile, RetryPolicy, TraceOptions};
 use s2s_stats::Ecdf;
 use s2s_types::{Coverage, SimDuration, SimTime};
 
@@ -45,16 +43,17 @@ fn sweep_campaign(
     retry: &RetryPolicy,
 ) -> (Vec<TraceTimeline>, s2s_probe::CampaignReport) {
     let map = &scenario.ip2asn;
-    let (builders, report) = run_traceroute_campaign_faulty(
-        &scenario.net,
-        pairs,
-        cfg,
-        |_, _| TraceOptions::default(),
-        profile,
-        retry,
-        |s, d, p| TimelineBuilder::new(s, d, p, map),
-        |b, rec| b.push(rec),
-    );
+    let (builders, report) = Campaign::new(cfg.clone())
+        .faults(*profile)
+        .retry(*retry)
+        .run_traceroute(
+            &scenario.net,
+            pairs,
+            TraceOptions::default(),
+            |s, d, p| TimelineBuilder::new(s, d, p, map),
+            |b, rec| b.push(rec),
+        )
+        .expect("in-memory campaign cannot fail");
     (builders.into_iter().map(TimelineBuilder::finish).collect(), report)
 }
 

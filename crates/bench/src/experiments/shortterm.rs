@@ -4,7 +4,7 @@ use crate::render::print_ecdf;
 use crate::scenario::Scenario;
 use s2s_core::shortterm::CadenceComparison;
 use s2s_core::timeline::TimelineBuilder;
-use s2s_probe::{run_traceroute_campaign, CampaignConfig, TraceOptions};
+use s2s_probe::{Campaign, CampaignConfig, TraceOptions};
 use s2s_types::{SimDuration, SimTime};
 
 /// Fig. 7 headline: max ECDF gaps between All and 3hr delta distributions.
@@ -27,17 +27,18 @@ pub fn fig7(scenario: &Scenario, days: u32, start: SimTime) -> Fig7Result {
         end: start + SimDuration::from_days(days),
         interval: SimDuration::from_minutes(30),
         protocols: vec![s2s_types::Protocol::V4, s2s_types::Protocol::V6],
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        threads: s2s_probe::env::threads(),
     };
     let map = &scenario.ip2asn;
-    let timelines = run_traceroute_campaign(
-        &scenario.net,
-        &pairs,
-        &cfg,
-        TraceOptions::default(),
-        |s, d, p| TimelineBuilder::new(s, d, p, map),
-        |b, rec| b.push(rec),
-    );
+    let (timelines, _) = Campaign::new(cfg)
+        .run_traceroute(
+            &scenario.net,
+            &pairs,
+            TraceOptions::default(),
+            |s, d, p| TimelineBuilder::new(s, d, p, map),
+            |b, rec| b.push(rec),
+        )
+        .expect("in-memory campaign cannot fail");
     let mut comp = CadenceComparison::default();
     let mut n = 0;
     for b in timelines {

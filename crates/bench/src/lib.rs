@@ -3,7 +3,7 @@
 //! The `reproduce` binary and the Criterion benches all run on the same
 //! simulated world: one seeded topology + dynamics + congestion model, and
 //! pair samples drawn deterministically from the cluster mesh. Scale knobs
-//! come from `S2S_*` environment variables (see DESIGN.md §7) so the same
+//! come from `S2S_*` environment variables (see DESIGN.md §8) so the same
 //! code serves quick smoke runs and full reproductions.
 
 pub mod experiments;

@@ -4,8 +4,8 @@ use s2s_bgp::{AsRelStore, Ip2AsnMap};
 use s2s_core::timeline::{TimelineBuilder, TraceTimeline};
 use s2s_netsim::{CongestionModel, CongestionParams, Network, NetworkParams};
 use s2s_probe::{
-    run_traceroute_campaign_faulty, run_traceroute_campaign_with, CampaignConfig,
-    CampaignReport, FaultProfile, RetryPolicy, TraceOptions, TracerouteMode,
+    Campaign, CampaignConfig, CampaignReport, FaultProfile, RetryPolicy, TraceOptions,
+    TracerouteMode,
 };
 use s2s_routing::{Dynamics, DynamicsParams, RouteOracle};
 use s2s_topology::{build_topology, Topology, TopologyParams};
@@ -29,20 +29,21 @@ pub struct Scale {
     pub cong_pairs: usize,
 }
 
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
-}
-
 impl Scale {
-    /// The default experiment scale (DESIGN.md §7), overridable via env.
+    /// The default experiment scale (DESIGN.md §8), overridable via the
+    /// `S2S_SEED` / `S2S_CLUSTERS` / `S2S_DAYS` / `S2S_PAIRS` /
+    /// `S2S_PING_PAIRS` / `S2S_CONG_PAIRS` knobs. Malformed values warn
+    /// once and fall back (see `s2s_types::env`); zero-cluster or zero-day
+    /// worlds are rejected the same way.
     pub fn from_env() -> Self {
+        use s2s_types::env::{var_u64, var_usize, var_usize_at_least};
         Scale {
-            seed: env_usize("S2S_SEED", 20151201) as u64,
-            clusters: env_usize("S2S_CLUSTERS", 120),
-            days: env_usize("S2S_DAYS", 485) as u32,
-            pairs: env_usize("S2S_PAIRS", 600),
-            ping_pairs: env_usize("S2S_PING_PAIRS", 4000),
-            cong_pairs: env_usize("S2S_CONG_PAIRS", 400),
+            seed: var_u64("S2S_SEED", 20151201),
+            clusters: var_usize_at_least("S2S_CLUSTERS", 120, 2),
+            days: var_usize_at_least("S2S_DAYS", 485, 1) as u32,
+            pairs: var_usize("S2S_PAIRS", 600),
+            ping_pairs: var_usize("S2S_PING_PAIRS", 4000),
+            cong_pairs: var_usize("S2S_CONG_PAIRS", 400),
         }
     }
 
@@ -153,17 +154,16 @@ impl Scenario {
         let cfg = CampaignConfig::long_term(self.scale.days);
         let map = &self.ip2asn;
         let opts_of = self.long_term_opts_of();
-        run_traceroute_campaign_with(
-            &self.net,
-            pairs,
-            &cfg,
-            opts_of,
-            |s, d, p| TimelineBuilder::new(s, d, p, map),
-            |b, rec| b.push(rec),
-        )
-        .into_iter()
-        .map(TimelineBuilder::finish)
-        .collect()
+        let (builders, _report) = Campaign::new(cfg)
+            .run_traceroute_with(
+                &self.net,
+                pairs,
+                opts_of,
+                |s, d, p| TimelineBuilder::new(s, d, p, map),
+                |b, rec| b.push(rec),
+            )
+            .expect("in-memory campaign cannot fail");
+        builders.into_iter().map(TimelineBuilder::finish).collect()
     }
 
     /// [`Scenario::long_term_timelines`] behind a fault-injected
@@ -180,16 +180,17 @@ impl Scenario {
         let cfg = CampaignConfig::long_term(self.scale.days);
         let map = &self.ip2asn;
         let opts_of = self.long_term_opts_of();
-        let (builders, report) = run_traceroute_campaign_faulty(
-            &self.net,
-            pairs,
-            &cfg,
-            opts_of,
-            profile,
-            retry,
-            |s, d, p| TimelineBuilder::new(s, d, p, map),
-            |b, rec| b.push(rec),
-        );
+        let (builders, report) = Campaign::new(cfg)
+            .faults(*profile)
+            .retry(*retry)
+            .run_traceroute_with(
+                &self.net,
+                pairs,
+                opts_of,
+                |s, d, p| TimelineBuilder::new(s, d, p, map),
+                |b, rec| b.push(rec),
+            )
+            .expect("in-memory campaign cannot fail");
         (builders.into_iter().map(TimelineBuilder::finish).collect(), report)
     }
 

@@ -94,7 +94,7 @@ impl TraceTimeline {
 }
 
 /// Streaming builder: the accumulator used with
-/// [`s2s_probe::run_traceroute_campaign`].
+/// `s2s_probe::Campaign::run_traceroute`.
 pub struct TimelineBuilder<'m> {
     timeline: TraceTimeline,
     map: &'m Ip2AsnMap,

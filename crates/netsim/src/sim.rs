@@ -101,6 +101,14 @@ pub struct Network {
     oracle: Arc<RouteOracle>,
     congestion: CongestionModel,
     params: NetworkParams,
+    // Wire-level counters (`netsim.*`), shared with any registry passed to
+    // [`Network::observe`]. Incremented only while a global registry is
+    // installed (`s2s_obs::enabled`), so an uninstrumented run pays one
+    // relaxed bool load per probe.
+    probes: Arc<s2s_obs::Counter>,
+    probes_lost: Arc<s2s_obs::Counter>,
+    probes_unreachable: Arc<s2s_obs::Counter>,
+    pings: Arc<s2s_obs::Counter>,
 }
 
 impl Network {
@@ -110,7 +118,30 @@ impl Network {
         congestion: CongestionModel,
         params: NetworkParams,
     ) -> Self {
-        Network { oracle, congestion, params }
+        Network {
+            oracle,
+            congestion,
+            params,
+            probes: Arc::new(s2s_obs::Counter::new()),
+            probes_lost: Arc::new(s2s_obs::Counter::new()),
+            probes_unreachable: Arc::new(s2s_obs::Counter::new()),
+            pings: Arc::new(s2s_obs::Counter::new()),
+        }
+    }
+
+    /// Registers the plane's live wire-level counters in `registry` —
+    /// `netsim.probes` (TTL-limited probes sent), `netsim.probes_lost`,
+    /// `netsim.probes_unreachable`, `netsim.pings` — and the routing
+    /// oracle's `oracle.cache.*` counters. Counting is gated on a global
+    /// registry being [installed](s2s_obs::install), so also install one
+    /// (or this same one) to start the counts.
+    pub fn observe(&self, registry: &s2s_obs::Registry) {
+        registry.register_counter("netsim.probes", Arc::clone(&self.probes));
+        registry.register_counter("netsim.probes_lost", Arc::clone(&self.probes_lost));
+        registry
+            .register_counter("netsim.probes_unreachable", Arc::clone(&self.probes_unreachable));
+        registry.register_counter("netsim.pings", Arc::clone(&self.pings));
+        self.oracle.observe(registry);
     }
 
     /// The routing oracle under this network.
@@ -144,6 +175,10 @@ impl Network {
         probe_salt: u64,
     ) -> ProbeReply {
         let Some(fwd) = self.oracle.router_path(src, dst, proto, t, flow) else {
+            if s2s_obs::enabled() {
+                self.probes.inc();
+                self.probes_unreachable.inc();
+            }
             return ProbeReply::Unreachable;
         };
         self.probe_on(&fwd, src, dst, proto, t, ttl, flow, probe_salt)
@@ -169,6 +204,32 @@ impl Network {
     /// replies are then byte-identical to the unbatched `probe`.
     #[allow(clippy::too_many_arguments)] // one knob per probe-header field
     pub fn probe_on(
+        &self,
+        fwd: &RouterPath,
+        src: ClusterId,
+        dst: ClusterId,
+        proto: Protocol,
+        t: SimTime,
+        ttl: u8,
+        flow: u64,
+        probe_salt: u64,
+    ) -> ProbeReply {
+        let reply = self.probe_on_uncounted(fwd, src, dst, proto, t, ttl, flow, probe_salt);
+        if s2s_obs::enabled() {
+            self.probes.inc();
+            match reply {
+                ProbeReply::Lost => self.probes_lost.inc(),
+                ProbeReply::Unreachable => self.probes_unreachable.inc(),
+                _ => {}
+            }
+        }
+        reply
+    }
+
+    /// The reply computation itself — pure in the probe header and the
+    /// world state, so counting wraps it without touching it.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_on_uncounted(
         &self,
         fwd: &RouterPath,
         src: ClusterId,
@@ -272,10 +333,18 @@ impl Network {
         seq: u64,
     ) -> Option<f64> {
         let flow = noise::key(&[src.0 as u64, dst.0 as u64, proto as u64, 0x9109]);
-        match self.probe(src, dst, proto, t, u8::MAX, flow, seq) {
+        let rtt = match self.probe(src, dst, proto, t, u8::MAX, flow, seq) {
             ProbeReply::EchoReply { rtt_ms, .. } => Some(rtt_ms),
             _ => None,
+        };
+        if s2s_obs::enabled() {
+            self.pings.inc();
+            if let (Some(r), Some(reg)) = (rtt, s2s_obs::installed()) {
+                reg.histogram("netsim.ping_rtt_ms", s2s_obs::DEFAULT_LATENCY_BOUNDS_MS)
+                    .observe(r);
+            }
         }
+        rtt
     }
 
     /// The noise-free end-to-end RTT (propagation + congestion, both
@@ -378,6 +447,35 @@ mod tests {
             .ping(ClusterId::new(0), ClusterId::new(3), Protocol::V4, SimTime::T0, 1)
             .expect("reachable");
         assert!(rtt > 0.0 && rtt < 800.0, "rtt = {rtt}");
+    }
+
+    #[test]
+    fn probe_counters_gate_on_the_global_registry() {
+        let net = quiet_network(101);
+        let reg = Arc::new(s2s_obs::Registry::new());
+        net.observe(&reg);
+        // No registry installed: probing counts nothing.
+        net.ping(ClusterId::new(0), ClusterId::new(3), Protocol::V4, SimTime::T0, 1);
+        assert_eq!(reg.counter("netsim.pings").get(), 0);
+        assert_eq!(reg.counter("netsim.probes").get(), 0);
+        // Installed: pings and probes count, and the reply is unchanged.
+        let before =
+            net.ping(ClusterId::new(0), ClusterId::new(3), Protocol::V4, SimTime::T0, 2);
+        s2s_obs::install(Arc::clone(&reg));
+        let counted =
+            net.ping(ClusterId::new(0), ClusterId::new(3), Protocol::V4, SimTime::T0, 2);
+        s2s_obs::uninstall();
+        assert_eq!(before, counted, "counting must not perturb replies");
+        assert_eq!(reg.counter("netsim.pings").get(), 1);
+        assert!(reg.counter("netsim.probes").get() >= 1);
+        // The oracle's counters rode along via Network::observe.
+        assert!(reg.counter("oracle.cache.hits").get() + reg.counter("oracle.cache.misses").get() > 0);
+        let snap = reg.snapshot();
+        let hist = snap.histograms.get("netsim.ping_rtt_ms");
+        assert!(
+            hist.map(|h| h.count >= 1).unwrap_or(false),
+            "successful installed ping must land in the RTT histogram"
+        );
     }
 
     #[test]

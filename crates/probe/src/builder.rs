@@ -1,0 +1,264 @@
+//! The one front door for campaigns: [`Campaign`].
+//!
+//! Every campaign — plain or fault-injected, batched-parallel or
+//! sequential-reference, in-memory or checkpoint/resumed — is launched by
+//! building a [`Campaign`] and calling one of its `run_*` methods. The
+//! seven free `run_*_campaign*` functions that predate it survive as
+//! `#[deprecated]` shims over this type.
+//!
+//! ```no_run
+//! # use s2s_probe::{Campaign, CampaignConfig, FaultProfile, RetryPolicy};
+//! # use s2s_probe::tracer::TraceOptions;
+//! # fn demo(net: &s2s_netsim::Network, pairs: &[(s2s_types::ClusterId, s2s_types::ClusterId)]) {
+//! let (timelines, report) = Campaign::new(CampaignConfig::long_term(30))
+//!     .faults(FaultProfile::from_env())
+//!     .retry(RetryPolicy::default())
+//!     .threads(8)
+//!     .run_traceroute(net, pairs, TraceOptions::default(), |s, d, p| (s, d, p, 0u64), |a, _r| a.3 += 1)
+//!     .unwrap();
+//! # let _ = (timelines, report);
+//! # }
+//! ```
+//!
+//! The builder always routes through the fault-aware execution cores: with
+//! no [`Campaign::faults`] call the profile is the all-zero default, under
+//! which the fault plane provably changes nothing (the internal zero-fault
+//! equivalence tests pin the accumulators byte-for-byte against the plain
+//! runners). That means every run returns a real [`CampaignReport`] — no
+//! variant-specific report synthesis.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::campaign::{
+    ping_faulty_impl, traceroute_faulty_impl, traceroute_faulty_reference_impl,
+    traceroute_resumable_impl, CampaignConfig, CampaignReport, PingTimeline, RetryPolicy,
+};
+use crate::faults::FaultProfile;
+use crate::records::TracerouteRecord;
+use crate::tracer::TraceOptions;
+use s2s_netsim::Network;
+use s2s_types::{ClusterId, Protocol, SimTime};
+
+/// A configured-but-not-yet-run campaign.
+///
+/// Construction is pure; nothing happens until a `run_*` method fires.
+/// All `run_*` methods return `io::Result<(accumulators, CampaignReport)>`
+/// uniformly — in-memory runs cannot actually fail, only
+/// [checkpointed](Campaign::checkpoint) ones can, but one signature keeps
+/// call sites stable when a checkpoint is added later.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    cfg: CampaignConfig,
+    profile: FaultProfile,
+    retry: RetryPolicy,
+    checkpoint: Option<PathBuf>,
+    reference: bool,
+    registry: Option<Arc<s2s_obs::Registry>>,
+}
+
+impl Campaign {
+    /// Starts a builder from a schedule. Faults default to the all-zero
+    /// profile (a fault-free run), retry to [`RetryPolicy::default`].
+    pub fn new(cfg: CampaignConfig) -> Self {
+        Campaign {
+            cfg,
+            profile: FaultProfile::default(),
+            retry: RetryPolicy::default(),
+            checkpoint: None,
+            reference: false,
+            registry: None,
+        }
+    }
+
+    /// Injects faults from `profile` (content-keyed on its seed, so results
+    /// are independent of thread count and execution order).
+    pub fn faults(mut self, profile: FaultProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the retry/timeout policy for faulted probe slots.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Checkpoints completed pairs to `path` and resumes from it on rerun.
+    /// The finished file and the accumulators are bit-identical to an
+    /// uninterrupted run (see the module docs on `campaign` for why).
+    /// Traceroute only: [`Campaign::run_ping`] with a checkpoint set
+    /// returns [`std::io::ErrorKind::Unsupported`].
+    pub fn checkpoint(mut self, path: impl AsRef<Path>) -> Self {
+        self.checkpoint = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// Overrides the worker-thread count (defaults to the `S2S_THREADS`
+    /// knob, see [`crate::env::threads`]).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n.max(1);
+        self
+    }
+
+    /// Folds the run's [`CampaignReport`] counters and rare events into
+    /// `registry` when the run finishes. Without this call the report is
+    /// published to the globally [installed](s2s_obs::install) registry,
+    /// if any. (Span timings inside the execution cores always go to the
+    /// global registry — install one to capture them.)
+    pub fn observe(mut self, registry: Arc<s2s_obs::Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Uses the sequential, unbatched reference executor: one thread,
+    /// time-outer pair-inner loops, no epoch batching — the seed
+    /// implementation's exact execution order. The validation baseline
+    /// the batched parallel executor must match byte for byte.
+    pub fn reference(mut self) -> Self {
+        self.reference = true;
+        self
+    }
+
+    /// Runs a traceroute campaign with fixed tool options, folding each
+    /// (pair, protocol) timeline into an accumulator: `init(src, dst,
+    /// proto)` creates it, `step(acc, record)` folds one record in.
+    /// Accumulators are ordered pair-major, then protocol in
+    /// `cfg.protocols` order.
+    pub fn run_traceroute<A, I, S>(
+        &self,
+        net: &Network,
+        pairs: &[(ClusterId, ClusterId)],
+        opts: TraceOptions,
+        init: I,
+        step: S,
+    ) -> std::io::Result<(Vec<A>, CampaignReport)>
+    where
+        A: Send,
+        I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
+        S: Fn(&mut A, TracerouteRecord) + Sync,
+    {
+        self.run_traceroute_with(net, pairs, move |_, _| opts, init, step)
+    }
+
+    /// Like [`Campaign::run_traceroute`], with per-measurement tool
+    /// options: `opts_of(t, proto)` picks the traceroute flavor per run —
+    /// how the paper's platform behaved (classic traceroute until November
+    /// 2014, then Paris traceroute for IPv4, §2.1).
+    pub fn run_traceroute_with<A, O, I, S>(
+        &self,
+        net: &Network,
+        pairs: &[(ClusterId, ClusterId)],
+        opts_of: O,
+        init: I,
+        step: S,
+    ) -> std::io::Result<(Vec<A>, CampaignReport)>
+    where
+        A: Send,
+        O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
+        I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
+        S: Fn(&mut A, TracerouteRecord) + Sync,
+    {
+        let result = if let Some(path) = &self.checkpoint {
+            traceroute_resumable_impl(
+                net, pairs, &self.cfg, opts_of, &self.profile, &self.retry, path, init, step,
+            )
+        } else if self.reference {
+            Ok(traceroute_faulty_reference_impl(
+                net, pairs, &self.cfg, opts_of, &self.profile, &self.retry, init, step,
+            ))
+        } else {
+            Ok(traceroute_faulty_impl(
+                net, pairs, &self.cfg, opts_of, &self.profile, &self.retry, init, step,
+            ))
+        };
+        if let Ok((_, report)) = &result {
+            self.publish(report);
+        }
+        result
+    }
+
+    /// Runs a ping campaign, returning a dense timeline per
+    /// (pair, protocol): one slot per scheduled instant, `NaN` for lost
+    /// samples.
+    pub fn run_ping(
+        &self,
+        net: &Network,
+        pairs: &[(ClusterId, ClusterId)],
+    ) -> std::io::Result<(Vec<PingTimeline>, CampaignReport)> {
+        if self.checkpoint.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "checkpoint/resume is traceroute-only; drop .checkpoint() for ping campaigns",
+            ));
+        }
+        let (timelines, report) = if self.reference {
+            // The reference executor is single-threaded by definition.
+            let mut cfg = self.cfg.clone();
+            cfg.threads = 1;
+            ping_faulty_impl(net, pairs, &cfg, &self.profile, &self.retry)
+        } else {
+            ping_faulty_impl(net, pairs, &self.cfg, &self.profile, &self.retry)
+        };
+        self.publish(&report);
+        Ok((timelines, report))
+    }
+
+    /// The registry this run reports into: the explicit
+    /// [`Campaign::observe`] one, else the globally installed one.
+    fn effective_registry(&self) -> Option<Arc<s2s_obs::Registry>> {
+        self.registry.clone().or_else(s2s_obs::installed)
+    }
+
+    /// Folds a finished run's report into the effective registry:
+    /// `campaign.*` counters mirror the [`CampaignReport`] fields, and the
+    /// rare outcomes (worker panics, retry-exhausted slots, checkpoint
+    /// resume) land in the event log.
+    fn publish(&self, report: &CampaignReport) {
+        let Some(reg) = self.effective_registry() else { return };
+        for (name, v) in [
+            ("campaign.offered", report.offered),
+            ("campaign.attempted", report.attempted),
+            ("campaign.delivered", report.delivered),
+            ("campaign.truncated", report.truncated),
+            ("campaign.retried", report.retried),
+            ("campaign.gave_up", report.gave_up),
+            ("campaign.dropped_probes", report.dropped_probes),
+            ("campaign.stuck_probes", report.stuck_probes),
+            ("campaign.agent_down_slots", report.agent_down_slots),
+            ("campaign.resumed_pairs", report.resumed_pairs),
+            ("campaign.worker_panics", report.worker_panics),
+        ] {
+            if v > 0 {
+                reg.counter(name).add(v as u64);
+            }
+        }
+        reg.counter("campaign.runs").inc();
+        if report.worker_panics > 0 {
+            reg.event(
+                "campaign.worker_panic",
+                format!(
+                    "{} worker(s) panicked; {} pair(s) poisoned",
+                    report.worker_panics,
+                    report.poisoned_pairs.len()
+                ),
+            );
+        }
+        if report.gave_up > 0 {
+            reg.event(
+                "campaign.retry_exhausted",
+                format!("{} slot(s) abandoned after exhausting retries", report.gave_up),
+            );
+        }
+        if let Some(path) = &self.checkpoint {
+            reg.event(
+                "campaign.checkpoint_write",
+                format!(
+                    "checkpoint {} complete ({} pair(s) replayed from it)",
+                    path.display(),
+                    report.resumed_pairs
+                ),
+            );
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! sequential reference runner regardless of thread count or batch size
 //! (`S2S_EPOCH_BATCH` caps samples per run; unset means unlimited).
 
+use crate::builder::Campaign;
 use crate::dataset::{traceroute_from_line, traceroute_to_line};
 use crate::faults::{FaultInjector, FaultProfile, ProbeFault};
 use crate::records::{PingRecord, TracerouteRecord};
@@ -84,25 +85,13 @@ impl CampaignConfig {
     }
 }
 
-/// Worker-thread default: the `S2S_THREADS` environment knob when set
-/// (clamped to ≥ 1), otherwise the machine's available parallelism.
+/// Worker-thread default: the `S2S_THREADS` environment knob when set to
+/// a valid integer ≥ 1 (malformed values warn and fall back), otherwise
+/// the machine's available parallelism. An alias for
+/// [`crate::env::threads`], kept here because campaign configs are where
+/// the value lands.
 pub fn default_threads() -> usize {
-    if let Some(n) =
-        std::env::var("S2S_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        return n.max(1);
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-}
-
-/// Maximum sample instants batched per epoch run (the `S2S_EPOCH_BATCH`
-/// knob). Unset or 0 means unlimited: one run per availability epoch.
-fn epoch_batch_cap() -> usize {
-    std::env::var("S2S_EPOCH_BATCH")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(usize::MAX)
+    crate::env::threads()
 }
 
 /// Groups consecutive sample instants into runs that share one routing
@@ -173,6 +162,9 @@ pub fn colocated_pairs(topo: &s2s_topology::Topology) -> Vec<(ClusterId, Cluster
 ///
 /// Returns one accumulator per (pair × protocol), ordered pair-major then
 /// protocol in `cfg.protocols` order.
+#[deprecated(
+    note = "use Campaign::new(cfg).run_traceroute(net, pairs, opts, init, step) — the one front door for campaigns"
+)]
 pub fn run_traceroute_campaign<A, I, S>(
     net: &Network,
     pairs: &[(ClusterId, ClusterId)],
@@ -186,13 +178,19 @@ where
     I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
     S: Fn(&mut A, TracerouteRecord) + Sync,
 {
-    run_traceroute_campaign_with(net, pairs, cfg, |_, _| opts, init, step)
+    let (accs, _report) = Campaign::new(cfg.clone())
+        .run_traceroute(net, pairs, opts, init, step)
+        .expect("in-memory campaign cannot fail");
+    accs
 }
 
 /// Like [`run_traceroute_campaign`], but with per-measurement tool options:
 /// `opts_of(t, proto)` picks the traceroute flavor for each run. This is how
 /// the paper's platform behaved — classic traceroute until November 2014,
 /// then Paris traceroute for IPv4 (§2.1).
+#[deprecated(
+    note = "use Campaign::new(cfg).run_traceroute_with(net, pairs, opts_of, init, step)"
+)]
 pub fn run_traceroute_campaign_with<A, O, I, S>(
     net: &Network,
     pairs: &[(ClusterId, ClusterId)],
@@ -207,29 +205,10 @@ where
     I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
     S: Fn(&mut A, TracerouteRecord) + Sync,
 {
-    let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
-    let runs = epoch_runs(net, &times, epoch_batch_cap());
-    let (times, runs, opts_of, init, step) = (&times, &runs, &opts_of, &init, &step);
-    run_partitioned(pairs, cfg, move |chunk| {
-        let mut accs: Vec<A> = chunk
-            .iter()
-            .flat_map(|&(s, d)| cfg.protocols.iter().map(move |&p| init(s, d, p)))
-            .collect();
-        let order = dst_batched_order(net, chunk);
-        for run in runs.iter() {
-            for &pi in &order {
-                let (src, dst) = chunk[pi];
-                for ti in run.clone() {
-                    let t = times[ti];
-                    for (qi, &proto) in cfg.protocols.iter().enumerate() {
-                        let rec = trace(net, src, dst, proto, t, opts_of(t, proto));
-                        step(&mut accs[pi * cfg.protocols.len() + qi], rec);
-                    }
-                }
-            }
-        }
-        accs
-    })
+    let (accs, _report) = Campaign::new(cfg.clone())
+        .run_traceroute_with(net, pairs, opts_of, init, step)
+        .expect("in-memory campaign cannot fail");
+    accs
 }
 
 /// The sequential reference runner: one thread, time-outer pair-inner loops
@@ -238,6 +217,9 @@ where
 /// accumulators must match this one byte for byte (probes are content-
 /// keyed, so execution order cannot change any record). Also the "before"
 /// side of the longterm benchmark.
+#[deprecated(
+    note = "use Campaign::new(cfg).reference().run_traceroute_with(net, pairs, opts_of, init, step)"
+)]
 pub fn run_traceroute_campaign_reference<A, O, I, S>(
     net: &Network,
     pairs: &[(ClusterId, ClusterId)],
@@ -247,25 +229,65 @@ pub fn run_traceroute_campaign_reference<A, O, I, S>(
     step: S,
 ) -> Vec<A>
 where
-    O: Fn(SimTime, Protocol) -> TraceOptions,
-    I: Fn(ClusterId, ClusterId, Protocol) -> A,
-    S: Fn(&mut A, TracerouteRecord),
+    A: Send,
+    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
+    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
+    S: Fn(&mut A, TracerouteRecord) + Sync,
 {
-    let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
-    let init = &init;
-    let mut accs: Vec<A> = pairs
-        .iter()
-        .flat_map(|&(s, d)| cfg.protocols.iter().map(move |&p| init(s, d, p)))
-        .collect();
-    for &t in &times {
-        for (pi, &(src, dst)) in pairs.iter().enumerate() {
-            for (qi, &proto) in cfg.protocols.iter().enumerate() {
-                let rec = trace(net, src, dst, proto, t, opts_of(t, proto));
-                step(&mut accs[pi * cfg.protocols.len() + qi], rec);
-            }
-        }
-    }
+    let (accs, _report) = Campaign::new(cfg.clone())
+        .reference()
+        .run_traceroute_with(net, pairs, opts_of, init, step)
+        .expect("in-memory campaign cannot fail");
     accs
+}
+
+/// The plain (fault-free) epoch-batched parallel runner. The builder
+/// always routes through the fault-aware cores (an all-zero profile is a
+/// no-op by construction); this one survives as the independent baseline
+/// the internal zero-fault equivalence tests compare against.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn traceroute_with_impl<A, O, I, S>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    opts_of: O,
+    init: I,
+    step: S,
+) -> Vec<A>
+where
+    A: Send,
+    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
+    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
+    S: Fn(&mut A, TracerouteRecord) + Sync,
+{
+    let (times, runs) = s2s_obs::timed("campaign.plan", || {
+        let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
+        let runs = epoch_runs(net, &times, crate::env::epoch_batch_cap());
+        (times, runs)
+    });
+    let (times, runs, opts_of, init, step) = (&times, &runs, &opts_of, &init, &step);
+    s2s_obs::timed("campaign.execute", || {
+        run_partitioned(pairs, cfg, move |chunk| {
+            let mut accs: Vec<A> = chunk
+                .iter()
+                .flat_map(|&(s, d)| cfg.protocols.iter().map(move |&p| init(s, d, p)))
+                .collect();
+            let order = dst_batched_order(net, chunk);
+            for run in runs.iter() {
+                for &pi in &order {
+                    let (src, dst) = chunk[pi];
+                    for ti in run.clone() {
+                        let t = times[ti];
+                        for (qi, &proto) in cfg.protocols.iter().enumerate() {
+                            let rec = trace(net, src, dst, proto, t, opts_of(t, proto));
+                            step(&mut accs[pi * cfg.protocols.len() + qi], rec);
+                        }
+                    }
+                }
+            }
+            accs
+        })
+    })
 }
 
 /// One (pair, protocol) ping timeline: a slot per sampling instant, `NaN`
@@ -320,7 +342,23 @@ impl PingTimeline {
 }
 
 /// Runs a ping campaign, returning a dense timeline per (pair, protocol).
+#[deprecated(note = "use Campaign::new(cfg).run_ping(net, pairs)")]
 pub fn run_ping_campaign(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+) -> Vec<PingTimeline> {
+    let (timelines, _report) = Campaign::new(cfg.clone())
+        .run_ping(net, pairs)
+        .expect("in-memory campaign cannot fail");
+    timelines
+}
+
+/// The plain (fault-free) parallel ping runner — the independent baseline
+/// of the internal zero-fault equivalence tests (the builder always routes
+/// through the fault-aware core).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn ping_impl(
     net: &Network,
     pairs: &[(ClusterId, ClusterId)],
     cfg: &CampaignConfig,
@@ -553,6 +591,9 @@ fn traceroute_slot(
 /// outcome is independent of thread count and execution order — and under
 /// the all-zero default profile the accumulators are identical to the
 /// plain runner's.
+#[deprecated(
+    note = "use Campaign::new(cfg).faults(profile).retry(retry).run_traceroute_with(...)"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_traceroute_campaign_faulty<A, O, I, S>(
     net: &Network,
@@ -570,11 +611,41 @@ where
     I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
     S: Fn(&mut A, TracerouteRecord) + Sync,
 {
-    let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
+    Campaign::new(cfg.clone())
+        .faults(*profile)
+        .retry(*retry)
+        .run_traceroute_with(net, pairs, opts_of, init, step)
+        .expect("in-memory campaign cannot fail")
+}
+
+/// The fault-aware epoch-batched parallel execution core (see
+/// [`Campaign::run_traceroute_with`] for the public front door).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn traceroute_faulty_impl<A, O, I, S>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    opts_of: O,
+    profile: &FaultProfile,
+    retry: &RetryPolicy,
+    init: I,
+    step: S,
+) -> (Vec<A>, CampaignReport)
+where
+    A: Send,
+    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
+    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
+    S: Fn(&mut A, TracerouteRecord) + Sync,
+{
     let injector = FaultInjector::new(*profile);
-    let runs = epoch_runs(net, &times, epoch_batch_cap());
+    let (times, runs) = s2s_obs::timed("campaign.plan", || {
+        let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
+        let runs = epoch_runs(net, &times, crate::env::epoch_batch_cap());
+        (times, runs)
+    });
     let (times, runs, opts_of, init, step) = (&times, &runs, &opts_of, &init, &step);
-    run_partitioned_isolated(
+    let t_exec = std::time::Instant::now();
+    let out = run_partitioned_isolated(
         pairs,
         cfg,
         move |chunk| {
@@ -622,14 +693,48 @@ where
                 .flat_map(|&(s, d)| cfg.protocols.iter().map(move |&p| init(s, d, p)))
                 .collect()
         },
-    )
+    );
+    if let Some(reg) = s2s_obs::installed() {
+        reg.span("campaign.execute").record(t_exec.elapsed());
+    }
+    out
 }
 
 /// Sequential, unbatched reference for the fault-aware runner (see
 /// [`run_traceroute_campaign_reference`]): validates that batching changes
 /// neither the accumulators nor the [`CampaignReport`].
+#[deprecated(
+    note = "use Campaign::new(cfg).reference().faults(profile).retry(retry).run_traceroute_with(...)"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_traceroute_campaign_faulty_reference<A, O, I, S>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    opts_of: O,
+    profile: &FaultProfile,
+    retry: &RetryPolicy,
+    init: I,
+    step: S,
+) -> (Vec<A>, CampaignReport)
+where
+    A: Send,
+    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
+    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
+    S: Fn(&mut A, TracerouteRecord) + Sync,
+{
+    Campaign::new(cfg.clone())
+        .reference()
+        .faults(*profile)
+        .retry(*retry)
+        .run_traceroute_with(net, pairs, opts_of, init, step)
+        .expect("in-memory campaign cannot fail")
+}
+
+/// The sequential, unbatched fault-aware execution core — the reference
+/// side of the byte-identity suites and of [`Campaign::reference`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn traceroute_faulty_reference_impl<A, O, I, S>(
     net: &Network,
     pairs: &[(ClusterId, ClusterId)],
     cfg: &CampaignConfig,
@@ -681,7 +786,23 @@ where
 /// The fault-aware ping campaign: like [`run_ping_campaign`], with lost
 /// slots (crashes, drops, stuck probes) recorded as `NaN` so the dense
 /// timeline shape — one slot per scheduled instant — is preserved.
+#[deprecated(note = "use Campaign::new(cfg).faults(profile).retry(retry).run_ping(net, pairs)")]
 pub fn run_ping_campaign_faulty(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    profile: &FaultProfile,
+    retry: &RetryPolicy,
+) -> (Vec<PingTimeline>, CampaignReport) {
+    Campaign::new(cfg.clone())
+        .faults(*profile)
+        .retry(*retry)
+        .run_ping(net, pairs)
+        .expect("in-memory campaign cannot fail")
+}
+
+/// The fault-aware parallel ping execution core (see [`Campaign::run_ping`]).
+pub(crate) fn ping_faulty_impl(
     net: &Network,
     pairs: &[(ClusterId, ClusterId)],
     cfg: &CampaignConfig,
@@ -850,8 +971,40 @@ where
 /// The checkpoint format rides the dataset line format: per pair,
 /// `B|<pair_index>|<n_records>`, the records as `T|…` lines, then
 /// `E|<pair_index>`.
+#[deprecated(
+    note = "use Campaign::new(cfg).faults(profile).retry(retry).checkpoint(path).run_traceroute_with(...)"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_traceroute_campaign_resumable<A, O, I, S>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    opts_of: O,
+    profile: &FaultProfile,
+    retry: &RetryPolicy,
+    checkpoint: &std::path::Path,
+    init: I,
+    step: S,
+) -> std::io::Result<(Vec<A>, CampaignReport)>
+where
+    A: Send,
+    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
+    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
+    S: Fn(&mut A, TracerouteRecord) + Sync,
+{
+    Campaign::new(cfg.clone())
+        .faults(*profile)
+        .retry(*retry)
+        .checkpoint(checkpoint)
+        .run_traceroute_with(net, pairs, opts_of, init, step)
+}
+
+/// The checkpoint/resume execution core (see
+/// [`run_traceroute_campaign_resumable`] for the format and the
+/// bit-identical dataset guarantee, [`Campaign::checkpoint`] for the
+/// public front door).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn traceroute_resumable_impl<A, O, I, S>(
     net: &Network,
     pairs: &[(ClusterId, ClusterId)],
     cfg: &CampaignConfig,
@@ -1143,16 +1296,15 @@ mod tests {
             threads: 2,
         };
         assert_eq!(cfg.n_samples(), 8);
-        let counts = run_traceroute_campaign(
-            &net,
-            &pairs,
-            &cfg,
-            TraceOptions::default(),
-            |_, _, _| 0usize,
-            |acc, _| *acc += 1,
-        );
+        let (counts, report) = Campaign::new(cfg)
+            .run_traceroute(&net, &pairs, TraceOptions::default(), |_, _, _| 0usize, |acc, _| {
+                *acc += 1
+            })
+            .unwrap();
         // 2 pairs × 2 protocols accumulators, 8 records each.
         assert_eq!(counts, vec![8, 8, 8, 8]);
+        assert_eq!(report.offered, 32);
+        assert_eq!(report.delivered, 32, "quiet default profile delivers every slot");
     }
 
     #[test]
@@ -1167,14 +1319,9 @@ mod tests {
             protocols: vec![Protocol::V4, Protocol::V6],
             threads: 1,
         };
-        let ids = run_traceroute_campaign(
-            &net,
-            &pairs,
-            &cfg,
-            TraceOptions::default(),
-            |s, d, p| (s, d, p),
-            |_, _| {},
-        );
+        let (ids, _) = Campaign::new(cfg)
+            .run_traceroute(&net, &pairs, TraceOptions::default(), |s, d, p| (s, d, p), |_, _| {})
+            .unwrap();
         assert_eq!(ids[0], (ClusterId::new(0), ClusterId::new(1), Protocol::V4));
         assert_eq!(ids[1], (ClusterId::new(0), ClusterId::new(1), Protocol::V6));
         assert_eq!(ids[2], (ClusterId::new(1), ClusterId::new(2), Protocol::V4));
@@ -1192,14 +1339,16 @@ mod tests {
             threads,
         };
         let collect = |cfg: &CampaignConfig| {
-            run_traceroute_campaign(
-                &net,
-                &pairs,
-                cfg,
-                TraceOptions::default(),
-                |_, _, _| Vec::new(),
-                |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
-            )
+            Campaign::new(cfg.clone())
+                .run_traceroute(
+                    &net,
+                    &pairs,
+                    TraceOptions::default(),
+                    |_, _, _| Vec::new(),
+                    |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
+                )
+                .unwrap()
+                .0
         };
         assert_eq!(collect(&mk_cfg(1)), collect(&mk_cfg(4)));
     }
@@ -1215,7 +1364,7 @@ mod tests {
             protocols: vec![Protocol::V4],
             threads: 1,
         };
-        let tl = run_ping_campaign(&net, &pairs, &cfg);
+        let (tl, _) = Campaign::new(cfg).run_ping(&net, &pairs).unwrap();
         assert_eq!(tl.len(), 1);
         assert_eq!(tl[0].rtts.len(), 8);
         assert_eq!(tl[0].valid_samples(), 8, "no loss configured");
@@ -1292,24 +1441,25 @@ mod tests {
         let cfg = small_cfg(3);
         let quiet = FaultProfile::default();
         assert!(quiet.is_quiet());
-        let plain = run_traceroute_campaign(
-            &net,
-            &pairs,
-            &cfg,
-            TraceOptions::default(),
-            |_, _, _| Vec::new(),
-            |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
-        );
-        let (faulty, report) = run_traceroute_campaign_faulty(
+        // The independent fault-free baseline: the plain runner, which the
+        // builder never calls (it always routes through the fault plane).
+        let plain = traceroute_with_impl(
             &net,
             &pairs,
             &cfg,
             |_, _| TraceOptions::default(),
-            &quiet,
-            &RetryPolicy::default(),
             |_, _, _| Vec::new(),
             |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
         );
+        let (faulty, report) = Campaign::new(cfg)
+            .run_traceroute(
+                &net,
+                &pairs,
+                TraceOptions::default(),
+                |_, _, _| Vec::new(),
+                |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
+            )
+            .unwrap();
         assert_eq!(plain, faulty, "quiet profile must not change the dataset");
         assert_eq!(report.delivered, report.offered);
         assert_eq!(report.attempted, report.offered, "no retries under a quiet profile");
@@ -1326,9 +1476,8 @@ mod tests {
             interval: SimDuration::from_minutes(30),
             ..small_cfg(2)
         };
-        let plain = run_ping_campaign(&net, &pairs, &cfg);
-        let (faulty, report) =
-            run_ping_campaign_faulty(&net, &pairs, &cfg, &FaultProfile::default(), &RetryPolicy::default());
+        let plain = ping_impl(&net, &pairs, &cfg);
+        let (faulty, report) = Campaign::new(cfg).run_ping(&net, &pairs).unwrap();
         assert_eq!(plain.len(), faulty.len());
         for (a, b) in plain.iter().zip(&faulty) {
             assert_eq!(a.src, b.src);
@@ -1346,16 +1495,13 @@ mod tests {
         let pairs = full_mesh_pairs(6);
         let cfg = small_cfg(3);
         let retry = RetryPolicy::default();
-        let (accs, report) = run_traceroute_campaign_faulty(
-            &net,
-            &pairs,
-            &cfg,
-            |_, _| TraceOptions::default(),
-            &lossy_profile(),
-            &retry,
-            |_, _, _| 0usize,
-            |acc: &mut usize, _| *acc += 1,
-        );
+        let (accs, report) = Campaign::new(cfg)
+            .faults(lossy_profile())
+            .retry(retry)
+            .run_traceroute(&net, &pairs, TraceOptions::default(), |_, _, _| 0usize, |acc, _| {
+                *acc += 1
+            })
+            .unwrap();
         // Every slot folds exactly one record (real or synthetic): dense.
         let slots_per_acc = 4; // 12h at 3h intervals, end-exclusive -> t = 0,3,6,9
         assert!(accs.iter().all(|&n| n == slots_per_acc), "timelines must stay dense");
@@ -1379,16 +1525,16 @@ mod tests {
         let net = network(42);
         let pairs = full_mesh_pairs(6);
         let run = |threads| {
-            run_traceroute_campaign_faulty(
-                &net,
-                &pairs,
-                &small_cfg(threads),
-                |_, _| TraceOptions::default(),
-                &lossy_profile(),
-                &RetryPolicy::default(),
-                |_, _, _| Vec::new(),
-                |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
-            )
+            Campaign::new(small_cfg(threads))
+                .faults(lossy_profile())
+                .run_traceroute(
+                    &net,
+                    &pairs,
+                    TraceOptions::default(),
+                    |_, _, _| Vec::new(),
+                    |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
+                )
+                .unwrap()
         };
         let (a1, r1) = run(1);
         let (a4, r4) = run(4);
@@ -1402,23 +1548,22 @@ mod tests {
         let pairs = full_mesh_pairs(3); // 6 ordered pairs
         let bad = pairs[2];
         let cfg = CampaignConfig { protocols: vec![Protocol::V4], threads: pairs.len(), ..small_cfg(1) };
-        let (accs, report) = run_traceroute_campaign_faulty(
-            &net,
-            &pairs,
-            &cfg,
-            |_, _| TraceOptions::default(),
-            &FaultProfile::default(),
-            &RetryPolicy::default(),
-            |_, _, _| 0usize,
-            |acc: &mut usize, rec| {
-                assert!(
-                    ((rec.src, rec.dst) != bad),
-                    "injected worker failure for pair {:?}",
-                    bad
-                );
-                *acc += 1;
-            },
-        );
+        let (accs, report) = Campaign::new(cfg)
+            .run_traceroute(
+                &net,
+                &pairs,
+                TraceOptions::default(),
+                |_, _, _| 0usize,
+                |acc: &mut usize, rec| {
+                    assert!(
+                        ((rec.src, rec.dst) != bad),
+                        "injected worker failure for pair {:?}",
+                        bad
+                    );
+                    *acc += 1;
+                },
+            )
+            .unwrap();
         assert_eq!(report.worker_panics, 1);
         assert_eq!(report.poisoned_pairs, vec![bad]);
         for (i, &n) in accs.iter().enumerate() {
@@ -1480,23 +1625,14 @@ mod tests {
             let step = |acc: &mut Vec<String>, rec: TracerouteRecord| {
                 acc.push(traceroute_to_line(&rec))
             };
-            let reference = run_traceroute_campaign_reference(
-                &net,
-                &pairs,
-                &mk_cfg(1),
-                |_, _| TraceOptions::default(),
-                init,
-                step,
-            );
+            let (reference, _) = Campaign::new(mk_cfg(1))
+                .reference()
+                .run_traceroute_with(&net, &pairs, |_, _| TraceOptions::default(), init, step)
+                .unwrap();
             for threads in [1usize, 3] {
-                let batched = run_traceroute_campaign_with(
-                    &net,
-                    &pairs,
-                    &mk_cfg(threads),
-                    |_, _| TraceOptions::default(),
-                    init,
-                    step,
-                );
+                let (batched, _) = Campaign::new(mk_cfg(threads))
+                    .run_traceroute_with(&net, &pairs, |_, _| TraceOptions::default(), init, step)
+                    .unwrap();
                 assert_eq!(
                     batched, reference,
                     "seed {seed}, {threads} threads: batched runner diverged"
@@ -1531,12 +1667,17 @@ mod tests {
             ..FaultProfile::default()
         };
         for profile in [FaultProfile::default(), lossy_profile(), crash_heavy] {
-            let (ref_accs, ref_report) = run_traceroute_campaign_faulty_reference(
-                &net, &pairs, &cfg, opts, &profile, &retry, init, step,
-            );
-            let (accs, report) = run_traceroute_campaign_faulty(
-                &net, &pairs, &cfg, opts, &profile, &retry, init, step,
-            );
+            let (ref_accs, ref_report) = Campaign::new(cfg.clone())
+                .reference()
+                .faults(profile)
+                .retry(retry)
+                .run_traceroute_with(&net, &pairs, opts, init, step)
+                .unwrap();
+            let (accs, report) = Campaign::new(cfg.clone())
+                .faults(profile)
+                .retry(retry)
+                .run_traceroute_with(&net, &pairs, opts, init, step)
+                .unwrap();
             assert_eq!(accs, ref_accs, "faulty batched runner diverged from reference");
             assert_eq!(report, ref_report);
             // The report's coverage identities survive batching + faults.
@@ -1560,18 +1701,18 @@ mod tests {
         let profile = lossy_profile();
         let retry = RetryPolicy::default();
         let run = |path: &std::path::Path| {
-            run_traceroute_campaign_resumable(
-                &net,
-                &pairs,
-                &cfg,
-                |_, _| TraceOptions::default(),
-                &profile,
-                &retry,
-                path,
-                |_, _, _| Vec::new(),
-                |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
-            )
-            .expect("resumable campaign")
+            Campaign::new(cfg.clone())
+                .faults(profile)
+                .retry(retry)
+                .checkpoint(path)
+                .run_traceroute(
+                    &net,
+                    &pairs,
+                    TraceOptions::default(),
+                    |_, _, _| Vec::new(),
+                    |acc: &mut Vec<Option<f64>>, rec| acc.push(rec.e2e_rtt_ms),
+                )
+                .expect("resumable campaign")
         };
 
         let full_path = tmp_path("ckpt_uninterrupted.txt");
@@ -1606,5 +1747,106 @@ mod tests {
         assert_eq!(report.offered, 0);
         assert_eq!(std::fs::read(&full_path).unwrap(), full_bytes);
         let _ = std::fs::remove_file(&full_path);
+    }
+
+    // -- the builder front door --------------------------------------------
+
+    #[test]
+    fn ping_with_checkpoint_is_unsupported() {
+        let net = network(42);
+        let pairs = vec![(ClusterId::new(0), ClusterId::new(1))];
+        let err = Campaign::new(small_cfg(1))
+            .checkpoint(tmp_path("ping_ckpt_rejected.txt"))
+            .run_ping(&net, &pairs)
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+    }
+
+    /// The deprecated free functions must stay exact shims: same bytes,
+    /// same report as the builder they delegate to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_builder() {
+        let net = network(42);
+        let pairs = full_mesh_pairs(4);
+        let cfg = small_cfg(2);
+        let profile = lossy_profile();
+        let retry = RetryPolicy::default();
+        let init = |_, _, _| Vec::new();
+        let step = |acc: &mut Vec<String>, rec: TracerouteRecord| {
+            acc.push(traceroute_to_line(&rec))
+        };
+
+        let legacy = run_traceroute_campaign(
+            &net,
+            &pairs,
+            &cfg,
+            TraceOptions::default(),
+            init,
+            step,
+        );
+        let (built, _) = Campaign::new(cfg.clone())
+            .run_traceroute(&net, &pairs, TraceOptions::default(), init, step)
+            .unwrap();
+        assert_eq!(legacy, built);
+
+        let (legacy, legacy_report) = run_traceroute_campaign_faulty(
+            &net,
+            &pairs,
+            &cfg,
+            |_, _| TraceOptions::default(),
+            &profile,
+            &retry,
+            init,
+            step,
+        );
+        let (built, built_report) = Campaign::new(cfg.clone())
+            .faults(profile)
+            .retry(retry)
+            .run_traceroute_with(&net, &pairs, |_, _| TraceOptions::default(), init, step)
+            .unwrap();
+        assert_eq!(legacy, built);
+        assert_eq!(legacy_report, built_report);
+
+        let legacy = run_ping_campaign(&net, &pairs, &cfg);
+        let (built, _) = Campaign::new(cfg).run_ping(&net, &pairs).unwrap();
+        let bits = |v: &[f32]| v.iter().map(|r| r.to_bits()).collect::<Vec<_>>();
+        for (a, b) in legacy.iter().zip(&built) {
+            assert_eq!(bits(&a.rtts), bits(&b.rtts));
+        }
+    }
+
+    /// A run publishes its report into an explicitly observed registry —
+    /// and observation must not change the dataset.
+    #[test]
+    fn observed_run_publishes_report_and_changes_nothing() {
+        let net = network(42);
+        let pairs = full_mesh_pairs(4);
+        let cfg = small_cfg(2);
+        let collect = |c: Campaign| {
+            c.run_traceroute(
+                &net,
+                &pairs,
+                TraceOptions::default(),
+                |_, _, _| Vec::new(),
+                |acc: &mut Vec<String>, rec| acc.push(traceroute_to_line(&rec)),
+            )
+            .unwrap()
+        };
+        let (bare, bare_report) = collect(Campaign::new(cfg.clone()).faults(lossy_profile()));
+        let reg = Arc::new(s2s_obs::Registry::new());
+        let (observed, report) = collect(
+            Campaign::new(cfg).faults(lossy_profile()).observe(Arc::clone(&reg)),
+        );
+        assert_eq!(bare, observed, "observing a campaign must not perturb its dataset");
+        assert_eq!(bare_report, report);
+        assert_eq!(reg.counter("campaign.offered").get(), report.offered as u64);
+        assert_eq!(reg.counter("campaign.delivered").get(), report.delivered as u64);
+        assert_eq!(reg.counter("campaign.runs").get(), 1);
+        if report.gave_up > 0 {
+            let labels: Vec<String> =
+                reg.events().into_iter().map(|e| e.label).collect();
+            assert!(labels.iter().any(|l| l == "campaign.retry_exhausted"), "{labels:?}");
+        }
     }
 }

@@ -1,0 +1,233 @@
+//! The consolidated `S2S_*` environment-knob module.
+//!
+//! Every knob the measurement plane reads resolves here, through the
+//! shared warn-and-default parsers in [`s2s_types::env`]: an unset knob
+//! silently takes its default, a malformed one (`S2S_THREADS=abc`,
+//! `S2S_EPOCH_BATCH=0`) prints one warning to stderr and takes the
+//! default. `reproduce --print-config` dumps the resolved values.
+//!
+//! ## Knob table
+//!
+//! | Variable | Default | Meaning |
+//! |---|---|---|
+//! | `S2S_THREADS` | available parallelism | Campaign worker threads (≥ 1) |
+//! | `S2S_EPOCH_BATCH` | unlimited | Max sample instants per epoch run (≥ 1) |
+//! | `S2S_FAULT_SEED` | `0x5EED` | Fault-decision seed |
+//! | `S2S_FAULT_CRASH` | `0` | Per-(agent, epoch) crash-start probability |
+//! | `S2S_FAULT_CRASH_LEN` | `4` | Mean crash downtime, epochs (≥ 1) |
+//! | `S2S_FAULT_DROP` | `0` | Per-probe drop probability |
+//! | `S2S_FAULT_STUCK` | `0` | Per-probe stuck-past-deadline probability |
+//! | `S2S_FAULT_TRUNC` | `0` | Per-traceroute truncation probability |
+//! | `S2S_FAULT_CORRUPT` | `0` | Per-archive-line corruption probability |
+//!
+//! The experiment-scale knobs (`S2S_SEED`, `S2S_CLUSTERS`, `S2S_DAYS`,
+//! `S2S_PAIRS`, `S2S_PING_PAIRS`, `S2S_CONG_PAIRS`) and the bench-only
+//! `S2S_BENCH_QUICK` flag resolve in `s2s-bench` (their defaults are
+//! experiment policy, not measurement-plane policy) — through the same
+//! shared parsers, and they appear in the same `--print-config` dump.
+
+use crate::faults::FaultProfile;
+use s2s_types::env as tenv;
+
+/// Worker-thread default: the `S2S_THREADS` knob when set to a valid
+/// integer ≥ 1, otherwise the machine's available parallelism.
+pub fn threads() -> usize {
+    let fallback = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    tenv::var_usize_at_least("S2S_THREADS", fallback, 1)
+}
+
+/// Maximum sample instants batched per epoch run: the `S2S_EPOCH_BATCH`
+/// knob when set to a valid integer ≥ 1; unset means unlimited (one run
+/// per availability epoch).
+pub fn epoch_batch_cap() -> usize {
+    let raw = tenv::var_raw("S2S_EPOCH_BATCH");
+    let (v, warning) = tenv::parse_checked_desc(
+        "S2S_EPOCH_BATCH",
+        raw.as_deref(),
+        usize::MAX,
+        "unlimited",
+        |&v| v >= 1,
+        "an integer >= 1",
+    );
+    if let Some(w) = warning {
+        eprintln!("{w}");
+    }
+    v
+}
+
+/// The fault profile from the `S2S_FAULT_*` knobs — an alias for
+/// [`FaultProfile::from_env`], here so the whole knob surface is
+/// reachable from one module.
+pub fn fault_profile() -> FaultProfile {
+    FaultProfile::from_env()
+}
+
+/// One knob's resolved state, for `--print-config` style dumps.
+#[derive(Clone, Debug)]
+pub struct ResolvedKnob {
+    /// Environment variable name.
+    pub name: &'static str,
+    /// The value the process will actually use, rendered.
+    pub value: String,
+    /// The default, rendered.
+    pub default: String,
+    /// Whether the operator set the variable at all.
+    pub set: bool,
+    /// One-line description.
+    pub doc: &'static str,
+}
+
+impl ResolvedKnob {
+    fn new(name: &'static str, value: String, default: String, doc: &'static str) -> Self {
+        let set = tenv::var_raw(name).is_some();
+        ResolvedKnob { name, value, default, set, doc }
+    }
+}
+
+/// The measurement-plane knobs, resolved against the current environment.
+pub fn resolved_knobs() -> Vec<ResolvedKnob> {
+    let d = FaultProfile::default();
+    let p = FaultProfile::from_env();
+    let cap = epoch_batch_cap();
+    let cap_str =
+        if cap == usize::MAX { "unlimited".to_string() } else { cap.to_string() };
+    vec![
+        ResolvedKnob::new(
+            "S2S_THREADS",
+            threads().to_string(),
+            "available parallelism".to_string(),
+            "campaign worker threads",
+        ),
+        ResolvedKnob::new(
+            "S2S_EPOCH_BATCH",
+            cap_str,
+            "unlimited".to_string(),
+            "max sample instants per epoch run",
+        ),
+        ResolvedKnob::new(
+            "S2S_FAULT_SEED",
+            p.seed.to_string(),
+            d.seed.to_string(),
+            "fault-decision seed",
+        ),
+        ResolvedKnob::new(
+            "S2S_FAULT_CRASH",
+            p.crash_rate.to_string(),
+            d.crash_rate.to_string(),
+            "per-(agent, epoch) crash-start probability",
+        ),
+        ResolvedKnob::new(
+            "S2S_FAULT_CRASH_LEN",
+            p.crash_mean_epochs.to_string(),
+            d.crash_mean_epochs.to_string(),
+            "mean crash downtime, epochs",
+        ),
+        ResolvedKnob::new(
+            "S2S_FAULT_DROP",
+            p.drop_rate.to_string(),
+            d.drop_rate.to_string(),
+            "per-probe drop probability",
+        ),
+        ResolvedKnob::new(
+            "S2S_FAULT_STUCK",
+            p.stuck_rate.to_string(),
+            d.stuck_rate.to_string(),
+            "per-probe stuck-past-deadline probability",
+        ),
+        ResolvedKnob::new(
+            "S2S_FAULT_TRUNC",
+            p.truncate_rate.to_string(),
+            d.truncate_rate.to_string(),
+            "per-traceroute truncation probability",
+        ),
+        ResolvedKnob::new(
+            "S2S_FAULT_CORRUPT",
+            p.corrupt_rate.to_string(),
+            d.corrupt_rate.to_string(),
+            "per-archive-line corruption probability",
+        ),
+    ]
+}
+
+/// Renders resolved knobs as an aligned table, one knob per line, with a
+/// `*` marker on knobs the operator explicitly set.
+pub fn format_knob_table(knobs: &[ResolvedKnob]) -> String {
+    let name_w = knobs.iter().map(|k| k.name.len()).max().unwrap_or(0);
+    let val_w = knobs.iter().map(|k| k.value.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for k in knobs {
+        let mark = if k.set { "*" } else { " " };
+        out.push_str(&format!(
+            "{mark} {:<name_w$}  {:<val_w$}  (default {}) — {}\n",
+            k.name, k.value, k.default, k.doc
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Parsing edge cases are covered against the pure cores in
+    // `s2s_types::env` (no process-env mutation in parallel tests); here
+    // we pin the probe-level wiring: which core, which default, which
+    // constraint each knob uses.
+
+    #[test]
+    fn epoch_batch_core_maps_unset_and_garbage_to_unlimited() {
+        let parse = |raw: Option<&str>| {
+            s2s_types::env::parse_checked_desc(
+                "S2S_EPOCH_BATCH",
+                raw,
+                usize::MAX,
+                "unlimited",
+                |&v| v >= 1,
+                "an integer >= 1",
+            )
+        };
+        assert_eq!(parse(None), (usize::MAX, None));
+        assert_eq!(parse(Some("8")).0, 8);
+        let (v, w) = parse(Some("0"));
+        assert_eq!(v, usize::MAX);
+        assert!(w.unwrap().contains("using default unlimited"));
+        let (v, w) = parse(Some("abc"));
+        assert_eq!(v, usize::MAX);
+        assert!(w.is_some());
+    }
+
+    #[test]
+    fn threads_core_rejects_zero() {
+        let (v, w) = s2s_types::env::parse_checked(
+            "S2S_THREADS",
+            Some("0"),
+            6usize,
+            |&v| v >= 1,
+            "an integer >= 1",
+        );
+        assert_eq!(v, 6);
+        assert!(w.unwrap().contains("S2S_THREADS"));
+    }
+
+    #[test]
+    fn resolved_knobs_cover_the_documented_table() {
+        let knobs = resolved_knobs();
+        let names: Vec<&str> = knobs.iter().map(|k| k.name).collect();
+        for expect in [
+            "S2S_THREADS",
+            "S2S_EPOCH_BATCH",
+            "S2S_FAULT_SEED",
+            "S2S_FAULT_CRASH",
+            "S2S_FAULT_CRASH_LEN",
+            "S2S_FAULT_DROP",
+            "S2S_FAULT_STUCK",
+            "S2S_FAULT_TRUNC",
+            "S2S_FAULT_CORRUPT",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+        let table = format_knob_table(&knobs);
+        assert!(table.contains("S2S_EPOCH_BATCH"));
+        assert!(table.lines().count() >= knobs.len());
+    }
+}

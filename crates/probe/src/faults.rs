@@ -28,7 +28,7 @@ pub struct FaultProfile {
     /// Per-(agent, epoch) probability that a crash *starts*.
     pub crash_rate: f64,
     /// Mean crash downtime in epochs (exponential, ≥ 1, capped at
-    /// [`MAX_DOWNTIME_EPOCHS`]).
+    /// `MAX_DOWNTIME_EPOCHS`).
     pub crash_mean_epochs: f64,
     /// Per-probe probability the result is dropped outright.
     pub drop_rate: f64,
@@ -66,42 +66,38 @@ impl FaultProfile {
             && self.corrupt_rate == 0.0
     }
 
-    /// Reads the profile from `S2S_FAULT_*` environment knobs, falling
-    /// back to the default for anything unset or unparseable:
-    ///
-    /// | Variable | Meaning |
-    /// |---|---|
-    /// | `S2S_FAULT_SEED` | decision seed |
-    /// | `S2S_FAULT_CRASH` | per-(agent, epoch) crash-start probability |
-    /// | `S2S_FAULT_CRASH_LEN` | mean downtime, epochs |
-    /// | `S2S_FAULT_DROP` | per-probe drop probability |
-    /// | `S2S_FAULT_STUCK` | per-probe stuck-past-deadline probability |
-    /// | `S2S_FAULT_TRUNC` | per-traceroute truncation probability |
-    /// | `S2S_FAULT_CORRUPT` | per-archive-line corruption probability |
+    /// Reads the profile from the `S2S_FAULT_*` environment knobs via the
+    /// shared warn-and-default parsers in [`s2s_types::env`]: unset knobs
+    /// silently take the default, malformed or out-of-range values print
+    /// one warning to stderr and take the default. The full knob table
+    /// lives in [`crate::env`].
     pub fn from_env() -> FaultProfile {
+        use s2s_types::env as tenv;
         let d = FaultProfile::default();
+        let crash_mean_epochs = {
+            let raw = tenv::var_raw("S2S_FAULT_CRASH_LEN");
+            let (v, warning) = tenv::parse_checked(
+                "S2S_FAULT_CRASH_LEN",
+                raw.as_deref(),
+                d.crash_mean_epochs,
+                |&v: &f64| v >= 1.0,
+                "a number >= 1",
+            );
+            if let Some(w) = warning {
+                eprintln!("{w}");
+            }
+            v
+        };
         FaultProfile {
-            seed: env_u64("S2S_FAULT_SEED", d.seed),
-            crash_rate: env_rate("S2S_FAULT_CRASH", d.crash_rate),
-            crash_mean_epochs: env_f64("S2S_FAULT_CRASH_LEN", d.crash_mean_epochs).max(1.0),
-            drop_rate: env_rate("S2S_FAULT_DROP", d.drop_rate),
-            stuck_rate: env_rate("S2S_FAULT_STUCK", d.stuck_rate),
-            truncate_rate: env_rate("S2S_FAULT_TRUNC", d.truncate_rate),
-            corrupt_rate: env_rate("S2S_FAULT_CORRUPT", d.corrupt_rate),
+            seed: tenv::var_u64("S2S_FAULT_SEED", d.seed),
+            crash_rate: tenv::var_rate("S2S_FAULT_CRASH", d.crash_rate),
+            crash_mean_epochs,
+            drop_rate: tenv::var_rate("S2S_FAULT_DROP", d.drop_rate),
+            stuck_rate: tenv::var_rate("S2S_FAULT_STUCK", d.stuck_rate),
+            truncate_rate: tenv::var_rate("S2S_FAULT_TRUNC", d.truncate_rate),
+            corrupt_rate: tenv::var_rate("S2S_FAULT_CORRUPT", d.corrupt_rate),
         }
     }
-}
-
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
-}
-
-fn env_rate(name: &str, default: f64) -> f64 {
-    env_f64(name, default).clamp(0.0, 1.0)
-}
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
 }
 
 /// What the fault plane did to one probe attempt.
@@ -438,10 +434,24 @@ mod tests {
     }
 
     #[test]
-    fn from_env_ignores_garbage_and_clamps() {
+    fn from_env_parsing_warns_and_defaults() {
         // Avoid mutating the process environment (tests run in parallel);
-        // exercise the parsing helpers directly instead.
-        assert_eq!(super::env_rate("S2S_FAULT_DOES_NOT_EXIST", 0.25), 0.25);
-        assert_eq!(super::env_u64("S2S_FAULT_DOES_NOT_EXIST", 7), 7);
+        // exercise the shared parsing cores directly instead.
+        use s2s_types::env::{parse_checked, parse_rate};
+        assert_eq!(parse_rate("S2S_FAULT_DROP", None, 0.25), (0.25, None));
+        let (v, w) = parse_rate("S2S_FAULT_DROP", Some("2.0"), 0.0);
+        assert_eq!(v, 0.0);
+        assert!(w.unwrap().contains("S2S_FAULT_DROP"));
+        // The crash-length floor rejects sub-1 means with a warning
+        // instead of silently clamping.
+        let (v, w) = parse_checked(
+            "S2S_FAULT_CRASH_LEN",
+            Some("0.2"),
+            4.0,
+            |&v: &f64| v >= 1.0,
+            "a number >= 1",
+        );
+        assert_eq!(v, 4.0);
+        assert!(w.is_some());
     }
 }

@@ -7,28 +7,39 @@
 //! campaigns toward congested pairs. This crate reproduces the tools and
 //! the campaign scheduler:
 //!
+//! * [`builder`] — **the front door**: [`Campaign`] configures any run
+//!   (faults, retry, checkpoint, threads, observability) and launches it
+//!   via [`Campaign::run_traceroute`] / [`Campaign::run_ping`],
 //! * [`tracer`] — TTL-walking traceroute with classic (per-probe flow) and
 //!   Paris (fixed flow) modes, retries, and unresponsive-hop handling,
 //! * [`records`] — the measurement record types the analysis pipeline in
 //!   `s2s-core` consumes (serde-serializable, data-source agnostic),
-//! * [`campaign`] — the scheduler: full-mesh or pair-list sweeps at a fixed
-//!   cadence, parallelized with scoped threads (panic-isolated per worker),
-//!   aggregating per-pair results via a caller-supplied fold so multi-month
-//!   campaigns stream instead of materializing billions of records; the
-//!   fault-aware runners add per-probe timeouts, bounded retry, failure
-//!   accounting ([`CampaignReport`]), and checkpoint/resume,
+//! * [`campaign`] — the execution cores behind the builder: full-mesh or
+//!   pair-list sweeps at a fixed cadence, parallelized with scoped threads
+//!   (panic-isolated per worker), aggregating per-pair results via a
+//!   caller-supplied fold so multi-month campaigns stream instead of
+//!   materializing billions of records, plus per-probe timeouts, bounded
+//!   retry, failure accounting ([`CampaignReport`]), and checkpoint/resume
+//!   (the free `run_*_campaign*` functions there are deprecated shims over
+//!   [`Campaign`]),
+//! * [`mod@env`] — the consolidated `S2S_*` knob table (threads, epoch
+//!   batching, fault profile) with warn-and-default parsing,
 //! * [`faults`] — seeded, content-keyed fault injection (agent crashes,
 //!   dropped/stuck/truncated probes, archive corruption) with an all-zero
 //!   default profile,
 //! * [`dataset`] — line-oriented export/import of records for archiving and
 //!   external plotting, with strict and lossy (skip-counting) import paths.
 
+pub mod builder;
 pub mod campaign;
 pub mod dataset;
+pub mod env;
 pub mod faults;
 pub mod records;
 pub mod tracer;
 
+pub use builder::Campaign;
+#[allow(deprecated)]
 pub use campaign::{
     colocated_pairs, full_mesh_pairs, ping_once, run_ping_campaign,
     run_ping_campaign_faulty, run_traceroute_campaign, run_traceroute_campaign_faulty,

@@ -107,7 +107,7 @@ impl ConfigCache {
     fn entry_mut(
         &mut self,
         key: (u64, Protocol),
-        evictions: &AtomicU64,
+        evictions: &s2s_obs::Counter,
     ) -> &mut ConfigEntry {
         if !self.configs.contains_key(&key) {
             while self.configs.len() >= CONFIG_CACHE_CAP {
@@ -119,7 +119,13 @@ impl ConfigCache {
                 match victim {
                     Some(v) => {
                         self.configs.remove(&v);
-                        evictions.fetch_add(1, Ordering::Relaxed);
+                        evictions.inc();
+                        s2s_obs::event("oracle.cache.eviction", || {
+                            format!(
+                                "config (hash {:#018x}, {:?}) evicted at capacity {CONFIG_CACHE_CAP}",
+                                v.0, v.1
+                            )
+                        });
                     }
                     None => break,
                 }
@@ -165,10 +171,13 @@ pub struct RouteOracle {
     /// slot `2 * epoch + proto`. Empty when the epoch timeline is too
     /// large (`MAX_EPOCH_SLOTS`) — then configs are derived per query.
     epoch_cfgs: RwLock<Vec<Option<Arc<EpochCfg>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    epoch_builds: AtomicU64,
+    // Shared `s2s_obs` counters rather than bespoke atomics, so
+    // [`RouteOracle::observe`] can expose the live cells in a registry
+    // (`oracle.cache.*`) while `cache_stats()` keeps reading them directly.
+    hits: Arc<s2s_obs::Counter>,
+    misses: Arc<s2s_obs::Counter>,
+    evictions: Arc<s2s_obs::Counter>,
+    epoch_builds: Arc<s2s_obs::Counter>,
 }
 
 fn edge_key(a: usize, b: usize) -> (u32, u32) {
@@ -231,11 +240,23 @@ impl RouteOracle {
             base_edges,
             cache: RwLock::new(ConfigCache::default()),
             epoch_cfgs: RwLock::new(epoch_cfgs),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            epoch_builds: AtomicU64::new(0),
+            hits: Arc::new(s2s_obs::Counter::new()),
+            misses: Arc::new(s2s_obs::Counter::new()),
+            evictions: Arc::new(s2s_obs::Counter::new()),
+            epoch_builds: Arc::new(s2s_obs::Counter::new()),
         }
+    }
+
+    /// Registers the oracle's live cache counters in `registry` under
+    /// `oracle.cache.{hits,misses,evictions,epoch_configs}`. The registry
+    /// shares the oracle's own cells — no sampling, no copying — so a
+    /// snapshot taken at any point reflects the counts
+    /// [`cache_stats`](Self::cache_stats) would report.
+    pub fn observe(&self, registry: &s2s_obs::Registry) {
+        registry.register_counter("oracle.cache.hits", Arc::clone(&self.hits));
+        registry.register_counter("oracle.cache.misses", Arc::clone(&self.misses));
+        registry.register_counter("oracle.cache.evictions", Arc::clone(&self.evictions));
+        registry.register_counter("oracle.cache.epoch_configs", Arc::clone(&self.epoch_builds));
     }
 
     /// The underlying topology.
@@ -304,9 +325,9 @@ impl RouteOracle {
                 None => drop(cfgs),
             }
         }
-        let down = self.down_edges(proto, t);
+        let down = s2s_obs::timed("oracle.epoch_config", || self.down_edges(proto, t));
         let cfg = Arc::new(EpochCfg { hash: hash_edges(&down), down });
-        self.epoch_builds.fetch_add(1, Ordering::Relaxed);
+        self.epoch_builds.inc();
         let mut cfgs = self.epoch_cfgs.write();
         if let Some(entry) = cfgs.get_mut(slot) {
             // Another thread may have raced us here; share its result so
@@ -327,7 +348,7 @@ impl RouteOracle {
             if let Some(entry) = cache.configs.get(&key) {
                 if let Some(tbl) = entry.tables.get(&dst_as) {
                     cache.touch(entry);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     return Arc::clone(tbl);
                 }
             }
@@ -341,8 +362,10 @@ impl RouteOracle {
             base.contains(&k) && !down.contains(&k)
         };
         let salt = 0xA5A5_0000 + slot as u64;
-        let tbl: Table = Arc::new(compute_routes(&self.topo.as_adj, dst_as, &avail, salt));
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        let tbl: Table = s2s_obs::timed("oracle.route_compute", || {
+            Arc::new(compute_routes(&self.topo.as_adj, dst_as, &avail, salt))
+        });
+        self.misses.inc();
         let mut cache = self.cache.write();
         let entry = cache.entry_mut(key, &self.evictions);
         // Keep the first computed table if another thread raced us, so all
@@ -385,7 +408,7 @@ impl RouteOracle {
             if let Some(entry) = cache.configs.get(&key) {
                 if let Some(p) = entry.paths.get(&(src_as, dst_as)) {
                     cache.touch(entry);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     return p.clone();
                 }
             }
@@ -408,10 +431,10 @@ impl RouteOracle {
     /// Cache effectiveness counters since construction.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            epoch_configs: self.epoch_builds.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            epoch_configs: self.epoch_builds.get(),
         }
     }
 
@@ -550,7 +573,7 @@ mod tests {
         // evicted as soon as CONFIG_CACHE_CAP other configs had been seen,
         // and then recomputed on every alternation.
         let mut c = ConfigCache::default();
-        let ev = AtomicU64::new(0);
+        let ev = s2s_obs::Counter::new();
         let key_a = (0xAu64, Protocol::V4);
         let key_b = (0xBu64, Protocol::V4);
         c.entry_mut(key_a, &ev);
@@ -567,7 +590,26 @@ mod tests {
             c.configs.contains_key(&key_a) && c.configs.contains_key(&key_b),
             "hot alternating configs were evicted: FIFO thrash is back"
         );
-        assert!(ev.load(Ordering::Relaxed) > 0, "cold configs should evict");
+        assert!(ev.get() > 0, "cold configs should evict");
+    }
+
+    #[test]
+    fn observe_exposes_the_live_cache_counters() {
+        let o = setup_dynamic(11);
+        let reg = s2s_obs::Registry::new();
+        o.observe(&reg);
+        let hits = reg.counter("oracle.cache.hits");
+        let misses = reg.counter("oracle.cache.misses");
+        assert_eq!((hits.get(), misses.get()), (0, 0));
+        for _ in 0..3 {
+            o.as_path_idx(0, 1, Protocol::V4, SimTime::T0);
+        }
+        let stats = o.cache_stats();
+        assert!(stats.hits > 0 && stats.misses > 0);
+        // Same cells, not copies: the registry view tracks cache_stats().
+        assert_eq!(hits.get(), stats.hits);
+        assert_eq!(misses.get(), stats.misses);
+        assert_eq!(reg.counter("oracle.cache.epoch_configs").get(), stats.epoch_configs);
     }
 
     #[test]

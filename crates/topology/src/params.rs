@@ -83,16 +83,14 @@ impl TopologyParams {
         }
     }
 
-    /// The default experiment scale, overridable through `S2S_*` environment
-    /// variables (see DESIGN.md §7).
+    /// The default experiment scale, overridable through the `S2S_SEED` and
+    /// `S2S_CLUSTERS` environment knobs (see DESIGN.md §8). Malformed values
+    /// warn once and fall back to the defaults, like every other `S2S_*`
+    /// knob (see `s2s_types::env`).
     pub fn from_env() -> Self {
         let mut p = TopologyParams::default();
-        if let Some(seed) = env_u64("S2S_SEED") {
-            p.seed = seed;
-        }
-        if let Some(n) = env_u64("S2S_CLUSTERS") {
-            p.n_clusters = n as usize;
-        }
+        p.seed = s2s_types::env::var_u64("S2S_SEED", p.seed);
+        p.n_clusters = s2s_types::env::var_usize_at_least("S2S_CLUSTERS", p.n_clusters, 2);
         p
     }
 
@@ -102,9 +100,6 @@ impl TopologyParams {
     }
 }
 
-fn env_u64(key: &str) -> Option<u64> {
-    std::env::var(key).ok()?.trim().parse().ok()
-}
 
 #[cfg(test)]
 mod tests {

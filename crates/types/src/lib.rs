@@ -6,8 +6,12 @@
 //! business relationships.
 //!
 //! Everything here is plain data: `Copy` where possible, `serde`-serializable,
-//! and free of any simulation or analysis logic.
+//! and free of any simulation or analysis logic. The one exception is
+//! [`mod@env`], the shared warn-and-default parser every `S2S_*` environment
+//! knob in the workspace goes through — it lives here because this is the
+//! crate everything else already depends on.
 
+pub mod env;
 pub mod ids;
 pub mod net;
 pub mod path;

@@ -12,7 +12,7 @@ use s2s_core::congestion::{
 };
 use s2s_core::ownership::{classify_link, infer_ownership};
 use s2s_netsim::{CongestionModel, LinkProfile, Network, NetworkParams};
-use s2s_probe::{run_ping_campaign, trace, CampaignConfig, TraceOptions};
+use s2s_probe::{trace, Campaign, CampaignConfig, TraceOptions};
 use s2s_routing::{Dynamics, RouteOracle};
 use s2s_topology::{build_topology, TopologyParams};
 use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
@@ -55,7 +55,9 @@ fn main() {
 
     // Step 1 (§5.1): a week of 15-minute pings flags the pair.
     let cfg = CampaignConfig::ping_week(SimTime::from_days(2));
-    let tls = run_ping_campaign(&net, &[(src, dst)], &cfg);
+    let (tls, _) = Campaign::new(cfg)
+        .run_ping(&net, &[(src, dst)])
+        .expect("in-memory campaign cannot fail");
     for tl in &tls {
         if let Some(r) = detect(tl, &DetectParams::default()) {
             println!(

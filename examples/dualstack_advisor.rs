@@ -8,7 +8,7 @@
 //! ```
 
 use s2s_netsim::{CongestionModel, CongestionParams, Network, NetworkParams};
-use s2s_probe::{run_ping_campaign, CampaignConfig};
+use s2s_probe::{Campaign, CampaignConfig};
 use s2s_routing::{Dynamics, DynamicsParams, RouteOracle};
 use s2s_stats::quantiles;
 use s2s_topology::{build_topology, TopologyParams};
@@ -34,7 +34,9 @@ fn main() {
         .map(|d| (ClusterId::new(0), ClusterId::from(d)))
         .collect();
     let cfg = CampaignConfig::ping_week(SimTime::from_days(3));
-    let timelines = run_ping_campaign(&net, &pairs, &cfg);
+    let (timelines, _) = Campaign::new(cfg)
+        .run_ping(&net, &pairs)
+        .expect("in-memory campaign cannot fail");
 
     println!("pair                          median v4    median v6    advice");
     let mut big_saves = 0;

@@ -10,7 +10,7 @@ use s2s_core::bestpath::best_path_analysis;
 use s2s_core::changes::{detect_changes, path_stats};
 use s2s_core::timeline::TimelineBuilder;
 use s2s_netsim::{CongestionModel, Network, NetworkParams};
-use s2s_probe::{run_traceroute_campaign, CampaignConfig, TraceOptions};
+use s2s_probe::{Campaign, CampaignConfig, TraceOptions};
 use s2s_routing::{Dynamics, DynamicsParams, RouteOracle};
 use s2s_topology::{build_topology, TopologyParams};
 use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
@@ -48,17 +48,19 @@ fn main() {
         protocols: vec![Protocol::V4],
         threads: 4,
     };
-    let timelines: Vec<_> = run_traceroute_campaign(
-        &net,
-        &pairs,
-        &cfg,
-        TraceOptions::default(),
-        |s, d, p| TimelineBuilder::new(s, d, p, &ip2asn),
-        |b, rec| b.push(rec),
-    )
-    .into_iter()
-    .map(TimelineBuilder::finish)
-    .collect();
+    let timelines: Vec<_> = Campaign::new(cfg)
+        .run_traceroute(
+            &net,
+            &pairs,
+            TraceOptions::default(),
+            |s, d, p| TimelineBuilder::new(s, d, p, &ip2asn),
+            |b, rec| b.push(rec),
+        )
+        .expect("in-memory campaign cannot fail")
+        .0
+        .into_iter()
+        .map(TimelineBuilder::finish)
+        .collect();
 
     for tl in &timelines {
         let changes = detect_changes(tl);

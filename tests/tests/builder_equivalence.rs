@@ -1,0 +1,175 @@
+//! The one-front-door guarantee: `Campaign` (the builder) produces
+//! byte-for-byte the same datasets as the deprecated free functions and as
+//! the sequential reference runner — across seeds, thread counts, and
+//! fault profiles — and installing a metrics registry changes nothing.
+
+#![allow(deprecated)] // the point of this suite is to pin the legacy wrappers
+
+use s2s_integration::World;
+use s2s_probe::dataset::traceroute_to_line;
+use s2s_probe::{
+    run_ping_campaign, run_ping_campaign_faulty, run_traceroute_campaign,
+    run_traceroute_campaign_faulty, Campaign, CampaignConfig, FaultProfile, RetryPolicy,
+    TraceOptions, TracerouteRecord,
+};
+use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
+use std::sync::Arc;
+
+fn cfg(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        start: SimTime::T0,
+        end: SimTime::from_days(5),
+        interval: SimDuration::from_hours(3),
+        protocols: vec![Protocol::V4, Protocol::V6],
+        threads,
+    }
+}
+
+fn pairs(_w: &World) -> Vec<(ClusterId, ClusterId)> {
+    (1usize..6).map(|d| (ClusterId::new(0), ClusterId::from(d))).collect()
+}
+
+/// Serializes a builder campaign to dataset lines — the byte-level view.
+fn builder_lines(
+    w: &World,
+    c: Campaign,
+    pairs: &[(ClusterId, ClusterId)],
+) -> Vec<Vec<String>> {
+    c.run_traceroute(
+        &w.net,
+        pairs,
+        TraceOptions::default(),
+        |_, _, _| Vec::new(),
+        |acc: &mut Vec<String>, rec: TracerouteRecord| acc.push(traceroute_to_line(&rec)),
+    )
+    .expect("in-memory campaign cannot fail")
+    .0
+}
+
+#[test]
+fn builder_matches_legacy_and_reference_across_seeds_and_threads() {
+    for seed in [3u64, 41] {
+        let w = World::full(seed, 5);
+        let ps = pairs(&w);
+        let baseline = builder_lines(&w, Campaign::new(cfg(1)).reference(), &ps);
+        for threads in [1usize, 4] {
+            let built = builder_lines(&w, Campaign::new(cfg(threads)), &ps);
+            assert_eq!(baseline, built, "seed {seed}, {threads} threads");
+            let legacy = run_traceroute_campaign(
+                &w.net,
+                &ps,
+                &cfg(threads),
+                TraceOptions::default(),
+                |_, _, _| Vec::new(),
+                |acc: &mut Vec<String>, rec| acc.push(traceroute_to_line(&rec)),
+            );
+            assert_eq!(baseline, legacy, "seed {seed}, {threads} threads (legacy)");
+        }
+    }
+}
+
+#[test]
+fn faulty_builder_matches_legacy_across_profiles() {
+    let w = World::full(7, 5);
+    let ps = pairs(&w);
+    let retry = RetryPolicy::default();
+    for profile in [
+        FaultProfile::default(),
+        FaultProfile { drop_rate: 0.1, ..FaultProfile::default() },
+        FaultProfile { crash_rate: 0.05, drop_rate: 0.05, ..FaultProfile::default() },
+    ] {
+        let (built, report) = Campaign::new(cfg(4))
+            .faults(profile)
+            .retry(retry)
+            .run_traceroute(
+                &w.net,
+                &ps,
+                TraceOptions::default(),
+                |_, _, _| Vec::new(),
+                |acc: &mut Vec<String>, rec| acc.push(traceroute_to_line(&rec)),
+            )
+            .expect("in-memory campaign cannot fail");
+        let (legacy, legacy_report) = run_traceroute_campaign_faulty(
+            &w.net,
+            &ps,
+            &cfg(4),
+            |_, _| TraceOptions::default(),
+            &profile,
+            &retry,
+            |_, _, _| Vec::new(),
+            |acc: &mut Vec<String>, rec| acc.push(traceroute_to_line(&rec)),
+        );
+        assert_eq!(built, legacy, "drop {}", profile.drop_rate);
+        assert_eq!(report, legacy_report, "drop {}", profile.drop_rate);
+        // The reference runner agrees too, so all three execution paths
+        // converge on the same bytes.
+        let (reference, ref_report) = Campaign::new(cfg(1))
+            .reference()
+            .faults(profile)
+            .retry(retry)
+            .run_traceroute(
+                &w.net,
+                &ps,
+                TraceOptions::default(),
+                |_, _, _| Vec::new(),
+                |acc: &mut Vec<String>, rec| acc.push(traceroute_to_line(&rec)),
+            )
+            .expect("in-memory campaign cannot fail");
+        assert_eq!(built, reference, "drop {}", profile.drop_rate);
+        assert_eq!(report, ref_report, "drop {}", profile.drop_rate);
+    }
+}
+
+#[test]
+fn ping_builder_matches_legacy_with_and_without_faults() {
+    let w = World::full(13, 5);
+    let ps = pairs(&w);
+    let c = CampaignConfig { protocols: vec![Protocol::V4], ..cfg(4) };
+    let (built, _) = Campaign::new(c.clone())
+        .run_ping(&w.net, &ps)
+        .expect("in-memory campaign cannot fail");
+    let legacy = run_ping_campaign(&w.net, &ps, &c);
+    let bits = |tls: &[s2s_probe::PingTimeline]| {
+        tls.iter()
+            .map(|t| t.rtts.iter().map(|r| r.to_bits()).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(bits(&built), bits(&legacy));
+
+    let profile = FaultProfile { drop_rate: 0.2, ..FaultProfile::default() };
+    let retry = RetryPolicy { max_attempts: 1, ..RetryPolicy::default() };
+    let (built_f, report) = Campaign::new(c.clone())
+        .faults(profile)
+        .retry(retry)
+        .run_ping(&w.net, &ps)
+        .expect("in-memory campaign cannot fail");
+    let (legacy_f, legacy_report) =
+        run_ping_campaign_faulty(&w.net, &ps, &c, &profile, &retry);
+    assert_eq!(bits(&built_f), bits(&legacy_f));
+    assert_eq!(report, legacy_report);
+    assert!(report.dropped_probes > 0, "a 20% drop rate must lose something");
+}
+
+#[test]
+fn installed_metrics_registry_changes_no_bytes() {
+    let w = World::full(29, 5);
+    let ps = pairs(&w);
+    let plain = builder_lines(&w, Campaign::new(cfg(4)), &ps);
+
+    let registry = Arc::new(s2s_obs::Registry::new());
+    w.net.observe(&registry);
+    s2s_obs::install(Arc::clone(&registry));
+    let observed = builder_lines(&w, Campaign::new(cfg(4)), &ps);
+    s2s_obs::uninstall();
+
+    assert_eq!(plain, observed, "metrics must never perturb the dataset");
+    let snap = registry.snapshot();
+    assert!(
+        snap.counters.get("campaign.runs").copied().unwrap_or(0) >= 1,
+        "the observed run must have published its report"
+    );
+    assert!(
+        snap.counters.get("netsim.probes").copied().unwrap_or(0) > 0,
+        "probe traffic must show up in the shared network counters"
+    );
+}

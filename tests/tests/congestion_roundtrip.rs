@@ -8,7 +8,7 @@ use s2s_core::congestion::{
 use s2s_core::ownership::{classify_link, infer_ownership, CongestedLinkClass};
 use s2s_integration::World;
 use s2s_netsim::{CongestionModel, LinkProfile, Network, NetworkParams};
-use s2s_probe::{run_ping_campaign, trace, CampaignConfig, TraceOptions};
+use s2s_probe::{trace, Campaign, CampaignConfig, TraceOptions};
 use s2s_topology::LinkKind;
 use s2s_types::{ClusterId, LinkId, Protocol, RouterId, SimDuration, SimTime};
 use std::sync::Arc;
@@ -52,7 +52,9 @@ fn planted_congestion_is_detected_by_pings() {
     let dst = ClusterId::new(6);
     let (net, _, _) = plant(&w, dst, 2, 30.0);
     let cfg = CampaignConfig::ping_week(SimTime::from_days(2));
-    let tls = run_ping_campaign(&net, &[(ClusterId::new(0), dst)], &cfg);
+    let (tls, _) = Campaign::new(cfg)
+        .run_ping(&net, &[(ClusterId::new(0), dst)])
+        .expect("in-memory campaign cannot fail");
     let v4 = tls.iter().find(|t| t.proto == Protocol::V4).unwrap();
     let r = detect(v4, &DetectParams::default()).expect("enough samples");
     assert!(r.high_variation, "spread {}", r.spread_ms);
@@ -71,7 +73,9 @@ fn clean_pairs_stay_clean() {
     let cfg = CampaignConfig::ping_week(SimTime::from_days(2));
     let pairs: Vec<_> =
         (1usize..6).map(|d| (ClusterId::new(0), ClusterId::from(d))).collect();
-    let tls = run_ping_campaign(&w.net, &pairs, &cfg);
+    let (tls, _) = Campaign::new(cfg)
+        .run_ping(&w.net, &pairs)
+        .expect("in-memory campaign cannot fail");
     for tl in tls {
         if let Some(r) = detect(&tl, &DetectParams::default()) {
             assert!(!r.consistent, "clean pair flagged: spread {}", r.spread_ms);
@@ -196,7 +200,9 @@ fn detection_survives_realistic_noise() {
         NetworkParams::default(), // real loss + spikes + rate limiting
     );
     let cfg = CampaignConfig::ping_week(SimTime::from_days(2));
-    let tls = run_ping_campaign(&net, &[(ClusterId::new(0), dst)], &cfg);
+    let (tls, _) = Campaign::new(cfg)
+        .run_ping(&net, &[(ClusterId::new(0), dst)])
+        .expect("in-memory campaign cannot fail");
     let v4 = tls.iter().find(|t| t.proto == Protocol::V4).unwrap();
     let r = detect(v4, &DetectParams::default()).expect("enough samples despite loss");
     assert!(r.consistent, "noise drowned the signal: {r:?}");

@@ -4,7 +4,7 @@
 
 use s2s_core::timeline::TimelineBuilder;
 use s2s_integration::World;
-use s2s_probe::{run_ping_campaign, run_traceroute_campaign, CampaignConfig, TraceOptions};
+use s2s_probe::{Campaign, CampaignConfig, TraceOptions};
 use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
 
 fn campaign_fingerprint(w: &World, threads: usize) -> Vec<(usize, usize, u64)> {
@@ -17,15 +17,17 @@ fn campaign_fingerprint(w: &World, threads: usize) -> Vec<(usize, usize, u64)> {
         protocols: vec![Protocol::V4, Protocol::V6],
         threads,
     };
-    run_traceroute_campaign(
-        &w.net,
-        &pairs,
-        &cfg,
-        TraceOptions::default(),
-        |s, d, p| TimelineBuilder::new(s, d, p, &w.ip2asn),
-        |b, rec| b.push(rec),
-    )
-    .into_iter()
+    Campaign::new(cfg)
+        .run_traceroute(
+            &w.net,
+            &pairs,
+            TraceOptions::default(),
+            |s, d, p| TimelineBuilder::new(s, d, p, &w.ip2asn),
+            |b, rec| b.push(rec),
+        )
+        .expect("in-memory campaign cannot fail")
+        .0
+        .into_iter()
     .map(|b| {
         let tl = b.finish();
         // Fingerprint: path count, usable samples, and a sum over RTT bits.
@@ -67,7 +69,10 @@ fn ping_campaigns_are_deterministic() {
     let cfg = CampaignConfig::ping_week(SimTime::from_days(1));
     let pairs = vec![(ClusterId::new(0), ClusterId::new(3))];
     let run = || {
-        run_ping_campaign(&w.net, &pairs, &cfg)
+        Campaign::new(cfg.clone())
+            .run_ping(&w.net, &pairs)
+            .expect("in-memory campaign cannot fail")
+            .0
             .into_iter()
             .map(|t| t.rtts.iter().map(|r| r.to_bits()).collect::<Vec<_>>())
             .collect::<Vec<_>>()

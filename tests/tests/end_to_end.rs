@@ -5,7 +5,7 @@ use s2s_core::bestpath::best_path_analysis;
 use s2s_core::changes::{detect_changes, path_stats};
 use s2s_core::timeline::TimelineBuilder;
 use s2s_integration::World;
-use s2s_probe::{run_traceroute_campaign, trace, CampaignConfig, TraceOptions};
+use s2s_probe::{trace, Campaign, CampaignConfig, TraceOptions};
 use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
 
 #[test]
@@ -73,17 +73,19 @@ fn full_campaign_to_analysis_pipeline() {
         protocols: vec![Protocol::V4, Protocol::V6],
         threads: 4,
     };
-    let timelines: Vec<_> = run_traceroute_campaign(
-        &w.net,
-        &pairs,
-        &cfg,
-        TraceOptions::default(),
-        |s, d, p| TimelineBuilder::new(s, d, p, &w.ip2asn),
-        |b, rec| b.push(rec),
-    )
-    .into_iter()
-    .map(TimelineBuilder::finish)
-    .collect();
+    let timelines: Vec<_> = Campaign::new(cfg)
+        .run_traceroute(
+            &w.net,
+            &pairs,
+            TraceOptions::default(),
+            |s, d, p| TimelineBuilder::new(s, d, p, &w.ip2asn),
+            |b, rec| b.push(rec),
+        )
+        .expect("in-memory campaign cannot fail")
+        .0
+        .into_iter()
+        .map(TimelineBuilder::finish)
+        .collect();
 
     assert_eq!(timelines.len(), pairs.len() * 2);
     for tl in &timelines {
