@@ -30,7 +30,7 @@ echo "==> small-scale reproduce smoke run (writes metrics.json)"
 S2S_CLUSTERS=16 S2S_DAYS=20 S2S_PAIRS=24 S2S_PING_PAIRS=20 S2S_CONG_PAIRS=8 \
     cargo run -q --release -p s2s-bench --bin reproduce -- table1 --metrics-json metrics.json
 
-echo "==> long-term campaign bench (quick mode; writes BENCH_longterm.json)"
+echo "==> long-term campaign + columnar analysis bench (quick mode; writes BENCH_longterm.json)"
 S2S_BENCH_QUICK=1 cargo bench -q -p s2s-bench --bench longterm
 
 echo "CI OK"

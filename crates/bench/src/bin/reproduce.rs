@@ -18,6 +18,10 @@
 //! * `--metrics-json <path>` — after the run, write the observability
 //!   registry's snapshot (schema-stable JSON) to `<path>`. A metrics
 //!   summary table prints at the end of every run either way.
+//! * `--threads <n>` — worker threads for campaigns and the columnar
+//!   analysis shards; overrides `S2S_THREADS` (and is what
+//!   `--print-config` then reports). Results are byte-identical across
+//!   thread counts.
 
 use s2s_bench::experiments::{
     congestion, dualstack, example, extensions, faultsweep, longterm, ownercheck,
@@ -84,14 +88,12 @@ fn print_config() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut metrics_json: Option<String> = None;
+    let mut print_cfg = false;
     let mut ids: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--print-config" => {
-                print_config();
-                return;
-            }
+            "--print-config" => print_cfg = true,
             "--metrics-json" => match it.next() {
                 Some(p) => metrics_json = Some(p.clone()),
                 None => {
@@ -99,8 +101,21 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => std::env::set_var("S2S_THREADS", n.to_string()),
+                _ => {
+                    eprintln!("--threads needs a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
             other => ids.push(other),
         }
+    }
+    // --threads must take effect before any knob is resolved, so the flag
+    // loop runs to completion before config printing or world building.
+    if print_cfg {
+        print_config();
+        return;
     }
     let wanted: Vec<&str> = if ids.is_empty() { ALL.to_vec() } else { ids };
     for w in &wanted {
@@ -141,6 +156,18 @@ fn main() {
             t.elapsed(),
             data.report.coverage()
         );
+        if let Some(a) = &data.arena {
+            println!(
+                "columnar arena: {} traces, {} distinct addrs, {} distinct hop \
+                 sequences, {:.1}x hop dedup, {} arena bytes, {} analysis threads",
+                a.traces,
+                a.distinct_addrs,
+                a.distinct_seqs,
+                a.dedup_ratio,
+                a.arena_bytes,
+                s2s_probe::env::threads()
+            );
+        }
         let cs = scenario.oracle.cache_stats();
         println!(
             "routing: {} availability epochs, {} epoch configs derived, \

@@ -12,7 +12,9 @@ pub mod ownercheck;
 pub mod shortterm;
 
 use crate::scenario::Scenario;
+use s2s_core::columnar::timelines_from_store_threads;
 use s2s_core::timeline::TraceTimeline;
+use s2s_probe::store::StoreStats;
 use s2s_probe::{CampaignReport, FaultProfile, RetryPolicy};
 use s2s_types::{ClusterId, Coverage};
 
@@ -26,6 +28,10 @@ pub struct LongTermData {
     /// What the measurement plane did while collecting (all-delivered under
     /// the default quiet fault profile).
     pub report: CampaignReport,
+    /// Intern-table statistics of the columnar arena the corpus passed
+    /// through, when collected via the columnar plane (`None` on the legacy
+    /// record-at-a-time path).
+    pub arena: Option<StoreStats>,
 }
 
 impl LongTermData {
@@ -36,12 +42,32 @@ impl LongTermData {
         LongTermData::collect_with(scenario, &FaultProfile::from_env())
     }
 
-    /// [`LongTermData::collect`] with an explicit fault profile.
+    /// [`LongTermData::collect`] with an explicit fault profile. Collection
+    /// goes through the columnar plane: records intern into a
+    /// [`s2s_probe::TraceStore`] and the sharded analysis driver (thread
+    /// count from `S2S_THREADS` / `--threads`) produces the timelines —
+    /// byte-identical to [`LongTermData::collect_legacy_with`], which the
+    /// equivalence suite pins.
     pub fn collect_with(scenario: &Scenario, profile: &FaultProfile) -> LongTermData {
+        let pairs = scenario.sample_pair_list(scenario.scale.pairs / 2, 0x10e6);
+        let (store, report) =
+            scenario.long_term_store_faulty(&pairs, profile, &RetryPolicy::default());
+        let timelines = timelines_from_store_threads(
+            &store,
+            &scenario.ip2asn,
+            s2s_probe::env::threads(),
+        );
+        LongTermData { pairs, timelines, report, arena: Some(store.stats()) }
+    }
+
+    /// The pre-columnar collection path: annotate record-by-record into
+    /// streaming [`s2s_core::TimelineBuilder`]s. Kept as the equivalence
+    /// baseline and as the `analysis.legacy_seconds` side of the bench.
+    pub fn collect_legacy_with(scenario: &Scenario, profile: &FaultProfile) -> LongTermData {
         let pairs = scenario.sample_pair_list(scenario.scale.pairs / 2, 0x10e6);
         let (timelines, report) =
             scenario.long_term_timelines_faulty(&pairs, profile, &RetryPolicy::default());
-        LongTermData { pairs, timelines, report }
+        LongTermData { pairs, timelines, report, arena: None }
     }
 
     /// Aggregate sample coverage over every timeline in the data set.

@@ -7,8 +7,10 @@
 //! traceroutes, runs the six heuristics, and scores the elected owners.
 
 use crate::scenario::Scenario;
-use s2s_core::ownership::{infer_ownership, Heuristic};
-use s2s_probe::{trace, TraceOptions};
+use s2s_core::columnar::infer_ownership_store;
+use s2s_core::ownership::Heuristic;
+use s2s_probe::store::NO_ADDR;
+use s2s_probe::{trace, TraceOptions, TraceStore};
 use s2s_types::{Protocol, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::net::IpAddr;
@@ -32,19 +34,20 @@ pub struct Fig8Result {
 /// Runs the sweep and validation.
 pub fn fig8(scenario: &Scenario) -> Fig8Result {
     let pairs = scenario.sample_pair_list(scenario.scale.pairs.max(100), 0xF168);
-    let mut paths: Vec<Vec<Option<IpAddr>>> = Vec::new();
+    let mut store = TraceStore::new();
     for &(s, d) in &pairs {
         for proto in [Protocol::V4, Protocol::V6] {
             for day in [10u32, 100, 200] {
                 let t = SimTime::from_days(day) + SimDuration::from_hours(2);
                 let rec = trace(&scenario.net, s, d, proto, t, TraceOptions::default());
-                if rec.reached {
-                    paths.push(rec.hops.iter().map(|h| h.addr).collect());
-                }
+                store.push(&rec);
             }
         }
     }
-    let inf = infer_ownership(&paths, &scenario.ip2asn, &scenario.rels);
+    // The heuristics consume link/triple *sets*, so the store-backed
+    // inference — one pass per distinct reached hop sequence — elects the
+    // same owners as the per-trace sweep at a fraction of the work.
+    let inf = infer_ownership_store(&store, &scenario.ip2asn, &scenario.rels);
 
     // Ground truth via the topology's address index.
     let addr_index = scenario.topo.addr_index();
@@ -55,8 +58,15 @@ pub fn fig8(scenario: &Scenario) -> Fig8Result {
     };
 
     let mut distinct: std::collections::HashSet<IpAddr> = std::collections::HashSet::new();
-    for p in &paths {
-        distinct.extend(p.iter().flatten());
+    for v in store.iter() {
+        if v.reached() {
+            distinct.extend(
+                v.hop_ids()
+                    .iter()
+                    .filter(|&&id| id != NO_ADDR)
+                    .map(|&id| store.addr(id)),
+            );
+        }
     }
     let addresses = distinct.len();
     let mut correct = 0usize;

@@ -5,7 +5,7 @@ use s2s_core::timeline::{TimelineBuilder, TraceTimeline};
 use s2s_netsim::{CongestionModel, CongestionParams, Network, NetworkParams};
 use s2s_probe::{
     Campaign, CampaignConfig, CampaignReport, FaultProfile, RetryPolicy, TraceOptions,
-    TracerouteMode,
+    TraceStore, TracerouteMode,
 };
 use s2s_routing::{Dynamics, DynamicsParams, RouteOracle};
 use s2s_topology::{build_topology, Topology, TopologyParams};
@@ -192,6 +192,38 @@ impl Scenario {
             )
             .expect("in-memory campaign cannot fail");
         (builders.into_iter().map(TimelineBuilder::finish).collect(), report)
+    }
+
+    /// [`Scenario::long_term_timelines_faulty`]'s columnar twin: instead of
+    /// annotating record-by-record into builders, the campaign folds raw
+    /// records into one [`TraceStore`] arena per (pair, protocol) and the
+    /// arenas are absorbed — in accumulator order, so the merged store holds
+    /// the exact record sequence the legacy path saw, pair-major — into one
+    /// corpus for the columnar analysis driver.
+    pub fn long_term_store_faulty(
+        &self,
+        pairs: &[(ClusterId, ClusterId)],
+        profile: &FaultProfile,
+        retry: &RetryPolicy,
+    ) -> (TraceStore, CampaignReport) {
+        let cfg = CampaignConfig::long_term(self.scale.days);
+        let opts_of = self.long_term_opts_of();
+        let (stores, report) = Campaign::new(cfg)
+            .faults(*profile)
+            .retry(*retry)
+            .run_traceroute_with(
+                &self.net,
+                pairs,
+                opts_of,
+                |_, _, _| TraceStore::new(),
+                |st, rec| st.push(&rec),
+            )
+            .expect("in-memory campaign cannot fail");
+        let mut merged = TraceStore::new();
+        for st in &stores {
+            merged.absorb(st);
+        }
+        (merged, report)
     }
 
     /// The paper's tooling history (§2.1) as a per-measurement option

@@ -129,7 +129,14 @@ pub struct CompletenessCounts {
 impl CompletenessCounts {
     /// Folds one record (and its annotation) into the tallies.
     pub fn add(&mut self, rec: &TracerouteRecord, ann: &Annotated) {
-        if !rec.reached {
+        self.add_outcome(rec.reached, ann);
+    }
+
+    /// The record-free core of [`CompletenessCounts::add`]: the tallies
+    /// depend only on the reached flag and the annotation, so the columnar
+    /// plane (which never materializes a record) folds through here.
+    pub fn add_outcome(&mut self, reached: bool, ann: &Annotated) {
+        if !reached {
             self.incomplete += 1;
             return;
         }

@@ -1,0 +1,486 @@
+//! The columnar analysis driver: memoized annotation over a
+//! [`TraceStore`], sharded across threads with a deterministic merge.
+//!
+//! The legacy pipeline annotates once per record: every hop address walks
+//! the ip2asn trie, every trace builds an [`AsPath`] from scratch. But an
+//! annotation depends only on the trace's *interned* identity — the hop
+//! sequence plus the endpoint addresses — and the paper's few-distinct-
+//! paths property (§4) means a 16-month timeline has thousands of traces
+//! over a handful of identities. This module exploits that:
+//!
+//! * [`AddrAsnTable`] batch-resolves the store's address intern table —
+//!   one trie walk per distinct address in the corpus,
+//! * [`ColumnarAnnotator`] memoizes full annotations per
+//!   `(hop-sequence id, src-addr id, dst-addr id)` key,
+//! * [`timelines_from_store_threads`] shards the (src, dst, protocol)
+//!   groups across `std::thread::scope` workers in contiguous chunks and
+//!   writes each group's timeline into its pre-assigned slot, so the output
+//!   order — and every byte of it — is independent of the thread count and
+//!   identical to the sequential legacy path (pinned by the equivalence
+//!   suite in `tests/`),
+//! * [`infer_ownership_store`] runs ownership inference once per distinct
+//!   reached hop sequence (the heuristics consume *sets* of links/triples,
+//!   so deduplication is exact, not approximate).
+//!
+//! Everything is instrumented through `s2s-obs` when a registry is
+//! installed (`analysis.*` spans and counters, `trace_store.*` gauges);
+//! with no registry the hooks cost one relaxed atomic load.
+
+use crate::annotate::{Annotated, Completeness, CompletenessCounts};
+use crate::ownership::{infer_ownership, OwnershipInference};
+use crate::timeline::{Sample, TraceTimeline};
+use s2s_bgp::{AsRelStore, Ip2AsnMap};
+use s2s_probe::store::{TraceStore, TraceView, NO_ADDR};
+use s2s_types::{AsPath, Asn, ClusterId, Protocol};
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Per-interned-address ASN tables: the batch ip2asn resolution of a
+/// store's address table, raw and IXP-filtered.
+pub struct AddrAsnTable {
+    raw: Vec<Option<Asn>>,
+    non_ixp: Vec<Option<Asn>>,
+}
+
+impl AddrAsnTable {
+    /// Resolves every interned address of `store` once.
+    pub fn build(store: &TraceStore, map: &Ip2AsnMap) -> AddrAsnTable {
+        let raw = map.lookup_batch(store.addrs());
+        let non_ixp = raw.iter().map(|&o| o.filter(|a| !map.is_ixp(*a))).collect();
+        AddrAsnTable { raw, non_ixp }
+    }
+
+    /// The raw longest-prefix mapping of an interned address.
+    pub fn raw_of(&self, id: u32) -> Option<Asn> {
+        self.raw[id as usize]
+    }
+
+    /// The mapping with the IXP-fabric filter applied (the middle-hop rule
+    /// of [`crate::annotate::annotate`]).
+    pub fn non_ixp_of(&self, id: u32) -> Option<Asn> {
+        self.non_ixp[id as usize]
+    }
+
+    /// Number of addresses resolved.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+}
+
+/// Annotates trace views with a memo per interned identity. Produces
+/// exactly what [`crate::annotate::annotate`] produces for the
+/// materialized record — the annotation depends only on the hop-address
+/// sequence and the endpoint addresses, all of which are interned.
+pub struct ColumnarAnnotator<'a> {
+    table: &'a AddrAsnTable,
+    memo: HashMap<(u32, u32, u32), Annotated>,
+    hits: u64,
+}
+
+impl<'a> ColumnarAnnotator<'a> {
+    /// A fresh annotator (one per shard thread; the table is shared).
+    pub fn new(table: &'a AddrAsnTable) -> ColumnarAnnotator<'a> {
+        ColumnarAnnotator { table, memo: HashMap::new(), hits: 0 }
+    }
+
+    /// The annotation of one trace view (memoized).
+    pub fn annotate(&mut self, v: TraceView<'_>) -> &Annotated {
+        let key = (v.seq_id(), v.src_addr_id(), v.dst_addr_id());
+        use std::collections::hash_map::Entry;
+        match self.memo.entry(key) {
+            Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            Entry::Vacant(e) => e.insert(annotate_view(v, self.table)),
+        }
+    }
+
+    /// (memo hits, distinct annotations computed).
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (self.hits, self.memo.len() as u64)
+    }
+}
+
+/// The annotation procedure of [`crate::annotate::annotate`], over interned
+/// ids: source/destination addresses use the raw mapping, middle hops use
+/// the IXP-filtered one, unresponsive and unmapped hops set the Table-1
+/// flags, then duplicate-collapse → bracketed imputation → unknown-hop
+/// omission, exactly in that order.
+fn annotate_view(v: TraceView<'_>, t: &AddrAsnTable) -> Annotated {
+    let mut any_unmapped = false;
+    let mut any_unresponsive = false;
+    let src = v.src_addr_id();
+    let dst = v.dst_addr_id();
+    let hops = (src != NO_ADDR)
+        .then(|| t.raw_of(src))
+        .into_iter()
+        .chain(v.hop_ids().iter().map(|&id| {
+            if id == NO_ADDR {
+                any_unresponsive = true;
+                None
+            } else {
+                if t.raw_of(id).is_none() {
+                    any_unmapped = true;
+                }
+                t.non_ixp_of(id)
+            }
+        }))
+        .chain((dst != NO_ADDR).then(|| t.raw_of(dst)))
+        .collect::<Vec<_>>();
+    let mut as_path = AsPath::from_hops(hops);
+    let imputed = as_path.impute_bracketed();
+    let as_path = AsPath::from_hops(as_path.hops().iter().copied().flatten().map(Some));
+    let completeness = if any_unresponsive {
+        Completeness::MissingIpLevel
+    } else if any_unmapped {
+        Completeness::MissingAsLevel
+    } else {
+        Completeness::CompleteAsLevel
+    };
+    Annotated { has_loop: as_path.has_loop(), as_path, completeness, imputed }
+}
+
+/// One (src, dst, protocol) group of trace rows, in store order.
+struct Group {
+    src: ClusterId,
+    dst: ClusterId,
+    proto: Protocol,
+    traces: Vec<u32>,
+}
+
+/// Partitions a store's rows by (src, dst, protocol), groups in first-seen
+/// order, rows within a group in store (time) order — the same order the
+/// legacy streaming builders produce timelines in.
+fn group_traces(store: &TraceStore) -> Vec<Group> {
+    let mut index: HashMap<(ClusterId, ClusterId, Protocol), usize> = HashMap::new();
+    let mut groups: Vec<Group> = Vec::new();
+    for v in store.iter() {
+        let key = (v.src(), v.dst(), v.proto());
+        let gi = *index.entry(key).or_insert_with(|| {
+            groups.push(Group { src: key.0, dst: key.1, proto: key.2, traces: Vec::new() });
+            groups.len() - 1
+        });
+        groups[gi].traces.push(v.index() as u32);
+    }
+    groups
+}
+
+/// Builds one group's timeline — the columnar equivalent of feeding the
+/// group's records through [`crate::timeline::TimelineBuilder`].
+fn build_timeline(
+    store: &TraceStore,
+    g: &Group,
+    ann: &mut ColumnarAnnotator<'_>,
+) -> TraceTimeline {
+    let mut tl = TraceTimeline {
+        src: g.src,
+        dst: g.dst,
+        proto: g.proto,
+        paths: Vec::new(),
+        samples: Vec::new(),
+        counts: CompletenessCounts::default(),
+    };
+    for &i in &g.traces {
+        let v = store.view(i as usize);
+        let reached = v.reached();
+        let a = ann.annotate(v);
+        tl.counts.add_outcome(reached, a);
+        let path = if reached && !a.has_loop {
+            Some(intern_path(&mut tl.paths, &a.as_path))
+        } else {
+            None
+        };
+        tl.samples.push(Sample {
+            t: v.t(),
+            path,
+            rtt_ms: v.e2e_rtt_ms().filter(|_| path.is_some()).map(|r| r as f32),
+        });
+    }
+    tl
+}
+
+/// Per-timeline path interning, identical to `TimelineBuilder::intern` but
+/// borrowing the memoized path (it only clones on first sight).
+fn intern_path(paths: &mut Vec<AsPath>, p: &AsPath) -> u16 {
+    if let Some(i) = paths.iter().position(|q| q == p) {
+        return i as u16;
+    }
+    assert!(
+        paths.len() < u16::MAX as usize,
+        "more than 65k distinct AS paths on one timeline"
+    );
+    paths.push(p.clone());
+    (paths.len() - 1) as u16
+}
+
+/// Sequential columnar analysis: one timeline per (src, dst, protocol)
+/// group, in first-seen order. Equal to
+/// [`timelines_from_store_threads`]`(store, map, 1)`.
+pub fn timelines_from_store(store: &TraceStore, map: &Ip2AsnMap) -> Vec<TraceTimeline> {
+    timelines_from_store_threads(store, map, 1)
+}
+
+/// [`timelines_from_store_threads`] honoring the `S2S_THREADS` knob (the
+/// same knob that sizes campaign workers).
+pub fn timelines_from_store_par(store: &TraceStore, map: &Ip2AsnMap) -> Vec<TraceTimeline> {
+    timelines_from_store_threads(store, map, s2s_probe::env::threads())
+}
+
+/// The sharded parallel analysis driver. Groups are split into contiguous
+/// chunks, one scoped thread per chunk, each thread running its own
+/// memoizing annotator over the shared address table; every group's
+/// timeline lands in its pre-assigned output slot, so the result is
+/// byte-identical across thread counts — and to the legacy record-based
+/// pipeline (the equivalence suite pins both).
+pub fn timelines_from_store_threads(
+    store: &TraceStore,
+    map: &Ip2AsnMap,
+    threads: usize,
+) -> Vec<TraceTimeline> {
+    s2s_obs::timed("analysis.columnar", || {
+        if let Some(reg) = s2s_obs::installed() {
+            store.publish(&reg);
+        }
+        let table = s2s_obs::timed("analysis.addr_tables", || AddrAsnTable::build(store, map));
+        let groups = s2s_obs::timed("analysis.group", || group_traces(store));
+        let threads = threads.max(1).min(groups.len().max(1));
+        let mut out: Vec<Option<TraceTimeline>> = (0..groups.len()).map(|_| None).collect();
+        let (hits, distinct) = s2s_obs::timed("analysis.shards", || {
+            let per = (groups.len() + threads - 1) / threads.max(1);
+            let mut hits = 0u64;
+            let mut distinct = 0u64;
+            if threads <= 1 {
+                let mut ann = ColumnarAnnotator::new(&table);
+                for (g, slot) in groups.iter().zip(out.iter_mut()) {
+                    *slot = Some(build_timeline(store, g, &mut ann));
+                }
+                (hits, distinct) = ann.memo_stats();
+            } else {
+                std::thread::scope(|sc| {
+                    let handles: Vec<_> = groups
+                        .chunks(per)
+                        .zip(out.chunks_mut(per))
+                        .map(|(gs, os)| {
+                            let table = &table;
+                            sc.spawn(move || {
+                                let mut ann = ColumnarAnnotator::new(table);
+                                for (g, slot) in gs.iter().zip(os.iter_mut()) {
+                                    *slot = Some(build_timeline(store, g, &mut ann));
+                                }
+                                ann.memo_stats()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        let (a, b) = h.join().expect("analysis shard panicked");
+                        hits += a;
+                        distinct += b;
+                    }
+                });
+            }
+            (hits, distinct)
+        });
+        s2s_obs::add("analysis.annotation_memo_hits", hits);
+        s2s_obs::add("analysis.annotations_computed", distinct);
+        s2s_obs::event("analysis.columnar", || {
+            format!(
+                "{} traces, {} groups, {} distinct annotations, {} memo hits",
+                store.len(),
+                groups.len(),
+                distinct,
+                hits
+            )
+        });
+        out.into_iter()
+            .map(|t| t.expect("every group gets a timeline"))
+            .collect()
+    })
+}
+
+/// Ownership inference over a store: each distinct hop sequence seen on at
+/// least one *reached* trace contributes once. The heuristics consume sets
+/// of links and (x, y, z) triples, so per-sequence deduplication yields the
+/// identical inference to feeding every trace's path — at a fraction of
+/// the work when the few-distinct-paths property holds.
+pub fn infer_ownership_store(
+    store: &TraceStore,
+    map: &Ip2AsnMap,
+    rels: &AsRelStore,
+) -> OwnershipInference {
+    let mut seen = vec![false; store.seq_count()];
+    for v in store.iter() {
+        if v.reached() {
+            seen[v.seq_id() as usize] = true;
+        }
+    }
+    let paths: Vec<Vec<Option<IpAddr>>> = seen
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s)
+        .map(|(seq, _)| {
+            store
+                .seq_hops(seq as u32)
+                .iter()
+                .map(|&id| (id != NO_ADDR).then(|| store.addr(id)))
+                .collect()
+        })
+        .collect();
+    s2s_obs::add("analysis.ownership_seqs", paths.len() as u64);
+    infer_ownership(&paths, map, rels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate;
+    use crate::timeline::TimelineBuilder;
+    use s2s_probe::{HopObs, TracerouteRecord};
+    use s2s_types::{IpNet, Ipv4Net, SimTime};
+    use std::net::Ipv4Addr;
+
+    fn map() -> Ip2AsnMap {
+        let anns = vec![
+            (IpNet::V4(Ipv4Net::new(Ipv4Addr::new(10, 1, 0, 0), 16)), Asn::new(100)),
+            (IpNet::V4(Ipv4Net::new(Ipv4Addr::new(10, 2, 0, 0), 16)), Asn::new(200)),
+            (IpNet::V4(Ipv4Net::new(Ipv4Addr::new(10, 3, 0, 0), 16)), Asn::new(300)),
+        ];
+        let mut m = Ip2AsnMap::from_announcements(&anns);
+        m.announce(
+            IpNet::V4(Ipv4Net::new(Ipv4Addr::new(10, 9, 0, 0), 16)),
+            Asn::new(900),
+        );
+        m.mark_ixp(Asn::new(900));
+        m
+    }
+
+    fn rec(
+        src: u32,
+        dst: u32,
+        t: u32,
+        addrs: &[Option<&str>],
+        reached: bool,
+    ) -> TracerouteRecord {
+        TracerouteRecord {
+            src: ClusterId::new(src),
+            dst: ClusterId::new(dst),
+            proto: Protocol::V4,
+            t: SimTime::from_minutes(t),
+            hops: addrs
+                .iter()
+                .map(|a| HopObs {
+                    addr: a.map(|s| s.parse().unwrap()),
+                    rtt_ms: a.map(|_| 1.0),
+                })
+                .collect(),
+            reached,
+            e2e_rtt_ms: reached.then_some(50.0),
+            src_addr: Some("10.1.0.200".parse().unwrap()),
+            dst_addr: reached.then(|| "10.3.0.9".parse().unwrap()),
+        }
+    }
+
+    /// A corpus exercising every annotation branch: clean paths, IXP hops,
+    /// unresponsive hops, unmapped hops, loops, unreached traces, and two
+    /// interleaved pairs.
+    fn corpus() -> Vec<TracerouteRecord> {
+        vec![
+            rec(0, 1, 0, &[Some("10.1.0.1"), Some("10.2.0.1")], true),
+            rec(0, 1, 180, &[Some("10.1.0.1"), Some("10.2.0.2")], true),
+            rec(0, 1, 360, &[Some("10.1.0.1"), None, Some("10.2.0.1")], true),
+            rec(0, 1, 540, &[Some("10.1.0.1"), Some("10.9.0.5"), Some("10.2.0.1")], true),
+            rec(0, 1, 720, &[Some("10.1.0.1"), Some("192.168.0.1")], true),
+            rec(0, 1, 900, &[Some("10.1.0.1"), Some("10.2.0.1"), Some("10.1.0.9")], true),
+            rec(0, 1, 1080, &[Some("10.1.0.1")], false),
+            rec(2, 3, 0, &[Some("10.2.0.7"), Some("10.3.0.1")], true),
+            rec(2, 3, 180, &[Some("10.2.0.7"), Some("10.3.0.1")], true),
+        ]
+    }
+
+    #[test]
+    fn columnar_annotation_matches_legacy_per_record() {
+        let m = map();
+        let recs = corpus();
+        let store = TraceStore::from_records(&recs);
+        let table = AddrAsnTable::build(&store, &m);
+        let mut ann = ColumnarAnnotator::new(&table);
+        for (i, r) in recs.iter().enumerate() {
+            let legacy = annotate(r, &m);
+            let columnar = ann.annotate(store.view(i));
+            assert_eq!(*columnar, legacy, "record {i} diverged");
+        }
+        let (hits, distinct) = ann.memo_stats();
+        assert!(hits > 0, "repeated identities must hit the memo");
+        assert!((distinct as usize) < recs.len());
+    }
+
+    #[test]
+    fn columnar_timelines_match_timeline_builder() {
+        let m = map();
+        let recs = corpus();
+        let store = TraceStore::from_records(&recs);
+        // Legacy: group manually in first-seen order, stream through the
+        // builder.
+        let mut legacy: Vec<TraceTimeline> = Vec::new();
+        let mut builders: Vec<((ClusterId, ClusterId, Protocol), TimelineBuilder)> = Vec::new();
+        for r in &recs {
+            let key = (r.src, r.dst, r.proto);
+            if !builders.iter().any(|(k, _)| *k == key) {
+                builders.push((key, TimelineBuilder::new(r.src, r.dst, r.proto, &m)));
+            }
+            let b = &mut builders.iter_mut().find(|(k, _)| *k == key).unwrap().1;
+            b.push(r.clone());
+        }
+        for (_, b) in builders {
+            legacy.push(b.finish());
+        }
+        for threads in [1, 2, 4, 7] {
+            let columnar = timelines_from_store_threads(&store, &m, threads);
+            assert_eq!(columnar, legacy, "threads={threads} diverged");
+            assert_eq!(
+                format!("{columnar:?}"),
+                format!("{legacy:?}"),
+                "threads={threads} byte divergence"
+            );
+        }
+    }
+
+    #[test]
+    fn ownership_store_matches_per_trace_inference() {
+        let m = map();
+        let rels = AsRelStore::default();
+        let recs = corpus();
+        let store = TraceStore::from_records(&recs);
+        let per_trace: Vec<Vec<Option<IpAddr>>> = recs
+            .iter()
+            .filter(|r| r.reached)
+            .map(|r| r.hops.iter().map(|h| h.addr).collect())
+            .collect();
+        let legacy = infer_ownership(&per_trace, &m, &rels);
+        let columnar = infer_ownership_store(&store, &m, &rels);
+        assert_eq!(columnar.owners, legacy.owners);
+        // Label multisets per address match (order may differ: the sets
+        // iterate in hash order).
+        assert_eq!(columnar.labels.len(), legacy.labels.len());
+        for (addr, labels) in &legacy.labels {
+            let mut a = labels.clone();
+            let mut b = columnar.labels.get(addr).expect("address missing").clone();
+            a.sort_by_key(|(asn, h)| (asn.value(), format!("{h:?}")));
+            b.sort_by_key(|(asn, h)| (asn.value(), format!("{h:?}")));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn empty_store_yields_no_timelines() {
+        let m = map();
+        let store = TraceStore::new();
+        assert!(timelines_from_store(&store, &m).is_empty());
+        assert!(timelines_from_store_threads(&store, &m, 8).is_empty());
+    }
+}

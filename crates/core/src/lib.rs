@@ -13,6 +13,9 @@
 //!   filtering, Table-1 completeness classification (§2.1, §4.1),
 //! * [`timeline`] — trace timelines: interned AS paths + RTTs per (pair,
 //!   protocol) over time (§4.1),
+//! * [`columnar`] — the columnar analysis plane: memoized annotation over
+//!   an interned [`s2s_probe::TraceStore`], sharded across threads with a
+//!   deterministic, byte-identical merge,
 //! * [`changes`] — edit-distance routing-change detection, AS-path
 //!   lifetimes and prevalence (§4.1–4.2, Figs. 2–3),
 //! * [`bestpath`] — best-path baselines (10th/90th percentiles), the
@@ -35,6 +38,7 @@
 pub mod annotate;
 pub mod bestpath;
 pub mod changes;
+pub mod columnar;
 pub mod congestion;
 pub mod dualstack;
 pub mod inflation;
@@ -45,6 +49,10 @@ pub mod timeline;
 
 pub use annotate::{Annotated, Completeness};
 pub use bestpath::{BestPathAnalysis, PathDelta};
+pub use columnar::{
+    infer_ownership_store, timelines_from_store, timelines_from_store_par,
+    timelines_from_store_threads, AddrAsnTable, ColumnarAnnotator,
+};
 pub use changes::{
     detect_changes_checked, path_stats_checked, ChangeStats, PathStats,
 };

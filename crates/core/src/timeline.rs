@@ -29,7 +29,10 @@ pub struct Sample {
 }
 
 /// The AS-path/RTT time series of one (source, destination, protocol).
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field — it is what the columnar-vs-legacy
+/// equivalence tests assert on.
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceTimeline {
     /// Source vantage point.
     pub src: ClusterId,

@@ -87,23 +87,35 @@ pub fn traceroute_to_line(r: &TracerouteRecord) -> String {
 }
 
 /// Parses a traceroute line produced by [`traceroute_to_line`].
+///
+/// Walks the `|`-split once instead of collecting a per-line field vector
+/// — the importer's hot path (the `analysis.importer` section of
+/// `BENCH_longterm.json` times it); the field count is only computed when
+/// the shape is wrong and an error message needs it.
 pub fn traceroute_from_line(line: &str, lineno: usize) -> Result<TracerouteRecord, ParseError> {
     let err = |m: String| ParseError { line: lineno, message: m };
-    let fields: Vec<&str> = line.split('|').collect();
-    if fields.len() != 10 || fields[0] != "T" {
-        return Err(err(format!("expected 10 T-record fields, got {}", fields.len())));
+    let shape_err =
+        || err(format!("expected 10 T-record fields, got {}", line.split('|').count()));
+    let mut it = line.split('|');
+    if it.next() != Some("T") {
+        return Err(shape_err());
     }
-    let src = ClusterId::new(fields[1].parse().map_err(|_| err("bad src".into()))?);
-    let dst = ClusterId::new(fields[2].parse().map_err(|_| err("bad dst".into()))?);
-    let proto = parse_proto(fields[3]).map_err(&err)?;
-    let t = SimTime::from_minutes(fields[4].parse().map_err(|_| err("bad time".into()))?);
-    let reached = fields[5] == "1";
-    let e2e_rtt_ms = parse_opt::<f64>(fields[6]).map_err(&err)?;
-    let src_addr = parse_opt::<IpAddr>(fields[7]).map_err(&err)?;
-    let dst_addr = parse_opt::<IpAddr>(fields[8]).map_err(&err)?;
+    let mut next = || it.next().ok_or_else(shape_err);
+    let src = ClusterId::new(next()?.parse().map_err(|_| err("bad src".into()))?);
+    let dst = ClusterId::new(next()?.parse().map_err(|_| err("bad dst".into()))?);
+    let proto = parse_proto(next()?).map_err(&err)?;
+    let t = SimTime::from_minutes(next()?.parse().map_err(|_| err("bad time".into()))?);
+    let reached = next()? == "1";
+    let e2e_rtt_ms = parse_opt::<f64>(next()?).map_err(&err)?;
+    let src_addr = parse_opt::<IpAddr>(next()?).map_err(&err)?;
+    let dst_addr = parse_opt::<IpAddr>(next()?).map_err(&err)?;
+    let hops_field = next()?;
+    if it.next().is_some() {
+        return Err(shape_err());
+    }
     let mut hops = Vec::new();
-    if !fields[9].is_empty() {
-        for part in fields[9].split(';') {
+    if !hops_field.is_empty() {
+        for part in hops_field.split(';') {
             let (a, r) = part
                 .split_once(',')
                 .ok_or_else(|| err(format!("bad hop '{part}'")))?;
@@ -142,16 +154,31 @@ pub fn ping_timeline_to_line(tl: &PingTimeline) -> String {
 }
 
 /// Parses a ping-timeline line produced by [`ping_timeline_to_line`].
+/// Single-pass over the split, like [`traceroute_from_line`].
 pub fn ping_timeline_from_line(line: &str, lineno: usize) -> Result<PingTimeline, ParseError> {
     let err = |m: String| ParseError { line: lineno, message: m };
-    let fields: Vec<&str> = line.split('|').collect();
-    if fields.len() != 7 || fields[0] != "P" {
-        return Err(err(format!("expected 7 P-record fields, got {}", fields.len())));
+    let shape_err =
+        || err(format!("expected 7 P-record fields, got {}", line.split('|').count()));
+    let mut it = line.split('|');
+    if it.next() != Some("P") {
+        return Err(shape_err());
     }
-    let rtts = if fields[6].is_empty() {
+    let mut next = || it.next().ok_or_else(shape_err);
+    let src = ClusterId::new(next()?.parse().map_err(|_| err("bad src".into()))?);
+    let dst = ClusterId::new(next()?.parse().map_err(|_| err("bad dst".into()))?);
+    let proto = parse_proto(next()?).map_err(&err)?;
+    let start =
+        SimTime::from_minutes(next()?.parse().map_err(|_| err("bad start".into()))?);
+    let interval =
+        SimDuration::from_minutes(next()?.parse().map_err(|_| err("bad interval".into()))?);
+    let rtts_field = next()?;
+    if it.next().is_some() {
+        return Err(shape_err());
+    }
+    let rtts = if rtts_field.is_empty() {
         Vec::new()
     } else {
-        fields[6]
+        rtts_field
             .split(';')
             .map(|s| {
                 if s == "*" {
@@ -162,18 +189,7 @@ pub fn ping_timeline_from_line(line: &str, lineno: usize) -> Result<PingTimeline
             })
             .collect::<Result<Vec<f32>, _>>()?
     };
-    Ok(PingTimeline {
-        src: ClusterId::new(fields[1].parse().map_err(|_| err("bad src".into()))?),
-        dst: ClusterId::new(fields[2].parse().map_err(|_| err("bad dst".into()))?),
-        proto: parse_proto(fields[3]).map_err(&err)?,
-        start: SimTime::from_minutes(
-            fields[4].parse().map_err(|_| err("bad start".into()))?,
-        ),
-        interval: SimDuration::from_minutes(
-            fields[5].parse().map_err(|_| err("bad interval".into()))?,
-        ),
-        rtts,
-    })
+    Ok(PingTimeline { src, dst, proto, start, interval, rtts })
 }
 
 /// Writes traceroute records to a writer, one line each.

@@ -10,7 +10,7 @@
 //!
 //! | Variable | Default | Meaning |
 //! |---|---|---|
-//! | `S2S_THREADS` | available parallelism | Campaign worker threads (≥ 1) |
+//! | `S2S_THREADS` | available parallelism | Campaign worker + columnar analysis shard threads (≥ 1) |
 //! | `S2S_EPOCH_BATCH` | unlimited | Max sample instants per epoch run (≥ 1) |
 //! | `S2S_FAULT_SEED` | `0x5EED` | Fault-decision seed |
 //! | `S2S_FAULT_CRASH` | `0` | Per-(agent, epoch) crash-start probability |
@@ -30,7 +30,10 @@ use crate::faults::FaultProfile;
 use s2s_types::env as tenv;
 
 /// Worker-thread default: the `S2S_THREADS` knob when set to a valid
-/// integer ≥ 1, otherwise the machine's available parallelism.
+/// integer ≥ 1, otherwise the machine's available parallelism. Sizes both
+/// campaign workers and the columnar analysis shards (`reproduce
+/// --threads` overrides the knob); outputs are byte-identical across
+/// thread counts either way.
 pub fn threads() -> usize {
     let fallback = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     tenv::var_usize_at_least("S2S_THREADS", fallback, 1)
@@ -96,7 +99,7 @@ pub fn resolved_knobs() -> Vec<ResolvedKnob> {
             "S2S_THREADS",
             threads().to_string(),
             "available parallelism".to_string(),
-            "campaign worker threads",
+            "campaign worker + analysis shard threads",
         ),
         ResolvedKnob::new(
             "S2S_EPOCH_BATCH",

@@ -28,7 +28,11 @@
 //!   dropped/stuck/truncated probes, archive corruption) with an all-zero
 //!   default profile,
 //! * [`dataset`] — line-oriented export/import of records for archiving and
-//!   external plotting, with strict and lossy (skip-counting) import paths.
+//!   external plotting, with strict and lossy (skip-counting) import paths,
+//! * [`store`] — the columnar trace arena ([`TraceStore`]): interned
+//!   addresses, hash-consed hop sequences, flat RTT columns, and zero-copy
+//!   [`TraceView`] accessors — what the `s2s-core` columnar analysis driver
+//!   consumes.
 
 pub mod builder;
 pub mod campaign;
@@ -36,6 +40,7 @@ pub mod dataset;
 pub mod env;
 pub mod faults;
 pub mod records;
+pub mod store;
 pub mod tracer;
 
 pub use builder::Campaign;
@@ -49,4 +54,5 @@ pub use campaign::{
 };
 pub use faults::{FaultInjector, FaultProfile, ProbeFault};
 pub use records::{HopObs, PingRecord, TracerouteRecord};
+pub use store::{StoreStats, TraceStore, TraceView};
 pub use tracer::{trace, TraceOptions, TracerouteMode};

@@ -1,0 +1,740 @@
+//! Columnar trace storage: the arena the analysis plane runs on.
+//!
+//! The paper's key structural observation (§4) — each server pair sees only
+//! a handful of distinct router paths, with one dominant — makes per-record
+//! `Vec<HopObs>` rows massively redundant: the same hop sequence is stored
+//! once per traceroute, i.e. thousands of times per pair. [`TraceStore`]
+//! stores a campaign as structure-of-arrays columns instead:
+//!
+//! * every distinct address is interned to a `u32` id (once per corpus, not
+//!   once per observation),
+//! * every distinct hop sequence is hash-consed into one flat arena
+//!   (`seq_data` + offsets), so a trace's path costs one `u32`,
+//! * per-trace scalars (endpoints, time, reached, e2e RTT) are flat columns
+//!   with one-bit presence sets for the optional ones,
+//! * per-hop RTTs — the only per-observation payload that does not dedup —
+//!   live in one flat `f64` array with per-trace offsets.
+//!
+//! Conversion is lossless both ways ([`TraceStore::from_records`] /
+//! [`TraceStore::to_records`], proptest-pinned), and [`TraceView`] exposes
+//! the row view without materializing a record. The columnar analysis
+//! driver in `s2s-core` consumes views and memoizes per *interned* id, so
+//! ip2asn lookups run once per distinct address and path annotation once
+//! per distinct (hop sequence, endpoints) — not once per trace.
+
+use crate::records::{HopObs, TracerouteRecord};
+use s2s_types::{ClusterId, Protocol, SimTime};
+use std::net::IpAddr;
+
+/// Sentinel address id for "no address" (an unresponsive hop, or an unset
+/// endpoint address). Never a valid index into the intern table.
+pub const NO_ADDR: u32 = u32::MAX;
+
+/// Open-addressed index from an element's hash to its interned id. Equality
+/// probes read the arena itself through a caller-supplied closure, so the
+/// index stores 4 bytes per slot and never a second copy of the keys (a
+/// `HashMap<Box<[u32]>, u32>` would duplicate every interned hop sequence —
+/// a measurable share of the arena at campaign scale).
+#[derive(Clone, Debug)]
+struct IdIndex {
+    /// `id + 1` per occupied slot; 0 marks empty. Power-of-two sized,
+    /// linear probing, grown at 2/3 load.
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl Default for IdIndex {
+    fn default() -> Self {
+        IdIndex { slots: vec![0; 16], len: 0 }
+    }
+}
+
+impl IdIndex {
+    fn get(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            match self.slots[i] {
+                0 => return None,
+                s if eq(s - 1) => return Some(s - 1),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts a new id (the caller has already checked it is absent).
+    /// `hash_of` recomputes a stored id's hash when the table grows.
+    fn insert(&mut self, hash: u64, id: u32, mut hash_of: impl FnMut(u32) -> u64) {
+        if (self.len + 1) * 3 >= self.slots.len() * 2 {
+            let cap = (self.len + 1).next_power_of_two() * 2;
+            let old = std::mem::replace(&mut self.slots, vec![0; cap]);
+            for s in old {
+                if s != 0 {
+                    let h = hash_of(s - 1);
+                    self.place(h, s);
+                }
+            }
+        }
+        self.place(hash, id + 1);
+        self.len += 1;
+    }
+
+    fn place(&mut self, hash: u64, slot: u32) {
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        while self.slots[i] != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = slot;
+    }
+
+    fn bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<u32>()
+    }
+}
+
+fn hash_of<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// A packed bit vector (1 bit per entry) for the optional/boolean columns.
+#[derive(Clone, Debug, Default)]
+struct Bits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bits {
+    fn push(&mut self, v: bool) {
+        let (w, b) = (self.len / 64, self.len % 64);
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if v {
+            self.words[w] |= 1 << b;
+        }
+        self.len += 1;
+    }
+
+    fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Size/dedup statistics of a store, for observability and benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StoreStats {
+    /// Traces stored.
+    pub traces: usize,
+    /// Distinct interned addresses.
+    pub distinct_addrs: usize,
+    /// Distinct hash-consed hop sequences.
+    pub distinct_seqs: usize,
+    /// Total hop observations folded in (what row storage would hold).
+    pub hop_slots: usize,
+    /// Hop slots actually stored in the shared sequence arena.
+    pub seq_slots: usize,
+    /// Resident bytes of the arena (all columns + intern tables).
+    pub arena_bytes: usize,
+    /// `hop_slots / seq_slots` — how many times the average stored hop is
+    /// shared. The paper's few-distinct-paths property makes this large.
+    pub dedup_ratio: f64,
+}
+
+/// Columnar, interned storage for traceroute records.
+///
+/// Rows are append-only ([`TraceStore::push`]); every accessor goes through
+/// [`TraceView`]. Two stores collected independently merge with
+/// [`TraceStore::absorb`] (ids are remapped, so per-shard stores from a
+/// parallel campaign concatenate deterministically).
+#[derive(Clone, Debug, Default)]
+pub struct TraceStore {
+    // Address intern table: the arena itself plus a keyless hash index
+    // (equality probes read `addrs`, so no address is stored twice).
+    addrs: Vec<IpAddr>,
+    addr_index: IdIndex,
+    // Hash-consed hop sequences: flat arena + offsets, plus a keyless hash
+    // index probing `seq_data` directly — consing without duplicating any
+    // interned sequence.
+    seq_data: Vec<u32>,
+    seq_offsets: Vec<u32>,
+    seq_index: IdIndex,
+    // Per-trace columns.
+    srcs: Vec<ClusterId>,
+    dsts: Vec<ClusterId>,
+    times: Vec<SimTime>,
+    seqs: Vec<u32>,
+    src_addrs: Vec<u32>,
+    dst_addrs: Vec<u32>,
+    e2e: Vec<f64>,
+    e2e_some: Bits,
+    reached: Bits,
+    proto_v6: Bits,
+    // Per-hop RTTs: flat, one slot per hop observation, with presence bits.
+    rtts: Vec<f64>,
+    rtt_some: Bits,
+    rtt_offsets: Vec<u32>,
+    // Scratch buffer reused across pushes (no per-record allocation).
+    scratch: Vec<u32>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> TraceStore {
+        TraceStore { seq_offsets: vec![0], rtt_offsets: vec![0], ..TraceStore::default() }
+    }
+
+    /// Number of traces stored.
+    pub fn len(&self) -> usize {
+        self.srcs.len()
+    }
+
+    /// Whether the store holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.srcs.is_empty()
+    }
+
+    /// The interned address table, in id order. The columnar annotator runs
+    /// its batch ip2asn lookup over exactly this slice — once per distinct
+    /// address in the corpus.
+    pub fn addrs(&self) -> &[IpAddr] {
+        &self.addrs
+    }
+
+    /// Resolves an interned address id.
+    pub fn addr(&self, id: u32) -> IpAddr {
+        self.addrs[id as usize]
+    }
+
+    /// Number of distinct addresses interned.
+    pub fn addr_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Number of distinct hop sequences hash-consed.
+    pub fn seq_count(&self) -> usize {
+        self.seq_offsets.len() - 1
+    }
+
+    /// The address ids of one interned hop sequence ([`NO_ADDR`] marks an
+    /// unresponsive hop).
+    pub fn seq_hops(&self, seq: u32) -> &[u32] {
+        let (a, b) =
+            (self.seq_offsets[seq as usize] as usize, self.seq_offsets[seq as usize + 1] as usize);
+        &self.seq_data[a..b]
+    }
+
+    /// Total hop observations folded in (the un-deduplicated count).
+    pub fn hop_slots(&self) -> usize {
+        self.rtts.len()
+    }
+
+    fn intern_addr(&mut self, addr: IpAddr) -> u32 {
+        let h = hash_of(&addr);
+        let addrs = &self.addrs;
+        if let Some(id) = self.addr_index.get(h, |id| addrs[id as usize] == addr) {
+            return id;
+        }
+        let id = self.addrs.len() as u32;
+        assert!(id != NO_ADDR, "address intern table overflow");
+        self.addrs.push(addr);
+        let addrs = &self.addrs;
+        self.addr_index.insert(h, id, |i| hash_of(&addrs[i as usize]));
+        id
+    }
+
+    fn intern_opt(&mut self, addr: Option<IpAddr>) -> u32 {
+        match addr {
+            Some(a) => self.intern_addr(a),
+            None => NO_ADDR,
+        }
+    }
+
+    fn intern_seq(&mut self, seq: &[u32]) -> u32 {
+        let h = hash_of(seq);
+        let data = &self.seq_data;
+        let offs = &self.seq_offsets;
+        let at = |id: u32| &data[offs[id as usize] as usize..offs[id as usize + 1] as usize];
+        if let Some(id) = self.seq_index.get(h, |id| at(id) == seq) {
+            return id;
+        }
+        let id = self.seq_count() as u32;
+        assert!(id != u32::MAX, "hop-sequence intern table overflow");
+        self.seq_data.extend_from_slice(seq);
+        self.seq_offsets.push(self.seq_data.len() as u32);
+        let data = &self.seq_data;
+        let offs = &self.seq_offsets;
+        self.seq_index.insert(h, id, |i| {
+            hash_of(&data[offs[i as usize] as usize..offs[i as usize + 1] as usize])
+        });
+        id
+    }
+
+    /// Appends one record (losslessly — [`TraceStore::to_records`] returns
+    /// it bit-for-bit).
+    pub fn push(&mut self, rec: &TracerouteRecord) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for h in &rec.hops {
+            scratch.push(self.intern_opt(h.addr));
+        }
+        let seq = self.intern_seq(&scratch);
+        self.scratch = scratch;
+        self.srcs.push(rec.src);
+        self.dsts.push(rec.dst);
+        self.times.push(rec.t);
+        self.seqs.push(seq);
+        let src_addr = self.intern_opt(rec.src_addr);
+        let dst_addr = self.intern_opt(rec.dst_addr);
+        self.src_addrs.push(src_addr);
+        self.dst_addrs.push(dst_addr);
+        self.e2e.push(rec.e2e_rtt_ms.unwrap_or(0.0));
+        self.e2e_some.push(rec.e2e_rtt_ms.is_some());
+        self.reached.push(rec.reached);
+        self.proto_v6.push(rec.proto == Protocol::V6);
+        for h in &rec.hops {
+            self.rtts.push(h.rtt_ms.unwrap_or(0.0));
+            self.rtt_some.push(h.rtt_ms.is_some());
+        }
+        self.rtt_offsets.push(self.rtts.len() as u32);
+    }
+
+    /// Builds a store from a record slice.
+    pub fn from_records(records: &[TracerouteRecord]) -> TraceStore {
+        let mut s = TraceStore::new();
+        for r in records {
+            s.push(r);
+        }
+        s
+    }
+
+    /// Materializes every trace back into records, in insertion order.
+    /// Inverse of [`TraceStore::from_records`].
+    pub fn to_records(&self) -> Vec<TracerouteRecord> {
+        self.iter().map(|v| v.to_record()).collect()
+    }
+
+    /// A zero-copy view of trace `i`.
+    pub fn view(&self, i: usize) -> TraceView<'_> {
+        debug_assert!(i < self.len());
+        TraceView { store: self, i }
+    }
+
+    /// Views of every trace, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = TraceView<'_>> {
+        (0..self.len()).map(move |i| self.view(i))
+    }
+
+    /// Appends every trace of `other`, remapping its interned ids into this
+    /// store's tables. Absorbing per-shard stores in a fixed order yields a
+    /// store identical to pushing all records sequentially in that order.
+    pub fn absorb(&mut self, other: &TraceStore) {
+        let addr_map: Vec<u32> =
+            other.addrs.iter().map(|&a| self.intern_addr(a)).collect();
+        let remap = |id: u32| if id == NO_ADDR { NO_ADDR } else { addr_map[id as usize] };
+        let mut seq_map = Vec::with_capacity(other.seq_count());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for s in 0..other.seq_count() {
+            scratch.clear();
+            scratch.extend(other.seq_hops(s as u32).iter().map(|&id| remap(id)));
+            seq_map.push(self.intern_seq(&scratch));
+        }
+        self.scratch = scratch;
+        for i in 0..other.len() {
+            self.srcs.push(other.srcs[i]);
+            self.dsts.push(other.dsts[i]);
+            self.times.push(other.times[i]);
+            self.seqs.push(seq_map[other.seqs[i] as usize]);
+            self.src_addrs.push(remap(other.src_addrs[i]));
+            self.dst_addrs.push(remap(other.dst_addrs[i]));
+            self.e2e.push(other.e2e[i]);
+            self.e2e_some.push(other.e2e_some.get(i));
+            self.reached.push(other.reached.get(i));
+            self.proto_v6.push(other.proto_v6.get(i));
+            let (a, b) =
+                (other.rtt_offsets[i] as usize, other.rtt_offsets[i + 1] as usize);
+            self.rtts.extend_from_slice(&other.rtts[a..b]);
+            for k in a..b {
+                self.rtt_some.push(other.rtt_some.get(k));
+            }
+            self.rtt_offsets.push(self.rtts.len() as u32);
+        }
+    }
+
+    /// Resident bytes of the arena: every column, the flat sequence arena,
+    /// and the keyless intern indices (4 bytes per hash slot — the indices
+    /// hold no keys, they probe the arena). Used lengths, not capacities —
+    /// this is the dataset's size, not the allocator's.
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let per_trace = self.srcs.len()
+            * (size_of::<ClusterId>() * 2
+                + size_of::<SimTime>()
+                + size_of::<u32>() * 4 // seq id, src/dst addr ids, rtt offset
+                + size_of::<f64>()) // e2e
+            + self.e2e_some.bytes()
+            + self.reached.bytes()
+            + self.proto_v6.bytes();
+        let hops = self.rtts.len() * size_of::<f64>() + self.rtt_some.bytes();
+        let seq_arena =
+            self.seq_data.len() * size_of::<u32>() + self.seq_offsets.len() * size_of::<u32>();
+        let addr_table =
+            self.addrs.len() * size_of::<IpAddr>() + self.addr_index.bytes();
+        per_trace + hops + seq_arena + addr_table + self.seq_index.bytes()
+    }
+
+    /// The `hop_slots / seq_slots` sharing factor (1.0 when nothing dedups,
+    /// large when the few-distinct-paths property holds).
+    pub fn dedup_ratio(&self) -> f64 {
+        self.rtts.len() as f64 / (self.seq_data.len().max(1)) as f64
+    }
+
+    /// Snapshot of the store's size/dedup statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            traces: self.len(),
+            distinct_addrs: self.addr_count(),
+            distinct_seqs: self.seq_count(),
+            hop_slots: self.hop_slots(),
+            seq_slots: self.seq_data.len(),
+            arena_bytes: self.arena_bytes(),
+            dedup_ratio: self.dedup_ratio(),
+        }
+    }
+
+    /// Publishes the store's statistics as gauges on a metrics registry
+    /// (`trace_store.*`; the dedup ratio is scaled ×1000 since gauges are
+    /// integral).
+    pub fn publish(&self, registry: &s2s_obs::Registry) {
+        let s = self.stats();
+        registry.gauge("trace_store.traces").set(s.traces as u64);
+        registry.gauge("trace_store.distinct_addrs").set(s.distinct_addrs as u64);
+        registry.gauge("trace_store.distinct_hopseqs").set(s.distinct_seqs as u64);
+        registry.gauge("trace_store.hop_slots").set(s.hop_slots as u64);
+        registry.gauge("trace_store.arena_bytes").set(s.arena_bytes as u64);
+        registry.gauge("trace_store.dedup_ratio_milli").set((s.dedup_ratio * 1000.0) as u64);
+    }
+}
+
+/// Zero-copy accessor for one trace in a [`TraceStore`].
+#[derive(Clone, Copy)]
+pub struct TraceView<'a> {
+    store: &'a TraceStore,
+    i: usize,
+}
+
+impl<'a> TraceView<'a> {
+    /// Row index within the store.
+    pub fn index(&self) -> usize {
+        self.i
+    }
+
+    /// Source vantage point.
+    pub fn src(&self) -> ClusterId {
+        self.store.srcs[self.i]
+    }
+
+    /// Destination vantage point.
+    pub fn dst(&self) -> ClusterId {
+        self.store.dsts[self.i]
+    }
+
+    /// Protocol probed.
+    pub fn proto(&self) -> Protocol {
+        if self.store.proto_v6.get(self.i) {
+            Protocol::V6
+        } else {
+            Protocol::V4
+        }
+    }
+
+    /// When the traceroute ran.
+    pub fn t(&self) -> SimTime {
+        self.store.times[self.i]
+    }
+
+    /// Whether the destination answered.
+    pub fn reached(&self) -> bool {
+        self.store.reached.get(self.i)
+    }
+
+    /// End-to-end RTT, ms.
+    pub fn e2e_rtt_ms(&self) -> Option<f64> {
+        self.store.e2e_some.get(self.i).then(|| self.store.e2e[self.i])
+    }
+
+    /// Interned id of the source address ([`NO_ADDR`] when unset).
+    pub fn src_addr_id(&self) -> u32 {
+        self.store.src_addrs[self.i]
+    }
+
+    /// Interned id of the destination address ([`NO_ADDR`] when unset).
+    pub fn dst_addr_id(&self) -> u32 {
+        self.store.dst_addrs[self.i]
+    }
+
+    /// The vantage point's own address.
+    pub fn src_addr(&self) -> Option<IpAddr> {
+        self.resolve(self.src_addr_id())
+    }
+
+    /// The destination address probed.
+    pub fn dst_addr(&self) -> Option<IpAddr> {
+        self.resolve(self.dst_addr_id())
+    }
+
+    /// Interned id of this trace's hop sequence.
+    pub fn seq_id(&self) -> u32 {
+        self.store.seqs[self.i]
+    }
+
+    /// The hop sequence as interned address ids (zero-copy; [`NO_ADDR`]
+    /// marks unresponsive hops).
+    pub fn hop_ids(&self) -> &'a [u32] {
+        self.store.seq_hops(self.seq_id())
+    }
+
+    /// Number of hops.
+    pub fn hop_len(&self) -> usize {
+        self.hop_ids().len()
+    }
+
+    /// Address of hop `k`.
+    pub fn hop_addr(&self, k: usize) -> Option<IpAddr> {
+        self.resolve(self.hop_ids()[k])
+    }
+
+    /// RTT of hop `k`, ms.
+    pub fn hop_rtt_ms(&self, k: usize) -> Option<f64> {
+        let base = self.store.rtt_offsets[self.i] as usize;
+        self.store.rtt_some.get(base + k).then(|| self.store.rtts[base + k])
+    }
+
+    /// Materializes the row back into a [`TracerouteRecord`].
+    pub fn to_record(&self) -> TracerouteRecord {
+        let hops = (0..self.hop_len())
+            .map(|k| HopObs { addr: self.hop_addr(k), rtt_ms: self.hop_rtt_ms(k) })
+            .collect();
+        TracerouteRecord {
+            src: self.src(),
+            dst: self.dst(),
+            proto: self.proto(),
+            t: self.t(),
+            hops,
+            reached: self.reached(),
+            e2e_rtt_ms: self.e2e_rtt_ms(),
+            src_addr: self.src_addr(),
+            dst_addr: self.dst_addr(),
+        }
+    }
+
+    fn resolve(&self, id: u32) -> Option<IpAddr> {
+        (id != NO_ADDR).then(|| self.store.addr(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::net::{Ipv4Addr, Ipv6Addr};
+
+    fn rec(
+        src: u32,
+        t: u32,
+        hops: &[(Option<&str>, Option<f64>)],
+        reached: bool,
+    ) -> TracerouteRecord {
+        TracerouteRecord {
+            src: ClusterId::new(src),
+            dst: ClusterId::new(src + 1),
+            proto: Protocol::V4,
+            t: SimTime::from_minutes(t),
+            hops: hops
+                .iter()
+                .map(|(a, r)| HopObs { addr: a.map(|s| s.parse().unwrap()), rtt_ms: *r })
+                .collect(),
+            reached,
+            e2e_rtt_ms: reached.then_some(42.5),
+            src_addr: Some("10.0.0.1".parse().unwrap()),
+            dst_addr: reached.then(|| "10.9.0.1".parse().unwrap()),
+        }
+    }
+
+    #[test]
+    fn round_trips_and_interns() {
+        let recs = vec![
+            rec(0, 0, &[(Some("10.1.0.1"), Some(1.5)), (Some("10.2.0.1"), Some(2.5))], true),
+            // Same hop sequence, different RTTs: the sequence must cons.
+            rec(0, 180, &[(Some("10.1.0.1"), Some(1.7)), (Some("10.2.0.1"), Some(2.2))], true),
+            // Unresponsive hop, unreached trace.
+            rec(1, 0, &[(Some("10.1.0.1"), Some(1.0)), (None, None)], false),
+            // Empty hops.
+            rec(2, 0, &[], true),
+        ];
+        let store = TraceStore::from_records(&recs);
+        assert_eq!(store.to_records(), recs);
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.seq_count(), 3, "two identical sequences must cons");
+        assert_eq!(store.view(0).seq_id(), store.view(1).seq_id());
+        // Distinct addresses: 10.1.0.1, 10.2.0.1, 10.0.0.1 (src), 10.9.0.1.
+        assert_eq!(store.addr_count(), 4);
+        assert_eq!(store.hop_slots(), 6);
+        let stats = store.stats();
+        assert_eq!(stats.traces, 4);
+        assert!(stats.arena_bytes > 0);
+        assert!(stats.dedup_ratio > 1.0);
+    }
+
+    #[test]
+    fn view_accessors_match_record_fields() {
+        let r = rec(3, 77, &[(Some("10.1.0.1"), Some(1.5)), (None, None)], true);
+        let store = TraceStore::from_records(std::slice::from_ref(&r));
+        let v = store.view(0);
+        assert_eq!(v.src(), r.src);
+        assert_eq!(v.dst(), r.dst);
+        assert_eq!(v.proto(), r.proto);
+        assert_eq!(v.t(), r.t);
+        assert_eq!(v.reached(), r.reached);
+        assert_eq!(v.e2e_rtt_ms(), r.e2e_rtt_ms);
+        assert_eq!(v.src_addr(), r.src_addr);
+        assert_eq!(v.dst_addr(), r.dst_addr);
+        assert_eq!(v.hop_len(), 2);
+        assert_eq!(v.hop_addr(0), r.hops[0].addr);
+        assert_eq!(v.hop_rtt_ms(0), r.hops[0].rtt_ms);
+        assert_eq!(v.hop_ids()[1], NO_ADDR);
+        assert_eq!(v.hop_rtt_ms(1), None);
+    }
+
+    #[test]
+    fn absorb_equals_sequential_push() {
+        let a = vec![
+            rec(0, 0, &[(Some("10.1.0.1"), Some(1.0))], true),
+            rec(0, 60, &[(Some("10.1.0.1"), Some(1.1))], true),
+        ];
+        let b = vec![
+            rec(1, 0, &[(Some("10.1.0.1"), Some(2.0)), (Some("10.2.0.1"), Some(3.0))], true),
+            rec(1, 60, &[(None, None)], false),
+        ];
+        let mut merged = TraceStore::new();
+        merged.absorb(&TraceStore::from_records(&a));
+        merged.absorb(&TraceStore::from_records(&b));
+        let all: Vec<_> = a.iter().chain(&b).cloned().collect();
+        let direct = TraceStore::from_records(&all);
+        assert_eq!(merged.to_records(), all);
+        assert_eq!(merged.to_records(), direct.to_records());
+        assert_eq!(merged.stats(), direct.stats(), "absorb must not change interning");
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = TraceStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.seq_count(), 0);
+        assert!(s.to_records().is_empty());
+        assert_eq!(s.dedup_ratio(), 0.0);
+    }
+
+    /// Raw material for one arbitrary record (the offline proptest shim has
+    /// no `prop_map`, so the mapping happens in [`build_records`]):
+    /// `(src, dst, t, hops, flags, e2e)` where each hop is
+    /// `(tag, addr_bits, rtt)` and `flags` packs reached / V6 / e2e-some /
+    /// src-addr-some / dst-addr-some bits.
+    type RawRecord = (u32, u32, u32, Vec<(u8, u32, f64)>, u8, f64);
+
+    fn arb_records() -> impl Strategy<Value = Vec<RawRecord>> {
+        let hop = (0u8..4, any::<u32>(), 0.0f64..1e4);
+        let record = (
+            0u32..8,
+            0u32..8,
+            0u32..100_000,
+            proptest::collection::vec(hop, 0..8),
+            0u8..32,
+            0.0f64..1e4,
+        );
+        proptest::collection::vec(record, 0..24)
+    }
+
+    /// Maps raw material into records, covering `None` hops/RTTs, unreached
+    /// traces, both address families, and missing endpoint addresses.
+    fn build_records(raw: &[RawRecord]) -> Vec<TracerouteRecord> {
+        raw.iter()
+            .map(|&(src, dst, t, ref hops, flags, e2e)| TracerouteRecord {
+                src: ClusterId::new(src),
+                dst: ClusterId::new(dst),
+                proto: if flags & 2 != 0 { Protocol::V6 } else { Protocol::V4 },
+                t: SimTime::from_minutes(t),
+                hops: hops
+                    .iter()
+                    .map(|&(tag, a, rtt)| match tag {
+                        0 => HopObs { addr: None, rtt_ms: None },
+                        1 => HopObs {
+                            addr: Some(IpAddr::V4(Ipv4Addr::from(a))),
+                            rtt_ms: Some(rtt),
+                        },
+                        2 => HopObs {
+                            addr: Some(IpAddr::V6(Ipv6Addr::from(
+                                u128::from(a) << 64 | 0x2600,
+                            ))),
+                            rtt_ms: Some(rtt),
+                        },
+                        // A small pool, so sequences collide and interning
+                        // actually triggers; RTT missing despite a reply.
+                        _ => HopObs {
+                            addr: Some(IpAddr::V4(Ipv4Addr::from(a % 16))),
+                            rtt_ms: None,
+                        },
+                    })
+                    .collect(),
+                reached: flags & 1 != 0,
+                e2e_rtt_ms: (flags & 4 != 0).then_some(e2e),
+                src_addr: (flags & 8 != 0).then(|| IpAddr::V4(Ipv4Addr::from(src << 8 | 1))),
+                dst_addr: (flags & 16 != 0).then(|| IpAddr::V4(Ipv4Addr::from(dst << 8 | 2))),
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// `records ⇄ TraceStore` is lossless, including `None` hops/RTTs,
+        /// unreached traces, and absent endpoint addresses.
+        #[test]
+        fn prop_record_store_round_trip(raw in arb_records()) {
+            let recs = build_records(&raw);
+            let store = TraceStore::from_records(&recs);
+            prop_assert_eq!(store.to_records(), recs);
+        }
+
+        /// Absorbing split halves equals building from the concatenation —
+        /// records, interning, and statistics alike.
+        #[test]
+        fn prop_absorb_matches_sequential(raw in arb_records(), cut in 0usize..25) {
+            let recs = build_records(&raw);
+            let cut = cut.min(recs.len());
+            let mut merged = TraceStore::from_records(&recs[..cut]);
+            merged.absorb(&TraceStore::from_records(&recs[cut..]));
+            let direct = TraceStore::from_records(&recs);
+            prop_assert_eq!(merged.to_records(), direct.to_records());
+            prop_assert_eq!(merged.stats(), direct.stats());
+        }
+
+        /// The dedup accounting identities: hop slots equal the sum of hop
+        /// counts, and the sequence arena never exceeds the slot count.
+        #[test]
+        fn prop_stats_identities(raw in arb_records()) {
+            let recs = build_records(&raw);
+            let store = TraceStore::from_records(&recs);
+            let s = store.stats();
+            prop_assert_eq!(s.hop_slots, recs.iter().map(|r| r.hops.len()).sum::<usize>());
+            prop_assert!(s.seq_slots <= s.hop_slots);
+            prop_assert_eq!(s.traces, recs.len());
+        }
+    }
+}

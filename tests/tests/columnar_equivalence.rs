@@ -1,0 +1,109 @@
+//! The columnar analysis plane must be invisible in the output: timelines
+//! produced by interning the campaign into a `TraceStore` and running the
+//! sharded columnar driver must be byte-identical — `Debug`-rendering and
+//! all — to the legacy record-at-a-time `TimelineBuilder` path, across
+//! seeds, fault profiles, and thread counts.
+
+use s2s_bench::experiments::LongTermData;
+use s2s_bench::{Scale, Scenario};
+use s2s_core::columnar::timelines_from_store_threads;
+use s2s_probe::{FaultProfile, RetryPolicy, TraceStore};
+
+fn micro(seed: u64) -> Scenario {
+    Scenario::build(Scale {
+        seed,
+        clusters: 12,
+        days: 12,
+        pairs: 16,
+        ping_pairs: 30,
+        cong_pairs: 8,
+    })
+}
+
+fn profiles() -> Vec<(&'static str, FaultProfile)> {
+    vec![
+        ("quiet", FaultProfile::default()),
+        (
+            "noisy",
+            FaultProfile {
+                crash_rate: 0.02,
+                drop_rate: 0.05,
+                stuck_rate: 0.02,
+                truncate_rate: 0.05,
+                ..FaultProfile::default()
+            },
+        ),
+    ]
+}
+
+/// The acceptance invariant: columnar == legacy, byte for byte, for every
+/// seed × fault profile × thread count combination.
+#[test]
+fn columnar_equals_legacy_across_seeds_profiles_and_threads() {
+    for seed in [3u64, 11, 29] {
+        let scenario = micro(seed);
+        for (name, profile) in profiles() {
+            let legacy = LongTermData::collect_legacy_with(&scenario, &profile);
+            let pairs = scenario.sample_pair_list(scenario.scale.pairs / 2, 0x10e6);
+            assert_eq!(pairs, legacy.pairs, "pair sampling must be deterministic");
+            let (store, report) =
+                scenario.long_term_store_faulty(&pairs, &profile, &RetryPolicy::default());
+            assert_eq!(
+                format!("{:?}", report),
+                format!("{:?}", legacy.report),
+                "seed {seed} {name}: campaign reports diverged"
+            );
+            for threads in [1usize, 2, 4] {
+                let columnar =
+                    timelines_from_store_threads(&store, &scenario.ip2asn, threads);
+                assert_eq!(
+                    columnar, legacy.timelines,
+                    "seed {seed} {name} threads={threads}: timelines diverged"
+                );
+                assert_eq!(
+                    format!("{columnar:?}"),
+                    format!("{:?}", legacy.timelines),
+                    "seed {seed} {name} threads={threads}: byte divergence"
+                );
+            }
+        }
+    }
+}
+
+/// `LongTermData::collect_with` (the production path every figure runs on)
+/// must agree with its legacy twin and report arena statistics that add up.
+#[test]
+fn collect_with_matches_legacy_and_reports_arena_stats() {
+    let scenario = micro(7);
+    let profile = FaultProfile { drop_rate: 0.1, ..FaultProfile::default() };
+    let columnar = LongTermData::collect_with(&scenario, &profile);
+    let legacy = LongTermData::collect_legacy_with(&scenario, &profile);
+    assert_eq!(columnar.timelines, legacy.timelines);
+    assert_eq!(columnar.pairs, legacy.pairs);
+    assert!(legacy.arena.is_none());
+    let arena = columnar.arena.expect("columnar collection records arena stats");
+    assert_eq!(arena.traces, columnar.timelines.iter().map(|t| t.samples.len()).sum());
+    assert!(arena.distinct_seqs <= arena.traces);
+    assert!(
+        arena.dedup_ratio >= 1.0,
+        "hop slots cannot outnumber their interned storage"
+    );
+    assert!(arena.arena_bytes > 0);
+}
+
+/// The store a faulty campaign accumulates must round-trip: materializing
+/// its records and re-interning them yields an identical store (the
+/// analysis plane loses nothing the campaign delivered).
+#[test]
+fn campaign_store_round_trips_through_records() {
+    let scenario = micro(13);
+    let pairs = scenario.sample_pair_list(6, 0x10e6);
+    let profile = FaultProfile { truncate_rate: 0.1, ..FaultProfile::default() };
+    let (store, _) =
+        scenario.long_term_store_faulty(&pairs, &profile, &RetryPolicy::default());
+    let records = store.to_records();
+    assert_eq!(records.len(), store.len());
+    let rebuilt = TraceStore::from_records(&records);
+    assert_eq!(rebuilt.to_records(), records);
+    assert_eq!(rebuilt.stats(), store.stats());
+}
