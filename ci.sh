@@ -33,4 +33,10 @@ S2S_CLUSTERS=16 S2S_DAYS=20 S2S_PAIRS=24 S2S_PING_PAIRS=20 S2S_CONG_PAIRS=8 \
 echo "==> long-term campaign + columnar analysis bench (quick mode; writes BENCH_longterm.json)"
 S2S_BENCH_QUICK=1 cargo bench -q -p s2s-bench --bench longterm
 
+echo "==> streaming short-term gate: agreement recorded in BENCH_longterm.json"
+# The bench aborts if streamed-vs-exact classification agreement drops
+# below 99%; this guards against the section silently disappearing.
+grep -q '"streamed_exact_agreement"' BENCH_longterm.json
+grep -q '"memory_independent_of_samples": true' BENCH_longterm.json
+
 echo "CI OK"

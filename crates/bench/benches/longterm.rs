@@ -12,7 +12,11 @@
 //! The `analysis` section times the same corpus through the legacy
 //! `TimelineBuilder` path and the columnar `TraceStore` path (single- and
 //! multi-threaded), records arena vs serialized dataset bytes and the hop
-//! dedup ratio, and times the line importer.
+//! dedup ratio, and times the line importer. The `shortterm` section runs
+//! the §5 ping mesh through a streaming `PairProfileSink` at two window
+//! lengths: it records throughput, shows sink state staying flat while
+//! the materialized plane doubles, and asserts streamed-vs-exact
+//! congestion classification agreement (>= 99%).
 //!
 //! Knobs:
 //! * `S2S_BENCH_QUICK=1` — a smaller world and a single timing sample, for
@@ -23,10 +27,15 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use s2s_bench::{Scale, Scenario};
-use s2s_core::columnar::timelines_from_store_threads;
+use s2s_core::congestion::DetectParams;
+use s2s_core::Analysis;
 use s2s_core::timeline::{TimelineBuilder, TraceTimeline};
 use s2s_probe::dataset::{traceroute_from_line, traceroute_to_line};
-use s2s_probe::{Campaign, CampaignConfig, TraceOptions, TraceStore, TracerouteRecord};
+use s2s_probe::{
+    Campaign, CampaignConfig, PairProfile, PairProfileSink, PingTimeline, TraceOptions,
+    TraceStore, TracerouteRecord,
+};
+use s2s_types::{Protocol, SimDuration, SimTime};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -201,10 +210,10 @@ fn bench_longterm(c: &mut Criterion) {
         st
     });
     let (t_columnar, columnar_tls) =
-        time_samples(analysis_samples, || timelines_from_store_threads(&store, map, 1));
+        time_samples(analysis_samples, || Analysis::new(&store).threads(1).timelines(map));
     let threads = s2s_probe::env::threads();
     let (t_mt, mt_tls) =
-        time_samples(analysis_samples, || timelines_from_store_threads(&store, map, threads));
+        time_samples(analysis_samples, || Analysis::new(&store).threads(threads).timelines(map));
     assert_eq!(
         format!("{legacy_tls:?}"),
         format!("{columnar_tls:?}"),
@@ -254,6 +263,98 @@ fn bench_longterm(c: &mut Criterion) {
         stats.distinct_seqs, stats.traces
     );
 
+    // ---- Short-term plane: streaming sinks vs materialized timelines ----
+    //
+    // The §5 ping mesh at two window lengths over the *same* pairs: the
+    // materialized representation doubles with the sample count while the
+    // sink state (sketch + moments + diurnal ring + spectrum) must not —
+    // that flatness is the constant-memory claim, recorded and asserted
+    // here. The long window also pins streamed-vs-exact classification
+    // agreement.
+    let ping_pairs =
+        w.scenario.sample_pair_list(if quick() { 16 } else { 60 }, 0x5EC5);
+    let (short_days, long_days) = (7u32, 14u32);
+    let mk_ping_cfg = |days: u32| CampaignConfig {
+        start: SimTime::T0,
+        end: SimTime::from_days(days),
+        interval: SimDuration::from_minutes(15),
+        protocols: vec![Protocol::V4],
+        threads: s2s_probe::env::threads(),
+    };
+    let run_sink = |cfg: &CampaignConfig| {
+        Campaign::new(cfg.clone())
+            .sink(PairProfileSink::for_config(cfg))
+            .run_ping(&w.scenario.net, &ping_pairs)
+            .expect("in-memory campaign cannot fail")
+    };
+    let run_materialized = |cfg: &CampaignConfig| {
+        Campaign::new(cfg.clone())
+            .run_ping(&w.scenario.net, &ping_pairs)
+            .expect("in-memory campaign cannot fail")
+            .0
+    };
+    let (cfg_short, cfg_long) = (mk_ping_cfg(short_days), mk_ping_cfg(long_days));
+    let (t_sink, (profiles_long, sink_report)) =
+        time_samples(samples, || run_sink(&cfg_long));
+    let (profiles_short, _) = run_sink(&cfg_short);
+    let tls_long = run_materialized(&cfg_long);
+    let tls_short = run_materialized(&cfg_short);
+
+    let sink_bytes = |ps: &[PairProfile]| -> usize {
+        ps.iter().map(|p| p.memory_bytes()).sum()
+    };
+    let materialized_bytes = |tls: &[PingTimeline]| -> usize {
+        tls.iter()
+            .map(|t| std::mem::size_of::<PingTimeline>() + 4 * t.rtts.len())
+            .sum()
+    };
+    let (sink_short, sink_long) = (sink_bytes(&profiles_short), sink_bytes(&profiles_long));
+    let (mat_short, mat_long) =
+        (materialized_bytes(&tls_short), materialized_bytes(&tls_long));
+    let sink_growth = sink_long as f64 / sink_short.max(1) as f64;
+    let mat_growth = mat_long as f64 / mat_short.max(1) as f64;
+    assert!(
+        mat_growth > 1.5,
+        "doubling the window must grow the materialized plane (got {mat_growth:.2}x)"
+    );
+    assert!(
+        sink_growth < 1.10,
+        "sink state must be independent of the sample count \
+         (got {sink_growth:.2}x over a {mat_growth:.2}x materialized growth)"
+    );
+
+    let params = DetectParams::default();
+    let exact = Analysis::new(tls_long.as_slice()).congestion(&params);
+    let streamed = Analysis::new(profiles_long.as_slice()).congestion(&params);
+    assert_eq!(exact.len(), streamed.len());
+    let agreeing = exact
+        .iter()
+        .zip(&streamed)
+        .filter(|(a, b)| match (a, b) {
+            (None, None) => true,
+            (Some(x), Some(y)) => x.consistent == y.consistent,
+            _ => false,
+        })
+        .count();
+    let streamed_exact_agreement = agreeing as f64 / exact.len().max(1) as f64;
+    assert!(
+        streamed_exact_agreement >= 0.99,
+        "streamed classification must agree with the exact path on >= 99% \
+         of pairs (got {streamed_exact_agreement:.4})"
+    );
+
+    let sink_throughput =
+        sink_report.offered as f64 / t_sink.as_secs_f64().max(1e-9);
+    println!(
+        "shortterm: {} pairs, sink run {t_sink:?} ({sink_throughput:.0} samples/s); \
+         sink {sink_short} -> {sink_long} B ({sink_growth:.2}x) vs \
+         materialized {mat_short} -> {mat_long} B ({mat_growth:.2}x) over \
+         {short_days} -> {long_days} days; streamed/exact agreement \
+         {:.2}%",
+        ping_pairs.len(),
+        100.0 * streamed_exact_agreement
+    );
+
     // Hand-rolled JSON: the offline criterion shim has no machine-readable
     // output, and this file is the artifact CI uploads. The `fullscale`
     // block is the recorded single-core 120-cluster/485-day run — the
@@ -292,6 +393,17 @@ fn bench_longterm(c: &mut Criterion) {
          \"bytes_ratio\": {:.3},\n    \
          \"importer\": {{\n      \"lines\": {},\n      \
          \"seconds\": {:.6},\n      \"ns_per_line\": {:.1}\n    }}\n  }},\n  \
+         \"shortterm\": {{\n    \"pairs\": {},\n    \
+         \"short_days\": {},\n    \"long_days\": {},\n    \
+         \"sink_seconds\": {:.6},\n    \
+         \"sink_samples_per_second\": {:.0},\n    \
+         \"materialized_bytes_short\": {},\n    \
+         \"materialized_bytes_long\": {},\n    \
+         \"materialized_growth\": {:.3},\n    \
+         \"sink_bytes_short\": {},\n    \"sink_bytes_long\": {},\n    \
+         \"sink_growth\": {:.3},\n    \
+         \"memory_independent_of_samples\": true,\n    \
+         \"streamed_exact_agreement\": {:.4}\n  }},\n  \
          \"fullscale\": {{\n    \"clusters\": 120,\n    \"days\": 485,\n    \
          \"directed_pairs\": 1200,\n    \"cores\": 1,\n    \
          \"before_seconds\": 736.527,\n    \"after_seconds\": 104.206,\n    \
@@ -335,7 +447,19 @@ fn bench_longterm(c: &mut Criterion) {
         bytes_ratio,
         all_lines.len(),
         t_import.as_secs_f64(),
-        ns_per_line
+        ns_per_line,
+        ping_pairs.len(),
+        short_days,
+        long_days,
+        t_sink.as_secs_f64(),
+        sink_throughput,
+        mat_short,
+        mat_long,
+        mat_growth,
+        sink_short,
+        sink_long,
+        sink_growth,
+        streamed_exact_agreement
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_longterm.json");
     std::fs::write(path, json).expect("write BENCH_longterm.json");
@@ -346,8 +470,9 @@ fn bench_longterm(c: &mut Criterion) {
     // alongside the other groups.
     c.bench_function("longterm/epoch_batched_campaign", |b| b.iter(|| lines_batched(&w)));
     c.bench_function("longterm/columnar_analysis", |b| {
-        b.iter(|| timelines_from_store_threads(&store, map, 1))
+        b.iter(|| Analysis::new(&store).threads(1).timelines(map))
     });
+    c.bench_function("shortterm/sink_campaign", |b| b.iter(|| run_sink(&cfg_short)));
 }
 
 criterion_group!(

@@ -4,10 +4,10 @@
 use crate::scenario::Scenario;
 use s2s_core::annotate::as_path_of_addrs;
 use s2s_core::congestion::{
-    detect, detect_checked, overhead_ms, DetectParams, LocateOutcome, LocateParams,
-    SegmentAccumulator,
+    detect, overhead_ms, DetectParams, LocateOutcome, LocateParams, SegmentAccumulator,
 };
 use s2s_core::ownership::{classify_link, infer_ownership, CongestedLinkClass};
+use s2s_core::Analysis;
 use s2s_netsim::Network;
 use s2s_probe::{Campaign, CampaignConfig, FaultProfile, TraceOptions};
 use s2s_stats::GaussianKde;
@@ -27,7 +27,9 @@ pub struct Sec51Result {
     pub consistent_fraction: f64,
 }
 
-/// The §5.1 detection campaign: a week of 15-minute pings.
+/// The §5.1 detection campaign: a week of 15-minute pings, folded through
+/// the streaming sink — the campaign's memory is per-pair sketch state,
+/// never the ~2 B-sample timeline the paper-scale mesh would materialize.
 pub fn sec51(
     scenario: &Scenario,
     start: SimTime,
@@ -37,14 +39,18 @@ pub fn sec51(
     let pairs: Vec<(ClusterId, ClusterId)> =
         all.chunks(2).map(|c| c[0]).collect();
     let cfg = CampaignConfig::ping_week(start);
-    let (timelines, report) = Campaign::new(cfg)
+    let sink = s2s_probe::PairProfileSink::for_config(&cfg);
+    let (profiles, report) = Campaign::new(cfg)
         .faults(FaultProfile::from_env())
+        .sink(sink)
         .run_ping(&scenario.net, &pairs)
         .expect("in-memory campaign cannot fail");
     let params = DetectParams::default();
     // The paper's ≥600-of-672 gate, as the fraction it is (~89.3%), so a
     // degraded plane is held to the same standard per offered slot.
     let min_coverage = params.min_valid_samples as f64 / 672.0;
+    let verdicts =
+        Analysis::new(profiles.as_slice()).checked(min_coverage).congestion_checked(&params);
     let mut results = Vec::new();
     let mut congested: Vec<(ClusterId, ClusterId, Protocol)> = Vec::new();
     println!("SEC 5.1 — is consistent congestion the norm? (week of 15-min pings)");
@@ -54,14 +60,16 @@ pub fn sec51(
         let mut below_floor = 0usize;
         let mut high = 0usize;
         let mut consistent = 0usize;
-        for tl in timelines.iter().filter(|t| t.proto == proto) {
-            match detect_checked(tl, &params, min_coverage) {
+        for (pf, res) in
+            profiles.iter().zip(&verdicts).filter(|(p, _)| p.proto == proto)
+        {
+            match res {
                 Ok((r, _)) => {
                     analyzed += 1;
                     high += r.high_variation as usize;
                     if r.consistent {
                         consistent += 1;
-                        congested.push((tl.src, tl.dst, proto));
+                        congested.push((pf.src, pf.dst, proto));
                     }
                 }
                 Err(_) => below_floor += 1,

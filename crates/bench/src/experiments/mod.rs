@@ -12,8 +12,8 @@ pub mod ownercheck;
 pub mod shortterm;
 
 use crate::scenario::Scenario;
-use s2s_core::columnar::timelines_from_store_threads;
 use s2s_core::timeline::TraceTimeline;
+use s2s_core::Analysis;
 use s2s_probe::store::StoreStats;
 use s2s_probe::{CampaignReport, FaultProfile, RetryPolicy};
 use s2s_types::{ClusterId, Coverage};
@@ -46,23 +46,21 @@ impl LongTermData {
     /// goes through the columnar plane: records intern into a
     /// [`s2s_probe::TraceStore`] and the sharded analysis driver (thread
     /// count from `S2S_THREADS` / `--threads`) produces the timelines —
-    /// byte-identical to [`LongTermData::collect_legacy_with`], which the
-    /// equivalence suite pins.
+    /// byte-identical to the pre-columnar record-at-a-time path, which the
+    /// equivalence suite pins via
+    /// [`Scenario::long_term_timelines_faulty`].
     pub fn collect_with(scenario: &Scenario, profile: &FaultProfile) -> LongTermData {
         let pairs = scenario.sample_pair_list(scenario.scale.pairs / 2, 0x10e6);
         let (store, report) =
             scenario.long_term_store_faulty(&pairs, profile, &RetryPolicy::default());
-        let timelines = timelines_from_store_threads(
-            &store,
-            &scenario.ip2asn,
-            s2s_probe::env::threads(),
-        );
+        let timelines = Analysis::new(&store).timelines(&scenario.ip2asn);
         LongTermData { pairs, timelines, report, arena: Some(store.stats()) }
     }
 
     /// The pre-columnar collection path: annotate record-by-record into
-    /// streaming [`s2s_core::TimelineBuilder`]s. Kept as the equivalence
-    /// baseline and as the `analysis.legacy_seconds` side of the bench.
+    /// streaming [`s2s_core::TimelineBuilder`]s. Test-only equivalence
+    /// baseline; production collection is always columnar.
+    #[cfg(test)]
     pub fn collect_legacy_with(scenario: &Scenario, profile: &FaultProfile) -> LongTermData {
         let pairs = scenario.sample_pair_list(scenario.scale.pairs / 2, 0x10e6);
         let (timelines, report) =
@@ -166,6 +164,21 @@ mod tests {
             assert!(f10b.median >= 1.0, "inflation below light speed");
             assert!(f10b.p90 >= f10b.median);
         }
+    }
+
+    #[test]
+    fn columnar_collection_matches_the_legacy_baseline() {
+        let (scenario, data) = micro();
+        let legacy =
+            LongTermData::collect_legacy_with(&scenario, &FaultProfile::from_env());
+        assert_eq!(data.pairs, legacy.pairs);
+        assert_eq!(data.timelines, legacy.timelines);
+        assert_eq!(
+            format!("{:?}", data.report),
+            format!("{:?}", legacy.report)
+        );
+        assert!(legacy.arena.is_none());
+        assert!(data.arena.is_some());
     }
 
     #[test]

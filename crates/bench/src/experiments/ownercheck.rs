@@ -7,8 +7,8 @@
 //! traceroutes, runs the six heuristics, and scores the elected owners.
 
 use crate::scenario::Scenario;
-use s2s_core::columnar::infer_ownership_store;
 use s2s_core::ownership::Heuristic;
+use s2s_core::Analysis;
 use s2s_probe::store::NO_ADDR;
 use s2s_probe::{trace, TraceOptions, TraceStore};
 use s2s_types::{Protocol, SimDuration, SimTime};
@@ -47,7 +47,7 @@ pub fn fig8(scenario: &Scenario) -> Fig8Result {
     // The heuristics consume link/triple *sets*, so the store-backed
     // inference — one pass per distinct reached hop sequence — elects the
     // same owners as the per-trace sweep at a fraction of the work.
-    let inf = infer_ownership_store(&store, &scenario.ip2asn, &scenario.rels);
+    let inf = Analysis::new(&store).ownership(&scenario.ip2asn, &scenario.rels);
 
     // Ground truth via the topology's address index.
     let addr_index = scenario.topo.addr_index();

@@ -1,0 +1,335 @@
+//! The one front door for analyses: [`Analysis`].
+//!
+//! Mirrors the [`Campaign`](s2s_probe::Campaign) builder on the other side
+//! of the measurement plane: wrap a data source, set policy
+//! ([`threads`](Analysis::threads), [`observe`](Analysis::observe),
+//! [`checked`](Analysis::checked)), then call an analysis method. Which
+//! methods exist depends on the source:
+//!
+//! * `Analysis<&TraceStore>` — the columnar traceroute corpus:
+//!   [`timelines`](Analysis::timelines) (the sharded §4 driver) and
+//!   [`ownership`](Analysis::ownership) (§5.3),
+//! * `Analysis<&[TraceTimeline]>` — built timelines:
+//!   [`dualstack`](Analysis::dualstack) (§6, Fig. 10a),
+//! * `Analysis<&[PingTimeline]>` — materialized ping series: §5.1
+//!   [`congestion`](Analysis::congestion) /
+//!   [`congestion_checked`](Analysis::congestion_checked),
+//! * `Analysis<&[PairProfile]>` — streamed constant-memory profiles: the
+//!   same §5.1 classification plus the Fig. 9
+//!   [`overheads`](Analysis::overheads), without ever materializing a
+//!   timeline.
+//!
+//! The loose free functions (`timelines_from_store*`,
+//! `infer_ownership_store`) survive as `#[deprecated]` shims over this
+//! type.
+//!
+//! ```no_run
+//! # use s2s_core::Analysis;
+//! # fn demo(store: &s2s_probe::TraceStore, map: &s2s_bgp::Ip2AsnMap) {
+//! let timelines = Analysis::new(store).threads(8).timelines(map);
+//! # let _ = timelines;
+//! # }
+//! ```
+
+use crate::congestion::{
+    detect, detect_checked, detect_profile, detect_profile_checked, overhead_profiles,
+    DetectParams, PairCongestion,
+};
+use crate::dualstack::{rtt_diffs, DualStackDiffs};
+use crate::ownership::OwnershipInference;
+use crate::timeline::TraceTimeline;
+use s2s_bgp::{AsRelStore, Ip2AsnMap};
+use s2s_probe::{PairProfile, PingTimeline, TraceStore};
+use s2s_types::{AnalysisError, Coverage, Protocol};
+use std::sync::Arc;
+
+/// A configured-but-not-yet-run analysis over a data source.
+///
+/// Construction is pure; nothing happens until an analysis method fires.
+/// The source is borrowed, so one builder can run several analyses.
+#[derive(Clone, Debug)]
+pub struct Analysis<S> {
+    source: S,
+    threads: usize,
+    registry: Option<Arc<s2s_obs::Registry>>,
+    floor: f64,
+}
+
+/// The default coverage floor of [`Analysis::checked`]-gated analyses:
+/// the paper's ≥600-of-672 valid-sample requirement, as the fraction it is
+/// (~89.3%), so campaigns of any length state the same standard.
+pub const DEFAULT_COVERAGE_FLOOR: f64 = 600.0 / 672.0;
+
+impl<S> Analysis<S> {
+    /// Starts a builder over `source`. Threads default to the
+    /// `S2S_THREADS` knob (the same knob that sizes campaign workers), the
+    /// coverage floor to [`DEFAULT_COVERAGE_FLOOR`].
+    pub fn new(source: S) -> Self {
+        Analysis {
+            source,
+            threads: s2s_probe::env::threads(),
+            registry: None,
+            floor: DEFAULT_COVERAGE_FLOOR,
+        }
+    }
+
+    /// Overrides the analysis shard-thread count (results are
+    /// byte-identical across thread counts; this only sets the speed).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Folds the run's `analysis.*` counters into `registry` when an
+    /// analysis method finishes. Without this call they go to the globally
+    /// [installed](s2s_obs::install) registry, if any.
+    pub fn observe(mut self, registry: Arc<s2s_obs::Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Sets the delivered-over-offered coverage floor the `*_checked`
+    /// analysis methods enforce (default [`DEFAULT_COVERAGE_FLOOR`]).
+    pub fn checked(mut self, floor: f64) -> Self {
+        self.floor = floor;
+        self
+    }
+
+    /// The coverage floor `*_checked` methods will enforce.
+    pub fn coverage_floor(&self) -> f64 {
+        self.floor
+    }
+
+    fn effective_registry(&self) -> Option<Arc<s2s_obs::Registry>> {
+        self.registry.clone().or_else(s2s_obs::installed)
+    }
+
+    /// Bumps one `analysis.*` counter on the effective registry.
+    fn count(&self, name: &'static str, n: u64) {
+        if n > 0 {
+            if let Some(reg) = self.effective_registry() {
+                reg.counter(name).add(n);
+            }
+        }
+    }
+}
+
+impl Analysis<&TraceStore> {
+    /// The §4 columnar analysis: one [`TraceTimeline`] per
+    /// (src, dst, protocol) group, in first-seen order, sharded across the
+    /// builder's thread count with a byte-identical merge.
+    pub fn timelines(&self, map: &Ip2AsnMap) -> Vec<TraceTimeline> {
+        let out = crate::columnar::timelines_from_store_impl(self.source, map, self.threads);
+        self.count("analysis.timelines_built", out.len() as u64);
+        out
+    }
+
+    /// §5.3 router-ownership inference over the store: one pass per
+    /// distinct reached hop sequence (exactly equal to feeding every
+    /// trace's path — the heuristics consume sets).
+    pub fn ownership(&self, map: &Ip2AsnMap, rels: &AsRelStore) -> OwnershipInference {
+        crate::columnar::infer_ownership_store_impl(self.source, map, rels)
+    }
+}
+
+impl Analysis<&[TraceTimeline]> {
+    /// §6 dual-stack RTT deltas (Fig. 10a): pairs each v4 timeline with
+    /// the v6 timeline of the same (src, dst) pair — the adjacent-protocol
+    /// layout every campaign produces (pair-major, protocol-minor) — and
+    /// computes best-path RTT differences per sample instant.
+    pub fn dualstack(&self) -> Vec<DualStackDiffs> {
+        let out: Vec<DualStackDiffs> = self
+            .source
+            .chunks(2)
+            .filter(|c| {
+                c.len() == 2
+                    && c[0].proto == Protocol::V4
+                    && c[1].proto == Protocol::V6
+                    && (c[0].src, c[0].dst) == (c[1].src, c[1].dst)
+            })
+            .map(|c| rtt_diffs(&c[0], &c[1]))
+            .collect();
+        self.count("analysis.dualstack_pairs", out.len() as u64);
+        out
+    }
+}
+
+impl Analysis<&[PingTimeline]> {
+    /// §5.1 consistent-congestion detection over every timeline. `None`
+    /// entries are timelines below the absolute
+    /// [`DetectParams::min_valid_samples`] gate.
+    pub fn congestion(&self, params: &DetectParams) -> Vec<Option<PairCongestion>> {
+        let out: Vec<_> = self.source.iter().map(|tl| detect(tl, params)).collect();
+        self.count("analysis.congestion_pairs", out.len() as u64);
+        out
+    }
+
+    /// Coverage-checked §5.1 detection: every verdict annotated with its
+    /// coverage, timelines below the builder's
+    /// [`checked`](Analysis::checked) floor refused with a typed error.
+    pub fn congestion_checked(
+        &self,
+        params: &DetectParams,
+    ) -> Vec<Result<(PairCongestion, Coverage), AnalysisError>> {
+        let out: Vec<_> = self
+            .source
+            .iter()
+            .map(|tl| detect_checked(tl, params, self.floor))
+            .collect();
+        self.count("analysis.congestion_pairs", out.len() as u64);
+        out
+    }
+}
+
+impl Analysis<&[PairProfile]> {
+    /// §5.1 consistent-congestion detection straight from streamed
+    /// profiles — same verdict shape as the materialized path, no
+    /// timelines needed.
+    pub fn congestion(&self, params: &DetectParams) -> Vec<Option<PairCongestion>> {
+        let out: Vec<_> =
+            self.source.iter().map(|p| detect_profile(p, params)).collect();
+        self.count("analysis.congestion_pairs", out.len() as u64);
+        out
+    }
+
+    /// Coverage-checked streamed detection, gated by the builder's
+    /// [`checked`](Analysis::checked) floor.
+    pub fn congestion_checked(
+        &self,
+        params: &DetectParams,
+    ) -> Vec<Result<(PairCongestion, Coverage), AnalysisError>> {
+        let out: Vec<_> = self
+            .source
+            .iter()
+            .map(|p| detect_profile_checked(p, params, self.floor))
+            .collect();
+        self.count("analysis.congestion_pairs", out.len() as u64);
+        out
+    }
+
+    /// The Fig. 9 overhead sample set: one 95th−5th spread per
+    /// consistently congested profile.
+    pub fn overheads(&self, params: &DetectParams) -> Vec<f64> {
+        overhead_profiles(self.source, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_probe::{CampaignConfig, PairProfileSink, StreamSink};
+    use s2s_types::{ClusterId, SimDuration, SimTime};
+    use std::f64::consts::PI;
+
+    fn diurnal_series(amp: f64, noise: f64) -> Vec<f32> {
+        (0..672)
+            .map(|i| {
+                let phase = 2.0 * PI * i as f64 / 96.0;
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                (60.0 + amp * phase.sin().max(0.0) + noise * u) as f32
+            })
+            .collect()
+    }
+
+    fn timeline(rtts: Vec<f32>) -> PingTimeline {
+        PingTimeline {
+            src: ClusterId::new(0),
+            dst: ClusterId::new(1),
+            proto: Protocol::V4,
+            start: SimTime::T0,
+            interval: SimDuration::from_minutes(15),
+            rtts,
+        }
+    }
+
+    fn profile_of(rtts: &[f32]) -> PairProfile {
+        let cfg = CampaignConfig::ping_week(SimTime::T0);
+        let sink = PairProfileSink::with_shape(&cfg, 256, 128);
+        let mut st = sink.init(ClusterId::new(0), ClusterId::new(1), Protocol::V4);
+        for (ti, &r) in rtts.iter().enumerate() {
+            let t = cfg.start + SimDuration::from_minutes(ti as u32 * 15);
+            sink.fold(&mut st, ti as u64, t, (!r.is_nan()).then(|| f64::from(r)));
+        }
+        sink.finish(&mut st);
+        st
+    }
+
+    #[test]
+    fn builder_defaults_and_policy_setters() {
+        let tls: Vec<PingTimeline> = Vec::new();
+        let a = Analysis::new(tls.as_slice());
+        assert!((a.coverage_floor() - DEFAULT_COVERAGE_FLOOR).abs() < 1e-12);
+        let a = a.threads(0).checked(0.5);
+        assert_eq!(a.threads, 1);
+        assert!((a.coverage_floor() - 0.5).abs() < 1e-12);
+        assert!(a.congestion(&DetectParams::default()).is_empty());
+    }
+
+    #[test]
+    fn ping_congestion_matches_the_free_functions() {
+        let tls =
+            vec![timeline(diurnal_series(30.0, 2.0)), timeline(diurnal_series(0.0, 3.0))];
+        let params = DetectParams::default();
+        let verdicts = Analysis::new(tls.as_slice()).congestion(&params);
+        assert_eq!(verdicts.len(), 2);
+        assert_eq!(verdicts[0], detect(&tls[0], &params));
+        assert!(verdicts[0].unwrap().consistent);
+        assert!(!verdicts[1].unwrap().consistent);
+
+        let checked = Analysis::new(tls.as_slice()).checked(0.89).congestion_checked(&params);
+        let (v, cov) = checked[0].as_ref().unwrap();
+        assert!(v.consistent);
+        assert_eq!(cov.offered, 672);
+    }
+
+    #[test]
+    fn profile_congestion_and_overheads_mirror_streamed_module() {
+        let profiles =
+            vec![profile_of(&diurnal_series(30.0, 2.0)), profile_of(&diurnal_series(0.0, 3.0))];
+        let params = DetectParams::default();
+        let a = Analysis::new(profiles.as_slice());
+        let verdicts = a.congestion(&params);
+        assert!(verdicts[0].unwrap().consistent);
+        assert!(!verdicts[1].unwrap().consistent);
+        let overheads = a.overheads(&params);
+        assert_eq!(overheads, overhead_profiles(&profiles, &params));
+        assert_eq!(overheads.len(), 1);
+        let checked = a.congestion_checked(&params);
+        assert!(checked.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn dualstack_pairs_adjacent_protocol_timelines() {
+        use crate::timeline::TraceTimeline;
+        let mk = |proto, src: u32| TraceTimeline {
+            src: ClusterId::new(src),
+            dst: ClusterId::new(9),
+            proto,
+            paths: Vec::new(),
+            samples: Vec::new(),
+            counts: Default::default(),
+        };
+        let tls = vec![
+            mk(Protocol::V4, 1),
+            mk(Protocol::V6, 1),
+            mk(Protocol::V4, 2),
+            mk(Protocol::V6, 2),
+        ];
+        let diffs = Analysis::new(tls.as_slice()).dualstack();
+        assert_eq!(diffs.len(), 2);
+        // A mispaired layout (two V4s adjacent) contributes nothing.
+        let bad = vec![mk(Protocol::V4, 1), mk(Protocol::V4, 1)];
+        assert!(Analysis::new(bad.as_slice()).dualstack().is_empty());
+    }
+
+    #[test]
+    fn observe_folds_counters_into_the_registry() {
+        let reg = Arc::new(s2s_obs::Registry::new());
+        let tls = vec![timeline(diurnal_series(30.0, 2.0))];
+        let _ = Analysis::new(tls.as_slice())
+            .observe(reg.clone())
+            .congestion(&DetectParams::default());
+        assert_eq!(reg.counter("analysis.congestion_pairs").get(), 1);
+    }
+}

@@ -12,15 +12,20 @@
 //!   one trie walk per distinct address in the corpus,
 //! * [`ColumnarAnnotator`] memoizes full annotations per
 //!   `(hop-sequence id, src-addr id, dst-addr id)` key,
-//! * [`timelines_from_store_threads`] shards the (src, dst, protocol)
-//!   groups across `std::thread::scope` workers in contiguous chunks and
-//!   writes each group's timeline into its pre-assigned slot, so the output
-//!   order — and every byte of it — is independent of the thread count and
+//! * [`Analysis::timelines`](crate::Analysis::timelines) (the driver
+//!   lives here) shards the (src, dst, protocol) groups across
+//!   `std::thread::scope` workers in contiguous chunks and writes each
+//!   group's timeline into its pre-assigned slot, so the output order —
+//!   and every byte of it — is independent of the thread count and
 //!   identical to the sequential legacy path (pinned by the equivalence
 //!   suite in `tests/`),
-//! * [`infer_ownership_store`] runs ownership inference once per distinct
-//!   reached hop sequence (the heuristics consume *sets* of links/triples,
-//!   so deduplication is exact, not approximate).
+//! * [`Analysis::ownership`](crate::Analysis::ownership) runs ownership
+//!   inference once per distinct reached hop sequence (the heuristics
+//!   consume *sets* of links/triples, so deduplication is exact, not
+//!   approximate).
+//!
+//! The free `timelines_from_store*` / `infer_ownership_store` functions
+//! that predate the builder survive as `#[deprecated]` shims.
 //!
 //! Everything is instrumented through `s2s-obs` when a registry is
 //! installed (`analysis.*` spans and counters, `trace_store.*` gauges);
@@ -220,25 +225,37 @@ fn intern_path(paths: &mut Vec<AsPath>, p: &AsPath) -> u16 {
 }
 
 /// Sequential columnar analysis: one timeline per (src, dst, protocol)
-/// group, in first-seen order. Equal to
-/// [`timelines_from_store_threads`]`(store, map, 1)`.
+/// group, in first-seen order.
+#[deprecated(note = "use Analysis::new(store).threads(1).timelines(map)")]
 pub fn timelines_from_store(store: &TraceStore, map: &Ip2AsnMap) -> Vec<TraceTimeline> {
-    timelines_from_store_threads(store, map, 1)
+    timelines_from_store_impl(store, map, 1)
 }
 
-/// [`timelines_from_store_threads`] honoring the `S2S_THREADS` knob (the
-/// same knob that sizes campaign workers).
+/// Columnar analysis honoring the `S2S_THREADS` knob (the same knob that
+/// sizes campaign workers).
+#[deprecated(note = "use Analysis::new(store).timelines(map)")]
 pub fn timelines_from_store_par(store: &TraceStore, map: &Ip2AsnMap) -> Vec<TraceTimeline> {
-    timelines_from_store_threads(store, map, s2s_probe::env::threads())
+    timelines_from_store_impl(store, map, s2s_probe::env::threads())
 }
 
-/// The sharded parallel analysis driver. Groups are split into contiguous
-/// chunks, one scoped thread per chunk, each thread running its own
-/// memoizing annotator over the shared address table; every group's
-/// timeline lands in its pre-assigned output slot, so the result is
-/// byte-identical across thread counts — and to the legacy record-based
-/// pipeline (the equivalence suite pins both).
+/// Columnar analysis with an explicit shard-thread count.
+#[deprecated(note = "use Analysis::new(store).threads(n).timelines(map)")]
 pub fn timelines_from_store_threads(
+    store: &TraceStore,
+    map: &Ip2AsnMap,
+    threads: usize,
+) -> Vec<TraceTimeline> {
+    timelines_from_store_impl(store, map, threads)
+}
+
+/// The sharded parallel analysis driver behind
+/// [`Analysis::timelines`](crate::Analysis::timelines). Groups are split
+/// into contiguous chunks, one scoped thread per chunk, each thread
+/// running its own memoizing annotator over the shared address table;
+/// every group's timeline lands in its pre-assigned output slot, so the
+/// result is byte-identical across thread counts — and to the legacy
+/// record-based pipeline (the equivalence suite pins both).
+pub(crate) fn timelines_from_store_impl(
     store: &TraceStore,
     map: &Ip2AsnMap,
     threads: usize,
@@ -303,12 +320,24 @@ pub fn timelines_from_store_threads(
     })
 }
 
-/// Ownership inference over a store: each distinct hop sequence seen on at
-/// least one *reached* trace contributes once. The heuristics consume sets
-/// of links and (x, y, z) triples, so per-sequence deduplication yields the
-/// identical inference to feeding every trace's path — at a fraction of
-/// the work when the few-distinct-paths property holds.
+/// Ownership inference over a store.
+#[deprecated(note = "use Analysis::new(store).ownership(map, rels)")]
 pub fn infer_ownership_store(
+    store: &TraceStore,
+    map: &Ip2AsnMap,
+    rels: &AsRelStore,
+) -> OwnershipInference {
+    infer_ownership_store_impl(store, map, rels)
+}
+
+/// Ownership inference over a store, behind
+/// [`Analysis::ownership`](crate::Analysis::ownership): each distinct hop
+/// sequence seen on at least one *reached* trace contributes once. The
+/// heuristics consume sets of links and (x, y, z) triples, so per-sequence
+/// deduplication yields the identical inference to feeding every trace's
+/// path — at a fraction of the work when the few-distinct-paths property
+/// holds.
+pub(crate) fn infer_ownership_store_impl(
     store: &TraceStore,
     map: &Ip2AsnMap,
     rels: &AsRelStore,
@@ -440,7 +469,7 @@ mod tests {
             legacy.push(b.finish());
         }
         for threads in [1, 2, 4, 7] {
-            let columnar = timelines_from_store_threads(&store, &m, threads);
+            let columnar = timelines_from_store_impl(&store, &m, threads);
             assert_eq!(columnar, legacy, "threads={threads} diverged");
             assert_eq!(
                 format!("{columnar:?}"),
@@ -462,7 +491,7 @@ mod tests {
             .map(|r| r.hops.iter().map(|h| h.addr).collect())
             .collect();
         let legacy = infer_ownership(&per_trace, &m, &rels);
-        let columnar = infer_ownership_store(&store, &m, &rels);
+        let columnar = infer_ownership_store_impl(&store, &m, &rels);
         assert_eq!(columnar.owners, legacy.owners);
         // Label multisets per address match (order may differ: the sets
         // iterate in hash order).
@@ -480,7 +509,7 @@ mod tests {
     fn empty_store_yields_no_timelines() {
         let m = map();
         let store = TraceStore::new();
-        assert!(timelines_from_store(&store, &m).is_empty());
-        assert!(timelines_from_store_threads(&store, &m, 8).is_empty());
+        assert!(timelines_from_store_impl(&store, &m, 1).is_empty());
+        assert!(timelines_from_store_impl(&store, &m, 8).is_empty());
     }
 }

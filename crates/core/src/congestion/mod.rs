@@ -2,6 +2,9 @@
 //!
 //! * [`mod@detect`] — is a server pair consistently congested? (95th−5th
 //!   percentile variation filter + FFT diurnal signal, §5.1),
+//! * [`streamed`] — the same classification straight from constant-memory
+//!   [`PairProfile`](s2s_probe::PairProfile)s folded by a streaming
+//!   campaign sink (no materialized timelines),
 //! * [`mod@locate`] — which traceroute segment carries the congestion?
 //!   (per-segment Pearson correlation against the end-to-end series, §5.2),
 //! * [`overhead`] — how much latency does the congestion add? (Fig. 9).
@@ -9,7 +12,11 @@
 pub mod detect;
 pub mod locate;
 pub mod overhead;
+pub mod streamed;
 
 pub use detect::{detect, detect_checked, ping_coverage, DetectParams, PairCongestion};
 pub use locate::{locate, LocateOutcome, LocateParams, SegmentAccumulator};
 pub use overhead::overhead_ms;
+pub use streamed::{
+    detect_profile, detect_profile_checked, overhead_profile, overhead_profiles,
+};

@@ -7,8 +7,15 @@
 //! ([`s2s_bgp::Ip2AsnMap`], [`s2s_bgp::AsRelStore`]) — never the simulator —
 //! so it runs unchanged on real traceroute corpora.
 //!
+//! The crate's front door is [`Analysis`]: wrap a data source (a
+//! [`s2s_probe::TraceStore`], built timelines, or streamed
+//! [`s2s_probe::PairProfile`]s), set policy (`.threads(n)`,
+//! `.observe(reg)`, `.checked(floor)`), then call an analysis method —
+//! mirroring how [`s2s_probe::Campaign`] fronts the measurement plane.
+//!
 //! Pipeline stages, in paper order:
 //!
+//! * [`mod@analysis`] — the [`Analysis`] builder front door,
 //! * [`annotate`] — hop-IP → ASN mapping, missing-hop imputation, AS-loop
 //!   filtering, Table-1 completeness classification (§2.1, §4.1),
 //! * [`timeline`] — trace timelines: interned AS paths + RTTs per (pair,
@@ -35,6 +42,7 @@
 //! * [`lossrate`] — diurnal packet-loss analysis (the §8 future-work
 //!   companion to the RTT-based congestion detector).
 
+pub mod analysis;
 pub mod annotate;
 pub mod bestpath;
 pub mod changes;
@@ -47,12 +55,15 @@ pub mod ownership;
 pub mod shortterm;
 pub mod timeline;
 
+pub use analysis::{Analysis, DEFAULT_COVERAGE_FLOOR};
 pub use annotate::{Annotated, Completeness};
 pub use bestpath::{BestPathAnalysis, PathDelta};
+#[allow(deprecated)]
 pub use columnar::{
     infer_ownership_store, timelines_from_store, timelines_from_store_par,
-    timelines_from_store_threads, AddrAsnTable, ColumnarAnnotator,
+    timelines_from_store_threads,
 };
+pub use columnar::{AddrAsnTable, ColumnarAnnotator};
 pub use changes::{
     detect_changes_checked, path_stats_checked, ChangeStats, PathStats,
 };

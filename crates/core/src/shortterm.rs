@@ -1,14 +1,25 @@
-//! Short-term cadence robustness (§4.3, Fig. 7).
+//! Short-term analyses: cadence robustness (§4.3, Fig. 7) and the
+//! streamed busy-period shape of a pair's day (§5).
 //!
 //! The long-term data set samples every 3 hours; routing changes faster
 //! than that are invisible. The paper checks the impact by re-running the
 //! best-path delta analysis on 30-minute data twice: once with every
 //! traceroute ("All") and once keeping only samples at least 3 hours apart
 //! ("3hr"). Similar ECDFs mean the coarse cadence doesn't bias §4.2.
+//!
+//! The §5 congestion analyses additionally care *when* in the day a pair
+//! is slow: consistent congestion shows up as a daily busy period.
+//! [`diurnal_shape`] reads that structure straight from the fixed-bin
+//! time-of-day ring a streaming campaign folds
+//! ([`DiurnalProfile`], inside each
+//! [`PairProfile`]) — no materialized timeline
+//! needed.
 
 use crate::bestpath::best_path_analysis;
 use crate::timeline::TraceTimeline;
-use s2s_types::{SimDuration, SimTime};
+use s2s_probe::PairProfile;
+use s2s_stats::DiurnalProfile;
+use s2s_types::{AnalysisError, Coverage, SimDuration, SimTime};
 
 /// Keeps only samples spaced at least `min_gap` apart (first sample kept).
 pub fn subsample(tl: &TraceTimeline, min_gap: SimDuration) -> TraceTimeline {
@@ -93,6 +104,53 @@ impl CadenceComparison {
     pub fn p90_ecdf_gap(&self) -> Option<f64> {
         ecdf_gap(&self.p90_all, &self.p90_sub)
     }
+}
+
+/// The busy-period shape of one pair's day, from its time-of-day ring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiurnalShape {
+    /// Ring slot with the highest mean RTT (0 = the slot at midnight).
+    pub peak_slot: usize,
+    /// Mean RTT in the peak slot, ms.
+    pub peak_mean_ms: f64,
+    /// Max − min of the slot means, ms (the daily swing).
+    pub amplitude_ms: f64,
+    /// Fraction of populated slots whose mean sits in the upper half of
+    /// the swing — narrow busy-hour bumps score low, all-day elevation
+    /// scores high.
+    pub busy_fraction: f64,
+}
+
+/// Reads the daily busy-period shape from a streamed time-of-day ring.
+/// `None` when no slot has any samples.
+pub fn diurnal_shape(ring: &DiurnalProfile) -> Option<DiurnalShape> {
+    let peak_slot = ring.peak_bin()?;
+    let peak_mean_ms = ring.bin_mean(peak_slot)?;
+    let amplitude_ms = ring.amplitude()?;
+    let means: Vec<f64> = ring.means().into_iter().flatten().collect();
+    let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+    let midpoint = lo + amplitude_ms / 2.0;
+    let busy = means.iter().filter(|&&m| m >= midpoint).count();
+    Some(DiurnalShape {
+        peak_slot,
+        peak_mean_ms,
+        amplitude_ms,
+        busy_fraction: busy as f64 / means.len() as f64,
+    })
+}
+
+/// Coverage-checked [`diurnal_shape`] over a full streamed profile:
+/// annotates the shape with the profile's delivered-over-offered coverage
+/// and refuses with a typed error below `min_coverage`.
+pub fn diurnal_shape_checked(
+    profile: &PairProfile,
+    min_coverage: f64,
+) -> Result<(DiurnalShape, Coverage), AnalysisError> {
+    let coverage = profile.coverage();
+    coverage.require(min_coverage)?;
+    diurnal_shape(profile.diurnal())
+        .map(|shape| (shape, coverage))
+        .ok_or(AnalysisError::NoUsableData)
 }
 
 fn ecdf_gap(a: &[f64], b: &[f64]) -> Option<f64> {
@@ -227,5 +285,66 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(comp.p90_ecdf_gap(), Some(1.0));
+    }
+
+    /// 96-slot day: a busy-hour bump peaking a quarter of the way in.
+    fn bumpy_ring(amp: f64) -> DiurnalProfile {
+        let mut ring = DiurnalProfile::new(96);
+        for day in 0..7 {
+            for slot in 0..96u64 {
+                let phase = 2.0 * std::f64::consts::PI * slot as f64 / 96.0;
+                let jitter = ((day * 96 + slot) % 5) as f64 * 0.1;
+                ring.fold_slot(slot, 60.0 + amp * phase.sin().max(0.0) + jitter);
+            }
+        }
+        ring
+    }
+
+    #[test]
+    fn diurnal_shape_finds_the_busy_period() {
+        let shape = diurnal_shape(&bumpy_ring(30.0)).unwrap();
+        assert_eq!(shape.peak_slot, 24, "sin peaks a quarter-day in");
+        assert!(shape.peak_mean_ms > 85.0, "peak {}", shape.peak_mean_ms);
+        assert!(shape.amplitude_ms > 25.0, "amplitude {}", shape.amplitude_ms);
+        // The positive half-sine is high for ~1/3 of the day, not all of it.
+        assert!(
+            shape.busy_fraction > 0.1 && shape.busy_fraction < 0.5,
+            "busy {}",
+            shape.busy_fraction
+        );
+    }
+
+    #[test]
+    fn flat_day_has_tiny_amplitude_and_everything_is_busy() {
+        let shape = diurnal_shape(&bumpy_ring(0.0)).unwrap();
+        assert!(shape.amplitude_ms < 1.0, "amplitude {}", shape.amplitude_ms);
+        assert_eq!(diurnal_shape(&DiurnalProfile::new(96)), None);
+    }
+
+    #[test]
+    fn checked_shape_annotates_coverage_and_refuses_sparse_profiles() {
+        use s2s_probe::{CampaignConfig, PairProfileSink, StreamSink};
+        let cfg = CampaignConfig::ping_week(SimTime::T0);
+        let sink = PairProfileSink::with_shape(&cfg, 64, 32);
+        let fold = |every: usize| {
+            let mut st = sink.init(ClusterId::new(0), ClusterId::new(1), Protocol::V4);
+            for ti in 0..672usize {
+                let t = cfg.start
+                    + SimDuration::from_minutes(ti as u32 * cfg.interval.minutes());
+                let rtt = (ti % every == 0).then(|| {
+                    60.0 + 20.0
+                        * (2.0 * std::f64::consts::PI * ti as f64 / 96.0).sin().max(0.0)
+                });
+                sink.fold(&mut st, ti as u64, t, rtt);
+            }
+            st
+        };
+        let dense = fold(1);
+        let (shape, cov) = diurnal_shape_checked(&dense, 0.9).unwrap();
+        assert_eq!((cov.usable, cov.offered), (672, 672));
+        assert!(shape.amplitude_ms > 15.0);
+        let sparse = fold(5);
+        let err = diurnal_shape_checked(&sparse, 0.9).unwrap_err();
+        assert!(matches!(err, AnalysisError::InsufficientCoverage { .. }), "{err}");
     }
 }

@@ -31,11 +31,13 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::campaign::{
-    ping_faulty_impl, traceroute_faulty_impl, traceroute_faulty_reference_impl,
-    traceroute_resumable_impl, CampaignConfig, CampaignReport, PingTimeline, RetryPolicy,
+    ping_faulty_impl, ping_sink_impl, ping_sink_resumable_impl, traceroute_faulty_impl,
+    traceroute_faulty_reference_impl, traceroute_resumable_impl, CampaignConfig,
+    CampaignReport, PingTimeline, RetryPolicy,
 };
 use crate::faults::FaultProfile;
 use crate::records::TracerouteRecord;
+use crate::stream::{StreamSink, TimelineSink};
 use crate::tracer::TraceOptions;
 use s2s_netsim::Network;
 use s2s_types::{ClusterId, Protocol, SimTime};
@@ -87,8 +89,8 @@ impl Campaign {
     /// Checkpoints completed pairs to `path` and resumes from it on rerun.
     /// The finished file and the accumulators are bit-identical to an
     /// uninterrupted run (see the module docs on `campaign` for why).
-    /// Traceroute only: [`Campaign::run_ping`] with a checkpoint set
-    /// returns [`std::io::ErrorKind::Unsupported`].
+    /// Traceroute campaigns archive record blocks; ping campaigns
+    /// (including [`Campaign::sink`] runs) archive serialized sink state.
     pub fn checkpoint(mut self, path: impl AsRef<Path>) -> Self {
         self.checkpoint = Some(path.as_ref().to_path_buf());
         self
@@ -180,17 +182,24 @@ impl Campaign {
 
     /// Runs a ping campaign, returning a dense timeline per
     /// (pair, protocol): one slot per scheduled instant, `NaN` for lost
-    /// samples.
+    /// samples. With [`Campaign::checkpoint`] set, the run folds through
+    /// the [`TimelineSink`] resumable executor: completed pairs are
+    /// archived as serialized timeline state and replayed on rerun, with
+    /// the same bit-identical-resume guarantee as traceroute campaigns.
     pub fn run_ping(
         &self,
         net: &Network,
         pairs: &[(ClusterId, ClusterId)],
     ) -> std::io::Result<(Vec<PingTimeline>, CampaignReport)> {
-        if self.checkpoint.is_some() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::Unsupported,
-                "checkpoint/resume is traceroute-only; drop .checkpoint() for ping campaigns",
-            ));
+        if let Some(path) = &self.checkpoint {
+            let sink = TimelineSink::for_config(&self.cfg);
+            let result = ping_sink_resumable_impl(
+                net, pairs, &self.cfg, &self.profile, &self.retry, path, &sink,
+            );
+            if let Ok((_, report)) = &result {
+                self.publish(report);
+            }
+            return result;
         }
         let (timelines, report) = if self.reference {
             // The reference executor is single-threaded by definition.
@@ -202,6 +211,16 @@ impl Campaign {
         };
         self.publish(&report);
         Ok((timelines, report))
+    }
+
+    /// Attaches a streaming sink: the returned [`SinkCampaign`] folds every
+    /// sample into per-(pair, protocol) sink state as it is measured,
+    /// instead of materializing timelines — campaign memory proportional
+    /// to pairs, not samples (the §5 mesh at paper scale). All other
+    /// builder settings (faults, retry, threads, checkpoint, observability,
+    /// reference mode) carry over.
+    pub fn sink<K: StreamSink>(self, sink: K) -> SinkCampaign<K> {
+        SinkCampaign { campaign: self, sink }
     }
 
     /// The registry this run reports into: the explicit
@@ -260,5 +279,79 @@ impl Campaign {
                 ),
             );
         }
+    }
+}
+
+/// A [`Campaign`] with a [`StreamSink`] attached (built by
+/// [`Campaign::sink`]): its runs return folded sink states instead of
+/// materialized timelines.
+#[derive(Clone, Debug)]
+pub struct SinkCampaign<K: StreamSink> {
+    campaign: Campaign,
+    sink: K,
+}
+
+impl<K: StreamSink> SinkCampaign<K> {
+    /// The attached sink.
+    pub fn sink_ref(&self) -> &K {
+        &self.sink
+    }
+
+    /// Runs the ping campaign through the sink, returning one folded state
+    /// per (pair, protocol) — pair-major, protocol in `cfg.protocols`
+    /// order, exactly like [`Campaign::run_ping`]'s timelines. Schedule,
+    /// fault decisions, and report accounting are identical to the
+    /// materializing path; only the fold differs. With
+    /// [`Campaign::checkpoint`] set, completed pairs are archived as
+    /// serialized sink state and replayed on rerun (bit-identical resume).
+    pub fn run_ping(
+        &self,
+        net: &Network,
+        pairs: &[(ClusterId, ClusterId)],
+    ) -> std::io::Result<(Vec<K::State>, CampaignReport)> {
+        let result = if let Some(path) = &self.campaign.checkpoint {
+            ping_sink_resumable_impl(
+                net,
+                pairs,
+                &self.campaign.cfg,
+                &self.campaign.profile,
+                &self.campaign.retry,
+                path,
+                &self.sink,
+            )
+        } else if self.campaign.reference {
+            let mut cfg = self.campaign.cfg.clone();
+            cfg.threads = 1;
+            Ok(ping_sink_impl(
+                net, pairs, &cfg, &self.campaign.profile, &self.campaign.retry, &self.sink,
+            ))
+        } else {
+            Ok(ping_sink_impl(
+                net,
+                pairs,
+                &self.campaign.cfg,
+                &self.campaign.profile,
+                &self.campaign.retry,
+                &self.sink,
+            ))
+        };
+        if let Ok((states, report)) = &result {
+            self.campaign.publish(report);
+            self.publish_sink(states, report);
+        }
+        result
+    }
+
+    /// Folds the sink-specific series into the effective registry:
+    /// `sink.states` / `sink.samples` / `sink.lost` counters and the
+    /// `sink.sketch_bytes` gauge (total resident sink-state bytes — the
+    /// number that stays flat as sample counts grow).
+    fn publish_sink(&self, states: &[K::State], report: &CampaignReport) {
+        let Some(reg) = self.campaign.effective_registry() else { return };
+        reg.counter("sink.states").add(states.len() as u64);
+        reg.counter("sink.samples").add(report.offered as u64);
+        reg.counter("sink.lost").add(report.offered.saturating_sub(report.delivered) as u64);
+        let bytes: usize = states.iter().map(|s| self.sink.state_bytes(s)).sum();
+        reg.gauge("sink.sketch_bytes").set(bytes as u64);
     }
 }

@@ -20,10 +20,10 @@
 //! sequential reference runner regardless of thread count or batch size
 //! (`S2S_EPOCH_BATCH` caps samples per run; unset means unlimited).
 
-use crate::builder::Campaign;
 use crate::dataset::{traceroute_from_line, traceroute_to_line};
 use crate::faults::{FaultInjector, FaultProfile, ProbeFault};
 use crate::records::{PingRecord, TracerouteRecord};
+use crate::stream::StreamSink;
 use crate::tracer::{trace, TraceOptions};
 use s2s_netsim::Network;
 use s2s_types::time::sample_times;
@@ -154,93 +154,6 @@ pub fn colocated_pairs(topo: &s2s_topology::Topology) -> Vec<(ClusterId, Cluster
     v
 }
 
-/// Runs a traceroute campaign, folding each (pair, protocol) timeline into
-/// an accumulator.
-///
-/// * `init(src, dst, proto)` creates the accumulator for one timeline,
-/// * `step(acc, record)` folds one traceroute into it.
-///
-/// Returns one accumulator per (pair × protocol), ordered pair-major then
-/// protocol in `cfg.protocols` order.
-#[deprecated(
-    note = "use Campaign::new(cfg).run_traceroute(net, pairs, opts, init, step) — the one front door for campaigns"
-)]
-pub fn run_traceroute_campaign<A, I, S>(
-    net: &Network,
-    pairs: &[(ClusterId, ClusterId)],
-    cfg: &CampaignConfig,
-    opts: TraceOptions,
-    init: I,
-    step: S,
-) -> Vec<A>
-where
-    A: Send,
-    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
-    S: Fn(&mut A, TracerouteRecord) + Sync,
-{
-    let (accs, _report) = Campaign::new(cfg.clone())
-        .run_traceroute(net, pairs, opts, init, step)
-        .expect("in-memory campaign cannot fail");
-    accs
-}
-
-/// Like [`run_traceroute_campaign`], but with per-measurement tool options:
-/// `opts_of(t, proto)` picks the traceroute flavor for each run. This is how
-/// the paper's platform behaved — classic traceroute until November 2014,
-/// then Paris traceroute for IPv4 (§2.1).
-#[deprecated(
-    note = "use Campaign::new(cfg).run_traceroute_with(net, pairs, opts_of, init, step)"
-)]
-pub fn run_traceroute_campaign_with<A, O, I, S>(
-    net: &Network,
-    pairs: &[(ClusterId, ClusterId)],
-    cfg: &CampaignConfig,
-    opts_of: O,
-    init: I,
-    step: S,
-) -> Vec<A>
-where
-    A: Send,
-    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
-    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
-    S: Fn(&mut A, TracerouteRecord) + Sync,
-{
-    let (accs, _report) = Campaign::new(cfg.clone())
-        .run_traceroute_with(net, pairs, opts_of, init, step)
-        .expect("in-memory campaign cannot fail");
-    accs
-}
-
-/// The sequential reference runner: one thread, time-outer pair-inner loops
-/// with no epoch batching — the seed implementation's exact execution
-/// order. Kept as the validation baseline: the batched parallel runner's
-/// accumulators must match this one byte for byte (probes are content-
-/// keyed, so execution order cannot change any record). Also the "before"
-/// side of the longterm benchmark.
-#[deprecated(
-    note = "use Campaign::new(cfg).reference().run_traceroute_with(net, pairs, opts_of, init, step)"
-)]
-pub fn run_traceroute_campaign_reference<A, O, I, S>(
-    net: &Network,
-    pairs: &[(ClusterId, ClusterId)],
-    cfg: &CampaignConfig,
-    opts_of: O,
-    init: I,
-    step: S,
-) -> Vec<A>
-where
-    A: Send,
-    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
-    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
-    S: Fn(&mut A, TracerouteRecord) + Sync,
-{
-    let (accs, _report) = Campaign::new(cfg.clone())
-        .reference()
-        .run_traceroute_with(net, pairs, opts_of, init, step)
-        .expect("in-memory campaign cannot fail");
-    accs
-}
-
 /// The plain (fault-free) epoch-batched parallel runner. The builder
 /// always routes through the fault-aware cores (an all-zero profile is a
 /// no-op by construction); this one survives as the independent baseline
@@ -339,19 +252,6 @@ impl PingTimeline {
                 .collect(),
         )
     }
-}
-
-/// Runs a ping campaign, returning a dense timeline per (pair, protocol).
-#[deprecated(note = "use Campaign::new(cfg).run_ping(net, pairs)")]
-pub fn run_ping_campaign(
-    net: &Network,
-    pairs: &[(ClusterId, ClusterId)],
-    cfg: &CampaignConfig,
-) -> Vec<PingTimeline> {
-    let (timelines, _report) = Campaign::new(cfg.clone())
-        .run_ping(net, pairs)
-        .expect("in-memory campaign cannot fail");
-    timelines
 }
 
 /// The plain (fault-free) parallel ping runner — the independent baseline
@@ -576,50 +476,21 @@ fn traceroute_slot(
     SlotOutcome::Lost
 }
 
-/// The fault-aware, panic-isolated traceroute campaign.
+/// The fault-aware, panic-isolated epoch-batched parallel execution core
+/// (see [`Campaign::run_traceroute_with`] for the public front door).
 ///
-/// Semantics match [`run_traceroute_campaign_with`], with the measurement
-/// plane behind a [`FaultProfile`]: crashed agents skip their epochs,
-/// dropped and stuck probes retry under `retry`, truncated results are
-/// delivered as incomplete records, and slots that produce nothing fold a
-/// synthetic lost record so every timeline stays dense (one sample per
-/// scheduled instant). Workers are panic-isolated: a panicking worker
-/// poisons only its own pairs (reported, with empty accumulators) instead
-/// of taking the campaign down.
+/// The measurement plane sits behind a [`FaultProfile`]: crashed agents
+/// skip their epochs, dropped and stuck probes retry under `retry`,
+/// truncated results are delivered as incomplete records, and slots that
+/// produce nothing fold a synthetic lost record so every timeline stays
+/// dense (one sample per scheduled instant). Workers are panic-isolated: a
+/// panicking worker poisons only its own pairs (reported, with empty
+/// accumulators) instead of taking the campaign down.
 ///
 /// Every fault decision is content-keyed on the profile seed, so the
 /// outcome is independent of thread count and execution order — and under
 /// the all-zero default profile the accumulators are identical to the
 /// plain runner's.
-#[deprecated(
-    note = "use Campaign::new(cfg).faults(profile).retry(retry).run_traceroute_with(...)"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn run_traceroute_campaign_faulty<A, O, I, S>(
-    net: &Network,
-    pairs: &[(ClusterId, ClusterId)],
-    cfg: &CampaignConfig,
-    opts_of: O,
-    profile: &FaultProfile,
-    retry: &RetryPolicy,
-    init: I,
-    step: S,
-) -> (Vec<A>, CampaignReport)
-where
-    A: Send,
-    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
-    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
-    S: Fn(&mut A, TracerouteRecord) + Sync,
-{
-    Campaign::new(cfg.clone())
-        .faults(*profile)
-        .retry(*retry)
-        .run_traceroute_with(net, pairs, opts_of, init, step)
-        .expect("in-memory campaign cannot fail")
-}
-
-/// The fault-aware epoch-batched parallel execution core (see
-/// [`Campaign::run_traceroute_with`] for the public front door).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn traceroute_faulty_impl<A, O, I, S>(
     net: &Network,
@@ -700,39 +571,10 @@ where
     out
 }
 
-/// Sequential, unbatched reference for the fault-aware runner (see
-/// [`run_traceroute_campaign_reference`]): validates that batching changes
-/// neither the accumulators nor the [`CampaignReport`].
-#[deprecated(
-    note = "use Campaign::new(cfg).reference().faults(profile).retry(retry).run_traceroute_with(...)"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn run_traceroute_campaign_faulty_reference<A, O, I, S>(
-    net: &Network,
-    pairs: &[(ClusterId, ClusterId)],
-    cfg: &CampaignConfig,
-    opts_of: O,
-    profile: &FaultProfile,
-    retry: &RetryPolicy,
-    init: I,
-    step: S,
-) -> (Vec<A>, CampaignReport)
-where
-    A: Send,
-    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
-    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
-    S: Fn(&mut A, TracerouteRecord) + Sync,
-{
-    Campaign::new(cfg.clone())
-        .reference()
-        .faults(*profile)
-        .retry(*retry)
-        .run_traceroute_with(net, pairs, opts_of, init, step)
-        .expect("in-memory campaign cannot fail")
-}
-
 /// The sequential, unbatched fault-aware execution core — the reference
-/// side of the byte-identity suites and of [`Campaign::reference`].
+/// side of the byte-identity suites and of [`Campaign::reference`]:
+/// validates that batching changes neither the accumulators nor the
+/// [`CampaignReport`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn traceroute_faulty_reference_impl<A, O, I, S>(
     net: &Network,
@@ -783,25 +625,10 @@ where
     (accs, report)
 }
 
-/// The fault-aware ping campaign: like [`run_ping_campaign`], with lost
-/// slots (crashes, drops, stuck probes) recorded as `NaN` so the dense
-/// timeline shape — one slot per scheduled instant — is preserved.
-#[deprecated(note = "use Campaign::new(cfg).faults(profile).retry(retry).run_ping(net, pairs)")]
-pub fn run_ping_campaign_faulty(
-    net: &Network,
-    pairs: &[(ClusterId, ClusterId)],
-    cfg: &CampaignConfig,
-    profile: &FaultProfile,
-    retry: &RetryPolicy,
-) -> (Vec<PingTimeline>, CampaignReport) {
-    Campaign::new(cfg.clone())
-        .faults(*profile)
-        .retry(*retry)
-        .run_ping(net, pairs)
-        .expect("in-memory campaign cannot fail")
-}
-
-/// The fault-aware parallel ping execution core (see [`Campaign::run_ping`]).
+/// The fault-aware parallel ping execution core (see
+/// [`Campaign::run_ping`]): lost slots (crashes, drops, stuck probes) are
+/// recorded as `NaN` so the dense timeline shape — one slot per scheduled
+/// instant — is preserved.
 pub(crate) fn ping_faulty_impl(
     net: &Network,
     pairs: &[(ClusterId, ClusterId)],
@@ -950,13 +777,195 @@ where
 }
 
 // ---------------------------------------------------------------------------
+// Streaming sinks
+// ---------------------------------------------------------------------------
+
+/// The fault-aware parallel ping executor over a [`StreamSink`]: identical
+/// schedule, fault decisions, and report accounting to [`ping_faulty_impl`],
+/// but every slot is folded into per-(pair, protocol) sink state instead of
+/// a materialized timeline — memory stays proportional to pairs, not
+/// samples. States are ordered pair-major, then protocol in
+/// `cfg.protocols` order, like every other campaign accumulator.
+pub(crate) fn ping_sink_impl<K: StreamSink>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    profile: &FaultProfile,
+    retry: &RetryPolicy,
+    sink: &K,
+) -> (Vec<K::State>, CampaignReport) {
+    let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
+    let injector = FaultInjector::new(*profile);
+    let times = &times;
+    run_partitioned_isolated(
+        pairs,
+        cfg,
+        move |chunk| {
+            let mut report = CampaignReport::default();
+            let mut out: Vec<K::State> = empty_sink_states(chunk, cfg, sink);
+            for (ti, &t) in times.iter().enumerate() {
+                for (pi, &(src, dst)) in chunk.iter().enumerate() {
+                    for (qi, &proto) in cfg.protocols.iter().enumerate() {
+                        report.offered += 1;
+                        let rtt = if injector.agent_down(src, ti as u64) {
+                            report.agent_down_slots += 1;
+                            None
+                        } else {
+                            ping_slot(
+                                net, &injector, retry, src, dst, proto, t, ti, &mut report,
+                            )
+                        };
+                        // Round through f32 first: sink state must see the
+                        // exact values a materialized timeline stores.
+                        let rtt = rtt.map(|r| f64::from(r as f32));
+                        sink.fold(&mut out[pi * cfg.protocols.len() + qi], ti as u64, t, rtt);
+                    }
+                }
+            }
+            for st in &mut out {
+                sink.finish(st);
+            }
+            (out, report)
+        },
+        move |chunk| empty_sink_states(chunk, cfg, sink),
+    )
+}
+
+fn empty_sink_states<K: StreamSink>(
+    chunk: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    sink: &K,
+) -> Vec<K::State> {
+    chunk
+        .iter()
+        .flat_map(|&(s, d)| cfg.protocols.iter().map(move |&p| sink.init(s, d, p)))
+        .collect()
+}
+
+/// The checkpoint/resume ping executor over a [`StreamSink`] — the same
+/// framing and bit-identical-resume guarantee as
+/// [`traceroute_resumable_impl`], with serialized sink states as the block
+/// payload: per pair, `B|<pair_index>|<n_states>`, one
+/// [`StreamSink::save`] line per protocol, then `E|<pair_index>`. On
+/// resume, complete leading blocks are [`StreamSink::load`]ed instead of
+/// re-measured (the per-probe report counters of replayed pairs are not
+/// reconstructed, mirroring the traceroute path); a partial trailing block
+/// is discarded. Because fault decisions are content-keyed and
+/// `save`/`load` round-trip bit-exactly, the finished file and the
+/// returned states match an uninterrupted run's.
+pub(crate) fn ping_sink_resumable_impl<K: StreamSink>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    profile: &FaultProfile,
+    retry: &RetryPolicy,
+    checkpoint: &std::path::Path,
+    sink: &K,
+) -> std::io::Result<(Vec<K::State>, CampaignReport)> {
+    let times: Vec<SimTime> = sample_times(cfg.start, cfg.end, cfg.interval).collect();
+    let states_per_pair = cfg.protocols.len();
+    let injector = FaultInjector::new(*profile);
+    let mut report = CampaignReport::default();
+
+    let (replayable, keep_bytes) = load_checkpoint_prefix(checkpoint, states_per_pair)?;
+    let done_pairs = replayable.len().min(pairs.len());
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .read(true)
+        .truncate(false)
+        .open(checkpoint)?;
+    file.set_len(keep_bytes)?;
+    let mut out = std::io::BufWriter::new(file);
+    use std::io::{Seek, SeekFrom, Write};
+    out.seek(SeekFrom::End(0))?;
+
+    let mut accs: Vec<K::State> = Vec::with_capacity(pairs.len() * states_per_pair);
+    for (pi, lines) in replayable.iter().take(done_pairs).enumerate() {
+        for line in lines {
+            let st = sink.load(line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("checkpoint block {pi}: {e}"),
+                )
+            })?;
+            accs.push(st);
+        }
+        report.resumed_pairs += 1;
+    }
+
+    // Measure the rest in batches of `threads` pairs, blocks appended in
+    // pair order after each batch — a kill loses at most one batch.
+    let threads = cfg.threads.max(1);
+    let remaining = &pairs[done_pairs..];
+    let times_ref = &times;
+    for (bi, batch) in remaining.chunks(threads).enumerate() {
+        let batch_base = done_pairs + bi * threads;
+        let batch_results: Vec<(Vec<K::State>, CampaignReport)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|&(src, dst)| {
+                        let injector = &injector;
+                        scope.spawn(move || {
+                            let mut rep = CampaignReport::default();
+                            let mut pair_states: Vec<K::State> = cfg
+                                .protocols
+                                .iter()
+                                .map(|&p| sink.init(src, dst, p))
+                                .collect();
+                            for (ti, &t) in times_ref.iter().enumerate() {
+                                for (qi, &proto) in cfg.protocols.iter().enumerate() {
+                                    rep.offered += 1;
+                                    let rtt = if injector.agent_down(src, ti as u64) {
+                                        rep.agent_down_slots += 1;
+                                        None
+                                    } else {
+                                        ping_slot(
+                                            net, injector, retry, src, dst, proto, t, ti,
+                                            &mut rep,
+                                        )
+                                    };
+                                    let rtt = rtt.map(|r| f64::from(r as f32));
+                                    sink.fold(&mut pair_states[qi], ti as u64, t, rtt);
+                                }
+                            }
+                            for st in &mut pair_states {
+                                sink.finish(st);
+                            }
+                            (pair_states, rep)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("resumable ping worker panicked"))
+                    .collect()
+            });
+        for (off, (pair_states, rep)) in batch_results.into_iter().enumerate() {
+            let pair_index = batch_base + off;
+            report.merge(&rep);
+            writeln!(out, "B|{}|{}", pair_index, pair_states.len())?;
+            for st in &pair_states {
+                writeln!(out, "{}", sink.save(st))?;
+            }
+            writeln!(out, "E|{pair_index}")?;
+            accs.extend(pair_states);
+        }
+        out.flush()?;
+    }
+    Ok((accs, report))
+}
+
+// ---------------------------------------------------------------------------
 // Checkpoint / resume
 // ---------------------------------------------------------------------------
 
-/// The resumable traceroute campaign: measures pairs in index order,
-/// appending each completed pair's records to `checkpoint` as a framed
-/// block, and on start replays whatever complete blocks the file already
-/// holds instead of re-measuring those pairs.
+/// The checkpoint/resume execution core (see [`Campaign::checkpoint`] for
+/// the public front door): measures pairs in index order, appending each
+/// completed pair's records to `checkpoint` as a framed block, and on
+/// start replays whatever complete blocks the file already holds instead
+/// of re-measuring those pairs.
 ///
 /// **Bit-identical dataset guarantee.** Kill this process at any instant
 /// and rerun with the same arguments: the finished checkpoint file is
@@ -971,38 +980,6 @@ where
 /// The checkpoint format rides the dataset line format: per pair,
 /// `B|<pair_index>|<n_records>`, the records as `T|…` lines, then
 /// `E|<pair_index>`.
-#[deprecated(
-    note = "use Campaign::new(cfg).faults(profile).retry(retry).checkpoint(path).run_traceroute_with(...)"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn run_traceroute_campaign_resumable<A, O, I, S>(
-    net: &Network,
-    pairs: &[(ClusterId, ClusterId)],
-    cfg: &CampaignConfig,
-    opts_of: O,
-    profile: &FaultProfile,
-    retry: &RetryPolicy,
-    checkpoint: &std::path::Path,
-    init: I,
-    step: S,
-) -> std::io::Result<(Vec<A>, CampaignReport)>
-where
-    A: Send,
-    O: Fn(SimTime, Protocol) -> TraceOptions + Sync,
-    I: Fn(ClusterId, ClusterId, Protocol) -> A + Sync,
-    S: Fn(&mut A, TracerouteRecord) + Sync,
-{
-    Campaign::new(cfg.clone())
-        .faults(*profile)
-        .retry(*retry)
-        .checkpoint(checkpoint)
-        .run_traceroute_with(net, pairs, opts_of, init, step)
-}
-
-/// The checkpoint/resume execution core (see
-/// [`run_traceroute_campaign_resumable`] for the format and the
-/// bit-identical dataset guarantee, [`Campaign::checkpoint`] for the
-/// public front door).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn traceroute_resumable_impl<A, O, I, S>(
     net: &Network,
@@ -1229,6 +1206,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::Campaign;
     use s2s_netsim::{CongestionModel, NetworkParams};
     use s2s_routing::{Dynamics, DynamicsParams, RouteOracle};
     use s2s_topology::{build_topology, TopologyParams};
@@ -1751,68 +1729,141 @@ mod tests {
 
     // -- the builder front door --------------------------------------------
 
-    #[test]
-    fn ping_with_checkpoint_is_unsupported() {
-        let net = network(42);
-        let pairs = vec![(ClusterId::new(0), ClusterId::new(1))];
-        let err = Campaign::new(small_cfg(1))
-            .checkpoint(tmp_path("ping_ckpt_rejected.txt"))
-            .run_ping(&net, &pairs)
-            .unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+    fn timeline_bits(tls: &[PingTimeline]) -> Vec<Vec<u32>> {
+        tls.iter().map(|tl| tl.rtts.iter().map(|r| r.to_bits()).collect()).collect()
     }
 
-    /// The deprecated free functions must stay exact shims: same bytes,
-    /// same report as the builder they delegate to.
+    /// Ping campaigns checkpoint through serialized sink state: a
+    /// checkpointed run matches the in-memory one, and a run killed at any
+    /// byte resumes to a bit-identical file and bit-identical timelines.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_builder() {
+    fn ping_checkpoint_resumes_bit_identically() {
         let net = network(42);
         let pairs = full_mesh_pairs(4);
         let cfg = small_cfg(2);
         let profile = lossy_profile();
-        let retry = RetryPolicy::default();
+        let campaign =
+            |path: &std::path::Path| Campaign::new(cfg.clone()).faults(profile).checkpoint(path);
+
+        let (memory, memory_report) =
+            Campaign::new(cfg.clone()).faults(profile).run_ping(&net, &pairs).unwrap();
+
+        let full_path = tmp_path("ping_ckpt_full.txt");
+        let (full, full_report) = campaign(&full_path).run_ping(&net, &pairs).unwrap();
+        let full_bytes = std::fs::read(&full_path).unwrap();
+        assert_eq!(timeline_bits(&full), timeline_bits(&memory));
+        assert_eq!(full_report, memory_report);
+
+        for cut in [0usize, 1, full_bytes.len() / 3, full_bytes.len() - 5] {
+            let path = tmp_path(&format!("ping_ckpt_cut_{cut}.txt"));
+            std::fs::write(&path, &full_bytes[..cut]).unwrap();
+            let (resumed, report) = campaign(&path).run_ping(&net, &pairs).unwrap();
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                full_bytes,
+                "kill at byte {cut}: resumed checkpoint must be bit-identical"
+            );
+            assert_eq!(timeline_bits(&resumed), timeline_bits(&memory));
+            assert!(report.resumed_pairs <= pairs.len());
+            let _ = std::fs::remove_file(&path);
+        }
+
+        // Resuming a finished checkpoint re-measures nothing.
+        let (replayed, report) = campaign(&full_path).run_ping(&net, &pairs).unwrap();
+        assert_eq!(timeline_bits(&replayed), timeline_bits(&memory));
+        assert_eq!(report.resumed_pairs, pairs.len());
+        assert_eq!(report.offered, 0);
+        let _ = std::fs::remove_file(&full_path);
+    }
+
+    /// The sink path folds exactly what the materializing path stores:
+    /// a `PairProfileSink` run agrees with profiles rebuilt from the
+    /// in-memory timelines, and its states are identical across thread
+    /// counts.
+    #[test]
+    fn sink_campaign_matches_materialized_run() {
+        let net = network(42);
+        let pairs = full_mesh_pairs(4);
+        let profile = lossy_profile();
+        // A longer schedule so PSD ratios exist (≥ 2 days of slots).
+        let cfg = CampaignConfig {
+            start: SimTime::T0,
+            end: SimTime::from_days(3),
+            interval: SimDuration::from_hours(3),
+            protocols: vec![Protocol::V4, Protocol::V6],
+            threads: 2,
+        };
+        let sink = crate::stream::PairProfileSink::with_shape(&cfg, 64, 32);
+
+        let (timelines, tl_report) =
+            Campaign::new(cfg.clone()).faults(profile).run_ping(&net, &pairs).unwrap();
+        let (profiles, pf_report) = Campaign::new(cfg.clone())
+            .faults(profile)
+            .sink(sink.clone())
+            .run_ping(&net, &pairs)
+            .unwrap();
+        assert_eq!(tl_report, pf_report);
+        assert_eq!(profiles.len(), timelines.len());
+
+        for (tl, pf) in timelines.iter().zip(&profiles) {
+            assert_eq!((pf.src, pf.dst, pf.proto), (tl.src, tl.dst, tl.proto));
+            assert_eq!(pf.valid_samples(), tl.valid_samples());
+            assert_eq!(pf.offered() as usize, tl.rtts.len());
+            // Refold the materialized timeline through the sink: the state
+            // must come out identical — the executor fed the same values.
+            let mut refold = sink.init(tl.src, tl.dst, tl.proto);
+            let times: Vec<SimTime> =
+                sample_times(cfg.start, cfg.end, cfg.interval).collect();
+            for (ti, (&r, &t)) in tl.rtts.iter().zip(&times).enumerate() {
+                let rtt = (!r.is_nan()).then(|| f64::from(r));
+                sink.fold(&mut refold, ti as u64, t, rtt);
+            }
+            assert_eq!(*pf, refold);
+        }
+
+        // Thread-count determinism of sink states.
+        for threads in [1usize, 4] {
+            let mut cfg_t = cfg.clone();
+            cfg_t.threads = threads;
+            let (p2, _) = Campaign::new(cfg_t)
+                .faults(profile)
+                .sink(sink.clone())
+                .run_ping(&net, &pairs)
+                .unwrap();
+            assert_eq!(p2, profiles, "sink states must not depend on thread count");
+        }
+    }
+
+    /// Re-running the builder with identical arguments must reproduce the
+    /// dataset bit for bit — the determinism the checkpoint/resume and
+    /// sink-state guarantees are built on.
+    #[test]
+    fn repeated_builder_runs_are_bit_identical() {
+        let net = network(42);
+        let pairs = full_mesh_pairs(4);
+        let cfg = small_cfg(2);
+        let profile = lossy_profile();
         let init = |_, _, _| Vec::new();
         let step = |acc: &mut Vec<String>, rec: TracerouteRecord| {
             acc.push(traceroute_to_line(&rec))
         };
 
-        let legacy = run_traceroute_campaign(
-            &net,
-            &pairs,
-            &cfg,
-            TraceOptions::default(),
-            init,
-            step,
-        );
-        let (built, _) = Campaign::new(cfg.clone())
-            .run_traceroute(&net, &pairs, TraceOptions::default(), init, step)
-            .unwrap();
-        assert_eq!(legacy, built);
+        let collect = || {
+            Campaign::new(cfg.clone())
+                .faults(profile)
+                .run_traceroute_with(&net, &pairs, |_, _| TraceOptions::default(), init, step)
+                .unwrap()
+        };
+        let (a, report_a) = collect();
+        let (b, report_b) = collect();
+        assert_eq!(a, b);
+        assert_eq!(report_a, report_b);
 
-        let (legacy, legacy_report) = run_traceroute_campaign_faulty(
-            &net,
-            &pairs,
-            &cfg,
-            |_, _| TraceOptions::default(),
-            &profile,
-            &retry,
-            init,
-            step,
-        );
-        let (built, built_report) = Campaign::new(cfg.clone())
-            .faults(profile)
-            .retry(retry)
-            .run_traceroute_with(&net, &pairs, |_, _| TraceOptions::default(), init, step)
-            .unwrap();
-        assert_eq!(legacy, built);
-        assert_eq!(legacy_report, built_report);
-
-        let legacy = run_ping_campaign(&net, &pairs, &cfg);
-        let (built, _) = Campaign::new(cfg).run_ping(&net, &pairs).unwrap();
         let bits = |v: &[f32]| v.iter().map(|r| r.to_bits()).collect::<Vec<_>>();
-        for (a, b) in legacy.iter().zip(&built) {
-            assert_eq!(bits(&a.rtts), bits(&b.rtts));
+        let (p1, _) = Campaign::new(cfg.clone()).run_ping(&net, &pairs).unwrap();
+        let (p2, _) = Campaign::new(cfg).run_ping(&net, &pairs).unwrap();
+        for (x, y) in p1.iter().zip(&p2) {
+            assert_eq!(bits(&x.rtts), bits(&y.rtts));
         }
     }
 

@@ -19,6 +19,8 @@
 //! | `S2S_FAULT_STUCK` | `0` | Per-probe stuck-past-deadline probability |
 //! | `S2S_FAULT_TRUNC` | `0` | Per-traceroute truncation probability |
 //! | `S2S_FAULT_CORRUPT` | `0` | Per-archive-line corruption probability |
+//! | `S2S_SKETCH_CENTROIDS` | `256` | Quantile-sketch centroid capacity (≥ 8) |
+//! | `S2S_SKETCH_EXACT` | `128` | Samples a sketch keeps exact before compressing |
 //!
 //! The experiment-scale knobs (`S2S_SEED`, `S2S_CLUSTERS`, `S2S_DAYS`,
 //! `S2S_PAIRS`, `S2S_PING_PAIRS`, `S2S_CONG_PAIRS`) and the bench-only
@@ -63,6 +65,26 @@ pub fn epoch_batch_cap() -> usize {
 /// reachable from one module.
 pub fn fault_profile() -> FaultProfile {
     FaultProfile::from_env()
+}
+
+/// Quantile-sketch centroid capacity: the `S2S_SKETCH_CENTROIDS` knob when
+/// set to a valid integer ≥ 8, default
+/// [`s2s_stats::sketch::DEFAULT_SKETCH_CAPACITY`]. Larger means tighter
+/// quantile rank-error (≤ `2·ceil(n/capacity) + 1` ranks) and more memory
+/// per (pair, protocol) profile.
+pub fn sketch_centroids() -> usize {
+    tenv::var_usize_at_least(
+        "S2S_SKETCH_CENTROIDS",
+        s2s_stats::sketch::DEFAULT_SKETCH_CAPACITY,
+        8,
+    )
+}
+
+/// Samples a quantile sketch keeps verbatim (exact quantiles) before
+/// compressing into centroids: the `S2S_SKETCH_EXACT` knob, default
+/// [`s2s_stats::sketch::DEFAULT_SKETCH_EXACT`].
+pub fn sketch_exact() -> usize {
+    tenv::var_usize_at_least("S2S_SKETCH_EXACT", s2s_stats::sketch::DEFAULT_SKETCH_EXACT, 0)
 }
 
 /// One knob's resolved state, for `--print-config` style dumps.
@@ -149,6 +171,18 @@ pub fn resolved_knobs() -> Vec<ResolvedKnob> {
             d.corrupt_rate.to_string(),
             "per-archive-line corruption probability",
         ),
+        ResolvedKnob::new(
+            "S2S_SKETCH_CENTROIDS",
+            sketch_centroids().to_string(),
+            s2s_stats::sketch::DEFAULT_SKETCH_CAPACITY.to_string(),
+            "quantile-sketch centroid capacity",
+        ),
+        ResolvedKnob::new(
+            "S2S_SKETCH_EXACT",
+            sketch_exact().to_string(),
+            s2s_stats::sketch::DEFAULT_SKETCH_EXACT.to_string(),
+            "samples kept exact before sketch compression",
+        ),
     ]
 }
 
@@ -226,6 +260,8 @@ mod tests {
             "S2S_FAULT_STUCK",
             "S2S_FAULT_TRUNC",
             "S2S_FAULT_CORRUPT",
+            "S2S_SKETCH_CENTROIDS",
+            "S2S_SKETCH_EXACT",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }

@@ -20,8 +20,8 @@
 //!   caller-supplied fold so multi-month campaigns stream instead of
 //!   materializing billions of records, plus per-probe timeouts, bounded
 //!   retry, failure accounting ([`CampaignReport`]), and checkpoint/resume
-//!   (the free `run_*_campaign*` functions there are deprecated shims over
-//!   [`Campaign`]),
+//!   — every campaign enters through [`Campaign`]; the old free
+//!   `run_*_campaign*` shims are gone,
 //! * [`mod@env`] — the consolidated `S2S_*` knob table (threads, epoch
 //!   batching, fault profile) with warn-and-default parsing,
 //! * [`faults`] — seeded, content-keyed fault injection (agent crashes,
@@ -32,7 +32,11 @@
 //! * [`store`] — the columnar trace arena ([`TraceStore`]): interned
 //!   addresses, hash-consed hop sequences, flat RTT columns, and zero-copy
 //!   [`TraceView`] accessors — what the `s2s-core` columnar analysis driver
-//!   consumes.
+//!   consumes,
+//! * [`stream`] — streaming campaign sinks ([`StreamSink`],
+//!   [`PairProfileSink`]): fold samples into constant-size per-pair state
+//!   as they are measured, attached via [`Campaign::sink`] — the §5
+//!   short-term mesh as a bounded-memory workload.
 
 pub mod builder;
 pub mod campaign;
@@ -41,18 +45,16 @@ pub mod env;
 pub mod faults;
 pub mod records;
 pub mod store;
+pub mod stream;
 pub mod tracer;
 
-pub use builder::Campaign;
-#[allow(deprecated)]
+pub use builder::{Campaign, SinkCampaign};
 pub use campaign::{
-    colocated_pairs, full_mesh_pairs, ping_once, run_ping_campaign,
-    run_ping_campaign_faulty, run_traceroute_campaign, run_traceroute_campaign_faulty,
-    run_traceroute_campaign_faulty_reference, run_traceroute_campaign_reference,
-    run_traceroute_campaign_resumable, run_traceroute_campaign_with, CampaignConfig,
-    CampaignReport, PingTimeline, RetryPolicy,
+    colocated_pairs, full_mesh_pairs, ping_once, CampaignConfig, CampaignReport,
+    PingTimeline, RetryPolicy,
 };
 pub use faults::{FaultInjector, FaultProfile, ProbeFault};
 pub use records::{HopObs, PingRecord, TracerouteRecord};
 pub use store::{StoreStats, TraceStore, TraceView};
+pub use stream::{PairProfile, PairProfileSink, StreamSink, TimelineSink};
 pub use tracer::{trace, TraceOptions, TracerouteMode};

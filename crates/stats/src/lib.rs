@@ -11,7 +11,10 @@
 //! * [`kde`] — Gaussian kernel density estimation (Fig. 9),
 //! * [`editdist`] — Levenshtein distance over AS-path symbols (§4.1),
 //! * [`heatmap`] — decile-edge 2-D binning (Figs. 4 and 5),
-//! * [`histogram`] — simple fixed-width histograms.
+//! * [`histogram`] — simple fixed-width histograms,
+//! * [`sketch`] — constant-memory streaming aggregation (mergeable quantile
+//!   sketches, Welford moments, diurnal ring bins, streamed filled-series
+//!   PSD) for the §5 short-term plane.
 
 pub mod ecdf;
 pub mod editdist;
@@ -21,6 +24,7 @@ pub mod histogram;
 pub mod kde;
 pub mod pearson;
 pub mod percentile;
+pub mod sketch;
 
 pub use ecdf::Ecdf;
 pub use editdist::edit_distance;
@@ -30,3 +34,4 @@ pub use histogram::Histogram;
 pub use kde::GaussianKde;
 pub use pearson::pearson;
 pub use percentile::{mean, percentile_sorted, quantiles, stddev, Summary};
+pub use sketch::{DiurnalProfile, FilledSpectrum, QuantileSketch, StreamingMoments};

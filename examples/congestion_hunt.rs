@@ -8,9 +8,10 @@
 //! ```
 
 use s2s_core::congestion::{
-    detect, DetectParams, LocateOutcome, LocateParams, SegmentAccumulator,
+    DetectParams, LocateOutcome, LocateParams, SegmentAccumulator,
 };
 use s2s_core::ownership::{classify_link, infer_ownership};
+use s2s_core::Analysis;
 use s2s_netsim::{CongestionModel, LinkProfile, Network, NetworkParams};
 use s2s_probe::{trace, Campaign, CampaignConfig, TraceOptions};
 use s2s_routing::{Dynamics, RouteOracle};
@@ -58,8 +59,9 @@ fn main() {
     let (tls, _) = Campaign::new(cfg)
         .run_ping(&net, &[(src, dst)])
         .expect("in-memory campaign cannot fail");
-    for tl in &tls {
-        if let Some(r) = detect(tl, &DetectParams::default()) {
+    let verdicts = Analysis::new(tls.as_slice()).congestion(&DetectParams::default());
+    for (tl, verdict) in tls.iter().zip(&verdicts) {
+        if let Some(r) = verdict {
             println!(
                 "{}: spread {:.1} ms, diurnal PSD ratio {:.2} -> consistent = {}",
                 tl.proto,

@@ -1,16 +1,12 @@
 //! The one-front-door guarantee: `Campaign` (the builder) produces
-//! byte-for-byte the same datasets as the deprecated free functions and as
-//! the sequential reference runner — across seeds, thread counts, and
-//! fault profiles — and installing a metrics registry changes nothing.
-
-#![allow(deprecated)] // the point of this suite is to pin the legacy wrappers
+//! byte-for-byte the same datasets as the sequential reference runner —
+//! across seeds, thread counts, and fault profiles — and installing a
+//! metrics registry changes nothing.
 
 use s2s_integration::World;
 use s2s_probe::dataset::traceroute_to_line;
 use s2s_probe::{
-    run_ping_campaign, run_ping_campaign_faulty, run_traceroute_campaign,
-    run_traceroute_campaign_faulty, Campaign, CampaignConfig, FaultProfile, RetryPolicy,
-    TraceOptions, TracerouteRecord,
+    Campaign, CampaignConfig, FaultProfile, RetryPolicy, TraceOptions, TracerouteRecord,
 };
 use s2s_types::{ClusterId, Protocol, SimDuration, SimTime};
 use std::sync::Arc;
@@ -47,7 +43,7 @@ fn builder_lines(
 }
 
 #[test]
-fn builder_matches_legacy_and_reference_across_seeds_and_threads() {
+fn builder_matches_reference_across_seeds_and_threads() {
     for seed in [3u64, 41] {
         let w = World::full(seed, 5);
         let ps = pairs(&w);
@@ -55,21 +51,12 @@ fn builder_matches_legacy_and_reference_across_seeds_and_threads() {
         for threads in [1usize, 4] {
             let built = builder_lines(&w, Campaign::new(cfg(threads)), &ps);
             assert_eq!(baseline, built, "seed {seed}, {threads} threads");
-            let legacy = run_traceroute_campaign(
-                &w.net,
-                &ps,
-                &cfg(threads),
-                TraceOptions::default(),
-                |_, _, _| Vec::new(),
-                |acc: &mut Vec<String>, rec| acc.push(traceroute_to_line(&rec)),
-            );
-            assert_eq!(baseline, legacy, "seed {seed}, {threads} threads (legacy)");
         }
     }
 }
 
 #[test]
-fn faulty_builder_matches_legacy_across_profiles() {
+fn faulty_builder_matches_reference_across_profiles() {
     let w = World::full(7, 5);
     let ps = pairs(&w);
     let retry = RetryPolicy::default();
@@ -78,75 +65,59 @@ fn faulty_builder_matches_legacy_across_profiles() {
         FaultProfile { drop_rate: 0.1, ..FaultProfile::default() },
         FaultProfile { crash_rate: 0.05, drop_rate: 0.05, ..FaultProfile::default() },
     ] {
-        let (built, report) = Campaign::new(cfg(4))
-            .faults(profile)
-            .retry(retry)
-            .run_traceroute(
-                &w.net,
-                &ps,
-                TraceOptions::default(),
-                |_, _, _| Vec::new(),
-                |acc: &mut Vec<String>, rec| acc.push(traceroute_to_line(&rec)),
-            )
-            .expect("in-memory campaign cannot fail");
-        let (legacy, legacy_report) = run_traceroute_campaign_faulty(
-            &w.net,
-            &ps,
-            &cfg(4),
-            |_, _| TraceOptions::default(),
-            &profile,
-            &retry,
-            |_, _, _| Vec::new(),
-            |acc: &mut Vec<String>, rec| acc.push(traceroute_to_line(&rec)),
-        );
-        assert_eq!(built, legacy, "drop {}", profile.drop_rate);
-        assert_eq!(report, legacy_report, "drop {}", profile.drop_rate);
-        // The reference runner agrees too, so all three execution paths
-        // converge on the same bytes.
-        let (reference, ref_report) = Campaign::new(cfg(1))
-            .reference()
-            .faults(profile)
-            .retry(retry)
-            .run_traceroute(
-                &w.net,
-                &ps,
-                TraceOptions::default(),
-                |_, _, _| Vec::new(),
-                |acc: &mut Vec<String>, rec| acc.push(traceroute_to_line(&rec)),
-            )
-            .expect("in-memory campaign cannot fail");
+        let collect = |c: Campaign| {
+            c.faults(profile)
+                .retry(retry)
+                .run_traceroute(
+                    &w.net,
+                    &ps,
+                    TraceOptions::default(),
+                    |_, _, _| Vec::new(),
+                    |acc: &mut Vec<String>, rec| acc.push(traceroute_to_line(&rec)),
+                )
+                .expect("in-memory campaign cannot fail")
+        };
+        let (built, report) = collect(Campaign::new(cfg(4)));
+        // The batched parallel path and the sequential reference runner
+        // converge on the same bytes and the same failure accounting.
+        let (reference, ref_report) = collect(Campaign::new(cfg(1)).reference());
         assert_eq!(built, reference, "drop {}", profile.drop_rate);
         assert_eq!(report, ref_report, "drop {}", profile.drop_rate);
     }
 }
 
 #[test]
-fn ping_builder_matches_legacy_with_and_without_faults() {
+fn ping_builder_is_thread_deterministic_with_and_without_faults() {
     let w = World::full(13, 5);
     let ps = pairs(&w);
     let c = CampaignConfig { protocols: vec![Protocol::V4], ..cfg(4) };
-    let (built, _) = Campaign::new(c.clone())
-        .run_ping(&w.net, &ps)
-        .expect("in-memory campaign cannot fail");
-    let legacy = run_ping_campaign(&w.net, &ps, &c);
     let bits = |tls: &[s2s_probe::PingTimeline]| {
         tls.iter()
             .map(|t| t.rtts.iter().map(|r| r.to_bits()).collect::<Vec<_>>())
             .collect::<Vec<_>>()
     };
-    assert_eq!(bits(&built), bits(&legacy));
+    let single = CampaignConfig { threads: 1, ..c.clone() };
+    let (built, _) = Campaign::new(c.clone())
+        .run_ping(&w.net, &ps)
+        .expect("in-memory campaign cannot fail");
+    let (baseline, _) = Campaign::new(single.clone())
+        .run_ping(&w.net, &ps)
+        .expect("in-memory campaign cannot fail");
+    assert_eq!(bits(&built), bits(&baseline));
 
     let profile = FaultProfile { drop_rate: 0.2, ..FaultProfile::default() };
     let retry = RetryPolicy { max_attempts: 1, ..RetryPolicy::default() };
-    let (built_f, report) = Campaign::new(c.clone())
-        .faults(profile)
-        .retry(retry)
-        .run_ping(&w.net, &ps)
-        .expect("in-memory campaign cannot fail");
-    let (legacy_f, legacy_report) =
-        run_ping_campaign_faulty(&w.net, &ps, &c, &profile, &retry);
-    assert_eq!(bits(&built_f), bits(&legacy_f));
-    assert_eq!(report, legacy_report);
+    let faulty = |c: CampaignConfig| {
+        Campaign::new(c)
+            .faults(profile)
+            .retry(retry)
+            .run_ping(&w.net, &ps)
+            .expect("in-memory campaign cannot fail")
+    };
+    let (built_f, report) = faulty(c);
+    let (baseline_f, baseline_report) = faulty(single);
+    assert_eq!(bits(&built_f), bits(&baseline_f));
+    assert_eq!(report, baseline_report);
     assert!(report.dropped_probes > 0, "a 20% drop rate must lose something");
 }
 

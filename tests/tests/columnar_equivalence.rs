@@ -6,7 +6,7 @@
 
 use s2s_bench::experiments::LongTermData;
 use s2s_bench::{Scale, Scenario};
-use s2s_core::columnar::timelines_from_store_threads;
+use s2s_core::Analysis;
 use s2s_probe::{FaultProfile, RetryPolicy, TraceStore};
 
 fn micro(seed: u64) -> Scenario {
@@ -43,26 +43,31 @@ fn columnar_equals_legacy_across_seeds_profiles_and_threads() {
     for seed in [3u64, 11, 29] {
         let scenario = micro(seed);
         for (name, profile) in profiles() {
-            let legacy = LongTermData::collect_legacy_with(&scenario, &profile);
             let pairs = scenario.sample_pair_list(scenario.scale.pairs / 2, 0x10e6);
-            assert_eq!(pairs, legacy.pairs, "pair sampling must be deterministic");
+            assert_eq!(
+                pairs,
+                scenario.sample_pair_list(scenario.scale.pairs / 2, 0x10e6),
+                "pair sampling must be deterministic"
+            );
+            let (legacy, legacy_report) =
+                scenario.long_term_timelines_faulty(&pairs, &profile, &RetryPolicy::default());
             let (store, report) =
                 scenario.long_term_store_faulty(&pairs, &profile, &RetryPolicy::default());
             assert_eq!(
                 format!("{:?}", report),
-                format!("{:?}", legacy.report),
+                format!("{:?}", legacy_report),
                 "seed {seed} {name}: campaign reports diverged"
             );
             for threads in [1usize, 2, 4] {
                 let columnar =
-                    timelines_from_store_threads(&store, &scenario.ip2asn, threads);
+                    Analysis::new(&store).threads(threads).timelines(&scenario.ip2asn);
                 assert_eq!(
-                    columnar, legacy.timelines,
+                    columnar, legacy,
                     "seed {seed} {name} threads={threads}: timelines diverged"
                 );
                 assert_eq!(
                     format!("{columnar:?}"),
-                    format!("{:?}", legacy.timelines),
+                    format!("{legacy:?}"),
                     "seed {seed} {name} threads={threads}: byte divergence"
                 );
             }
@@ -71,16 +76,19 @@ fn columnar_equals_legacy_across_seeds_profiles_and_threads() {
 }
 
 /// `LongTermData::collect_with` (the production path every figure runs on)
-/// must agree with its legacy twin and report arena statistics that add up.
+/// must agree with the legacy record-at-a-time path and report arena
+/// statistics that add up.
 #[test]
 fn collect_with_matches_legacy_and_reports_arena_stats() {
     let scenario = micro(7);
     let profile = FaultProfile { drop_rate: 0.1, ..FaultProfile::default() };
     let columnar = LongTermData::collect_with(&scenario, &profile);
-    let legacy = LongTermData::collect_legacy_with(&scenario, &profile);
-    assert_eq!(columnar.timelines, legacy.timelines);
-    assert_eq!(columnar.pairs, legacy.pairs);
-    assert!(legacy.arena.is_none());
+    let (legacy, _) = scenario.long_term_timelines_faulty(
+        &columnar.pairs,
+        &profile,
+        &RetryPolicy::default(),
+    );
+    assert_eq!(columnar.timelines, legacy);
     let arena = columnar.arena.expect("columnar collection records arena stats");
     assert_eq!(arena.traces, columnar.timelines.iter().map(|t| t.samples.len()).sum());
     assert!(arena.distinct_seqs <= arena.traces);
