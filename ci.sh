@@ -28,7 +28,27 @@ cargo clippy -p s2s-probe -p s2s-core -- -W clippy::unwrap_used 2>&1 |
 
 echo "==> small-scale reproduce smoke run (writes metrics.json)"
 S2S_CLUSTERS=16 S2S_DAYS=20 S2S_PAIRS=24 S2S_PING_PAIRS=20 S2S_CONG_PAIRS=8 \
-    cargo run -q --release -p s2s-bench --bin reproduce -- table1 --metrics-json metrics.json
+    cargo run -q --release -p s2s-bench --bin reproduce -- table1 --metrics-json metrics.json |
+    tee reproduce_smoke.txt
+
+echo "==> fabric crash-matrix smoke: 4 workers, kill+crash schedule, byte-identity"
+# The same experiment sharded over 4 worker subprocesses, with a seeded
+# fault plan that SIGKILLs shard 1 mid-campaign and crashes shard 3 on its
+# first attempt. The coordinator must retry/resume both, and the merged
+# dataset digest must match the 1-process smoke run's byte-for-byte.
+S2S_CLUSTERS=16 S2S_DAYS=20 S2S_PAIRS=24 S2S_PING_PAIRS=20 S2S_CONG_PAIRS=8 \
+    S2S_FABRIC_FAULT_PLAN='kill@1.1=1;exit@3.1' \
+    cargo run -q --release -p s2s-bench --bin reproduce -- table1 --workers 4 \
+    --metrics-json metrics_fabric.json |
+    tee reproduce_fabric.txt
+one_digest=$(grep 'long-term dataset digest:' reproduce_smoke.txt)
+fabric_digest=$(grep 'long-term dataset digest:' reproduce_fabric.txt)
+test -n "$one_digest" && test "$one_digest" = "$fabric_digest"
+grep -q 'recoveries' reproduce_fabric.txt
+grep -q '"fabric.shards"' metrics_fabric.json
+grep -q '"fabric.retries"' metrics_fabric.json
+grep -q '"fabric.recoveries"' metrics_fabric.json
+grep -q '"fabric.lost"' metrics_fabric.json
 
 echo "==> long-term campaign + columnar analysis bench (quick mode; writes BENCH_longterm.json)"
 S2S_BENCH_QUICK=1 cargo bench -q -p s2s-bench --bench longterm
@@ -38,5 +58,12 @@ echo "==> streaming short-term gate: agreement recorded in BENCH_longterm.json"
 # below 99%; this guards against the section silently disappearing.
 grep -q '"streamed_exact_agreement"' BENCH_longterm.json
 grep -q '"memory_independent_of_samples": true' BENCH_longterm.json
+
+echo "==> fabric gate: scale-out section recorded in BENCH_longterm.json"
+# The bench aborts unless the fabric and crash-recovered datasets are
+# byte-identical to the 1-process run; these guard the section itself.
+grep -q '"fabric": {' BENCH_longterm.json
+grep -q '"merge_overhead"' BENCH_longterm.json
+grep -q '"recovery_ms"' BENCH_longterm.json
 
 echo "CI OK"

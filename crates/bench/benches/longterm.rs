@@ -355,6 +355,82 @@ fn bench_longterm(c: &mut Criterion) {
         100.0 * streamed_exact_agreement
     );
 
+    // ---- Scale-out fabric: subprocess sharding vs one process ----
+    //
+    // The same long-term collection through the crash-tolerant fabric
+    // (2 worker subprocesses of the `reproduce` binary) against the
+    // in-process path: asserts byte-identity of the merged dataset,
+    // records the merge/coordination overhead, then reruns under a
+    // seeded kill+crash schedule and records the recovery latency.
+    let fabric_workers = 2usize;
+    let worker_envs: Vec<(String, String)> = vec![
+        ("S2S_SEED".into(), w.scenario.scale.seed.to_string()),
+        ("S2S_CLUSTERS".into(), w.scenario.scale.clusters.to_string()),
+        ("S2S_DAYS".into(), w.scenario.scale.days.to_string()),
+        ("S2S_PAIRS".into(), w.scenario.scale.pairs.to_string()),
+        ("S2S_PING_PAIRS".into(), w.scenario.scale.ping_pairs.to_string()),
+        ("S2S_CONG_PAIRS".into(), w.scenario.scale.cong_pairs.to_string()),
+        ("S2S_THREADS".into(), threads.to_string()),
+    ];
+    let run_fabric = |plan: &str| {
+        let ckpt = std::env::temp_dir()
+            .join(format!("s2s-bench-fabric-{}", std::process::id()));
+        std::fs::create_dir_all(&ckpt).expect("fabric checkpoint dir");
+        let mut envs = worker_envs.clone();
+        if !plan.is_empty() {
+            envs.push(("S2S_FABRIC_FAULT_PLAN".into(), plan.to_string()));
+        }
+        let launcher = s2s_bench::fabric::worker_launcher(
+            std::path::PathBuf::from(env!("CARGO_BIN_EXE_reproduce")),
+            vec!["worker".to_string()],
+            "longterm",
+            fabric_workers,
+            &ckpt,
+            envs,
+        );
+        let cfg = s2s_probe::FabricConfig {
+            workers: fabric_workers,
+            ..s2s_probe::FabricConfig::default()
+        };
+        let out = s2s_bench::fabric::collect_longterm_fabric(&w.scenario, cfg, launcher)
+            .expect("fabric collection");
+        let _ = std::fs::remove_dir_all(&ckpt);
+        out
+    };
+    let t = Instant::now();
+    let (_, base_digest) = s2s_bench::fabric::collect_longterm_digest(
+        &w.scenario,
+        &s2s_probe::FaultProfile::default(),
+    );
+    let t_one_process = t.elapsed();
+    let t = Instant::now();
+    let fabric_clean = run_fabric("");
+    let t_fabric = t.elapsed();
+    assert_eq!(
+        fabric_clean.digest, base_digest,
+        "fabric dataset must be byte-identical to one process"
+    );
+    assert_eq!(fabric_clean.outcome.stats.lost, 0);
+    let fabric_recovered = run_fabric("kill@0.1=1;exit@1.1");
+    assert_eq!(
+        fabric_recovered.digest, base_digest,
+        "crash-recovered fabric dataset must be byte-identical to one process"
+    );
+    assert!(fabric_recovered.outcome.stats.recoveries >= 2);
+    let fabric_overhead =
+        t_fabric.as_secs_f64() / t_one_process.as_secs_f64().max(1e-9) - 1.0;
+    let rec_stats = &fabric_recovered.outcome.stats;
+    println!(
+        "fabric: one process {t_one_process:?}, {fabric_workers} workers {t_fabric:?} \
+         ({:+.1}% overhead, merge {:.1} ms); kill+crash schedule: {} retries, \
+         {} recoveries, recovery latency {:.1} ms, dataset identical",
+        100.0 * fabric_overhead,
+        fabric_clean.outcome.stats.merge_ms,
+        rec_stats.retries,
+        rec_stats.recoveries,
+        rec_stats.recovery_ms
+    );
+
     // Hand-rolled JSON: the offline criterion shim has no machine-readable
     // output, and this file is the artifact CI uploads. The `fullscale`
     // block is the recorded single-core 120-cluster/485-day run — the
@@ -404,6 +480,15 @@ fn bench_longterm(c: &mut Criterion) {
          \"sink_growth\": {:.3},\n    \
          \"memory_independent_of_samples\": true,\n    \
          \"streamed_exact_agreement\": {:.4}\n  }},\n  \
+         \"fabric\": {{\n    \"workers\": {},\n    \"shards\": {},\n    \
+         \"one_process_seconds\": {:.6},\n    \
+         \"fabric_seconds\": {:.6},\n    \
+         \"merge_overhead\": {:.4},\n    \"merge_ms\": {:.3},\n    \
+         \"dataset_identical\": true,\n    \
+         \"recovery\": {{\n      \"plan\": \"kill@0.1=1;exit@1.1\",\n      \
+         \"retries\": {},\n      \"recoveries\": {},\n      \
+         \"recovery_ms\": {:.3},\n      \
+         \"dataset_identical\": true\n    }}\n  }},\n  \
          \"fullscale\": {{\n    \"clusters\": 120,\n    \"days\": 485,\n    \
          \"directed_pairs\": 1200,\n    \"cores\": 1,\n    \
          \"before_seconds\": 736.527,\n    \"after_seconds\": 104.206,\n    \
@@ -459,7 +544,16 @@ fn bench_longterm(c: &mut Criterion) {
         sink_short,
         sink_long,
         sink_growth,
-        streamed_exact_agreement
+        streamed_exact_agreement,
+        fabric_workers,
+        fabric_clean.outcome.stats.shards,
+        t_one_process.as_secs_f64(),
+        t_fabric.as_secs_f64(),
+        fabric_overhead,
+        fabric_clean.outcome.stats.merge_ms,
+        rec_stats.retries,
+        rec_stats.recoveries,
+        rec_stats.recovery_ms
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_longterm.json");
     std::fs::write(path, json).expect("write BENCH_longterm.json");

@@ -22,13 +22,34 @@
 //!   analysis shards; overrides `S2S_THREADS` (and is what
 //!   `--print-config` then reports). Results are byte-identical across
 //!   thread counts.
+//! * `--workers <n>` — collect the long-term campaign through the
+//!   crash-tolerant scale-out fabric with `n` worker subprocesses
+//!   (default `S2S_FABRIC_WORKERS`, 1 = in-process, no fabric). The
+//!   merged dataset is byte-identical to the in-process run — both paths
+//!   print a `dataset digest` line to prove it — even under the seeded
+//!   `S2S_FABRIC_FAULT_*` crash schedules.
+//!
+//! The hidden `worker` subcommand (`reproduce worker`) is the fabric's
+//! worker entry point; the coordinator spawns it, operators never do.
+//!
+//! Exit codes:
+//! * `0` — clean run.
+//! * `2` — configuration error (bad flag, unknown experiment id).
+//! * `3` — campaign or worker failure (fabric I/O error, metrics write
+//!   failure).
+//! * `4` — degraded result: the run completed but at least one fabric
+//!   shard was lost after the retry budget, so coverage is below the
+//!   offered schedule (`fabric.lost` / `campaign.lost_slots` say how
+//!   much).
 
 use s2s_bench::experiments::{
     congestion, dualstack, example, extensions, faultsweep, longterm, ownercheck,
-    shortterm, LongTermData,
+    shortterm,
 };
+use s2s_bench::fabric;
 use s2s_bench::{Scale, Scenario};
 use s2s_probe::env::ResolvedKnob;
+use s2s_probe::FaultProfile;
 use s2s_types::{Protocol, SimTime};
 use std::sync::Arc;
 use std::time::Instant;
@@ -87,8 +108,17 @@ fn print_config() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Fabric worker mode: measure the assigned shard, speak the framed
+    // protocol on stdout, exit. Dispatched before anything can print.
+    if args.first().map(String::as_str) == Some("worker") {
+        std::process::exit(fabric::worker_main());
+    }
+    // Typo guard: one stderr line for any S2S_* variable no layer
+    // recognizes, before it can silently configure nothing.
+    s2s_probe::env::warn_unknown_knobs();
     let mut metrics_json: Option<String> = None;
     let mut print_cfg = false;
+    let mut workers = s2s_probe::env::fabric_workers();
     let mut ids: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -98,14 +128,21 @@ fn main() {
                 Some(p) => metrics_json = Some(p.clone()),
                 None => {
                     eprintln!("--metrics-json needs a path argument");
-                    std::process::exit(2);
+                    std::process::exit(fabric::EXIT_CONFIG);
                 }
             },
             "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => std::env::set_var("S2S_THREADS", n.to_string()),
                 _ => {
                     eprintln!("--threads needs a positive integer argument");
-                    std::process::exit(2);
+                    std::process::exit(fabric::EXIT_CONFIG);
+                }
+            },
+            "--workers" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => {
+                    eprintln!("--workers needs a positive integer argument");
+                    std::process::exit(fabric::EXIT_CONFIG);
                 }
             },
             other => ids.push(other),
@@ -119,7 +156,10 @@ fn main() {
     }
     let wanted: Vec<&str> = if ids.is_empty() { ALL.to_vec() } else { ids };
     for w in &wanted {
-        assert!(ALL.contains(w), "unknown experiment id '{w}' (known: {ALL:?})");
+        if !ALL.contains(w) {
+            eprintln!("unknown experiment id '{w}' (known: {ALL:?})");
+            std::process::exit(fabric::EXIT_CONFIG);
+        }
     }
     let scale = Scale::from_env();
     println!(
@@ -147,9 +187,57 @@ fn main() {
                 | "fig6" | "fig10a" | "fig10b"
         )
     });
+    let mut degraded = false;
     let long = if needs_long {
         let t = Instant::now();
-        let data = LongTermData::collect(&scenario);
+        let (data, digest) = if workers > 1 {
+            // Scale-out fabric: shard the pair space across worker
+            // subprocesses of this same binary (`reproduce worker`),
+            // merge byte-identically, survive seeded crash schedules.
+            let ckpt_dir = std::env::temp_dir()
+                .join(format!("s2s-fabric-{}", std::process::id()));
+            if let Err(e) = std::fs::create_dir_all(&ckpt_dir) {
+                eprintln!("cannot create fabric checkpoint dir: {e}");
+                std::process::exit(fabric::EXIT_CAMPAIGN);
+            }
+            let program = std::env::current_exe().unwrap_or_else(|e| {
+                eprintln!("cannot locate worker executable: {e}");
+                std::process::exit(fabric::EXIT_CAMPAIGN);
+            });
+            let launcher = fabric::worker_launcher(
+                program,
+                vec!["worker".to_string()],
+                "longterm",
+                workers,
+                &ckpt_dir,
+                Vec::new(),
+            );
+            let cfg = s2s_probe::FabricConfig::from_env(workers);
+            let run = fabric::collect_longterm_fabric(&scenario, cfg, launcher);
+            let _ = std::fs::remove_dir_all(&ckpt_dir);
+            let run = run.unwrap_or_else(|e| {
+                eprintln!("fabric collection failed: {e}");
+                std::process::exit(fabric::EXIT_CAMPAIGN);
+            });
+            let s = &run.outcome.stats;
+            println!(
+                "fabric: {} shards over {workers} workers — {} launches, \
+                 {} retries, {} recoveries, {} lost",
+                s.shards, s.launches, s.retries, s.recoveries, s.lost
+            );
+            if s.lost > 0 {
+                degraded = true;
+                println!(
+                    "fabric: DEGRADED — {} shard(s) lost after the retry budget; \
+                     their slots are lost rows (campaign.lost_slots = {})",
+                    s.lost, run.data.report.lost_slots
+                );
+            }
+            (run.data, run.digest)
+        } else {
+            fabric::collect_longterm_digest(&scenario, &FaultProfile::from_env())
+        };
+        println!("long-term dataset digest: {digest:016x}");
         println!(
             "long-term campaign: {} timelines in {:?} (probes delivered: {})",
             data.timelines.len(),
@@ -311,8 +399,11 @@ fn main() {
             Ok(()) => println!("metrics written to {path}"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");
-                std::process::exit(1);
+                std::process::exit(fabric::EXIT_CAMPAIGN);
             }
         }
+    }
+    if degraded {
+        std::process::exit(fabric::EXIT_DEGRADED);
     }
 }

@@ -7,6 +7,7 @@
 //! code serves quick smoke runs and full reproductions.
 
 pub mod experiments;
+pub mod fabric;
 pub mod render;
 pub mod scenario;
 

@@ -228,8 +228,12 @@ impl Scenario {
 
     /// The paper's tooling history (§2.1) as a per-measurement option
     /// picker: classic traceroute for the first ten months, then Paris
-    /// traceroute for IPv4 (IPv6 stayed on the classic tool).
-    fn long_term_opts_of(&self) -> impl Fn(SimTime, s2s_types::Protocol) -> TraceOptions {
+    /// traceroute for IPv4 (IPv6 stayed on the classic tool). Crate-visible
+    /// so fabric workers run their shard with the exact options of the
+    /// one-process campaign.
+    pub(crate) fn long_term_opts_of(
+        &self,
+    ) -> impl Fn(SimTime, s2s_types::Protocol) -> TraceOptions {
         let paris_from = SimTime::from_days(self.scale.days.saturating_mul(10) / 16);
         move |t, proto| {
             let mode = if proto == s2s_types::Protocol::V4 && t >= paris_from {

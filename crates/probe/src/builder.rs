@@ -247,6 +247,7 @@ impl Campaign {
             ("campaign.agent_down_slots", report.agent_down_slots),
             ("campaign.resumed_pairs", report.resumed_pairs),
             ("campaign.worker_panics", report.worker_panics),
+            ("campaign.lost_slots", report.lost_slots),
         ] {
             if v > 0 {
                 reg.counter(name).add(v as u64);

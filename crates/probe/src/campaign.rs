@@ -83,6 +83,13 @@ impl CampaignConfig {
     pub fn n_samples(&self) -> usize {
         sample_times(self.start, self.end, self.interval).count()
     }
+
+    /// The sampling instants themselves, in schedule order — what the
+    /// fabric's degraded mode iterates to synthesize lost records for an
+    /// abandoned shard's slots.
+    pub fn times(&self) -> Vec<SimTime> {
+        sample_times(self.start, self.end, self.interval).collect()
+    }
 }
 
 /// Worker-thread default: the `S2S_THREADS` environment knob when set to
@@ -359,6 +366,11 @@ pub struct CampaignReport {
     pub worker_panics: usize,
     /// Pairs whose worker panicked; their accumulators are empty.
     pub poisoned_pairs: Vec<(ClusterId, ClusterId)>,
+    /// Slots on shards the fabric abandoned after its retry budget: the
+    /// schedule offered them, no process ever measured them. Dataset rows
+    /// exist (synthetic lost records keep the timeline dense) but carry no
+    /// signal, so they count against coverage like `agent_down_slots`.
+    pub lost_slots: usize,
 }
 
 impl CampaignReport {
@@ -379,12 +391,85 @@ impl CampaignReport {
         self.deadline_ms_lost += other.deadline_ms_lost;
         self.worker_panics += other.worker_panics;
         self.poisoned_pairs.extend(other.poisoned_pairs.iter().copied());
+        self.lost_slots += other.lost_slots;
     }
 
     /// Coverage of the slots this run measured itself: clean deliveries
     /// over offered slots (truncated and abandoned slots are gaps).
     pub fn coverage(&self) -> Coverage {
         Coverage::new(self.delivered, self.offered)
+    }
+
+    /// Serializes the report to one `R|`-tagged line for the fabric's
+    /// framed worker protocol. Floats render shortest-round-trip, so
+    /// [`CampaignReport::from_line`] restores the exact values; the
+    /// poisoned pair list rides along as `src,dst` entries.
+    pub fn to_line(&self) -> String {
+        let pairs: Vec<String> =
+            self.poisoned_pairs.iter().map(|(s, d)| format!("{},{}", s.0, d.0)).collect();
+        format!(
+            "R|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+            self.offered,
+            self.attempted,
+            self.delivered,
+            self.truncated,
+            self.retried,
+            self.gave_up,
+            self.dropped_probes,
+            self.stuck_probes,
+            self.agent_down_slots,
+            self.resumed_pairs,
+            self.backoff_ms,
+            self.deadline_ms_lost,
+            self.worker_panics,
+            self.lost_slots,
+            pairs.join(";")
+        )
+    }
+
+    /// Parses a line produced by [`CampaignReport::to_line`].
+    pub fn from_line(line: &str) -> Result<CampaignReport, String> {
+        let mut it = line.split('|');
+        if it.next() != Some("R") {
+            return Err(format!("expected R-tagged report line, got '{line}'"));
+        }
+        let mut field = |name: &str| {
+            it.next().ok_or_else(|| format!("report line missing field {name}"))
+        };
+        fn num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
+            s.parse().map_err(|_| format!("bad report field {name}='{s}'"))
+        }
+        let mut r = CampaignReport {
+            offered: num(field("offered")?, "offered")?,
+            attempted: num(field("attempted")?, "attempted")?,
+            delivered: num(field("delivered")?, "delivered")?,
+            truncated: num(field("truncated")?, "truncated")?,
+            retried: num(field("retried")?, "retried")?,
+            gave_up: num(field("gave_up")?, "gave_up")?,
+            dropped_probes: num(field("dropped_probes")?, "dropped_probes")?,
+            stuck_probes: num(field("stuck_probes")?, "stuck_probes")?,
+            agent_down_slots: num(field("agent_down_slots")?, "agent_down_slots")?,
+            resumed_pairs: num(field("resumed_pairs")?, "resumed_pairs")?,
+            backoff_ms: num(field("backoff_ms")?, "backoff_ms")?,
+            deadline_ms_lost: num(field("deadline_ms_lost")?, "deadline_ms_lost")?,
+            worker_panics: num(field("worker_panics")?, "worker_panics")?,
+            lost_slots: num(field("lost_slots")?, "lost_slots")?,
+            poisoned_pairs: Vec::new(),
+        };
+        let pairs = field("poisoned_pairs")?;
+        if it.next().is_some() {
+            return Err(format!("trailing fields in report line '{line}'"));
+        }
+        for entry in pairs.split(';').filter(|e| !e.is_empty()) {
+            let (s, d) = entry
+                .split_once(',')
+                .ok_or_else(|| format!("bad poisoned pair '{entry}'"))?;
+            r.poisoned_pairs.push((
+                ClusterId::new(num::<u32>(s, "poisoned src")?),
+                ClusterId::new(num::<u32>(d, "poisoned dst")?),
+            ));
+        }
+        Ok(r)
     }
 }
 
@@ -398,8 +483,10 @@ enum SlotOutcome {
 }
 
 /// A record standing in for a slot that produced nothing: the schedule
-/// offered the measurement, the plane lost it.
-fn lost_record(
+/// offered the measurement, the plane lost it. Public so the fabric's
+/// degraded mode can synthesize byte-identical rows for shards abandoned
+/// after the retry budget.
+pub fn lost_record(
     src: ClusterId,
     dst: ClusterId,
     proto: Protocol,
@@ -1250,6 +1337,63 @@ mod tests {
             CongestionModel::none(),
             NetworkParams { loss_prob: 0.0, spike_prob: 0.0, ..NetworkParams::default() },
         )
+    }
+
+    #[test]
+    fn report_line_round_trips_exactly() {
+        let r = CampaignReport {
+            offered: 120,
+            attempted: 131,
+            delivered: 101,
+            truncated: 7,
+            retried: 11,
+            gave_up: 3,
+            dropped_probes: 9,
+            stuck_probes: 2,
+            agent_down_slots: 5,
+            resumed_pairs: 4,
+            backoff_ms: 1234.5678901,
+            deadline_ms_lost: 0.1 + 0.2, // a value that would betray rounding
+            worker_panics: 1,
+            poisoned_pairs: vec![(ClusterId::new(3), ClusterId::new(9))],
+            lost_slots: 4,
+        };
+        let back = CampaignReport::from_line(&r.to_line()).unwrap();
+        assert_eq!(back, r, "report codec must be the identity");
+        // And an all-default report survives too (empty poisoned list).
+        let d = CampaignReport::default();
+        assert_eq!(CampaignReport::from_line(&d.to_line()).unwrap(), d);
+    }
+
+    #[test]
+    fn report_line_rejects_malformed_input() {
+        assert!(CampaignReport::from_line("X|1|2").is_err());
+        assert!(CampaignReport::from_line("R|1|2").is_err(), "too few fields");
+        let good = CampaignReport::default().to_line();
+        assert!(CampaignReport::from_line(&format!("{good}|extra")).is_err());
+        let mangled = good.replace("R|0", "R|zero");
+        assert!(CampaignReport::from_line(&mangled).is_err());
+    }
+
+    #[test]
+    fn merge_folds_lost_slots_and_preserves_identities() {
+        let mut a = CampaignReport {
+            offered: 10,
+            attempted: 10,
+            delivered: 10,
+            ..CampaignReport::default()
+        };
+        let b = CampaignReport { offered: 6, lost_slots: 6, ..CampaignReport::default() };
+        a.merge(&b);
+        assert_eq!(a.offered, 16);
+        assert_eq!(a.lost_slots, 6);
+        // offered = delivered + truncated + gave_up + agent_down + lost
+        assert_eq!(
+            a.offered,
+            a.delivered + a.truncated + a.gave_up + a.agent_down_slots + a.lost_slots
+        );
+        // lost slots launched nothing, so attempted excludes them
+        assert_eq!(a.attempted, a.offered - a.agent_down_slots - a.lost_slots + a.retried);
     }
 
     #[test]

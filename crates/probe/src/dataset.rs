@@ -59,18 +59,19 @@ fn parse_proto(s: &str) -> Result<Protocol, String> {
 
 /// Serializes one traceroute to a line:
 /// `T|src|dst|proto|minute|reached|e2e|src_addr|dst_addr|hop,rtt;hop,rtt;...`
+///
+/// RTT fields print with `{}` — the shortest decimal that parses back to
+/// the exact same float — so the archive is **lossless**: a record folded
+/// from its archived line is bit-identical to the live record. That is
+/// what lets checkpoint replay, and the fabric's cross-process shard
+/// merge, reproduce an in-memory campaign byte for byte.
 pub fn traceroute_to_line(r: &TracerouteRecord) -> String {
     let mut hops = String::new();
     for (i, h) in r.hops.iter().enumerate() {
         if i > 0 {
             hops.push(';');
         }
-        let _ = write!(
-            hops,
-            "{},{}",
-            opt(h.addr),
-            opt(h.rtt_ms.map(|v| format!("{v:.3}")))
-        );
+        let _ = write!(hops, "{},{}", opt(h.addr), opt(h.rtt_ms));
     }
     format!(
         "T|{}|{}|{}|{}|{}|{}|{}|{}|{}",
@@ -79,7 +80,7 @@ pub fn traceroute_to_line(r: &TracerouteRecord) -> String {
         proto_tag(r.proto),
         r.t.minutes(),
         u8::from(r.reached),
-        opt(r.e2e_rtt_ms.map(|v| format!("{v:.3}"))),
+        opt(r.e2e_rtt_ms),
         opt(r.src_addr),
         opt(r.dst_addr),
         hops
@@ -130,6 +131,10 @@ pub fn traceroute_from_line(line: &str, lineno: usize) -> Result<TracerouteRecor
 
 /// Serializes a ping timeline to a line:
 /// `P|src|dst|proto|start_minute|interval_minutes|rtt;rtt;*;...`
+///
+/// RTTs use the same lossless shortest-round-trip rendering as
+/// [`traceroute_to_line`], so parse ∘ serialize is the identity on the
+/// stored `f32` bits (NaN excepted, which renders as `*`).
 pub fn ping_timeline_to_line(tl: &PingTimeline) -> String {
     let rtts: Vec<String> = tl
         .rtts
@@ -138,7 +143,7 @@ pub fn ping_timeline_to_line(tl: &PingTimeline) -> String {
             if r.is_nan() {
                 "*".into()
             } else {
-                format!("{r:.3}")
+                format!("{r}")
             }
         })
         .collect();

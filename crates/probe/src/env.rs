@@ -21,12 +21,28 @@
 //! | `S2S_FAULT_CORRUPT` | `0` | Per-archive-line corruption probability |
 //! | `S2S_SKETCH_CENTROIDS` | `256` | Quantile-sketch centroid capacity (≥ 8) |
 //! | `S2S_SKETCH_EXACT` | `128` | Samples a sketch keeps exact before compressing |
+//! | `S2S_FABRIC_FAULT_SEED` | `0xFAB` | Fabric fault-decision seed |
+//! | `S2S_FABRIC_FAULT_KILL` | `0` | Per-worker-attempt kill probability |
+//! | `S2S_FABRIC_FAULT_STALL` | `0` | Per-worker-attempt stall probability |
+//! | `S2S_FABRIC_FAULT_CORRUPT` | `0` | Per-worker-attempt corrupt-frame probability |
+//! | `S2S_FABRIC_FAULT_EXIT` | `0` | Per-worker-attempt exit-nonzero probability |
+//! | `S2S_FABRIC_FAULT_PLAN` | empty | Surgical faults, e.g. `kill@0.1=2;stall@1.1` |
+//! | `S2S_FABRIC_RETRIES` | `3` | Attempts per shard (first try + retries) |
+//! | `S2S_FABRIC_TIMEOUT_MS` | `2000` | Reap a worker after this long with no stdout event |
+//! | `S2S_FABRIC_BACKOFF_MS` | `10` | First retry backoff (doubles per attempt, jittered) |
+//! | `S2S_FABRIC_HB_MS` | `100` | Worker heartbeat interval |
+//! | `S2S_FABRIC_WORKERS` | `1` | Default worker count for `reproduce` (1 = in-process) |
 //!
 //! The experiment-scale knobs (`S2S_SEED`, `S2S_CLUSTERS`, `S2S_DAYS`,
 //! `S2S_PAIRS`, `S2S_PING_PAIRS`, `S2S_CONG_PAIRS`) and the bench-only
 //! `S2S_BENCH_QUICK` flag resolve in `s2s-bench` (their defaults are
 //! experiment policy, not measurement-plane policy) — through the same
 //! shared parsers, and they appear in the same `--print-config` dump.
+//!
+//! Typos are caught, not ignored: [`resolved_knobs`] scans the process
+//! environment for `S2S_*` names outside the recognized set and prints
+//! one warning per process run (`S2S_FAULT_DORP=1` would otherwise
+//! silently measure a healthy plane).
 
 use crate::faults::FaultProfile;
 use s2s_types::env as tenv;
@@ -87,6 +103,100 @@ pub fn sketch_exact() -> usize {
     tenv::var_usize_at_least("S2S_SKETCH_EXACT", s2s_stats::sketch::DEFAULT_SKETCH_EXACT, 0)
 }
 
+/// The fabric fault profile from the `S2S_FABRIC_FAULT_*` knobs — an
+/// alias for [`crate::fabric::FabricFaultProfile::from_env`].
+pub fn fabric_fault_profile() -> crate::fabric::FabricFaultProfile {
+    crate::fabric::FabricFaultProfile::from_env()
+}
+
+/// Worker heartbeat interval: the `S2S_FABRIC_HB_MS` knob, default 100 ms.
+pub fn fabric_hb_interval() -> std::time::Duration {
+    std::time::Duration::from_millis(tenv::var_u64("S2S_FABRIC_HB_MS", 100))
+}
+
+/// Default worker-process count for `reproduce`: the `S2S_FABRIC_WORKERS`
+/// knob, default 1 (run in-process, no fabric). `reproduce --workers`
+/// overrides it.
+pub fn fabric_workers() -> usize {
+    tenv::var_usize_at_least("S2S_FABRIC_WORKERS", 1, 1)
+}
+
+/// Every `S2S_*` variable some layer of the platform recognizes: the
+/// measurement-plane knobs above, the fabric knobs (including the
+/// coordinator→worker assignment variables), and the `s2s-bench`
+/// experiment-scale knobs. [`resolved_knobs`] warns about anything else.
+pub const KNOWN_KNOBS: &[&str] = &[
+    // Measurement plane.
+    "S2S_THREADS",
+    "S2S_EPOCH_BATCH",
+    "S2S_FAULT_SEED",
+    "S2S_FAULT_CRASH",
+    "S2S_FAULT_CRASH_LEN",
+    "S2S_FAULT_DROP",
+    "S2S_FAULT_STUCK",
+    "S2S_FAULT_TRUNC",
+    "S2S_FAULT_CORRUPT",
+    "S2S_SKETCH_CENTROIDS",
+    "S2S_SKETCH_EXACT",
+    // Fabric: operator knobs.
+    "S2S_FABRIC_FAULT_SEED",
+    "S2S_FABRIC_FAULT_KILL",
+    "S2S_FABRIC_FAULT_STALL",
+    "S2S_FABRIC_FAULT_CORRUPT",
+    "S2S_FABRIC_FAULT_EXIT",
+    "S2S_FABRIC_FAULT_PLAN",
+    "S2S_FABRIC_RETRIES",
+    "S2S_FABRIC_TIMEOUT_MS",
+    "S2S_FABRIC_BACKOFF_MS",
+    "S2S_FABRIC_HB_MS",
+    "S2S_FABRIC_WORKERS",
+    // Fabric: coordinator→worker assignment (not operator-set).
+    "S2S_FABRIC_SHARD",
+    "S2S_FABRIC_SHARDS",
+    "S2S_FABRIC_ATTEMPT",
+    "S2S_FABRIC_CKPT_DIR",
+    "S2S_FABRIC_MODE",
+    // Experiment scale (resolved in s2s-bench).
+    "S2S_SEED",
+    "S2S_CLUSTERS",
+    "S2S_DAYS",
+    "S2S_PAIRS",
+    "S2S_PING_PAIRS",
+    "S2S_CONG_PAIRS",
+    "S2S_BENCH_QUICK",
+];
+
+/// The pure core of typo detection: which of `names` look like platform
+/// knobs (`S2S_` prefix) but match nothing in [`KNOWN_KNOBS`]. Split out
+/// from the environment scan so tests need not mutate the process env.
+pub fn unknown_knob_names<'a, I: IntoIterator<Item = &'a str>>(names: I) -> Vec<String> {
+    let mut out: Vec<String> = names
+        .into_iter()
+        .filter(|n| n.starts_with("S2S_") && !KNOWN_KNOBS.contains(n))
+        .map(str::to_string)
+        .collect();
+    out.sort();
+    out
+}
+
+/// Scans the process environment for unrecognized `S2S_*` variables and
+/// warns once per process run — a mistyped knob (`S2S_FAULT_DORP=1`)
+/// silently configuring nothing is worse than a noisy line on stderr.
+pub fn warn_unknown_knobs() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let names: Vec<String> = std::env::vars().map(|(k, _)| k).collect();
+        let unknown = unknown_knob_names(names.iter().map(String::as_str));
+        if !unknown.is_empty() {
+            eprintln!(
+                "warning: unrecognized S2S_* variable(s): {} — not a knob any layer \
+                 reads (typo?); see `reproduce --print-config` for the knob table",
+                unknown.join(", ")
+            );
+        }
+    });
+}
+
 /// One knob's resolved state, for `--print-config` style dumps.
 #[derive(Clone, Debug)]
 pub struct ResolvedKnob {
@@ -110,9 +220,16 @@ impl ResolvedKnob {
 }
 
 /// The measurement-plane knobs, resolved against the current environment.
+/// Also the typo checkpoint: the first call warns (once) about `S2S_*`
+/// variables no layer recognizes.
 pub fn resolved_knobs() -> Vec<ResolvedKnob> {
+    warn_unknown_knobs();
     let d = FaultProfile::default();
     let p = FaultProfile::from_env();
+    let fd = crate::fabric::FabricFaultProfile::default();
+    let fp = fabric_fault_profile();
+    let fabric_cfg = crate::fabric::FabricConfig::from_env(1);
+    let fabric_dft = crate::fabric::FabricConfig::default();
     let cap = epoch_batch_cap();
     let cap_str =
         if cap == usize::MAX { "unlimited".to_string() } else { cap.to_string() };
@@ -182,6 +299,72 @@ pub fn resolved_knobs() -> Vec<ResolvedKnob> {
             sketch_exact().to_string(),
             s2s_stats::sketch::DEFAULT_SKETCH_EXACT.to_string(),
             "samples kept exact before sketch compression",
+        ),
+        ResolvedKnob::new(
+            "S2S_FABRIC_FAULT_SEED",
+            fp.seed.to_string(),
+            fd.seed.to_string(),
+            "fabric fault-decision seed",
+        ),
+        ResolvedKnob::new(
+            "S2S_FABRIC_FAULT_KILL",
+            fp.kill_rate.to_string(),
+            fd.kill_rate.to_string(),
+            "per-worker-attempt kill probability",
+        ),
+        ResolvedKnob::new(
+            "S2S_FABRIC_FAULT_STALL",
+            fp.stall_rate.to_string(),
+            fd.stall_rate.to_string(),
+            "per-worker-attempt stall probability",
+        ),
+        ResolvedKnob::new(
+            "S2S_FABRIC_FAULT_CORRUPT",
+            fp.corrupt_rate.to_string(),
+            fd.corrupt_rate.to_string(),
+            "per-worker-attempt corrupt-frame probability",
+        ),
+        ResolvedKnob::new(
+            "S2S_FABRIC_FAULT_EXIT",
+            fp.exit_rate.to_string(),
+            fd.exit_rate.to_string(),
+            "per-worker-attempt exit-nonzero probability",
+        ),
+        ResolvedKnob::new(
+            "S2S_FABRIC_FAULT_PLAN",
+            format!("{} entr(ies)", fp.plan.len()),
+            "empty".to_string(),
+            "surgical fabric faults (kill@shard.attempt=k;…)",
+        ),
+        ResolvedKnob::new(
+            "S2S_FABRIC_RETRIES",
+            fabric_cfg.max_attempts.to_string(),
+            fabric_dft.max_attempts.to_string(),
+            "attempts per shard (first try + retries)",
+        ),
+        ResolvedKnob::new(
+            "S2S_FABRIC_TIMEOUT_MS",
+            fabric_cfg.heartbeat_timeout.as_millis().to_string(),
+            fabric_dft.heartbeat_timeout.as_millis().to_string(),
+            "reap a worker after this long with no stdout event",
+        ),
+        ResolvedKnob::new(
+            "S2S_FABRIC_BACKOFF_MS",
+            fabric_cfg.backoff_base_ms.to_string(),
+            fabric_dft.backoff_base_ms.to_string(),
+            "first retry backoff (doubles per attempt, jittered)",
+        ),
+        ResolvedKnob::new(
+            "S2S_FABRIC_HB_MS",
+            fabric_hb_interval().as_millis().to_string(),
+            "100".to_string(),
+            "worker heartbeat interval",
+        ),
+        ResolvedKnob::new(
+            "S2S_FABRIC_WORKERS",
+            fabric_workers().to_string(),
+            "1".to_string(),
+            "default reproduce worker count (1 = in-process)",
         ),
     ]
 }
@@ -262,11 +445,49 @@ mod tests {
             "S2S_FAULT_CORRUPT",
             "S2S_SKETCH_CENTROIDS",
             "S2S_SKETCH_EXACT",
+            "S2S_FABRIC_FAULT_SEED",
+            "S2S_FABRIC_FAULT_KILL",
+            "S2S_FABRIC_FAULT_STALL",
+            "S2S_FABRIC_FAULT_CORRUPT",
+            "S2S_FABRIC_FAULT_EXIT",
+            "S2S_FABRIC_FAULT_PLAN",
+            "S2S_FABRIC_RETRIES",
+            "S2S_FABRIC_TIMEOUT_MS",
+            "S2S_FABRIC_BACKOFF_MS",
+            "S2S_FABRIC_HB_MS",
+            "S2S_FABRIC_WORKERS",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }
         let table = format_knob_table(&knobs);
         assert!(table.contains("S2S_EPOCH_BATCH"));
         assert!(table.lines().count() >= knobs.len());
+    }
+
+    #[test]
+    fn unknown_knob_detection_flags_typos_only() {
+        // Typos with the S2S_ prefix are flagged, sorted.
+        let found = unknown_knob_names(
+            ["S2S_FAULT_DORP", "S2S_THREADS", "PATH", "S2S_FABRIC_FAULT_KILLL"],
+        );
+        assert_eq!(found, vec!["S2S_FABRIC_FAULT_KILLL", "S2S_FAULT_DORP"]);
+        // Everything documented — including the coordinator→worker
+        // assignment variables a worker process inherits — is recognized.
+        assert!(unknown_knob_names(KNOWN_KNOBS.iter().copied()).is_empty());
+        // Non-S2S variables are never the platform's business.
+        assert!(unknown_knob_names(["HOME", "CARGO_HOME"].into_iter()).is_empty());
+    }
+
+    #[test]
+    fn every_resolved_knob_is_in_the_known_list() {
+        // `--print-config` and the typo detector must agree, or a
+        // documented knob would warn about itself.
+        for k in resolved_knobs() {
+            assert!(
+                KNOWN_KNOBS.contains(&k.name),
+                "{} resolved but not in KNOWN_KNOBS",
+                k.name
+            );
+        }
     }
 }

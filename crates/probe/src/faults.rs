@@ -126,14 +126,14 @@ const SALT_PROBE: u64 = 0x9B0B;
 const SALT_TRUNC_LEN: u64 = 0x7123;
 const SALT_CORRUPT: u64 = 0xC039;
 
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E3779B97F4A7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
 }
 
-fn key(seed: u64, words: &[u64]) -> u64 {
+pub(crate) fn key(seed: u64, words: &[u64]) -> u64 {
     let mut h = mix(seed);
     for &w in words {
         h = mix(h ^ w);
@@ -141,7 +141,7 @@ fn key(seed: u64, words: &[u64]) -> u64 {
     h
 }
 
-fn uniform(h: u64) -> f64 {
+pub(crate) fn uniform(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -260,7 +260,10 @@ impl FaultInjector {
         let mut out: Vec<char> = chars.clone();
         match mix(h ^ 0xBEEF) % 3 {
             0 => out[pos] = garbage,
-            1 => out.truncate(pos),
+            // Never truncate to nothing: the lossy reader treats blank
+            // lines as legal formatting, so an emptied line would vanish
+            // from the import accounting instead of counting as a skip.
+            1 => out.truncate(pos.max(1)),
             _ => out.insert(pos, garbage),
         }
         let corrupted: String = out.into_iter().collect();

@@ -36,12 +36,19 @@
 //! * [`stream`] — streaming campaign sinks ([`StreamSink`],
 //!   [`PairProfileSink`]): fold samples into constant-size per-pair state
 //!   as they are measured, attached via [`Campaign::sink`] — the §5
-//!   short-term mesh as a bounded-memory workload.
+//!   short-term mesh as a bounded-memory workload,
+//! * [`fabric`] — the crash-tolerant scale-out layer: a coordinator
+//!   shards the pair space across worker subprocesses speaking a framed
+//!   stdout protocol, reaps hung or crashed workers by heartbeat timeout,
+//!   retries with seeded backoff and worker-local checkpoint resume, and
+//!   merges shards deterministically — byte-identical to one process
+//!   under any seeded crash schedule (`S2S_FABRIC_FAULT_*`).
 
 pub mod builder;
 pub mod campaign;
 pub mod dataset;
 pub mod env;
+pub mod fabric;
 pub mod faults;
 pub mod records;
 pub mod store;
@@ -52,6 +59,11 @@ pub use builder::{Campaign, SinkCampaign};
 pub use campaign::{
     colocated_pairs, full_mesh_pairs, ping_once, CampaignConfig, CampaignReport,
     PingTimeline, RetryPolicy,
+};
+pub use fabric::{
+    Coordinator, FabricConfig, FabricFaultProfile, FabricOutcome, FabricStats,
+    ProcessLauncher, ShardPayload, ShardResult, WorkerAssignment, WorkerFault,
+    WorkerLauncher,
 };
 pub use faults::{FaultInjector, FaultProfile, ProbeFault};
 pub use records::{HopObs, PingRecord, TracerouteRecord};

@@ -1,0 +1,7 @@
+//! Fabric worker binary for the integration suite — the same entry point
+//! `reproduce worker` dispatches to, built inside this package so
+//! `env!("CARGO_BIN_EXE_fabric-worker")` resolves in tests.
+
+fn main() {
+    std::process::exit(s2s_bench::fabric::worker_main());
+}
