@@ -50,6 +50,29 @@ grep -q '"fabric.retries"' metrics_fabric.json
 grep -q '"fabric.recoveries"' metrics_fabric.json
 grep -q '"fabric.lost"' metrics_fabric.json
 
+echo "==> snapshot smoke: write, reopen, byte-identical digest"
+# First run executes the campaign and persists the merged store as a
+# columnar snapshot; the second run reopens the snapshot instead of
+# re-running and must print the identical dataset digest line. A third
+# grep pins that the reopen path actually engaged (no silent re-run).
+rm -f smoke.snap
+S2S_CLUSTERS=16 S2S_DAYS=20 S2S_PAIRS=24 S2S_PING_PAIRS=20 S2S_CONG_PAIRS=8 \
+    cargo run -q --release -p s2s-bench --bin reproduce -- table1 --snapshot smoke.snap |
+    tee reproduce_snapwrite.txt
+S2S_CLUSTERS=16 S2S_DAYS=20 S2S_PAIRS=24 S2S_PING_PAIRS=20 S2S_CONG_PAIRS=8 \
+    cargo run -q --release -p s2s-bench --bin reproduce -- table1 --snapshot smoke.snap \
+    --metrics-json metrics_snapshot.json |
+    tee reproduce_snapreopen.txt
+write_digest=$(grep 'long-term dataset digest:' reproduce_snapwrite.txt)
+reopen_digest=$(grep 'long-term dataset digest:' reproduce_snapreopen.txt)
+test -n "$write_digest" && test "$write_digest" = "$reopen_digest"
+test "$write_digest" = "$one_digest"
+grep -q 'snapshot: wrote' reproduce_snapwrite.txt
+grep -q 'snapshot: reopened' reproduce_snapreopen.txt
+grep -q '"snapshot.traces"' metrics_snapshot.json
+grep -q '"snapshot.skipped_traces": 0' metrics_snapshot.json
+rm -f smoke.snap
+
 echo "==> long-term campaign + columnar analysis bench (quick mode; writes BENCH_longterm.json)"
 S2S_BENCH_QUICK=1 cargo bench -q -p s2s-bench --bench longterm
 
@@ -65,5 +88,15 @@ echo "==> fabric gate: scale-out section recorded in BENCH_longterm.json"
 grep -q '"fabric": {' BENCH_longterm.json
 grep -q '"merge_overhead"' BENCH_longterm.json
 grep -q '"recovery_ms"' BENCH_longterm.json
+
+echo "==> persistence gate: snapshot section recorded in BENCH_longterm.json"
+# The bench aborts unless the reopened snapshot is byte-identical to the
+# line-import rebuild and reopening beats importing by >= 10x; these
+# guard the section itself.
+grep -q '"persistence": {' BENCH_longterm.json
+grep -q '"write_gbps"' BENCH_longterm.json
+grep -q '"open_vs_import_speedup"' BENCH_longterm.json
+grep -q '"digest_identical": true' BENCH_longterm.json
+grep -q '"roundtrip_identical": true' BENCH_longterm.json
 
 echo "CI OK"

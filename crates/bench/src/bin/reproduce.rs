@@ -28,6 +28,12 @@
 //!   merged dataset is byte-identical to the in-process run — both paths
 //!   print a `dataset digest` line to prove it — even under the seeded
 //!   `S2S_FABRIC_FAULT_*` crash schedules.
+//! * `--snapshot <path>` — binary columnar persistence (default
+//!   `S2S_SNAPSHOT_PATH`). If `<path>` exists, the long-term dataset is
+//!   *reopened* from it in O(distinct-data) — no campaign, no line
+//!   re-import — with torn or corrupt segments degrading to counted
+//!   skips. Otherwise the campaign runs and writes its store there. The
+//!   `dataset digest` line is identical either way.
 //!
 //! The hidden `worker` subcommand (`reproduce worker`) is the fabric's
 //! worker entry point; the coordinator spawns it, operators never do.
@@ -106,6 +112,29 @@ fn print_config() {
     print!("{}", s2s_probe::env::format_knob_table(&scale_knobs(&Scale::from_env())));
 }
 
+/// Persists a freshly collected store to `path` when `--snapshot` (or
+/// `S2S_SNAPSHOT_PATH`) asked for one. Prints size and digest so the next
+/// run's reopen can be byte-compared against this line.
+fn write_snapshot_if_asked(
+    path: Option<&std::path::Path>,
+    store: &s2s_probe::TraceStore,
+    digest: u64,
+) {
+    let Some(path) = path else { return };
+    match s2s_probe::snapshot::write_file(path, store, &[]) {
+        Ok(bytes) => println!(
+            "snapshot: wrote {} — {} traces, {} bytes, digest {digest:016x}",
+            path.display(),
+            store.len(),
+            bytes
+        ),
+        Err(e) => {
+            eprintln!("cannot write snapshot {}: {e}", path.display());
+            std::process::exit(fabric::EXIT_CAMPAIGN);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Fabric worker mode: measure the assigned shard, speak the framed
@@ -119,6 +148,7 @@ fn main() {
     let mut metrics_json: Option<String> = None;
     let mut print_cfg = false;
     let mut workers = s2s_probe::env::fabric_workers();
+    let mut snapshot_path = s2s_probe::env::snapshot_path();
     let mut ids: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -142,6 +172,13 @@ fn main() {
                 Some(n) if n >= 1 => workers = n,
                 _ => {
                     eprintln!("--workers needs a positive integer argument");
+                    std::process::exit(fabric::EXIT_CONFIG);
+                }
+            },
+            "--snapshot" => match it.next() {
+                Some(p) => snapshot_path = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--snapshot needs a path argument");
                     std::process::exit(fabric::EXIT_CONFIG);
                 }
             },
@@ -190,7 +227,48 @@ fn main() {
     let mut degraded = false;
     let long = if needs_long {
         let t = Instant::now();
-        let (data, digest) = if workers > 1 {
+        let reopen = snapshot_path.as_deref().filter(|p| p.exists());
+        let (data, digest) = if let Some(path) = reopen {
+            // Persistence fast path: open the campaign's saved arenas in
+            // O(distinct-data) — no measurement, no line re-import.
+            let (snap, rep) = s2s_probe::snapshot::open_file_lossy(path)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open snapshot {}: {e}", path.display());
+                    std::process::exit(fabric::EXIT_CAMPAIGN);
+                });
+            rep.publish(&registry);
+            println!(
+                "snapshot: reopened {} — {} traces ({} skipped), {} sink state(s){}",
+                path.display(),
+                rep.traces,
+                rep.skipped_traces,
+                rep.sinks,
+                if rep.torn { ", TORN" } else { "" }
+            );
+            if !rep.clean() {
+                degraded = true;
+                for e in &rep.first_errors {
+                    eprintln!("snapshot damage: {e}");
+                }
+            }
+            let digest = fabric::store_digest(&snap.store);
+            let timelines = s2s_core::Analysis::new(&snap).timelines(&scenario.ip2asn);
+            // Snapshots persist the dataset, not the campaign's slot
+            // accounting; the open report maps damage onto coverage.
+            let report = s2s_probe::CampaignReport {
+                offered: rep.traces + rep.skipped_traces,
+                delivered: rep.traces,
+                lost_slots: rep.skipped_traces,
+                ..s2s_probe::CampaignReport::default()
+            };
+            let data = s2s_bench::experiments::LongTermData {
+                pairs: fabric::longterm_pairs(&scenario),
+                timelines,
+                report,
+                arena: Some(snap.store.stats()),
+            };
+            (data, digest)
+        } else if workers > 1 {
             // Scale-out fabric: shard the pair space across worker
             // subprocesses of this same binary (`reproduce worker`),
             // merge byte-identically, survive seeded crash schedules.
@@ -233,9 +311,13 @@ fn main() {
                     s.lost, run.data.report.lost_slots
                 );
             }
+            write_snapshot_if_asked(snapshot_path.as_deref(), &run.store, run.digest);
             (run.data, run.digest)
         } else {
-            fabric::collect_longterm_digest(&scenario, &FaultProfile::from_env())
+            let (data, digest, store) =
+                fabric::collect_longterm_digest(&scenario, &FaultProfile::from_env());
+            write_snapshot_if_asked(snapshot_path.as_deref(), &store, digest);
+            (data, digest)
         };
         println!("long-term dataset digest: {digest:016x}");
         println!(

@@ -30,10 +30,10 @@ use crate::experiments::LongTermData;
 use crate::scenario::Scenario;
 use s2s_core::Analysis;
 use s2s_probe::campaign::lost_record;
-use s2s_probe::dataset::{traceroute_from_line, traceroute_to_line};
+use s2s_probe::dataset::{traceroute_from_line, traceroute_to_line, write_traceroute_line};
 use s2s_probe::fabric::{
-    emit_shard, fnv64_lines, shard_range, Frame, HeartbeatHandle, WorkerAssignment,
-    ENV_CKPT_DIR, ENV_MODE, ENV_SHARDS,
+    emit_shard, fnv64_bytes, shard_range, Frame, HeartbeatHandle, WorkerAssignment,
+    ENV_CKPT_DIR, ENV_MODE, ENV_SHARDS, FNV64_OFFSET,
 };
 use s2s_probe::{
     Campaign, CampaignConfig, CampaignReport, Coordinator, FabricConfig,
@@ -77,11 +77,20 @@ pub fn ping_mesh(scenario: &Scenario) -> (CampaignConfig, Vec<(ClusterId, Cluste
 /// byte-identity fingerprint `reproduce --workers` prints and the CI
 /// crash matrix compares against the one-process run. Line form (not
 /// arena bytes) so the fingerprint pins the observable record sequence,
-/// independent of intern-table layout.
+/// independent of intern-table layout. Streams each record's line through
+/// one reused buffer (folding the same `\n`
+/// [`s2s_probe::fabric::fnv64_lines`] folds), so a
+/// digest never materializes the dataset as a `Vec<String>`.
 pub fn store_digest(store: &TraceStore) -> u64 {
-    let lines: Vec<String> =
-        store.to_records().iter().map(traceroute_to_line).collect();
-    fnv64_lines(&lines)
+    let mut h = FNV64_OFFSET;
+    let mut buf = String::new();
+    for v in store.iter() {
+        buf.clear();
+        write_traceroute_line(&mut buf, &v.to_record());
+        h = fnv64_bytes(h, buf.as_bytes());
+        h = fnv64_bytes(h, b"\n");
+    }
+    h
 }
 
 // ---------------------------------------------------------------------------
@@ -291,6 +300,9 @@ pub struct FabricCollection {
     pub outcome: FabricOutcome,
     /// [`store_digest`] of the merged store.
     pub digest: u64,
+    /// The merged columnar store itself, so callers can persist it
+    /// ([`s2s_probe::snapshot::write_file`]) without a re-import.
+    pub store: TraceStore,
 }
 
 /// A [`ProcessLauncher`] that spawns `program args…` as fabric workers in
@@ -320,6 +332,14 @@ pub fn worker_launcher(
 /// accumulator order of the one-process campaign — so the dataset stays
 /// dense and the loss is pure accounting ([`CampaignReport::lost_slots`]
 /// plus the coverage floor).
+///
+/// Each shard's payload builds a per-shard [`TraceStore`] which the merge
+/// [`TraceStore::absorb`]s in shard order — identical to pushing every
+/// record sequentially (the absorb-order identity pinned in the store's
+/// proptests). When `S2S_SNAPSHOT_DIR` is set, every shard store is also
+/// written as `shard-<i>.snap` there and **the reopened snapshot** is what
+/// gets absorbed, so a fabric run exercises — and its digest certifies —
+/// the persistence round trip.
 pub fn collect_longterm_fabric<L: WorkerLauncher>(
     scenario: &Scenario,
     cfg: FabricConfig,
@@ -330,18 +350,24 @@ pub fn collect_longterm_fabric<L: WorkerLauncher>(
     let camp_cfg = CampaignConfig::long_term(scenario.scale.days);
     let mut outcome = Coordinator::new(cfg, launcher).run(n_shards)?;
 
+    let snap_dir = s2s_probe::env::snapshot_dir();
+    if let Some(dir) = &snap_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+
     let t_merge = Instant::now();
     let times = camp_cfg.times();
     let mut store = TraceStore::new();
     let mut report = CampaignReport::default();
     for s in &outcome.shards {
+        let mut shard_store = TraceStore::new();
         if s.lost {
             let range = shard_range(pairs.len(), n_shards, s.shard);
             let slots = range.len() * camp_cfg.protocols.len() * times.len();
             for &(src, dst) in &pairs[range] {
                 for &proto in &camp_cfg.protocols {
                     for &t in &times {
-                        store.push(&lost_record(src, dst, proto, t));
+                        shard_store.push(&lost_record(src, dst, proto, t));
                     }
                 }
             }
@@ -358,11 +384,20 @@ pub fn collect_longterm_fabric<L: WorkerLauncher>(
                         format!("shard {} payload: {e}", s.shard),
                     )
                 })?;
-                store.push(&rec);
+                shard_store.push(&rec);
             }
             if let Some(r) = &s.report {
                 report.merge(r);
             }
+        }
+        match &snap_dir {
+            Some(dir) => {
+                let path = dir.join(format!("shard-{}.snap", s.shard));
+                s2s_probe::snapshot::write_file(&path, &shard_store, &[])?;
+                let reopened = s2s_probe::snapshot::open_file(&path)?;
+                store.absorb(&reopened.store);
+            }
+            None => store.absorb(&shard_store),
         }
     }
     // The coordinator timed its (trivial) line concatenation; the real
@@ -376,23 +411,25 @@ pub fn collect_longterm_fabric<L: WorkerLauncher>(
     let timelines = Analysis::new(&store).timelines(&scenario.ip2asn);
     let data =
         LongTermData { pairs, timelines, report, arena: Some(store.stats()) };
-    Ok(FabricCollection { data, outcome, digest })
+    Ok(FabricCollection { data, outcome, digest, store })
 }
 
 /// One-process long-term collection plus the dataset digest — the
 /// baseline the CI crash matrix compares `--workers N` digests against.
 /// Identical to [`LongTermData::collect_with`] except the store's digest
-/// is fingerprinted before analysis.
+/// is fingerprinted before analysis, and the store itself is returned so
+/// callers can persist it as a snapshot without a re-import.
 pub fn collect_longterm_digest(
     scenario: &Scenario,
     profile: &FaultProfile,
-) -> (LongTermData, u64) {
+) -> (LongTermData, u64, TraceStore) {
     let pairs = longterm_pairs(scenario);
     let (store, report) =
         scenario.long_term_store_faulty(&pairs, profile, &RetryPolicy::default());
     let digest = store_digest(&store);
     let timelines = Analysis::new(&store).timelines(&scenario.ip2asn);
-    (LongTermData { pairs, timelines, report, arena: Some(store.stats()) }, digest)
+    let data = LongTermData { pairs, timelines, report, arena: Some(store.stats()) };
+    (data, digest, store)
 }
 
 /// Collects the short-term ping mesh through the fabric: the merged
@@ -502,6 +539,59 @@ mod tests {
             heartbeat_timeout: std::time::Duration::from_secs(30),
             ..FabricConfig::default()
         }
+    }
+
+    #[test]
+    fn store_digest_streams_identically_to_line_materialization() {
+        // Regression pin: the digest used to materialize every record as
+        // a String and hash the Vec; the streaming path must produce the
+        // exact same value.
+        let scenario = micro_scenario();
+        let (store, _) = scenario.long_term_store_faulty(
+            &longterm_pairs(&scenario),
+            &FaultProfile::default(),
+            &RetryPolicy::default(),
+        );
+        assert!(!store.is_empty());
+        let lines: Vec<String> =
+            store.to_records().iter().map(traceroute_to_line).collect();
+        assert_eq!(store_digest(&store), s2s_probe::fabric::fnv64_lines(&lines));
+        assert_eq!(store_digest(&TraceStore::new()), FNV64_OFFSET);
+    }
+
+    #[test]
+    fn snapshot_write_reopen_absorb_matches_direct_merge() {
+        // The mechanism behind S2S_SNAPSHOT_DIR: per-shard stores written
+        // as snapshots, reopened, and absorbed must merge byte-identically
+        // to absorbing the in-memory shard stores.
+        let scenario = micro_scenario();
+        let (full, _) = scenario.long_term_store_faulty(
+            &longterm_pairs(&scenario),
+            &FaultProfile::default(),
+            &RetryPolicy::default(),
+        );
+        let records = full.to_records();
+        let cut = records.len() / 2;
+        let shards =
+            [TraceStore::from_records(&records[..cut]), TraceStore::from_records(&records[cut..])];
+        let dir = std::path::Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/tmp/fabric-snap-merge"
+        ));
+        std::fs::create_dir_all(dir).expect("create target/tmp");
+        let mut direct = TraceStore::new();
+        let mut via_snapshot = TraceStore::new();
+        for (i, shard) in shards.iter().enumerate() {
+            direct.absorb(shard);
+            let path = dir.join(format!("shard-{i}.snap"));
+            s2s_probe::snapshot::write_file(&path, shard, &[]).expect("write snapshot");
+            let reopened = s2s_probe::snapshot::open_file(&path).expect("reopen");
+            via_snapshot.absorb(&reopened.store);
+        }
+        assert_eq!(store_digest(&via_snapshot), store_digest(&direct));
+        assert_eq!(via_snapshot.stats(), direct.stats());
+        // And the sequential-push identity the merge relies on.
+        assert_eq!(store_digest(&direct), store_digest(&full));
     }
 
     #[test]

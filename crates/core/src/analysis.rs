@@ -9,6 +9,10 @@
 //! * `Analysis<&TraceStore>` — the columnar traceroute corpus:
 //!   [`timelines`](Analysis::timelines) (the sharded §4 driver) and
 //!   [`ownership`](Analysis::ownership) (§5.3),
+//! * `Analysis<&Snapshot>` — a reopened binary snapshot
+//!   ([`s2s_probe::snapshot`]): the same store methods, delegating to the
+//!   embedded [`TraceStore`], so persisted campaign outputs open in
+//!   O(distinct-data) and analyze without a line re-import,
 //! * `Analysis<&[TraceTimeline]>` — built timelines:
 //!   [`dualstack`](Analysis::dualstack) (§6, Fig. 10a),
 //! * `Analysis<&[PingTimeline]>` — materialized ping series: §5.1
@@ -129,6 +133,33 @@ impl Analysis<&TraceStore> {
     /// trace's path — the heuristics consume sets).
     pub fn ownership(&self, map: &Ip2AsnMap, rels: &AsRelStore) -> OwnershipInference {
         crate::columnar::infer_ownership_store_impl(self.source, map, rels)
+    }
+}
+
+impl Analysis<&s2s_probe::Snapshot> {
+    /// The §4 columnar analysis over a reopened snapshot — identical to
+    /// `Analysis::new(&snapshot.store)`, so a persisted campaign output is
+    /// an analysis input without any line re-import. Byte-identical to the
+    /// legacy import path (pinned in `tests/tests/snapshot_equivalence.rs`).
+    pub fn timelines(&self, map: &Ip2AsnMap) -> Vec<TraceTimeline> {
+        Analysis {
+            source: &self.source.store,
+            threads: self.threads,
+            registry: self.registry.clone(),
+            floor: self.floor,
+        }
+        .timelines(map)
+    }
+
+    /// §5.3 ownership inference over the reopened store.
+    pub fn ownership(&self, map: &Ip2AsnMap, rels: &AsRelStore) -> OwnershipInference {
+        Analysis {
+            source: &self.source.store,
+            threads: self.threads,
+            registry: self.registry.clone(),
+            floor: self.floor,
+        }
+        .ownership(map, rels)
     }
 }
 

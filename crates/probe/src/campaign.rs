@@ -1115,7 +1115,7 @@ where
         let mut pair_accs: Vec<A> =
             cfg.protocols.iter().map(|&p| init(src, dst, p)).collect();
         for (li, line) in lines.iter().enumerate() {
-            let rec = traceroute_from_line(line, li).map_err(|e| {
+            let rec = traceroute_from_line(line, li + 1).map_err(|e| {
                 std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     format!("checkpoint block {pi}: {e}"),

@@ -16,7 +16,7 @@ use std::str::FromStr;
 /// Errors from parsing a dataset line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
-    /// Which line failed (0-based).
+    /// Which line failed (1-based, as editors and `grep -n` count).
     pub line: usize,
     /// What was wrong.
     pub message: String,
@@ -66,15 +66,19 @@ fn parse_proto(s: &str) -> Result<Protocol, String> {
 /// what lets checkpoint replay, and the fabric's cross-process shard
 /// merge, reproduce an in-memory campaign byte for byte.
 pub fn traceroute_to_line(r: &TracerouteRecord) -> String {
-    let mut hops = String::new();
-    for (i, h) in r.hops.iter().enumerate() {
-        if i > 0 {
-            hops.push(';');
-        }
-        let _ = write!(hops, "{},{}", opt(h.addr), opt(h.rtt_ms));
-    }
-    format!(
-        "T|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+    let mut line = String::new();
+    write_traceroute_line(&mut line, r);
+    line
+}
+
+/// Appends one traceroute's archive line (no trailing newline) to `buf` —
+/// the allocation-free core of [`traceroute_to_line`]. Digest and export
+/// loops reuse one buffer across millions of records instead of
+/// materializing a `String` per record.
+pub fn write_traceroute_line(buf: &mut String, r: &TracerouteRecord) {
+    let _ = write!(
+        buf,
+        "T|{}|{}|{}|{}|{}|{}|{}|{}|",
         r.src.0,
         r.dst.0,
         proto_tag(r.proto),
@@ -83,8 +87,13 @@ pub fn traceroute_to_line(r: &TracerouteRecord) -> String {
         opt(r.e2e_rtt_ms),
         opt(r.src_addr),
         opt(r.dst_addr),
-        hops
-    )
+    );
+    for (i, h) in r.hops.iter().enumerate() {
+        if i > 0 {
+            buf.push(';');
+        }
+        let _ = write!(buf, "{},{}", opt(h.addr), opt(h.rtt_ms));
+    }
 }
 
 /// Parses a traceroute line produced by [`traceroute_to_line`].
@@ -106,7 +115,13 @@ pub fn traceroute_from_line(line: &str, lineno: usize) -> Result<TracerouteRecor
     let dst = ClusterId::new(next()?.parse().map_err(|_| err("bad dst".into()))?);
     let proto = parse_proto(next()?).map_err(&err)?;
     let t = SimTime::from_minutes(next()?.parse().map_err(|_| err("bad time".into()))?);
-    let reached = next()? == "1";
+    // Strict 0/1: anything else ("2", "true", bit-rotted bytes) is a
+    // parse error, not a silent `false` — the lossy importer counts it.
+    let reached = match next()? {
+        "1" => true,
+        "0" => false,
+        other => return Err(err(format!("bad reached flag '{other}' (want 0 or 1)"))),
+    };
     let e2e_rtt_ms = parse_opt::<f64>(next()?).map_err(&err)?;
     let src_addr = parse_opt::<IpAddr>(next()?).map_err(&err)?;
     let dst_addr = parse_opt::<IpAddr>(next()?).map_err(&err)?;
@@ -209,18 +224,20 @@ pub fn write_traceroutes<W: std::io::Write>(
 }
 
 /// Reads traceroute records from a reader (skipping blank lines and `#`
-/// comments).
+/// comments). Errors carry 1-based line numbers.
 pub fn read_traceroutes<R: std::io::BufRead>(
     r: R,
 ) -> Result<Vec<TracerouteRecord>, ParseError> {
     let mut out = Vec::new();
     for (i, line) in r.lines().enumerate() {
-        let line = line.map_err(|e| ParseError { line: i, message: e.to_string() })?;
+        let lineno = i + 1;
+        let line =
+            line.map_err(|e| ParseError { line: lineno, message: e.to_string() })?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        out.push(traceroute_from_line(line, i)?);
+        out.push(traceroute_from_line(line, lineno)?);
     }
     Ok(out)
 }
@@ -266,12 +283,12 @@ pub fn read_traceroutes_lossy<R: std::io::BufRead>(
     let mut out = Vec::new();
     let mut report = ImportReport::default();
     for (i, line) in r.lines().enumerate() {
-        let Some(line) = lossy_line(line, i, &mut report)? else { continue };
+        let Some(line) = lossy_line(line, i + 1, &mut report)? else { continue };
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        match traceroute_from_line(line, i) {
+        match traceroute_from_line(line, i + 1) {
             Ok(rec) => {
                 report.imported += 1;
                 out.push(rec);
@@ -319,12 +336,12 @@ pub fn read_ping_timelines_lossy<R: std::io::BufRead>(
     let mut out = Vec::new();
     let mut report = ImportReport::default();
     for (i, line) in r.lines().enumerate() {
-        let Some(line) = lossy_line(line, i, &mut report)? else { continue };
+        let Some(line) = lossy_line(line, i + 1, &mut report)? else { continue };
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        match ping_timeline_from_line(line, i) {
+        match ping_timeline_from_line(line, i + 1) {
             Ok(tl) => {
                 report.imported += 1;
                 out.push(tl);
@@ -480,6 +497,79 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_reached_flag_is_rejected_not_false() {
+        // Regression: `reached` used to parse with `== "1"`, so any
+        // corrupt value silently became `false`.
+        let good = traceroute_to_line(&sample_record());
+        for bad in ["2", "true", "01", "x", "", "-1", "1 "] {
+            let mut fields: Vec<&str> = good.split('|').collect();
+            fields[5] = bad;
+            let line = fields.join("|");
+            let e = traceroute_from_line(&line, 4).unwrap_err();
+            assert!(
+                e.message.contains("reached"),
+                "'{bad}' must be a reached-flag error, got: {e}"
+            );
+            assert_eq!(e.line, 4);
+        }
+        // The valid flags still parse.
+        for (flag, want) in [("1", true), ("0", false)] {
+            let mut fields: Vec<&str> = good.split('|').collect();
+            fields[5] = flag;
+            let r = traceroute_from_line(&fields.join("|"), 0).unwrap();
+            assert_eq!(r.reached, want);
+        }
+    }
+
+    #[test]
+    fn lossy_import_counts_corrupt_reached_as_skip() {
+        let good = traceroute_to_line(&sample_record());
+        let fuzzed = {
+            let mut fields: Vec<&str> = good.split('|').collect();
+            fields[5] = "7";
+            fields.join("|")
+        };
+        let text = format!("{good}\n{fuzzed}\n{good}\n");
+        let (out, report) =
+            read_traceroutes_lossy(std::io::Cursor::new(text.into_bytes())).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.first_errors[0].line, 2);
+        assert!(report.first_errors[0].message.contains("reached"));
+    }
+
+    #[test]
+    fn parse_errors_report_one_based_lines() {
+        // Strict importer: the bad line is the second one.
+        let good = traceroute_to_line(&sample_record());
+        let text = format!("{good}\ngarbage\n");
+        let e = read_traceroutes(std::io::Cursor::new(text.into_bytes())).unwrap_err();
+        assert_eq!(e.line, 2, "editors count from 1");
+        // Ping importer: damage on line 2 reports line 2.
+        let (_, report) = read_ping_timelines_lossy(std::io::Cursor::new(
+            b"# comment\nP|not|a|timeline\n".to_vec(),
+        ))
+        .unwrap();
+        assert_eq!(report.first_errors[0].line, 2);
+    }
+
+    #[test]
+    fn write_traceroute_line_matches_to_line_with_buffer_reuse() {
+        let records = [sample_record(), {
+            let mut r = sample_record();
+            r.hops.clear();
+            r.reached = false;
+            r
+        }];
+        let mut buf = String::new();
+        for r in &records {
+            buf.clear();
+            write_traceroute_line(&mut buf, r);
+            assert_eq!(buf, traceroute_to_line(r), "reused buffer must agree");
+        }
+    }
+
+    #[test]
     fn ping_timeline_round_trips() {
         let tl = PingTimeline {
             src: ClusterId::new(1),
@@ -510,7 +600,7 @@ mod tests {
         assert_eq!(report.imported, 3);
         assert_eq!(report.skipped, 2);
         assert_eq!(report.first_errors.len(), 2);
-        assert_eq!(report.first_errors[0].line, 2, "0-based line of 'garbage line'");
+        assert_eq!(report.first_errors[0].line, 3, "1-based line of 'garbage line'");
         assert_eq!(report.coverage().to_string(), "3/5 (60.0%)");
     }
 

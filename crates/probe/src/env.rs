@@ -32,6 +32,9 @@
 //! | `S2S_FABRIC_BACKOFF_MS` | `10` | First retry backoff (doubles per attempt, jittered) |
 //! | `S2S_FABRIC_HB_MS` | `100` | Worker heartbeat interval |
 //! | `S2S_FABRIC_WORKERS` | `1` | Default worker count for `reproduce` (1 = in-process) |
+//! | `S2S_SNAPSHOT_BLOCK` | `4096` | Traces per snapshot `BLOCK` segment (≥ 1, the unit of loss) |
+//! | `S2S_SNAPSHOT_DIR` | unset | Fabric merge also writes per-shard snapshots here |
+//! | `S2S_SNAPSHOT_PATH` | unset | Default for `reproduce --snapshot` |
 //!
 //! The experiment-scale knobs (`S2S_SEED`, `S2S_CLUSTERS`, `S2S_DAYS`,
 //! `S2S_PAIRS`, `S2S_PING_PAIRS`, `S2S_CONG_PAIRS`) and the bench-only
@@ -121,6 +124,33 @@ pub fn fabric_workers() -> usize {
     tenv::var_usize_at_least("S2S_FABRIC_WORKERS", 1, 1)
 }
 
+/// Traces per snapshot `BLOCK` segment: the `S2S_SNAPSHOT_BLOCK` knob when
+/// set to a valid integer ≥ 1, default
+/// [`crate::snapshot::DEFAULT_BLOCK_TRACES`]. The block is the unit of
+/// loss under corruption — smaller blocks lose less per bad byte, larger
+/// blocks amortize segment headers better.
+pub fn snapshot_block() -> usize {
+    tenv::var_usize_at_least(
+        "S2S_SNAPSHOT_BLOCK",
+        crate::snapshot::DEFAULT_BLOCK_TRACES,
+        1,
+    )
+}
+
+/// Directory the fabric merge writes per-shard snapshot files into: the
+/// `S2S_SNAPSHOT_DIR` knob; unset (the default) means the merge keeps its
+/// in-memory absorb path only.
+pub fn snapshot_dir() -> Option<std::path::PathBuf> {
+    tenv::var_raw("S2S_SNAPSHOT_DIR").map(std::path::PathBuf::from)
+}
+
+/// Default snapshot path for `reproduce --snapshot`: the
+/// `S2S_SNAPSHOT_PATH` knob; unset means no snapshot unless the flag is
+/// given.
+pub fn snapshot_path() -> Option<std::path::PathBuf> {
+    tenv::var_raw("S2S_SNAPSHOT_PATH").map(std::path::PathBuf::from)
+}
+
 /// Every `S2S_*` variable some layer of the platform recognizes: the
 /// measurement-plane knobs above, the fabric knobs (including the
 /// coordinator→worker assignment variables), and the `s2s-bench`
@@ -150,6 +180,10 @@ pub const KNOWN_KNOBS: &[&str] = &[
     "S2S_FABRIC_BACKOFF_MS",
     "S2S_FABRIC_HB_MS",
     "S2S_FABRIC_WORKERS",
+    // Snapshot persistence.
+    "S2S_SNAPSHOT_BLOCK",
+    "S2S_SNAPSHOT_DIR",
+    "S2S_SNAPSHOT_PATH",
     // Fabric: coordinator→worker assignment (not operator-set).
     "S2S_FABRIC_SHARD",
     "S2S_FABRIC_SHARDS",
@@ -366,6 +400,28 @@ pub fn resolved_knobs() -> Vec<ResolvedKnob> {
             "1".to_string(),
             "default reproduce worker count (1 = in-process)",
         ),
+        ResolvedKnob::new(
+            "S2S_SNAPSHOT_BLOCK",
+            snapshot_block().to_string(),
+            crate::snapshot::DEFAULT_BLOCK_TRACES.to_string(),
+            "traces per snapshot BLOCK segment (the unit of loss)",
+        ),
+        ResolvedKnob::new(
+            "S2S_SNAPSHOT_DIR",
+            snapshot_dir()
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| "unset".to_string()),
+            "unset".to_string(),
+            "fabric merge also writes per-shard snapshots here",
+        ),
+        ResolvedKnob::new(
+            "S2S_SNAPSHOT_PATH",
+            snapshot_path()
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| "unset".to_string()),
+            "unset".to_string(),
+            "default for reproduce --snapshot",
+        ),
     ]
 }
 
@@ -456,6 +512,9 @@ mod tests {
             "S2S_FABRIC_BACKOFF_MS",
             "S2S_FABRIC_HB_MS",
             "S2S_FABRIC_WORKERS",
+            "S2S_SNAPSHOT_BLOCK",
+            "S2S_SNAPSHOT_DIR",
+            "S2S_SNAPSHOT_PATH",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }

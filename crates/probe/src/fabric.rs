@@ -66,14 +66,27 @@ pub const ENV_CKPT_DIR: &str = "S2S_FABRIC_CKPT_DIR";
 /// Environment variable selecting the worker's campaign mode.
 pub const ENV_MODE: &str = "S2S_FABRIC_MODE";
 
+/// The FNV-1a 64-bit offset basis — the seed for [`fnv64_bytes`] chains.
+pub const FNV64_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// Folds `bytes` into a running FNV-1a 64-bit hash `h`. Streaming form:
+/// `fnv64_bytes(fnv64_bytes(FNV64_OFFSET, a), b)` equals hashing `a ++ b`
+/// in one pass, so callers can digest encoder output chunk by chunk
+/// without materializing the whole payload.
+pub fn fnv64_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 /// FNV-1a over payload lines, with a `\n` folded after each line so the
 /// checksum pins both content and line structure.
 pub fn fnv64_lines<S: AsRef<str>>(lines: &[S]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
+    let mut h: u64 = FNV64_OFFSET;
     for l in lines {
-        for b in l.as_ref().bytes().chain(std::iter::once(b'\n')) {
-            h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
-        }
+        h = fnv64_bytes(h, l.as_ref().as_bytes());
+        h = fnv64_bytes(h, b"\n");
     }
     h
 }

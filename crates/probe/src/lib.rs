@@ -37,6 +37,11 @@
 //!   [`PairProfileSink`]): fold samples into constant-size per-pair state
 //!   as they are measured, attached via [`Campaign::sink`] — the §5
 //!   short-term mesh as a bounded-memory workload,
+//! * [`snapshot`] — binary columnar snapshots: a versioned, checksummed
+//!   on-disk twin of [`TraceStore`] (interned address table, hash-consed
+//!   sequence arena, raw column blocks, sink states) that reopens in
+//!   O(distinct-data) instead of re-parsing O(lines), with a lossy open
+//!   that degrades torn or corrupt segments to counted skips,
 //! * [`fabric`] — the crash-tolerant scale-out layer: a coordinator
 //!   shards the pair space across worker subprocesses speaking a framed
 //!   stdout protocol, reaps hung or crashed workers by heartbeat timeout,
@@ -51,6 +56,7 @@ pub mod env;
 pub mod fabric;
 pub mod faults;
 pub mod records;
+pub mod snapshot;
 pub mod store;
 pub mod stream;
 pub mod tracer;
@@ -67,6 +73,7 @@ pub use fabric::{
 };
 pub use faults::{FaultInjector, FaultProfile, ProbeFault};
 pub use records::{HopObs, PingRecord, TracerouteRecord};
+pub use snapshot::{Snapshot, SnapshotReport};
 pub use store::{StoreStats, TraceStore, TraceView};
 pub use stream::{PairProfile, PairProfileSink, StreamSink, TimelineSink};
 pub use tracer::{trace, TraceOptions, TracerouteMode};

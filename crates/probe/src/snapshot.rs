@@ -1,0 +1,1047 @@
+//! Binary columnar snapshots: the on-disk twin of [`TraceStore`].
+//!
+//! The `|`-record archive ([`crate::dataset`]) is the *interchange* form —
+//! human-greppable, line-oriented, re-parsed at microseconds per line. At
+//! the paper's scale (~2.6 B traceroutes) that re-parse is the dominant
+//! cost of every analysis, because the text form stores each hop sequence
+//! once per trace and re-interns everything on import. A snapshot instead
+//! persists the store's *arenas*: the interned address table and the
+//! hash-consed sequence arena are written once per **distinct** value, and
+//! the per-trace columns are written as raw little-endian arrays that load
+//! back with bulk copies — so [`read`] runs in O(distinct-data + column
+//! bytes), not O(lines × fields), and the reopened store is byte-identical
+//! to the one that was saved ([`TraceStore::to_records`] agrees exactly,
+//! proptest-pinned).
+//!
+//! ## Layout (version 1)
+//!
+//! ```text
+//! magic  "S2SNAP01"                                  8 bytes
+//! version u32                                        4 bytes
+//! segment*                                           until END
+//! ```
+//!
+//! Every segment is length-prefixed and independently checksummed:
+//!
+//! ```text
+//! tag         u32    ADDR=1 SEQ=2 BLOCK=3 SINK=4 END=5
+//! count       u64    records in this segment (traces for BLOCK)
+//! len         u64    payload bytes
+//! payload_fnv u64    FNV-1a over the payload
+//! header_fnv  u64    FNV-1a over the 28 header bytes above
+//! payload     len bytes
+//! ```
+//!
+//! * `ADDR` — the interned address table, id order: one tag byte (4 or 6)
+//!   plus the 4- or 16-byte address per entry.
+//! * `SEQ` — the hop-sequence arena: the flat `u32` id array plus the
+//!   per-sequence end offsets.
+//! * `BLOCK` — a batch of `S2S_SNAPSHOT_BLOCK` traces (default
+//!   [`DEFAULT_BLOCK_TRACES`]): every per-trace column as a raw array,
+//!   presence/boolean bitsets packed per block, per-trace hop counts, and
+//!   the block's flat hop-RTT slots. Blocks are the unit of loss: a torn
+//!   or bit-flipped block degrades to `count` skipped traces, everything
+//!   else still loads.
+//! * `SINK` — serialized [`StreamSink`](crate::stream::StreamSink) state
+//!   lines (bit-exact strings, PR 5), so a campaign's sketch/sink results
+//!   ride in the same file and reopen without replay.
+//! * `END` — the totals (traces, sinks). A snapshot without its `END`
+//!   segment was torn mid-write.
+//!
+//! ## Corruption policy
+//!
+//! [`read`] is strict: the first bad byte is an error. [`read_lossy`]
+//! mirrors [`crate::dataset::read_traceroutes_lossy`]: damage degrades to
+//! *counted* skips, never a panic and never silent acceptance. A corrupt
+//! `BLOCK` skips exactly `count` traces; a corrupt `SINK` segment skips
+//! its `count` states; a corrupt `ADDR`/`SEQ` segment poisons every
+//! subsequent block (their ids would dangle) so those blocks are counted
+//! skipped too; a header that fails its own checksum ends the scan (framing
+//! is lost) and the `END` totals — when they were seen — still bound how
+//! much was lost. Every decoded id is range-checked before it enters the
+//! store, so a checksum collision cannot plant an out-of-bounds index.
+
+use crate::store::TraceStore;
+use s2s_types::{ClusterId, Coverage, SimTime};
+use std::io::{self, Read, Write};
+use std::net::IpAddr;
+use std::path::Path;
+
+/// File magic: identifies a snapshot regardless of the version field.
+pub const MAGIC: &[u8; 8] = b"S2SNAP01";
+/// Current format version (bump on any layout change).
+pub const VERSION: u32 = 1;
+/// Default traces per `BLOCK` segment (the `S2S_SNAPSHOT_BLOCK` knob).
+pub const DEFAULT_BLOCK_TRACES: usize = 4096;
+
+const TAG_ADDR: u32 = 1;
+const TAG_SEQ: u32 = 2;
+const TAG_BLOCK: u32 = 3;
+const TAG_SINK: u32 = 4;
+const TAG_END: u32 = 5;
+
+const HEADER_BYTES: usize = 36;
+
+/// The segment checksum: FNV-1a folded eight bytes at a time (the tail
+/// byte-wise), one multiply per word instead of per byte. Any change
+/// confined to a single word is always detected — xor-then-multiply by
+/// an odd prime is injective in the accumulator — and payload checksum
+/// cost stays ~1/8th of canonical FNV on multi-megabyte snapshots.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = crate::fabric::FNV64_OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().unwrap());
+        h = (h ^ w).wrapping_mul(0x100000001b3);
+    }
+    crate::fabric::fnv64_bytes(h, chunks.remainder())
+}
+
+/// A reopened snapshot: the columnar store plus any sink-state lines that
+/// rode along. `s2s_core`'s `Analysis::new` accepts `&Snapshot` directly
+/// (delegating to the store), so a campaign's output directory is an
+/// analysis input without any line re-import.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// The reopened columnar store — byte-identical to the saved one.
+    pub store: TraceStore,
+    /// Serialized sink states ([`crate::stream::StreamSink::save`] lines),
+    /// in saved order, bit-exact.
+    pub sinks: Vec<String>,
+}
+
+/// What a lossy open did: how much loaded, how much was skipped, and the
+/// first few reasons why — the snapshot counterpart of
+/// [`crate::dataset::ImportReport`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotReport {
+    /// Traces loaded into the store.
+    pub traces: usize,
+    /// Traces lost to corrupt, torn, or poisoned segments.
+    pub skipped_traces: usize,
+    /// Sink states loaded.
+    pub sinks: usize,
+    /// Sink states lost to corrupt or torn segments.
+    pub skipped_sinks: usize,
+    /// Segments that failed their checksum or validation.
+    pub skipped_segments: usize,
+    /// The stream ended before a valid `END` segment (torn write).
+    pub torn: bool,
+    /// The first [`SnapshotReport::MAX_SAMPLED_ERRORS`] damage reasons.
+    pub first_errors: Vec<String>,
+}
+
+impl SnapshotReport {
+    /// How many damage reasons a report keeps verbatim.
+    pub const MAX_SAMPLED_ERRORS: usize = 8;
+
+    fn note(&mut self, msg: String) {
+        if self.first_errors.len() < Self::MAX_SAMPLED_ERRORS {
+            self.first_errors.push(msg);
+        }
+    }
+
+    /// Trace coverage of the snapshot: loaded over (loaded + skipped).
+    pub fn coverage(&self) -> Coverage {
+        Coverage::new(self.traces, self.traces + self.skipped_traces)
+    }
+
+    /// Whether the open lost nothing.
+    pub fn clean(&self) -> bool {
+        self.skipped_traces == 0
+            && self.skipped_sinks == 0
+            && self.skipped_segments == 0
+            && !self.torn
+    }
+
+    /// Publishes the open's outcome as `snapshot.*` gauges.
+    pub fn publish(&self, registry: &s2s_obs::Registry) {
+        registry.gauge("snapshot.traces").set(self.traces as u64);
+        registry.gauge("snapshot.skipped_traces").set(self.skipped_traces as u64);
+        registry.gauge("snapshot.sinks").set(self.sinks as u64);
+        registry.gauge("snapshot.skipped_sinks").set(self.skipped_sinks as u64);
+        registry.gauge("snapshot.skipped_segments").set(self.skipped_segments as u64);
+        registry.gauge("snapshot.torn").set(u64::from(self.torn));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian encode helpers (the format is LE on every platform)
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian cursor over a decoded payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(e) => {
+                let s = &self.buf[self.pos..e];
+                self.pos = e;
+                Ok(s)
+            }
+            None => Err("payload truncated".into()),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Bulk-reads `n` u32s as one bounds check + a chunked copy — the
+    /// column fast path (per-element `u32()` pays a checked take each).
+    fn u32s(&mut self, n: usize) -> Result<Vec<u32>, String> {
+        let bytes = self.take(n.checked_mul(4).ok_or("column length overflow")?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Bulk-reads `n` bit-encoded f64s (same fast path as [`Self::u32s`]).
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, String> {
+        let bytes = self.take(n.checked_mul(8).ok_or("column length overflow")?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Packs `n` bits drawn from `bit(i)` into bytes, LSB-first.
+fn pack_bits(buf: &mut Vec<u8>, n: usize, bit: impl Fn(usize) -> bool) {
+    let mut byte = 0u8;
+    for i in 0..n {
+        if bit(i) {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            buf.push(byte);
+            byte = 0;
+        }
+    }
+    if !n.is_multiple_of(8) {
+        buf.push(byte);
+    }
+}
+
+/// Unpacks `n` LSB-first bits from a cursor.
+fn unpack_bits(c: &mut Cursor<'_>, n: usize) -> Result<Vec<bool>, String> {
+    let bytes = c.take(n.div_ceil(8))?;
+    Ok((0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_segment<W: Write>(
+    w: &mut W,
+    tag: u32,
+    count: u64,
+    payload: &[u8],
+) -> io::Result<u64> {
+    let mut header = Vec::with_capacity(HEADER_BYTES);
+    put_u32(&mut header, tag);
+    put_u64(&mut header, count);
+    put_u64(&mut header, payload.len() as u64);
+    put_u64(&mut header, fnv64(payload));
+    let hfnv = fnv64(&header);
+    put_u64(&mut header, hfnv);
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    Ok((header.len() + payload.len()) as u64)
+}
+
+fn encode_addr(buf: &mut Vec<u8>, addr: IpAddr) {
+    match addr {
+        IpAddr::V4(a) => {
+            buf.push(4);
+            buf.extend_from_slice(&a.octets());
+        }
+        IpAddr::V6(a) => {
+            buf.push(6);
+            buf.extend_from_slice(&a.octets());
+        }
+    }
+}
+
+fn encode_block(store: &TraceStore, range: std::ops::Range<usize>) -> Vec<u8> {
+    let n = range.len();
+    let hop_base = store.rtt_offsets[range.start] as usize;
+    let hop_end = store.rtt_offsets[range.end] as usize;
+    let n_hops = hop_end - hop_base;
+    let mut buf = Vec::with_capacity(n * 44 + n_hops * 9 + 32);
+    for i in range.clone() {
+        put_u32(&mut buf, store.srcs[i].0);
+    }
+    for i in range.clone() {
+        put_u32(&mut buf, store.dsts[i].0);
+    }
+    for i in range.clone() {
+        put_u32(&mut buf, store.times[i].0);
+    }
+    for i in range.clone() {
+        put_u32(&mut buf, store.seqs[i]);
+    }
+    for i in range.clone() {
+        put_u32(&mut buf, store.src_addrs[i]);
+    }
+    for i in range.clone() {
+        put_u32(&mut buf, store.dst_addrs[i]);
+    }
+    for i in range.clone() {
+        put_u64(&mut buf, store.e2e[i].to_bits());
+    }
+    pack_bits(&mut buf, n, |k| store.e2e_some.get(range.start + k));
+    pack_bits(&mut buf, n, |k| store.reached.get(range.start + k));
+    pack_bits(&mut buf, n, |k| store.proto_v6.get(range.start + k));
+    for i in range.clone() {
+        let hops = store.rtt_offsets[i + 1] - store.rtt_offsets[i];
+        put_u32(&mut buf, hops);
+    }
+    put_u64(&mut buf, n_hops as u64);
+    for k in hop_base..hop_end {
+        put_u64(&mut buf, store.rtts[k].to_bits());
+    }
+    pack_bits(&mut buf, n_hops, |k| store.rtt_some.get(hop_base + k));
+    buf
+}
+
+/// Writes a snapshot of `store` (plus optional serialized sink states) with
+/// `block_traces` traces per `BLOCK` segment. Returns the bytes written.
+pub fn write<W: Write>(
+    w: &mut W,
+    store: &TraceStore,
+    sinks: &[String],
+    block_traces: usize,
+) -> io::Result<u64> {
+    let block_traces = block_traces.max(1);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let mut written = (MAGIC.len() + 4) as u64;
+
+    let mut addr_buf = Vec::new();
+    for &a in store.addrs() {
+        encode_addr(&mut addr_buf, a);
+    }
+    written += write_segment(w, TAG_ADDR, store.addr_count() as u64, &addr_buf)?;
+
+    let mut seq_buf = Vec::new();
+    put_u64(&mut seq_buf, store.seq_data.len() as u64);
+    for &d in &store.seq_data {
+        put_u32(&mut seq_buf, d);
+    }
+    // End offsets only: offsets[0] is always 0.
+    for &o in &store.seq_offsets[1..] {
+        put_u32(&mut seq_buf, o);
+    }
+    written += write_segment(w, TAG_SEQ, store.seq_count() as u64, &seq_buf)?;
+
+    let mut start = 0;
+    while start < store.len() {
+        let end = (start + block_traces).min(store.len());
+        let payload = encode_block(store, start..end);
+        written += write_segment(w, TAG_BLOCK, (end - start) as u64, &payload)?;
+        start = end;
+    }
+
+    if !sinks.is_empty() {
+        let mut sink_buf = Vec::new();
+        for s in sinks {
+            put_u32(&mut sink_buf, s.len() as u32);
+            sink_buf.extend_from_slice(s.as_bytes());
+        }
+        written += write_segment(w, TAG_SINK, sinks.len() as u64, &sink_buf)?;
+    }
+
+    let mut end_buf = Vec::new();
+    put_u64(&mut end_buf, store.len() as u64);
+    put_u64(&mut end_buf, sinks.len() as u64);
+    written += write_segment(w, TAG_END, store.len() as u64, &end_buf)?;
+    w.flush()?;
+    Ok(written)
+}
+
+/// [`write()`] to a file path, block size from the `S2S_SNAPSHOT_BLOCK` knob.
+/// The file is written to a `.tmp` sibling and renamed into place, so a
+/// crash mid-write leaves no half-snapshot under the final name.
+pub fn write_file(path: &Path, store: &TraceStore, sinks: &[String]) -> io::Result<u64> {
+    let tmp = path.with_extension("snap.tmp");
+    let mut f = io::BufWriter::new(std::fs::File::create(&tmp)?);
+    let bytes = write(&mut f, store, sinks, crate::env::snapshot_block())?;
+    f.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    Ok(bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+struct SegmentHeader {
+    tag: u32,
+    count: u64,
+    len: u64,
+    payload_fnv: u64,
+}
+
+enum HeaderRead {
+    Ok(SegmentHeader),
+    /// Clean EOF exactly at a segment boundary.
+    Eof,
+    /// Damage: torn header bytes or a failed header checksum.
+    Bad(String),
+}
+
+fn read_header<R: Read>(r: &mut R) -> io::Result<HeaderRead> {
+    let mut buf = [0u8; HEADER_BYTES];
+    let mut got = 0;
+    while got < HEADER_BYTES {
+        let n = r.read(&mut buf[got..])?;
+        if n == 0 {
+            return Ok(if got == 0 {
+                HeaderRead::Eof
+            } else {
+                HeaderRead::Bad(format!("torn segment header ({got} of {HEADER_BYTES} bytes)"))
+            });
+        }
+        got += n;
+    }
+    let stored_hfnv = u64::from_le_bytes(buf[28..36].try_into().unwrap());
+    if fnv64(&buf[..28]) != stored_hfnv {
+        return Ok(HeaderRead::Bad("segment header failed its checksum".into()));
+    }
+    Ok(HeaderRead::Ok(SegmentHeader {
+        tag: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+        count: u64::from_le_bytes(buf[4..12].try_into().unwrap()),
+        len: u64::from_le_bytes(buf[12..20].try_into().unwrap()),
+        payload_fnv: u64::from_le_bytes(buf[20..28].try_into().unwrap()),
+    }))
+}
+
+/// Reads exactly `len` payload bytes; `Ok(None)` marks a torn tail.
+fn read_payload<R: Read>(r: &mut R, len: u64) -> io::Result<Option<Vec<u8>>> {
+    let len = len as usize;
+    let mut buf = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        let n = r.read(&mut buf[got..])?;
+        if n == 0 {
+            return Ok(None);
+        }
+        got += n;
+    }
+    Ok(Some(buf))
+}
+
+fn decode_addrs(payload: &[u8], count: u64) -> Result<Vec<IpAddr>, String> {
+    let mut c = Cursor::new(payload);
+    let mut addrs = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let addr = match c.u8()? {
+            4 => IpAddr::from(<[u8; 4]>::try_from(c.take(4)?).unwrap()),
+            6 => IpAddr::from(<[u8; 16]>::try_from(c.take(16)?).unwrap()),
+            t => return Err(format!("bad address family tag {t}")),
+        };
+        addrs.push(addr);
+    }
+    if !c.done() {
+        return Err("trailing bytes after address table".into());
+    }
+    Ok(addrs)
+}
+
+fn decode_seqs(
+    payload: &[u8],
+    count: u64,
+    addr_count: usize,
+) -> Result<(Vec<u32>, Vec<u32>), String> {
+    let mut c = Cursor::new(payload);
+    let data_len = c.u64()? as usize;
+    let mut data = Vec::with_capacity(data_len);
+    for _ in 0..data_len {
+        let id = c.u32()?;
+        if id != crate::store::NO_ADDR && id as usize >= addr_count {
+            return Err(format!("hop address id {id} out of range"));
+        }
+        data.push(id);
+    }
+    let mut offsets = Vec::with_capacity(count as usize + 1);
+    offsets.push(0u32);
+    for _ in 0..count {
+        let end = c.u32()?;
+        if (end as usize) < *offsets.last().unwrap() as usize || end as usize > data_len {
+            return Err("sequence offsets not monotonic".into());
+        }
+        offsets.push(end);
+    }
+    if *offsets.last().unwrap() as usize != data_len {
+        return Err("sequence arena length mismatch".into());
+    }
+    if !c.done() {
+        return Err("trailing bytes after sequence arena".into());
+    }
+    Ok((data, offsets))
+}
+
+/// Decodes one trace block and appends it to `store`. Validates every id
+/// against the already-loaded arenas before anything is pushed, so a
+/// failed block leaves the store untouched.
+fn decode_block(store: &mut TraceStore, payload: &[u8], count: u64) -> Result<(), String> {
+    let n = count as usize;
+    let mut c = Cursor::new(payload);
+    let srcs = c.u32s(n)?;
+    let dsts = c.u32s(n)?;
+    let times = c.u32s(n)?;
+    let seqs = c.u32s(n)?;
+    let src_addrs = c.u32s(n)?;
+    let dst_addrs = c.u32s(n)?;
+    let e2e = c.f64s(n)?;
+    let e2e_some = unpack_bits(&mut c, n)?;
+    let reached = unpack_bits(&mut c, n)?;
+    let proto_v6 = unpack_bits(&mut c, n)?;
+    let hop_counts = c.u32s(n)?;
+    let n_hops = c.u64()? as usize;
+    if hop_counts.iter().map(|&h| h as usize).sum::<usize>() != n_hops {
+        return Err("hop counts disagree with the block's hop total".into());
+    }
+    let rtts = c.f64s(n_hops)?;
+    let rtt_some = unpack_bits(&mut c, n_hops)?;
+    if !c.done() {
+        return Err("trailing bytes after trace block".into());
+    }
+    let seq_count = store.seq_count() as u32;
+    let addr_count = store.addr_count() as u32;
+    let addr_ok =
+        |id: u32| id == crate::store::NO_ADDR || id < addr_count;
+    for i in 0..n {
+        if seqs[i] >= seq_count {
+            return Err(format!("sequence id {} out of range", seqs[i]));
+        }
+        if !addr_ok(src_addrs[i]) || !addr_ok(dst_addrs[i]) {
+            return Err("endpoint address id out of range".into());
+        }
+    }
+    store.srcs.extend(srcs.iter().map(|&v| ClusterId::new(v)));
+    store.dsts.extend(dsts.iter().map(|&v| ClusterId::new(v)));
+    store.times.extend(times.iter().map(|&v| SimTime(v)));
+    store.seqs.extend_from_slice(&seqs);
+    store.src_addrs.extend_from_slice(&src_addrs);
+    store.dst_addrs.extend_from_slice(&dst_addrs);
+    store.e2e.extend_from_slice(&e2e);
+    for i in 0..n {
+        store.e2e_some.push(e2e_some[i]);
+        store.reached.push(reached[i]);
+        store.proto_v6.push(proto_v6[i]);
+    }
+    let mut off = *store.rtt_offsets.last().unwrap();
+    for &h in &hop_counts {
+        off += h;
+        store.rtt_offsets.push(off);
+    }
+    store.rtts.extend_from_slice(&rtts);
+    for &b in rtt_some.iter().take(n_hops) {
+        store.rtt_some.push(b);
+    }
+    Ok(())
+}
+
+fn decode_sinks(payload: &[u8], count: u64) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(payload);
+    let mut sinks = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let len = c.u32()? as usize;
+        let bytes = c.take(len)?;
+        sinks.push(
+            String::from_utf8(bytes.to_vec()).map_err(|_| "sink state not UTF-8")?,
+        );
+    }
+    if !c.done() {
+        return Err("trailing bytes after sink states".into());
+    }
+    Ok(sinks)
+}
+
+fn read_prologue<R: Read>(r: &mut R) -> io::Result<()> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(|_| bad("not a snapshot: short magic"))?;
+    if &magic != MAGIC {
+        return Err(bad("not a snapshot: bad magic"));
+    }
+    let mut ver = [0u8; 4];
+    r.read_exact(&mut ver).map_err(|_| bad("not a snapshot: short version"))?;
+    let version = u32::from_le_bytes(ver);
+    if version != VERSION {
+        return Err(bad(&format!(
+            "unsupported snapshot version {version} (expected {VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+/// Opens a snapshot from a reader, tolerating damage: torn or corrupt
+/// segments degrade to counted skips in the [`SnapshotReport`], exactly as
+/// [`crate::dataset::read_traceroutes_lossy`] treats mangled lines. Only a
+/// stream-level I/O failure, a foreign file (bad magic), or an unsupported
+/// version is an error — those lose *everything*, not a countable part.
+pub fn read_lossy<R: Read>(r: &mut R) -> io::Result<(Snapshot, SnapshotReport)> {
+    read_prologue(r)?;
+    let mut snap = Snapshot { store: TraceStore::new(), ..Snapshot::default() };
+    let mut report = SnapshotReport::default();
+    // Arenas poisoned: ADDR or SEQ was lost, so block ids cannot be
+    // trusted (validation would reject them anyway); count, don't load.
+    let mut poisoned = false;
+    let mut saw_end = false;
+    let mut end_totals: Option<(u64, u64)> = None;
+    loop {
+        let header = match read_header(r)? {
+            HeaderRead::Ok(h) => h,
+            HeaderRead::Eof => break,
+            HeaderRead::Bad(msg) => {
+                // Framing is gone: without a trustworthy length there is
+                // no next boundary to resync to.
+                report.skipped_segments += 1;
+                report.torn = true;
+                report.note(msg);
+                break;
+            }
+        };
+        let payload = match read_payload(r, header.len)? {
+            Some(p) => p,
+            None => {
+                report.skipped_segments += 1;
+                report.torn = true;
+                if header.tag == TAG_BLOCK {
+                    report.skipped_traces += header.count as usize;
+                } else if header.tag == TAG_SINK {
+                    report.skipped_sinks += header.count as usize;
+                }
+                report.note(format!("torn payload in segment tag {}", header.tag));
+                break;
+            }
+        };
+        let checksum_ok = fnv64(&payload) == header.payload_fnv;
+        let outcome: Result<(), String> = if !checksum_ok {
+            Err("segment payload failed its checksum".into())
+        } else {
+            match header.tag {
+                TAG_ADDR => decode_addrs(&payload, header.count).map(|addrs| {
+                    snap.store.addrs = addrs;
+                }),
+                TAG_SEQ => {
+                    decode_seqs(&payload, header.count, snap.store.addr_count()).map(
+                        |(data, offsets)| {
+                            snap.store.seq_data = data;
+                            snap.store.seq_offsets = offsets;
+                        },
+                    )
+                }
+                TAG_BLOCK => {
+                    if poisoned {
+                        Err("block poisoned by an earlier arena loss".into())
+                    } else {
+                        decode_block(&mut snap.store, &payload, header.count)
+                            .map(|()| report.traces += header.count as usize)
+                    }
+                }
+                TAG_SINK => decode_sinks(&payload, header.count).map(|s| {
+                    report.sinks += s.len();
+                    snap.sinks.extend(s);
+                }),
+                TAG_END => {
+                    let mut c = Cursor::new(&payload);
+                    match (c.u64(), c.u64()) {
+                        (Ok(t), Ok(s)) => {
+                            end_totals = Some((t, s));
+                            saw_end = true;
+                            Ok(())
+                        }
+                        _ => Err("malformed END segment".into()),
+                    }
+                }
+                t => Err(format!("unknown segment tag {t}")),
+            }
+        };
+        if let Err(msg) = outcome {
+            report.skipped_segments += 1;
+            match header.tag {
+                TAG_BLOCK => report.skipped_traces += header.count as usize,
+                TAG_SINK => report.skipped_sinks += header.count as usize,
+                TAG_ADDR | TAG_SEQ => poisoned = true,
+                _ => {}
+            }
+            report.note(format!("segment tag {}: {msg}", header.tag));
+        }
+        if saw_end {
+            break;
+        }
+    }
+    if !saw_end {
+        report.torn = true;
+    }
+    if let Some((total_traces, total_sinks)) = end_totals {
+        // Whole segments can vanish with a torn tail; the END totals bound
+        // the loss exactly.
+        let seen = report.traces + report.skipped_traces;
+        report.skipped_traces += (total_traces as usize).saturating_sub(seen);
+        let seen_sinks = report.sinks + report.skipped_sinks;
+        report.skipped_sinks += (total_sinks as usize).saturating_sub(seen_sinks);
+    }
+    snap.store.rebuild_indices();
+    Ok((snap, report))
+}
+
+/// Opens a snapshot strictly: any damage — torn write, failed checksum,
+/// invalid id — is an `InvalidData` error. The inverse of [`write()`].
+pub fn read<R: Read>(r: &mut R) -> io::Result<Snapshot> {
+    let (snap, report) = read_lossy(r)?;
+    if !report.clean() {
+        let detail = report
+            .first_errors
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "torn snapshot".into());
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "corrupt snapshot: {} trace(s) and {} sink(s) lost ({detail})",
+                report.skipped_traces, report.skipped_sinks
+            ),
+        ));
+    }
+    Ok(snap)
+}
+
+/// Strictly opens a snapshot file.
+pub fn open_file(path: &Path) -> io::Result<Snapshot> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read(&mut f)
+}
+
+/// Lossily opens a snapshot file (damage degrades to counted skips).
+pub fn open_file_lossy(path: &Path) -> io::Result<(Snapshot, SnapshotReport)> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_lossy(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{HopObs, TracerouteRecord};
+    use proptest::prelude::*;
+    use s2s_types::Protocol;
+    use std::net::{Ipv4Addr, Ipv6Addr};
+
+    fn rec(src: u32, t: u32, hops: &[(Option<&str>, Option<f64>)], reached: bool) -> TracerouteRecord {
+        TracerouteRecord {
+            src: ClusterId::new(src),
+            dst: ClusterId::new(src + 1),
+            proto: Protocol::V4,
+            t: SimTime::from_minutes(t),
+            hops: hops
+                .iter()
+                .map(|(a, r)| HopObs { addr: a.map(|s| s.parse().unwrap()), rtt_ms: *r })
+                .collect(),
+            reached,
+            e2e_rtt_ms: reached.then_some(42.5),
+            src_addr: Some("10.0.0.1".parse().unwrap()),
+            dst_addr: reached.then(|| "10.9.0.1".parse().unwrap()),
+        }
+    }
+
+    fn sample_store() -> TraceStore {
+        let recs = vec![
+            rec(0, 0, &[(Some("10.1.0.1"), Some(1.5)), (Some("10.2.0.1"), Some(2.5))], true),
+            rec(0, 180, &[(Some("10.1.0.1"), Some(1.7)), (Some("10.2.0.1"), Some(2.2))], true),
+            rec(1, 0, &[(Some("10.1.0.1"), Some(1.0)), (None, None)], false),
+            rec(2, 0, &[], true),
+            rec(3, 0, &[(Some("2600::9"), Some(8.0))], true),
+        ];
+        TraceStore::from_records(&recs)
+    }
+
+    fn snapshot_bytes(store: &TraceStore, sinks: &[String], block: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let n = write(&mut buf, store, sinks, block).unwrap();
+        assert_eq!(n as usize, buf.len(), "write must report the bytes it wrote");
+        buf
+    }
+
+    #[test]
+    fn round_trips_records_sinks_and_interning() {
+        let store = sample_store();
+        let sinks = vec!["S|1|2|state".to_string(), "S|3|4|other".to_string()];
+        for block in [1, 2, 4096] {
+            let buf = snapshot_bytes(&store, &sinks, block);
+            let snap = read(&mut buf.as_slice()).unwrap();
+            assert_eq!(snap.store.to_records(), store.to_records());
+            assert_eq!(snap.sinks, sinks);
+            // The reopened arenas intern identically (stats compare equal).
+            assert_eq!(snap.store.stats(), store.stats());
+        }
+    }
+
+    #[test]
+    fn reopened_store_keeps_interning_live() {
+        // A reopened store is not read-only: pushing and absorbing must
+        // keep consing against the rebuilt indices.
+        let store = sample_store();
+        let buf = snapshot_bytes(&store, &[], 2);
+        let mut snap = read(&mut buf.as_slice()).unwrap();
+        let extra = rec(0, 360, &[(Some("10.1.0.1"), Some(1.9)), (Some("10.2.0.1"), Some(2.0))], true);
+        snap.store.push(&extra);
+        let mut direct_recs = store.to_records();
+        direct_recs.push(extra);
+        let direct = TraceStore::from_records(&direct_recs);
+        assert_eq!(snap.store.to_records(), direct.to_records());
+        assert_eq!(snap.store.stats(), direct.stats(), "rebuilt indices must cons");
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = TraceStore::new();
+        let buf = snapshot_bytes(&store, &[], 64);
+        let snap = read(&mut buf.as_slice()).unwrap();
+        assert!(snap.store.is_empty());
+        assert!(snap.sinks.is_empty());
+    }
+
+    #[test]
+    fn foreign_file_is_an_error_not_a_skip() {
+        let mut garbage: &[u8] = b"T|1|2|4|0|1|*|*|*|\n";
+        assert!(read_lossy(&mut garbage).is_err(), "bad magic loses everything");
+        let mut short: &[u8] = b"S2SN";
+        assert!(read_lossy(&mut short).is_err());
+    }
+
+    #[test]
+    fn future_version_is_refused() {
+        let store = sample_store();
+        let mut buf = snapshot_bytes(&store, &[], 64);
+        buf[8] = 99; // version field
+        let err = read(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncation_degrades_to_counted_skips() {
+        let store = sample_store();
+        let total = store.len();
+        let buf = snapshot_bytes(&store, &["S|sink".to_string()], 2);
+        // Cutting anywhere must never panic, and the books must balance:
+        // loaded + skipped == total whenever the END totals were readable
+        // (they live at the tail, so truncated files undercount instead).
+        for cut in 12..buf.len() {
+            let (snap, report) = read_lossy(&mut &buf[..cut]).unwrap();
+            assert!(report.torn, "a cut at {cut} is a torn snapshot");
+            assert_eq!(snap.store.len(), report.traces);
+            assert!(report.traces + report.skipped_traces <= total);
+            let _ = snap.store.to_records(); // loaded prefix stays readable
+        }
+        let (_, clean) = read_lossy(&mut buf.as_slice()).unwrap();
+        assert!(clean.clean());
+        assert_eq!(clean.traces, total);
+    }
+
+    #[test]
+    fn bit_flips_never_panic_and_never_silently_accept() {
+        let store = sample_store();
+        let records = store.to_records();
+        let sinks = vec!["S|sink-state-line".to_string()];
+        let buf = snapshot_bytes(&store, &sinks, 2);
+        for pos in 12..buf.len() {
+            let mut mangled = buf.clone();
+            mangled[pos] ^= 0x41;
+            match read_lossy(&mut mangled.as_slice()) {
+                Ok((snap, report)) => {
+                    // Every loaded trace must be one the writer wrote —
+                    // a flipped byte may lose data but never invent it.
+                    for v in snap.store.iter() {
+                        let r = v.to_record();
+                        assert!(
+                            records.contains(&r),
+                            "flip at {pos} invented a record: {r:?}"
+                        );
+                    }
+                    assert!(
+                        report.clean() || report.traces <= records.len(),
+                        "flip at {pos}: implausible report {report:?}"
+                    );
+                }
+                // A flip inside the magic/version prologue is a foreign
+                // file, which is an error by policy.
+                Err(_) => assert!(pos < 12 + HEADER_BYTES + buf.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_block_skips_exactly_its_traces() {
+        let store = sample_store();
+        let buf = snapshot_bytes(&store, &[], 2);
+        // Find the first BLOCK segment and flip one payload byte. Segments:
+        // prologue(12) + ADDR + SEQ + BLOCK...; walk headers to locate it.
+        let mut pos = 12usize;
+        let mut block_payload_at = None;
+        while pos + HEADER_BYTES <= buf.len() {
+            let tag = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+            let count = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap());
+            let len =
+                u64::from_le_bytes(buf[pos + 12..pos + 20].try_into().unwrap()) as usize;
+            if tag == TAG_BLOCK {
+                block_payload_at = Some((pos + HEADER_BYTES, count as usize));
+                break;
+            }
+            pos += HEADER_BYTES + len;
+        }
+        let (payload_at, block_count) = block_payload_at.expect("snapshot has blocks");
+        let mut mangled = buf.clone();
+        mangled[payload_at] ^= 0xFF;
+        let (snap, report) = read_lossy(&mut mangled.as_slice()).unwrap();
+        assert_eq!(report.skipped_traces, block_count);
+        assert_eq!(report.traces, store.len() - block_count);
+        assert_eq!(snap.store.len(), report.traces);
+        assert!(!report.clean());
+        assert_eq!(report.coverage().to_string(), format!(
+            "{}/{} ({:.1}%)",
+            report.traces,
+            store.len(),
+            100.0 * report.traces as f64 / store.len() as f64
+        ));
+    }
+
+    /// Raw material for one arbitrary record, mirroring the store's
+    /// proptest corpus (the offline shim has no `prop_map`).
+    type RawRecord = (u32, u32, u32, Vec<(u8, u32, f64)>, u8, f64);
+
+    fn arb_records() -> impl Strategy<Value = Vec<RawRecord>> {
+        let hop = (0u8..4, any::<u32>(), 0.0f64..1e4);
+        let record = (
+            0u32..8,
+            0u32..8,
+            0u32..100_000,
+            proptest::collection::vec(hop, 0..8),
+            0u8..32,
+            0.0f64..1e4,
+        );
+        proptest::collection::vec(record, 0..24)
+    }
+
+    fn build_records(raw: &[RawRecord]) -> Vec<TracerouteRecord> {
+        raw.iter()
+            .map(|&(src, dst, t, ref hops, flags, e2e)| TracerouteRecord {
+                src: ClusterId::new(src),
+                dst: ClusterId::new(dst),
+                proto: if flags & 2 != 0 { Protocol::V6 } else { Protocol::V4 },
+                t: SimTime::from_minutes(t),
+                hops: hops
+                    .iter()
+                    .map(|&(tag, a, rtt)| match tag {
+                        0 => HopObs { addr: None, rtt_ms: None },
+                        1 => HopObs {
+                            addr: Some(IpAddr::V4(Ipv4Addr::from(a))),
+                            rtt_ms: Some(rtt),
+                        },
+                        2 => HopObs {
+                            addr: Some(IpAddr::V6(Ipv6Addr::from(
+                                u128::from(a) << 64 | 0x2600,
+                            ))),
+                            rtt_ms: Some(rtt),
+                        },
+                        _ => HopObs {
+                            addr: Some(IpAddr::V4(Ipv4Addr::from(a % 16))),
+                            rtt_ms: None,
+                        },
+                    })
+                    .collect(),
+                reached: flags & 1 != 0,
+                e2e_rtt_ms: (flags & 4 != 0).then_some(e2e),
+                src_addr: (flags & 8 != 0).then(|| IpAddr::V4(Ipv4Addr::from(src << 8 | 1))),
+                dst_addr: (flags & 16 != 0).then(|| IpAddr::V4(Ipv4Addr::from(dst << 8 | 2))),
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// `from_records → write → read → to_records` is the identity,
+        /// None hops/RTTs, NaN-free presence bitsets, both families and
+        /// absent endpoints included — at several block sizes.
+        #[test]
+        fn prop_snapshot_round_trip(raw in arb_records(), block in 1usize..8) {
+            let recs = build_records(&raw);
+            let store = TraceStore::from_records(&recs);
+            let buf = snapshot_bytes(&store, &[], block);
+            let snap = read(&mut buf.as_slice()).unwrap();
+            prop_assert_eq!(snap.store.to_records(), recs);
+            prop_assert_eq!(snap.store.stats(), store.stats());
+        }
+
+        /// Truncating at an arbitrary point degrades to counted skips:
+        /// never a panic, loaded is a prefix, and the accounting is sane.
+        #[test]
+        fn prop_truncation_is_counted(raw in arb_records(), frac in 0.0f64..1.0) {
+            let recs = build_records(&raw);
+            let store = TraceStore::from_records(&recs);
+            let buf = snapshot_bytes(&store, &[], 3);
+            let cut = 12 + ((buf.len() - 12) as f64 * frac) as usize;
+            let (snap, report) = read_lossy(&mut &buf[..cut]).unwrap();
+            prop_assert_eq!(snap.store.len(), report.traces);
+            prop_assert!(report.traces + report.skipped_traces <= recs.len());
+            let loaded = snap.store.to_records();
+            prop_assert_eq!(&loaded[..], &recs[..loaded.len()], "loaded must be a prefix");
+        }
+
+        /// Arbitrary byte flips: the lossy reader must never panic, and
+        /// whatever loads must be records the writer actually wrote.
+        #[test]
+        fn prop_bit_flips_degrade(
+            raw in arb_records(),
+            flips in proptest::collection::vec((12usize..65536, 1u8..255), 1..6),
+        ) {
+            let recs = build_records(&raw);
+            let store = TraceStore::from_records(&recs);
+            let buf = snapshot_bytes(&store, &[], 2);
+            let mut mangled = buf.clone();
+            for &(pos, x) in &flips {
+                let pos = 12 + (pos - 12) % (buf.len() - 12).max(1);
+                mangled[pos.min(buf.len() - 1)] ^= x;
+            }
+            if let Ok((snap, report)) = read_lossy(&mut mangled.as_slice()) {
+                prop_assert_eq!(snap.store.len(), report.traces);
+                for v in snap.store.iter() {
+                    prop_assert!(recs.contains(&v.to_record()));
+                }
+            }
+        }
+    }
+}

@@ -36,7 +36,7 @@ pub const NO_ADDR: u32 = u32::MAX;
 /// `HashMap<Box<[u32]>, u32>` would duplicate every interned hop sequence —
 /// a measurable share of the arena at campaign scale).
 #[derive(Clone, Debug)]
-struct IdIndex {
+pub(crate) struct IdIndex {
     /// `id + 1` per occupied slot; 0 marks empty. Power-of-two sized,
     /// linear probing, grown at 2/3 load.
     slots: Vec<u32>,
@@ -93,7 +93,7 @@ impl IdIndex {
     }
 }
 
-fn hash_of<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+pub(crate) fn hash_of<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
     use std::hash::Hasher;
     let mut h = std::collections::hash_map::DefaultHasher::new();
     v.hash(&mut h);
@@ -102,13 +102,13 @@ fn hash_of<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
 
 /// A packed bit vector (1 bit per entry) for the optional/boolean columns.
 #[derive(Clone, Debug, Default)]
-struct Bits {
+pub(crate) struct Bits {
     words: Vec<u64>,
     len: usize,
 }
 
 impl Bits {
-    fn push(&mut self, v: bool) {
+    pub(crate) fn push(&mut self, v: bool) {
         let (w, b) = (self.len / 64, self.len % 64);
         if w == self.words.len() {
             self.words.push(0);
@@ -119,7 +119,7 @@ impl Bits {
         self.len += 1;
     }
 
-    fn get(&self, i: usize) -> bool {
+    pub(crate) fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
@@ -159,29 +159,31 @@ pub struct StoreStats {
 pub struct TraceStore {
     // Address intern table: the arena itself plus a keyless hash index
     // (equality probes read `addrs`, so no address is stored twice).
-    addrs: Vec<IpAddr>,
-    addr_index: IdIndex,
+    // Fields are `pub(crate)` so the binary snapshot codec in
+    // [`crate::snapshot`] can serialize the columns directly.
+    pub(crate) addrs: Vec<IpAddr>,
+    pub(crate) addr_index: IdIndex,
     // Hash-consed hop sequences: flat arena + offsets, plus a keyless hash
     // index probing `seq_data` directly — consing without duplicating any
     // interned sequence.
-    seq_data: Vec<u32>,
-    seq_offsets: Vec<u32>,
-    seq_index: IdIndex,
+    pub(crate) seq_data: Vec<u32>,
+    pub(crate) seq_offsets: Vec<u32>,
+    pub(crate) seq_index: IdIndex,
     // Per-trace columns.
-    srcs: Vec<ClusterId>,
-    dsts: Vec<ClusterId>,
-    times: Vec<SimTime>,
-    seqs: Vec<u32>,
-    src_addrs: Vec<u32>,
-    dst_addrs: Vec<u32>,
-    e2e: Vec<f64>,
-    e2e_some: Bits,
-    reached: Bits,
-    proto_v6: Bits,
+    pub(crate) srcs: Vec<ClusterId>,
+    pub(crate) dsts: Vec<ClusterId>,
+    pub(crate) times: Vec<SimTime>,
+    pub(crate) seqs: Vec<u32>,
+    pub(crate) src_addrs: Vec<u32>,
+    pub(crate) dst_addrs: Vec<u32>,
+    pub(crate) e2e: Vec<f64>,
+    pub(crate) e2e_some: Bits,
+    pub(crate) reached: Bits,
+    pub(crate) proto_v6: Bits,
     // Per-hop RTTs: flat, one slot per hop observation, with presence bits.
-    rtts: Vec<f64>,
-    rtt_some: Bits,
-    rtt_offsets: Vec<u32>,
+    pub(crate) rtts: Vec<f64>,
+    pub(crate) rtt_some: Bits,
+    pub(crate) rtt_offsets: Vec<u32>,
     // Scratch buffer reused across pushes (no per-record allocation).
     scratch: Vec<u32>,
 }
@@ -366,6 +368,29 @@ impl TraceStore {
                 self.rtt_some.push(other.rtt_some.get(k));
             }
             self.rtt_offsets.push(self.rtts.len() as u32);
+        }
+    }
+
+    /// Rebuilds the keyless intern indices from the arenas — what a
+    /// snapshot open does after bulk-loading the address table and the
+    /// sequence arena. O(distinct addresses + distinct sequences); the
+    /// rebuilt indices probe identically to ones grown by interning.
+    pub(crate) fn rebuild_indices(&mut self) {
+        self.addr_index = IdIndex::default();
+        for id in 0..self.addrs.len() {
+            let h = hash_of(&self.addrs[id]);
+            let addrs = &self.addrs;
+            self.addr_index.insert(h, id as u32, |i| hash_of(&addrs[i as usize]));
+        }
+        self.seq_index = IdIndex::default();
+        for id in 0..self.seq_count() {
+            let (a, b) =
+                (self.seq_offsets[id] as usize, self.seq_offsets[id + 1] as usize);
+            let h = hash_of(&self.seq_data[a..b]);
+            let (data, offs) = (&self.seq_data, &self.seq_offsets);
+            self.seq_index.insert(h, id as u32, |i| {
+                hash_of(&data[offs[i as usize] as usize..offs[i as usize + 1] as usize])
+            });
         }
     }
 

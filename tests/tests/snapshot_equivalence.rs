@@ -1,0 +1,185 @@
+//! The snapshot plane must be invisible in the data: `Analysis` over a
+//! reopened `.snap` file must be **byte-identical** to the legacy
+//! line-import path — same record sequence, same FNV-64 digest, same
+//! timelines at every thread count — across seeds × {quiet, noisy}
+//! probe-fault profiles × {1, 2, 4} analysis workers. Sink states ride
+//! through the SINK segment bit-exactly: the saved lines come back as
+//! the same bytes and still `load` into working accumulators.
+
+use s2s_bench::fabric::{self, ping_mesh, store_digest};
+use s2s_bench::{Scale, Scenario};
+use s2s_probe::snapshot::{open_file, write_file};
+use s2s_probe::store::TraceStore;
+use s2s_probe::{Campaign, FaultProfile, PairProfileSink, RetryPolicy, StreamSink};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn scale(seed: u64) -> Scale {
+    Scale {
+        seed,
+        clusters: 10,
+        days: 6,
+        pairs: 8,
+        ping_pairs: 12,
+        cong_pairs: 4,
+    }
+}
+
+fn noisy() -> FaultProfile {
+    FaultProfile {
+        crash_rate: 0.02,
+        drop_rate: 0.05,
+        stuck_rate: 0.02,
+        truncate_rate: 0.05,
+        ..FaultProfile::default()
+    }
+}
+
+static RUN_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh snapshot path per run, removed on drop.
+struct SnapFile(PathBuf);
+
+impl SnapFile {
+    fn new() -> SnapFile {
+        let dir = std::env::temp_dir();
+        SnapFile(dir.join(format!(
+            "s2s-snapeq-{}-{}.snap",
+            std::process::id(),
+            RUN_ID.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+}
+
+impl Drop for SnapFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// The legacy import path: archived record lines parsed back one by one
+/// and pushed into a fresh store — exactly what `Analysis::new` used to
+/// sit on before snapshots existed.
+fn import_lines(store: &TraceStore) -> TraceStore {
+    let mut text = Vec::new();
+    s2s_probe::dataset::write_traceroutes(&mut text, &store.to_records())
+        .expect("write archive lines");
+    s2s_probe::dataset::read_traceroutes(&text[..])
+        .map(|records| TraceStore::from_records(&records))
+        .expect("reparse archive lines")
+}
+
+/// Serialized short-term sink states for the scenario's ping mesh — the
+/// payload the SINK segment must carry bit-exactly.
+fn sink_lines(scenario: &Scenario, profile: &FaultProfile) -> Vec<String> {
+    let (cfg, pairs) = ping_mesh(scenario);
+    let sink = PairProfileSink::for_config(&cfg);
+    let (states, _) = Campaign::new(cfg.clone())
+        .faults(*profile)
+        .sink(sink)
+        .run_ping(&scenario.net, &pairs)
+        .expect("in-memory ping campaign cannot fail");
+    let sink = PairProfileSink::for_config(&cfg);
+    states.iter().map(|st| sink.save(st)).collect()
+}
+
+/// The acceptance invariant: for every seed × fault profile, writing the
+/// campaign store to a snapshot and reopening it yields the one-process
+/// dataset byte for byte — records, digest, sink lines — and `Analysis`
+/// over the reopened store matches the line-import path at 1, 2 and 4
+/// worker threads.
+#[test]
+fn analysis_over_reopened_snapshot_matches_line_import_byte_for_byte() {
+    for seed in [3u64, 11, 29] {
+        let scenario = Scenario::build(scale(seed));
+        for (name, profile) in [("quiet", FaultProfile::default()), ("noisy", noisy())] {
+            let (store, _) = scenario.long_term_store_faulty(
+                &fabric::longterm_pairs(&scenario),
+                &profile,
+                &RetryPolicy::default(),
+            );
+            let sinks = sink_lines(&scenario, &profile);
+            let snap_file = SnapFile::new();
+            write_file(&snap_file.0, &store, &sinks).expect("write snapshot");
+            // Strict open: any damage is an error, so what comes back is
+            // certified clean.
+            let snap = open_file(&snap_file.0).expect("reopen snapshot");
+
+            // The dataset itself is byte-identical: record sequence and
+            // the fabric's line-form FNV-64 fingerprint both match.
+            assert_eq!(
+                snap.store.to_records(),
+                store.to_records(),
+                "seed {seed} {name}: reopened records diverged"
+            );
+            assert_eq!(
+                store_digest(&snap.store),
+                store_digest(&store),
+                "seed {seed} {name}: reopened digest diverged"
+            );
+
+            // Sink states ride through the SINK segment bit-exactly and
+            // still parse back into live accumulators.
+            assert_eq!(snap.sinks, sinks, "seed {seed} {name}: sink lines diverged");
+            let (cfg, _) = ping_mesh(&scenario);
+            let sink = PairProfileSink::for_config(&cfg);
+            for line in &snap.sinks {
+                let state = sink.load(line).expect("reopened sink line must load");
+                assert_eq!(
+                    sink.save(&state),
+                    *line,
+                    "seed {seed} {name}: sink line does not round-trip"
+                );
+            }
+
+            // Analysis over the reopened snapshot == analysis over the
+            // legacy line-import path, at every worker count.
+            let imported = import_lines(&store);
+            assert_eq!(
+                store_digest(&imported),
+                store_digest(&store),
+                "seed {seed} {name}: line import must be lossless"
+            );
+            for threads in [1usize, 2, 4] {
+                let via_snapshot = s2s_core::Analysis::new(&snap)
+                    .threads(threads)
+                    .timelines(&scenario.ip2asn);
+                let via_import = s2s_core::Analysis::new(&imported)
+                    .threads(threads)
+                    .timelines(&scenario.ip2asn);
+                assert_eq!(
+                    via_snapshot, via_import,
+                    "seed {seed} {name} threads {threads}: timelines diverged"
+                );
+            }
+        }
+    }
+}
+
+/// A reopened store is live, not a read-only view: records pushed after
+/// reopening intern into the restored tables and the result is
+/// indistinguishable from a store that never went to disk.
+#[test]
+fn reopened_snapshot_store_absorbs_new_records_like_a_live_store() {
+    let scenario = Scenario::build(scale(7));
+    let (store, _) = scenario.long_term_store_faulty(
+        &fabric::longterm_pairs(&scenario),
+        &FaultProfile::default(),
+        &RetryPolicy::default(),
+    );
+    let records = store.to_records();
+    let (head, tail) = records.split_at(records.len() / 2);
+
+    let snap_file = SnapFile::new();
+    write_file(&snap_file.0, &TraceStore::from_records(head), &[]).expect("write snapshot");
+    let mut snap = open_file(&snap_file.0).expect("reopen snapshot");
+    for rec in tail {
+        snap.store.push(rec);
+    }
+
+    assert_eq!(snap.store.to_records(), records);
+    assert_eq!(store_digest(&snap.store), store_digest(&store));
+    let want = s2s_core::Analysis::new(&store).timelines(&scenario.ip2asn);
+    let got = s2s_core::Analysis::new(&snap.store).timelines(&scenario.ip2asn);
+    assert_eq!(got, want, "push-after-reopen timelines diverged");
+}
