@@ -71,7 +71,30 @@ grep -q 'snapshot: wrote' reproduce_snapwrite.txt
 grep -q 'snapshot: reopened' reproduce_snapreopen.txt
 grep -q '"snapshot.traces"' metrics_snapshot.json
 grep -q '"snapshot.skipped_traces": 0' metrics_snapshot.json
+grep -q '"snapshot.empty": 0' metrics_snapshot.json
 rm -f smoke.snap
+
+echo "==> multi-shard streaming smoke: fabric shard dir, streamed absorb, byte-identical digest"
+# A fabric run persists one snapshot per shard into a directory; a second
+# run streams the whole directory back through the out-of-core reader at a
+# deliberately tiny batch budget. Both digests must match the in-memory
+# smoke run byte-for-byte.
+rm -rf smoke_shards
+S2S_CLUSTERS=16 S2S_DAYS=20 S2S_PAIRS=24 S2S_PING_PAIRS=20 S2S_CONG_PAIRS=8 \
+    S2S_SNAPSHOT_DIR=smoke_shards \
+    cargo run -q --release -p s2s-bench --bin reproduce -- table1 --workers 2 |
+    tee reproduce_sharddir.txt
+S2S_CLUSTERS=16 S2S_DAYS=20 S2S_PAIRS=24 S2S_PING_PAIRS=20 S2S_CONG_PAIRS=8 \
+    S2S_SNAPSHOT_BUDGET=97 \
+    cargo run -q --release -p s2s-bench --bin reproduce -- table1 --snapshot smoke_shards |
+    tee reproduce_shardstream.txt
+sharddir_digest=$(grep 'long-term dataset digest:' reproduce_sharddir.txt)
+stream_digest=$(grep 'long-term dataset digest:' reproduce_shardstream.txt)
+test -n "$stream_digest" && test "$stream_digest" = "$sharddir_digest"
+test "$stream_digest" = "$one_digest"
+grep -q 'snapshot: 2 shard(s)' reproduce_shardstream.txt
+grep -q 'snapshot: reopened' reproduce_shardstream.txt
+rm -rf smoke_shards
 
 echo "==> long-term campaign + columnar analysis bench (quick mode; writes BENCH_longterm.json)"
 S2S_BENCH_QUICK=1 cargo bench -q -p s2s-bench --bench longterm
@@ -98,5 +121,16 @@ grep -q '"write_gbps"' BENCH_longterm.json
 grep -q '"open_vs_import_speedup"' BENCH_longterm.json
 grep -q '"digest_identical": true' BENCH_longterm.json
 grep -q '"roundtrip_identical": true' BENCH_longterm.json
+
+echo "==> out-of-core gate: streamed residency + analysis recorded in BENCH_longterm.json"
+# The bench aborts unless the streamed reader's peak residency stays at
+# the one-block floor while the materialized store grows, and the
+# streamed analysis is byte-identical within its time budget; these
+# guard the section itself.
+grep -q '"out_of_core": {' BENCH_longterm.json
+grep -q '"peak_over_floor"' BENCH_longterm.json
+grep -q '"one_block_floor_bytes"' BENCH_longterm.json
+grep -q '"streamed_vs_in_memory"' BENCH_longterm.json
+grep -q '"flat_resident": true' BENCH_longterm.json
 
 echo "CI OK"

@@ -329,6 +329,109 @@ fn bench_longterm(c: &mut Criterion) {
         persist_stats.traces, stats.traces
     );
 
+    // ---- Out-of-core streaming: flat residency + streamed analysis ----
+    //
+    // The streamed read path's claim is O(arena + one block) residency no
+    // matter how many traces the snapshot holds. Measured directly: stream
+    // the persistence corpus and a 2x replica at a fixed block/budget and
+    // assert the reader's peak resident bytes stay within 20% of the
+    // one-block floor (arena + first batch) and do not grow with the
+    // corpus, while the materialized store grows linearly with it. The
+    // streamed analysis front door must also produce byte-identical
+    // timelines within 1.5x of the in-memory (materialize-then-analyze)
+    // pipeline over the same file.
+    let ooc_block = 512usize;
+    let mut persist_store2 = TraceStore::new();
+    for _ in 0..2 * repeat {
+        for r in &campaign_records {
+            persist_store2.push(r);
+        }
+    }
+    let persist2_stats = persist_store2.stats();
+    let write_ooc = |st: &TraceStore, tag: &str| {
+        let path = std::env::temp_dir()
+            .join(format!("s2s-bench-ooc-{tag}-{}.snap", std::process::id()));
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(&path).expect("create snapshot"),
+        );
+        s2s_probe::snapshot::write(&mut f, st, &[], ooc_block).expect("write snapshot");
+        std::io::Write::flush(&mut f).expect("flush snapshot");
+        path
+    };
+    let small_path = write_ooc(&persist_store, "small");
+    let large_path = write_ooc(&persist_store2, "large");
+    let ooc_options =
+        s2s_probe::Snapshot::options().stream(true).block_budget(ooc_block);
+    let stream_peak = |path: &std::path::Path| {
+        let mut reader = ooc_options.open(path).expect("open streamed");
+        let mut floor = 0usize;
+        let mut traces = 0usize;
+        while let Some(batch) = reader.next_batch().expect("streamed batch") {
+            traces += batch.len();
+            if floor == 0 {
+                floor = reader.resident_bytes();
+            }
+        }
+        (reader.peak_resident_bytes(), floor, traces)
+    };
+    let (peak_small, ooc_floor, n_small) = stream_peak(&small_path);
+    let (peak_large, _, n_large) = stream_peak(&large_path);
+    assert_eq!(n_small, persist_stats.traces);
+    assert_eq!(n_large, persist2_stats.traces);
+    let peak_over_floor = peak_small as f64 / ooc_floor.max(1) as f64;
+    assert!(
+        peak_over_floor <= 1.2,
+        "streamed peak residency must stay within 1.2x of the one-block floor \
+         (got {peak_over_floor:.3}: peak {peak_small} B vs floor {ooc_floor} B)"
+    );
+    assert!(
+        peak_large as f64 <= 1.2 * peak_small as f64,
+        "streamed peak residency must not grow with the corpus \
+         (2x corpus: {peak_large} B vs {peak_small} B)"
+    );
+    let ooc_growth =
+        persist2_stats.arena_bytes as f64 / persist_stats.arena_bytes.max(1) as f64;
+    assert!(
+        ooc_growth >= 1.5,
+        "the materialized store must grow with the corpus \
+         ({} B -> {} B, {ooc_growth:.2}x)",
+        persist_stats.arena_bytes,
+        persist2_stats.arena_bytes
+    );
+    // Both contenders start from the file on disk: materialize-then-analyze
+    // (full open, index rebuild, columnar pass) vs the fused streaming
+    // front door (decode and analyze per batch, no index rebuild).
+    let (t_ooc_inmem, ooc_inmem_tls) = time_samples(analysis_samples, || {
+        let snap =
+            s2s_probe::snapshot::open_file(&small_path).expect("reopen snapshot");
+        Analysis::new(&snap).threads(1).timelines(map)
+    });
+    let (t_ooc_streamed, ooc_streamed_tls) = time_samples(analysis_samples, || {
+        let reader = ooc_options.open(&small_path).expect("open streamed");
+        Analysis::new(reader).timelines(map).expect("streamed analysis")
+    });
+    let _ = std::fs::remove_file(&small_path);
+    let _ = std::fs::remove_file(&large_path);
+    assert_eq!(
+        format!("{ooc_inmem_tls:?}"),
+        format!("{ooc_streamed_tls:?}"),
+        "streamed analysis must be byte-identical to the in-memory pass"
+    );
+    let streamed_vs_in_memory =
+        t_ooc_streamed.as_secs_f64() / t_ooc_inmem.as_secs_f64().max(1e-9);
+    assert!(
+        streamed_vs_in_memory <= 1.5,
+        "streamed analysis must stay within 1.5x of in-memory \
+         (got {streamed_vs_in_memory:.2}x: {t_ooc_streamed:?} vs {t_ooc_inmem:?})"
+    );
+    println!(
+        "out-of-core: peak {peak_small} B vs one-block floor {ooc_floor} B \
+         ({peak_over_floor:.3}x), 2x-corpus peak {peak_large} B; materialized \
+         {} B -> {} B ({ooc_growth:.2}x); streamed analysis {t_ooc_streamed:?} \
+         vs in-memory {t_ooc_inmem:?} ({streamed_vs_in_memory:.2}x), identical",
+        persist_stats.arena_bytes, persist2_stats.arena_bytes
+    );
+
     println!(
         "analysis: legacy {t_legacy:?}, columnar {t_columnar:?} \
          ({analysis_speedup:.2}x; {total_speedup:.2}x incl. {t_build:?} store build), \
@@ -551,7 +654,20 @@ fn bench_longterm(c: &mut Criterion) {
          \"open_seconds\": {:.6},\n    \"import_seconds\": {:.6},\n    \
          \"open_vs_import_speedup\": {:.1},\n    \
          \"digest_identical\": true,\n    \
-         \"roundtrip_identical\": true\n  }},\n  \
+         \"roundtrip_identical\": true,\n    \
+         \"out_of_core\": {{\n      \
+         \"streamed_peak_bytes\": {},\n      \
+         \"one_block_floor_bytes\": {},\n      \
+         \"peak_over_floor\": {:.3},\n      \
+         \"streamed_peak_bytes_2x\": {},\n      \
+         \"materialized_bytes_small\": {},\n      \
+         \"materialized_bytes_large\": {},\n      \
+         \"materialized_growth\": {:.3},\n      \
+         \"streamed_seconds\": {:.6},\n      \
+         \"in_memory_seconds\": {:.6},\n      \
+         \"streamed_vs_in_memory\": {:.3},\n      \
+         \"flat_resident\": true,\n      \
+         \"identical\": true\n    }}\n  }},\n  \
          \"shortterm\": {{\n    \"pairs\": {},\n    \
          \"short_days\": {},\n    \"long_days\": {},\n    \
          \"sink_seconds\": {:.6},\n    \
@@ -623,6 +739,16 @@ fn bench_longterm(c: &mut Criterion) {
         t_snap_open.as_secs_f64(),
         t_line_import.as_secs_f64(),
         open_vs_import,
+        peak_small,
+        ooc_floor,
+        peak_over_floor,
+        peak_large,
+        persist_stats.arena_bytes,
+        persist2_stats.arena_bytes,
+        ooc_growth,
+        t_ooc_streamed.as_secs_f64(),
+        t_ooc_inmem.as_secs_f64(),
+        streamed_vs_in_memory,
         ping_pairs.len(),
         short_days,
         long_days,

@@ -30,10 +30,16 @@
 //!   `S2S_FABRIC_FAULT_*` crash schedules.
 //! * `--snapshot <path>` — binary columnar persistence (default
 //!   `S2S_SNAPSHOT_PATH`). If `<path>` exists, the long-term dataset is
-//!   *reopened* from it in O(distinct-data) — no campaign, no line
-//!   re-import — with torn or corrupt segments degrading to counted
-//!   skips. Otherwise the campaign runs and writes its store there. The
-//!   `dataset digest` line is identical either way.
+//!   *streamed* back out-of-core — arenas load once, trace blocks pass
+//!   through a bounded reuse buffer (`S2S_SNAPSHOT_BUDGET` traces at a
+//!   time) — no campaign, no line re-import, and the resident set never
+//!   holds the full trace set. `<path>` may also be a *directory* of
+//!   per-shard `*.snap` files (e.g. an `S2S_SNAPSHOT_DIR` from a fabric
+//!   run), absorbed shard-by-shard in numeric order. Torn or corrupt
+//!   segments degrade to counted skips; a zero-length or magic-only file
+//!   is reported as a distinct *empty snapshot* condition. Otherwise the
+//!   campaign runs and writes its store there. The `dataset digest` line
+//!   is identical either way.
 //!
 //! The hidden `worker` subcommand (`reproduce worker`) is the fabric's
 //! worker entry point; the coordinator spawns it, operators never do.
@@ -46,7 +52,8 @@
 //! * `4` — degraded result: the run completed but at least one fabric
 //!   shard was lost after the retry budget, so coverage is below the
 //!   offered schedule (`fabric.lost` / `campaign.lost_slots` say how
-//!   much).
+//!   much) — or a reopened snapshot was damaged or empty
+//!   (`snapshot.skipped_traces` / `snapshot.empty`).
 
 use s2s_bench::experiments::{
     congestion, dualstack, example, extensions, faultsweep, longterm, ownercheck,
@@ -133,6 +140,13 @@ fn write_snapshot_if_asked(
             std::process::exit(fabric::EXIT_CAMPAIGN);
         }
     }
+}
+
+/// A snapshot that cannot be opened at all (I/O error, bad magic,
+/// unsupported version) is a campaign failure, not a degraded run.
+fn snapshot_open_fail(path: &std::path::Path, e: std::io::Error) -> ! {
+    eprintln!("cannot open snapshot {}: {e}", path.display());
+    std::process::exit(fabric::EXIT_CAMPAIGN);
 }
 
 fn main() {
@@ -229,13 +243,51 @@ fn main() {
         let t = Instant::now();
         let reopen = snapshot_path.as_deref().filter(|p| p.exists());
         let (data, digest) = if let Some(path) = reopen {
-            // Persistence fast path: open the campaign's saved arenas in
-            // O(distinct-data) — no measurement, no line re-import.
-            let (snap, rep) = s2s_probe::snapshot::open_file_lossy(path)
-                .unwrap_or_else(|e| {
-                    eprintln!("cannot open snapshot {}: {e}", path.display());
-                    std::process::exit(fabric::EXIT_CAMPAIGN);
-                });
+            // Persistence fast path: stream the campaign's saved arenas
+            // back out-of-core — no measurement, no line re-import, and
+            // only the arenas plus one block batch are ever resident.
+            let options = s2s_probe::Snapshot::options().lossy(true).stream(true);
+            let shard_paths: Vec<std::path::PathBuf> = if path.is_dir() {
+                let dir = options
+                    .open_dir(path)
+                    .unwrap_or_else(|e| snapshot_open_fail(path, e));
+                println!(
+                    "snapshot: {} shard(s) in {}",
+                    dir.paths().len(),
+                    path.display()
+                );
+                dir.paths().to_vec()
+            } else {
+                vec![path.to_path_buf()]
+            };
+            // Pass 1: fold the dataset digest batch-by-batch in shard
+            // order (identical to digesting the merged store) and
+            // accumulate the damage report and arena summary.
+            let mut rep = s2s_probe::SnapshotReport::default();
+            let mut digest = s2s_probe::fabric::FNV64_OFFSET;
+            let (mut hop_slots, mut seq_slots) = (0usize, 0usize);
+            let (mut distinct_addrs, mut distinct_seqs) = (0usize, 0usize);
+            let mut arena_bytes = 0usize;
+            for p in &shard_paths {
+                let mut reader =
+                    options.open(p).unwrap_or_else(|e| snapshot_open_fail(p, e));
+                loop {
+                    match reader.next_batch() {
+                        Ok(Some(batch)) => {
+                            digest = fabric::store_digest_fold(digest, batch);
+                            hop_slots += batch.stats().hop_slots;
+                        }
+                        Ok(None) => break,
+                        Err(e) => snapshot_open_fail(p, e),
+                    }
+                }
+                let s = reader.arena().stats();
+                distinct_addrs += s.distinct_addrs;
+                distinct_seqs += s.distinct_seqs;
+                seq_slots += s.seq_slots;
+                arena_bytes += s.arena_bytes;
+                rep.merge(reader.report());
+            }
             rep.publish(&registry);
             println!(
                 "snapshot: reopened {} — {} traces ({} skipped), {} sink state(s){}",
@@ -243,16 +295,42 @@ fn main() {
                 rep.traces,
                 rep.skipped_traces,
                 rep.sinks,
-                if rep.torn { ", TORN" } else { "" }
+                if rep.empty {
+                    ", EMPTY"
+                } else if rep.torn {
+                    ", TORN"
+                } else {
+                    ""
+                }
             );
+            if rep.empty {
+                eprintln!(
+                    "snapshot: {} is an empty snapshot (no segments) — \
+                     nothing to analyze",
+                    path.display()
+                );
+            }
             if !rep.clean() {
                 degraded = true;
                 for e in &rep.first_errors {
                     eprintln!("snapshot damage: {e}");
                 }
             }
-            let digest = fabric::store_digest(&snap.store);
-            let timelines = s2s_core::Analysis::new(&snap).timelines(&scenario.ip2asn);
+            // Pass 2: the analysis front door streams the same source —
+            // a fresh reader per shard, byte-identical to the in-memory
+            // pipeline (the equivalence tests pin that).
+            let timelines = if path.is_dir() {
+                let dir = options
+                    .open_dir(path)
+                    .unwrap_or_else(|e| snapshot_open_fail(path, e));
+                s2s_core::Analysis::new(dir).timelines(&scenario.ip2asn)
+            } else {
+                let reader = options
+                    .open(path)
+                    .unwrap_or_else(|e| snapshot_open_fail(path, e));
+                s2s_core::Analysis::new(reader).timelines(&scenario.ip2asn)
+            }
+            .unwrap_or_else(|e| snapshot_open_fail(path, e));
             // Snapshots persist the dataset, not the campaign's slot
             // accounting; the open report maps damage onto coverage.
             let report = s2s_probe::CampaignReport {
@@ -261,11 +339,24 @@ fn main() {
                 lost_slots: rep.skipped_traces,
                 ..s2s_probe::CampaignReport::default()
             };
+            let arena = s2s_probe::StoreStats {
+                traces: rep.traces,
+                distinct_addrs,
+                distinct_seqs,
+                hop_slots,
+                seq_slots,
+                arena_bytes,
+                dedup_ratio: if seq_slots == 0 {
+                    0.0
+                } else {
+                    hop_slots as f64 / seq_slots as f64
+                },
+            };
             let data = s2s_bench::experiments::LongTermData {
                 pairs: fabric::longterm_pairs(&scenario),
                 timelines,
                 report,
-                arena: Some(snap.store.stats()),
+                arena: Some(arena),
             };
             (data, digest)
         } else if workers > 1 {

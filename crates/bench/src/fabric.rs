@@ -82,7 +82,16 @@ pub fn ping_mesh(scenario: &Scenario) -> (CampaignConfig, Vec<(ClusterId, Cluste
 /// [`s2s_probe::fabric::fnv64_lines`] folds), so a
 /// digest never materializes the dataset as a `Vec<String>`.
 pub fn store_digest(store: &TraceStore) -> u64 {
-    let mut h = FNV64_OFFSET;
+    store_digest_fold(FNV64_OFFSET, store)
+}
+
+/// The folding core of [`store_digest`]: continues a digest across
+/// several stores. Because the digest streams record lines in order,
+/// folding per-batch buffers from a `SnapshotReader` in stream order
+/// yields exactly the digest of the materialized store — what lets
+/// `reproduce` fingerprint a snapshot it never holds in memory.
+pub fn store_digest_fold(h: u64, store: &TraceStore) -> u64 {
+    let mut h = h;
     let mut buf = String::new();
     for v in store.iter() {
         buf.clear();
@@ -337,9 +346,11 @@ pub fn worker_launcher(
 /// [`TraceStore::absorb`]s in shard order — identical to pushing every
 /// record sequentially (the absorb-order identity pinned in the store's
 /// proptests). When `S2S_SNAPSHOT_DIR` is set, every shard store is also
-/// written as `shard-<i>.snap` there and **the reopened snapshot** is what
-/// gets absorbed, so a fabric run exercises — and its digest certifies —
-/// the persistence round trip.
+/// written as `shard-<i>.snap` there and **the snapshot file, streamed
+/// back through [`s2s_probe::snapshot::absorb_files`]**, is what gets
+/// absorbed — so a fabric run exercises, and its digest certifies, the
+/// out-of-core persistence round trip without ever rematerializing a
+/// shard.
 pub fn collect_longterm_fabric<L: WorkerLauncher>(
     scenario: &Scenario,
     cfg: FabricConfig,
@@ -394,8 +405,11 @@ pub fn collect_longterm_fabric<L: WorkerLauncher>(
             Some(dir) => {
                 let path = dir.join(format!("shard-{}.snap", s.shard));
                 s2s_probe::snapshot::write_file(&path, &shard_store, &[])?;
-                let reopened = s2s_probe::snapshot::open_file(&path)?;
-                store.absorb(&reopened.store);
+                // Stream the shard back instead of reopening it whole:
+                // byte-identical to full-reopen + absorb, resident bytes
+                // bounded by one shard's arena plus one batch.
+                let options = s2s_probe::Snapshot::options().stream(true);
+                s2s_probe::snapshot::absorb_files(&mut store, &[&path], &options)?;
             }
             None => store.absorb(&shard_store),
         }
@@ -592,6 +606,31 @@ mod tests {
         assert_eq!(via_snapshot.stats(), direct.stats());
         // And the sequential-push identity the merge relies on.
         assert_eq!(store_digest(&direct), store_digest(&full));
+        // The streaming absorb (what the merge actually runs now) must
+        // match the full-reopen reference at any batch budget, and the
+        // per-batch digest fold must equal the whole-store digest.
+        let paths: Vec<_> = (0..shards.len())
+            .map(|i| dir.join(format!("shard-{i}.snap")))
+            .collect();
+        for budget in [1usize, 7, 1 << 20] {
+            let options =
+                s2s_probe::Snapshot::options().stream(true).block_budget(budget);
+            let mut streamed = TraceStore::new();
+            let (report, _sinks) =
+                s2s_probe::snapshot::absorb_files(&mut streamed, &paths, &options)
+                    .expect("streaming absorb");
+            assert!(report.clean(), "budget {budget}");
+            assert_eq!(store_digest(&streamed), store_digest(&direct), "budget {budget}");
+            assert_eq!(streamed.stats(), direct.stats(), "budget {budget}");
+            let mut folded = FNV64_OFFSET;
+            for path in &paths {
+                let mut reader = options.open(path).expect("open shard");
+                while let Some(batch) = reader.next_batch().expect("batch") {
+                    folded = store_digest_fold(folded, batch);
+                }
+            }
+            assert_eq!(folded, store_digest(&direct), "budget {budget} digest fold");
+        }
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //!   ([`s2s_probe::snapshot`]): the same store methods, delegating to the
 //!   embedded [`TraceStore`], so persisted campaign outputs open in
 //!   O(distinct-data) and analyze without a line re-import,
+//! * `Analysis<SnapshotReader>` — an *open* snapshot stream
+//!   (`Snapshot::options().stream(true).open(path)`): the out-of-core §4
+//!   driver folds bounded trace batches into timelines, resident bytes
+//!   O(arena + one batch), byte-identical to the in-memory path,
+//! * `Analysis<ShardDir>` — a directory of per-shard `.snap` files
+//!   (`Snapshot::options().open_dir(dir)`): every shard streams through
+//!   the same bounded-memory fold, in shard order,
 //! * `Analysis<&[TraceTimeline]>` — built timelines:
 //!   [`dualstack`](Analysis::dualstack) (§6, Fig. 10a),
 //! * `Analysis<&[PingTimeline]>` — materialized ping series: §5.1
@@ -23,9 +30,9 @@
 //!   [`overheads`](Analysis::overheads), without ever materializing a
 //!   timeline.
 //!
-//! The loose free functions (`timelines_from_store*`,
-//! `infer_ownership_store`) survive as `#[deprecated]` shims over this
-//! type.
+//! This builder is the only entry point: the loose free functions
+//! (`timelines_from_store*`, `infer_ownership_store`) that once shimmed
+//! over it are gone.
 //!
 //! ```no_run
 //! # use s2s_core::Analysis;
@@ -160,6 +167,52 @@ impl Analysis<&s2s_probe::Snapshot> {
             floor: self.floor,
         }
         .ownership(map, rels)
+    }
+}
+
+impl<R: std::io::Read> Analysis<s2s_probe::SnapshotReader<R>> {
+    /// The out-of-core §4 analysis: drains the open snapshot stream batch
+    /// by batch, folding traces into per-group timelines as they decode —
+    /// resident bytes stay O(arena + one batch) no matter the trace count.
+    /// Byte-identical to materializing the snapshot and running the
+    /// in-memory driver (pinned in `tests/tests/snapshot_equivalence.rs`);
+    /// the builder's thread count is ignored (the fold is sequential, and
+    /// the in-memory results are thread-count-independent anyway).
+    ///
+    /// Consumes the builder: a snapshot stream yields its batches once.
+    pub fn timelines(self, map: &Ip2AsnMap) -> std::io::Result<Vec<TraceTimeline>> {
+        let Analysis { source: mut reader, registry, .. } = self;
+        let out = s2s_obs::timed("analysis.columnar_streamed", || {
+            let mut stream = crate::columnar::StreamingTimelines::new();
+            stream.absorb_reader(&mut reader, map)?;
+            Ok::<_, std::io::Error>(stream.finish())
+        })?;
+        if !out.is_empty() {
+            if let Some(reg) = registry.or_else(s2s_obs::installed) {
+                reg.counter("analysis.timelines_built").add(out.len() as u64);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Analysis<s2s_probe::ShardDir> {
+    /// The out-of-core §4 analysis over a directory of per-shard `.snap`
+    /// files: each shard streams through the bounded-memory fold in shard
+    /// order, with a fresh per-shard annotator (interned ids are
+    /// shard-local; annotations are not). Byte-identical to absorbing
+    /// every shard into one store and running the in-memory driver.
+    pub fn timelines(&self, map: &Ip2AsnMap) -> std::io::Result<Vec<TraceTimeline>> {
+        let out = s2s_obs::timed("analysis.columnar_streamed", || {
+            let mut stream = crate::columnar::StreamingTimelines::new();
+            for path in self.source.paths() {
+                let mut reader = self.source.options().open(path)?;
+                stream.absorb_reader(&mut reader, map)?;
+            }
+            Ok::<_, std::io::Error>(stream.finish())
+        })?;
+        self.count("analysis.timelines_built", out.len() as u64);
+        Ok(out)
     }
 }
 

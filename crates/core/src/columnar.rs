@@ -24,8 +24,12 @@
 //!   consume *sets* of links/triples, so deduplication is exact, not
 //!   approximate).
 //!
-//! The free `timelines_from_store*` / `infer_ownership_store` functions
-//! that predate the builder survive as `#[deprecated]` shims.
+//! [`Analysis::new`](crate::Analysis::new) is the only entry point — the
+//! deprecated `timelines_from_store*` / `infer_ownership_store` free
+//! functions that predated the builder are gone. For out-of-core inputs
+//! the same driver runs incrementally: `StreamingTimelines` folds trace
+//! batches from a `SnapshotReader` (or a shard directory) into per-group
+//! timelines in stream order, byte-identical to the materialized path.
 //!
 //! Everything is instrumented through `s2s-obs` when a registry is
 //! installed (`analysis.*` spans and counters, `trace_store.*` gauges);
@@ -224,28 +228,89 @@ fn intern_path(paths: &mut Vec<AsPath>, p: &AsPath) -> u16 {
     (paths.len() - 1) as u16
 }
 
-/// Sequential columnar analysis: one timeline per (src, dst, protocol)
-/// group, in first-seen order.
-#[deprecated(note = "use Analysis::new(store).threads(1).timelines(map)")]
-pub fn timelines_from_store(store: &TraceStore, map: &Ip2AsnMap) -> Vec<TraceTimeline> {
-    timelines_from_store_impl(store, map, 1)
+/// An incremental timeline builder over streamed trace batches: the
+/// out-of-core counterpart of the grouped driver below. Traces are folded
+/// in stream order; because the materialized driver also visits each
+/// group's traces in store order, keeps groups in first-seen order, and
+/// interns paths per group in trace order, the finished timelines are
+/// byte-identical to `timelines_from_store_impl` over the concatenation
+/// of all batches — regardless of batch boundaries.
+pub(crate) struct StreamingTimelines {
+    index: HashMap<(ClusterId, ClusterId, Protocol), usize>,
+    timelines: Vec<TraceTimeline>,
 }
 
-/// Columnar analysis honoring the `S2S_THREADS` knob (the same knob that
-/// sizes campaign workers).
-#[deprecated(note = "use Analysis::new(store).timelines(map)")]
-pub fn timelines_from_store_par(store: &TraceStore, map: &Ip2AsnMap) -> Vec<TraceTimeline> {
-    timelines_from_store_impl(store, map, s2s_probe::env::threads())
-}
+impl StreamingTimelines {
+    pub(crate) fn new() -> StreamingTimelines {
+        StreamingTimelines { index: HashMap::new(), timelines: Vec::new() }
+    }
 
-/// Columnar analysis with an explicit shard-thread count.
-#[deprecated(note = "use Analysis::new(store).threads(n).timelines(map)")]
-pub fn timelines_from_store_threads(
-    store: &TraceStore,
-    map: &Ip2AsnMap,
-    threads: usize,
-) -> Vec<TraceTimeline> {
-    timelines_from_store_impl(store, map, threads)
+    /// Folds one batch in, annotating through `ann`. The annotator must be
+    /// built against the arena the batch's interned ids resolve in (one
+    /// fresh annotator per shard — ids are shard-local, annotations are
+    /// not, so shard-local memos produce identical `Annotated` values).
+    pub(crate) fn absorb_batch(&mut self, batch: &TraceStore, ann: &mut ColumnarAnnotator<'_>) {
+        use std::collections::hash_map::Entry;
+        for v in batch.iter() {
+            let key = (v.src(), v.dst(), v.proto());
+            let gi = match self.index.entry(key) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let gi = self.timelines.len();
+                    self.timelines.push(TraceTimeline {
+                        src: key.0,
+                        dst: key.1,
+                        proto: key.2,
+                        paths: Vec::new(),
+                        samples: Vec::new(),
+                        counts: CompletenessCounts::default(),
+                    });
+                    e.insert(gi);
+                    gi
+                }
+            };
+            let tl = &mut self.timelines[gi];
+            let reached = v.reached();
+            let a = ann.annotate(v);
+            tl.counts.add_outcome(reached, a);
+            let path = if reached && !a.has_loop {
+                Some(intern_path(&mut tl.paths, &a.as_path))
+            } else {
+                None
+            };
+            tl.samples.push(Sample {
+                t: v.t(),
+                path,
+                rtt_ms: v.e2e_rtt_ms().filter(|_| path.is_some()).map(|r| r as f32),
+            });
+        }
+    }
+
+    /// Streams one open snapshot reader to exhaustion: the address table
+    /// resolves once from the reader's arena, then every batch folds in.
+    pub(crate) fn absorb_reader<R: std::io::Read>(
+        &mut self,
+        reader: &mut s2s_probe::SnapshotReader<R>,
+        map: &Ip2AsnMap,
+    ) -> std::io::Result<()> {
+        let table = s2s_obs::timed("analysis.addr_tables", || {
+            AddrAsnTable::build(reader.arena(), map)
+        });
+        let mut ann = ColumnarAnnotator::new(&table);
+        while let Some(batch) = reader.next_batch()? {
+            self.absorb_batch(batch, &mut ann);
+        }
+        let (hits, distinct) = ann.memo_stats();
+        s2s_obs::add("analysis.annotation_memo_hits", hits);
+        s2s_obs::add("analysis.annotations_computed", distinct);
+        Ok(())
+    }
+
+    /// The finished timelines, one per (src, dst, protocol) group in
+    /// first-seen order.
+    pub(crate) fn finish(self) -> Vec<TraceTimeline> {
+        self.timelines
+    }
 }
 
 /// The sharded parallel analysis driver behind
@@ -318,16 +383,6 @@ pub(crate) fn timelines_from_store_impl(
             .map(|t| t.expect("every group gets a timeline"))
             .collect()
     })
-}
-
-/// Ownership inference over a store.
-#[deprecated(note = "use Analysis::new(store).ownership(map, rels)")]
-pub fn infer_ownership_store(
-    store: &TraceStore,
-    map: &Ip2AsnMap,
-    rels: &AsRelStore,
-) -> OwnershipInference {
-    infer_ownership_store_impl(store, map, rels)
 }
 
 /// Ownership inference over a store, behind
@@ -511,5 +566,36 @@ mod tests {
         let store = TraceStore::new();
         assert!(timelines_from_store_impl(&store, &m, 1).is_empty());
         assert!(timelines_from_store_impl(&store, &m, 8).is_empty());
+    }
+
+    #[test]
+    fn streaming_timelines_match_materialized_at_any_batch_split() {
+        let m = map();
+        let recs = corpus();
+        let store = TraceStore::from_records(&recs);
+        let materialized = timelines_from_store_impl(&store, &m, 3);
+        // Feed the same traces in stream order through arbitrary batch
+        // splits: every split must yield byte-identical timelines.
+        for split in 1..=recs.len() {
+            let mut stream = StreamingTimelines::new();
+            for chunk in recs.chunks(split) {
+                // Batch stores sharing one arena: rebuild per chunk from
+                // the same global store views (ids resolve in `store`).
+                let mut batch = TraceStore::new();
+                for r in chunk {
+                    batch.push(r);
+                }
+                let batch_table = AddrAsnTable::build(&batch, &m);
+                let mut batch_ann = ColumnarAnnotator::new(&batch_table);
+                stream.absorb_batch(&batch, &mut batch_ann);
+            }
+            let streamed = stream.finish();
+            assert_eq!(streamed, materialized, "split={split} diverged");
+            assert_eq!(
+                format!("{streamed:?}"),
+                format!("{materialized:?}"),
+                "split={split} byte divergence"
+            );
+        }
     }
 }

@@ -8,7 +8,9 @@
 //! so it runs unchanged on real traceroute corpora.
 //!
 //! The crate's front door is [`Analysis`]: wrap a data source (a
-//! [`s2s_probe::TraceStore`], built timelines, or streamed
+//! [`s2s_probe::TraceStore`], a reopened or *streamed* snapshot
+//! ([`s2s_probe::SnapshotReader`], a [`s2s_probe::ShardDir`] of per-shard
+//! files), built timelines, or streamed
 //! [`s2s_probe::PairProfile`]s), set policy (`.threads(n)`,
 //! `.observe(reg)`, `.checked(floor)`), then call an analysis method —
 //! mirroring how [`s2s_probe::Campaign`] fronts the measurement plane.
@@ -58,11 +60,6 @@ pub mod timeline;
 pub use analysis::{Analysis, DEFAULT_COVERAGE_FLOOR};
 pub use annotate::{Annotated, Completeness};
 pub use bestpath::{BestPathAnalysis, PathDelta};
-#[allow(deprecated)]
-pub use columnar::{
-    infer_ownership_store, timelines_from_store, timelines_from_store_par,
-    timelines_from_store_threads,
-};
 pub use columnar::{AddrAsnTable, ColumnarAnnotator};
 pub use changes::{
     detect_changes_checked, path_stats_checked, ChangeStats, PathStats,

@@ -33,6 +33,7 @@
 //! | `S2S_FABRIC_HB_MS` | `100` | Worker heartbeat interval |
 //! | `S2S_FABRIC_WORKERS` | `1` | Default worker count for `reproduce` (1 = in-process) |
 //! | `S2S_SNAPSHOT_BLOCK` | `4096` | Traces per snapshot `BLOCK` segment (≥ 1, the unit of loss) |
+//! | `S2S_SNAPSHOT_BUDGET` | `4096` | Traces per streamed-read batch (≥ 1, the reader's reuse-buffer cap) |
 //! | `S2S_SNAPSHOT_DIR` | unset | Fabric merge also writes per-shard snapshots here |
 //! | `S2S_SNAPSHOT_PATH` | unset | Default for `reproduce --snapshot` |
 //!
@@ -137,6 +138,20 @@ pub fn snapshot_block() -> usize {
     )
 }
 
+/// Traces per streamed-read batch: the `S2S_SNAPSHOT_BUDGET` knob when
+/// set to a valid integer ≥ 1, default
+/// [`crate::snapshot::DEFAULT_BLOCK_TRACES`]. This is the
+/// `SnapshotReader` reuse-buffer cap — the out-of-core read counterpart
+/// of `S2S_SNAPSHOT_BLOCK` — overridden per open by
+/// `Snapshot::options().block_budget(n)`.
+pub fn snapshot_budget() -> usize {
+    tenv::var_usize_at_least(
+        "S2S_SNAPSHOT_BUDGET",
+        crate::snapshot::DEFAULT_BLOCK_TRACES,
+        1,
+    )
+}
+
 /// Directory the fabric merge writes per-shard snapshot files into: the
 /// `S2S_SNAPSHOT_DIR` knob; unset (the default) means the merge keeps its
 /// in-memory absorb path only.
@@ -182,6 +197,7 @@ pub const KNOWN_KNOBS: &[&str] = &[
     "S2S_FABRIC_WORKERS",
     // Snapshot persistence.
     "S2S_SNAPSHOT_BLOCK",
+    "S2S_SNAPSHOT_BUDGET",
     "S2S_SNAPSHOT_DIR",
     "S2S_SNAPSHOT_PATH",
     // Fabric: coordinator→worker assignment (not operator-set).
@@ -407,6 +423,12 @@ pub fn resolved_knobs() -> Vec<ResolvedKnob> {
             "traces per snapshot BLOCK segment (the unit of loss)",
         ),
         ResolvedKnob::new(
+            "S2S_SNAPSHOT_BUDGET",
+            snapshot_budget().to_string(),
+            crate::snapshot::DEFAULT_BLOCK_TRACES.to_string(),
+            "traces per streamed-read batch (reader reuse-buffer cap)",
+        ),
+        ResolvedKnob::new(
             "S2S_SNAPSHOT_DIR",
             snapshot_dir()
                 .map(|p| p.display().to_string())
@@ -513,6 +535,7 @@ mod tests {
             "S2S_FABRIC_HB_MS",
             "S2S_FABRIC_WORKERS",
             "S2S_SNAPSHOT_BLOCK",
+            "S2S_SNAPSHOT_BUDGET",
             "S2S_SNAPSHOT_DIR",
             "S2S_SNAPSHOT_PATH",
         ] {

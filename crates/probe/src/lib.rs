@@ -40,8 +40,11 @@
 //! * [`snapshot`] — binary columnar snapshots: a versioned, checksummed
 //!   on-disk twin of [`TraceStore`] (interned address table, hash-consed
 //!   sequence arena, raw column blocks, sink states) that reopens in
-//!   O(distinct-data) instead of re-parsing O(lines), with a lossy open
-//!   that degrades torn or corrupt segments to counted skips,
+//!   O(distinct-data) instead of re-parsing O(lines); the
+//!   [`Snapshot::options`] builder unifies strict/lossy/streamed opens —
+//!   [`SnapshotReader`] walks `BLOCK` segments through a bounded reuse
+//!   buffer (resident bytes O(arena + one batch), never O(traces)) and
+//!   [`snapshot::absorb_files`] merges per-shard files the same way,
 //! * [`fabric`] — the crash-tolerant scale-out layer: a coordinator
 //!   shards the pair space across worker subprocesses speaking a framed
 //!   stdout protocol, reaps hung or crashed workers by heartbeat timeout,
@@ -73,7 +76,7 @@ pub use fabric::{
 };
 pub use faults::{FaultInjector, FaultProfile, ProbeFault};
 pub use records::{HopObs, PingRecord, TracerouteRecord};
-pub use snapshot::{Snapshot, SnapshotReport};
+pub use snapshot::{ShardDir, Snapshot, SnapshotOptions, SnapshotReader, SnapshotReport};
 pub use store::{StoreStats, TraceStore, TraceView};
 pub use stream::{PairProfile, PairProfileSink, StreamSink, TimelineSink};
 pub use tracer::{trace, TraceOptions, TracerouteMode};

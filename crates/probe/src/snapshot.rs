@@ -48,6 +48,29 @@
 //! * `END` — the totals (traces, sinks). A snapshot without its `END`
 //!   segment was torn mid-write.
 //!
+//! ## Opening: `Snapshot::options()`
+//!
+//! The one front door over the lossy/strict/streamed matrix:
+//!
+//! ```text
+//! Snapshot::options()            strict, materialized (the default)
+//!     .lossy(true)               damage degrades to counted skips
+//!     .stream(true)              out-of-core: bounded batches
+//!     .block_budget(n)           reuse-buffer cap (default S2S_SNAPSHOT_BUDGET)
+//!     .open(path)                -> SnapshotReader
+//! ```
+//!
+//! Every open returns a [`SnapshotReader`]. The arenas (`ADDR` + `SEQ`)
+//! load once at open; [`SnapshotReader::next_batch`] then decodes `BLOCK`
+//! segments into a reused buffer until the trace budget fills, so resident
+//! bytes stay O(arena + one batch) no matter how many traces the file
+//! holds. [`SnapshotReader::into_snapshot`] drains the stream into a
+//! materialized [`Snapshot`] — what [`open_file`]/[`open_file_lossy`]
+//! (thin shims over the builder) return. [`absorb_files`] streams N
+//! per-shard files into one store while holding at most one shard's arena
+//! plus one batch; [`SnapshotOptions::open_dir`] wraps a directory of
+//! `shard-<k>.snap` files as a [`ShardDir`] analysis source.
+//!
 //! ## Corruption policy
 //!
 //! [`read`] is strict: the first bad byte is an error. [`read_lossy`]
@@ -59,7 +82,10 @@
 //! skipped too; a header that fails its own checksum ends the scan (framing
 //! is lost) and the `END` totals — when they were seen — still bound how
 //! much was lost. Every decoded id is range-checked before it enters the
-//! store, so a checksum collision cannot plant an out-of-bounds index.
+//! store, so a checksum collision cannot plant an out-of-bounds index. A
+//! file that ends before its first segment header — zero bytes, a magic
+//! prefix, or a bare prologue — is a distinct *empty snapshot* condition
+//! ([`SnapshotReport::empty`]), not a generic torn tail.
 
 use crate::store::TraceStore;
 use s2s_types::{ClusterId, Coverage, SimTime};
@@ -127,6 +153,12 @@ pub struct SnapshotReport {
     pub skipped_segments: usize,
     /// The stream ended before a valid `END` segment (torn write).
     pub torn: bool,
+    /// The stream ended before its first segment header: a zero-length
+    /// file, a bare magic/prologue, or a truncated prologue that is still
+    /// a prefix of [`MAGIC`]. Distinct from a generic torn tail — an empty
+    /// snapshot carries *no* data at all, which callers (e.g. `reproduce`)
+    /// report separately. Always implies [`SnapshotReport::torn`].
+    pub empty: bool,
     /// The first [`SnapshotReport::MAX_SAMPLED_ERRORS`] damage reasons.
     pub first_errors: Vec<String>,
 }
@@ -152,6 +184,23 @@ impl SnapshotReport {
             && self.skipped_sinks == 0
             && self.skipped_segments == 0
             && !self.torn
+            && !self.empty
+    }
+
+    /// Folds another report into this one — what [`absorb_files`] does per
+    /// shard. Counts add, flags OR, and the sampled errors keep the first
+    /// [`SnapshotReport::MAX_SAMPLED_ERRORS`] across all shards.
+    pub fn merge(&mut self, other: &SnapshotReport) {
+        self.traces += other.traces;
+        self.skipped_traces += other.skipped_traces;
+        self.sinks += other.sinks;
+        self.skipped_sinks += other.skipped_sinks;
+        self.skipped_segments += other.skipped_segments;
+        self.torn |= other.torn;
+        self.empty |= other.empty;
+        for e in &other.first_errors {
+            self.note(e.clone());
+        }
     }
 
     /// Publishes the open's outcome as `snapshot.*` gauges.
@@ -162,6 +211,7 @@ impl SnapshotReport {
         registry.gauge("snapshot.skipped_sinks").set(self.skipped_sinks as u64);
         registry.gauge("snapshot.skipped_segments").set(self.skipped_segments as u64);
         registry.gauge("snapshot.torn").set(u64::from(self.torn));
+        registry.gauge("snapshot.empty").set(u64::from(self.empty));
     }
 }
 
@@ -591,167 +641,563 @@ fn decode_sinks(payload: &[u8], count: u64) -> Result<Vec<String>, String> {
     Ok(sinks)
 }
 
-fn read_prologue<R: Read>(r: &mut R) -> io::Result<()> {
+/// What the 12-byte prologue said about the stream.
+enum Prologue {
+    /// Magic and version check out; segments follow.
+    Ready,
+    /// The stream ended inside (or right after) the prologue while still
+    /// agreeing with it byte-for-byte: an *empty snapshot*, not a foreign
+    /// file and not a generic torn tail.
+    Empty,
+}
+
+fn read_prologue<R: Read>(r: &mut R) -> io::Result<Prologue> {
     let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic).map_err(|_| bad("not a snapshot: short magic"))?;
+    let mut got = 0;
+    while got < magic.len() {
+        let n = r.read(&mut magic[got..])?;
+        if n == 0 {
+            // A short read that is a prefix of the magic is an empty
+            // snapshot (nothing was ever written past the prologue); any
+            // other bytes make this a foreign file.
+            return if magic[..got] == MAGIC[..got] {
+                Ok(Prologue::Empty)
+            } else {
+                Err(bad("not a snapshot: bad magic"))
+            };
+        }
+        got += n;
+    }
     if &magic != MAGIC {
         return Err(bad("not a snapshot: bad magic"));
     }
     let mut ver = [0u8; 4];
-    r.read_exact(&mut ver).map_err(|_| bad("not a snapshot: short version"))?;
+    let mut got = 0;
+    while got < ver.len() {
+        let n = r.read(&mut ver[got..])?;
+        if n == 0 {
+            return Ok(Prologue::Empty); // magic-only file: empty snapshot
+        }
+        got += n;
+    }
     let version = u32::from_le_bytes(ver);
     if version != VERSION {
         return Err(bad(&format!(
             "unsupported snapshot version {version} (expected {VERSION})"
         )));
     }
-    Ok(())
+    Ok(Prologue::Ready)
 }
 
-/// Opens a snapshot from a reader, tolerating damage: torn or corrupt
-/// segments degrade to counted skips in the [`SnapshotReport`], exactly as
-/// [`crate::dataset::read_traceroutes_lossy`] treats mangled lines. Only a
-/// stream-level I/O failure, a foreign file (bad magic), or an unsupported
-/// version is an error — those lose *everything*, not a countable part.
-pub fn read_lossy<R: Read>(r: &mut R) -> io::Result<(Snapshot, SnapshotReport)> {
-    read_prologue(r)?;
-    let mut snap = Snapshot { store: TraceStore::new(), ..Snapshot::default() };
-    let mut report = SnapshotReport::default();
-    // Arenas poisoned: ADDR or SEQ was lost, so block ids cannot be
-    // trusted (validation would reject them anyway); count, don't load.
-    let mut poisoned = false;
-    let mut saw_end = false;
-    let mut end_totals: Option<(u64, u64)> = None;
-    loop {
-        let header = match read_header(r)? {
-            HeaderRead::Ok(h) => h,
-            HeaderRead::Eof => break,
-            HeaderRead::Bad(msg) => {
-                // Framing is gone: without a trustworthy length there is
-                // no next boundary to resync to.
-                report.skipped_segments += 1;
-                report.torn = true;
-                report.note(msg);
-                break;
-            }
+// ---------------------------------------------------------------------------
+// The front door: Snapshot::options()
+// ---------------------------------------------------------------------------
+
+impl Snapshot {
+    /// The one way to open snapshots: configures the lossy/strict/streamed
+    /// matrix, then [`SnapshotOptions::open`] (a file),
+    /// [`SnapshotOptions::open_reader`] (any [`Read`]), or
+    /// [`SnapshotOptions::open_dir`] (a shard directory).
+    pub fn options() -> SnapshotOptions {
+        SnapshotOptions::default()
+    }
+}
+
+/// Builder for opening snapshots — see [`Snapshot::options`].
+///
+/// Defaults: strict (any damage is an error) and materialized (one batch
+/// holds the whole file — [`SnapshotReader::into_snapshot`] is free).
+/// `.lossy(true)` degrades damage to counted skips; `.stream(true)` caps
+/// each [`SnapshotReader::next_batch`] at the block budget
+/// (`.block_budget(n)`, default the `S2S_SNAPSHOT_BUDGET` knob) so
+/// resident bytes stay O(arena + one batch).
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotOptions {
+    lossy: bool,
+    stream: bool,
+    block_budget: Option<usize>,
+}
+
+impl SnapshotOptions {
+    /// Degrade damage to counted skips instead of erroring (default false).
+    pub fn lossy(mut self, v: bool) -> SnapshotOptions {
+        self.lossy = v;
+        self
+    }
+
+    /// Yield bounded trace batches instead of materializing (default
+    /// false). Without this, the reader's budget is unbounded and the
+    /// first batch holds every trace.
+    pub fn stream(mut self, v: bool) -> SnapshotOptions {
+        self.stream = v;
+        self
+    }
+
+    /// Cap (in traces) on the reader's reuse buffer when streaming; a
+    /// batch ends at the first `BLOCK` boundary at or past the budget.
+    /// Defaults to the `S2S_SNAPSHOT_BUDGET` knob. Clamped to ≥ 1.
+    pub fn block_budget(mut self, n: usize) -> SnapshotOptions {
+        self.block_budget = Some(n.max(1));
+        self
+    }
+
+    fn budget(&self) -> usize {
+        if self.stream {
+            self.block_budget.unwrap_or_else(crate::env::snapshot_budget)
+        } else {
+            usize::MAX
+        }
+    }
+
+    /// Opens a snapshot file as a [`SnapshotReader`].
+    pub fn open(&self, path: &Path) -> io::Result<SnapshotReader> {
+        self.open_reader(io::BufReader::new(std::fs::File::open(path)?))
+    }
+
+    /// Opens a snapshot from any byte stream as a [`SnapshotReader`].
+    pub fn open_reader<R: Read>(&self, input: R) -> io::Result<SnapshotReader<R>> {
+        SnapshotReader::new(input, self.lossy, self.budget())
+    }
+
+    /// Wraps a directory of per-shard `.snap` files (what the fabric
+    /// writes under `S2S_SNAPSHOT_DIR`) as a [`ShardDir`]: shards sorted
+    /// by trailing shard number (`shard-10` after `shard-2`), merged by
+    /// streaming absorb. Errors `NotFound` if the directory holds no
+    /// `.snap` files.
+    pub fn open_dir(&self, dir: &Path) -> io::Result<ShardDir> {
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "snap"))
+            .collect();
+        if paths.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no .snap shards in {}", dir.display()),
+            ));
+        }
+        paths.sort_by_key(|p| shard_sort_key(p));
+        Ok(ShardDir { paths, options: self.clone() })
+    }
+}
+
+/// Sort key for shard files: the trailing integer of the file stem (so
+/// `shard-10` follows `shard-2`), then the stem itself for ties and
+/// non-numbered names.
+fn shard_sort_key(path: &Path) -> (u64, String) {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+    let digits = stem.len() - stem.trim_end_matches(|c: char| c.is_ascii_digit()).len();
+    let n = stem[stem.len() - digits..].parse().unwrap_or(u64::MAX);
+    (n, stem.to_string())
+}
+
+/// A directory of per-shard snapshot files, opened via
+/// [`SnapshotOptions::open_dir`]. `s2s_core::Analysis::new` accepts a
+/// `ShardDir` directly and streams every shard through [`absorb_files`]'s
+/// bounded-memory path.
+#[derive(Clone, Debug)]
+pub struct ShardDir {
+    paths: Vec<std::path::PathBuf>,
+    options: SnapshotOptions,
+}
+
+impl ShardDir {
+    /// The shard files, in merge order.
+    pub fn paths(&self) -> &[std::path::PathBuf] {
+        &self.paths
+    }
+
+    /// The open options every shard is read with.
+    pub fn options(&self) -> &SnapshotOptions {
+        &self.options
+    }
+
+    /// Streams every shard into `store` — see [`absorb_files`].
+    pub fn absorb_into(
+        &self,
+        store: &mut TraceStore,
+    ) -> io::Result<(SnapshotReport, Vec<String>)> {
+        absorb_files(store, &self.paths, &self.options)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotReader: the out-of-core segment walker
+// ---------------------------------------------------------------------------
+
+/// Walks a snapshot segment-by-segment: the interned address table and the
+/// hop-sequence arena load once at open, then [`SnapshotReader::next_batch`]
+/// decodes `BLOCK` segments into a bounded reuse buffer — resident bytes
+/// are O(arena + one batch), never O(traces). Construct via
+/// [`Snapshot::options`].
+///
+/// The batch buffer is itself a [`TraceStore`] sharing the shard's arenas,
+/// so batch ids resolve exactly as the materialized store's would and
+/// `TraceStore::absorb_maps`/`TraceStore::absorb_rows` merge batches
+/// into another store byte-identically to a full-reopen `absorb`.
+pub struct SnapshotReader<R: Read = io::BufReader<std::fs::File>> {
+    input: R,
+    lossy: bool,
+    budget: usize,
+    /// Arenas + the current batch's per-trace columns (cleared per batch,
+    /// capacity retained).
+    buf: TraceStore,
+    /// A header read past the arena phase but not yet consumed (headers
+    /// cannot be un-read).
+    pending: Option<SegmentHeader>,
+    sinks: Vec<String>,
+    report: SnapshotReport,
+    /// ADDR or SEQ was lost, so block ids cannot be trusted (validation
+    /// would reject them anyway); count, don't load.
+    poisoned: bool,
+    done: bool,
+    saw_end: bool,
+    end_totals: Option<(u64, u64)>,
+    peak_resident: usize,
+}
+
+impl<R: Read> SnapshotReader<R> {
+    fn new(input: R, lossy: bool, budget: usize) -> io::Result<SnapshotReader<R>> {
+        let mut reader = SnapshotReader {
+            input,
+            lossy,
+            budget: budget.max(1),
+            buf: TraceStore::new(),
+            pending: None,
+            sinks: Vec::new(),
+            report: SnapshotReport::default(),
+            poisoned: false,
+            done: false,
+            saw_end: false,
+            end_totals: None,
+            peak_resident: 0,
         };
-        let payload = match read_payload(r, header.len)? {
+        match read_prologue(&mut reader.input)? {
+            Prologue::Ready => reader.load_arenas()?,
+            Prologue::Empty => reader.mark_empty(),
+        }
+        reader.peak_resident = reader.buf.arena_bytes();
+        reader.check_strict()?;
+        Ok(reader)
+    }
+
+    fn mark_empty(&mut self) {
+        self.report.empty = true;
+        self.report.note("empty snapshot (no segments)".into());
+        self.finish();
+    }
+
+    /// Seals the stream: no more segments will be consumed. Reconciles
+    /// against the `END` totals (whole segments can vanish with a torn
+    /// tail; the totals bound the loss exactly).
+    fn finish(&mut self) {
+        self.done = true;
+        if !self.saw_end {
+            self.report.torn = true;
+        }
+        if let Some((total_traces, total_sinks)) = self.end_totals {
+            let seen = self.report.traces + self.report.skipped_traces;
+            self.report.skipped_traces += (total_traces as usize).saturating_sub(seen);
+            let seen_sinks = self.report.sinks + self.report.skipped_sinks;
+            self.report.skipped_sinks += (total_sinks as usize).saturating_sub(seen_sinks);
+        }
+    }
+
+    /// The arena phase: consumes leading `ADDR`/`SEQ` segments into the
+    /// buffer's intern tables, then stashes the first trace-phase header.
+    fn load_arenas(&mut self) -> io::Result<()> {
+        let mut saw_any = false;
+        loop {
+            let header = match read_header(&mut self.input)? {
+                HeaderRead::Ok(h) => h,
+                HeaderRead::Eof => {
+                    if saw_any {
+                        self.finish();
+                    } else {
+                        // A bare prologue: nothing was ever written.
+                        self.mark_empty();
+                    }
+                    return Ok(());
+                }
+                HeaderRead::Bad(msg) => {
+                    // Framing is gone: without a trustworthy length there
+                    // is no next boundary to resync to.
+                    self.report.skipped_segments += 1;
+                    self.report.note(msg);
+                    self.finish();
+                    return Ok(());
+                }
+            };
+            saw_any = true;
+            if header.tag != TAG_ADDR && header.tag != TAG_SEQ {
+                self.pending = Some(header);
+                return Ok(());
+            }
+            let payload = match read_payload(&mut self.input, header.len)? {
+                Some(p) => p,
+                None => {
+                    self.report.skipped_segments += 1;
+                    self.poisoned = true;
+                    self.report
+                        .note(format!("torn payload in segment tag {}", header.tag));
+                    self.finish();
+                    return Ok(());
+                }
+            };
+            let outcome: Result<(), String> = if fnv64(&payload) != header.payload_fnv {
+                Err("segment payload failed its checksum".into())
+            } else if header.tag == TAG_ADDR {
+                decode_addrs(&payload, header.count).map(|addrs| {
+                    self.buf.addrs = addrs;
+                })
+            } else {
+                decode_seqs(&payload, header.count, self.buf.addr_count()).map(
+                    |(data, offsets)| {
+                        self.buf.seq_data = data;
+                        self.buf.seq_offsets = offsets;
+                    },
+                )
+            };
+            if let Err(msg) = outcome {
+                self.report.skipped_segments += 1;
+                self.poisoned = true;
+                self.report.note(format!("segment tag {}: {msg}", header.tag));
+            }
+        }
+    }
+
+    /// Consumes exactly one segment (or seals the stream at EOF/damage).
+    fn step(&mut self) -> io::Result<()> {
+        let header = match self.pending.take() {
+            Some(h) => h,
+            None => match read_header(&mut self.input)? {
+                HeaderRead::Ok(h) => h,
+                HeaderRead::Eof => {
+                    self.finish();
+                    return Ok(());
+                }
+                HeaderRead::Bad(msg) => {
+                    self.report.skipped_segments += 1;
+                    self.report.note(msg);
+                    self.finish();
+                    return Ok(());
+                }
+            },
+        };
+        let payload = match read_payload(&mut self.input, header.len)? {
             Some(p) => p,
             None => {
-                report.skipped_segments += 1;
-                report.torn = true;
+                self.report.skipped_segments += 1;
                 if header.tag == TAG_BLOCK {
-                    report.skipped_traces += header.count as usize;
+                    self.report.skipped_traces += header.count as usize;
                 } else if header.tag == TAG_SINK {
-                    report.skipped_sinks += header.count as usize;
+                    self.report.skipped_sinks += header.count as usize;
                 }
-                report.note(format!("torn payload in segment tag {}", header.tag));
-                break;
+                self.report.note(format!("torn payload in segment tag {}", header.tag));
+                self.finish();
+                return Ok(());
             }
         };
-        let checksum_ok = fnv64(&payload) == header.payload_fnv;
-        let outcome: Result<(), String> = if !checksum_ok {
+        let outcome: Result<(), String> = if fnv64(&payload) != header.payload_fnv {
             Err("segment payload failed its checksum".into())
         } else {
             match header.tag {
-                TAG_ADDR => decode_addrs(&payload, header.count).map(|addrs| {
-                    snap.store.addrs = addrs;
-                }),
-                TAG_SEQ => {
-                    decode_seqs(&payload, header.count, snap.store.addr_count()).map(
-                        |(data, offsets)| {
-                            snap.store.seq_data = data;
-                            snap.store.seq_offsets = offsets;
-                        },
-                    )
-                }
                 TAG_BLOCK => {
-                    if poisoned {
+                    if self.poisoned {
                         Err("block poisoned by an earlier arena loss".into())
                     } else {
-                        decode_block(&mut snap.store, &payload, header.count)
-                            .map(|()| report.traces += header.count as usize)
+                        decode_block(&mut self.buf, &payload, header.count)
+                            .map(|()| self.report.traces += header.count as usize)
                     }
                 }
                 TAG_SINK => decode_sinks(&payload, header.count).map(|s| {
-                    report.sinks += s.len();
-                    snap.sinks.extend(s);
+                    self.report.sinks += s.len();
+                    self.sinks.extend(s);
                 }),
                 TAG_END => {
                     let mut c = Cursor::new(&payload);
                     match (c.u64(), c.u64()) {
                         (Ok(t), Ok(s)) => {
-                            end_totals = Some((t, s));
-                            saw_end = true;
+                            self.end_totals = Some((t, s));
+                            self.saw_end = true;
                             Ok(())
                         }
                         _ => Err("malformed END segment".into()),
                     }
                 }
+                // The writer emits arenas before any block; an arena
+                // segment showing up here means the framing lied, and the
+                // ids already handed out cannot be retrofitted.
+                TAG_ADDR | TAG_SEQ => Err("unexpected arena segment after trace blocks".into()),
                 t => Err(format!("unknown segment tag {t}")),
             }
         };
         if let Err(msg) = outcome {
-            report.skipped_segments += 1;
+            self.report.skipped_segments += 1;
             match header.tag {
-                TAG_BLOCK => report.skipped_traces += header.count as usize,
-                TAG_SINK => report.skipped_sinks += header.count as usize,
-                TAG_ADDR | TAG_SEQ => poisoned = true,
+                TAG_BLOCK => self.report.skipped_traces += header.count as usize,
+                TAG_SINK => self.report.skipped_sinks += header.count as usize,
+                TAG_ADDR | TAG_SEQ => self.poisoned = true,
                 _ => {}
             }
-            report.note(format!("segment tag {}: {msg}", header.tag));
+            self.report.note(format!("segment tag {}: {msg}", header.tag));
         }
-        if saw_end {
-            break;
+        if self.saw_end {
+            self.finish();
         }
+        Ok(())
     }
-    if !saw_end {
-        report.torn = true;
-    }
-    if let Some((total_traces, total_sinks)) = end_totals {
-        // Whole segments can vanish with a torn tail; the END totals bound
-        // the loss exactly.
-        let seen = report.traces + report.skipped_traces;
-        report.skipped_traces += (total_traces as usize).saturating_sub(seen);
-        let seen_sinks = report.sinks + report.skipped_sinks;
-        report.skipped_sinks += (total_sinks as usize).saturating_sub(seen_sinks);
-    }
-    snap.store.rebuild_indices();
-    Ok((snap, report))
-}
 
-/// Opens a snapshot strictly: any damage — torn write, failed checksum,
-/// invalid id — is an `InvalidData` error. The inverse of [`write()`].
-pub fn read<R: Read>(r: &mut R) -> io::Result<Snapshot> {
-    let (snap, report) = read_lossy(r)?;
-    if !report.clean() {
-        let detail = report
+    fn check_strict(&self) -> io::Result<()> {
+        if self.lossy || self.report.clean() {
+            return Ok(());
+        }
+        Err(self.damage_error())
+    }
+
+    fn damage_error(&self) -> io::Error {
+        if self.report.empty {
+            return io::Error::new(io::ErrorKind::InvalidData, "empty snapshot");
+        }
+        let detail = self
+            .report
             .first_errors
             .first()
             .cloned()
             .unwrap_or_else(|| "torn snapshot".into());
-        return Err(io::Error::new(
+        io::Error::new(
             io::ErrorKind::InvalidData,
             format!(
                 "corrupt snapshot: {} trace(s) and {} sink(s) lost ({detail})",
-                report.skipped_traces, report.skipped_sinks
+                self.report.skipped_traces, self.report.skipped_sinks
             ),
-        ));
+        )
     }
-    Ok(snap)
+
+    /// The next batch of traces, or `None` when the stream is exhausted.
+    ///
+    /// The returned store shares the shard's arenas and holds this batch's
+    /// rows only; it is valid until the next call (the buffer is reused).
+    /// Batches cut at `BLOCK` boundaries: decoding stops at the first
+    /// boundary at or past the budget, so a batch holds at most
+    /// `budget + block − 1` traces. In strict mode the first damage is an
+    /// error; in lossy mode it is counted in [`SnapshotReader::report`]
+    /// (complete once this returns `None`).
+    pub fn next_batch(&mut self) -> io::Result<Option<&TraceStore>> {
+        self.buf.clear_traces();
+        while !self.done && self.buf.len() < self.budget {
+            self.step()?;
+        }
+        self.check_strict()?;
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        self.peak_resident = self.peak_resident.max(self.buf.arena_bytes());
+        Ok(Some(&self.buf))
+    }
+
+    /// Drains the remaining stream into a materialized [`Snapshot`] — the
+    /// legacy whole-file open. On a fresh reader this is exactly what
+    /// [`open_file`]/[`open_file_lossy`] return; intern indices are
+    /// rebuilt, so the store keeps absorbing new records.
+    pub fn into_snapshot(mut self) -> io::Result<(Snapshot, SnapshotReport)> {
+        while !self.done {
+            self.step()?;
+        }
+        self.check_strict()?;
+        self.buf.rebuild_indices();
+        Ok((Snapshot { store: self.buf, sinks: self.sinks }, self.report))
+    }
+
+    /// The arenas (plus the current batch): what annotation tables build
+    /// against, and what `TraceStore::absorb_maps` interns from.
+    pub fn arena(&self) -> &TraceStore {
+        &self.buf
+    }
+
+    /// What the open has loaded/skipped so far. Totals are final once
+    /// [`SnapshotReader::next_batch`] has returned `None`.
+    pub fn report(&self) -> &SnapshotReport {
+        &self.report
+    }
+
+    /// Sink-state lines seen so far (the writer puts `SINK` after every
+    /// `BLOCK`, so these are complete once the stream is exhausted).
+    pub fn sinks(&self) -> &[String] {
+        &self.sinks
+    }
+
+    /// Takes ownership of the sink-state lines seen so far.
+    pub fn take_sinks(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.sinks)
+    }
+
+    /// Resident bytes of the reuse buffer right now (arena + current
+    /// batch).
+    pub fn resident_bytes(&self) -> usize {
+        self.buf.arena_bytes()
+    }
+
+    /// The high-water mark of [`SnapshotReader::resident_bytes`] across
+    /// all batches — what the `persistence.out_of_core` bench asserts
+    /// stays flat while file size grows.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident
+    }
 }
 
-/// Strictly opens a snapshot file.
+/// Streams N per-shard snapshot files into `store`, holding at most one
+/// shard's arena plus one batch in memory. Per shard: the arenas are
+/// interned into `store` once (`TraceStore::absorb_maps` — id order,
+/// exactly as a full-reopen `absorb` would), then every batch's rows are
+/// appended through `TraceStore::absorb_rows`. The merged store is
+/// byte-identical to reopening each shard fully and absorbing it, in the
+/// same shard order. Returns the merged [`SnapshotReport`] and the
+/// concatenated sink states (shard order preserved).
+pub fn absorb_files<P: AsRef<Path>>(
+    store: &mut TraceStore,
+    paths: &[P],
+    options: &SnapshotOptions,
+) -> io::Result<(SnapshotReport, Vec<String>)> {
+    let mut merged = SnapshotReport::default();
+    let mut sinks = Vec::new();
+    for p in paths {
+        let mut reader = options.open(p.as_ref())?;
+        let (addr_map, seq_map) = store.absorb_maps(reader.arena());
+        while let Some(batch) = reader.next_batch()? {
+            store.absorb_rows(batch, &addr_map, &seq_map);
+        }
+        merged.merge(reader.report());
+        sinks.append(&mut reader.take_sinks());
+    }
+    Ok((merged, sinks))
+}
+
+/// Opens a snapshot from a reader, tolerating damage: torn or corrupt
+/// segments degrade to counted skips in the [`SnapshotReport`]. Thin shim
+/// over [`Snapshot::options`].
+pub fn read_lossy<R: Read>(r: &mut R) -> io::Result<(Snapshot, SnapshotReport)> {
+    Snapshot::options().lossy(true).open_reader(r)?.into_snapshot()
+}
+
+/// Opens a snapshot strictly: any damage — torn write, failed checksum,
+/// invalid id — is an `InvalidData` error. The inverse of [`write()`].
+/// Thin shim over [`Snapshot::options`].
+pub fn read<R: Read>(r: &mut R) -> io::Result<Snapshot> {
+    Ok(Snapshot::options().open_reader(r)?.into_snapshot()?.0)
+}
+
+/// Strictly opens a snapshot file. Shim over [`Snapshot::options`].
 pub fn open_file(path: &Path) -> io::Result<Snapshot> {
-    let mut f = io::BufReader::new(std::fs::File::open(path)?);
-    read(&mut f)
+    Ok(Snapshot::options().open(path)?.into_snapshot()?.0)
 }
 
 /// Lossily opens a snapshot file (damage degrades to counted skips).
+/// Shim over [`Snapshot::options`].
 pub fn open_file_lossy(path: &Path) -> io::Result<(Snapshot, SnapshotReport)> {
-    let mut f = io::BufReader::new(std::fs::File::open(path)?);
-    read_lossy(&mut f)
+    Snapshot::options().lossy(true).open(path)?.into_snapshot()
 }
 
 #[cfg(test)]
@@ -840,8 +1286,41 @@ mod tests {
     fn foreign_file_is_an_error_not_a_skip() {
         let mut garbage: &[u8] = b"T|1|2|4|0|1|*|*|*|\n";
         assert!(read_lossy(&mut garbage).is_err(), "bad magic loses everything");
-        let mut short: &[u8] = b"S2SN";
-        assert!(read_lossy(&mut short).is_err());
+        // A short file whose bytes DIVERGE from the magic is foreign too.
+        let mut diverges: &[u8] = b"S2SX";
+        assert!(read_lossy(&mut diverges).is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_is_a_distinct_counted_condition() {
+        // Zero bytes, magic prefixes, a magic-only file, a truncated
+        // version, and a bare prologue are all *empty snapshots*: lossy
+        // opens succeed with `report.empty` (still unclean, so reproduce
+        // degrades), strict opens fail with a distinct message.
+        let cases: &[&[u8]] = &[
+            b"",
+            b"S2SN",
+            b"S2SNAP01",
+            b"S2SNAP01\x01",
+            b"S2SNAP01\x01\x00\x00\x00",
+        ];
+        for &case in cases {
+            let (snap, report) = read_lossy(&mut &case[..]).unwrap();
+            assert!(report.empty, "{case:?} is an empty snapshot");
+            assert!(report.torn, "empty implies torn");
+            assert!(!report.clean());
+            assert_eq!(report.traces, 0);
+            assert!(snap.store.is_empty());
+            let err = read(&mut &case[..]).unwrap_err();
+            assert!(
+                err.to_string().contains("empty snapshot"),
+                "strict message for {case:?}: {err}"
+            );
+        }
+        // A non-empty snapshot never reports empty.
+        let buf = snapshot_bytes(&sample_store(), &[], 2);
+        let (_, report) = read_lossy(&mut buf.as_slice()).unwrap();
+        assert!(!report.empty);
     }
 
     #[test]
@@ -861,9 +1340,12 @@ mod tests {
         // Cutting anywhere must never panic, and the books must balance:
         // loaded + skipped == total whenever the END totals were readable
         // (they live at the tail, so truncated files undercount instead).
-        for cut in 12..buf.len() {
+        // Cuts at or before the 12-byte prologue leave a valid prefix of
+        // the magic, which is the distinct empty-snapshot condition.
+        for cut in 0..buf.len() {
             let (snap, report) = read_lossy(&mut &buf[..cut]).unwrap();
             assert!(report.torn, "a cut at {cut} is a torn snapshot");
+            assert_eq!(report.empty, cut <= 12, "empty iff cut inside the prologue ({cut})");
             assert_eq!(snap.store.len(), report.traces);
             assert!(report.traces + report.skipped_traces <= total);
             let _ = snap.store.to_records(); // loaded prefix stays readable
@@ -938,6 +1420,190 @@ mod tests {
             store.len(),
             100.0 * report.traces as f64 / store.len() as f64
         ));
+    }
+
+    #[test]
+    fn streamed_batches_reassemble_the_store_at_every_budget() {
+        let store = sample_store();
+        let sinks = vec!["S|1|2|state".to_string()];
+        let buf = snapshot_bytes(&store, &sinks, 2);
+        for budget in [1usize, 2, 3, 4, 5, 4096] {
+            let mut reader = Snapshot::options()
+                .stream(true)
+                .block_budget(budget)
+                .open_reader(buf.as_slice())
+                .unwrap();
+            let floor = reader.resident_bytes();
+            let mut records = Vec::new();
+            let mut batches = 0;
+            while let Some(batch) = reader.next_batch().unwrap() {
+                // A batch ends at the first BLOCK boundary at or past the
+                // budget (block size 2 here).
+                assert!(batch.len() <= budget + 1, "budget {budget}: {}", batch.len());
+                records.extend(batch.iter().map(|v| v.to_record()));
+                batches += 1;
+            }
+            assert_eq!(records, store.to_records(), "budget {budget}");
+            assert_eq!(reader.sinks(), &sinks[..], "budget {budget}");
+            assert!(reader.report().clean(), "budget {budget}");
+            assert_eq!(reader.report().traces, store.len());
+            assert!(batches >= store.len().div_ceil(budget.next_multiple_of(2)));
+            assert!(reader.peak_resident_bytes() >= floor);
+        }
+    }
+
+    #[test]
+    fn unstreamed_open_is_one_batch() {
+        let store = sample_store();
+        let buf = snapshot_bytes(&store, &[], 2);
+        let mut reader = Snapshot::options().open_reader(buf.as_slice()).unwrap();
+        let first = reader.next_batch().unwrap().expect("everything in one batch");
+        assert_eq!(first.len(), store.len());
+        assert!(reader.next_batch().unwrap().is_none());
+    }
+
+    #[test]
+    fn into_snapshot_matches_the_legacy_read() {
+        let store = sample_store();
+        let sinks = vec!["S|a".to_string(), "S|b".to_string()];
+        let buf = snapshot_bytes(&store, &sinks, 2);
+        let (snap, report) = Snapshot::options()
+            .lossy(true)
+            .open_reader(buf.as_slice())
+            .unwrap()
+            .into_snapshot()
+            .unwrap();
+        assert!(report.clean());
+        assert_eq!(snap.store.to_records(), store.to_records());
+        assert_eq!(snap.store.stats(), store.stats());
+        assert_eq!(snap.sinks, sinks);
+    }
+
+    #[test]
+    fn streamed_lossy_damage_still_degrades_to_counted_skips() {
+        // Flip a byte in the first BLOCK payload and stream with a tiny
+        // budget: the damaged block's traces are skipped, the rest load.
+        let store = sample_store();
+        let buf = snapshot_bytes(&store, &[], 2);
+        let mut pos = 12usize;
+        let payload_at = loop {
+            let tag = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+            let len =
+                u64::from_le_bytes(buf[pos + 12..pos + 20].try_into().unwrap()) as usize;
+            if tag == TAG_BLOCK {
+                break pos + HEADER_BYTES;
+            }
+            pos += HEADER_BYTES + len;
+        };
+        let mut mangled = buf.clone();
+        mangled[payload_at] ^= 0xFF;
+        let mut reader = Snapshot::options()
+            .lossy(true)
+            .stream(true)
+            .block_budget(1)
+            .open_reader(mangled.as_slice())
+            .unwrap();
+        let mut loaded = 0;
+        while let Some(batch) = reader.next_batch().unwrap() {
+            loaded += batch.len();
+        }
+        assert_eq!(reader.report().skipped_traces, 2);
+        assert_eq!(reader.report().traces, store.len() - 2);
+        assert_eq!(loaded, store.len() - 2);
+        // Strict streaming errors on the same input.
+        let mut strict = Snapshot::options()
+            .stream(true)
+            .block_budget(1)
+            .open_reader(mangled.as_slice())
+            .unwrap();
+        let err = loop {
+            match strict.next_batch() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("strict stream accepted a corrupt block"),
+                Err(e) => break e,
+            }
+        };
+        assert!(err.to_string().contains("corrupt snapshot"));
+    }
+
+    fn shard_tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "s2s-snap-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn absorb_files_matches_full_reopen_absorb() {
+        let dir = shard_tmp_dir("absorb");
+        let shards: Vec<TraceStore> = (0..3)
+            .map(|k| {
+                let recs: Vec<_> = (0..4)
+                    .map(|i| {
+                        rec(k * 2 + i, i, &[(Some("10.1.0.1"), Some(1.0 + f64::from(i)))], true)
+                    })
+                    .collect();
+                TraceStore::from_records(&recs)
+            })
+            .collect();
+        let mut paths = Vec::new();
+        for (k, shard) in shards.iter().enumerate() {
+            let path = dir.join(format!("shard-{k}.snap"));
+            write_file(&path, shard, &[format!("S|shard{k}")]).unwrap();
+            paths.push(path);
+        }
+        // Reference: full reopen + absorb, in shard order.
+        let mut full = TraceStore::new();
+        for path in &paths {
+            let snap = open_file(path).unwrap();
+            full.absorb(&snap.store);
+        }
+        // Streaming absorb with a deliberately tiny budget.
+        let mut streamed = TraceStore::new();
+        let options = Snapshot::options().lossy(true).stream(true).block_budget(1);
+        let (report, sinks) = absorb_files(&mut streamed, &paths, &options).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.traces, full.len());
+        assert_eq!(sinks, vec!["S|shard0", "S|shard1", "S|shard2"]);
+        assert_eq!(streamed.to_records(), full.to_records());
+        assert_eq!(streamed.stats(), full.stats());
+        // The ShardDir front door resolves and orders the same files.
+        let shard_dir = options.open_dir(&dir).unwrap();
+        assert_eq!(shard_dir.paths(), &paths[..]);
+        let mut via_dir = TraceStore::new();
+        let (dir_report, dir_sinks) = shard_dir.absorb_into(&mut via_dir).unwrap();
+        assert!(dir_report.clean());
+        assert_eq!(dir_sinks.len(), 3);
+        assert_eq!(via_dir.to_records(), full.to_records());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_dirs_sort_numerically_and_reject_empties() {
+        let dir = shard_tmp_dir("sort");
+        let store = sample_store();
+        for k in [0usize, 2, 10] {
+            write_file(&dir.join(format!("shard-{k}.snap")), &store, &[]).unwrap();
+        }
+        std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
+        let shard_dir = Snapshot::options().open_dir(&dir).unwrap();
+        let names: Vec<_> = shard_dir
+            .paths()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, ["shard-0.snap", "shard-2.snap", "shard-10.snap"]);
+        let empty = shard_tmp_dir("sort-empty");
+        let err = Snapshot::options().open_dir(&empty).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&empty);
     }
 
     /// Raw material for one arbitrary record, mirroring the store's

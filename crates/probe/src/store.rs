@@ -127,6 +127,12 @@ impl Bits {
     fn bytes(&self) -> usize {
         self.words.len() * 8
     }
+
+    /// Empties the vector, keeping the word buffer's capacity.
+    pub(crate) fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
 }
 
 /// Size/dedup statistics of a store, for observability and benches.
@@ -339,6 +345,17 @@ impl TraceStore {
     /// store's tables. Absorbing per-shard stores in a fixed order yields a
     /// store identical to pushing all records sequentially in that order.
     pub fn absorb(&mut self, other: &TraceStore) {
+        let (addr_map, seq_map) = self.absorb_maps(other);
+        self.absorb_rows(other, &addr_map, &seq_map);
+    }
+
+    /// First half of [`TraceStore::absorb`]: interns `other`'s full address
+    /// table and hop-sequence arena (in id order, so interning order matches
+    /// a sequential push of the same records) and returns the id remaps.
+    /// Split out so the streaming snapshot reader can intern a shard's
+    /// arenas once and then feed trace batches through
+    /// [`TraceStore::absorb_rows`] without ever materializing the shard.
+    pub(crate) fn absorb_maps(&mut self, other: &TraceStore) -> (Vec<u32>, Vec<u32>) {
         let addr_map: Vec<u32> =
             other.addrs.iter().map(|&a| self.intern_addr(a)).collect();
         let remap = |id: u32| if id == NO_ADDR { NO_ADDR } else { addr_map[id as usize] };
@@ -350,6 +367,20 @@ impl TraceStore {
             seq_map.push(self.intern_seq(&scratch));
         }
         self.scratch = scratch;
+        (addr_map, seq_map)
+    }
+
+    /// Second half of [`TraceStore::absorb`]: appends `other`'s per-trace
+    /// rows, remapping ids through maps built by [`TraceStore::absorb_maps`]
+    /// against `other`'s arenas (or a superset — a batch buffer sharing a
+    /// shard's arenas qualifies).
+    pub(crate) fn absorb_rows(
+        &mut self,
+        other: &TraceStore,
+        addr_map: &[u32],
+        seq_map: &[u32],
+    ) {
+        let remap = |id: u32| if id == NO_ADDR { NO_ADDR } else { addr_map[id as usize] };
         for i in 0..other.len() {
             self.srcs.push(other.srcs[i]);
             self.dsts.push(other.dsts[i]);
@@ -369,6 +400,28 @@ impl TraceStore {
             }
             self.rtt_offsets.push(self.rtts.len() as u32);
         }
+    }
+
+    /// Drops every per-trace column while keeping the interned address
+    /// table, the hop-sequence arena, the intern indices, and all column
+    /// capacity. This is the snapshot reader's batch reset: after a clear,
+    /// decoded BLOCK rows land in already-allocated columns whose ids keep
+    /// resolving against the shared arenas.
+    pub(crate) fn clear_traces(&mut self) {
+        self.srcs.clear();
+        self.dsts.clear();
+        self.times.clear();
+        self.seqs.clear();
+        self.src_addrs.clear();
+        self.dst_addrs.clear();
+        self.e2e.clear();
+        self.e2e_some.clear();
+        self.reached.clear();
+        self.proto_v6.clear();
+        self.rtts.clear();
+        self.rtt_some.clear();
+        self.rtt_offsets.clear();
+        self.rtt_offsets.push(0);
     }
 
     /// Rebuilds the keyless intern indices from the arenas — what a

@@ -57,6 +57,27 @@ impl Drop for SnapFile {
     }
 }
 
+/// A fresh shard directory per run, removed on drop.
+struct SnapDir(PathBuf);
+
+impl SnapDir {
+    fn new() -> SnapDir {
+        let dir = std::env::temp_dir().join(format!(
+            "s2s-snapeq-shards-{}-{}",
+            std::process::id(),
+            RUN_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create shard dir");
+        SnapDir(dir)
+    }
+}
+
+impl Drop for SnapDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
 /// The legacy import path: archived record lines parsed back one by one
 /// and pushed into a fresh store — exactly what `Analysis::new` used to
 /// sit on before snapshots existed.
@@ -132,8 +153,46 @@ fn analysis_over_reopened_snapshot_matches_line_import_byte_for_byte() {
                 );
             }
 
+            // Streamed sources: a chunked out-of-core reader over the same
+            // file (a tiny batch budget forces many buffer refills) and a
+            // directory of shard files. Both must match the in-memory
+            // analysis byte for byte, and sink lines must ride through the
+            // streaming path bit-exactly too.
+            let options =
+                s2s_probe::Snapshot::options().stream(true).block_budget(97);
+            let mut sink_reader =
+                options.open(&snap_file.0).expect("streamed open");
+            while sink_reader.next_batch().expect("streamed batch").is_some() {}
+            assert_eq!(
+                sink_reader.take_sinks(),
+                sinks,
+                "seed {seed} {name}: streamed sink lines diverged"
+            );
+            let via_streamed = s2s_core::Analysis::new(
+                options.open(&snap_file.0).expect("streamed open"),
+            )
+            .timelines(&scenario.ip2asn)
+            .expect("streamed analysis");
+            let shard_dir = SnapDir::new();
+            let records = store.to_records();
+            let chunk = records.len().div_ceil(3).max(1);
+            for (i, ch) in records.chunks(chunk).enumerate() {
+                write_file(
+                    &shard_dir.0.join(format!("shard-{i}.snap")),
+                    &TraceStore::from_records(ch),
+                    &[],
+                )
+                .expect("write shard");
+            }
+            let via_dir = s2s_core::Analysis::new(
+                options.open_dir(&shard_dir.0).expect("open shard dir"),
+            )
+            .timelines(&scenario.ip2asn)
+            .expect("sharded analysis");
+
             // Analysis over the reopened snapshot == analysis over the
-            // legacy line-import path, at every worker count.
+            // legacy line-import path, at every worker count — and the
+            // streamed/sharded sources match them all.
             let imported = import_lines(&store);
             assert_eq!(
                 store_digest(&imported),
@@ -150,6 +209,14 @@ fn analysis_over_reopened_snapshot_matches_line_import_byte_for_byte() {
                 assert_eq!(
                     via_snapshot, via_import,
                     "seed {seed} {name} threads {threads}: timelines diverged"
+                );
+                assert_eq!(
+                    via_streamed, via_snapshot,
+                    "seed {seed} {name} threads {threads}: streamed timelines diverged"
+                );
+                assert_eq!(
+                    via_dir, via_snapshot,
+                    "seed {seed} {name} threads {threads}: sharded timelines diverged"
                 );
             }
         }
