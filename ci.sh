@@ -27,8 +27,10 @@ cargo clippy -p s2s-probe -p s2s-core -- -W clippy::unwrap_used 2>&1 |
     grep -A3 "unwrap_used\|used \`unwrap()\`" || true
 
 echo "==> small-scale reproduce smoke run (writes metrics.json)"
+# Uses the `run` subcommand spelling; later steps deliberately keep the
+# deprecated bare spelling so the alias path stays exercised.
 S2S_CLUSTERS=16 S2S_DAYS=20 S2S_PAIRS=24 S2S_PING_PAIRS=20 S2S_CONG_PAIRS=8 \
-    cargo run -q --release -p s2s-bench --bin reproduce -- table1 --metrics-json metrics.json |
+    cargo run -q --release -p s2s-bench --bin reproduce -- run table1 --metrics-json metrics.json |
     tee reproduce_smoke.txt
 
 echo "==> fabric crash-matrix smoke: 4 workers, kill+crash schedule, byte-identity"
@@ -96,6 +98,34 @@ grep -q 'snapshot: 2 shard(s)' reproduce_shardstream.txt
 grep -q 'snapshot: reopened' reproduce_shardstream.txt
 rm -rf smoke_shards
 
+echo "==> always-on service smoke: capped daemon, resume, scripted queries, digest parity"
+# A capped `serve` session measures 8 epochs, answers a scripted query
+# batch, and checkpoints through the snapshot plane; a second session
+# resumes from that snapshot and completes the schedule. The resumed
+# daemon's dataset digest must match the batch run's byte-for-byte, and
+# the service.* / query.* counters must reach --metrics-json.
+rm -f smoke_service.snap
+printf 'stats\npair 0 1 v4\n' |
+S2S_CLUSTERS=16 S2S_DAYS=20 S2S_PAIRS=24 S2S_PING_PAIRS=20 S2S_CONG_PAIRS=8 \
+    cargo run -q --release -p s2s-bench --bin reproduce -- serve --epochs 8 \
+    --snapshot smoke_service.snap |
+    tee reproduce_serve1.txt
+printf 'stats\nadvice 0 1\n' |
+S2S_CLUSTERS=16 S2S_DAYS=20 S2S_PAIRS=24 S2S_PING_PAIRS=20 S2S_CONG_PAIRS=8 \
+    cargo run -q --release -p s2s-bench --bin reproduce -- serve \
+    --snapshot smoke_service.snap --metrics-json metrics_service.json |
+    tee reproduce_serve2.txt
+serve_digest=$(grep 'long-term dataset digest:' reproduce_serve2.txt)
+test -n "$serve_digest" && test "$serve_digest" = "$one_digest"
+grep -q 'ok {"cmd":"stats"' reproduce_serve1.txt
+grep -q 'ok {"cmd":"stats"' reproduce_serve2.txt
+grep -q 'service: resumed from' reproduce_serve2.txt
+grep -q 'service: final snapshot' reproduce_serve2.txt
+grep -q '"service.epochs"' metrics_service.json
+grep -q '"service.resumes"' metrics_service.json
+grep -q '"query.served"' metrics_service.json
+rm -f smoke_service.snap
+
 echo "==> long-term campaign + columnar analysis bench (quick mode; writes BENCH_longterm.json)"
 S2S_BENCH_QUICK=1 cargo bench -q -p s2s-bench --bench longterm
 
@@ -132,5 +162,15 @@ grep -q '"peak_over_floor"' BENCH_longterm.json
 grep -q '"one_block_floor_bytes"' BENCH_longterm.json
 grep -q '"streamed_vs_in_memory"' BENCH_longterm.json
 grep -q '"flat_resident": true' BENCH_longterm.json
+
+echo "==> service gate: always-on section recorded in BENCH_longterm.json"
+# The bench aborts unless the service's live dataset is byte-identical
+# to the batch recompute and incremental updates / queries beat the
+# batch path by the gated ratios; these guard the section itself.
+grep -q '"service": {' BENCH_longterm.json
+grep -q '"dataset_identical": true' BENCH_longterm.json
+grep -q '"batch_over_update"' BENCH_longterm.json
+grep -q '"batch_over_query"' BENCH_longterm.json
+grep -q '"ns_per_query"' BENCH_longterm.json
 
 echo "CI OK"

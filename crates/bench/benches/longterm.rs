@@ -610,6 +610,106 @@ fn bench_longterm(c: &mut Criterion) {
         rec_stats.recovery_ms
     );
 
+    // ---- Always-on service: the epoch-incremental path must land on the
+    // batch bytes, one `update(delta)` must cost far less than a batch
+    // recompute, and per-pair queries must answer in O(pair state). ----
+    let svc_map = &*w.scenario.ip2asn;
+    let (svc_batch_store, svc_batch_digest, _, _) = s2s_bench::service::batch_baseline(
+        &w.scenario,
+        &s2s_probe::FaultProfile::default(),
+        &s2s_probe::RetryPolicy::default(),
+    );
+    let svc_cfg = s2s_bench::service::ServiceConfig {
+        cadence_ms: 0,
+        snap_every: usize::MAX,
+        query_budget: usize::MAX,
+        snapshot_path: None,
+        profile: s2s_probe::FaultProfile::default(),
+        retry: s2s_probe::RetryPolicy::default(),
+    };
+    let t = Instant::now();
+    let mut svc = s2s_bench::service::Service::new(&w.scenario, svc_cfg);
+    while svc.advance() {}
+    let t_service_full = t.elapsed();
+    assert_eq!(
+        svc.digest(),
+        svc_batch_digest,
+        "service epoch sweep must be byte-identical to the batch campaign"
+    );
+    // Batch recompute: timelines plus both §4 verdict families from
+    // scratch — what the service's folded state replaces per query.
+    let (t_batch_recompute, _) = time_samples(samples, || {
+        let tls = Analysis::new(&svc_batch_store).threads(1).timelines(svc_map);
+        let ch: Vec<_> = tls.iter().map(s2s_core::changes::detect_changes).collect();
+        let ps: Vec<_> = tls
+            .iter()
+            .map(|tl| s2s_core::changes::path_stats(tl, SimDuration::from_hours(3)))
+            .collect();
+        (tls.len(), ch.len(), ps.len())
+    });
+    // One-epoch update cost: fold everything but the last epoch's worth of
+    // records, then time absorbing that final delta into the live state.
+    let svc_records = svc_batch_store.to_records();
+    let svc_epochs = CampaignConfig::long_term(w.scenario.scale.days).n_samples();
+    let svc_slots = svc_records.len() / svc_epochs.max(1);
+    let (head, tail) = svc_records.split_at(svc_records.len() - svc_slots);
+    let mut pre = Analysis::new(s2s_core::IncrementalState::new());
+    pre.update(&TraceStore::from_records(head), svc_map);
+    let pre_state = pre.source().clone();
+    let last_delta = TraceStore::from_records(tail);
+    let t_update = {
+        let mut samples_v = Vec::new();
+        for _ in 0..samples.max(1) {
+            let mut a = Analysis::new(pre_state.clone());
+            let t = Instant::now();
+            a.update(&last_delta, svc_map);
+            samples_v.push(t.elapsed());
+        }
+        samples_v.sort_unstable();
+        samples_v[samples_v.len() / 2]
+    };
+    let batch_over_update =
+        t_batch_recompute.as_secs_f64() / t_update.as_secs_f64().max(1e-12);
+    assert!(
+        batch_over_update >= 2.0,
+        "one-epoch update ({t_update:?}) must be far cheaper than a batch \
+         recompute ({t_batch_recompute:?}), got {batch_over_update:.1}x"
+    );
+    // Query latency over the live state: every pair, all four per-pair
+    // families plus stats — each answer reads pair state, never the corpus.
+    let svc_pairs = s2s_bench::fabric::longterm_pairs(&w.scenario);
+    let mut svc_queries = 0u64;
+    let t = Instant::now();
+    for &(s, d) in &svc_pairs {
+        for q in [
+            format!("pair {} {} v4", s.index(), d.index()),
+            format!("diurnal {} {} v4", s.index(), d.index()),
+            format!("changes {} {} v6", s.index(), d.index()),
+            format!("advice {} {}", s.index(), d.index()),
+            "stats".to_string(),
+        ] {
+            let a = svc.answer(&q);
+            assert!(a.starts_with("ok"), "query '{q}' failed: {a}");
+            svc_queries += 1;
+        }
+    }
+    let t_queries = t.elapsed();
+    let query_seconds = t_queries.as_secs_f64() / svc_queries.max(1) as f64;
+    let ns_per_query = t_queries.as_nanos() as f64 / svc_queries.max(1) as f64;
+    let batch_over_query = t_batch_recompute.as_secs_f64() / query_seconds.max(1e-12);
+    assert!(
+        batch_over_query >= 10.0,
+        "a per-pair query ({ns_per_query:.0} ns) must be orders cheaper than \
+         an O(corpus) recompute ({t_batch_recompute:?}), got {batch_over_query:.1}x"
+    );
+    println!(
+        "service: {svc_epochs} epochs × {svc_slots} slots folded in \
+         {t_service_full:?}, dataset identical; one-epoch update {t_update:?} vs \
+         batch recompute {t_batch_recompute:?} ({batch_over_update:.1}x); \
+         {svc_queries} queries at {ns_per_query:.0} ns each ({batch_over_query:.0}x \
+         cheaper than recompute)"
+    );
+
     // Hand-rolled JSON: the offline criterion shim has no machine-readable
     // output, and this file is the artifact CI uploads. The `fullscale`
     // block is the recorded single-core 120-cluster/485-day run — the
@@ -688,6 +788,14 @@ fn bench_longterm(c: &mut Criterion) {
          \"retries\": {},\n      \"recoveries\": {},\n      \
          \"recovery_ms\": {:.3},\n      \
          \"dataset_identical\": true\n    }}\n  }},\n  \
+         \"service\": {{\n    \"epochs\": {},\n    \"slots\": {},\n    \
+         \"dataset_identical\": true,\n    \
+         \"service_full_seconds\": {:.6},\n    \
+         \"batch_recompute_seconds\": {:.6},\n    \
+         \"update_seconds\": {:.9},\n    \
+         \"batch_over_update\": {:.1},\n    \
+         \"queries\": {},\n    \"ns_per_query\": {:.0},\n    \
+         \"batch_over_query\": {:.1}\n  }},\n  \
          \"fullscale\": {{\n    \"clusters\": 120,\n    \"days\": 485,\n    \
          \"directed_pairs\": 1200,\n    \"cores\": 1,\n    \
          \"before_seconds\": 736.527,\n    \"after_seconds\": 104.206,\n    \
@@ -769,7 +877,16 @@ fn bench_longterm(c: &mut Criterion) {
         fabric_clean.outcome.stats.merge_ms,
         rec_stats.retries,
         rec_stats.recoveries,
-        rec_stats.recovery_ms
+        rec_stats.recovery_ms,
+        svc_epochs,
+        svc_slots,
+        t_service_full.as_secs_f64(),
+        t_batch_recompute.as_secs_f64(),
+        t_update.as_secs_f64(),
+        batch_over_update,
+        svc_queries,
+        ns_per_query,
+        batch_over_query
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_longterm.json");
     std::fs::write(path, json).expect("write BENCH_longterm.json");

@@ -1,26 +1,43 @@
-//! Regenerates every table and figure of the paper on the simulated world.
+//! Regenerates every table and figure of the paper on the simulated world,
+//! or runs the whole platform as an always-on measurement service.
 //!
 //! ```text
-//! cargo run -p s2s-bench --release --bin reproduce              # everything
-//! cargo run -p s2s-bench --release --bin reproduce -- fig4 fig6 # a subset
+//! cargo run -p s2s-bench --release --bin reproduce -- run            # everything
+//! cargo run -p s2s-bench --release --bin reproduce -- run fig4 fig6 # a subset
+//! cargo run -p s2s-bench --release --bin reproduce -- serve         # the daemon
 //! ```
 //!
-//! Experiment ids: table1, fig1, fig2a, fig2b, fig3a, fig3b, fig4, fig5,
-//! fig6, fig7, sec51, sec53, fig8, fig9, fig10a, fig10b, plus the
-//! extensions (loss, shared, coloc, abw) and the fault sweep (faults).
-//! Scale comes from `S2S_*` environment variables; the measurement plane
-//! can be degraded via `S2S_FAULT_*` knobs (DESIGN.md §8 scale knobs,
-//! §9 fault model).
+//! Subcommands (`s2s_bench::cli` is the typed parser; the pre-subcommand
+//! spellings still work with a stderr deprecation note):
 //!
-//! Flags:
-//! * `--print-config` — dump every `S2S_*` knob (resolved value, default,
+//! * `run [ids…] [flags]` — batch reproduction. Experiment ids: table1,
+//!   fig1, fig2a, fig2b, fig3a, fig3b, fig4, fig5, fig6, fig7, sec51,
+//!   sec53, fig8, fig9, fig10a, fig10b, plus the extensions (loss,
+//!   shared, coloc, abw) and the fault sweep (faults). Scale comes from
+//!   `S2S_*` environment variables; the measurement plane can be degraded
+//!   via `S2S_FAULT_*` knobs (DESIGN.md §8 scale knobs, §9 fault model).
+//! * `serve [--epochs n] [--snapshot p] …` — the always-on service
+//!   (DESIGN.md §14): epochs advance continuously, checkpoints flush
+//!   every `S2S_SERVICE_SNAP_EVERY` epochs, and stdin lines are answered
+//!   as `ok {json}` / `err reason` query replies. A graceful shutdown
+//!   (EOF or `quit`) flushes a final snapshot and prints the same
+//!   `long-term dataset digest` line a batch run prints.
+//! * `worker` — the fabric's worker entry point; the coordinator spawns
+//!   it, operators never do.
+//! * `snapshot <path>` — inspect a snapshot file or shard directory:
+//!   trace/sink counts, damage report, dataset digest.
+//! * `faults [flags]` — the fault-robustness sweep (`run faults`).
+//! * `print-config` — dump every `S2S_*` knob (resolved value, default,
 //!   whether the operator set it) and exit.
+//!
+//! Flags (`run`/`faults`; `serve` shares `--threads`, `--snapshot`,
+//! `--metrics-json` and adds `--epochs`):
 //! * `--metrics-json <path>` — after the run, write the observability
 //!   registry's snapshot (schema-stable JSON) to `<path>`. A metrics
 //!   summary table prints at the end of every run either way.
 //! * `--threads <n>` — worker threads for campaigns and the columnar
 //!   analysis shards; overrides `S2S_THREADS` (and is what
-//!   `--print-config` then reports). Results are byte-identical across
+//!   `print-config` then reports). Results are byte-identical across
 //!   thread counts.
 //! * `--workers <n>` — collect the long-term campaign through the
 //!   crash-tolerant scale-out fabric with `n` worker subprocesses
@@ -41,29 +58,20 @@
 //!   campaign runs and writes its store there. The `dataset digest` line
 //!   is identical either way.
 //!
-//! The hidden `worker` subcommand (`reproduce worker`) is the fabric's
-//! worker entry point; the coordinator spawns it, operators never do.
-//!
-//! Exit codes:
-//! * `0` — clean run.
-//! * `2` — configuration error (bad flag, unknown experiment id).
-//! * `3` — campaign or worker failure (fabric I/O error, metrics write
-//!   failure).
-//! * `4` — degraded result: the run completed but at least one fabric
-//!   shard was lost after the retry budget, so coverage is below the
-//!   offered schedule (`fabric.lost` / `campaign.lost_slots` say how
-//!   much) — or a reopened snapshot was damaged or empty
-//!   (`snapshot.skipped_traces` / `snapshot.empty`).
+//! Exit codes are the shared [`s2s_types::ExitCode`] vocabulary (also the
+//! fabric worker's): 0 clean, 2 configuration error, 3 campaign/worker
+//! failure, 4 degraded result, 5 service runtime failure, 6 query budget
+//! exhausted. The README's "Exit codes" section holds the full table.
 
 use s2s_bench::experiments::{
     congestion, dualstack, example, extensions, faultsweep, longterm, ownercheck,
     shortterm,
 };
-use s2s_bench::fabric;
+use s2s_bench::{cli, fabric, service};
 use s2s_bench::{Scale, Scenario};
 use s2s_probe::env::ResolvedKnob;
 use s2s_probe::FaultProfile;
-use s2s_types::{Protocol, SimTime};
+use s2s_types::{ExitCode, Protocol, SimTime};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -117,6 +125,8 @@ fn print_config() {
     print!("{}", s2s_probe::env::format_knob_table(&s2s_probe::env::resolved_knobs()));
     println!("\nexperiment scale:");
     print!("{}", s2s_probe::env::format_knob_table(&scale_knobs(&Scale::from_env())));
+    println!("\nalways-on service:");
+    print!("{}", s2s_probe::env::format_knob_table(&service::service_knobs()));
 }
 
 /// Persists a freshly collected store to `path` when `--snapshot` (or
@@ -137,7 +147,7 @@ fn write_snapshot_if_asked(
         ),
         Err(e) => {
             eprintln!("cannot write snapshot {}: {e}", path.display());
-            std::process::exit(fabric::EXIT_CAMPAIGN);
+            ExitCode::Campaign.exit();
         }
     }
 }
@@ -146,70 +156,161 @@ fn write_snapshot_if_asked(
 /// unsupported version) is a campaign failure, not a degraded run.
 fn snapshot_open_fail(path: &std::path::Path, e: std::io::Error) -> ! {
     eprintln!("cannot open snapshot {}: {e}", path.display());
-    std::process::exit(fabric::EXIT_CAMPAIGN);
+    ExitCode::Campaign.exit()
+}
+
+/// Prints the end-of-run metrics table and honors `--metrics-json`.
+fn metrics_tail(registry: &Arc<s2s_obs::Registry>, metrics_json: Option<&str>) {
+    let snapshot = registry.snapshot();
+    s2s_obs::uninstall();
+    println!("\nOBSERVABILITY — end-of-run metrics");
+    print!("{}", snapshot.summary_table());
+    if let Some(path) = metrics_json {
+        match std::fs::write(path, snapshot.to_json()) {
+            Ok(()) => println!("metrics written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                ExitCode::Campaign.exit();
+            }
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match cli::parse(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::Config.exit();
+        }
+    };
     // Fabric worker mode: measure the assigned shard, speak the framed
     // protocol on stdout, exit. Dispatched before anything can print.
-    if args.first().map(String::as_str) == Some("worker") {
+    if parsed.command == cli::Command::Worker {
         std::process::exit(fabric::worker_main());
+    }
+    for note in &parsed.deprecations {
+        eprintln!("{note}");
     }
     // Typo guard: one stderr line for any S2S_* variable no layer
     // recognizes, before it can silently configure nothing.
     s2s_probe::env::warn_unknown_knobs();
-    let mut metrics_json: Option<String> = None;
-    let mut print_cfg = false;
-    let mut workers = s2s_probe::env::fabric_workers();
-    let mut snapshot_path = s2s_probe::env::snapshot_path();
-    let mut ids: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--print-config" => print_cfg = true,
-            "--metrics-json" => match it.next() {
-                Some(p) => metrics_json = Some(p.clone()),
-                None => {
-                    eprintln!("--metrics-json needs a path argument");
-                    std::process::exit(fabric::EXIT_CONFIG);
-                }
-            },
-            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => std::env::set_var("S2S_THREADS", n.to_string()),
-                _ => {
-                    eprintln!("--threads needs a positive integer argument");
-                    std::process::exit(fabric::EXIT_CONFIG);
-                }
-            },
-            "--workers" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => workers = n,
-                _ => {
-                    eprintln!("--workers needs a positive integer argument");
-                    std::process::exit(fabric::EXIT_CONFIG);
-                }
-            },
-            "--snapshot" => match it.next() {
-                Some(p) => snapshot_path = Some(std::path::PathBuf::from(p)),
-                None => {
-                    eprintln!("--snapshot needs a path argument");
-                    std::process::exit(fabric::EXIT_CONFIG);
-                }
-            },
-            other => ids.push(other),
+    match parsed.command {
+        cli::Command::Worker => unreachable!("dispatched above"),
+        cli::Command::PrintConfig => print_config(),
+        cli::Command::Snapshot(path) => snapshot_main(&path),
+        cli::Command::Serve(a) => serve_main(a),
+        cli::Command::Run(a) => run_main(a),
+        cli::Command::Faults(mut a) => {
+            a.ids = vec!["faults".to_string()];
+            run_main(a)
         }
     }
-    // --threads must take effect before any knob is resolved, so the flag
-    // loop runs to completion before config printing or world building.
-    if print_cfg {
+}
+
+/// The `serve` subcommand: build the world, then hand the process to the
+/// service loop — stdin is the query channel, stdout the answer channel.
+fn serve_main(a: cli::ServeArgs) -> ! {
+    if let Some(n) = a.threads {
+        std::env::set_var("S2S_THREADS", n.to_string());
+    }
+    let mut cfg = service::ServiceConfig::from_env();
+    if let Some(p) = a.snapshot {
+        cfg.snapshot_path = Some(p);
+    }
+    let scale = Scale::from_env();
+    println!(
+        "s2s serve — scale: {} clusters, {} days, {} long-term directed pairs, \
+         seed {}",
+        scale.clusters, scale.days, scale.pairs, scale.seed
+    );
+    let t0 = Instant::now();
+    let scenario = Scenario::build(scale);
+    println!("world built in {:?}\n", t0.elapsed());
+    let registry = Arc::new(s2s_obs::Registry::new());
+    scenario.net.observe(&registry);
+    s2s_obs::install(Arc::clone(&registry));
+    let stdin = std::io::BufReader::new(std::io::stdin());
+    let mut stdout = std::io::stdout();
+    let outcome = service::serve(&scenario, cfg, a.epochs, stdin, &mut stdout);
+    metrics_tail(&registry, a.metrics_json.as_deref());
+    match outcome {
+        Ok(o) => o.exit.exit(),
+        Err(e) => {
+            eprintln!("service failed: {e}");
+            ExitCode::Service.exit()
+        }
+    }
+}
+
+/// The `snapshot` subcommand: stream a snapshot file or shard directory,
+/// print its damage report and dataset digest, exit clean or degraded.
+fn snapshot_main(path: &std::path::Path) -> ! {
+    let options = s2s_probe::Snapshot::options().lossy(true).stream(true);
+    let shard_paths: Vec<std::path::PathBuf> = if path.is_dir() {
+        let dir = options.open_dir(path).unwrap_or_else(|e| snapshot_open_fail(path, e));
+        println!("snapshot: {} shard(s) in {}", dir.paths().len(), path.display());
+        dir.paths().to_vec()
+    } else {
+        vec![path.to_path_buf()]
+    };
+    let mut rep = s2s_probe::SnapshotReport::default();
+    let mut digest = s2s_probe::fabric::FNV64_OFFSET;
+    for p in &shard_paths {
+        let mut reader = options.open(p).unwrap_or_else(|e| snapshot_open_fail(p, e));
+        loop {
+            match reader.next_batch() {
+                Ok(Some(batch)) => digest = fabric::store_digest_fold(digest, batch),
+                Ok(None) => break,
+                Err(e) => snapshot_open_fail(p, e),
+            }
+        }
+        rep.merge(reader.report());
+    }
+    println!(
+        "snapshot: {} — {} traces ({} skipped), {} sink state(s){}",
+        path.display(),
+        rep.traces,
+        rep.skipped_traces,
+        rep.sinks,
+        if rep.empty {
+            ", EMPTY"
+        } else if rep.torn {
+            ", TORN"
+        } else {
+            ""
+        }
+    );
+    println!("long-term dataset digest: {digest:016x}");
+    if !rep.clean() {
+        for e in &rep.first_errors {
+            eprintln!("snapshot damage: {e}");
+        }
+        ExitCode::Degraded.exit();
+    }
+    ExitCode::Ok.exit()
+}
+
+fn run_main(run: cli::RunArgs) {
+    if let Some(n) = run.threads {
+        // Must take effect before any knob is resolved, so this happens
+        // before config printing or world building.
+        std::env::set_var("S2S_THREADS", n.to_string());
+    }
+    if run.print_config {
         print_config();
         return;
     }
-    let wanted: Vec<&str> = if ids.is_empty() { ALL.to_vec() } else { ids };
+    let workers = run.workers.unwrap_or_else(s2s_probe::env::fabric_workers);
+    let snapshot_path = run.snapshot.or_else(s2s_probe::env::snapshot_path);
+    let metrics_json = run.metrics_json;
+    let wanted: Vec<&str> =
+        if run.ids.is_empty() { ALL.to_vec() } else { run.ids.iter().map(String::as_str).collect() };
     for w in &wanted {
         if !ALL.contains(w) {
             eprintln!("unknown experiment id '{w}' (known: {ALL:?})");
-            std::process::exit(fabric::EXIT_CONFIG);
+            ExitCode::Config.exit();
         }
     }
     let scale = Scale::from_env();
@@ -367,11 +468,11 @@ fn main() {
                 .join(format!("s2s-fabric-{}", std::process::id()));
             if let Err(e) = std::fs::create_dir_all(&ckpt_dir) {
                 eprintln!("cannot create fabric checkpoint dir: {e}");
-                std::process::exit(fabric::EXIT_CAMPAIGN);
+                ExitCode::Campaign.exit();
             }
             let program = std::env::current_exe().unwrap_or_else(|e| {
                 eprintln!("cannot locate worker executable: {e}");
-                std::process::exit(fabric::EXIT_CAMPAIGN);
+                ExitCode::Campaign.exit();
             });
             let launcher = fabric::worker_launcher(
                 program,
@@ -386,7 +487,7 @@ fn main() {
             let _ = std::fs::remove_dir_all(&ckpt_dir);
             let run = run.unwrap_or_else(|e| {
                 eprintln!("fabric collection failed: {e}");
-                std::process::exit(fabric::EXIT_CAMPAIGN);
+                ExitCode::Campaign.exit();
             });
             let s = &run.outcome.stats;
             println!(
@@ -563,20 +664,8 @@ fn main() {
     }
     println!("total: {:?}", t0.elapsed());
 
-    let snapshot = registry.snapshot();
-    s2s_obs::uninstall();
-    println!("\nOBSERVABILITY — end-of-run metrics");
-    print!("{}", snapshot.summary_table());
-    if let Some(path) = metrics_json {
-        match std::fs::write(&path, snapshot.to_json()) {
-            Ok(()) => println!("metrics written to {path}"),
-            Err(e) => {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(fabric::EXIT_CAMPAIGN);
-            }
-        }
-    }
+    metrics_tail(&registry, metrics_json.as_deref());
     if degraded {
-        std::process::exit(fabric::EXIT_DEGRADED);
+        ExitCode::Degraded.exit();
     }
 }

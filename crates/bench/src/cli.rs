@@ -1,0 +1,274 @@
+//! The `reproduce` command line, as a typed parser.
+//!
+//! The binary's surface is five subcommands —
+//!
+//! * `run [ids…] [flags]` — batch reproduction of tables/figures,
+//! * `serve [flags]` — the always-on measurement service ([`crate::service`]),
+//! * `worker` — the fabric's worker entry point (spawned, never typed),
+//! * `snapshot <path>` — inspect a snapshot file or shard directory,
+//! * `faults [flags]` — the fault-robustness sweep,
+//!
+//! plus `print-config`. Parsing is pure (`&[String] → Result<Parsed,
+//! String>`): no process exit, no env reads, no printing — the binary maps
+//! `Err` to [`ExitCode::Config`](s2s_types::ExitCode::Config) and
+//! [`Parsed::deprecations`] to stderr notes. The pre-subcommand spellings
+//! (`reproduce fig4 --threads 2`, `reproduce --print-config`) still parse
+//! as [`Command::Run`] with a deprecation note, so nothing scripted
+//! against the old binary breaks.
+
+use std::path::PathBuf;
+
+/// Flags shared by the batch subcommands (`run`, `faults`, and the
+/// deprecated bare spelling).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunArgs {
+    /// Experiment ids to run (empty = all). Validated against the
+    /// experiment table by the binary, not the parser.
+    pub ids: Vec<String>,
+    /// `--metrics-json <path>`: write the registry snapshot there.
+    pub metrics_json: Option<String>,
+    /// `--threads <n>`: overrides `S2S_THREADS`.
+    pub threads: Option<usize>,
+    /// `--workers <n>`: collect through the scale-out fabric.
+    pub workers: Option<usize>,
+    /// `--snapshot <path>`: columnar persistence (write, or reopen if it
+    /// exists).
+    pub snapshot: Option<PathBuf>,
+    /// `--print-config`: dump resolved knobs and exit.
+    pub print_config: bool,
+}
+
+/// Flags of the `serve` subcommand.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeArgs {
+    /// `--epochs <n>`: advance at most this many epochs (default: the
+    /// whole schedule) — makes scripted smoke runs and kill drills cheap.
+    pub epochs: Option<usize>,
+    /// `--metrics-json <path>`: write the registry snapshot on shutdown.
+    pub metrics_json: Option<String>,
+    /// `--threads <n>`: overrides `S2S_THREADS`.
+    pub threads: Option<usize>,
+    /// `--snapshot <path>`: checkpoint path (resumes if it exists);
+    /// overrides `S2S_SNAPSHOT_PATH`.
+    pub snapshot: Option<PathBuf>,
+}
+
+/// One parsed `reproduce` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Batch reproduction (`run`, or the deprecated bare spelling).
+    Run(RunArgs),
+    /// The always-on measurement daemon.
+    Serve(ServeArgs),
+    /// Fabric worker mode — dispatched before anything prints.
+    Worker,
+    /// Inspect a snapshot file or shard directory.
+    Snapshot(PathBuf),
+    /// The fault-robustness sweep (`run faults` with a door of its own).
+    Faults(RunArgs),
+    /// Dump every resolved `S2S_*` knob and exit.
+    PrintConfig,
+}
+
+/// A parse result: the command plus any deprecation notes the binary
+/// should print to stderr before proceeding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Parsed {
+    /// What to do.
+    pub command: Command,
+    /// One line per deprecated spelling encountered.
+    pub deprecations: Vec<String>,
+}
+
+fn flag_value(flag: &str, it: &mut std::slice::Iter<'_, String>) -> Result<String, String> {
+    it.next().cloned().ok_or_else(|| format!("{flag} needs an argument"))
+}
+
+fn flag_count(flag: &str, it: &mut std::slice::Iter<'_, String>) -> Result<usize, String> {
+    let v = flag_value(flag, it)?;
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("{flag} needs a positive integer, got '{v}'")),
+    }
+}
+
+/// Parses the flags shared by `run`/`faults`; `allow_ids` rejects bare
+/// (non-flag) arguments for subcommands that take none.
+fn parse_run(args: &[String], allow_ids: bool) -> Result<RunArgs, String> {
+    let mut out = RunArgs::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--print-config" => out.print_config = true,
+            "--metrics-json" => out.metrics_json = Some(flag_value(a, &mut it)?),
+            "--threads" => out.threads = Some(flag_count(a, &mut it)?),
+            "--workers" => out.workers = Some(flag_count(a, &mut it)?),
+            "--snapshot" => out.snapshot = Some(PathBuf::from(flag_value(a, &mut it)?)),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            other if allow_ids => out.ids.push(other.to_string()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--epochs" => out.epochs = Some(flag_count(a, &mut it)?),
+            "--metrics-json" => out.metrics_json = Some(flag_value(a, &mut it)?),
+            "--threads" => out.threads = Some(flag_count(a, &mut it)?),
+            "--snapshot" => out.snapshot = Some(PathBuf::from(flag_value(a, &mut it)?)),
+            other => return Err(format!("unknown serve argument '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one invocation (`argv[1..]`). Pure: the only side channel is
+/// the returned deprecation notes.
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut deprecations = Vec::new();
+    let command = match args.first().map(String::as_str) {
+        Some("run") => Command::Run(parse_run(&args[1..], true)?),
+        Some("serve") => Command::Serve(parse_serve(&args[1..])?),
+        Some("worker") => {
+            if args.len() > 1 {
+                return Err(format!("worker takes no arguments, got '{}'", args[1]));
+            }
+            Command::Worker
+        }
+        Some("snapshot") => {
+            let [path] = &args[1..] else {
+                return Err("snapshot needs exactly one path argument".to_string());
+            };
+            Command::Snapshot(PathBuf::from(path))
+        }
+        Some("faults") => Command::Faults(parse_run(&args[1..], false)?),
+        Some("print-config") => {
+            if args.len() > 1 {
+                return Err(format!("print-config takes no arguments, got '{}'", args[1]));
+            }
+            Command::PrintConfig
+        }
+        // The pre-subcommand spelling: experiment ids and flags directly.
+        _ => {
+            let run = parse_run(args, true)?;
+            if !args.is_empty() {
+                deprecations.push(
+                    "note: bare `reproduce [ids…] [flags]` is deprecated; \
+                     spell it `reproduce run [ids…] [flags]`"
+                        .to_string(),
+                );
+            }
+            if run.print_config {
+                deprecations.push(
+                    "note: `--print-config` is deprecated; spell it \
+                     `reproduce print-config`"
+                        .to_string(),
+                );
+            }
+            Command::Run(run)
+        }
+    };
+    Ok(Parsed { command, deprecations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn run_subcommand_parses_ids_and_flags() {
+        let p = parse(&argv("run fig4 fig6 --threads 2 --snapshot /tmp/x.snap")).unwrap();
+        assert!(p.deprecations.is_empty());
+        let Command::Run(a) = p.command else { panic!("not run") };
+        assert_eq!(a.ids, vec!["fig4", "fig6"]);
+        assert_eq!(a.threads, Some(2));
+        assert_eq!(a.snapshot, Some(PathBuf::from("/tmp/x.snap")));
+        assert_eq!(a.workers, None);
+        assert!(!a.print_config);
+    }
+
+    #[test]
+    fn bare_spelling_still_parses_with_a_note() {
+        let p = parse(&argv("fig4 --workers 3 --metrics-json m.json")).unwrap();
+        assert_eq!(p.deprecations.len(), 1, "one deprecation note: {:?}", p.deprecations);
+        let Command::Run(a) = p.command else { panic!("not run") };
+        assert_eq!(a.ids, vec!["fig4"]);
+        assert_eq!(a.workers, Some(3));
+        assert_eq!(a.metrics_json.as_deref(), Some("m.json"));
+    }
+
+    #[test]
+    fn empty_invocation_is_a_clean_run_of_everything() {
+        let p = parse(&[]).unwrap();
+        assert!(p.deprecations.is_empty(), "bare `reproduce` is not deprecated");
+        assert_eq!(p.command, Command::Run(RunArgs::default()));
+    }
+
+    #[test]
+    fn legacy_print_config_flag_notes_the_new_spelling() {
+        let p = parse(&argv("--print-config")).unwrap();
+        let Command::Run(a) = &p.command else { panic!("not run") };
+        assert!(a.print_config);
+        assert!(p.deprecations.iter().any(|d| d.contains("print-config")));
+        // The new spelling is its own command, no notes.
+        let p = parse(&argv("print-config")).unwrap();
+        assert_eq!(p.command, Command::PrintConfig);
+        assert!(p.deprecations.is_empty());
+    }
+
+    #[test]
+    fn serve_parses_its_flags() {
+        let p = parse(&argv("serve --epochs 12 --snapshot /tmp/s.snap --threads 4")).unwrap();
+        let Command::Serve(a) = p.command else { panic!("not serve") };
+        assert_eq!(a.epochs, Some(12));
+        assert_eq!(a.snapshot, Some(PathBuf::from("/tmp/s.snap")));
+        assert_eq!(a.threads, Some(4));
+        assert!(parse(&argv("serve fig4")).is_err(), "serve takes no ids");
+        assert!(parse(&argv("serve --epochs 0")).is_err(), "epochs must be >= 1");
+    }
+
+    #[test]
+    fn worker_snapshot_and_faults_parse() {
+        assert_eq!(parse(&argv("worker")).unwrap().command, Command::Worker);
+        assert!(parse(&argv("worker extra")).is_err());
+        assert_eq!(
+            parse(&argv("snapshot /tmp/x.snap")).unwrap().command,
+            Command::Snapshot(PathBuf::from("/tmp/x.snap"))
+        );
+        assert!(parse(&argv("snapshot")).is_err(), "snapshot needs a path");
+        assert!(parse(&argv("snapshot a b")).is_err(), "exactly one path");
+        let Command::Faults(a) = parse(&argv("faults --threads 2")).unwrap().command else {
+            panic!("not faults")
+        };
+        assert_eq!(a.threads, Some(2));
+        assert!(parse(&argv("faults fig4")).is_err(), "faults takes no ids");
+    }
+
+    #[test]
+    fn malformed_flags_are_config_errors() {
+        for bad in [
+            "run --threads",
+            "run --threads 0",
+            "run --threads x",
+            "run --workers -1",
+            "run --metrics-json",
+            "run --snapshot",
+            "run --bogus",
+            "--frobnicate",
+            "print-config extra",
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "'{bad}' must not parse");
+        }
+    }
+}

@@ -46,16 +46,22 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Clean run: every shard accepted.
-pub const EXIT_OK: i32 = 0;
+/// Clean run: every shard accepted. Alias of
+/// [`ExitCode::Ok`](s2s_types::ExitCode::Ok) — the shared process exit
+/// vocabulary lives in [`s2s_types::ExitCode`]; these constants remain
+/// for callers that want the raw `i32`.
+pub const EXIT_OK: i32 = s2s_types::ExitCode::Ok.code();
 /// Configuration error: bad flags, bad worker assignment, unknown mode.
-pub const EXIT_CONFIG: i32 = 2;
+/// Alias of [`ExitCode::Config`](s2s_types::ExitCode::Config).
+pub const EXIT_CONFIG: i32 = s2s_types::ExitCode::Config.code();
 /// Campaign or worker failure: a checkpoint I/O error, a coordinator
-/// launch failure, or a worker that could not finish its shard.
-pub const EXIT_CAMPAIGN: i32 = 3;
+/// launch failure, or a worker that could not finish its shard. Alias of
+/// [`ExitCode::Campaign`](s2s_types::ExitCode::Campaign).
+pub const EXIT_CAMPAIGN: i32 = s2s_types::ExitCode::Campaign.code();
 /// Degraded result: the run completed but at least one shard was lost
 /// after the retry budget, so coverage is below the offered schedule.
-pub const EXIT_DEGRADED: i32 = 4;
+/// Alias of [`ExitCode::Degraded`](s2s_types::ExitCode::Degraded).
+pub const EXIT_DEGRADED: i32 = s2s_types::ExitCode::Degraded.code();
 
 /// The pair sample the long-term fabric campaign runs over — the same
 /// list (same salt) [`LongTermData::collect`] uses, so the fabric and the

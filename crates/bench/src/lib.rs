@@ -6,9 +6,11 @@
 //! come from `S2S_*` environment variables (see DESIGN.md §8) so the same
 //! code serves quick smoke runs and full reproductions.
 
+pub mod cli;
 pub mod experiments;
 pub mod fabric;
 pub mod render;
+pub mod service;
 pub mod scenario;
 
 pub use render::{print_ecdf, print_heatmap};

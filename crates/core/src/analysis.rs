@@ -28,9 +28,17 @@
 //! * `Analysis<&[PairProfile]>` — streamed constant-memory profiles: the
 //!   same §5.1 classification plus the Fig. 9
 //!   [`overheads`](Analysis::overheads), without ever materializing a
-//!   timeline.
+//!   timeline,
+//! * `Analysis<IncrementalState>` — the live-service state: feed epoch
+//!   deltas through [`update`](Analysis::update), read folded
+//!   [`timelines`](Analysis::timelines) /
+//!   [`change_stats`](Analysis::change_stats) /
+//!   [`path_stats`](Analysis::path_stats) in O(pair state), byte-identical
+//!   to a batch recompute at any delta split.
 //!
-//! This builder is the only entry point: the loose free functions
+//! The admissible sources are exactly the implementors of the sealed
+//! [`AnalysisSource`] trait — the named extension point this matrix hangs
+//! off. This builder is the only entry point: the loose free functions
 //! (`timelines_from_store*`, `infer_ownership_store`) that once shimmed
 //! over it are gone.
 //!
@@ -42,17 +50,62 @@
 //! # }
 //! ```
 
+use crate::changes::{ChangeStats, PathStats};
 use crate::congestion::{
     detect, detect_checked, detect_profile, detect_profile_checked, overhead_profiles,
     DetectParams, PairCongestion,
 };
 use crate::dualstack::{rtt_diffs, DualStackDiffs};
+use crate::incremental::IncrementalState;
 use crate::ownership::OwnershipInference;
 use crate::timeline::TraceTimeline;
 use s2s_bgp::{AsRelStore, Ip2AsnMap};
 use s2s_probe::{PairProfile, PingTimeline, TraceStore};
-use s2s_types::{AnalysisError, Coverage, Protocol};
+use s2s_types::{AnalysisError, Coverage, Protocol, SimDuration};
 use std::sync::Arc;
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// The sealed set of data sources [`Analysis::new`] accepts.
+///
+/// One named extension point instead of an ad-hoc pile of inherent impls:
+/// every admissible source is listed here, and which analysis methods a
+/// wrapped source offers is documented on its `Analysis<S>` impl. Sealed
+/// because the source matrix is part of this crate's semver surface — a
+/// foreign source type could not uphold the byte-equivalence contracts
+/// the matrix is pinned to.
+///
+/// Implementors:
+///
+/// * `&TraceStore` — the in-memory columnar corpus,
+/// * `&Snapshot` — a reopened binary snapshot (delegates to its store),
+/// * `SnapshotReader<R>` — an open out-of-core snapshot stream,
+/// * `ShardDir` — a directory of per-shard snapshot files,
+/// * `&[TraceTimeline]` — built timelines (§6 dual-stack),
+/// * `&[PingTimeline]` — materialized ping series (§5.1),
+/// * `&[PairProfile]` — streamed constant-memory profiles (§5.1, Fig. 9),
+/// * [`IncrementalState`] — the live always-on-service state (epoch
+///   [`update`](Analysis::update) + O(pair) folded verdicts).
+pub trait AnalysisSource: sealed::Sealed {}
+
+impl sealed::Sealed for &TraceStore {}
+impl AnalysisSource for &TraceStore {}
+impl sealed::Sealed for &s2s_probe::Snapshot {}
+impl AnalysisSource for &s2s_probe::Snapshot {}
+impl<R: std::io::Read> sealed::Sealed for s2s_probe::SnapshotReader<R> {}
+impl<R: std::io::Read> AnalysisSource for s2s_probe::SnapshotReader<R> {}
+impl sealed::Sealed for s2s_probe::ShardDir {}
+impl AnalysisSource for s2s_probe::ShardDir {}
+impl sealed::Sealed for &[TraceTimeline] {}
+impl AnalysisSource for &[TraceTimeline] {}
+impl sealed::Sealed for &[PingTimeline] {}
+impl AnalysisSource for &[PingTimeline] {}
+impl sealed::Sealed for &[PairProfile] {}
+impl AnalysisSource for &[PairProfile] {}
+impl sealed::Sealed for IncrementalState {}
+impl AnalysisSource for IncrementalState {}
 
 /// A configured-but-not-yet-run analysis over a data source.
 ///
@@ -71,10 +124,11 @@ pub struct Analysis<S> {
 /// (~89.3%), so campaigns of any length state the same standard.
 pub const DEFAULT_COVERAGE_FLOOR: f64 = 600.0 / 672.0;
 
-impl<S> Analysis<S> {
-    /// Starts a builder over `source`. Threads default to the
-    /// `S2S_THREADS` knob (the same knob that sizes campaign workers), the
-    /// coverage floor to [`DEFAULT_COVERAGE_FLOOR`].
+impl<S: AnalysisSource> Analysis<S> {
+    /// Starts a builder over `source` — any implementor of the sealed
+    /// [`AnalysisSource`] matrix. Threads default to the `S2S_THREADS`
+    /// knob (the same knob that sizes campaign workers), the coverage
+    /// floor to [`DEFAULT_COVERAGE_FLOOR`].
     pub fn new(source: S) -> Self {
         Analysis {
             source,
@@ -82,6 +136,13 @@ impl<S> Analysis<S> {
             registry: None,
             floor: DEFAULT_COVERAGE_FLOOR,
         }
+    }
+}
+
+impl<S> Analysis<S> {
+    /// Borrows the wrapped source.
+    pub fn source(&self) -> &S {
+        &self.source
     }
 
     /// Overrides the analysis shard-thread count (results are
@@ -295,6 +356,60 @@ impl Analysis<&[PairProfile]> {
     /// consistently congested profile.
     pub fn overheads(&self, params: &DetectParams) -> Vec<f64> {
         overhead_profiles(self.source, params)
+    }
+}
+
+impl Analysis<IncrementalState> {
+    /// Folds one epoch delta into the live state: the incremental path
+    /// next to the batch one. After any sequence of updates the folded
+    /// timelines and verdicts are byte-identical to a single batch
+    /// `Analysis` over the concatenated trace stream — regardless of how
+    /// the stream was split into deltas (pinned in
+    /// `tests/tests/incremental_equivalence.rs`).
+    pub fn update(&mut self, delta: &TraceStore, map: &Ip2AsnMap) {
+        s2s_obs::timed("analysis.update", || self.source.absorb(delta, map));
+        self.count("analysis.updates", 1);
+        self.count("analysis.update_traces", delta.len() as u64);
+    }
+
+    /// The timelines folded so far, one per (src, dst, protocol) group in
+    /// first-seen order.
+    pub fn timelines(&self) -> &[TraceTimeline] {
+        self.source.timelines()
+    }
+
+    /// The folded §4.1 change verdicts, one per group — equal to running
+    /// [`detect_changes`](crate::changes::detect_changes) on each timeline, but
+    /// read straight from the per-pair fold state.
+    pub fn change_stats(&self) -> Vec<ChangeStats> {
+        (0..self.source.len()).map(|gi| self.source.change_stats_of(gi)).collect()
+    }
+
+    /// Coverage-checked [`change_stats`](Analysis::change_stats): each
+    /// verdict annotated with its timeline's coverage, groups below the
+    /// builder's [`checked`](Analysis::checked) floor refused with a typed
+    /// error — the incremental mirror of
+    /// [`detect_changes_checked`](crate::detect_changes_checked).
+    pub fn change_stats_checked(
+        &self,
+    ) -> Vec<Result<(ChangeStats, Coverage), AnalysisError>> {
+        self.source
+            .timelines()
+            .iter()
+            .enumerate()
+            .map(|(gi, tl)| {
+                let coverage = tl.coverage();
+                coverage.require(self.floor)?;
+                Ok((self.source.change_stats_of(gi), coverage))
+            })
+            .collect()
+    }
+
+    /// The folded §4.2 lifetime/prevalence verdicts, one per group —
+    /// equal to running [`path_stats`](crate::changes::path_stats) on each
+    /// timeline with `interval`.
+    pub fn path_stats(&self, interval: SimDuration) -> Vec<PathStats> {
+        (0..self.source.len()).map(|gi| self.source.path_stats_of(gi, interval)).collect()
     }
 }
 

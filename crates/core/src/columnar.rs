@@ -235,6 +235,7 @@ fn intern_path(paths: &mut Vec<AsPath>, p: &AsPath) -> u16 {
 /// interns paths per group in trace order, the finished timelines are
 /// byte-identical to `timelines_from_store_impl` over the concatenation
 /// of all batches — regardless of batch boundaries.
+#[derive(Clone, Debug, Default)]
 pub(crate) struct StreamingTimelines {
     index: HashMap<(ClusterId, ClusterId, Protocol), usize>,
     timelines: Vec<TraceTimeline>,
@@ -250,6 +251,20 @@ impl StreamingTimelines {
     /// fresh annotator per shard — ids are shard-local, annotations are
     /// not, so shard-local memos produce identical `Annotated` values).
     pub(crate) fn absorb_batch(&mut self, batch: &TraceStore, ann: &mut ColumnarAnnotator<'_>) {
+        self.absorb_batch_with(batch, ann, |_, _| {});
+    }
+
+    /// [`absorb_batch`](Self::absorb_batch) with a per-sample hook: after
+    /// each trace folds into its group, `on_sample` sees the group index
+    /// and the timeline (whose last sample is the one just pushed). This
+    /// is how the incremental analysis keeps per-pair fold state exactly
+    /// in step with the timelines, without a second pass.
+    pub(crate) fn absorb_batch_with(
+        &mut self,
+        batch: &TraceStore,
+        ann: &mut ColumnarAnnotator<'_>,
+        mut on_sample: impl FnMut(usize, &TraceTimeline),
+    ) {
         use std::collections::hash_map::Entry;
         for v in batch.iter() {
             let key = (v.src(), v.dst(), v.proto());
@@ -283,7 +298,13 @@ impl StreamingTimelines {
                 path,
                 rtt_ms: v.e2e_rtt_ms().filter(|_| path.is_some()).map(|r| r as f32),
             });
+            on_sample(gi, &self.timelines[gi]);
         }
+    }
+
+    /// The timelines built so far, one per group in first-seen order.
+    pub(crate) fn timelines(&self) -> &[TraceTimeline] {
+        &self.timelines
     }
 
     /// Streams one open snapshot reader to exhaustion: the address table

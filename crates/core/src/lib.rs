@@ -27,6 +27,10 @@
 //!   deterministic, byte-identical merge,
 //! * [`changes`] — edit-distance routing-change detection, AS-path
 //!   lifetimes and prevalence (§4.1–4.2, Figs. 2–3),
+//! * [`incremental`] — the epoch-appendable analysis state behind the
+//!   always-on service: [`IncrementalState`] folds epoch deltas through
+//!   `Analysis::update`, keeping timelines and §4 verdicts byte-identical
+//!   to a batch recompute at any delta split,
 //! * [`bestpath`] — best-path baselines (10th/90th percentiles), the
 //!   lifetime-vs-RTT-increase heat maps and sub-optimal path prevalence
 //!   (§4.2, Figs. 4–6),
@@ -51,17 +55,19 @@ pub mod changes;
 pub mod columnar;
 pub mod congestion;
 pub mod dualstack;
+pub mod incremental;
 pub mod inflation;
 pub mod lossrate;
 pub mod ownership;
 pub mod shortterm;
 pub mod timeline;
 
-pub use analysis::{Analysis, DEFAULT_COVERAGE_FLOOR};
+pub use analysis::{Analysis, AnalysisSource, DEFAULT_COVERAGE_FLOOR};
 pub use annotate::{Annotated, Completeness};
 pub use bestpath::{BestPathAnalysis, PathDelta};
 pub use columnar::{AddrAsnTable, ColumnarAnnotator};
 pub use changes::{
     detect_changes_checked, path_stats_checked, ChangeStats, PathStats,
 };
+pub use incremental::IncrementalState;
 pub use timeline::{TimelineBuilder, TraceTimeline};

@@ -31,11 +31,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::campaign::{
-    ping_faulty_impl, ping_sink_impl, ping_sink_resumable_impl, traceroute_faulty_impl,
-    traceroute_faulty_reference_impl, traceroute_resumable_impl, CampaignConfig,
-    CampaignReport, PingTimeline, RetryPolicy,
+    ping_faulty_impl, ping_sink_impl, ping_sink_resumable_impl, traceroute_epoch_impl,
+    traceroute_faulty_impl, traceroute_faulty_reference_impl, traceroute_resumable_impl,
+    CampaignConfig, CampaignReport, PingTimeline, RetryPolicy,
 };
-use crate::faults::FaultProfile;
+use crate::faults::{FaultInjector, FaultProfile};
 use crate::records::TracerouteRecord;
 use crate::stream::{StreamSink, TimelineSink};
 use crate::tracer::TraceOptions;
@@ -178,6 +178,42 @@ impl Campaign {
             self.publish(report);
         }
         result
+    }
+
+    /// Resolves every (pair, protocol) slot of **one** schedule instant —
+    /// the always-on service's per-epoch advance. `epoch` indexes the
+    /// schedule (`0..cfg.n_samples()`; out of range panics), and
+    /// `step(slot, record)` receives each record with its slot index
+    /// (pair-major, protocol in `cfg.protocols` order — the same indexing
+    /// as [`Campaign::run_traceroute`]'s accumulators).
+    ///
+    /// Fault decisions are content-keyed on the global sample index, so
+    /// sweeping epochs `0..n_samples` and [merging](CampaignReport::merge)
+    /// the per-epoch reports is byte-identical — records, slot order
+    /// within each (pair, protocol), and report — to one
+    /// [`Campaign::run_traceroute_with`] batch run over the same schedule.
+    /// Unlike the batch runners, the per-epoch report is *not* published
+    /// to the observability registry (a long-running service would melt
+    /// `campaign.runs`); callers merge and publish at their own cadence.
+    pub fn run_traceroute_epoch(
+        &self,
+        net: &Network,
+        pairs: &[(ClusterId, ClusterId)],
+        opts_of: impl Fn(SimTime, Protocol) -> TraceOptions,
+        epoch: usize,
+        step: impl FnMut(usize, TracerouteRecord),
+    ) -> CampaignReport {
+        let t = s2s_types::time::sample_times(self.cfg.start, self.cfg.end, self.cfg.interval)
+            .nth(epoch)
+            .unwrap_or_else(|| {
+                panic!("epoch {epoch} out of schedule range 0..{}", self.cfg.n_samples())
+            });
+        // Construction is pure and the injector is content-keyed on the
+        // profile seed, so rebuilding it per epoch changes nothing.
+        let injector = FaultInjector::new(self.profile);
+        traceroute_epoch_impl(
+            net, pairs, &self.cfg, opts_of, &injector, &self.retry, epoch, t, step,
+        )
     }
 
     /// Runs a ping campaign, returning a dense timeline per

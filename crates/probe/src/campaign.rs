@@ -712,6 +712,59 @@ where
     (accs, report)
 }
 
+/// The single-epoch execution core behind the always-on service (see
+/// [`Campaign::run_traceroute_epoch`] for the public front door): resolves
+/// every (pair, protocol) slot of **one** schedule instant, in the
+/// reference executor's slot order (pair-major, protocol in
+/// `cfg.protocols` order).
+///
+/// Fault decisions are keyed on the *global* sample index `epoch` — the
+/// same key every batch core uses — so driving the schedule epoch by
+/// epoch reproduces the batch outcome exactly: folding each epoch's
+/// records into per-slot accumulators yields byte-identical accumulators,
+/// and [merging](CampaignReport::merge) the per-epoch reports yields the
+/// batch [`CampaignReport`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn traceroute_epoch_impl<O, S>(
+    net: &Network,
+    pairs: &[(ClusterId, ClusterId)],
+    cfg: &CampaignConfig,
+    opts_of: O,
+    injector: &FaultInjector,
+    retry: &RetryPolicy,
+    epoch: usize,
+    t: SimTime,
+    mut step: S,
+) -> CampaignReport
+where
+    O: Fn(SimTime, Protocol) -> TraceOptions,
+    S: FnMut(usize, TracerouteRecord),
+{
+    let mut report = CampaignReport::default();
+    for (pi, &(src, dst)) in pairs.iter().enumerate() {
+        for (qi, &proto) in cfg.protocols.iter().enumerate() {
+            let outcome = traceroute_slot(
+                net,
+                injector,
+                retry,
+                src,
+                dst,
+                proto,
+                t,
+                epoch as u64,
+                opts_of(t, proto),
+                &mut report,
+            );
+            let rec = match outcome {
+                SlotOutcome::Record(rec) => rec,
+                SlotOutcome::Lost => lost_record(src, dst, proto, t),
+            };
+            step(pi * cfg.protocols.len() + qi, rec);
+        }
+    }
+    report
+}
+
 /// The fault-aware parallel ping execution core (see
 /// [`Campaign::run_ping`]): lost slots (crashes, drops, stuck probes) are
 /// recorded as `NaN` so the dense timeline shape — one slot per scheduled
@@ -1609,6 +1662,60 @@ mod tests {
             assert_eq!(bits(&a.rtts), bits(&b.rtts));
         }
         assert_eq!(report.delivered, report.offered);
+    }
+
+    #[test]
+    fn epoch_sweep_matches_batch_run_under_faults() {
+        let net = dynamic_network(42);
+        let pairs = full_mesh_pairs(5);
+        let cfg = small_cfg(3);
+        // Per-measurement options, so the sweep exercises opts_of too.
+        let opts_of = |t: SimTime, proto: Protocol| TraceOptions {
+            mode: if proto == Protocol::V4 && t >= SimTime::from_hours(6) {
+                crate::tracer::TracerouteMode::Paris
+            } else {
+                crate::tracer::TracerouteMode::Classic
+            },
+            ..TraceOptions::default()
+        };
+        let campaign = Campaign::new(cfg.clone()).faults(lossy_profile());
+        let (batch, batch_report) = campaign
+            .run_traceroute_with(
+                &net,
+                &pairs,
+                opts_of,
+                |_, _, _| Vec::new(),
+                |acc: &mut Vec<TracerouteRecord>, rec| acc.push(rec),
+            )
+            .unwrap();
+        let slots = pairs.len() * cfg.protocols.len();
+        let mut swept: Vec<Vec<TracerouteRecord>> = vec![Vec::new(); slots];
+        let mut swept_report = CampaignReport::default();
+        for epoch in 0..cfg.n_samples() {
+            let r = campaign.run_traceroute_epoch(&net, &pairs, opts_of, epoch, |slot, rec| {
+                swept[slot].push(rec)
+            });
+            swept_report.merge(&r);
+        }
+        assert_eq!(swept, batch, "epoch sweep must reproduce the batch dataset exactly");
+        assert_eq!(swept_report, batch_report, "merged per-epoch reports must equal batch");
+        assert!(swept_report.gave_up > 0, "profile must actually lose slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of schedule range")]
+    fn epoch_past_schedule_end_panics() {
+        let net = network(7);
+        let pairs = vec![(ClusterId::new(0), ClusterId::new(1))];
+        let cfg = small_cfg(1);
+        let n = cfg.n_samples();
+        Campaign::new(cfg).run_traceroute_epoch(
+            &net,
+            &pairs,
+            |_, _| TraceOptions::default(),
+            n,
+            |_, _| {},
+        );
     }
 
     #[test]

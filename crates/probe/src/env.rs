@@ -36,12 +36,17 @@
 //! | `S2S_SNAPSHOT_BUDGET` | `4096` | Traces per streamed-read batch (≥ 1, the reader's reuse-buffer cap) |
 //! | `S2S_SNAPSHOT_DIR` | unset | Fabric merge also writes per-shard snapshots here |
 //! | `S2S_SNAPSHOT_PATH` | unset | Default for `reproduce --snapshot` |
+//! | `S2S_SERVICE_CADENCE_MS` | `0` | Wall-clock sleep between service epochs (0 = free-run) |
+//! | `S2S_SERVICE_SNAP_EVERY` | `8` | Service checkpoint cadence, epochs (≥ 1) |
+//! | `S2S_SERVICE_QUERY_BUDGET` | `4096` | Queries a service run answers before refusing (≥ 1) |
 //!
 //! The experiment-scale knobs (`S2S_SEED`, `S2S_CLUSTERS`, `S2S_DAYS`,
-//! `S2S_PAIRS`, `S2S_PING_PAIRS`, `S2S_CONG_PAIRS`) and the bench-only
-//! `S2S_BENCH_QUICK` flag resolve in `s2s-bench` (their defaults are
-//! experiment policy, not measurement-plane policy) — through the same
-//! shared parsers, and they appear in the same `--print-config` dump.
+//! `S2S_PAIRS`, `S2S_PING_PAIRS`, `S2S_CONG_PAIRS`), the bench-only
+//! `S2S_BENCH_QUICK` flag, and the always-on-service knobs
+//! (`S2S_SERVICE_CADENCE_MS`, `S2S_SERVICE_SNAP_EVERY`,
+//! `S2S_SERVICE_QUERY_BUDGET`) resolve in `s2s-bench` (their defaults are
+//! experiment/service policy, not measurement-plane policy) — through the
+//! same shared parsers, and they appear in the same `--print-config` dump.
 //!
 //! Typos are caught, not ignored: [`resolved_knobs`] scans the process
 //! environment for `S2S_*` names outside the recognized set and prints
@@ -214,6 +219,10 @@ pub const KNOWN_KNOBS: &[&str] = &[
     "S2S_PING_PAIRS",
     "S2S_CONG_PAIRS",
     "S2S_BENCH_QUICK",
+    // Always-on measurement service (resolved in s2s-bench).
+    "S2S_SERVICE_CADENCE_MS",
+    "S2S_SERVICE_SNAP_EVERY",
+    "S2S_SERVICE_QUERY_BUDGET",
 ];
 
 /// The pure core of typo detection: which of `names` look like platform

@@ -1,0 +1,247 @@
+//! Appendable per-series analysis state (§4.1–4.2, incrementalized).
+//!
+//! The batch analyses recompute routing changes and path prevalence from a
+//! full materialized timeline. The always-on service instead *folds*: each
+//! new sample appends into constant-per-path state, so answering "how many
+//! route changes has this pair seen" costs O(pair state), never O(corpus).
+//!
+//! * [`ChangeLog`] — the fold form of edit-distance change detection:
+//!   remembers only the previous observed symbol sequence; on a differing
+//!   observation it records one change and its Levenshtein magnitude,
+//! * [`PrevalenceTally`] — the fold form of path lifetime/prevalence:
+//!   per-path observation counts plus the total, from which lifetimes,
+//!   prevalence fractions, and the popular path derive in O(paths).
+//!
+//! Both are *exact*, not approximate: replaying a sample sequence through
+//! the fold yields byte-identical results to the batch recompute over the
+//! materialized sequence, at any split of the sequence into deltas. That
+//! equivalence is what `s2s-core`'s incremental `Analysis` pins.
+
+use crate::editdist::edit_distance;
+
+/// Appendable edit-distance change detection over a symbol sequence
+/// stream.
+///
+/// Feed it each usable observation's symbol sequence in time order
+/// (skipping unusable slots, exactly as the batch path skips pathless
+/// samples); it accumulates the change count and per-change magnitudes
+/// while retaining only the previous sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChangeLog<T> {
+    prev: Option<Vec<T>>,
+    changes: usize,
+    magnitudes: Vec<usize>,
+}
+
+impl<T: PartialEq + Clone> ChangeLog<T> {
+    /// An empty log: no observations yet.
+    pub fn new() -> ChangeLog<T> {
+        ChangeLog { prev: None, changes: 0, magnitudes: Vec::new() }
+    }
+
+    /// Folds one usable observation in. A non-zero edit distance from the
+    /// previous observation counts as one change of that magnitude.
+    pub fn observe(&mut self, symbols: &[T]) {
+        if let Some(prev) = &self.prev {
+            if prev.as_slice() != symbols {
+                let d = edit_distance(prev, symbols);
+                // Distinct sequences always differ, but guard anyway —
+                // mirroring the batch detector exactly.
+                if d > 0 {
+                    self.changes += 1;
+                    self.magnitudes.push(d);
+                }
+            }
+        }
+        self.prev = Some(symbols.to_vec());
+    }
+
+    /// Number of changes observed so far.
+    pub fn changes(&self) -> usize {
+        self.changes
+    }
+
+    /// Edit distance of each change, in observation order.
+    pub fn magnitudes(&self) -> &[usize] {
+        &self.magnitudes
+    }
+
+    /// The most recent observation, if any.
+    pub fn last(&self) -> Option<&[T]> {
+        self.prev.as_deref()
+    }
+}
+
+/// Appendable per-id observation tally: the fold form of path
+/// lifetime/prevalence.
+///
+/// Ids are small dense indices (interned path ids); the tally grows its
+/// count vector on demand, so its length after a replay equals one plus
+/// the largest id observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrevalenceTally {
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl PrevalenceTally {
+    /// An empty tally.
+    pub fn new() -> PrevalenceTally {
+        PrevalenceTally { counts: Vec::new(), total: 0 }
+    }
+
+    /// Folds one observation of `id` in.
+    pub fn observe(&mut self, id: usize) {
+        if id >= self.counts.len() {
+            self.counts.resize(id + 1, 0);
+        }
+        self.counts[id] += 1;
+        self.total += 1;
+    }
+
+    /// Per-id observation counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total observations folded.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct ids tracked.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Prevalence (0–1) of each id: count over total, 0.0 for an empty
+    /// tally — the batch convention.
+    pub fn prevalence(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| if self.total == 0 { 0.0 } else { c as f64 / self.total as f64 })
+            .collect()
+    }
+
+    /// The most observed id, ties resolved to the *last* maximal id —
+    /// the exact tie-break of `max_by_key` over an index range, which the
+    /// batch path-stats computation uses.
+    pub fn popular(&self) -> Option<usize> {
+        (0..self.counts.len()).max_by_key(|&i| self.counts[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Batch reference: recompute changes/magnitudes from the full
+    /// sequence, mirroring the batch detector's loop shape.
+    fn batch_changes(seqs: &[Vec<u64>]) -> (usize, Vec<usize>) {
+        let mut changes = 0;
+        let mut magnitudes = Vec::new();
+        for w in seqs.windows(2) {
+            if w[0] != w[1] {
+                let d = edit_distance(&w[0], &w[1]);
+                if d > 0 {
+                    changes += 1;
+                    magnitudes.push(d);
+                }
+            }
+        }
+        (changes, magnitudes)
+    }
+
+    #[test]
+    fn change_log_counts_transitions_with_magnitudes() {
+        let mut log = ChangeLog::new();
+        log.observe(&[1u64, 2, 3]);
+        log.observe(&[1, 2, 3]); // stable: no change
+        log.observe(&[1, 3]); // one deletion
+        log.observe(&[1, 2, 3]); // back: one insertion
+        assert_eq!(log.changes(), 2);
+        assert_eq!(log.magnitudes(), &[1, 1]);
+        assert_eq!(log.last(), Some(&[1u64, 2, 3][..]));
+    }
+
+    #[test]
+    fn empty_log_has_no_changes() {
+        let log: ChangeLog<u64> = ChangeLog::new();
+        assert_eq!(log.changes(), 0);
+        assert!(log.magnitudes().is_empty());
+        assert_eq!(log.last(), None);
+    }
+
+    #[test]
+    fn tally_counts_lifetimes_and_popularity() {
+        let mut tally = PrevalenceTally::new();
+        for id in [0usize, 0, 0, 1] {
+            tally.observe(id);
+        }
+        assert_eq!(tally.counts(), &[3, 1]);
+        assert_eq!(tally.total(), 4);
+        assert_eq!(tally.distinct(), 2);
+        assert_eq!(tally.prevalence(), vec![0.75, 0.25]);
+        assert_eq!(tally.popular(), Some(0));
+    }
+
+    #[test]
+    fn tally_ties_resolve_to_the_last_maximal_id() {
+        let mut tally = PrevalenceTally::new();
+        for id in [0usize, 1, 1, 0] {
+            tally.observe(id);
+        }
+        // Same tie-break as `(0..n).max_by_key(...)`: the LAST max wins.
+        assert_eq!(tally.popular(), Some(1));
+        assert_eq!((0..2usize).max_by_key(|&i| [2, 2][i]), Some(1));
+    }
+
+    #[test]
+    fn empty_tally_is_well_defined() {
+        let tally = PrevalenceTally::new();
+        assert_eq!(tally.popular(), None);
+        assert!(tally.prevalence().is_empty());
+        assert_eq!(tally.total(), 0);
+    }
+
+    proptest! {
+        /// The fold equals the batch recompute for any observation stream.
+        #[test]
+        fn prop_change_log_matches_batch(
+            seqs in proptest::collection::vec(
+                proptest::collection::vec(0u64..4, 0..5), 0..30)
+        ) {
+            let mut log = ChangeLog::new();
+            for s in &seqs {
+                log.observe(s);
+            }
+            let (changes, magnitudes) = batch_changes(&seqs);
+            prop_assert_eq!(log.changes(), changes);
+            prop_assert_eq!(log.magnitudes(), &magnitudes[..]);
+        }
+
+        /// Folding a stream in any split order (it is one stream — splits
+        /// are just where you pause) equals folding it whole.
+        #[test]
+        fn prop_tally_matches_batch_counts(
+            ids in proptest::collection::vec(0usize..6, 0..50)
+        ) {
+            let mut tally = PrevalenceTally::new();
+            for &id in &ids {
+                tally.observe(id);
+            }
+            let n = ids.iter().map(|&i| i + 1).max().unwrap_or(0);
+            let mut counts = vec![0usize; n];
+            for &id in &ids {
+                counts[id] += 1;
+            }
+            prop_assert_eq!(tally.counts(), &counts[..]);
+            prop_assert_eq!(tally.total(), ids.len());
+            prop_assert_eq!(
+                tally.popular(),
+                (0..counts.len()).max_by_key(|&i| counts[i])
+            );
+        }
+    }
+}

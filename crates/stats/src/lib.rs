@@ -10,12 +10,16 @@
 //! * [`mod@pearson`] — Pearson correlation for congestion localization (§5.2),
 //! * [`kde`] — Gaussian kernel density estimation (Fig. 9),
 //! * [`editdist`] — Levenshtein distance over AS-path symbols (§4.1),
+//! * [`appendable`] — epoch-appendable fold state ([`ChangeLog`],
+//!   [`PrevalenceTally`]) behind the incremental §4 analyses: exact,
+//!   replay-equals-batch accumulators for change detection and prevalence,
 //! * [`heatmap`] — decile-edge 2-D binning (Figs. 4 and 5),
 //! * [`histogram`] — simple fixed-width histograms,
 //! * [`sketch`] — constant-memory streaming aggregation (mergeable quantile
 //!   sketches, Welford moments, diurnal ring bins, streamed filled-series
 //!   PSD) for the §5 short-term plane.
 
+pub mod appendable;
 pub mod ecdf;
 pub mod editdist;
 pub mod fft;
@@ -26,6 +30,7 @@ pub mod pearson;
 pub mod percentile;
 pub mod sketch;
 
+pub use appendable::{ChangeLog, PrevalenceTally};
 pub use ecdf::Ecdf;
 pub use editdist::edit_distance;
 pub use fft::{diurnal_psd_ratio, fft_power, Complex};

@@ -9,9 +9,12 @@
 //! and free of any simulation or analysis logic. The one exception is
 //! [`mod@env`], the shared warn-and-default parser every `S2S_*` environment
 //! knob in the workspace goes through — it lives here because this is the
-//! crate everything else already depends on.
+//! crate everything else already depends on. [`mod@exit`] lives here for
+//! the same reason: one typed exit-code table ([`ExitCode`]) that every
+//! binary (`reproduce`, the fabric workers, the service) shares.
 
 pub mod env;
+pub mod exit;
 pub mod ids;
 pub mod net;
 pub mod path;
@@ -20,6 +23,7 @@ pub mod rel;
 pub mod rtt;
 pub mod time;
 
+pub use exit::ExitCode;
 pub use ids::{Asn, ClusterId, IfaceId, IxpId, LinkId, PopId, RouterId, ServerId};
 pub use net::{IpNet, Ipv4Net, Ipv6Net, Protocol};
 pub use path::AsPath;
